@@ -1,0 +1,74 @@
+// Shared benchmark scaffolding: engine construction, workload presets and
+// a tiny cache of built engines so repeated benchmark registrations over
+// the same configuration don't pay the setup cost every time.
+
+#ifndef INSIGHTNOTES_BENCH_BENCH_UTIL_H_
+#define INSIGHTNOTES_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/engine.h"
+#include "sql/session.h"
+#include "workload/workload.h"
+
+namespace insightnotes::bench {
+
+/// Aborts the benchmark run on error — a broken setup must not produce
+/// numbers silently.
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "benchmark setup failed (%s): %s\n", what,
+            status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  Check(result.status().ok() ? Status::OK() : result.status(), what);
+  return std::move(result).value();
+}
+
+struct BuiltWorkload {
+  std::unique_ptr<core::Engine> engine;
+  workload::WorkloadStats stats;
+  workload::WorkloadConfig config;
+};
+
+/// Builds (and memoizes per distinct key) an annotated bird database.
+inline BuiltWorkload* GetWorkload(size_t num_species, size_t annotations_per_tuple,
+                                  bool with_summaries = true,
+                                  double document_fraction = 0.02) {
+  using Key = std::tuple<size_t, size_t, bool, int>;
+  static auto* cache = new std::map<Key, std::unique_ptr<BuiltWorkload>>();
+  Key key{num_species, annotations_per_tuple, with_summaries,
+          static_cast<int>(document_fraction * 1000)};
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+
+  auto built = std::make_unique<BuiltWorkload>();
+  built->engine = std::make_unique<core::Engine>();
+  Check(built->engine->Init(), "engine init");
+  workload::WorkloadConfig config;
+  config.num_species = num_species;
+  config.annotations_per_tuple = annotations_per_tuple;
+  config.document_fraction = document_fraction;
+  config.with_classifier1 = with_summaries;
+  config.with_classifier2 = with_summaries;
+  config.with_cluster = with_summaries;
+  config.with_snippet = with_summaries;
+  built->config = config;
+  workload::WorkloadBuilder builder(config);
+  built->stats = Check(builder.Build(built->engine.get()), "workload build");
+  auto* raw = built.get();
+  (*cache)[key] = std::move(built);
+  return raw;
+}
+
+}  // namespace insightnotes::bench
+
+#endif  // INSIGHTNOTES_BENCH_BENCH_UTIL_H_

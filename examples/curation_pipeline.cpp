@@ -1,0 +1,113 @@
+// Curation pipeline example: the biological-database scenario of
+// Section 2.3 — gene records with {FunctionPrediction, Provenance, Comment}
+// classification, *shared* provenance annotations attached to every tuple an
+// experiment produced (exercising the AnnotationInvariant/DataInvariant
+// summarize-once optimization), and the archive workflow for annotations
+// proven wrong.
+//
+// Build & run:  ./build/examples/curation_pipeline
+
+#include <iostream>
+
+#include "core/engine.h"
+#include "sql/session.h"
+
+using namespace insightnotes;
+
+namespace {
+template <typename T>
+T Check(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  core::Engine engine;
+  Check(engine.Init());
+  sql::SqlSession session(&engine);
+  auto run = [&](const std::string& statement) {
+    return Check(session.Execute(statement));
+  };
+
+  // --- Gene table and the biology-flavored classifier ------------------------
+  run("CREATE TABLE genes (gene_id BIGINT, symbol TEXT, organism TEXT, "
+      "expression DOUBLE)");
+  run("CREATE SUMMARY INSTANCE GeneClass CLASSIFIER LABELS "
+      "('FunctionPrediction', 'Provenance', 'Comment')");
+  run("TRAIN SUMMARY GeneClass LABEL 'FunctionPrediction' WITH "
+      "'predicted function binding domain kinase pathway homology'");
+  run("TRAIN SUMMARY GeneClass LABEL 'Provenance' WITH "
+      "'produced experiment pipeline derived sequencing run batch'");
+  run("TRAIN SUMMARY GeneClass LABEL 'Comment' WITH "
+      "'note remark observed interesting needs review'");
+  run("CREATE SUMMARY INSTANCE GeneClusters CLUSTER THRESHOLD 0.35");
+  run("LINK SUMMARY GeneClass TO genes");
+  run("LINK SUMMARY GeneClusters TO genes");
+
+  run("INSERT INTO genes VALUES (1, 'BRCA1', 'H. sapiens', 7.25), "
+      "(2, 'TP53', 'H. sapiens', 12.5), (3, 'MYC', 'H. sapiens', 30.1), "
+      "(4, 'EGFR', 'H. sapiens', 5.75)");
+
+  // --- A shared provenance annotation attached to every tuple the
+  //     sequencing run produced (summarize-once case) -----------------------
+  core::AnnotateSpec provenance;
+  provenance.table = "genes";
+  provenance.row = 0;
+  provenance.body = "produced by sequencing experiment batch 7 pipeline v2";
+  provenance.author = "pipeline";
+  auto shared_id = Check(engine.Annotate(provenance));
+  for (rel::RowId row = 1; row < 4; ++row) {
+    Check(engine.AttachAnnotation(shared_id, "genes", row));
+  }
+  auto instance = Check(engine.summaries()->GetInstance("GeneClass"));
+  std::cout << "Shared provenance annotation summarized once, reused "
+            << instance->cache_hits() << " times (cache misses: "
+            << instance->cache_misses() << ")\n\n";
+
+  // --- Per-gene curation annotations ----------------------------------------
+  run("ANNOTATE genes ROW 0 TEXT 'predicted function: DNA repair binding domain' "
+      "AUTHOR 'curatorA'");
+  run("ANNOTATE genes ROW 0 TEXT 'needs review: expression value looks inflated' "
+      "AUTHOR 'curatorB'");
+  auto wrong = Check(engine.Annotate([&] {
+    core::AnnotateSpec spec;
+    spec.table = "genes";
+    spec.row = 0;
+    spec.columns = {3};  // The expression column.
+    spec.body = "predicted kinase pathway involvement with strong homology";
+    spec.author = "legacy-import";
+    return spec;
+  }()));
+
+  auto before = run("SELECT gene_id, symbol, expression FROM genes WHERE gene_id = 1");
+  std::cout << "=== Before curation ===\n" << sql::FormatResult(before.result) << "\n";
+
+  // --- Curation: the legacy prediction is proven wrong -> archive it --------
+  Check(engine.ArchiveAnnotation(wrong));
+  auto after = run("SELECT gene_id, symbol, expression FROM genes WHERE gene_id = 1");
+  std::cout << "=== After archiving the disproven prediction ===\n"
+            << sql::FormatResult(after.result) << "\n";
+
+  // --- Zoom in to audit what remains under FunctionPrediction ---------------
+  auto zoom = run("ZOOMIN REFERENCE QID " + std::to_string(after.result.qid) +
+                  " ON GeneClass INDEX 1");
+  std::cout << "=== Audit: remaining FunctionPrediction annotations ===\n"
+            << sql::FormatZoomIn(zoom.zoom);
+
+  // Archived annotations stay retrievable for audit via the raw store.
+  auto archived = Check(engine.annotations()->Get(wrong));
+  std::cout << "\nArchived (still auditable): A" << archived.id << " '"
+            << archived.body << "' archived=" << std::boolalpha << archived.archived
+            << "\n";
+  return 0;
+}

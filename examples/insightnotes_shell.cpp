@@ -1,0 +1,154 @@
+// InsightNotes interactive shell — the CLI stand-in for the Excel-based
+// InsightNotesGate frontend of Figure 5. Supports the full SQL dialect
+// (SELECT / INSERT / CREATE TABLE / ANNOTATE / ZOOMIN / summary DDL) plus
+// shell commands:
+//
+//   .help                 command overview
+//   .demo                 load the AKN-style ornithological demo workload
+//   .tables               list tables
+//   .instances            list summary instances
+//   .trace on|off         toggle under-the-hood operator tracing
+//   .cache                zoom-in cache statistics
+//   .quit
+//
+// Build & run:  ./build/examples/insightnotes_shell
+// Try:          .demo
+//               SELECT id, name, region FROM birds WHERE id < 3;
+//               ZOOMIN REFERENCE QID 101 WHERE id = 0 ON ClassBird1 INDEX 1;
+
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "sql/session.h"
+#include "workload/workload.h"
+
+using namespace insightnotes;
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      "SQL statements (terminate with ';'):\n"
+      "  SELECT [DISTINCT] cols FROM t [alias], ... [WHERE ...] [GROUP BY ...]\n"
+      "         [ORDER BY ...] [LIMIT n];\n"
+      "    WHERE/ORDER BY may use SUMMARY_COUNT(instance[, 'label']) to\n"
+      "    filter/sort by summary contents;\n"
+      "  CREATE TABLE t (col BIGINT|DOUBLE|TEXT, ...);\n"
+      "  INSERT INTO t VALUES (...), (...);\n"
+      "  ANNOTATE t ROW n [COLUMNS (c, ...)] TEXT 'body' [AUTHOR 'a']\n"
+      "           [AS DOCUMENT [TITLE 't']];\n"
+      "  ZOOMIN REFERENCE QID n [WHERE pred] ON instance INDEX k;\n"
+      "  CREATE SUMMARY INSTANCE name CLASSIFIER LABELS ('a', ...)\n"
+      "                              | CLUSTER [THRESHOLD x] | SNIPPET;\n"
+      "  TRAIN SUMMARY name LABEL 'l' WITH 'examples...';\n"
+      "  LINK SUMMARY name TO t;   UNLINK SUMMARY name FROM t;\n"
+      "Shell commands: .help .demo .tables .instances .trace on|off .cache .quit\n";
+}
+
+}  // namespace
+
+int main() {
+  core::Engine engine;
+  if (Status s = engine.Init(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  sql::SqlSession session(&engine);
+  bool tracing = false;
+
+  std::cout << "InsightNotes shell — type .help for commands, .demo for sample data\n";
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "insightnotes> " : "          ...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+
+    if (buffer.empty() && trimmed[0] == '.') {
+      if (trimmed == ".quit" || trimmed == ".exit") break;
+      if (trimmed == ".help") {
+        PrintHelp();
+      } else if (trimmed == ".demo") {
+        workload::WorkloadConfig config;
+        config.num_species = 30;
+        config.annotations_per_tuple = 40;
+        workload::WorkloadBuilder builder(config);
+        auto stats = builder.Build(&engine);
+        if (!stats.ok()) {
+          std::cout << "demo load failed: " << stats.status() << "\n";
+        } else {
+          std::cout << "loaded 'birds': " << stats->num_rows << " rows, "
+                    << stats->num_annotations << " annotations, instances "
+                    << "ClassBird1/ClassBird2/SimCluster/TextSummary1 linked\n";
+        }
+      } else if (trimmed == ".tables") {
+        for (const auto& name : engine.catalog()->TableNames()) {
+          auto table = engine.catalog()->GetTable(name);
+          std::cout << "  " << name << " " << (*table)->schema().ToString() << "  ("
+                    << (*table)->NumRows() << " rows)\n";
+        }
+      } else if (trimmed == ".instances") {
+        for (const auto& name : engine.summaries()->InstanceNames()) {
+          auto instance = engine.summaries()->GetInstance(name);
+          std::cout << "  " << name << " ["
+                    << core::SummaryTypeKindToString((*instance)->type()) << "]\n";
+        }
+      } else if (trimmed == ".trace on") {
+        tracing = true;
+        std::cout << "under-the-hood tracing ON\n";
+      } else if (trimmed == ".trace off") {
+        tracing = false;
+        std::cout << "under-the-hood tracing OFF\n";
+      } else if (trimmed == ".cache") {
+        const auto& stats = engine.cache()->stats();
+        std::cout << "policy=" << core::CachePolicyToString(engine.cache()->policy())
+                  << " budget=" << engine.cache()->budget_bytes()
+                  << "B used=" << stats.bytes_used << "B hits=" << stats.hits
+                  << " misses=" << stats.misses << " evictions=" << stats.evictions
+                  << "\n";
+      } else {
+        std::cout << "unknown command; try .help\n";
+      }
+      continue;
+    }
+
+    buffer += std::string(trimmed);
+    if (buffer.back() != ';') {
+      buffer += " ";
+      continue;  // Multi-line statement.
+    }
+    std::vector<core::TraceEvent> trace;
+    auto out = session.Execute(buffer, tracing ? &trace : nullptr);
+    buffer.clear();
+    if (!out.ok()) {
+      std::cout << "error: " << out.status() << "\n";
+      continue;
+    }
+    if (tracing) {
+      std::string last_op;
+      for (const auto& event : trace) {
+        if (event.op != last_op) {
+          std::cout << "[" << event.op << "]\n";
+          last_op = event.op;
+        }
+        std::cout << "  " << event.tuple
+                  << (event.summaries.empty() ? "" : "  " + event.summaries) << "\n";
+      }
+    }
+    switch (out->kind) {
+      case sql::ExecutionOutput::Kind::kRows:
+        std::cout << sql::FormatResult(out->result);
+        break;
+      case sql::ExecutionOutput::Kind::kZoomIn:
+        std::cout << sql::FormatZoomIn(out->zoom);
+        break;
+      case sql::ExecutionOutput::Kind::kMessage:
+        std::cout << out->message << "\n";
+        break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: the Figure 1 flow in ~60 lines of API calls.
+//
+//   1. Create a table and a few summary instances (classifier, cluster,
+//      snippet) and link them.
+//   2. Add raw annotations; summaries maintain incrementally.
+//   3. Query with summary propagation, then zoom in to raw annotations.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.h"
+#include "sql/session.h"
+
+using namespace insightnotes;
+
+int main() {
+  core::Engine engine;
+  if (Status s = engine.Init(); !s.ok()) {
+    std::cerr << "engine init failed: " << s << "\n";
+    return 1;
+  }
+  sql::SqlSession session(&engine);
+
+  auto run = [&](const std::string& statement) {
+    auto out = session.Execute(statement);
+    if (!out.ok()) {
+      std::cerr << "error: " << out.status() << "\n  in: " << statement << "\n";
+      std::exit(1);
+    }
+    return std::move(*out);
+  };
+
+  // --- Schema, summary instances, links (Figure 4's hierarchy) -------------
+  run("CREATE TABLE birds (id BIGINT, name TEXT, sci_name TEXT, weight DOUBLE)");
+  run("CREATE SUMMARY INSTANCE ClassBird1 CLASSIFIER LABELS "
+      "('Behavior', 'Disease', 'Anatomy', 'Other')");
+  run("TRAIN SUMMARY ClassBird1 LABEL 'Behavior' WITH "
+      "'eating stonewort foraging flying migration nesting'");
+  run("TRAIN SUMMARY ClassBird1 LABEL 'Disease' WITH "
+      "'influenza infection sick parasite lesions'");
+  run("TRAIN SUMMARY ClassBird1 LABEL 'Anatomy' WITH "
+      "'size weight wingspan beak feathers large'");
+  run("TRAIN SUMMARY ClassBird1 LABEL 'Other' WITH 'article wikipedia photo link'");
+  run("CREATE SUMMARY INSTANCE SimCluster CLUSTER THRESHOLD 0.3");
+  run("CREATE SUMMARY INSTANCE TextSummary1 SNIPPET");
+  run("LINK SUMMARY ClassBird1 TO birds");
+  run("LINK SUMMARY SimCluster TO birds");
+  run("LINK SUMMARY TextSummary1 TO birds");
+
+  // --- Data and raw annotations ---------------------------------------------
+  run("INSERT INTO birds VALUES (1, 'Swan Goose', 'Anser cygnoides', 3.2)");
+  run("ANNOTATE birds ROW 0 TEXT 'Large one having size around 3 kilograms' "
+      "AUTHOR 'alice'");
+  run("ANNOTATE birds ROW 0 TEXT 'found eating stonewort near the shore' "
+      "AUTHOR 'bob'");
+  run("ANNOTATE birds ROW 0 TEXT 'observed foraging at dusk' AUTHOR 'carol'");
+  run("ANNOTATE birds ROW 0 COLUMNS (weight) TEXT 'size seems wrong' AUTHOR 'dave'");
+  run("ANNOTATE birds ROW 0 TEXT "
+      "'The swan goose is a large goose with a long neck. It breeds in Mongolia "
+      "and winters in eastern China. The wild population has declined sharply.' "
+      "AS DOCUMENT TITLE 'Wikipedia article'");
+
+  // --- Query: summaries ride along (Figure 1, R.H.S) -------------------------
+  auto result = run("SELECT * FROM birds");
+  std::cout << "=== Query result with annotation summaries ===\n"
+            << sql::FormatResult(result.result) << "\n";
+
+  // --- Zoom in: back to the raw annotations (Figure 3) ----------------------
+  auto zoom = run("ZOOMIN REFERENCE QID " + std::to_string(result.result.qid) +
+                  " ON ClassBird1 INDEX 1");
+  std::cout << "=== Zoom-in: raw 'Behavior' annotations ===\n"
+            << sql::FormatZoomIn(zoom.zoom);
+
+  auto article = run("ZOOMIN REFERENCE QID " + std::to_string(result.result.qid) +
+                     " ON TextSummary1 INDEX 1");
+  std::cout << "\n=== Zoom-in: the attached article behind the snippet ===\n"
+            << sql::FormatZoomIn(article.zoom);
+  return 0;
+}

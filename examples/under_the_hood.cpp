@@ -1,0 +1,154 @@
+// "Under-the-Hood Execution" (Section 3, demonstration feature 3): runs the
+// exact Figure 2 query
+//
+//   SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2
+//
+// and prints every operator's intermediate tuples with their attached
+// summary objects, visualizing how the bottom projections trim annotation
+// effects, how the selection passes summaries through, and how the join
+// merges counterpart summary objects without double counting.
+//
+// Build & run:  ./build/examples/under_the_hood
+
+#include <iostream>
+
+#include "core/engine.h"
+#include "sql/session.h"
+
+using namespace insightnotes;
+
+namespace {
+
+void Die(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  std::exit(1);
+}
+
+template <typename T>
+T Check(Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+
+void Check(const Status& status) {
+  if (!status.ok()) Die(status);
+}
+
+}  // namespace
+
+int main() {
+  core::Engine engine;
+  Check(engine.Init());
+
+  // --- Figure 2's tables and instances --------------------------------------
+  Check(engine
+            .CreateTable("R", rel::Schema({{"a", rel::ValueType::kInt64, "R"},
+                                           {"b", rel::ValueType::kInt64, "R"},
+                                           {"c", rel::ValueType::kString, "R"},
+                                           {"d", rel::ValueType::kString, "R"}}))
+            .status());
+  Check(engine
+            .CreateTable("S", rel::Schema({{"x", rel::ValueType::kInt64, "S"},
+                                           {"y", rel::ValueType::kString, "S"},
+                                           {"z", rel::ValueType::kString, "S"}}))
+            .status());
+  Check(engine.Insert("R", rel::Tuple({rel::Value(int64_t{1}), rel::Value(int64_t{2}),
+                                       rel::Value("c0"), rel::Value("d0")}))
+            .status());
+  Check(engine.Insert("S", rel::Tuple({rel::Value(int64_t{1}), rel::Value("y0"),
+                                       rel::Value("z0")}))
+            .status());
+
+  auto class1 = core::SummaryInstance::MakeClassifier(
+      "ClassBird1", {"Behavior", "Disease", "Anatomy", "Other"});
+  Check(class1->classifier()->Train(0, "eating stonewort foraging flying"));
+  Check(class1->classifier()->Train(1, "influenza infection sick parasite"));
+  Check(class1->classifier()->Train(2, "size weight wingspan beak"));
+  Check(class1->classifier()->Train(3, "article wikipedia photo"));
+  Check(engine.RegisterInstance(std::move(class1)));
+
+  auto class2 = core::SummaryInstance::MakeClassifier(
+      "ClassBird2", {"Provenance", "Comment", "Question"});
+  Check(class2->classifier()->Train(0, "produced experiment lineage derived"));
+  Check(class2->classifier()->Train(1, "observed noted remark general"));
+  Check(class2->classifier()->Train(2, "why unclear question wondering"));
+  Check(engine.RegisterInstance(std::move(class2)));
+  Check(engine.RegisterInstance(core::SummaryInstance::MakeCluster("SimCluster", 0.3)));
+  mining::SnippetOptions snippet_opts;
+  snippet_opts.max_sentences = 1;
+  snippet_opts.max_chars = 80;
+  Check(engine.RegisterInstance(
+      core::SummaryInstance::MakeSnippet("TextSummary1", snippet_opts)));
+
+  Check(engine.LinkInstance("ClassBird1", "R"));
+  Check(engine.LinkInstance("ClassBird2", "R"));
+  Check(engine.LinkInstance("ClassBird2", "S"));
+  Check(engine.LinkInstance("SimCluster", "R"));
+  Check(engine.LinkInstance("SimCluster", "S"));
+  Check(engine.LinkInstance("TextSummary1", "R"));
+
+  // --- Annotations (mirroring Figure 2's coverage mix) -----------------------
+  auto annotate = [&](const std::string& table, std::vector<size_t> columns,
+                      const std::string& body, ann::AnnotationKind kind,
+                      const std::string& title) {
+    core::AnnotateSpec spec;
+    spec.table = table;
+    spec.row = 0;
+    spec.columns = std::move(columns);
+    spec.body = body;
+    spec.kind = kind;
+    spec.title = title;
+    spec.author = "demo";
+    return Check(engine.Annotate(spec));
+  };
+  annotate("R", {0}, "found eating stonewort near the shore",
+           ann::AnnotationKind::kComment, "");
+  annotate("R", {}, "observed flying in the region yesterday",
+           ann::AnnotationKind::kComment, "");
+  annotate("R", {2}, "large one having size around three kilograms",
+           ann::AnnotationKind::kComment, "");
+  annotate("R", {3}, "signs of influenza infection on the beak",
+           ann::AnnotationKind::kComment, "");
+  annotate("R", {2},
+           "The swan goose breeds in Mongolia. It winters in eastern China.",
+           ann::AnnotationKind::kDocument, "Wikipedia article");
+  annotate("R", {0}, "Experiment E produced this reading.",
+           ann::AnnotationKind::kDocument, "Experiment E");
+  auto shared = annotate("R", {}, "produced by experiment lineage pipeline",
+                         ann::AnnotationKind::kComment, "");
+  Check(engine.AttachAnnotation(shared, "S", 0));
+  annotate("S", {0}, "why is this measurement so high",
+           ann::AnnotationKind::kComment, "");
+  annotate("S", {1}, "this column is derived from provenance records",
+           ann::AnnotationKind::kComment, "");
+
+  // --- Execute with the trace sink on ---------------------------------------
+  sql::SqlSession session(&engine);
+  std::vector<core::TraceEvent> trace;
+  auto out = Check(session.Execute(
+      "Select r.a, r.b, s.z From R r, S s Where r.a = s.x And r.b = 2;", &trace));
+
+  std::cout << "Query: SELECT r.a, r.b, s.z FROM R r, S s "
+               "WHERE r.a = s.x AND r.b = 2\n\n";
+  std::cout << "=== Operator-by-operator tuple flow (Figure 2) ===\n";
+  std::string last_op;
+  for (const auto& event : trace) {
+    if (event.op != last_op) {
+      std::cout << "\n[" << event.op << "]\n";
+      last_op = event.op;
+    }
+    std::cout << "  " << event.tuple << "\n";
+    if (!event.summaries.empty()) {
+      std::cout << "    " << event.summaries << "\n";
+    }
+  }
+  std::cout << "\n=== Final result ===\n" << sql::FormatResult(out.result);
+  std::cout << "\nNote how:\n"
+               "  * the projection below the join removed the effect of the\n"
+               "    annotations on r.c, r.d and s.y (counts decrement, the\n"
+               "    Wikipedia snippet disappears, cluster groups shrink);\n"
+               "  * the selection on r.b left summaries untouched;\n"
+               "  * the join merged the two ClassBird2/SimCluster objects,\n"
+               "    counting the shared provenance annotation once.\n";
+  return 0;
+}

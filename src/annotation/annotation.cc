@@ -1,0 +1,25 @@
+#include "annotation/annotation.h"
+
+#include <algorithm>
+
+namespace insightnotes::ann {
+
+bool CellRegion::SurvivesProjection(const std::vector<size_t>& kept) const {
+  if (columns.empty()) return true;  // Whole-row annotation.
+  for (size_t c : columns) {
+    if (std::find(kept.begin(), kept.end(), c) != kept.end()) return true;
+  }
+  return false;
+}
+
+std::string_view AnnotationKindToString(AnnotationKind kind) {
+  switch (kind) {
+    case AnnotationKind::kComment:
+      return "comment";
+    case AnnotationKind::kDocument:
+      return "document";
+  }
+  return "?";
+}
+
+}  // namespace insightnotes::ann

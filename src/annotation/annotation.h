@@ -1,0 +1,58 @@
+// Annotation model: free-text comments and attached documents that users
+// pin to cells or whole rows of base tables. An annotation is a first-class
+// object with identity; one annotation may be attached to many regions
+// (e.g. the same provenance note on every tuple an experiment produced) —
+// the case the paper's AnnotationInvariant/DataInvariant optimization
+// exploits.
+
+#ifndef INSIGHTNOTES_ANNOTATION_ANNOTATION_H_
+#define INSIGHTNOTES_ANNOTATION_ANNOTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rel/table.h"
+#include "rel/tuple.h"
+
+namespace insightnotes::ann {
+
+using AnnotationId = uint64_t;
+inline constexpr AnnotationId kInvalidAnnotationId = static_cast<AnnotationId>(-1);
+
+enum class AnnotationKind : uint8_t {
+  kComment = 0,   // Short free-text observation.
+  kDocument = 1,  // Large attached article/document (snippet-summarized).
+};
+
+struct Annotation {
+  AnnotationId id = kInvalidAnnotationId;
+  AnnotationKind kind = AnnotationKind::kComment;
+  std::string author;
+  int64_t timestamp = 0;  // Seconds since epoch (workload-generated).
+  std::string title;      // Document title; empty for plain comments.
+  std::string body;       // Comment text or full document content.
+  bool archived = false;  // Curation flag: obsolete / proven wrong.
+};
+
+/// The region of a base table an annotation attaches to: a whole row when
+/// `columns` is empty, otherwise the listed column positions of that row.
+struct CellRegion {
+  rel::TableId table = 0;
+  rel::RowId row = rel::kInvalidRowId;
+  std::vector<size_t> columns;  // Sorted, deduplicated; empty = whole row.
+
+  /// True if the annotation remains relevant when only the columns in
+  /// `kept` survive a projection: whole-row annotations always survive;
+  /// cell annotations survive iff they cover at least one kept column.
+  /// (This is the projection semantics of Figure 2 / Theorem 1.)
+  bool SurvivesProjection(const std::vector<size_t>& kept) const;
+
+  friend bool operator==(const CellRegion&, const CellRegion&) = default;
+};
+
+std::string_view AnnotationKindToString(AnnotationKind kind);
+
+}  // namespace insightnotes::ann
+
+#endif  // INSIGHTNOTES_ANNOTATION_ANNOTATION_H_

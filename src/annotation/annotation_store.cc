@@ -1,0 +1,145 @@
+#include "annotation/annotation_store.h"
+
+#include <algorithm>
+
+namespace insightnotes::ann {
+
+namespace {
+
+const std::vector<Attachment> kNoAttachments;
+
+std::vector<size_t> NormalizeColumns(std::vector<size_t> columns) {
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  return columns;
+}
+
+}  // namespace
+
+Result<AnnotationId> AnnotationStore::Add(Annotation note, const CellRegion& region) {
+  if (region.row == rel::kInvalidRowId) {
+    return Status::InvalidArgument("annotation region has no row");
+  }
+  INSIGHTNOTES_ASSIGN_OR_RETURN(storage::RecordId body_rid, bodies_.Append(note.body));
+  AnnotationId id = metas_.size();
+  Meta meta;
+  meta.kind = note.kind;
+  meta.author = std::move(note.author);
+  meta.timestamp = note.timestamp;
+  meta.title = std::move(note.title);
+  meta.body = body_rid;
+  metas_.push_back(std::move(meta));
+  INSIGHTNOTES_RETURN_IF_ERROR(Attach(id, region));
+  return id;
+}
+
+Status AnnotationStore::Attach(AnnotationId id, const CellRegion& region) {
+  if (id >= metas_.size()) {
+    return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
+  }
+  if (region.row == rel::kInvalidRowId) {
+    return Status::InvalidArgument("annotation region has no row");
+  }
+  CellRegion normalized = region;
+  normalized.columns = NormalizeColumns(std::move(normalized.columns));
+
+  Meta& meta = metas_[id];
+  RowKey key{normalized.table, normalized.row};
+  auto& attachments = by_row_[key];
+  // Re-attachment to the same row unions column sets (idempotent).
+  for (Attachment& a : attachments) {
+    if (a.annotation == id) {
+      std::vector<size_t> merged = a.columns;
+      merged.insert(merged.end(), normalized.columns.begin(), normalized.columns.end());
+      // A whole-row attachment (empty set) absorbs any cell attachment.
+      if (a.columns.empty() || normalized.columns.empty()) {
+        a.columns.clear();
+      } else {
+        a.columns = NormalizeColumns(std::move(merged));
+      }
+      for (CellRegion& r : meta.regions) {
+        if (r.table == normalized.table && r.row == normalized.row) {
+          r.columns = a.columns;
+          break;
+        }
+      }
+      return Status::OK();
+    }
+  }
+  attachments.push_back(Attachment{id, normalized.columns});
+  meta.regions.push_back(normalized);
+  ++num_attachments_;
+  return Status::OK();
+}
+
+Result<Annotation> AnnotationStore::Get(AnnotationId id) const {
+  if (id >= metas_.size()) {
+    return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
+  }
+  const Meta& meta = metas_[id];
+  INSIGHTNOTES_ASSIGN_OR_RETURN(std::string body, bodies_.Get(meta.body));
+  Annotation note;
+  note.id = id;
+  note.kind = meta.kind;
+  note.author = meta.author;
+  note.timestamp = meta.timestamp;
+  note.title = meta.title;
+  note.body = std::move(body);
+  note.archived = meta.archived;
+  return note;
+}
+
+const std::vector<Attachment>& AnnotationStore::OnRow(rel::TableId table,
+                                                      rel::RowId row) const {
+  auto it = by_row_.find(RowKey{table, row});
+  return it == by_row_.end() ? kNoAttachments : it->second;
+}
+
+std::vector<AnnotationId> AnnotationStore::OnCell(rel::TableId table, rel::RowId row,
+                                                  size_t column) const {
+  std::vector<AnnotationId> out;
+  for (const Attachment& a : OnRow(table, row)) {
+    if (a.columns.empty() ||
+        std::find(a.columns.begin(), a.columns.end(), column) != a.columns.end()) {
+      out.push_back(a.annotation);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<CellRegion>> AnnotationStore::RegionsOf(AnnotationId id) const {
+  if (id >= metas_.size()) {
+    return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
+  }
+  return metas_[id].regions;
+}
+
+Status AnnotationStore::Archive(AnnotationId id) {
+  if (id >= metas_.size()) {
+    return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
+  }
+  metas_[id].archived = true;
+  return Status::OK();
+}
+
+bool AnnotationStore::IsArchived(AnnotationId id) const {
+  return id < metas_.size() && metas_[id].archived;
+}
+
+void AnnotationStore::ScanTable(
+    rel::TableId table,
+    const std::function<bool(rel::RowId, const Attachment&)>& fn) const {
+  // Deterministic order: collect row keys for this table, sorted by row.
+  std::vector<rel::RowId> rows;
+  for (const auto& [key, attachments] : by_row_) {
+    if (key.first == table && !attachments.empty()) rows.push_back(key.second);
+  }
+  std::sort(rows.begin(), rows.end());
+  for (rel::RowId row : rows) {
+    for (const Attachment& a : by_row_.at(RowKey{table, row})) {
+      if (!fn(row, a)) return;
+    }
+  }
+}
+
+}  // namespace insightnotes::ann

@@ -1,0 +1,102 @@
+// AnnotationStore: the raw-annotation repository. Bodies (which can be
+// multi-page documents) live in a heap file; metadata and the
+// (table, row) -> attachments index live in memory. The summary manager
+// subscribes to insertions; zoom-in resolves summary components back to the
+// raw annotations stored here.
+
+#ifndef INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_
+#define INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotation/annotation.h"
+#include "common/result.h"
+#include "storage/heap_file.h"
+
+namespace insightnotes::ann {
+
+/// An annotation's attachment to one region of one row.
+struct Attachment {
+  AnnotationId annotation = kInvalidAnnotationId;
+  std::vector<size_t> columns;  // Empty = whole row.
+};
+
+class AnnotationStore {
+ public:
+  /// `pool` backs the annotation-body heap file and must outlive the store.
+  explicit AnnotationStore(storage::BufferPool* pool) : bodies_(pool) {}
+
+  AnnotationStore(const AnnotationStore&) = delete;
+  AnnotationStore& operator=(const AnnotationStore&) = delete;
+
+  /// Stores a new annotation and attaches it to `region`. `note.id` is
+  /// assigned by the store; `region.columns` is sorted and deduplicated.
+  Result<AnnotationId> Add(Annotation note, const CellRegion& region);
+
+  /// Attaches an existing annotation to an additional region (shared
+  /// annotations). Idempotent per (annotation, table, row): re-attaching to
+  /// the same row unions the column sets.
+  Status Attach(AnnotationId id, const CellRegion& region);
+
+  /// Full annotation (body materialized from the heap file).
+  Result<Annotation> Get(AnnotationId id) const;
+
+  /// Attachments on a row, in insertion order. Empty vector if none.
+  const std::vector<Attachment>& OnRow(rel::TableId table, rel::RowId row) const;
+
+  /// Annotation ids on a row that cover column `column` (whole-row
+  /// annotations included).
+  std::vector<AnnotationId> OnCell(rel::TableId table, rel::RowId row,
+                                   size_t column) const;
+
+  /// All regions an annotation is attached to.
+  Result<std::vector<CellRegion>> RegionsOf(AnnotationId id) const;
+
+  /// Curation: marks the annotation obsolete. Archived annotations remain
+  /// retrievable (zoom-in shows them flagged) but new summaries skip them.
+  Status Archive(AnnotationId id);
+
+  bool IsArchived(AnnotationId id) const;
+
+  /// Number of distinct annotations.
+  uint64_t NumAnnotations() const { return metas_.size(); }
+
+  /// Number of (annotation, row) attachments.
+  uint64_t NumAttachments() const { return num_attachments_; }
+
+  /// Calls `fn` for each attachment on each row of `table`; stops early on
+  /// false.
+  void ScanTable(rel::TableId table,
+                 const std::function<bool(rel::RowId, const Attachment&)>& fn) const;
+
+ private:
+  struct Meta {
+    AnnotationKind kind;
+    std::string author;
+    int64_t timestamp;
+    std::string title;
+    bool archived = false;
+    storage::RecordId body;
+    std::vector<CellRegion> regions;
+  };
+
+  using RowKey = std::pair<rel::TableId, rel::RowId>;
+  struct RowKeyHash {
+    size_t operator()(const RowKey& k) const {
+      return std::hash<uint64_t>{}((static_cast<uint64_t>(k.first) << 40) ^ k.second);
+    }
+  };
+
+  storage::HeapFile bodies_;
+  std::vector<Meta> metas_;  // Indexed by AnnotationId.
+  std::unordered_map<RowKey, std::vector<Attachment>, RowKeyHash> by_row_;
+  uint64_t num_attachments_ = 0;
+};
+
+}  // namespace insightnotes::ann
+
+#endif  // INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_

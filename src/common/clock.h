@@ -1,0 +1,60 @@
+// Wall-clock timing helpers for benches and the zoom-in cache's recency
+// bookkeeping. The cache takes a Clock interface so tests can inject a
+// deterministic logical clock.
+
+#ifndef INSIGHTNOTES_COMMON_CLOCK_H_
+#define INSIGHTNOTES_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace insightnotes {
+
+/// Abstract monotonically non-decreasing tick source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in nanoseconds from an arbitrary epoch.
+  virtual int64_t NowNanos() = 0;
+};
+
+/// Real steady-clock implementation.
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for tests.
+class ManualClock final : public Clock {
+ public:
+  int64_t NowNanos() override { return now_; }
+  void AdvanceNanos(int64_t delta) { now_ += delta; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Scoped stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace insightnotes
+
+#endif  // INSIGHTNOTES_COMMON_CLOCK_H_

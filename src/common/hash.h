@@ -1,0 +1,34 @@
+// Hashing helpers: FNV-1a for strings/bytes and boost-style hash combining.
+
+#ifndef INSIGHTNOTES_COMMON_HASH_H_
+#define INSIGHTNOTES_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace insightnotes {
+
+/// 64-bit FNV-1a over arbitrary bytes.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+/// Combines `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+inline void HashCombine(uint64_t* seed, const T& value) {
+  *seed ^= std::hash<T>{}(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace insightnotes
+
+#endif  // INSIGHTNOTES_COMMON_HASH_H_

@@ -1,0 +1,42 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace insightnotes {
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return Uniform(n);
+  // Inverse-CDF sampling over H(n, s). For the sizes used here (n up to a
+  // few million), a binary search over the partial harmonic sums computed
+  // with the integral approximation is accurate and fast.
+  // CDF(k) ~= (k^{1-s} - 1) / (n^{1-s} - 1) for s != 1, log form for s == 1.
+  double u = NextDouble();
+  double k;
+  if (std::fabs(s - 1.0) < 1e-9) {
+    // CDF(k) = ln(k+1) / ln(n+1)
+    k = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
+  } else {
+    double one_minus_s = 1.0 - s;
+    double denom = std::pow(static_cast<double>(n) + 1.0, one_minus_s) - 1.0;
+    k = std::pow(u * denom + 1.0, 1.0 / one_minus_s) - 1.0;
+  }
+  auto rank = static_cast<uint64_t>(k);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+size_t Random::Weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) return 0;
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace insightnotes

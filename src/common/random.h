@@ -1,0 +1,57 @@
+// Deterministic PRNG used by the workload generators, tests and benches.
+// A thin splitmix64/xoshiro-style generator: explicit seed, reproducible
+// across platforms (unlike std::default_random_engine distributions).
+
+#ifndef INSIGHTNOTES_COMMON_RANDOM_H_
+#define INSIGHTNOTES_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace insightnotes {
+
+/// Deterministic 64-bit PRNG with convenience samplers. Not cryptographic.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t NextUint64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return NextUint64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n) with skew `s` (s = 0 is uniform).
+  /// Uses inverse-CDF over precomputed weights when n is small, otherwise
+  /// rejection-free approximation via the harmonic CDF.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Samples an index according to non-negative `weights` (need not sum to 1).
+  size_t Weighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace insightnotes
+
+#endif  // INSIGHTNOTES_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// functions throughout InsightNotes (see common/status.h for the error
+// model).
+
+#ifndef INSIGHTNOTES_COMMON_RESULT_H_
+#define INSIGHTNOTES_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace insightnotes {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status. Constructing a Result from
+  /// an OK status is a bug: it would claim success without a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace insightnotes
+
+/// Evaluates `rexpr` (a Result<T>), propagating its Status on error,
+/// otherwise assigning the value to `lhs`. `lhs` may include a declaration,
+/// e.g. INSIGHTNOTES_ASSIGN_OR_RETURN(auto table, catalog.GetTable("r")).
+#define INSIGHTNOTES_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  INSIGHTNOTES_ASSIGN_OR_RETURN_IMPL_(                                     \
+      INSIGHTNOTES_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define INSIGHTNOTES_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                        \
+  if (!result.ok()) return result.status();                     \
+  lhs = std::move(result).value()
+
+#define INSIGHTNOTES_CONCAT_(a, b) INSIGHTNOTES_CONCAT_IMPL_(a, b)
+#define INSIGHTNOTES_CONCAT_IMPL_(a, b) a##b
+
+#endif  // INSIGHTNOTES_COMMON_RESULT_H_

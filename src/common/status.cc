@@ -1,0 +1,67 @@
+#include "common/status.h"
+
+namespace insightnotes {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kNotImplemented:
+      return "not implemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kIoError:
+      return "io error";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kTypeError:
+      return "type error";
+    case StatusCode::kCapacityExceeded:
+      return "capacity exceeded";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_shared<const Rep>(Rep{code, std::move(message)});
+  }
+}
+
+const std::string& Status::message() const {
+  return rep_ == nullptr ? kEmptyString : rep_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code()));
+  result += ": ";
+  result += message();
+  return result;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message();
+  return Status(code(), std::move(msg));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace insightnotes

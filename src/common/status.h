@@ -1,0 +1,127 @@
+// Status: the error-reporting vocabulary type of InsightNotes.
+//
+// Library code does not throw exceptions. Fallible functions return Status
+// (or Result<T>, see common/result.h) and callers propagate with the
+// INSIGHTNOTES_RETURN_IF_ERROR macro. This mirrors the Arrow / RocksDB
+// convention for database systems code.
+
+#ifndef INSIGHTNOTES_COMMON_STATUS_H_
+#define INSIGHTNOTES_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace insightnotes {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kNotImplemented = 5,
+  kInternal = 6,
+  kIoError = 7,
+  kParseError = 8,
+  kTypeError = 9,
+  kCapacityExceeded = 10,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status holds either success (OK) or an error code plus a human-readable
+/// message. OK carries no allocation; error states share an immutable
+/// representation, so Status is cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  /// The error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status whose message is prefixed with `context`.
+  /// OK statuses are returned unchanged.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK. shared_ptr keeps copies cheap; Status is immutable.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace insightnotes
+
+/// Propagates a non-OK Status to the caller.
+#define INSIGHTNOTES_RETURN_IF_ERROR(expr)                  \
+  do {                                                      \
+    ::insightnotes::Status _status = (expr);                \
+    if (!_status.ok()) return _status;                      \
+  } while (false)
+
+#endif  // INSIGHTNOTES_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+// Small string helpers shared across modules.
+
+#ifndef INSIGHTNOTES_COMMON_STRING_UTIL_H_
+#define INSIGHTNOTES_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insightnotes {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits `input` on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view input);
+
+/// ASCII upper-case copy.
+std::string ToUpper(std::string_view input);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Truncates `s` to at most `max_chars` characters, appending "..." when
+/// truncation happened. Used when rendering snippets and representatives.
+std::string Ellipsize(std::string_view s, size_t max_chars);
+
+}  // namespace insightnotes
+
+#endif  // INSIGHTNOTES_COMMON_STRING_UTIL_H_

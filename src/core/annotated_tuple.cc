@@ -1,0 +1,91 @@
+#include "core/annotated_tuple.h"
+
+#include <algorithm>
+
+namespace insightnotes::core {
+
+namespace {
+
+/// Merges `incoming` attachment metadata into `list`, shifting incoming
+/// column positions by `offset`. An annotation present on both sides keeps
+/// one entry with the union of covered columns; whole-row coverage (empty
+/// set) absorbs column sets.
+void MergeAttachments(std::vector<AttachmentInfo>* list,
+                      const std::vector<AttachmentInfo>& incoming, size_t offset) {
+  for (const AttachmentInfo& in : incoming) {
+    std::vector<size_t> shifted;
+    shifted.reserve(in.columns.size());
+    for (size_t c : in.columns) shifted.push_back(c + offset);
+
+    auto existing = std::find_if(list->begin(), list->end(),
+                                 [&](const AttachmentInfo& a) { return a.id == in.id; });
+    if (existing == list->end()) {
+      list->push_back(AttachmentInfo{in.id, std::move(shifted)});
+      continue;
+    }
+    if (existing->columns.empty() || in.columns.empty()) {
+      existing->columns.clear();
+    } else {
+      existing->columns.insert(existing->columns.end(), shifted.begin(), shifted.end());
+      std::sort(existing->columns.begin(), existing->columns.end());
+      existing->columns.erase(
+          std::unique(existing->columns.begin(), existing->columns.end()),
+          existing->columns.end());
+    }
+  }
+}
+
+Status MergeSummaries(AnnotatedTuple* into, const AnnotatedTuple& other) {
+  for (const auto& summary : other.summaries) {
+    SummaryObject* counterpart = into->FindSummary(summary->instance_name());
+    if (counterpart != nullptr) {
+      // Counterpart objects combine (ClassBird2 / SimCluster in Figure 2).
+      INSIGHTNOTES_RETURN_IF_ERROR(counterpart->MergeWith(*summary));
+    } else {
+      // Objects with no counterpart propagate unchanged (ClassBird1,
+      // TextSummary1 in Figure 2).
+      into->summaries.push_back(summary->Clone());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+AnnotatedTuple AnnotatedTuple::Clone() const {
+  AnnotatedTuple copy(tuple);
+  copy.summaries.reserve(summaries.size());
+  for (const auto& s : summaries) copy.summaries.push_back(s->Clone());
+  copy.attachments = attachments;
+  return copy;
+}
+
+SummaryObject* AnnotatedTuple::FindSummary(std::string_view name) const {
+  for (const auto& s : summaries) {
+    if (s->instance_name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+AttachmentInfo* AnnotatedTuple::FindAttachment(ann::AnnotationId id) {
+  for (AttachmentInfo& a : attachments) {
+    if (a.id == id) return &a;
+  }
+  return nullptr;
+}
+
+Status MergeAnnotatedTuples(AnnotatedTuple* left, const AnnotatedTuple& right) {
+  size_t left_width = left->tuple.NumValues();
+  left->tuple = rel::Tuple::Concat(left->tuple, right.tuple);
+  INSIGHTNOTES_RETURN_IF_ERROR(MergeSummaries(left, right));
+  MergeAttachments(&left->attachments, right.attachments, left_width);
+  return Status::OK();
+}
+
+Status MergeForGrouping(AnnotatedTuple* into, const AnnotatedTuple& other) {
+  INSIGHTNOTES_RETURN_IF_ERROR(MergeSummaries(into, other));
+  MergeAttachments(&into->attachments, other.attachments, /*offset=*/0);
+  return Status::OK();
+}
+
+}  // namespace insightnotes::core

@@ -1,0 +1,71 @@
+// AnnotatedTuple: the unit flowing through InsightNotes' extended query
+// pipeline — a data tuple plus (a) its summary objects and (b) compact
+// attachment metadata (annotation id -> covered column positions). The
+// metadata is what lets the projection operator trim exactly the
+// annotations whose columns were projected out, and lets joins avoid double
+// counting annotations shared by both inputs, all without touching the raw
+// annotation repository (Section 2.1).
+
+#ifndef INSIGHTNOTES_CORE_ANNOTATED_TUPLE_H_
+#define INSIGHTNOTES_CORE_ANNOTATED_TUPLE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "annotation/annotation.h"
+#include "common/result.h"
+#include "core/summary_object.h"
+#include "rel/tuple.h"
+
+namespace insightnotes::core {
+
+/// One annotation's coverage of the tuple, in *current output schema*
+/// positions. Empty `columns` = whole-row: survives every projection.
+struct AttachmentInfo {
+  ann::AnnotationId id = ann::kInvalidAnnotationId;
+  std::vector<size_t> columns;
+
+  friend bool operator==(const AttachmentInfo&, const AttachmentInfo&) = default;
+};
+
+/// Move-only; use Clone() for explicit deep copies (summary objects are
+/// owned polymorphic state).
+class AnnotatedTuple {
+ public:
+  AnnotatedTuple() = default;
+  explicit AnnotatedTuple(rel::Tuple tuple) : tuple(std::move(tuple)) {}
+
+  AnnotatedTuple(AnnotatedTuple&&) noexcept = default;
+  AnnotatedTuple& operator=(AnnotatedTuple&&) noexcept = default;
+  AnnotatedTuple(const AnnotatedTuple&) = delete;
+  AnnotatedTuple& operator=(const AnnotatedTuple&) = delete;
+
+  AnnotatedTuple Clone() const;
+
+  /// Summary object produced by instance `name`, or nullptr.
+  SummaryObject* FindSummary(std::string_view name) const;
+
+  /// Attachment record for annotation `id`, or nullptr.
+  AttachmentInfo* FindAttachment(ann::AnnotationId id);
+
+  rel::Tuple tuple;
+  std::vector<std::unique_ptr<SummaryObject>> summaries;
+  std::vector<AttachmentInfo> attachments;
+};
+
+/// Join-merge (Figure 2 step 3): appends `right`'s values to `left`,
+/// merges counterpart summary objects (matched by instance) without double
+/// counting shared annotations, unions non-counterpart objects, and merges
+/// attachment metadata with `right`'s column positions shifted by `left`'s
+/// original width. `left` is modified in place.
+Status MergeAnnotatedTuples(AnnotatedTuple* left, const AnnotatedTuple& right);
+
+/// Grouping/duplicate-elimination merge: like the join merge but the data
+/// tuple of `into` is kept as-is and attachment column positions are
+/// preserved (the inputs share one schema).
+Status MergeForGrouping(AnnotatedTuple* into, const AnnotatedTuple& other);
+
+}  // namespace insightnotes::core
+
+#endif  // INSIGHTNOTES_CORE_ANNOTATED_TUPLE_H_

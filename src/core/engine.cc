@@ -1,0 +1,202 @@
+#include "core/engine.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "exec/seq_scan.h"
+
+namespace insightnotes::core {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+Engine::~Engine() = default;
+
+Status Engine::Init() {
+  INSIGHTNOTES_RETURN_IF_ERROR(disk_.Open(options_.db_path));
+  pool_ = std::make_unique<storage::BufferPool>(&disk_, options_.buffer_pool_pages);
+  catalog_ = std::make_unique<rel::Catalog>(pool_.get());
+  store_ = std::make_unique<ann::AnnotationStore>(pool_.get());
+  manager_ = std::make_unique<SummaryManager>(store_.get());
+  cache_ = std::make_unique<ZoomInCache>(options_.cache_policy,
+                                         options_.cache_budget_bytes,
+                                         options_.cache_path, options_.rco_weights);
+  INSIGHTNOTES_RETURN_IF_ERROR(cache_->Init());
+  return Status::OK();
+}
+
+Result<rel::Table*> Engine::CreateTable(const std::string& name, rel::Schema schema) {
+  return catalog_->CreateTable(name, std::move(schema));
+}
+
+Result<rel::RowId> Engine::Insert(const std::string& table, rel::Tuple tuple) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
+  return t->Insert(tuple);
+}
+
+Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(spec.table));
+  if (!table->IsLive(spec.row)) {
+    return Status::NotFound("row " + std::to_string(spec.row) + " not in table '" +
+                            spec.table + "'");
+  }
+  for (size_t c : spec.columns) {
+    if (c >= table->schema().NumColumns()) {
+      return Status::OutOfRange("column position " + std::to_string(c) +
+                                " outside schema of '" + spec.table + "'");
+    }
+  }
+  ann::Annotation note;
+  note.kind = spec.kind;
+  note.author = spec.author;
+  note.timestamp = spec.timestamp;
+  note.title = spec.title;
+  note.body = spec.body;
+  ann::CellRegion region{table->id(), spec.row, spec.columns};
+  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id, store_->Add(std::move(note), region));
+  INSIGHTNOTES_RETURN_IF_ERROR(manager_->OnAnnotationAttached(id, region));
+  return id;
+}
+
+Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,
+                                rel::RowId row, std::vector<size_t> columns) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
+  if (!t->IsLive(row)) {
+    return Status::NotFound("row " + std::to_string(row) + " not in table '" + table +
+                            "'");
+  }
+  ann::CellRegion region{t->id(), row, std::move(columns)};
+  INSIGHTNOTES_RETURN_IF_ERROR(store_->Attach(id, region));
+  return manager_->OnAnnotationAttached(id, region);
+}
+
+Status Engine::ArchiveAnnotation(ann::AnnotationId id) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(auto regions, store_->RegionsOf(id));
+  INSIGHTNOTES_RETURN_IF_ERROR(store_->Archive(id));
+  // Remove the archived annotation's effect from every affected row.
+  for (const ann::CellRegion& region : regions) {
+    INSIGHTNOTES_RETURN_IF_ERROR(manager_->RebuildRow(region.table, region.row));
+  }
+  return Status::OK();
+}
+
+Status Engine::RegisterInstance(std::unique_ptr<SummaryInstance> instance) {
+  return manager_->RegisterInstance(std::move(instance));
+}
+
+Status Engine::LinkInstance(const std::string& instance, const std::string& table) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
+  return manager_->Link(instance, t->id());
+}
+
+Status Engine::UnlinkInstance(const std::string& instance, const std::string& table) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
+  return manager_->Unlink(instance, t->id());
+}
+
+Result<QueryResult> Engine::Execute(std::unique_ptr<exec::Operator> plan,
+                                    std::vector<TraceEvent>* trace) {
+  if (trace != nullptr) {
+    plan->SetTraceSink([trace](const std::string& op, const AnnotatedTuple& t) {
+      TraceEvent event;
+      event.op = op;
+      event.tuple = t.tuple.ToString();
+      for (const auto& s : t.summaries) {
+        if (!event.summaries.empty()) event.summaries += " ";
+        event.summaries += s->instance_name() + "=" + s->Render();
+      }
+      trace->push_back(std::move(event));
+    });
+  }
+
+  Stopwatch watch;
+  INSIGHTNOTES_RETURN_IF_ERROR(plan->Open());
+  QueryResult result;
+  result.schema = plan->OutputSchema();
+  AnnotatedTuple tuple;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, plan->Next(&tuple));
+    if (!more) break;
+    result.rows.push_back(std::move(tuple));
+    tuple = AnnotatedTuple();
+  }
+  result.execute_seconds = watch.ElapsedSeconds();
+  result.qid = ++next_qid_;
+
+  // Materialize the snapshot into the zoom-in cache and retain the plan for
+  // cache-miss re-execution.
+  INSIGHTNOTES_ASSIGN_OR_RETURN(ResultSnapshot snapshot,
+                                ResultSnapshot::Capture(result.schema, result.rows));
+  INSIGHTNOTES_RETURN_IF_ERROR(
+      cache_->Put(result.qid, snapshot, result.execute_seconds));
+  if (trace != nullptr) plan->SetTraceSink(nullptr);
+  queries_[result.qid] =
+      StoredQuery{std::move(plan), result.schema, result.execute_seconds};
+  return result;
+}
+
+Result<std::unique_ptr<exec::Operator>> Engine::MakeScan(const std::string& table,
+                                                         const std::string& alias,
+                                                         bool with_summaries) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
+  return std::unique_ptr<exec::Operator>(std::make_unique<exec::SeqScanOperator>(
+      t, alias.empty() ? table : alias, manager_.get(), store_.get(), with_summaries));
+}
+
+Result<ResultSnapshot> Engine::SnapshotFor(QueryId qid, bool* from_cache) {
+  auto cached = cache_->Get(qid);
+  if (cached.ok()) {
+    *from_cache = true;
+    return cached;
+  }
+  *from_cache = false;
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) {
+    return Status::NotFound("QID " + std::to_string(qid) + " is unknown");
+  }
+  // Cache miss: transparently re-execute the retained plan.
+  INSIGHTNOTES_LOG(Info) << "zoom-in cache miss for QID " << qid << "; re-executing";
+  StoredQuery& stored = it->second;
+  INSIGHTNOTES_RETURN_IF_ERROR(stored.plan->Open());
+  std::vector<AnnotatedTuple> rows;
+  AnnotatedTuple tuple;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, stored.plan->Next(&tuple));
+    if (!more) break;
+    rows.push_back(std::move(tuple));
+    tuple = AnnotatedTuple();
+  }
+  INSIGHTNOTES_ASSIGN_OR_RETURN(ResultSnapshot snapshot,
+                                ResultSnapshot::Capture(stored.schema, rows));
+  INSIGHTNOTES_RETURN_IF_ERROR(cache_->Put(qid, snapshot, stored.cost));
+  return snapshot;
+}
+
+Result<rel::Schema> Engine::SchemaOf(QueryId qid) const {
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) {
+    return Status::NotFound("QID " + std::to_string(qid) + " is unknown");
+  }
+  return it->second.schema;
+}
+
+Result<ZoomInResult> Engine::ZoomIn(const ZoomInRequest& request) {
+  ZoomInResult result;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(ResultSnapshot snapshot,
+                                SnapshotFor(request.qid, &result.served_from_cache));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(auto matches, ResolveZoomIn(snapshot, request));
+  result.rows.reserve(matches.size());
+  for (auto& [row_index, component] : matches) {
+    ZoomInRowResult row;
+    row.row_index = row_index;
+    row.tuple = snapshot.rows[row_index].tuple;
+    row.component_label = component.label;
+    row.annotations.reserve(component.ids.size());
+    for (ann::AnnotationId id : component.ids) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(ann::Annotation note, store_->Get(id));
+      row.annotations.push_back(std::move(note));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace insightnotes::core

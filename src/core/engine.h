@@ -1,0 +1,148 @@
+// Engine: the public facade of InsightNotes. Wires together the storage
+// substrate, catalog, annotation store, summary manager, query execution,
+// QID registry and the zoom-in cache. Typical flow:
+//
+//   Engine engine;
+//   engine.Init();
+//   engine.CreateTable("birds", schema);
+//   engine.RegisterInstance(SummaryInstance::MakeClassifier(...));
+//   engine.LinkInstance("ClassBird1", "birds");
+//   engine.Annotate({.table = "birds", .row = 0, .body = "eating stonewort"});
+//   auto result = engine.Execute(std::move(plan));       // QID assigned.
+//   auto raw = engine.ZoomIn({.qid = result->qid, ...}); // Raw annotations.
+
+#ifndef INSIGHTNOTES_CORE_ENGINE_H_
+#define INSIGHTNOTES_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/result.h"
+#include "core/rco_cache.h"
+#include "core/summary_manager.h"
+#include "core/zoom_in.h"
+#include "exec/operator.h"
+#include "rel/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace insightnotes::core {
+
+struct EngineOptions {
+  std::string db_path;            // "" = in-memory database file.
+  size_t buffer_pool_pages = 1024;
+  CachePolicy cache_policy = CachePolicy::kRco;
+  size_t cache_budget_bytes = 4 << 20;
+  std::string cache_path;         // "" = in-memory cache backing.
+  RcoWeights rco_weights;
+};
+
+/// One emitted tuple as seen by an operator — the demo's under-the-hood log.
+struct TraceEvent {
+  std::string op;         // Operator name, e.g. "HashJoin(r.a = s.x)".
+  std::string tuple;      // Rendered data values.
+  std::string summaries;  // Rendered summary objects.
+};
+
+struct QueryResult {
+  QueryId qid = 0;
+  rel::Schema schema;
+  std::vector<AnnotatedTuple> rows;
+  double execute_seconds = 0.0;
+};
+
+struct AnnotateSpec {
+  std::string table;
+  rel::RowId row = rel::kInvalidRowId;
+  std::vector<size_t> columns;  // Empty = whole row.
+  std::string body;
+  std::string author = "anonymous";
+  ann::AnnotationKind kind = ann::AnnotationKind::kComment;
+  std::string title;
+  int64_t timestamp = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Status Init();
+
+  // --- Schema & data -------------------------------------------------------
+  Result<rel::Table*> CreateTable(const std::string& name, rel::Schema schema);
+  Result<rel::RowId> Insert(const std::string& table, rel::Tuple tuple);
+
+  // --- Annotations ----------------------------------------------------------
+  /// Adds an annotation and incrementally maintains affected summaries.
+  Result<ann::AnnotationId> Annotate(const AnnotateSpec& spec);
+  /// Attaches an existing annotation to another region (shared annotations).
+  Status AttachAnnotation(ann::AnnotationId id, const std::string& table,
+                          rel::RowId row, std::vector<size_t> columns = {});
+  /// Curation: archive + remove the annotation's effect from summaries.
+  Status ArchiveAnnotation(ann::AnnotationId id);
+
+  // --- Summary instances ----------------------------------------------------
+  Status RegisterInstance(std::unique_ptr<SummaryInstance> instance);
+  Status LinkInstance(const std::string& instance, const std::string& table);
+  Status UnlinkInstance(const std::string& instance, const std::string& table);
+
+  // --- Query execution ------------------------------------------------------
+  /// Runs `plan` to completion, assigns a QID, registers the result in the
+  /// zoom-in cache, and retains the plan for cache-miss re-execution. With
+  /// `trace` non-null, per-operator tuple flow is recorded (Figure 2
+  /// walk-through / demo feature 3).
+  Result<QueryResult> Execute(std::unique_ptr<exec::Operator> plan,
+                              std::vector<TraceEvent>* trace = nullptr);
+
+  /// Builds a summary-aware scan over `table`.
+  Result<std::unique_ptr<exec::Operator>> MakeScan(const std::string& table,
+                                                   const std::string& alias = "",
+                                                   bool with_summaries = true);
+
+  // --- Zoom-in ---------------------------------------------------------------
+  /// Resolves a ZoomIn command: serves the referenced result from the cache
+  /// or transparently re-executes its retained plan, then fetches the raw
+  /// annotations behind the requested summary component.
+  Result<ZoomInResult> ZoomIn(const ZoomInRequest& request);
+
+  /// Output schema of a previously executed query (for binding ZoomIn WHERE
+  /// predicates against the result).
+  Result<rel::Schema> SchemaOf(QueryId qid) const;
+
+  // --- Component access (benches, tests, shell) ------------------------------
+  rel::Catalog* catalog() { return catalog_.get(); }
+  ann::AnnotationStore* annotations() { return store_.get(); }
+  SummaryManager* summaries() { return manager_.get(); }
+  ZoomInCache* cache() { return cache_.get(); }
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+
+ private:
+  struct StoredQuery {
+    std::unique_ptr<exec::Operator> plan;
+    rel::Schema schema;
+    double cost = 0.0;
+  };
+
+  Result<ResultSnapshot> SnapshotFor(QueryId qid, bool* from_cache);
+
+  EngineOptions options_;
+  storage::DiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<rel::Catalog> catalog_;
+  std::unique_ptr<ann::AnnotationStore> store_;
+  std::unique_ptr<SummaryManager> manager_;
+  std::unique_ptr<ZoomInCache> cache_;
+  std::unordered_map<QueryId, StoredQuery> queries_;
+  QueryId next_qid_ = 100;  // Figure 3 shows QIDs starting at 101.
+};
+
+}  // namespace insightnotes::core
+
+#endif  // INSIGHTNOTES_CORE_ENGINE_H_

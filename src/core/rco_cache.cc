@@ -1,0 +1,161 @@
+#include "core/rco_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace insightnotes::core {
+
+std::string_view CachePolicyToString(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kNone:
+      return "none";
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kLfu:
+      return "lfu";
+    case CachePolicy::kRco:
+      return "rco";
+  }
+  return "?";
+}
+
+ZoomInCache::ZoomInCache(CachePolicy policy, size_t budget_bytes,
+                         const std::string& path, RcoWeights weights)
+    : policy_(policy), budget_(budget_bytes), weights_(weights), path_(path) {}
+
+ZoomInCache::~ZoomInCache() {
+  heap_.reset();
+  pool_.reset();
+  Status s = disk_.Close();
+  (void)s;
+  if (!path_.empty()) std::remove(path_.c_str());
+}
+
+Status ZoomInCache::Init() {
+  INSIGHTNOTES_RETURN_IF_ERROR(disk_.Open(path_));
+  // A small frame pool: cache entries stream through rather than reside.
+  pool_ = std::make_unique<storage::BufferPool>(&disk_, 64);
+  heap_ = std::make_unique<storage::HeapFile>(pool_.get());
+  return Status::OK();
+}
+
+Status ZoomInCache::Put(QueryId qid, const ResultSnapshot& snapshot,
+                        double cost_seconds) {
+  if (policy_ == CachePolicy::kNone) {
+    ++stats_.rejected;
+    return Status::OK();
+  }
+  if (heap_ == nullptr) return Status::Internal("cache not initialized");
+  std::string bytes;
+  snapshot.Serialize(&bytes);
+  if (bytes.size() > budget_) {
+    ++stats_.rejected;
+    return Status::OK();  // Larger than the whole cache: never admitted.
+  }
+  // Replace an existing entry for the same result.
+  if (auto it = entries_.find(qid); it != entries_.end()) {
+    INSIGHTNOTES_RETURN_IF_ERROR(heap_->Delete(it->second.record));
+    stats_.bytes_used -= it->second.size;
+    entries_.erase(it);
+  }
+  if (!MakeRoom(bytes.size())) {
+    ++stats_.rejected;
+    return Status::OK();
+  }
+  INSIGHTNOTES_ASSIGN_OR_RETURN(storage::RecordId record, heap_->Append(bytes));
+  Entry entry;
+  entry.record = record;
+  entry.size = bytes.size();
+  entry.cost = cost_seconds;
+  entry.last_ref = ++tick_;
+  entry.ref_count = 1;
+  entries_[qid] = entry;
+  stats_.bytes_used += entry.size;
+  ++stats_.insertions;
+  return Status::OK();
+}
+
+Result<ResultSnapshot> ZoomInCache::Get(QueryId qid) {
+  auto it = entries_.find(qid);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return Status::NotFound("result " + std::to_string(qid) + " not cached");
+  }
+  ++stats_.hits;
+  it->second.last_ref = ++tick_;
+  ++it->second.ref_count;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(std::string bytes, heap_->Get(it->second.record));
+  return ResultSnapshot::Deserialize(bytes);
+}
+
+bool ZoomInCache::MakeRoom(size_t needed) {
+  while (stats_.bytes_used + needed > budget_) {
+    if (entries_.empty()) return false;
+    QueryId victim = PickVictim();
+    auto it = entries_.find(victim);
+    Status s = heap_->Delete(it->second.record);
+    if (!s.ok()) return false;
+    stats_.bytes_used -= it->second.size;
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+QueryId ZoomInCache::PickVictim() const {
+  QueryId victim = entries_.begin()->first;
+  switch (policy_) {
+    case CachePolicy::kLru: {
+      uint64_t oldest = entries_.begin()->second.last_ref;
+      for (const auto& [qid, e] : entries_) {
+        if (e.last_ref < oldest) {
+          oldest = e.last_ref;
+          victim = qid;
+        }
+      }
+      break;
+    }
+    case CachePolicy::kLfu: {
+      uint64_t fewest = entries_.begin()->second.ref_count;
+      for (const auto& [qid, e] : entries_) {
+        if (e.ref_count < fewest) {
+          fewest = e.ref_count;
+          victim = qid;
+        }
+      }
+      break;
+    }
+    case CachePolicy::kRco: {
+      double lowest = RcoScore(entries_.begin()->second);
+      for (const auto& [qid, e] : entries_) {
+        double score = RcoScore(e);
+        if (score < lowest) {
+          lowest = score;
+          victim = qid;
+        }
+      }
+      break;
+    }
+    case CachePolicy::kNone:
+      break;
+  }
+  return victim;
+}
+
+double ZoomInCache::RcoScore(const Entry& e) const {
+  double max_cost = 1e-9;
+  size_t max_size = 1;
+  for (const auto& [qid, other] : entries_) {
+    max_cost = std::max(max_cost, other.cost);
+    max_size = std::max(max_size, other.size);
+  }
+  // Recency in (0, 1]: 1 for the most recent reference.
+  double age = static_cast<double>(tick_ - e.last_ref);
+  double recency = 1.0 / (1.0 + age);
+  double complexity = e.cost / max_cost;
+  double overhead = static_cast<double>(e.size) / static_cast<double>(max_size);
+  return weights_.recency * recency + weights_.complexity * complexity -
+         weights_.overhead * overhead;
+}
+
+}  // namespace insightnotes::core

@@ -1,0 +1,102 @@
+// The zoom-in result cache (Section 2.2): recent query-result snapshots
+// compete for a limited disk-backed budget. Eviction is governed by the
+// paper's RCO policy — Recency, Complexity (cost to recompute the result),
+// Overhead (result size) — with LRU and LFU available as ablation baselines
+// and kNone disabling caching entirely.
+
+#ifndef INSIGHTNOTES_CORE_RCO_CACHE_H_
+#define INSIGHTNOTES_CORE_RCO_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/zoom_in.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+
+namespace insightnotes::core {
+
+enum class CachePolicy : uint8_t { kNone = 0, kLru = 1, kLfu = 2, kRco = 3 };
+
+std::string_view CachePolicyToString(CachePolicy policy);
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected = 0;  // Entries larger than the whole budget.
+  size_t bytes_used = 0;
+};
+
+/// Weights of the RCO score. score(e) = wr*recency(e) + wc*complexity(e)
+/// - wo*overhead(e); the entry with the lowest score is evicted first.
+struct RcoWeights {
+  double recency = 1.0;
+  double complexity = 1.0;
+  double overhead = 0.5;
+};
+
+class ZoomInCache {
+ public:
+  /// `budget_bytes` caps the sum of serialized snapshot sizes. `path` backs
+  /// the cache file ("" = in-memory backing, still exercising the same
+  /// page/heap path).
+  ZoomInCache(CachePolicy policy, size_t budget_bytes, const std::string& path = "",
+              RcoWeights weights = {});
+  ~ZoomInCache();
+
+  ZoomInCache(const ZoomInCache&) = delete;
+  ZoomInCache& operator=(const ZoomInCache&) = delete;
+
+  Status Init();
+
+  /// Admits the snapshot of `qid` with recompute cost `cost_seconds`.
+  /// Snapshots that cannot fit even an empty cache are rejected (counted in
+  /// stats.rejected); under kNone everything is rejected.
+  Status Put(QueryId qid, const ResultSnapshot& snapshot, double cost_seconds);
+
+  /// Fetches the snapshot for `qid`, bumping its recency/frequency. NotFound
+  /// on miss (evicted, rejected, or never inserted).
+  Result<ResultSnapshot> Get(QueryId qid);
+
+  bool Contains(QueryId qid) const { return entries_.contains(qid); }
+
+  const CacheStats& stats() const { return stats_; }
+  CachePolicy policy() const { return policy_; }
+  size_t budget_bytes() const { return budget_; }
+
+ private:
+  struct Entry {
+    storage::RecordId record;
+    size_t size = 0;
+    double cost = 0.0;
+    uint64_t last_ref = 0;  // Logical tick.
+    uint64_t ref_count = 0;
+  };
+
+  /// Evicts entries until `needed` bytes fit. Returns false if impossible.
+  bool MakeRoom(size_t needed);
+  /// Picks the eviction victim under the configured policy.
+  QueryId PickVictim() const;
+  double RcoScore(const Entry& e) const;
+
+  CachePolicy policy_;
+  size_t budget_;
+  RcoWeights weights_;
+  std::string path_;
+  storage::DiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<storage::HeapFile> heap_;
+  std::map<QueryId, Entry> entries_;
+  uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace insightnotes::core
+
+#endif  // INSIGHTNOTES_CORE_RCO_CACHE_H_

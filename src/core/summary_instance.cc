@@ -1,0 +1,104 @@
+#include "core/summary_instance.h"
+
+#include "core/summary_object.h"
+
+namespace insightnotes::core {
+
+std::unique_ptr<SummaryInstance> SummaryInstance::MakeClassifier(
+    std::string name, std::vector<std::string> labels, SummaryProperties properties) {
+  auto instance = std::unique_ptr<SummaryInstance>(new SummaryInstance(
+      std::move(name), SummaryTypeKind::kClassifier, properties));
+  instance->classifier_ =
+      std::make_unique<mining::NaiveBayesClassifier>(std::move(labels));
+  return instance;
+}
+
+std::unique_ptr<SummaryInstance> SummaryInstance::MakeCluster(
+    std::string name, double threshold, SummaryProperties properties) {
+  // Cluster assignment inspects the tuple's existing groups, so the result
+  // of summarizing an annotation is not annotation-invariant by definition.
+  properties.annotation_invariant = false;
+  auto instance = std::unique_ptr<SummaryInstance>(
+      new SummaryInstance(std::move(name), SummaryTypeKind::kCluster, properties));
+  instance->vectorizer_ = std::make_unique<mining::TextVectorizer>();
+  instance->cluster_threshold_ = threshold;
+  return instance;
+}
+
+std::unique_ptr<SummaryInstance> SummaryInstance::MakeSnippet(
+    std::string name, mining::SnippetOptions options, SummaryProperties properties) {
+  auto instance = std::unique_ptr<SummaryInstance>(
+      new SummaryInstance(std::move(name), SummaryTypeKind::kSnippet, properties));
+  instance->extractor_ = std::make_unique<mining::SnippetExtractor>(options);
+  return instance;
+}
+
+std::unique_ptr<SummaryObject> SummaryInstance::NewObject() {
+  switch (type_) {
+    case SummaryTypeKind::kClassifier:
+      return std::make_unique<ClassifierObject>(this);
+    case SummaryTypeKind::kCluster:
+      return std::make_unique<ClusterObject>(this);
+    case SummaryTypeKind::kSnippet:
+      return std::make_unique<SnippetObject>(this);
+  }
+  return nullptr;
+}
+
+size_t SummaryInstance::ClassifyAnnotation(const ann::Annotation& note) {
+  if (properties_.SummarizeOnceEligible()) {
+    auto it = label_cache_.find(note.id);
+    if (it != label_cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  ++cache_misses_;
+  size_t label = classifier_->Classify(note.body);
+  if (properties_.SummarizeOnceEligible()) label_cache_[note.id] = label;
+  return label;
+}
+
+txt::SparseVector SummaryInstance::VectorizeAnnotation(const ann::Annotation& note) {
+  // Vectorization is invariant even when cluster assignment is not. The
+  // vector is ALWAYS retained here — cluster objects resolve member vectors
+  // through this store (GetVector) so they stay lightweight. The invariant
+  // property only controls whether a cached vector is *reused* (the
+  // summarize-once optimization) or recomputed for accounting purposes.
+  auto it = vector_cache_.find(note.id);
+  if (it != vector_cache_.end() && properties_.data_invariant) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  txt::SparseVector vec = vectorizer_->Vectorize(note.body);
+  vector_cache_[note.id] = vec;
+  return vec;
+}
+
+std::string SummaryInstance::SummarizeDocument(const ann::Annotation& note) {
+  if (properties_.SummarizeOnceEligible()) {
+    auto it = snippet_cache_.find(note.id);
+    if (it != snippet_cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+  }
+  ++cache_misses_;
+  std::string snippet = extractor_->Summarize(note.body);
+  if (properties_.SummarizeOnceEligible()) snippet_cache_[note.id] = snippet;
+  return snippet;
+}
+
+const txt::SparseVector* SummaryInstance::GetVector(mining::DocId doc) const {
+  auto it = vector_cache_.find(doc);
+  return it == vector_cache_.end() ? nullptr : &it->second;
+}
+
+void SummaryInstance::ClearCaches() {
+  label_cache_.clear();
+  vector_cache_.clear();
+  snippet_cache_.clear();
+}
+
+}  // namespace insightnotes::core

@@ -1,0 +1,121 @@
+// Level 2 of the summarization hierarchy: summary instances. An instance
+// fixes the algorithm, its configuration (class labels, cluster threshold,
+// snippet limits), training state, and the optimization properties. It owns
+// the shared mining kernels its per-tuple summary objects use, plus the
+// summarize-once caches exploited when the invariant properties hold.
+
+#ifndef INSIGHTNOTES_CORE_SUMMARY_INSTANCE_H_
+#define INSIGHTNOTES_CORE_SUMMARY_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotation/annotation.h"
+#include "common/result.h"
+#include "core/summary_type.h"
+#include "mining/clustering.h"
+#include "mining/naive_bayes.h"
+#include "mining/snippets.h"
+#include "txt/tfidf.h"
+
+namespace insightnotes::core {
+
+class SummaryObject;
+
+/// SummaryInstance doubles as the DocVectorStore of its cluster objects:
+/// document vectors are computed once and held here (the vectorize-once
+/// optimization), so per-tuple cluster objects carry only ids + centroids
+/// and stay cheap to clone through the query pipeline.
+class SummaryInstance : public mining::DocVectorStore {
+ public:
+  /// Classifier instance: labels define the output classes; train via
+  /// `classifier()` before (or while) annotations arrive.
+  static std::unique_ptr<SummaryInstance> MakeClassifier(
+      std::string name, std::vector<std::string> labels,
+      SummaryProperties properties = {});
+
+  /// Cluster instance: `threshold` is the cosine similarity at or above
+  /// which an annotation joins an existing group. Clustering depends on the
+  /// tuple's current groups, so annotation_invariant is forced to false
+  /// (only vectorization is cacheable).
+  static std::unique_ptr<SummaryInstance> MakeCluster(
+      std::string name, double threshold = 0.35, SummaryProperties properties = {});
+
+  /// Snippet instance: summarizes document-kind annotations only.
+  static std::unique_ptr<SummaryInstance> MakeSnippet(
+      std::string name, mining::SnippetOptions options = {},
+      SummaryProperties properties = {});
+
+  SummaryInstance(const SummaryInstance&) = delete;
+  SummaryInstance& operator=(const SummaryInstance&) = delete;
+
+  const std::string& name() const { return name_; }
+  SummaryTypeKind type() const { return type_; }
+  const SummaryProperties& properties() const { return properties_; }
+
+  /// Creates an empty summary object bound to this instance. The object
+  /// holds a non-owning pointer back; the instance must outlive it.
+  std::unique_ptr<SummaryObject> NewObject();
+
+  /// Kernels (null unless the type matches).
+  mining::NaiveBayesClassifier* classifier() { return classifier_.get(); }
+  const mining::NaiveBayesClassifier* classifier() const { return classifier_.get(); }
+  mining::SnippetExtractor* extractor() { return extractor_.get(); }
+  double cluster_threshold() const { return cluster_threshold_; }
+
+  // --- Summarize-once interface used by summary objects -------------------
+  // Each returns the per-annotation summarization result, consulting the
+  // instance-level cache when the properties make the result invariant.
+
+  /// Class label index for `note` (Classifier instances).
+  size_t ClassifyAnnotation(const ann::Annotation& note);
+
+  /// Term vector for `note` (Cluster instances).
+  txt::SparseVector VectorizeAnnotation(const ann::Annotation& note);
+
+  /// Extractive snippet for `note` (Snippet instances).
+  std::string SummarizeDocument(const ann::Annotation& note);
+
+  /// Cache-efficiency counters (experiment E5).
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  void ResetCacheCounters() { cache_hits_ = cache_misses_ = 0; }
+
+  /// Drops all summarize-once cache entries (used by ablation benches on
+  /// classifier/snippet instances; do NOT clear a cluster instance's caches
+  /// while cluster objects for it are alive — they resolve member vectors
+  /// through this store).
+  void ClearCaches();
+
+  /// mining::DocVectorStore: vector of an annotation previously passed to
+  /// VectorizeAnnotation.
+  const txt::SparseVector* GetVector(mining::DocId doc) const override;
+
+ private:
+  SummaryInstance(std::string name, SummaryTypeKind type, SummaryProperties properties)
+      : name_(std::move(name)), type_(type), properties_(properties) {}
+
+  friend class ClusterObject;
+
+  std::string name_;
+  SummaryTypeKind type_;
+  SummaryProperties properties_;
+
+  std::unique_ptr<mining::NaiveBayesClassifier> classifier_;
+  std::unique_ptr<mining::TextVectorizer> vectorizer_;
+  std::unique_ptr<mining::SnippetExtractor> extractor_;
+  double cluster_threshold_ = 0.35;
+
+  // Summarize-once caches, keyed by annotation id.
+  std::unordered_map<ann::AnnotationId, size_t> label_cache_;
+  std::unordered_map<ann::AnnotationId, txt::SparseVector> vector_cache_;
+  std::unordered_map<ann::AnnotationId, std::string> snippet_cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace insightnotes::core
+
+#endif  // INSIGHTNOTES_CORE_SUMMARY_INSTANCE_H_

@@ -1,0 +1,183 @@
+#include "core/summary_manager.h"
+
+#include <algorithm>
+
+namespace insightnotes::core {
+
+Status SummaryManager::RegisterInstance(std::unique_ptr<SummaryInstance> instance) {
+  const std::string& name = instance->name();
+  if (instances_.contains(name)) {
+    return Status::AlreadyExists("summary instance '" + name + "' already registered");
+  }
+  instances_.emplace(name, std::move(instance));
+  return Status::OK();
+}
+
+Result<SummaryInstance*> SummaryManager::GetInstance(const std::string& name) const {
+  auto it = instances_.find(name);
+  if (it == instances_.end()) {
+    return Status::NotFound("summary instance '" + name + "' not registered");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> SummaryManager::InstanceNames() const {
+  std::vector<std::string> names;
+  names.reserve(instances_.size());
+  for (const auto& [name, instance] : instances_) names.push_back(name);
+  return names;
+}
+
+Status SummaryManager::Link(const std::string& instance_name, rel::TableId table) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(SummaryInstance * instance, GetInstance(instance_name));
+  auto& linked = links_[table];
+  if (std::find(linked.begin(), linked.end(), instance) != linked.end()) {
+    return Status::AlreadyExists("instance '" + instance_name +
+                                 "' already linked to table " + std::to_string(table));
+  }
+  linked.push_back(instance);
+  // Summarize the table's existing annotations under the new instance.
+  Status status = Status::OK();
+  store_->ScanTable(table, [&](rel::RowId row, const ann::Attachment& att) {
+    if (store_->IsArchived(att.annotation)) return true;
+    auto note = store_->Get(att.annotation);
+    if (!note.ok()) {
+      status = note.status();
+      return false;
+    }
+    SummaryObject* object = GetOrCreateObject(RowKey{table, row}, instance);
+    Status s = object->AddAnnotation(*note);
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      status = s;
+      return false;
+    }
+    return true;
+  });
+  return status;
+}
+
+Status SummaryManager::Unlink(const std::string& instance_name, rel::TableId table) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(SummaryInstance * instance, GetInstance(instance_name));
+  auto it = links_.find(table);
+  if (it == links_.end()) {
+    return Status::NotFound("instance '" + instance_name + "' not linked to table " +
+                            std::to_string(table));
+  }
+  auto pos = std::find(it->second.begin(), it->second.end(), instance);
+  if (pos == it->second.end()) {
+    return Status::NotFound("instance '" + instance_name + "' not linked to table " +
+                            std::to_string(table));
+  }
+  it->second.erase(pos);
+  // Drop this instance's objects on the table.
+  for (auto& [key, objects] : objects_) {
+    if (key.first != table) continue;
+    objects.erase(std::remove_if(objects.begin(), objects.end(),
+                                 [&](const std::unique_ptr<SummaryObject>& o) {
+                                   return o->instance() == instance;
+                                 }),
+                  objects.end());
+  }
+  return Status::OK();
+}
+
+std::vector<SummaryInstance*> SummaryManager::LinkedTo(rel::TableId table) const {
+  auto it = links_.find(table);
+  return it == links_.end() ? std::vector<SummaryInstance*>{} : it->second;
+}
+
+bool SummaryManager::IsLinked(const std::string& instance_name,
+                              rel::TableId table) const {
+  auto instance = GetInstance(instance_name);
+  if (!instance.ok()) return false;
+  auto it = links_.find(table);
+  if (it == links_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), *instance) != it->second.end();
+}
+
+Status SummaryManager::OnAnnotationAttached(ann::AnnotationId id,
+                                            const ann::CellRegion& region) {
+  if (store_->IsArchived(id)) return Status::OK();
+  auto linked = LinkedTo(region.table);
+  if (linked.empty()) return Status::OK();
+  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::Annotation note, store_->Get(id));
+  RowKey key{region.table, region.row};
+  for (SummaryInstance* instance : linked) {
+    SummaryObject* object = GetOrCreateObject(key, instance);
+    Status s = object->AddAnnotation(note);
+    // Re-attachment to the same row (column-set growth) is not an error.
+    if (!s.ok() && !s.IsAlreadyExists()) return s;
+  }
+  return Status::OK();
+}
+
+Status SummaryManager::RebuildRow(rel::TableId table, rel::RowId row) {
+  RowKey key{table, row};
+  objects_.erase(key);
+  for (const ann::Attachment& att : store_->OnRow(table, row)) {
+    if (store_->IsArchived(att.annotation)) continue;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(ann::Annotation note, store_->Get(att.annotation));
+    for (SummaryInstance* instance : LinkedTo(table)) {
+      SummaryObject* object = GetOrCreateObject(key, instance);
+      Status s = object->AddAnnotation(note);
+      if (!s.ok() && !s.IsAlreadyExists()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status SummaryManager::RebuildTable(rel::TableId table) {
+  std::vector<rel::RowId> rows;
+  store_->ScanTable(table, [&](rel::RowId row, const ann::Attachment&) {
+    if (rows.empty() || rows.back() != row) rows.push_back(row);
+    return true;
+  });
+  // Also clear rows whose objects exist but no longer have annotations.
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->first.first == table &&
+        !std::binary_search(rows.begin(), rows.end(), it->first.second)) {
+      it = objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (rel::RowId row : rows) {
+    INSIGHTNOTES_RETURN_IF_ERROR(RebuildRow(table, row));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::unique_ptr<SummaryObject>>> SummaryManager::SummariesFor(
+    rel::TableId table, rel::RowId row) const {
+  std::vector<std::unique_ptr<SummaryObject>> out;
+  const auto* maintained = RowObjects(table, row);
+  if (maintained != nullptr) {
+    out.reserve(maintained->size());
+    for (const auto& object : *maintained) out.push_back(object->Clone());
+    return out;
+  }
+  // No annotations yet: empty objects, one per linked instance, so queries
+  // always see a uniform summary shape.
+  for (SummaryInstance* instance : LinkedTo(table)) {
+    out.push_back(instance->NewObject());
+  }
+  return out;
+}
+
+const std::vector<std::unique_ptr<SummaryObject>>* SummaryManager::RowObjects(
+    rel::TableId table, rel::RowId row) const {
+  auto it = objects_.find(RowKey{table, row});
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+SummaryObject* SummaryManager::GetOrCreateObject(const RowKey& key,
+                                                 SummaryInstance* instance) {
+  auto& objects = objects_[key];
+  for (const auto& object : objects) {
+    if (object->instance() == instance) return object.get();
+  }
+  objects.push_back(instance->NewObject());
+  return objects.back().get();
+}
+
+}  // namespace insightnotes::core

@@ -1,0 +1,85 @@
+// SummaryManager: instance registry, instance<->relation links (the
+// many-to-many of Figure 4), and incremental maintenance of the per-row
+// summary objects as annotations stream in (Section 2.3).
+
+#ifndef INSIGHTNOTES_CORE_SUMMARY_MANAGER_H_
+#define INSIGHTNOTES_CORE_SUMMARY_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/result.h"
+#include "core/summary_instance.h"
+#include "core/summary_object.h"
+
+namespace insightnotes::core {
+
+class SummaryManager {
+ public:
+  /// `store` must outlive the manager.
+  explicit SummaryManager(ann::AnnotationStore* store) : store_(store) {}
+
+  SummaryManager(const SummaryManager&) = delete;
+  SummaryManager& operator=(const SummaryManager&) = delete;
+
+  // --- Instance registry (level 2) ---------------------------------------
+  Status RegisterInstance(std::unique_ptr<SummaryInstance> instance);
+  Result<SummaryInstance*> GetInstance(const std::string& name) const;
+  std::vector<std::string> InstanceNames() const;
+
+  // --- Links (instance <-> relation, many-to-many) ------------------------
+  /// Linking an instance to a table summarizes all existing annotations on
+  /// that table immediately and maintains them incrementally afterwards.
+  Status Link(const std::string& instance_name, rel::TableId table);
+  /// Unlinking drops the instance's objects on that table.
+  Status Unlink(const std::string& instance_name, rel::TableId table);
+  std::vector<SummaryInstance*> LinkedTo(rel::TableId table) const;
+  bool IsLinked(const std::string& instance_name, rel::TableId table) const;
+
+  // --- Incremental maintenance --------------------------------------------
+  /// Folds annotation `id` (just attached to `region`) into the summary
+  /// objects of that row for every linked instance. Archived annotations
+  /// are skipped. Called by the engine after AnnotationStore::Add/Attach.
+  Status OnAnnotationAttached(ann::AnnotationId id, const ann::CellRegion& region);
+
+  /// Recomputes one row's objects from scratch (the non-incremental
+  /// baseline of experiment E1, and the unarchive path).
+  Status RebuildRow(rel::TableId table, rel::RowId row);
+
+  /// Rebuilds every annotated row of `table`.
+  Status RebuildTable(rel::TableId table);
+
+  // --- Query-time access ----------------------------------------------------
+  /// Deep copies of the row's summary objects (scan operators take these
+  /// into the pipeline). Rows without annotations get empty objects, one
+  /// per linked instance.
+  Result<std::vector<std::unique_ptr<SummaryObject>>> SummariesFor(
+      rel::TableId table, rel::RowId row) const;
+
+  /// The maintained objects themselves (read-only), or nullptr if the row
+  /// has none yet.
+  const std::vector<std::unique_ptr<SummaryObject>>* RowObjects(
+      rel::TableId table, rel::RowId row) const;
+
+  uint64_t NumMaintainedRows() const { return objects_.size(); }
+
+ private:
+  using RowKey = std::pair<rel::TableId, rel::RowId>;
+
+  /// Returns the row's object for `instance`, creating it if needed.
+  SummaryObject* GetOrCreateObject(const RowKey& key, SummaryInstance* instance);
+
+  ann::AnnotationStore* store_;
+  std::map<std::string, std::unique_ptr<SummaryInstance>> instances_;
+  std::map<rel::TableId, std::vector<SummaryInstance*>> links_;
+  // Maintained per-row summary objects, one per linked instance.
+  std::map<RowKey, std::vector<std::unique_ptr<SummaryObject>>> objects_;
+};
+
+}  // namespace insightnotes::core
+
+#endif  // INSIGHTNOTES_CORE_SUMMARY_MANAGER_H_

@@ -1,0 +1,298 @@
+#include "core/summary_object.h"
+
+#include <algorithm>
+
+namespace insightnotes::core {
+
+namespace {
+
+/// Inserts `id` into sorted `ids` if absent; returns false if present.
+bool InsertSorted(std::vector<ann::AnnotationId>* ids, ann::AnnotationId id) {
+  auto it = std::lower_bound(ids->begin(), ids->end(), id);
+  if (it != ids->end() && *it == id) return false;
+  ids->insert(it, id);
+  return true;
+}
+
+bool EraseSorted(std::vector<ann::AnnotationId>* ids, ann::AnnotationId id) {
+  auto it = std::lower_bound(ids->begin(), ids->end(), id);
+  if (it == ids->end() || *it != id) return false;
+  ids->erase(it);
+  return true;
+}
+
+Status CheckSameInstance(const SummaryObject& a, const SummaryObject& b) {
+  if (a.instance() != b.instance()) {
+    return Status::InvalidArgument("cannot merge summary objects of instances '" +
+                                   a.instance_name() + "' and '" +
+                                   b.instance_name() + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- ClassifierObject -------------------------------------------------------
+
+ClassifierObject::ClassifierObject(SummaryInstance* instance)
+    : SummaryObject(instance),
+      ids_per_label_(std::make_shared<LabelIds>(instance->classifier()->num_labels())) {}
+
+ClassifierObject::LabelIds& ClassifierObject::Own() {
+  if (ids_per_label_.use_count() > 1) {
+    ids_per_label_ = std::make_shared<LabelIds>(*ids_per_label_);
+  }
+  return *ids_per_label_;
+}
+
+Status ClassifierObject::AddAnnotation(const ann::Annotation& note) {
+  size_t label = instance_->ClassifyAnnotation(note);
+  if (label >= ids_per_label_->size()) {
+    return Status::Internal("classifier produced out-of-range label");
+  }
+  if (!InsertSorted(&Own()[label], note.id)) {
+    return Status::AlreadyExists("annotation " + std::to_string(note.id) +
+                                 " already summarized");
+  }
+  return Status::OK();
+}
+
+Status ClassifierObject::RemoveAnnotation(ann::AnnotationId id) {
+  if (!Contains(id)) {
+    return Status::NotFound("annotation " + std::to_string(id) +
+                            " not in classifier object");
+  }
+  for (auto& ids : Own()) {
+    if (EraseSorted(&ids, id)) return Status::OK();
+  }
+  return Status::NotFound("annotation " + std::to_string(id) +
+                          " not in classifier object");
+}
+
+bool ClassifierObject::Contains(ann::AnnotationId id) const {
+  for (const auto& ids : *ids_per_label_) {
+    if (std::binary_search(ids.begin(), ids.end(), id)) return true;
+  }
+  return false;
+}
+
+Status ClassifierObject::MergeWith(const SummaryObject& other) {
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckSameInstance(*this, other));
+  const auto& rhs = static_cast<const ClassifierObject&>(other);
+  LabelIds& mine = Own();
+  for (size_t label = 0; label < mine.size(); ++label) {
+    for (ann::AnnotationId id : (*rhs.ids_per_label_)[label]) {
+      // Shared annotations (present on both sides) are counted once.
+      InsertSorted(&mine[label], id);
+    }
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<SummaryObject> ClassifierObject::Clone() const {
+  return std::make_unique<ClassifierObject>(*this);
+}
+
+size_t ClassifierObject::NumAnnotations() const {
+  size_t n = 0;
+  for (const auto& ids : *ids_per_label_) n += ids.size();
+  return n;
+}
+
+size_t ClassifierObject::NumComponents() const { return ids_per_label_->size(); }
+
+Result<std::string> ClassifierObject::ComponentLabel(size_t index) const {
+  if (index >= ids_per_label_->size()) {
+    return Status::OutOfRange("classifier has no component " + std::to_string(index));
+  }
+  return instance_->classifier()->labels()[index];
+}
+
+Result<std::vector<ann::AnnotationId>> ClassifierObject::ZoomIn(size_t index) const {
+  if (index >= ids_per_label_->size()) {
+    return Status::OutOfRange("classifier has no component " + std::to_string(index));
+  }
+  return (*ids_per_label_)[index];
+}
+
+std::string ClassifierObject::Render() const {
+  std::string out = "[";
+  const auto& labels = instance_->classifier()->labels();
+  for (size_t i = 0; i < ids_per_label_->size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(" + labels[i] + ", " + std::to_string((*ids_per_label_)[i].size()) + ")";
+  }
+  out += "]";
+  return out;
+}
+
+size_t ClassifierObject::LabelCount(size_t index) const {
+  return index < ids_per_label_->size() ? (*ids_per_label_)[index].size() : 0;
+}
+
+// --- ClusterObject ----------------------------------------------------------
+
+ClusterObject::ClusterObject(SummaryInstance* instance)
+    : SummaryObject(instance),
+      clusters_(std::make_shared<mining::ClusterSet>(instance->cluster_threshold(),
+                                                     /*store=*/instance)) {}
+
+mining::ClusterSet& ClusterObject::Own() {
+  if (clusters_.use_count() > 1) {
+    clusters_ = std::make_shared<mining::ClusterSet>(*clusters_);
+  }
+  return *clusters_;
+}
+
+Status ClusterObject::AddAnnotation(const ann::Annotation& note) {
+  txt::SparseVector vec = instance_->VectorizeAnnotation(note);
+  return Own().Add(note.id, vec).status();
+}
+
+Status ClusterObject::RemoveAnnotation(ann::AnnotationId id) {
+  if (!clusters_->Contains(id)) {
+    return Status::NotFound("document " + std::to_string(id) + " not clustered");
+  }
+  return Own().Remove(id);
+}
+
+bool ClusterObject::Contains(ann::AnnotationId id) const {
+  return clusters_->Contains(id);
+}
+
+Status ClusterObject::MergeWith(const SummaryObject& other) {
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckSameInstance(*this, other));
+  const auto& rhs = static_cast<const ClusterObject&>(other);
+  return Own().Merge(*rhs.clusters_);
+}
+
+std::unique_ptr<SummaryObject> ClusterObject::Clone() const {
+  return std::make_unique<ClusterObject>(*this);
+}
+
+size_t ClusterObject::NumAnnotations() const { return clusters_->NumDocuments(); }
+
+size_t ClusterObject::NumComponents() const { return clusters_->NumGroups(); }
+
+Result<std::string> ClusterObject::ComponentLabel(size_t index) const {
+  if (index >= clusters_->NumGroups()) {
+    return Status::OutOfRange("cluster object has no group " + std::to_string(index));
+  }
+  const mining::ClusterGroup& g = clusters_->groups()[index];
+  return "A" + std::to_string(g.representative) + " x" + std::to_string(g.size());
+}
+
+Result<std::vector<ann::AnnotationId>> ClusterObject::ZoomIn(size_t index) const {
+  return clusters_->GroupMembers(index);
+}
+
+std::string ClusterObject::Render() const {
+  std::string out = "{";
+  for (size_t i = 0; i < clusters_->NumGroups(); ++i) {
+    if (i > 0) out += ", ";
+    out += *ComponentLabel(i);
+  }
+  out += "}";
+  return out;
+}
+
+// --- SnippetObject ----------------------------------------------------------
+
+SnippetObject::SnippetObject(SummaryInstance* instance)
+    : SummaryObject(instance), entries_(std::make_shared<std::vector<Entry>>()) {}
+
+std::vector<SnippetObject::Entry>& SnippetObject::Own() {
+  if (entries_.use_count() > 1) {
+    entries_ = std::make_shared<std::vector<Entry>>(*entries_);
+  }
+  return *entries_;
+}
+
+Status SnippetObject::AddAnnotation(const ann::Annotation& note) {
+  if (note.kind != ann::AnnotationKind::kDocument) {
+    return Status::OK();  // Snippet instances only summarize documents.
+  }
+  if (Contains(note.id)) {
+    return Status::AlreadyExists("document " + std::to_string(note.id) +
+                                 " already summarized");
+  }
+  Entry entry;
+  entry.id = note.id;
+  entry.title = note.title;
+  entry.snippet = instance_->SummarizeDocument(note);
+  auto& entries = Own();
+  auto it = std::lower_bound(entries.begin(), entries.end(), note.id,
+                             [](const Entry& e, ann::AnnotationId id) { return e.id < id; });
+  entries.insert(it, std::move(entry));
+  return Status::OK();
+}
+
+Status SnippetObject::RemoveAnnotation(ann::AnnotationId id) {
+  if (!Contains(id)) {
+    // Non-document annotations never contributed: removing their effect is
+    // a no-op by design (the projection trim removes blindly by id).
+    return Status::OK();
+  }
+  auto& entries = Own();
+  auto it = std::lower_bound(entries.begin(), entries.end(), id,
+                             [](const Entry& e, ann::AnnotationId i) { return e.id < i; });
+  entries.erase(it);
+  return Status::OK();
+}
+
+bool SnippetObject::Contains(ann::AnnotationId id) const {
+  auto it = std::lower_bound(entries_->begin(), entries_->end(), id,
+                             [](const Entry& e, ann::AnnotationId i) { return e.id < i; });
+  return it != entries_->end() && it->id == id;
+}
+
+Status SnippetObject::MergeWith(const SummaryObject& other) {
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckSameInstance(*this, other));
+  const auto& rhs = static_cast<const SnippetObject&>(other);
+  if (rhs.entries_->empty()) return Status::OK();
+  auto& entries = Own();
+  for (const Entry& e : *rhs.entries_) {
+    auto it = std::lower_bound(entries.begin(), entries.end(), e.id,
+                               [](const Entry& x, ann::AnnotationId i) { return x.id < i; });
+    if (it != entries.end() && it->id == e.id) continue;  // Shared document.
+    entries.insert(it, e);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<SummaryObject> SnippetObject::Clone() const {
+  return std::make_unique<SnippetObject>(*this);
+}
+
+size_t SnippetObject::NumAnnotations() const { return entries_->size(); }
+
+size_t SnippetObject::NumComponents() const { return entries_->size(); }
+
+Result<std::string> SnippetObject::ComponentLabel(size_t index) const {
+  if (index >= entries_->size()) {
+    return Status::OutOfRange("snippet object has no component " +
+                              std::to_string(index));
+  }
+  const Entry& e = (*entries_)[index];
+  return e.title.empty() ? ("doc " + std::to_string(e.id)) : e.title;
+}
+
+Result<std::vector<ann::AnnotationId>> SnippetObject::ZoomIn(size_t index) const {
+  if (index >= entries_->size()) {
+    return Status::OutOfRange("snippet object has no component " +
+                              std::to_string(index));
+  }
+  return std::vector<ann::AnnotationId>{(*entries_)[index].id};
+}
+
+std::string SnippetObject::Render() const {
+  std::string out = "[";
+  for (size_t i = 0; i < entries_->size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + (*entries_)[i].snippet + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace insightnotes::core

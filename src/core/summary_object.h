@@ -1,0 +1,171 @@
+// Level 3 of the summarization hierarchy: per-tuple summary objects and
+// their query-time algebra. Every object supports the closed operation set
+// the extended operators need (Section 2.1):
+//
+//   AddAnnotation     — incremental maintenance on annotation insert;
+//   RemoveAnnotation  — projection trim: eliminate one annotation's effect
+//                       (Figure 2 step 1, incl. representative re-election);
+//   MergeWith         — join/grouping/duplicate-elimination merge that never
+//                       double-counts an annotation attached to both inputs
+//                       (Figure 2's "22 instead of 27" case);
+//   ZoomIn            — map a summary component back to the exact raw
+//                       annotation ids behind it (Section 2.2).
+//
+// Because the algebra is closed, summary processing can be plugged in at
+// any stage of a query plan — the paper's pipelining contribution.
+
+#ifndef INSIGHTNOTES_CORE_SUMMARY_OBJECT_H_
+#define INSIGHTNOTES_CORE_SUMMARY_OBJECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annotation/annotation.h"
+#include "common/result.h"
+#include "core/summary_instance.h"
+#include "core/summary_type.h"
+#include "mining/clustering.h"
+
+namespace insightnotes::core {
+
+class SummaryObject {
+ public:
+  virtual ~SummaryObject() = default;
+
+  /// The instance (level 2) this object was produced by. Counterpart
+  /// matching during merges is by instance name.
+  SummaryInstance* instance() const { return instance_; }
+  const std::string& instance_name() const { return instance_->name(); }
+  SummaryTypeKind type() const { return instance_->type(); }
+
+  /// Folds a new annotation into the summary.
+  virtual Status AddAnnotation(const ann::Annotation& note) = 0;
+
+  /// Removes one annotation's effect; NotFound if it never contributed
+  /// (snippet objects ignore non-document annotations, so removal of one is
+  /// a no-op OK).
+  virtual Status RemoveAnnotation(ann::AnnotationId id) = 0;
+
+  /// True if `id` currently contributes to this summary.
+  virtual bool Contains(ann::AnnotationId id) const = 0;
+
+  /// Merges `other` (same instance) into this object without double
+  /// counting shared annotation ids.
+  virtual Status MergeWith(const SummaryObject& other) = 0;
+
+  virtual std::unique_ptr<SummaryObject> Clone() const = 0;
+
+  /// Number of distinct annotations contributing.
+  virtual size_t NumAnnotations() const = 0;
+
+  // --- Zoom-in surface ----------------------------------------------------
+  /// Components are the user-visible parts of a summary: class labels for
+  /// classifiers, groups for clusters, snippets for snippet objects.
+  virtual size_t NumComponents() const = 0;
+  virtual Result<std::string> ComponentLabel(size_t index) const = 0;
+  /// Raw annotation ids behind component `index`.
+  virtual Result<std::vector<ann::AnnotationId>> ZoomIn(size_t index) const = 0;
+
+  /// Display form, e.g. "[(Behavior, 33), (Disease, 8), ...]".
+  virtual std::string Render() const = 0;
+
+ protected:
+  explicit SummaryObject(SummaryInstance* instance) : instance_(instance) {}
+  SummaryObject(const SummaryObject&) = default;
+
+  SummaryInstance* instance_;  // Not owned; outlives the object.
+};
+
+// The concrete objects below use copy-on-write state: Clone() (what scans
+// and selections do for every tuple) is O(1); a private copy is taken only
+// when an operator actually mutates the summary (projection trim, join
+// merge). This is what keeps summary propagation cheap relative to
+// raw-annotation propagation regardless of the annotation volume.
+
+/// Classifier-type object: per-label annotation counts + id lists.
+class ClassifierObject final : public SummaryObject {
+ public:
+  explicit ClassifierObject(SummaryInstance* instance);
+
+  Status AddAnnotation(const ann::Annotation& note) override;
+  Status RemoveAnnotation(ann::AnnotationId id) override;
+  bool Contains(ann::AnnotationId id) const override;
+  Status MergeWith(const SummaryObject& other) override;
+  std::unique_ptr<SummaryObject> Clone() const override;
+  size_t NumAnnotations() const override;
+  size_t NumComponents() const override;
+  Result<std::string> ComponentLabel(size_t index) const override;
+  Result<std::vector<ann::AnnotationId>> ZoomIn(size_t index) const override;
+  std::string Render() const override;
+
+  /// Count for label `index` (0 for out-of-range).
+  size_t LabelCount(size_t index) const;
+
+ private:
+  using LabelIds = std::vector<std::vector<ann::AnnotationId>>;
+  /// Takes a private copy of the shared state before mutation.
+  LabelIds& Own();
+
+  // ids_per_label_[label] is sorted ascending. Shared between clones until
+  // one of them mutates.
+  std::shared_ptr<LabelIds> ids_per_label_;
+};
+
+/// Cluster-type object: groups of similar annotations with an elected
+/// representative per group (rendered as "{A<rep> x<size>}").
+class ClusterObject final : public SummaryObject {
+ public:
+  explicit ClusterObject(SummaryInstance* instance);
+
+  Status AddAnnotation(const ann::Annotation& note) override;
+  Status RemoveAnnotation(ann::AnnotationId id) override;
+  bool Contains(ann::AnnotationId id) const override;
+  Status MergeWith(const SummaryObject& other) override;
+  std::unique_ptr<SummaryObject> Clone() const override;
+  size_t NumAnnotations() const override;
+  size_t NumComponents() const override;
+  Result<std::string> ComponentLabel(size_t index) const override;
+  Result<std::vector<ann::AnnotationId>> ZoomIn(size_t index) const override;
+  std::string Render() const override;
+
+  const mining::ClusterSet& clusters() const { return *clusters_; }
+
+ private:
+  mining::ClusterSet& Own();
+
+  std::shared_ptr<mining::ClusterSet> clusters_;  // COW.
+};
+
+/// Snippet-type object: one extractive snippet per document annotation.
+/// Comment-kind annotations do not contribute.
+class SnippetObject final : public SummaryObject {
+ public:
+  explicit SnippetObject(SummaryInstance* instance);
+
+  Status AddAnnotation(const ann::Annotation& note) override;
+  Status RemoveAnnotation(ann::AnnotationId id) override;
+  bool Contains(ann::AnnotationId id) const override;
+  Status MergeWith(const SummaryObject& other) override;
+  std::unique_ptr<SummaryObject> Clone() const override;
+  size_t NumAnnotations() const override;
+  size_t NumComponents() const override;
+  Result<std::string> ComponentLabel(size_t index) const override;
+  Result<std::vector<ann::AnnotationId>> ZoomIn(size_t index) const override;
+  std::string Render() const override;
+
+ private:
+  struct Entry {
+    ann::AnnotationId id;
+    std::string title;
+    std::string snippet;
+  };
+  std::vector<Entry>& Own();
+
+  // Sorted by id (deterministic rendering). Shared between clones (COW).
+  std::shared_ptr<std::vector<Entry>> entries_;
+};
+
+}  // namespace insightnotes::core
+
+#endif  // INSIGHTNOTES_CORE_SUMMARY_OBJECT_H_

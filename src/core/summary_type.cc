@@ -1,0 +1,17 @@
+#include "core/summary_type.h"
+
+namespace insightnotes::core {
+
+std::string_view SummaryTypeKindToString(SummaryTypeKind kind) {
+  switch (kind) {
+    case SummaryTypeKind::kClassifier:
+      return "Classifier";
+    case SummaryTypeKind::kCluster:
+      return "Cluster";
+    case SummaryTypeKind::kSnippet:
+      return "Snippet";
+  }
+  return "?";
+}
+
+}  // namespace insightnotes::core

@@ -1,0 +1,37 @@
+// Level 1 of the InsightNotes summarization hierarchy (Figure 4): the
+// summary *types* built into the engine — Classifier, Cluster and Snippet.
+// Domain admins instantiate them as summary *instances* (level 2,
+// summary_instance.h); per-tuple summarization output forms the summary
+// *objects* (level 3, summary_object.h).
+
+#ifndef INSIGHTNOTES_CORE_SUMMARY_TYPE_H_
+#define INSIGHTNOTES_CORE_SUMMARY_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace insightnotes::core {
+
+enum class SummaryTypeKind : uint8_t {
+  kClassifier = 0,
+  kCluster = 1,
+  kSnippet = 2,
+};
+
+std::string_view SummaryTypeKindToString(SummaryTypeKind kind);
+
+/// Instance properties steering the engine's maintenance optimizations
+/// (Section 2.3). AnnotationInvariant: summarizing a new annotation does not
+/// depend on the tuple's existing annotations. DataInvariant: it does not
+/// depend on the tuple's data values. When both hold, a shared annotation is
+/// summarized once and the result is reused on every tuple it is attached to.
+struct SummaryProperties {
+  bool annotation_invariant = true;
+  bool data_invariant = true;
+
+  bool SummarizeOnceEligible() const { return annotation_invariant && data_invariant; }
+};
+
+}  // namespace insightnotes::core
+
+#endif  // INSIGHTNOTES_CORE_SUMMARY_TYPE_H_

@@ -1,0 +1,210 @@
+#include "exec/aggregate.h"
+
+#include <unordered_map>
+
+namespace insightnotes::exec {
+
+std::string_view AggregateFunctionToString(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kCountStar:
+      return "COUNT(*)";
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+    case AggregateFunction::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+AggregateOperator::AggregateOperator(std::unique_ptr<Operator> child,
+                                     std::vector<rel::ExprPtr> group_exprs,
+                                     std::vector<rel::Column> group_columns,
+                                     std::vector<AggregateItem> aggregates)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggregates_(std::move(aggregates)) {
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    rel::Column column = i < group_columns.size()
+                             ? group_columns[i]
+                             : rel::Column{group_exprs_[i]->ToString(),
+                                           rel::ValueType::kNull, ""};
+    if (column.type == rel::ValueType::kNull) {
+      // Infer the type when grouping by a plain child column.
+      std::vector<size_t> refs;
+      group_exprs_[i]->CollectColumnRefs(&refs);
+      if (refs.size() == 1 && refs[0] < child_->OutputSchema().NumColumns()) {
+        column.type = child_->OutputSchema().ColumnAt(refs[0]).type;
+      }
+    }
+    schema_.AddColumn(std::move(column));
+  }
+  for (const AggregateItem& item : aggregates_) {
+    rel::ValueType type = (item.fn == AggregateFunction::kCount ||
+                           item.fn == AggregateFunction::kCountStar)
+                              ? rel::ValueType::kInt64
+                              : rel::ValueType::kNull;
+    schema_.AddColumn(rel::Column{item.output_name, type, ""});
+  }
+}
+
+Status AggregateOperator::Open() {
+  INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
+  groups_.clear();
+  cursor_ = 0;
+
+  std::unordered_map<rel::Tuple, size_t,
+                     decltype([](const rel::Tuple& t) { return static_cast<size_t>(t.Hash()); })>
+      index;
+  core::AnnotatedTuple in;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    rel::Tuple key;
+    for (const auto& expr : group_exprs_) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value v, expr->Evaluate(in.tuple));
+      key.Append(std::move(v));
+    }
+    auto [it, inserted] = index.emplace(key, groups_.size());
+    if (inserted) {
+      Group group;
+      group.merged = core::AnnotatedTuple(key);
+      group.merged.summaries.reserve(in.summaries.size());
+      for (const auto& s : in.summaries) group.merged.summaries.push_back(s->Clone());
+      // Grouped outputs expose aggregate columns, not the original ones:
+      // annotation coverage degrades to whole-row.
+      for (const core::AttachmentInfo& att : in.attachments) {
+        group.merged.attachments.push_back(core::AttachmentInfo{att.id, {}});
+      }
+      group.states.resize(aggregates_.size());
+      INSIGHTNOTES_RETURN_IF_ERROR(Accumulate(&group, in));
+      groups_.push_back(std::move(group));
+    } else {
+      Group& group = groups_[it->second];
+      core::AnnotatedTuple stripped;
+      stripped.tuple = in.tuple;
+      stripped.summaries = std::move(in.summaries);
+      for (const core::AttachmentInfo& att : in.attachments) {
+        stripped.attachments.push_back(core::AttachmentInfo{att.id, {}});
+      }
+      INSIGHTNOTES_RETURN_IF_ERROR(core::MergeForGrouping(&group.merged, stripped));
+      INSIGHTNOTES_RETURN_IF_ERROR(Accumulate(&group, in));
+    }
+    in = core::AnnotatedTuple();
+  }
+
+  // Global aggregate over empty input still emits one row of zero counts.
+  if (groups_.empty() && group_exprs_.empty()) {
+    Group group;
+    group.states.resize(aggregates_.size());
+    groups_.push_back(std::move(group));
+  }
+  return Status::OK();
+}
+
+Status AggregateOperator::Accumulate(Group* group, const core::AnnotatedTuple& in) {
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggregateItem& item = aggregates_[i];
+    AggState& state = group->states[i];
+    if (item.fn == AggregateFunction::kCountStar) {
+      ++state.count;
+      continue;
+    }
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value v, item.arg->Evaluate(in.tuple));
+    if (v.is_null()) continue;  // SQL semantics: NULLs ignored.
+    ++state.count;
+    switch (item.fn) {
+      case AggregateFunction::kCount:
+        break;
+      case AggregateFunction::kSum:
+      case AggregateFunction::kAvg: {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(double d, v.ToNumeric());
+        state.sum += d;
+        if (v.type() == rel::ValueType::kInt64) {
+          state.isum += v.AsInt64();
+        } else {
+          state.sum_is_int = false;
+        }
+        break;
+      }
+      case AggregateFunction::kMin: {
+        if (state.min.is_null()) {
+          state.min = v;
+        } else {
+          INSIGHTNOTES_ASSIGN_OR_RETURN(int c, v.Compare(state.min));
+          if (c < 0) state.min = v;
+        }
+        break;
+      }
+      case AggregateFunction::kMax: {
+        if (state.max.is_null()) {
+          state.max = v;
+        } else {
+          INSIGHTNOTES_ASSIGN_OR_RETURN(int c, v.Compare(state.max));
+          if (c > 0) state.max = v;
+        }
+        break;
+      }
+      case AggregateFunction::kCountStar:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<rel::Value> AggregateOperator::Finalize(const AggState& state,
+                                               AggregateFunction fn) const {
+  switch (fn) {
+    case AggregateFunction::kCountStar:
+    case AggregateFunction::kCount:
+      return rel::Value(state.count);
+    case AggregateFunction::kSum:
+      if (state.count == 0) return rel::Value::Null();
+      return state.sum_is_int ? rel::Value(state.isum) : rel::Value(state.sum);
+    case AggregateFunction::kAvg:
+      if (state.count == 0) return rel::Value::Null();
+      return rel::Value(state.sum / static_cast<double>(state.count));
+    case AggregateFunction::kMin:
+      return state.min;
+    case AggregateFunction::kMax:
+      return state.max;
+  }
+  return Status::Internal("unknown aggregate function");
+}
+
+Result<bool> AggregateOperator::Next(core::AnnotatedTuple* out) {
+  if (cursor_ >= groups_.size()) return false;
+  Group& group = groups_[cursor_++];
+  rel::Tuple result = group.merged.tuple;
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value v, Finalize(group.states[i], aggregates_[i].fn));
+    result.Append(std::move(v));
+  }
+  out->tuple = std::move(result);
+  out->summaries = std::move(group.merged.summaries);
+  out->attachments = std::move(group.merged.attachments);
+  Trace(*out);
+  return true;
+}
+
+std::string AggregateOperator::Name() const {
+  std::string name = "Aggregate(";
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    if (i > 0) name += ", ";
+    name += group_exprs_[i]->ToString();
+  }
+  name += " | ";
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (i > 0) name += ", ";
+    name += AggregateFunctionToString(aggregates_[i].fn);
+  }
+  name += ")";
+  return name;
+}
+
+}  // namespace insightnotes::exec

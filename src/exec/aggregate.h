@@ -1,0 +1,77 @@
+// Group-by / aggregation with summary union: all tuples collapsing into a
+// group contribute their summaries to the group's merged summary objects
+// (shared annotations counted once). Attachment metadata degrades to
+// whole-row coverage because the output schema no longer exposes the
+// original columns.
+
+#ifndef INSIGHTNOTES_EXEC_AGGREGATE_H_
+#define INSIGHTNOTES_EXEC_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "rel/expression.h"
+
+namespace insightnotes::exec {
+
+enum class AggregateFunction { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+
+std::string_view AggregateFunctionToString(AggregateFunction fn);
+
+struct AggregateItem {
+  AggregateFunction fn = AggregateFunction::kCountStar;
+  rel::ExprPtr arg;         // Null for COUNT(*).
+  std::string output_name;  // e.g. "cnt".
+};
+
+class AggregateOperator final : public Operator {
+ public:
+  /// Output schema: one column per group expression (described by
+  /// `group_columns`, parallel to `group_exprs`), then one per aggregate.
+  /// With no group expressions, a single global group is produced (even
+  /// over empty input for COUNT).
+  AggregateOperator(std::unique_ptr<Operator> child,
+                    std::vector<rel::ExprPtr> group_exprs,
+                    std::vector<rel::Column> group_columns,
+                    std::vector<AggregateItem> aggregates);
+
+  Status Open() override;
+  Result<bool> Next(core::AnnotatedTuple* out) override;
+  const rel::Schema& OutputSchema() const override { return schema_; }
+  std::string Name() const override;
+  void SetTraceSink(TraceSink sink) override {
+    child_->SetTraceSink(sink);
+    trace_ = std::move(sink);
+  }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0.0;
+    bool sum_is_int = true;
+    int64_t isum = 0;
+    rel::Value min;
+    rel::Value max;
+  };
+  struct Group {
+    core::AnnotatedTuple merged;  // Group key values + merged summaries.
+    std::vector<AggState> states;
+  };
+
+  Status Accumulate(Group* group, const core::AnnotatedTuple& in);
+  Result<rel::Value> Finalize(const AggState& state, AggregateFunction fn) const;
+
+  std::unique_ptr<Operator> child_;
+  std::vector<rel::ExprPtr> group_exprs_;
+  std::vector<AggregateItem> aggregates_;
+  rel::Schema schema_;
+
+  std::vector<Group> groups_;  // Deterministic: first-seen order.
+  size_t cursor_ = 0;
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_AGGREGATE_H_

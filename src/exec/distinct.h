@@ -1,0 +1,37 @@
+// Duplicate elimination: value-equal tuples collapse to one output whose
+// summary objects merge the duplicates' summaries (shared annotations
+// counted once).
+
+#ifndef INSIGHTNOTES_EXEC_DISTINCT_H_
+#define INSIGHTNOTES_EXEC_DISTINCT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace insightnotes::exec {
+
+class DistinctOperator final : public Operator {
+ public:
+  explicit DistinctOperator(std::unique_ptr<Operator> child)
+      : child_(std::move(child)) {}
+
+  Status Open() override;
+  Result<bool> Next(core::AnnotatedTuple* out) override;
+  const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
+  std::string Name() const override { return "Distinct"; }
+  void SetTraceSink(TraceSink sink) override {
+    child_->SetTraceSink(sink);
+    trace_ = std::move(sink);
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<core::AnnotatedTuple> results_;  // First-seen order.
+  size_t cursor_ = 0;
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_DISTINCT_H_

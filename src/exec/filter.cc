@@ -1,0 +1,17 @@
+#include "exec/filter.h"
+
+namespace insightnotes::exec {
+
+Result<bool> FilterOperator::Next(core::AnnotatedTuple* out) {
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool pass, predicate_->EvaluateBool(out->tuple));
+    if (pass) {
+      Trace(*out);
+      return true;
+    }
+  }
+}
+
+}  // namespace insightnotes::exec

@@ -1,0 +1,35 @@
+// Selection: passes tuples matching the predicate; summaries propagate
+// unchanged (Figure 2 step 2).
+
+#ifndef INSIGHTNOTES_EXEC_FILTER_H_
+#define INSIGHTNOTES_EXEC_FILTER_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "rel/expression.h"
+
+namespace insightnotes::exec {
+
+class FilterOperator final : public Operator {
+ public:
+  FilterOperator(std::unique_ptr<Operator> child, rel::ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(core::AnnotatedTuple* out) override;
+  const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
+  std::string Name() const override { return "Filter" + predicate_->ToString(); }
+  void SetTraceSink(TraceSink sink) override {
+    child_->SetTraceSink(sink);
+    trace_ = std::move(sink);
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  rel::ExprPtr predicate_;
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_FILTER_H_

@@ -1,0 +1,62 @@
+#include "exec/hash_join.h"
+
+namespace insightnotes::exec {
+
+HashJoinOperator::HashJoinOperator(std::unique_ptr<Operator> left,
+                                   std::unique_ptr<Operator> right,
+                                   rel::ExprPtr left_key, rel::ExprPtr right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      schema_(rel::Schema::Concat(left_->OutputSchema(), right_->OutputSchema())) {}
+
+Status HashJoinOperator::Open() {
+  INSIGHTNOTES_RETURN_IF_ERROR(left_->Open());
+  INSIGHTNOTES_RETURN_IF_ERROR(right_->Open());
+  build_.clear();
+  matches_ = nullptr;
+  match_index_ = 0;
+  left_valid_ = false;
+  // Build phase over the right input.
+  core::AnnotatedTuple tuple;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, right_->Next(&tuple));
+    if (!more) break;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value key, right_key_->Evaluate(tuple.tuple));
+    if (key.is_null()) continue;  // NULL keys never join.
+    build_[key].push_back(std::move(tuple));
+    tuple = core::AnnotatedTuple();
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinOperator::Next(core::AnnotatedTuple* out) {
+  while (true) {
+    if (left_valid_ && matches_ != nullptr && match_index_ < matches_->size()) {
+      const core::AnnotatedTuple& right_tuple = (*matches_)[match_index_++];
+      // Clone the probe tuple: it may pair with several build tuples.
+      *out = current_left_.Clone();
+      INSIGHTNOTES_RETURN_IF_ERROR(core::MergeAnnotatedTuples(out, right_tuple));
+      Trace(*out);
+      return true;
+    }
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+    if (!more) return false;
+    left_valid_ = true;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value key, left_key_->Evaluate(current_left_.tuple));
+    match_index_ = 0;
+    if (key.is_null()) {
+      matches_ = nullptr;
+      continue;
+    }
+    auto it = build_.find(key);
+    matches_ = it == build_.end() ? nullptr : &it->second;
+  }
+}
+
+std::string HashJoinOperator::Name() const {
+  return "HashJoin(" + left_key_->ToString() + " = " + right_key_->ToString() + ")";
+}
+
+}  // namespace insightnotes::exec

@@ -1,0 +1,55 @@
+// Hash equi-join with summary merge (Figure 2 step 3): for each matching
+// pair, counterpart summary objects of the two inputs are combined without
+// double counting shared annotations; objects without a counterpart
+// propagate unchanged.
+
+#ifndef INSIGHTNOTES_EXEC_HASH_JOIN_H_
+#define INSIGHTNOTES_EXEC_HASH_JOIN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "rel/expression.h"
+#include "rel/index.h"
+
+namespace insightnotes::exec {
+
+class HashJoinOperator final : public Operator {
+ public:
+  /// Joins on left_key == right_key (each evaluated against its side).
+  HashJoinOperator(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+                   rel::ExprPtr left_key, rel::ExprPtr right_key);
+
+  Status Open() override;
+  Result<bool> Next(core::AnnotatedTuple* out) override;
+  const rel::Schema& OutputSchema() const override { return schema_; }
+  std::string Name() const override;
+  void SetTraceSink(TraceSink sink) override {
+    left_->SetTraceSink(sink);
+    right_->SetTraceSink(sink);
+    trace_ = std::move(sink);
+  }
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  rel::ExprPtr left_key_;
+  rel::ExprPtr right_key_;
+  rel::Schema schema_;
+
+  // Build side (right), keyed by join value.
+  std::unordered_map<rel::Value, std::vector<core::AnnotatedTuple>, rel::ValueHash,
+                     rel::ValueEq>
+      build_;
+  // Probe state.
+  core::AnnotatedTuple current_left_;
+  const std::vector<core::AnnotatedTuple>* matches_ = nullptr;
+  size_t match_index_ = 0;
+  bool left_valid_ = false;
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_HASH_JOIN_H_

@@ -1,0 +1,50 @@
+#include "exec/nested_loop_join.h"
+
+namespace insightnotes::exec {
+
+NestedLoopJoinOperator::NestedLoopJoinOperator(std::unique_ptr<Operator> left,
+                                               std::unique_ptr<Operator> right,
+                                               rel::ExprPtr predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      schema_(rel::Schema::Concat(left_->OutputSchema(), right_->OutputSchema())) {}
+
+Status NestedLoopJoinOperator::Open() {
+  INSIGHTNOTES_RETURN_IF_ERROR(left_->Open());
+  INSIGHTNOTES_RETURN_IF_ERROR(right_->Open());
+  right_tuples_.clear();
+  right_index_ = 0;
+  left_valid_ = false;
+  core::AnnotatedTuple tuple;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, right_->Next(&tuple));
+    if (!more) break;
+    right_tuples_.push_back(std::move(tuple));
+    tuple = core::AnnotatedTuple();
+  }
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOperator::Next(core::AnnotatedTuple* out) {
+  while (true) {
+    if (!left_valid_ || right_index_ >= right_tuples_.size()) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      left_valid_ = true;
+      right_index_ = 0;
+    }
+    while (right_index_ < right_tuples_.size()) {
+      const core::AnnotatedTuple& right_tuple = right_tuples_[right_index_++];
+      rel::Tuple combined = rel::Tuple::Concat(current_left_.tuple, right_tuple.tuple);
+      INSIGHTNOTES_ASSIGN_OR_RETURN(bool match, predicate_->EvaluateBool(combined));
+      if (!match) continue;
+      *out = current_left_.Clone();
+      INSIGHTNOTES_RETURN_IF_ERROR(core::MergeAnnotatedTuples(out, right_tuple));
+      Trace(*out);
+      return true;
+    }
+  }
+}
+
+}  // namespace insightnotes::exec

@@ -1,0 +1,45 @@
+// Nested-loop join for arbitrary (non-equi) join predicates, with the same
+// summary-merge semantics as the hash join.
+
+#ifndef INSIGHTNOTES_EXEC_NESTED_LOOP_JOIN_H_
+#define INSIGHTNOTES_EXEC_NESTED_LOOP_JOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "rel/expression.h"
+
+namespace insightnotes::exec {
+
+class NestedLoopJoinOperator final : public Operator {
+ public:
+  /// `predicate` is evaluated against the concatenated (left, right) tuple.
+  NestedLoopJoinOperator(std::unique_ptr<Operator> left,
+                         std::unique_ptr<Operator> right, rel::ExprPtr predicate);
+
+  Status Open() override;
+  Result<bool> Next(core::AnnotatedTuple* out) override;
+  const rel::Schema& OutputSchema() const override { return schema_; }
+  std::string Name() const override { return "NestedLoopJoin" + predicate_->ToString(); }
+  void SetTraceSink(TraceSink sink) override {
+    left_->SetTraceSink(sink);
+    right_->SetTraceSink(sink);
+    trace_ = std::move(sink);
+  }
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  rel::ExprPtr predicate_;
+  rel::Schema schema_;
+
+  std::vector<core::AnnotatedTuple> right_tuples_;  // Materialized inner.
+  core::AnnotatedTuple current_left_;
+  size_t right_index_ = 0;
+  bool left_valid_ = false;
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_NESTED_LOOP_JOIN_H_

@@ -1,0 +1,49 @@
+// Volcano-style iterator interface over AnnotatedTuples. Every operator
+// implements the extended summary-propagation semantics of its relational
+// counterpart (Section 2.1). Operators optionally report each emitted tuple
+// to a trace sink — the demo's "under-the-hood execution" feature
+// (Section 3, demonstration feature 3).
+
+#ifndef INSIGHTNOTES_EXEC_OPERATOR_H_
+#define INSIGHTNOTES_EXEC_OPERATOR_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "core/annotated_tuple.h"
+#include "rel/schema.h"
+
+namespace insightnotes::exec {
+
+/// Callback invoked per emitted tuple: (operator name, tuple).
+using TraceSink = std::function<void(const std::string&, const core::AnnotatedTuple&)>;
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (and its children) for iteration. Must be called
+  /// before Next; calling it again restarts the iteration.
+  virtual Status Open() = 0;
+
+  /// Produces the next tuple into `out`. Returns false when exhausted.
+  virtual Result<bool> Next(core::AnnotatedTuple* out) = 0;
+
+  virtual const rel::Schema& OutputSchema() const = 0;
+  virtual std::string Name() const = 0;
+
+  /// Installs `sink` on this operator and its children.
+  virtual void SetTraceSink(TraceSink sink) { trace_ = std::move(sink); }
+
+ protected:
+  void Trace(const core::AnnotatedTuple& tuple) const {
+    if (trace_) trace_(Name(), tuple);
+  }
+
+  TraceSink trace_;
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_OPERATOR_H_

@@ -1,0 +1,46 @@
+#include "exec/seq_scan.h"
+
+namespace insightnotes::exec {
+
+SeqScanOperator::SeqScanOperator(const rel::Table* table, std::string alias,
+                                 core::SummaryManager* manager,
+                                 const ann::AnnotationStore* store,
+                                 bool with_summaries)
+    : table_(table),
+      alias_(std::move(alias)),
+      manager_(manager),
+      store_(store),
+      with_summaries_(with_summaries),
+      schema_(table->schema().WithQualifier(alias_.empty() ? table->name() : alias_)) {
+  if (alias_.empty()) alias_ = table->name();
+}
+
+Status SeqScanOperator::Open() {
+  rows_.clear();
+  cursor_ = 0;
+  return table_->Scan([&](rel::RowId row, const rel::Tuple&) {
+    rows_.push_back(row);
+    return true;
+  });
+}
+
+Result<bool> SeqScanOperator::Next(core::AnnotatedTuple* out) {
+  if (cursor_ >= rows_.size()) return false;
+  rel::RowId row = rows_[cursor_++];
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Tuple tuple, table_->Get(row));
+  *out = core::AnnotatedTuple(std::move(tuple));
+  if (with_summaries_) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(out->summaries,
+                                  manager_->SummariesFor(table_->id(), row));
+    // Attachment metadata: column positions in the scan output equal base
+    // table positions. Archived annotations stay out of the pipeline.
+    for (const ann::Attachment& att : store_->OnRow(table_->id(), row)) {
+      if (store_->IsArchived(att.annotation)) continue;
+      out->attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+    }
+  }
+  Trace(*out);
+  return true;
+}
+
+}  // namespace insightnotes::exec

@@ -1,0 +1,48 @@
+// Sequential scan over a base table, attaching each row's summary objects
+// (cloned from the maintained state) and attachment metadata. The entry
+// point of every InsightNotes pipeline.
+
+#ifndef INSIGHTNOTES_EXEC_SEQ_SCAN_H_
+#define INSIGHTNOTES_EXEC_SEQ_SCAN_H_
+
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "core/summary_manager.h"
+#include "exec/operator.h"
+#include "rel/table.h"
+
+namespace insightnotes::exec {
+
+class SeqScanOperator final : public Operator {
+ public:
+  /// Scans `table` under `alias` (used to qualify output columns). When
+  /// `with_summaries` is false the scan produces bare tuples — the
+  /// "annotations off" baseline of the benches. `manager`/`store` must
+  /// outlive the operator.
+  SeqScanOperator(const rel::Table* table, std::string alias,
+                  core::SummaryManager* manager, const ann::AnnotationStore* store,
+                  bool with_summaries = true);
+
+  Status Open() override;
+  Result<bool> Next(core::AnnotatedTuple* out) override;
+  const rel::Schema& OutputSchema() const override { return schema_; }
+  std::string Name() const override { return "SeqScan(" + alias_ + ")"; }
+
+ private:
+  const rel::Table* table_;
+  std::string alias_;
+  core::SummaryManager* manager_;
+  const ann::AnnotationStore* store_;
+  bool with_summaries_;
+  rel::Schema schema_;
+
+  // Materialized row ids (tables are mutable between Open calls).
+  std::vector<rel::RowId> rows_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_SEQ_SCAN_H_

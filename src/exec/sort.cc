@@ -1,0 +1,65 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+#include "rel/index.h"
+
+namespace insightnotes::exec {
+
+Status SortOperator::Open() {
+  INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
+  results_.clear();
+  cursor_ = 0;
+  core::AnnotatedTuple in;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    results_.push_back(std::move(in));
+    in = core::AnnotatedTuple();
+  }
+
+  // Precompute key values so comparator calls cannot fail mid-sort.
+  std::vector<std::vector<rel::Value>> key_values(results_.size());
+  for (size_t i = 0; i < results_.size(); ++i) {
+    key_values[i].reserve(keys_.size());
+    for (const SortKey& key : keys_) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value v, key.expr->Evaluate(results_[i].tuple));
+      key_values[i].push_back(std::move(v));
+    }
+  }
+  std::vector<size_t> order(results_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rel::ValueLess less;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      const rel::Value& va = key_values[a][k];
+      const rel::Value& vb = key_values[b][k];
+      if (less(va, vb)) return keys_[k].ascending;
+      if (less(vb, va)) return !keys_[k].ascending;
+    }
+    return false;
+  });
+  std::vector<core::AnnotatedTuple> sorted;
+  sorted.reserve(results_.size());
+  for (size_t i : order) sorted.push_back(std::move(results_[i]));
+  results_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SortOperator::Next(core::AnnotatedTuple* out) {
+  if (cursor_ >= results_.size()) return false;
+  *out = std::move(results_[cursor_++]);
+  Trace(*out);
+  return true;
+}
+
+Result<bool> LimitOperator::Next(core::AnnotatedTuple* out) {
+  if (produced_ >= limit_) return false;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  ++produced_;
+  Trace(*out);
+  return true;
+}
+
+}  // namespace insightnotes::exec

@@ -1,0 +1,68 @@
+// Order-by: materializes and sorts; summaries ride along unchanged. Sort
+// keys may be arbitrary expressions, each ascending or descending. The sort
+// is stable, so equal keys preserve child order (deterministic results).
+
+#ifndef INSIGHTNOTES_EXEC_SORT_H_
+#define INSIGHTNOTES_EXEC_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "rel/expression.h"
+
+namespace insightnotes::exec {
+
+struct SortKey {
+  rel::ExprPtr expr;
+  bool ascending = true;
+};
+
+class SortOperator final : public Operator {
+ public:
+  SortOperator(std::unique_ptr<Operator> child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+
+  Status Open() override;
+  Result<bool> Next(core::AnnotatedTuple* out) override;
+  const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
+  std::string Name() const override { return "Sort"; }
+  void SetTraceSink(TraceSink sink) override {
+    child_->SetTraceSink(sink);
+    trace_ = std::move(sink);
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<SortKey> keys_;
+  std::vector<core::AnnotatedTuple> results_;
+  size_t cursor_ = 0;
+};
+
+/// LIMIT n.
+class LimitOperator final : public Operator {
+ public:
+  LimitOperator(std::unique_ptr<Operator> child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override {
+    produced_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(core::AnnotatedTuple* out) override;
+  const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
+  std::string Name() const override { return "Limit(" + std::to_string(limit_) + ")"; }
+  void SetTraceSink(TraceSink sink) override {
+    child_->SetTraceSink(sink);
+    trace_ = std::move(sink);
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_SORT_H_

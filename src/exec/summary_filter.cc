@@ -1,0 +1,99 @@
+#include "exec/summary_filter.h"
+
+#include <algorithm>
+
+namespace insightnotes::exec {
+
+Result<int64_t> SummaryCountSpec::Evaluate(const core::AnnotatedTuple& tuple) const {
+  core::SummaryObject* object = tuple.FindSummary(instance);
+  if (object == nullptr) return 0;
+  if (label.empty()) return static_cast<int64_t>(object->NumAnnotations());
+  int64_t count = 0;
+  for (size_t c = 0; c < object->NumComponents(); ++c) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(std::string component_label,
+                                  object->ComponentLabel(c));
+    if (component_label != label) continue;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(auto ids, object->ZoomIn(c));
+    count += static_cast<int64_t>(ids.size());
+  }
+  return count;
+}
+
+std::string SummaryCountSpec::ToString() const {
+  return "SUMMARY_COUNT(" + instance + (label.empty() ? "" : ", '" + label + "'") +
+         ")";
+}
+
+Result<bool> SummaryFilterOperator::Next(core::AnnotatedTuple* out) {
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t count, spec_.Evaluate(*out));
+    bool pass = false;
+    switch (op_) {
+      case rel::CompareOp::kEq:
+        pass = count == threshold_;
+        break;
+      case rel::CompareOp::kNe:
+        pass = count != threshold_;
+        break;
+      case rel::CompareOp::kLt:
+        pass = count < threshold_;
+        break;
+      case rel::CompareOp::kLe:
+        pass = count <= threshold_;
+        break;
+      case rel::CompareOp::kGt:
+        pass = count > threshold_;
+        break;
+      case rel::CompareOp::kGe:
+        pass = count >= threshold_;
+        break;
+    }
+    if (pass) {
+      Trace(*out);
+      return true;
+    }
+  }
+}
+
+std::string SummaryFilterOperator::Name() const {
+  return "SummaryFilter(" + spec_.ToString() + " " +
+         std::string(rel::CompareOpToString(op_)) + " " +
+         std::to_string(threshold_) + ")";
+}
+
+Status SummarySortOperator::Open() {
+  INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
+  results_.clear();
+  cursor_ = 0;
+  core::AnnotatedTuple in;
+  std::vector<int64_t> keys;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t key, spec_.Evaluate(in));
+    keys.push_back(key);
+    results_.push_back(std::move(in));
+    in = core::AnnotatedTuple();
+  }
+  std::vector<size_t> order(results_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ascending_ ? keys[a] < keys[b] : keys[a] > keys[b];
+  });
+  std::vector<core::AnnotatedTuple> sorted;
+  sorted.reserve(results_.size());
+  for (size_t i : order) sorted.push_back(std::move(results_[i]));
+  results_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SummarySortOperator::Next(core::AnnotatedTuple* out) {
+  if (cursor_ >= results_.size()) return false;
+  *out = std::move(results_[cursor_++]);
+  Trace(*out);
+  return true;
+}
+
+}  // namespace insightnotes::exec

@@ -1,0 +1,43 @@
+// Umbrella header: the public API of the InsightNotes library.
+//
+// Typical embedding:
+//
+//   #include "insightnotes/insightnotes.h"
+//
+//   insightnotes::core::Engine engine;
+//   engine.Init();
+//   insightnotes::sql::SqlSession session(&engine);
+//   session.Execute("CREATE TABLE birds (id BIGINT, name TEXT)");
+//   ...
+//
+// Layer map (see DESIGN.md for the full inventory):
+//   core::Engine            — the facade: tables, annotations, instances,
+//                             query execution, zoom-in.
+//   sql::SqlSession         — SQL dialect on top of the engine.
+//   core::SummaryInstance   — admin-defined summary instances (level 2 of
+//                             the summarization hierarchy).
+//   core::SummaryObject     — per-tuple summaries and their algebra.
+//   ann::AnnotationStore    — the raw-annotation repository.
+//   workload::WorkloadBuilder — synthetic AKN-style datasets for testing.
+
+#ifndef INSIGHTNOTES_INSIGHTNOTES_H_
+#define INSIGHTNOTES_INSIGHTNOTES_H_
+
+#include "annotation/annotation.h"
+#include "annotation/annotation_store.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/rco_cache.h"
+#include "core/summary_instance.h"
+#include "core/summary_manager.h"
+#include "core/summary_object.h"
+#include "core/zoom_in.h"
+#include "rel/catalog.h"
+#include "rel/schema.h"
+#include "rel/tuple.h"
+#include "rel/value.h"
+#include "sql/session.h"
+#include "workload/workload.h"
+
+#endif  // INSIGHTNOTES_INSIGHTNOTES_H_

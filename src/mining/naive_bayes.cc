@@ -1,0 +1,65 @@
+#include "mining/naive_bayes.h"
+
+#include <cmath>
+
+namespace insightnotes::mining {
+
+NaiveBayesClassifier::NaiveBayesClassifier(std::vector<std::string> labels)
+    : labels_(std::move(labels)),
+      term_counts_(labels_.size()),
+      total_terms_(labels_.size(), 0),
+      doc_counts_(labels_.size(), 0) {}
+
+Status NaiveBayesClassifier::Train(size_t label, std::string_view text) {
+  if (label >= labels_.size()) {
+    return Status::InvalidArgument("label index " + std::to_string(label) +
+                                   " out of range (have " +
+                                   std::to_string(labels_.size()) + " labels)");
+  }
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  for (const std::string& token : tokens) {
+    txt::TermId id = vocab_.GetOrAdd(token);
+    ++term_counts_[label][id];
+    ++total_terms_[label];
+  }
+  ++doc_counts_[label];
+  ++num_docs_;
+  return Status::OK();
+}
+
+std::vector<double> NaiveBayesClassifier::Scores(std::string_view text) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  size_t l = labels_.size();
+  std::vector<double> scores(l, 0.0);
+  double vocab_size = static_cast<double>(vocab_.size());
+  for (size_t c = 0; c < l; ++c) {
+    // Smoothed log prior.
+    scores[c] = std::log((static_cast<double>(doc_counts_[c]) + 1.0) /
+                         (static_cast<double>(num_docs_) + static_cast<double>(l)));
+    double denom = static_cast<double>(total_terms_[c]) + vocab_size + 1.0;
+    for (const std::string& token : tokens) {
+      // Out-of-vocabulary terms carry no class evidence and are skipped
+      // (IIR ch. 13 classifies over vocabulary terms only); in-vocabulary
+      // terms unseen in class c get Laplace mass.
+      txt::TermId id = vocab_.Lookup(token);
+      if (id == txt::kInvalidTermId) continue;
+      double count = 0.0;
+      auto it = term_counts_[c].find(id);
+      if (it != term_counts_[c].end()) count = it->second;
+      scores[c] += std::log((count + 1.0) / denom);
+    }
+  }
+  return scores;
+}
+
+size_t NaiveBayesClassifier::Classify(std::string_view text) const {
+  if (labels_.empty()) return 0;
+  std::vector<double> scores = Scores(text);
+  size_t best = 0;
+  for (size_t c = 1; c < scores.size(); ++c) {
+    if (scores[c] > scores[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace insightnotes::mining

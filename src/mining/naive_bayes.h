@@ -1,0 +1,56 @@
+// Multinomial Naive Bayes text classifier (Manning, Raghavan & Schütze,
+// IIR ch. 13 — the paper's reference [12]). Backs Classifier-type summary
+// instances: the domain admin defines the class labels and supplies
+// training examples; classification of new annotations is incremental and
+// per-document.
+
+#ifndef INSIGHTNOTES_MINING_NAIVE_BAYES_H_
+#define INSIGHTNOTES_MINING_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "txt/tokenizer.h"
+#include "txt/vocabulary.h"
+
+namespace insightnotes::mining {
+
+/// Trainable multinomial NB with Laplace (add-one) smoothing. Ties break
+/// deterministically toward the lower label index.
+class NaiveBayesClassifier {
+ public:
+  explicit NaiveBayesClassifier(std::vector<std::string> labels);
+
+  /// Adds one training document for `label`.
+  Status Train(size_t label, std::string_view text);
+
+  /// Most probable label index for `text`. Usable with zero training (all
+  /// priors equal -> label 0); callers normally train first.
+  size_t Classify(std::string_view text) const;
+
+  /// Per-label log posterior (unnormalized) — exposed for tests/benches.
+  std::vector<double> Scores(std::string_view text) const;
+
+  const std::vector<std::string>& labels() const { return labels_; }
+  size_t num_labels() const { return labels_.size(); }
+  uint64_t num_training_docs() const { return num_docs_; }
+  size_t vocabulary_size() const { return vocab_.size(); }
+
+ private:
+  std::vector<std::string> labels_;
+  txt::Tokenizer tokenizer_;
+  txt::Vocabulary vocab_;
+  // term_counts_[label][term] = occurrences in that label's training docs.
+  std::vector<std::unordered_map<txt::TermId, uint32_t>> term_counts_;
+  std::vector<uint64_t> total_terms_;  // Per label.
+  std::vector<uint64_t> doc_counts_;   // Per label.
+  uint64_t num_docs_ = 0;
+};
+
+}  // namespace insightnotes::mining
+
+#endif  // INSIGHTNOTES_MINING_NAIVE_BAYES_H_

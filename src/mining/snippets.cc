@@ -1,0 +1,63 @@
+#include "mining/snippets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "txt/sentence.h"
+
+namespace insightnotes::mining {
+
+std::vector<double> SnippetExtractor::ScoreSentences(
+    const std::vector<std::string>& sentences) const {
+  // Document-level term frequencies.
+  std::unordered_map<std::string, double> tf;
+  std::vector<std::vector<std::string>> sentence_tokens;
+  sentence_tokens.reserve(sentences.size());
+  for (const std::string& s : sentences) {
+    sentence_tokens.push_back(tokenizer_.Tokenize(s));
+    for (const std::string& t : sentence_tokens.back()) tf[t] += 1.0;
+  }
+  std::vector<double> scores;
+  scores.reserve(sentences.size());
+  for (const auto& tokens : sentence_tokens) {
+    if (tokens.empty()) {
+      scores.push_back(0.0);
+      continue;
+    }
+    double sum = 0.0;
+    for (const std::string& t : tokens) sum += tf[t];
+    // Length normalization dampens the bias toward long sentences without
+    // fully removing it (sqrt, as in centroid-based summarizers).
+    scores.push_back(sum / std::sqrt(static_cast<double>(tokens.size())));
+  }
+  return scores;
+}
+
+std::string SnippetExtractor::Summarize(std::string_view document) const {
+  std::vector<std::string> sentences = txt::SplitSentences(document);
+  if (sentences.empty()) return "";
+  std::vector<double> scores = ScoreSentences(sentences);
+
+  // Select the top-k sentence indexes, then restore document order.
+  std::vector<size_t> order(sentences.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  size_t k = std::min(options_.max_sentences, sentences.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
+                    order.end(), [&](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;  // Stable: earlier sentence wins ties.
+                    });
+  std::vector<size_t> chosen(order.begin(), order.begin() + static_cast<ptrdiff_t>(k));
+  std::sort(chosen.begin(), chosen.end());
+
+  std::string snippet;
+  for (size_t idx : chosen) {
+    if (!snippet.empty()) snippet += " ";
+    snippet += sentences[idx];
+  }
+  return Ellipsize(snippet, options_.max_chars);
+}
+
+}  // namespace insightnotes::mining

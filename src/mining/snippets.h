@@ -1,0 +1,46 @@
+// Extractive snippet summarization for large document annotations (survey:
+// Nenkova & McKeown, the paper's reference [24]). Sentences are scored by
+// the frequency of their content words within the document, normalized by
+// sentence length; the top sentences are reported in original order.
+
+#ifndef INSIGHTNOTES_MINING_SNIPPETS_H_
+#define INSIGHTNOTES_MINING_SNIPPETS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "txt/tokenizer.h"
+
+namespace insightnotes::mining {
+
+struct SnippetOptions {
+  size_t max_sentences = 2;   // Sentences per snippet.
+  size_t max_chars = 200;     // Hard display cap (ellipsized).
+};
+
+class SnippetExtractor {
+ public:
+  SnippetExtractor() = default;
+  explicit SnippetExtractor(SnippetOptions options) : options_(options) {}
+
+  /// Produces a short extractive snippet of `document`. Deterministic:
+  /// equal-scoring sentences keep document order. Empty documents yield an
+  /// empty snippet.
+  std::string Summarize(std::string_view document) const;
+
+  /// Per-sentence scores (exposed for tests): frequency-weighted coverage
+  /// of the document's dominant terms, length-normalized.
+  std::vector<double> ScoreSentences(const std::vector<std::string>& sentences) const;
+
+  const SnippetOptions& options() const { return options_; }
+
+ private:
+  SnippetOptions options_;
+  txt::Tokenizer tokenizer_;
+};
+
+}  // namespace insightnotes::mining
+
+#endif  // INSIGHTNOTES_MINING_SNIPPETS_H_

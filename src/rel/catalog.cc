@@ -1,0 +1,53 @@
+#include "rel/catalog.h"
+
+#include <algorithm>
+
+namespace insightnotes::rel {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  TableId id = next_id_++;
+  auto table = std::make_unique<Table>(id, name, std::move(schema), pool_);
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  by_id_.emplace(id, raw);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second.get();
+}
+
+Result<Table*> Catalog::GetTableById(TableId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("table id " + std::to_string(id) + " does not exist");
+  }
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  by_id_.erase(it->second->id());
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace insightnotes::rel

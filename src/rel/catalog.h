@@ -1,0 +1,44 @@
+// Catalog: name -> Table registry. Owns table objects; tables share the
+// engine-wide buffer pool.
+
+#ifndef INSIGHTNOTES_REL_CATALOG_H_
+#define INSIGHTNOTES_REL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/table.h"
+
+namespace insightnotes::rel {
+
+class Catalog {
+ public:
+  /// `pool` must outlive the catalog.
+  explicit Catalog(storage::BufferPool* pool) : pool_(pool) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on name collision.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  Result<Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetTableById(TableId id) const;
+
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  storage::BufferPool* pool_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<TableId, Table*> by_id_;
+  TableId next_id_ = 0;
+};
+
+}  // namespace insightnotes::rel
+
+#endif  // INSIGHTNOTES_REL_CATALOG_H_

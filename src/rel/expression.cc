@@ -1,0 +1,221 @@
+#include "rel/expression.h"
+
+#include <cmath>
+
+namespace insightnotes::rel {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<bool> Expression::EvaluateBool(const Tuple& tuple) const {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(Value v, Evaluate(tuple));
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt64) return v.AsInt64() != 0;
+  if (v.type() == ValueType::kFloat64) return v.AsFloat64() != 0.0;
+  return Status::TypeError("predicate did not evaluate to a boolean/number");
+}
+
+Result<Value> ColumnRefExpr::Evaluate(const Tuple& tuple) const {
+  if (index_ >= tuple.NumValues()) {
+    return Status::Internal("column index " + std::to_string(index_) +
+                            " out of range for tuple of width " +
+                            std::to_string(tuple.NumValues()));
+  }
+  return tuple.ValueAt(index_);
+}
+
+void ColumnRefExpr::CollectColumnRefs(std::vector<size_t>* out) const {
+  out->push_back(index_);
+}
+
+ExprPtr ColumnRefExpr::Clone() const {
+  return std::make_unique<ColumnRefExpr>(index_, display_name_);
+}
+
+Result<Value> LiteralExpr::Evaluate(const Tuple&) const { return value_; }
+
+void LiteralExpr::CollectColumnRefs(std::vector<size_t>*) const {}
+
+ExprPtr LiteralExpr::Clone() const { return std::make_unique<LiteralExpr>(value_); }
+
+std::string LiteralExpr::ToString() const {
+  if (value_.type() == ValueType::kString) return "'" + value_.ToString() + "'";
+  return value_.ToString();
+}
+
+Result<Value> CompareExpr::Evaluate(const Tuple& tuple) const {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(Value l, left_->Evaluate(tuple));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(Value r, right_->Evaluate(tuple));
+  // SQL-ish NULL handling: any comparison with NULL is NULL.
+  if (l.is_null() || r.is_null()) return Value::Null();
+  INSIGHTNOTES_ASSIGN_OR_RETURN(int c, l.Compare(r));
+  bool result = false;
+  switch (op_) {
+    case CompareOp::kEq:
+      result = c == 0;
+      break;
+    case CompareOp::kNe:
+      result = c != 0;
+      break;
+    case CompareOp::kLt:
+      result = c < 0;
+      break;
+    case CompareOp::kLe:
+      result = c <= 0;
+      break;
+    case CompareOp::kGt:
+      result = c > 0;
+      break;
+    case CompareOp::kGe:
+      result = c >= 0;
+      break;
+  }
+  return Value(static_cast<int64_t>(result ? 1 : 0));
+}
+
+void CompareExpr::CollectColumnRefs(std::vector<size_t>* out) const {
+  left_->CollectColumnRefs(out);
+  right_->CollectColumnRefs(out);
+}
+
+ExprPtr CompareExpr::Clone() const {
+  return std::make_unique<CompareExpr>(op_, left_->Clone(), right_->Clone());
+}
+
+std::string CompareExpr::ToString() const {
+  return "(" + left_->ToString() + " " + std::string(CompareOpToString(op_)) + " " +
+         right_->ToString() + ")";
+}
+
+Result<Value> LogicalExpr::Evaluate(const Tuple& tuple) const {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(bool l, left_->EvaluateBool(tuple));
+  if (op_ == LogicalOp::kAnd && !l) return Value(static_cast<int64_t>(0));
+  if (op_ == LogicalOp::kOr && l) return Value(static_cast<int64_t>(1));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(bool r, right_->EvaluateBool(tuple));
+  return Value(static_cast<int64_t>(r ? 1 : 0));
+}
+
+void LogicalExpr::CollectColumnRefs(std::vector<size_t>* out) const {
+  left_->CollectColumnRefs(out);
+  right_->CollectColumnRefs(out);
+}
+
+ExprPtr LogicalExpr::Clone() const {
+  return std::make_unique<LogicalExpr>(op_, left_->Clone(), right_->Clone());
+}
+
+std::string LogicalExpr::ToString() const {
+  return "(" + left_->ToString() + (op_ == LogicalOp::kAnd ? " AND " : " OR ") +
+         right_->ToString() + ")";
+}
+
+Result<Value> NotExpr::Evaluate(const Tuple& tuple) const {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(bool v, inner_->EvaluateBool(tuple));
+  return Value(static_cast<int64_t>(v ? 0 : 1));
+}
+
+void NotExpr::CollectColumnRefs(std::vector<size_t>* out) const {
+  inner_->CollectColumnRefs(out);
+}
+
+ExprPtr NotExpr::Clone() const { return std::make_unique<NotExpr>(inner_->Clone()); }
+
+std::string NotExpr::ToString() const { return "(NOT " + inner_->ToString() + ")"; }
+
+Result<Value> ArithmeticExpr::Evaluate(const Tuple& tuple) const {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(Value l, left_->Evaluate(tuple));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(Value r, right_->Evaluate(tuple));
+  if (l.is_null() || r.is_null()) return Value::Null();
+  // String + string is concatenation; all other string arithmetic is a
+  // type error.
+  if (op_ == ArithmeticOp::kAdd && l.type() == ValueType::kString &&
+      r.type() == ValueType::kString) {
+    return Value(l.AsString() + r.AsString());
+  }
+  bool both_int = l.type() == ValueType::kInt64 && r.type() == ValueType::kInt64;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(double lv, l.ToNumeric());
+  INSIGHTNOTES_ASSIGN_OR_RETURN(double rv, r.ToNumeric());
+  switch (op_) {
+    case ArithmeticOp::kAdd:
+      return both_int ? Value(l.AsInt64() + r.AsInt64()) : Value(lv + rv);
+    case ArithmeticOp::kSub:
+      return both_int ? Value(l.AsInt64() - r.AsInt64()) : Value(lv - rv);
+    case ArithmeticOp::kMul:
+      return both_int ? Value(l.AsInt64() * r.AsInt64()) : Value(lv * rv);
+    case ArithmeticOp::kDiv:
+      if (rv == 0.0) return Status::InvalidArgument("division by zero");
+      if (both_int) return Value(l.AsInt64() / r.AsInt64());
+      return Value(lv / rv);
+  }
+  return Status::Internal("unknown arithmetic op");
+}
+
+void ArithmeticExpr::CollectColumnRefs(std::vector<size_t>* out) const {
+  left_->CollectColumnRefs(out);
+  right_->CollectColumnRefs(out);
+}
+
+ExprPtr ArithmeticExpr::Clone() const {
+  return std::make_unique<ArithmeticExpr>(op_, left_->Clone(), right_->Clone());
+}
+
+std::string ArithmeticExpr::ToString() const {
+  const char* op = "?";
+  switch (op_) {
+    case ArithmeticOp::kAdd:
+      op = "+";
+      break;
+    case ArithmeticOp::kSub:
+      op = "-";
+      break;
+    case ArithmeticOp::kMul:
+      op = "*";
+      break;
+    case ArithmeticOp::kDiv:
+      op = "/";
+      break;
+  }
+  return "(" + left_->ToString() + " " + op + " " + right_->ToString() + ")";
+}
+
+ExprPtr MakeColumn(size_t index, std::string display_name) {
+  if (display_name.empty()) display_name = "$" + std::to_string(index);
+  return std::make_unique<ColumnRefExpr>(index, std::move(display_name));
+}
+
+ExprPtr MakeLiteral(Value value) { return std::make_unique<LiteralExpr>(std::move(value)); }
+
+ExprPtr MakeCompare(CompareOp op, ExprPtr left, ExprPtr right) {
+  return std::make_unique<CompareExpr>(op, std::move(left), std::move(right));
+}
+
+ExprPtr MakeAnd(ExprPtr left, ExprPtr right) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(left), std::move(right));
+}
+
+ExprPtr MakeOr(ExprPtr left, ExprPtr right) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kOr, std::move(left), std::move(right));
+}
+
+ExprPtr MakeNot(ExprPtr inner) { return std::make_unique<NotExpr>(std::move(inner)); }
+
+ExprPtr MakeArithmetic(ArithmeticOp op, ExprPtr left, ExprPtr right) {
+  return std::make_unique<ArithmeticExpr>(op, std::move(left), std::move(right));
+}
+
+}  // namespace insightnotes::rel

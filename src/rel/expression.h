@@ -1,0 +1,152 @@
+// Bound expression trees evaluated against tuples: column references (by
+// index), literals, comparisons, boolean connectives and arithmetic. The
+// SQL binder lowers parsed expressions into these.
+
+#ifndef INSIGHTNOTES_REL_EXPRESSION_H_
+#define INSIGHTNOTES_REL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/tuple.h"
+#include "rel/value.h"
+
+namespace insightnotes::rel {
+
+class Expression;
+using ExprPtr = std::unique_ptr<Expression>;
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr };
+enum class ArithmeticOp { kAdd, kSub, kMul, kDiv };
+
+std::string_view CompareOpToString(CompareOp op);
+
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  /// Evaluates against `tuple`. Boolean results are Int64 0/1.
+  virtual Result<Value> Evaluate(const Tuple& tuple) const = 0;
+
+  /// Appends the indexes of all referenced columns to `out` (with repeats).
+  virtual void CollectColumnRefs(std::vector<size_t>* out) const = 0;
+
+  virtual ExprPtr Clone() const = 0;
+  virtual std::string ToString() const = 0;
+
+  /// Evaluates as a predicate: NULL results count as false.
+  Result<bool> EvaluateBool(const Tuple& tuple) const;
+};
+
+class ColumnRefExpr final : public Expression {
+ public:
+  ColumnRefExpr(size_t index, std::string display_name)
+      : index_(index), display_name_(std::move(display_name)) {}
+
+  Result<Value> Evaluate(const Tuple& tuple) const override;
+  void CollectColumnRefs(std::vector<size_t>* out) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override { return display_name_; }
+
+  size_t index() const { return index_; }
+
+ private:
+  size_t index_;
+  std::string display_name_;
+};
+
+class LiteralExpr final : public Expression {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+
+  Result<Value> Evaluate(const Tuple& tuple) const override;
+  void CollectColumnRefs(std::vector<size_t>* out) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+class CompareExpr final : public Expression {
+ public:
+  CompareExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<Value> Evaluate(const Tuple& tuple) const override;
+  void CollectColumnRefs(std::vector<size_t>* out) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+  CompareOp op() const { return op_; }
+  const Expression& left() const { return *left_; }
+  const Expression& right() const { return *right_; }
+
+ private:
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class LogicalExpr final : public Expression {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<Value> Evaluate(const Tuple& tuple) const override;
+  void CollectColumnRefs(std::vector<size_t>* out) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  LogicalOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+class NotExpr final : public Expression {
+ public:
+  explicit NotExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+
+  Result<Value> Evaluate(const Tuple& tuple) const override;
+  void CollectColumnRefs(std::vector<size_t>* out) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr inner_;
+};
+
+class ArithmeticExpr final : public Expression {
+ public:
+  ArithmeticExpr(ArithmeticOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<Value> Evaluate(const Tuple& tuple) const override;
+  void CollectColumnRefs(std::vector<size_t>* out) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  ArithmeticOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+// Convenience builders (used heavily in tests and the planner).
+ExprPtr MakeColumn(size_t index, std::string display_name = "");
+ExprPtr MakeLiteral(Value value);
+ExprPtr MakeCompare(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeAnd(ExprPtr left, ExprPtr right);
+ExprPtr MakeOr(ExprPtr left, ExprPtr right);
+ExprPtr MakeNot(ExprPtr inner);
+ExprPtr MakeArithmetic(ArithmeticOp op, ExprPtr left, ExprPtr right);
+
+}  // namespace insightnotes::rel
+
+#endif  // INSIGHTNOTES_REL_EXPRESSION_H_

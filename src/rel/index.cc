@@ -1,0 +1,85 @@
+#include "rel/index.h"
+
+#include <algorithm>
+
+namespace insightnotes::rel {
+
+namespace {
+int TypeClass(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kFloat64:
+      return 1;
+    case ValueType::kString:
+      return 2;
+  }
+  return 3;
+}
+}  // namespace
+
+bool ValueLess::operator()(const Value& a, const Value& b) const {
+  int ca = TypeClass(a);
+  int cb = TypeClass(b);
+  if (ca != cb) return ca < cb;
+  auto cmp = a.Compare(b);
+  // Same type class => Compare cannot fail.
+  return cmp.ok() && *cmp < 0;
+}
+
+void HashIndex::Insert(const Value& key, RowId row) {
+  map_[key].push_back(row);
+  ++num_entries_;
+}
+
+Status HashIndex::Remove(const Value& key, RowId row) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("key not in index");
+  auto& rows = it->second;
+  auto pos = std::find(rows.begin(), rows.end(), row);
+  if (pos == rows.end()) return Status::NotFound("row not in index for key");
+  rows.erase(pos);
+  if (rows.empty()) map_.erase(it);
+  --num_entries_;
+  return Status::OK();
+}
+
+std::vector<RowId> HashIndex::Lookup(const Value& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? std::vector<RowId>{} : it->second;
+}
+
+void OrderedIndex::Insert(const Value& key, RowId row) {
+  map_[key].push_back(row);
+  ++num_entries_;
+}
+
+Status OrderedIndex::Remove(const Value& key, RowId row) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("key not in index");
+  auto& rows = it->second;
+  auto pos = std::find(rows.begin(), rows.end(), row);
+  if (pos == rows.end()) return Status::NotFound("row not in index for key");
+  rows.erase(pos);
+  if (rows.empty()) map_.erase(it);
+  --num_entries_;
+  return Status::OK();
+}
+
+std::vector<RowId> OrderedIndex::Lookup(const Value& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? std::vector<RowId>{} : it->second;
+}
+
+std::vector<RowId> OrderedIndex::Range(const Value* lo, const Value* hi) const {
+  auto begin = lo != nullptr ? map_.lower_bound(*lo) : map_.begin();
+  auto end = hi != nullptr ? map_.upper_bound(*hi) : map_.end();
+  std::vector<RowId> out;
+  for (auto it = begin; it != end; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+}  // namespace insightnotes::rel

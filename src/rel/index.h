@@ -1,0 +1,65 @@
+// Secondary indexes on single columns: a hash index for equality probes and
+// an ordered index for range scans. The annotation store and zoom-in use
+// these for tuple lookups.
+
+#ifndef INSIGHTNOTES_REL_INDEX_H_
+#define INSIGHTNOTES_REL_INDEX_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/tuple.h"
+#include "rel/value.h"
+
+namespace insightnotes::rel {
+
+/// Total order over Values usable as a map comparator: orders first by type
+/// class (NULL < numeric < string), then by value within the class. This
+/// sidesteps the TypeError a raw Value::Compare would raise for mixed types.
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const;
+};
+
+/// Hash functor/equality pair for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return static_cast<size_t>(v.Hash()); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a == b; }
+};
+
+/// Equality index: value -> row ids (multimap semantics).
+class HashIndex {
+ public:
+  void Insert(const Value& key, RowId row);
+  /// Removes one (key, row) pairing; NotFound if absent.
+  Status Remove(const Value& key, RowId row);
+  /// Rows with exactly this key (empty vector if none).
+  std::vector<RowId> Lookup(const Value& key) const;
+  size_t NumEntries() const { return num_entries_; }
+
+ private:
+  std::unordered_map<Value, std::vector<RowId>, ValueHash, ValueEq> map_;
+  size_t num_entries_ = 0;
+};
+
+/// Ordered index supporting range queries [lo, hi] (either bound optional).
+class OrderedIndex {
+ public:
+  void Insert(const Value& key, RowId row);
+  Status Remove(const Value& key, RowId row);
+  std::vector<RowId> Lookup(const Value& key) const;
+  /// Rows with lo <= key <= hi. Null bounds mean unbounded.
+  std::vector<RowId> Range(const Value* lo, const Value* hi) const;
+  size_t NumEntries() const { return num_entries_; }
+
+ private:
+  std::map<Value, std::vector<RowId>, ValueLess> map_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace insightnotes::rel
+
+#endif  // INSIGHTNOTES_REL_INDEX_H_

@@ -1,0 +1,58 @@
+#include "rel/schema.h"
+
+namespace insightnotes::rel {
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  // Qualified lookup: split at the first dot.
+  size_t dot = name.find('.');
+  if (dot != std::string_view::npos) {
+    std::string_view qualifier = name.substr(0, dot);
+    std::string_view bare = name.substr(dot + 1);
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].qualifier == qualifier && columns_[i].name == bare) return i;
+    }
+    return Status::NotFound("column '" + std::string(name) + "' not in schema " +
+                            ToString());
+  }
+  size_t found = columns_.size();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      if (found != columns_.size()) {
+        return Status::InvalidArgument("column '" + std::string(name) +
+                                       "' is ambiguous in schema " + ToString());
+      }
+      found = i;
+    }
+  }
+  if (found == columns_.size()) {
+    return Status::NotFound("column '" + std::string(name) + "' not in schema " +
+                            ToString());
+  }
+  return found;
+}
+
+Schema Schema::WithQualifier(std::string_view qualifier) const {
+  Schema out = *this;
+  for (Column& c : out.columns_) c.qualifier = std::string(qualifier);
+  return out;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const Column& c : right.columns_) out.columns_.push_back(c);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].QualifiedName();
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace insightnotes::rel

@@ -1,0 +1,61 @@
+// Schema: ordered, possibly table-qualified column descriptors. Operators
+// derive output schemas from input schemas (joins concatenate, projections
+// subset).
+
+#ifndef INSIGHTNOTES_REL_SCHEMA_H_
+#define INSIGHTNOTES_REL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/value.h"
+
+namespace insightnotes::rel {
+
+struct Column {
+  std::string name;        // Bare column name, e.g. "a".
+  ValueType type = ValueType::kNull;
+  std::string qualifier;   // Table name or alias, may be empty.
+
+  /// "r.a" or "a".
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& ColumnAt(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Resolves "a" or "r.a". Unqualified names must be unambiguous across
+  /// qualifiers; ambiguity and misses are errors.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  /// True if `name` resolves to exactly one column.
+  bool Contains(std::string_view name) const { return IndexOf(name).ok(); }
+
+  /// New schema with every column's qualifier replaced by `qualifier`.
+  Schema WithQualifier(std::string_view qualifier) const;
+
+  /// Concatenation for joins (column order: this, then right).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "(r.a BIGINT, r.b TEXT)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace insightnotes::rel
+
+#endif  // INSIGHTNOTES_REL_SCHEMA_H_

@@ -1,0 +1,67 @@
+#include "rel/table.h"
+
+namespace insightnotes::rel {
+
+Status Table::CheckTuple(const Tuple& tuple) const {
+  if (tuple.NumValues() != schema_.NumColumns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.NumValues()) + " does not match " +
+        name_ + "'s schema " + schema_.ToString());
+  }
+  for (size_t i = 0; i < tuple.NumValues(); ++i) {
+    const Value& v = tuple.ValueAt(i);
+    if (v.is_null()) continue;
+    if (v.type() != schema_.ColumnAt(i).type) {
+      return Status::TypeError("column '" + schema_.ColumnAt(i).QualifiedName() +
+                               "' expects " +
+                               std::string(ValueTypeToString(schema_.ColumnAt(i).type)) +
+                               " but got " + std::string(ValueTypeToString(v.type())));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(const Tuple& tuple) {
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckTuple(tuple));
+  std::string bytes;
+  tuple.Serialize(&bytes);
+  INSIGHTNOTES_ASSIGN_OR_RETURN(storage::RecordId rid, heap_.Append(bytes));
+  RowId row = rows_.size();
+  rows_.push_back(rid);
+  ++num_live_;
+  return row;
+}
+
+Result<Tuple> Table::Get(RowId row) const {
+  if (row >= rows_.size() || !rows_[row].valid()) {
+    return Status::NotFound("row " + std::to_string(row) + " not found in table '" +
+                            name_ + "'");
+  }
+  INSIGHTNOTES_ASSIGN_OR_RETURN(std::string bytes, heap_.Get(rows_[row]));
+  return Tuple::Deserialize(bytes);
+}
+
+Status Table::Delete(RowId row) {
+  if (row >= rows_.size() || !rows_[row].valid()) {
+    return Status::NotFound("row " + std::to_string(row) + " not found in table '" +
+                            name_ + "'");
+  }
+  INSIGHTNOTES_RETURN_IF_ERROR(heap_.Delete(rows_[row]));
+  rows_[row] = storage::RecordId{};
+  --num_live_;
+  return Status::OK();
+}
+
+bool Table::IsLive(RowId row) const { return row < rows_.size() && rows_[row].valid(); }
+
+Status Table::Scan(const std::function<bool(RowId, const Tuple&)>& fn) const {
+  for (RowId row = 0; row < rows_.size(); ++row) {
+    if (!rows_[row].valid()) continue;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(std::string bytes, heap_.Get(rows_[row]));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes));
+    if (!fn(row, tuple)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace insightnotes::rel

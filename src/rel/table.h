@@ -1,0 +1,67 @@
+// Table: a schema-checked heap of tuples with stable RowIds. RowIds are the
+// anchor annotations attach to (annotation store addresses cells as
+// (table, row, column set)).
+
+#ifndef INSIGHTNOTES_REL_TABLE_H_
+#define INSIGHTNOTES_REL_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rel/schema.h"
+#include "rel/tuple.h"
+#include "storage/heap_file.h"
+
+namespace insightnotes::rel {
+
+using TableId = uint32_t;
+
+class Table {
+ public:
+  /// `pool` must outlive the table.
+  Table(TableId id, std::string name, Schema schema, storage::BufferPool* pool)
+      : id_(id), name_(std::move(name)), schema_(std::move(schema)), heap_(pool) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Inserts a tuple after checking arity and types (NULL fits any column).
+  Result<RowId> Insert(const Tuple& tuple);
+
+  /// Fetches the tuple at `row`.
+  Result<Tuple> Get(RowId row) const;
+
+  /// Deletes the tuple at `row` (RowIds are never reused).
+  Status Delete(RowId row);
+
+  /// True if `row` identifies a live tuple.
+  bool IsLive(RowId row) const;
+
+  /// Calls `fn(row, tuple)` for every live tuple in insertion order;
+  /// stops early when `fn` returns false.
+  Status Scan(const std::function<bool(RowId, const Tuple&)>& fn) const;
+
+  uint64_t NumRows() const { return num_live_; }
+
+ private:
+  Status CheckTuple(const Tuple& tuple) const;
+
+  TableId id_;
+  std::string name_;
+  Schema schema_;
+  storage::HeapFile heap_;
+  // row id -> heap record; invalid RecordId marks a deleted row.
+  std::vector<storage::RecordId> rows_;
+  uint64_t num_live_ = 0;
+};
+
+}  // namespace insightnotes::rel
+
+#endif  // INSIGHTNOTES_REL_TABLE_H_

@@ -1,0 +1,142 @@
+// Unbound SQL AST produced by the parser and consumed by the binder and
+// planner. Expressions hold column *names*; the binder resolves them to
+// positions against the schema in scope.
+
+#ifndef INSIGHTNOTES_SQL_AST_H_
+#define INSIGHTNOTES_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "rel/expression.h"
+#include "rel/value.h"
+
+namespace insightnotes::sql {
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+/// One expression node. A tagged struct rather than a class hierarchy: the
+/// AST is short-lived and visited in exactly two places (binder, planner).
+struct AstExpr {
+  enum class Kind {
+    kColumn,      // name ("a" or "r.a").
+    kLiteral,     // value.
+    kCompare,     // op, left, right.
+    kLogical,     // logical_op, left, right.
+    kNot,         // left.
+    kArithmetic,  // arith_op, left, right.
+    kAggregate,   // agg_fn, left (argument; null for COUNT(*)).
+    kSummaryCount,  // name (instance), value (component label or NULL).
+  };
+
+  Kind kind;
+  std::string name;
+  rel::Value value;
+  rel::CompareOp compare_op = rel::CompareOp::kEq;
+  rel::LogicalOp logical_op = rel::LogicalOp::kAnd;
+  rel::ArithmeticOp arith_op = rel::ArithmeticOp::kAdd;
+  exec::AggregateFunction agg_fn = exec::AggregateFunction::kCountStar;
+  AstExprPtr left;
+  AstExprPtr right;
+
+  bool ContainsAggregate() const {
+    if (kind == Kind::kAggregate) return true;
+    if (left != nullptr && left->ContainsAggregate()) return true;
+    return right != nullptr && right->ContainsAggregate();
+  }
+
+  /// Appends all referenced column names.
+  void CollectColumns(std::vector<std::string>* out) const {
+    if (kind == Kind::kColumn) out->push_back(name);
+    if (left != nullptr) left->CollectColumns(out);
+    if (right != nullptr) right->CollectColumns(out);
+  }
+};
+
+struct SelectItem {
+  AstExprPtr expr;    // Null means '*'.
+  std::string alias;  // Optional output name.
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // Defaults to the table name.
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  AstExprPtr where;                    // May be null.
+  std::vector<AstExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<size_t> limit;
+};
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<std::pair<std::string, rel::ValueType>> columns;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<rel::Value>> rows;  // Literal tuples only.
+};
+
+struct AnnotateStatement {
+  std::string table;
+  rel::RowId row = 0;
+  std::vector<std::string> columns;  // Column names; empty = whole row.
+  std::string body;
+  std::string author;  // Empty = default.
+  bool is_document = false;
+  std::string title;
+};
+
+struct ZoomInStatement {
+  uint64_t qid = 0;
+  AstExprPtr where;  // May be null.
+  std::string instance;
+  size_t index = 0;  // 1-based in the syntax (Figure 3), stored 0-based.
+};
+
+struct CreateInstanceStatement {
+  enum class Type { kClassifier, kCluster, kSnippet };
+  std::string name;
+  Type type = Type::kClassifier;
+  std::vector<std::string> labels;     // Classifier.
+  double threshold = 0.35;             // Cluster.
+  size_t snippet_sentences = 2;        // Snippet.
+  size_t snippet_chars = 200;
+};
+
+struct TrainInstanceStatement {
+  std::string instance;
+  std::string label;
+  std::string text;
+};
+
+struct LinkStatement {
+  std::string instance;
+  std::string table;
+  bool link = true;  // False = UNLINK.
+};
+
+using Statement =
+    std::variant<SelectStatement, CreateTableStatement, InsertStatement,
+                 AnnotateStatement, ZoomInStatement, CreateInstanceStatement,
+                 TrainInstanceStatement, LinkStatement>;
+
+}  // namespace insightnotes::sql
+
+#endif  // INSIGHTNOTES_SQL_AST_H_

@@ -1,0 +1,45 @@
+#include "sql/binder.h"
+
+namespace insightnotes::sql {
+
+Result<rel::ExprPtr> Bind(const AstExpr& expr, const rel::Schema& schema) {
+  switch (expr.kind) {
+    case AstExpr::Kind::kColumn: {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, schema.IndexOf(expr.name));
+      return rel::MakeColumn(index, expr.name);
+    }
+    case AstExpr::Kind::kLiteral:
+      return rel::MakeLiteral(expr.value);
+    case AstExpr::Kind::kCompare: {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr left, Bind(*expr.left, schema));
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr right, Bind(*expr.right, schema));
+      return rel::MakeCompare(expr.compare_op, std::move(left), std::move(right));
+    }
+    case AstExpr::Kind::kLogical: {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr left, Bind(*expr.left, schema));
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr right, Bind(*expr.right, schema));
+      return expr.logical_op == rel::LogicalOp::kAnd
+                 ? rel::MakeAnd(std::move(left), std::move(right))
+                 : rel::MakeOr(std::move(left), std::move(right));
+    }
+    case AstExpr::Kind::kNot: {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr inner, Bind(*expr.left, schema));
+      return rel::MakeNot(std::move(inner));
+    }
+    case AstExpr::Kind::kArithmetic: {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr left, Bind(*expr.left, schema));
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr right, Bind(*expr.right, schema));
+      return rel::MakeArithmetic(expr.arith_op, std::move(left), std::move(right));
+    }
+    case AstExpr::Kind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate functions are only allowed in the SELECT list");
+    case AstExpr::Kind::kSummaryCount:
+      return Status::InvalidArgument(
+          "SUMMARY_COUNT is only allowed as a top-level WHERE conjunct "
+          "(SUMMARY_COUNT(...) <op> <integer>) or as an ORDER BY key");
+  }
+  return Status::Internal("unknown AST expression kind");
+}
+
+}  // namespace insightnotes::sql

@@ -1,0 +1,21 @@
+// Binder: resolves AST expressions against a schema, lowering them to
+// bound rel::Expression trees (column names -> positions).
+
+#ifndef INSIGHTNOTES_SQL_BINDER_H_
+#define INSIGHTNOTES_SQL_BINDER_H_
+
+#include "common/result.h"
+#include "rel/expression.h"
+#include "rel/schema.h"
+#include "sql/ast.h"
+
+namespace insightnotes::sql {
+
+/// Lowers `expr` against `schema`. Aggregate nodes are rejected here — the
+/// planner splits them out before binding (they evaluate over groups, not
+/// single tuples).
+Result<rel::ExprPtr> Bind(const AstExpr& expr, const rel::Schema& schema);
+
+}  // namespace insightnotes::sql
+
+#endif  // INSIGHTNOTES_SQL_BINDER_H_

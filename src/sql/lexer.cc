@@ -1,0 +1,146 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace insightnotes::sql {
+
+namespace {
+
+// Sorted for binary search.
+constexpr std::array<std::string_view, 56> kKeywords = {
+    "AND",      "ANNOTATE", "AS",      "ASC",     "AUTHOR",   "AVG",
+    "BIGINT",   "BY",       "CLASSIFIER", "CLUSTER", "COLUMNS", "COUNT",
+    "CREATE",   "DESC",     "DISTINCT", "DOCUMENT", "DOUBLE",  "FLOAT",
+    "FROM",     "GROUP",    "INDEX",   "INSERT",  "INSTANCE", "INT",
+    "INTO",     "LABEL",    "LABELS",  "LIMIT",   "LINK",     "MAX",
+    "MIN",      "NOT",      "NULL",    "ON",      "OR",       "ORDER",
+    "PROPERTIES", "QID",    "REFERENCE", "ROW",   "SELECT",   "SNIPPET",
+    "SUM",      "SUMMARY",  "SUMMARY_COUNT", "TABLE", "TEXT", "THRESHOLD",
+    "TITLE",
+    "TO",       "TRAIN",    "UNLINK",  "VALUES",  "WHERE",   "WITH",
+    "ZOOMIN",
+};
+
+static_assert(std::is_sorted(kKeywords.begin(), kKeywords.end()),
+              "keyword table must stay sorted");
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(std::string_view word) {
+  std::string upper = ToUpper(word);
+  return std::binary_search(kKeywords.begin(), kKeywords.end(), upper);
+}
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < sql.size() && IsIdentChar(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      if (IsKeyword(word)) {
+        token.type = TokenType::kKeyword;
+        token.text = ToUpper(word);
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = std::move(word);
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i + 1 < sql.size() && sql[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < sql.size() && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string number(sql.substr(start, i - start));
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        token.float_value = std::stod(number);
+      } else {
+        token.type = TokenType::kInteger;
+        token.int_value = std::stoll(number);
+      }
+      token.text = std::move(number);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {  // Escaped quote.
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+    } else {
+      // Symbols; multi-char first.
+      static constexpr std::string_view kTwoChar[] = {"!=", "<>", "<=", ">="};
+      std::string_view rest = sql.substr(i);
+      std::string symbol;
+      for (std::string_view two : kTwoChar) {
+        if (rest.substr(0, 2) == two) {
+          symbol = std::string(two);
+          break;
+        }
+      }
+      if (symbol.empty()) {
+        static constexpr std::string_view kOneChar = ",().*=<>+-/;";
+        if (kOneChar.find(c) == std::string_view::npos) {
+          return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                    "' at offset " + std::to_string(i));
+        }
+        symbol = std::string(1, c);
+      }
+      token.type = TokenType::kSymbol;
+      token.text = symbol;
+      i += symbol.size();
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = sql.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace insightnotes::sql

@@ -1,0 +1,42 @@
+// SQL lexer: case-insensitive keywords, 'single-quoted' strings with ''
+// escaping, integer/float literals, identifiers and operator symbols.
+
+#ifndef INSIGHTNOTES_SQL_LEXER_H_
+#define INSIGHTNOTES_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace insightnotes::sql {
+
+enum class TokenType {
+  kIdentifier,   // Unquoted name (normalized case preserved).
+  kKeyword,      // Recognized keyword (upper-cased text).
+  kInteger,
+  kFloat,
+  kString,       // Quote-stripped, escapes resolved.
+  kSymbol,       // Operators and punctuation: , ( ) . * = != <> <= ...
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // Keyword: upper-case; symbol: literal; etc.
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;   // Byte offset in the input (for error messages).
+};
+
+/// True if `word` (any case) is a reserved keyword.
+bool IsKeyword(std::string_view word);
+
+/// Tokenizes `sql`; the last token is always kEnd.
+Result<std::vector<Token>> Lex(std::string_view sql);
+
+}  // namespace insightnotes::sql
+
+#endif  // INSIGHTNOTES_SQL_LEXER_H_

@@ -1,0 +1,593 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace insightnotes::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (AtKeyword("SELECT")) return ParseSelect();
+    if (AtKeyword("INSERT")) return ParseInsert();
+    if (AtKeyword("ANNOTATE")) return ParseAnnotate();
+    if (AtKeyword("ZOOMIN")) return ParseZoomIn();
+    if (AtKeyword("TRAIN")) return ParseTrain();
+    if (AtKeyword("LINK") || AtKeyword("UNLINK")) return ParseLink();
+    if (AtKeyword("CREATE")) {
+      if (PeekKeyword(1, "TABLE")) return ParseCreateTable();
+      if (PeekKeyword(1, "SUMMARY")) return ParseCreateInstance();
+      return Error("expected TABLE or SUMMARY after CREATE");
+    }
+    return Error("unrecognized statement");
+  }
+
+  Status Finish() {
+    // Optional ';' terminator.
+    if (AtSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("trailing input after statement: '" + Peek().text +
+                                "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  // --- Token helpers --------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  void Advance() { if (pos_ + 1 < tokens_.size()) ++pos_; }
+
+  bool AtKeyword(std::string_view kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool PeekKeyword(size_t ahead, std::string_view kw) const {
+    return Peek(ahead).type == TokenType::kKeyword && Peek(ahead).text == kw;
+  }
+  bool AtSymbol(std::string_view s) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == s;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (!AtKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool ConsumeSymbol(std::string_view s) {
+    if (!AtSymbol(s)) return false;
+    Advance();
+    return true;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (ConsumeKeyword(kw)) return Status::OK();
+    return Status::ParseError("expected " + std::string(kw) + " but found '" +
+                              Peek().text + "' at offset " +
+                              std::to_string(Peek().position));
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (ConsumeSymbol(s)) return Status::OK();
+    return Status::ParseError("expected '" + std::string(s) + "' but found '" +
+                              Peek().text + "' at offset " +
+                              std::to_string(Peek().position));
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected identifier but found '" + Peek().text + "'");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Result<std::string> ExpectString() {
+    if (Peek().type != TokenType::kString) {
+      return Status::ParseError("expected string literal but found '" + Peek().text +
+                                "'");
+    }
+    std::string value = Peek().text;
+    Advance();
+    return value;
+  }
+
+  Result<int64_t> ExpectInteger() {
+    if (Peek().type != TokenType::kInteger) {
+      return Status::ParseError("expected integer but found '" + Peek().text + "'");
+    }
+    int64_t v = Peek().int_value;
+    Advance();
+    return v;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " (near '" + Peek().text + "', offset " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  // --- Expressions ----------------------------------------------------------
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr left, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr right, ParseAnd());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kLogical;
+      node->logical_op = rel::LogicalOp::kOr;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr left, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr right, ParseNot());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kLogical;
+      node->logical_op = rel::LogicalOp::kAnd;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr inner, ParseNot());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kNot;
+      node->left = std::move(inner);
+      return node;
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr left, ParseAdditive());
+    rel::CompareOp op;
+    if (ConsumeSymbol("=")) {
+      op = rel::CompareOp::kEq;
+    } else if (ConsumeSymbol("!=") || ConsumeSymbol("<>")) {
+      op = rel::CompareOp::kNe;
+    } else if (ConsumeSymbol("<=")) {
+      op = rel::CompareOp::kLe;
+    } else if (ConsumeSymbol(">=")) {
+      op = rel::CompareOp::kGe;
+    } else if (ConsumeSymbol("<")) {
+      op = rel::CompareOp::kLt;
+    } else if (ConsumeSymbol(">")) {
+      op = rel::CompareOp::kGt;
+    } else {
+      return left;
+    }
+    INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr right, ParseAdditive());
+    auto node = std::make_unique<AstExpr>();
+    node->kind = AstExpr::Kind::kCompare;
+    node->compare_op = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    return node;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr left, ParseMultiplicative());
+    while (AtSymbol("+") || AtSymbol("-")) {
+      rel::ArithmeticOp op =
+          AtSymbol("+") ? rel::ArithmeticOp::kAdd : rel::ArithmeticOp::kSub;
+      Advance();
+      INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kArithmetic;
+      node->arith_op = op;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr left, ParseUnary());
+    while (AtSymbol("*") || AtSymbol("/")) {
+      rel::ArithmeticOp op =
+          AtSymbol("*") ? rel::ArithmeticOp::kMul : rel::ArithmeticOp::kDiv;
+      Advance();
+      INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kArithmetic;
+      node->arith_op = op;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr inner, ParseUnary());
+      // Lower unary minus to (0 - inner).
+      auto zero = std::make_unique<AstExpr>();
+      zero->kind = AstExpr::Kind::kLiteral;
+      zero->value = rel::Value(static_cast<int64_t>(0));
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kArithmetic;
+      node->arith_op = rel::ArithmeticOp::kSub;
+      node->left = std::move(zero);
+      node->right = std::move(inner);
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParseAggregate() {
+    exec::AggregateFunction fn;
+    if (ConsumeKeyword("COUNT")) {
+      fn = exec::AggregateFunction::kCount;
+    } else if (ConsumeKeyword("SUM")) {
+      fn = exec::AggregateFunction::kSum;
+    } else if (ConsumeKeyword("MIN")) {
+      fn = exec::AggregateFunction::kMin;
+    } else if (ConsumeKeyword("MAX")) {
+      fn = exec::AggregateFunction::kMax;
+    } else if (ConsumeKeyword("AVG")) {
+      fn = exec::AggregateFunction::kAvg;
+    } else {
+      return Error("expected aggregate function");
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto node = std::make_unique<AstExpr>();
+    node->kind = AstExpr::Kind::kAggregate;
+    if (fn == exec::AggregateFunction::kCount && ConsumeSymbol("*")) {
+      node->agg_fn = exec::AggregateFunction::kCountStar;
+    } else {
+      node->agg_fn = fn;
+      INSIGHTNOTES_ASSIGN_OR_RETURN(node->left, ParseExpr());
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return node;
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    if (token.type == TokenType::kKeyword &&
+        (token.text == "COUNT" || token.text == "SUM" || token.text == "MIN" ||
+         token.text == "MAX" || token.text == "AVG")) {
+      return ParseAggregate();
+    }
+    if (ConsumeKeyword("SUMMARY_COUNT")) {
+      // SUMMARY_COUNT(instance [, 'label']) — a summary-based predicate
+      // term (Section 2.1): resolved by the planner, not the binder.
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kSummaryCount;
+      INSIGHTNOTES_ASSIGN_OR_RETURN(node->name, ExpectIdentifier());
+      if (ConsumeSymbol(",")) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(std::string label, ExpectString());
+        node->value = rel::Value(label);
+      }
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return node;
+    }
+    if (ConsumeKeyword("NULL")) {
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kLiteral;
+      node->value = rel::Value::Null();
+      return node;
+    }
+    if (token.type == TokenType::kInteger) {
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kLiteral;
+      node->value = rel::Value(token.int_value);
+      return node;
+    }
+    if (token.type == TokenType::kFloat) {
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kLiteral;
+      node->value = rel::Value(token.float_value);
+      return node;
+    }
+    if (token.type == TokenType::kString) {
+      Advance();
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kLiteral;
+      node->value = rel::Value(token.text);
+      return node;
+    }
+    if (token.type == TokenType::kIdentifier) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      if (ConsumeSymbol(".")) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+        name += "." + column;
+      }
+      auto node = std::make_unique<AstExpr>();
+      node->kind = AstExpr::Kind::kColumn;
+      node->name = std::move(name);
+      return node;
+    }
+    if (ConsumeSymbol("(")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    return Error("expected expression");
+  }
+
+  // --- Statements -----------------------------------------------------------
+  Result<Statement> ParseSelect() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStatement stmt;
+    stmt.distinct = ConsumeKeyword("DISTINCT");
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (ConsumeSymbol("*")) {
+        item.expr = nullptr;
+      } else {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("AS")) {
+          INSIGHTNOTES_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        }
+      }
+      stmt.items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      TableRef ref;
+      INSIGHTNOTES_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+      if (Peek().type == TokenType::kIdentifier) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+      } else {
+        ref.alias = ref.table;
+      }
+      stmt.from.push_back(std::move(ref));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (ConsumeKeyword("WHERE")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(AstExprPtr expr, ParseExpr());
+        stmt.group_by.push_back(std::move(expr));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("ORDER")) {
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        INSIGHTNOTES_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t n, ExpectInteger());
+      if (n < 0) return Error("LIMIT must be non-negative");
+      stmt.limit = static_cast<size_t>(n);
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateTable() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    CreateTableStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      rel::ValueType type;
+      if (ConsumeKeyword("BIGINT") || ConsumeKeyword("INT")) {
+        type = rel::ValueType::kInt64;
+      } else if (ConsumeKeyword("DOUBLE") || ConsumeKeyword("FLOAT")) {
+        type = rel::ValueType::kFloat64;
+      } else if (ConsumeKeyword("TEXT")) {
+        type = rel::ValueType::kString;
+      } else {
+        return Error("expected column type (BIGINT, DOUBLE or TEXT)");
+      }
+      stmt.columns.emplace_back(std::move(column), type);
+      if (!ConsumeSymbol(",")) break;
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<rel::Value> row;
+      while (true) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value v, ParseLiteralValue());
+        row.push_back(std::move(v));
+        if (!ConsumeSymbol(",")) break;
+      }
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<rel::Value> ParseLiteralValue() {
+    bool negative = ConsumeSymbol("-");
+    const Token& token = Peek();
+    if (ConsumeKeyword("NULL")) {
+      if (negative) return Error("cannot negate NULL");
+      return rel::Value::Null();
+    }
+    if (token.type == TokenType::kInteger) {
+      Advance();
+      return rel::Value(negative ? -token.int_value : token.int_value);
+    }
+    if (token.type == TokenType::kFloat) {
+      Advance();
+      return rel::Value(negative ? -token.float_value : token.float_value);
+    }
+    if (token.type == TokenType::kString) {
+      if (negative) return Error("cannot negate a string");
+      Advance();
+      return rel::Value(token.text);
+    }
+    return Error("expected literal value");
+  }
+
+  Result<Statement> ParseAnnotate() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("ANNOTATE"));
+    AnnotateStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("ROW"));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t row, ExpectInteger());
+    stmt.row = static_cast<rel::RowId>(row);
+    if (ConsumeKeyword("COLUMNS")) {
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+        stmt.columns.push_back(std::move(column));
+        if (!ConsumeSymbol(",")) break;
+      }
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("TEXT"));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.body, ExpectString());
+    if (ConsumeKeyword("AUTHOR")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.author, ExpectString());
+    }
+    if (ConsumeKeyword("AS")) {
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("DOCUMENT"));
+      stmt.is_document = true;
+      if (ConsumeKeyword("TITLE")) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.title, ExpectString());
+      }
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseZoomIn() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("ZOOMIN"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("REFERENCE"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("QID"));
+    ZoomInStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t qid, ExpectInteger());
+    stmt.qid = static_cast<uint64_t>(qid);
+    if (ConsumeKeyword("WHERE")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.instance, ExpectIdentifier());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t index, ExpectInteger());
+    if (index < 1) return Error("INDEX is 1-based (Figure 3)");
+    stmt.index = static_cast<size_t>(index - 1);
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateInstance() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("SUMMARY"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("INSTANCE"));
+    CreateInstanceStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+    if (ConsumeKeyword("CLASSIFIER")) {
+      stmt.type = CreateInstanceStatement::Type::kClassifier;
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("LABELS"));
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("("));
+      while (true) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(std::string label, ExpectString());
+        stmt.labels.push_back(std::move(label));
+        if (!ConsumeSymbol(",")) break;
+      }
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else if (ConsumeKeyword("CLUSTER")) {
+      stmt.type = CreateInstanceStatement::Type::kCluster;
+      if (ConsumeKeyword("THRESHOLD")) {
+        const Token& token = Peek();
+        if (token.type == TokenType::kFloat) {
+          stmt.threshold = token.float_value;
+          Advance();
+        } else if (token.type == TokenType::kInteger) {
+          stmt.threshold = static_cast<double>(token.int_value);
+          Advance();
+        } else {
+          return Error("expected numeric THRESHOLD");
+        }
+      }
+    } else if (ConsumeKeyword("SNIPPET")) {
+      stmt.type = CreateInstanceStatement::Type::kSnippet;
+    } else {
+      return Error("expected CLASSIFIER, CLUSTER or SNIPPET");
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseTrain() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("TRAIN"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("SUMMARY"));
+    TrainInstanceStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.instance, ExpectIdentifier());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("LABEL"));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.label, ExpectString());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.text, ExpectString());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseLink() {
+    LinkStatement stmt;
+    if (ConsumeKeyword("LINK")) {
+      stmt.link = true;
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("SUMMARY"));
+      INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.instance, ExpectIdentifier());
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("TO"));
+    } else {
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("UNLINK"));
+      stmt.link = false;
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("SUMMARY"));
+      INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.instance, ExpectIdentifier());
+      INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    }
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    return Statement(std::move(stmt));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view sql) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(Statement statement, parser.ParseStatement());
+  INSIGHTNOTES_RETURN_IF_ERROR(parser.Finish());
+  return statement;
+}
+
+}  // namespace insightnotes::sql

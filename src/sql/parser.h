@@ -1,0 +1,31 @@
+// Recursive-descent parser for the InsightNotes SQL dialect:
+//
+//   SELECT [DISTINCT] items FROM t [alias] (, t [alias])*
+//     [WHERE expr] [GROUP BY exprs] [ORDER BY exprs [ASC|DESC]] [LIMIT n]
+//   CREATE TABLE t (col TYPE, ...)
+//   INSERT INTO t VALUES (...), (...)
+//   ANNOTATE t ROW n [COLUMNS (c, ...)] TEXT 'body' [AUTHOR 'a']
+//     [AS DOCUMENT [TITLE 't']]
+//   ZOOMIN REFERENCE QID n [WHERE expr] ON instance INDEX k     (Figure 3)
+//   CREATE SUMMARY INSTANCE name CLASSIFIER LABELS ('a', 'b', ...)
+//   CREATE SUMMARY INSTANCE name CLUSTER [THRESHOLD x]
+//   CREATE SUMMARY INSTANCE name SNIPPET
+//   TRAIN SUMMARY name LABEL 'l' WITH 'example text'
+//   LINK SUMMARY name TO t   |   UNLINK SUMMARY name FROM t
+
+#ifndef INSIGHTNOTES_SQL_PARSER_H_
+#define INSIGHTNOTES_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace insightnotes::sql {
+
+/// Parses one statement (a trailing ';' is allowed).
+Result<Statement> Parse(std::string_view sql);
+
+}  // namespace insightnotes::sql
+
+#endif  // INSIGHTNOTES_SQL_PARSER_H_

@@ -1,0 +1,536 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "exec/aggregate.h"
+#include "exec/distinct.h"
+#include "exec/filter.h"
+#include "exec/hash_join.h"
+#include "exec/nested_loop_join.h"
+#include "exec/projection.h"
+#include "exec/sort.h"
+#include "exec/summary_filter.h"
+#include "sql/binder.h"
+
+namespace insightnotes::sql {
+
+namespace {
+
+/// Canonical rendering used to match select items against GROUP BY items.
+std::string AstToString(const AstExpr& e) {
+  switch (e.kind) {
+    case AstExpr::Kind::kColumn:
+      return e.name;
+    case AstExpr::Kind::kLiteral:
+      return e.value.ToString();
+    case AstExpr::Kind::kCompare:
+      return "(" + AstToString(*e.left) + " " +
+             std::string(rel::CompareOpToString(e.compare_op)) + " " +
+             AstToString(*e.right) + ")";
+    case AstExpr::Kind::kLogical:
+      return "(" + AstToString(*e.left) +
+             (e.logical_op == rel::LogicalOp::kAnd ? " AND " : " OR ") +
+             AstToString(*e.right) + ")";
+    case AstExpr::Kind::kNot:
+      return "(NOT " + AstToString(*e.left) + ")";
+    case AstExpr::Kind::kArithmetic: {
+      const char* ops[] = {"+", "-", "*", "/"};
+      return "(" + AstToString(*e.left) + " " + ops[static_cast<int>(e.arith_op)] +
+             " " + AstToString(*e.right) + ")";
+    }
+    case AstExpr::Kind::kAggregate:
+      return std::string(exec::AggregateFunctionToString(e.agg_fn)) + "(" +
+             (e.left != nullptr ? AstToString(*e.left) : "*") + ")";
+    case AstExpr::Kind::kSummaryCount:
+      return "SUMMARY_COUNT(" + e.name +
+             (e.value.is_null() ? "" : ", '" + e.value.ToString() + "'") + ")";
+  }
+  return "?";
+}
+
+/// Splits an AND-tree into conjuncts (pointers into the AST).
+void SplitConjuncts(const AstExpr* expr, std::vector<const AstExpr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == AstExpr::Kind::kLogical &&
+      expr->logical_op == rel::LogicalOp::kAnd) {
+    SplitConjuncts(expr->left.get(), out);
+    SplitConjuncts(expr->right.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+/// Returns true (and the table index) when every column referenced by
+/// `expr` resolves into table `k`'s schema slice of the full schema.
+struct ColumnOwnership {
+  // For each referenced column name: which FROM table owns it.
+  std::vector<std::pair<std::string, size_t>> columns;
+  bool resolvable = true;
+};
+
+class SelectPlanner {
+ public:
+  SelectPlanner(const SelectStatement& stmt, core::Engine* engine,
+                const PlannerOptions& options)
+      : stmt_(stmt), engine_(engine), options_(options) {}
+
+  Result<std::unique_ptr<exec::Operator>> Plan() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ResolveTables());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpandStar());
+    INSIGHTNOTES_RETURN_IF_ERROR(CollectReferencedColumns());
+    INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> tree, BuildJoinTree());
+    INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyResidualFilters(std::move(tree)));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyAggregation(std::move(tree)));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyOrderBy(std::move(tree)));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyFinalProjection(std::move(tree)));
+    if (stmt_.distinct) {
+      tree = std::make_unique<exec::DistinctOperator>(std::move(tree));
+    }
+    if (stmt_.limit.has_value()) {
+      tree = std::make_unique<exec::LimitOperator>(std::move(tree), *stmt_.limit);
+    }
+    return tree;
+  }
+
+ private:
+  struct TableSlot {
+    const rel::Table* table = nullptr;
+    std::string alias;
+    rel::Schema schema;                 // Aliased base schema.
+    std::set<std::string> needed;       // Qualified column names to keep.
+    std::vector<const AstExpr*> filters;  // Single-table conjuncts.
+  };
+
+  Status ResolveTables() {
+    for (const TableRef& ref : stmt_.from) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table,
+                                    engine_->catalog()->GetTable(ref.table));
+      TableSlot slot;
+      slot.table = table;
+      slot.alias = ref.alias;
+      slot.schema = table->schema().WithQualifier(ref.alias);
+      tables_.push_back(std::move(slot));
+      full_schema_ = rel::Schema::Concat(full_schema_, tables_.back().schema);
+    }
+    if (tables_.empty()) return Status::InvalidArgument("query has no FROM tables");
+    return Status::OK();
+  }
+
+  /// Replaces '*' items with one column item per full-schema column.
+  Status ExpandStar() {
+    for (const SelectItem& item : stmt_.items) {
+      if (item.expr == nullptr) {
+        for (const rel::Column& c : full_schema_.columns()) {
+          auto col = std::make_unique<AstExpr>();
+          col->kind = AstExpr::Kind::kColumn;
+          col->name = c.QualifiedName();
+          expanded_items_.push_back(SelectItem{std::move(col), ""});
+        }
+      } else {
+        SelectItem copy;
+        copy.alias = item.alias;
+        copy.expr = CloneAst(*item.expr);
+        expanded_items_.push_back(std::move(copy));
+      }
+    }
+    return Status::OK();
+  }
+
+  static AstExprPtr CloneAst(const AstExpr& e) {
+    auto out = std::make_unique<AstExpr>();
+    out->kind = e.kind;
+    out->name = e.name;
+    out->value = e.value;
+    out->compare_op = e.compare_op;
+    out->logical_op = e.logical_op;
+    out->arith_op = e.arith_op;
+    out->agg_fn = e.agg_fn;
+    if (e.left != nullptr) out->left = CloneAst(*e.left);
+    if (e.right != nullptr) out->right = CloneAst(*e.right);
+    return out;
+  }
+
+  /// Resolves a column name to its owning table index.
+  Result<size_t> OwnerOf(const std::string& name) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(size_t global, full_schema_.IndexOf(name));
+    size_t offset = 0;
+    for (size_t k = 0; k < tables_.size(); ++k) {
+      size_t width = tables_[k].schema.NumColumns();
+      if (global < offset + width) return k;
+      offset += width;
+    }
+    return Status::Internal("column resolution out of bounds");
+  }
+
+  /// Marks every column referenced anywhere in the query as needed by its
+  /// owning table (drives the Theorem 1&2 projection push-down).
+  Status CollectReferencedColumns() {
+    std::vector<std::string> names;
+    for (const SelectItem& item : expanded_items_) item.expr->CollectColumns(&names);
+    if (stmt_.where != nullptr) stmt_.where->CollectColumns(&names);
+    for (const auto& g : stmt_.group_by) g->CollectColumns(&names);
+    // ORDER BY may reference output aliases (e.g. an aggregate's name)
+    // rather than base columns: resolve those best-effort only.
+    std::vector<std::string> optional_names;
+    for (const auto& o : stmt_.order_by) o.expr->CollectColumns(&optional_names);
+
+    auto mark_needed = [&](const std::string& name) -> Status {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(size_t owner, OwnerOf(name));
+      INSIGHTNOTES_ASSIGN_OR_RETURN(size_t global, full_schema_.IndexOf(name));
+      size_t offset = 0;
+      for (size_t k = 0; k < owner; ++k) offset += tables_[k].schema.NumColumns();
+      tables_[owner].needed.insert(
+          tables_[owner].schema.ColumnAt(global - offset).QualifiedName());
+      return Status::OK();
+    };
+    for (const std::string& name : names) {
+      INSIGHTNOTES_RETURN_IF_ERROR(mark_needed(name));
+    }
+    for (const std::string& name : optional_names) {
+      Status s = mark_needed(name);
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+
+    // Classify WHERE conjuncts: summary predicates, single-table,
+    // equi-join, or residual.
+    std::vector<const AstExpr*> conjuncts;
+    SplitConjuncts(stmt_.where.get(), &conjuncts);
+    for (const AstExpr* conjunct : conjuncts) {
+      // SUMMARY_COUNT(inst[, 'label']) <op> <integer literal> — a
+      // summary-based predicate, applied above the join tree.
+      if (conjunct->kind == AstExpr::Kind::kCompare) {
+        const AstExpr* sc = nullptr;
+        const AstExpr* lit = nullptr;
+        rel::CompareOp op = conjunct->compare_op;
+        if (conjunct->left->kind == AstExpr::Kind::kSummaryCount) {
+          sc = conjunct->left.get();
+          lit = conjunct->right.get();
+        } else if (conjunct->right->kind == AstExpr::Kind::kSummaryCount) {
+          sc = conjunct->right.get();
+          lit = conjunct->left.get();
+          // Flip the comparison: <lit> op SUMMARY_COUNT == SUMMARY_COUNT op' <lit>.
+          switch (op) {
+            case rel::CompareOp::kLt: op = rel::CompareOp::kGt; break;
+            case rel::CompareOp::kLe: op = rel::CompareOp::kGe; break;
+            case rel::CompareOp::kGt: op = rel::CompareOp::kLt; break;
+            case rel::CompareOp::kGe: op = rel::CompareOp::kLe; break;
+            default: break;
+          }
+        }
+        if (sc != nullptr) {
+          if (lit->kind != AstExpr::Kind::kLiteral ||
+              lit->value.type() != rel::ValueType::kInt64) {
+            return Status::InvalidArgument(
+                "SUMMARY_COUNT must be compared with an integer literal");
+          }
+          exec::SummaryCountSpec spec;
+          spec.instance = sc->name;
+          if (!sc->value.is_null()) spec.label = sc->value.AsString();
+          summary_filters_.push_back(
+              SummaryFilter{std::move(spec), op, lit->value.AsInt64()});
+          continue;
+        }
+      }
+      std::vector<std::string> cols;
+      conjunct->CollectColumns(&cols);
+      std::set<size_t> owners;
+      bool resolvable = true;
+      for (const std::string& c : cols) {
+        auto owner = OwnerOf(c);
+        if (!owner.ok()) {
+          resolvable = false;
+          break;
+        }
+        owners.insert(*owner);
+      }
+      if (!resolvable) {
+        return Status::NotFound("unresolvable column in WHERE clause");
+      }
+      if (owners.size() <= 1) {
+        size_t owner = owners.empty() ? 0 : *owners.begin();
+        tables_[owner].filters.push_back(conjunct);
+      } else if (owners.size() == 2 && conjunct->kind == AstExpr::Kind::kCompare &&
+                 conjunct->compare_op == rel::CompareOp::kEq) {
+        join_conjuncts_.push_back(conjunct);
+      } else {
+        residual_conjuncts_.push_back(conjunct);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Scan [+ filter] [+ Theorem-1 projection] for one table.
+  Result<std::unique_ptr<exec::Operator>> BuildTableInput(size_t k) {
+    TableSlot& slot = tables_[k];
+    INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> tree,
+                                  engine_->MakeScan(slot.table->name(), slot.alias));
+    for (const AstExpr* filter : slot.filters) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound,
+                                    Bind(*filter, tree->OutputSchema()));
+      tree = std::make_unique<exec::FilterOperator>(std::move(tree), std::move(bound));
+    }
+    if (options_.project_before_merge &&
+        slot.needed.size() < slot.schema.NumColumns()) {
+      std::vector<std::string> kept(slot.needed.begin(), slot.needed.end());
+      // Preserve base-table column order for readability.
+      std::sort(kept.begin(), kept.end(), [&](const auto& a, const auto& b) {
+        return *slot.schema.IndexOf(a) < *slot.schema.IndexOf(b);
+      });
+      INSIGHTNOTES_ASSIGN_OR_RETURN(
+          auto project, exec::ProjectOperator::FromColumns(std::move(tree), kept));
+      tree = std::move(project);
+    }
+    return tree;
+  }
+
+  Result<std::unique_ptr<exec::Operator>> BuildJoinTree() {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> tree,
+                                  BuildTableInput(0));
+    std::vector<bool> used(join_conjuncts_.size(), false);
+    for (size_t k = 1; k < tables_.size(); ++k) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> right,
+                                    BuildTableInput(k));
+      // Find an unused equi conjunct with one side in `tree` and one in
+      // `right`.
+      ssize_t chosen = -1;
+      bool left_is_tree = true;
+      for (size_t j = 0; j < join_conjuncts_.size(); ++j) {
+        if (used[j]) continue;
+        const AstExpr* c = join_conjuncts_[j];
+        bool l_tree = BindableAgainst(*c->left, tree->OutputSchema());
+        bool r_right = BindableAgainst(*c->right, right->OutputSchema());
+        bool l_right = BindableAgainst(*c->left, right->OutputSchema());
+        bool r_tree = BindableAgainst(*c->right, tree->OutputSchema());
+        if (l_tree && r_right) {
+          chosen = static_cast<ssize_t>(j);
+          left_is_tree = true;
+          break;
+        }
+        if (l_right && r_tree) {
+          chosen = static_cast<ssize_t>(j);
+          left_is_tree = false;
+          break;
+        }
+      }
+      if (chosen >= 0) {
+        used[static_cast<size_t>(chosen)] = true;
+        const AstExpr* c = join_conjuncts_[static_cast<size_t>(chosen)];
+        const AstExpr* tree_side = left_is_tree ? c->left.get() : c->right.get();
+        const AstExpr* right_side = left_is_tree ? c->right.get() : c->left.get();
+        INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr left_key,
+                                      Bind(*tree_side, tree->OutputSchema()));
+        INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr right_key,
+                                      Bind(*right_side, right->OutputSchema()));
+        tree = std::make_unique<exec::HashJoinOperator>(
+            std::move(tree), std::move(right), std::move(left_key),
+            std::move(right_key));
+      } else {
+        // Cross product via nested loop with a constant-true predicate; any
+        // remaining join conjuncts apply as residual filters.
+        tree = std::make_unique<exec::NestedLoopJoinOperator>(
+            std::move(tree), std::move(right),
+            rel::MakeLiteral(rel::Value(static_cast<int64_t>(1))));
+      }
+    }
+    // Unused join conjuncts (e.g. a second equality between the same pair
+    // of tables) become residual filters.
+    for (size_t j = 0; j < join_conjuncts_.size(); ++j) {
+      if (!used[j]) residual_conjuncts_.push_back(join_conjuncts_[j]);
+    }
+    return tree;
+  }
+
+  static bool BindableAgainst(const AstExpr& expr, const rel::Schema& schema) {
+    std::vector<std::string> cols;
+    expr.CollectColumns(&cols);
+    for (const std::string& c : cols) {
+      if (!schema.Contains(c)) return false;
+    }
+    return !cols.empty();
+  }
+
+  Result<std::unique_ptr<exec::Operator>> ApplyResidualFilters(
+      std::unique_ptr<exec::Operator> tree) {
+    for (const AstExpr* conjunct : residual_conjuncts_) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound,
+                                    Bind(*conjunct, tree->OutputSchema()));
+      tree = std::make_unique<exec::FilterOperator>(std::move(tree), std::move(bound));
+    }
+    for (SummaryFilter& filter : summary_filters_) {
+      tree = std::make_unique<exec::SummaryFilterOperator>(
+          std::move(tree), filter.spec, filter.op, filter.threshold);
+    }
+    return tree;
+  }
+
+  bool HasAggregation() const {
+    if (!stmt_.group_by.empty()) return true;
+    for (const SelectItem& item : expanded_items_) {
+      if (item.expr->ContainsAggregate()) return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<exec::Operator>> ApplyAggregation(
+      std::unique_ptr<exec::Operator> tree) {
+    if (!HasAggregation()) return tree;
+    const rel::Schema& in = tree->OutputSchema();
+
+    std::vector<rel::ExprPtr> group_exprs;
+    std::vector<rel::Column> group_columns;
+    std::vector<std::string> group_keys;  // Canonical AST strings.
+    for (const auto& g : stmt_.group_by) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound, Bind(*g, in));
+      group_keys.push_back(AstToString(*g));
+      rel::Column column{AstToString(*g), rel::ValueType::kNull, ""};
+      if (g->kind == AstExpr::Kind::kColumn) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, in.IndexOf(g->name));
+        column = in.ColumnAt(index);
+      }
+      group_columns.push_back(std::move(column));
+      group_exprs.push_back(std::move(bound));
+    }
+
+    std::vector<exec::AggregateItem> aggregates;
+    agg_output_names_.clear();
+    size_t agg_counter = 0;
+    for (const SelectItem& item : expanded_items_) {
+      if (item.expr->kind == AstExpr::Kind::kAggregate) {
+        exec::AggregateItem agg;
+        agg.fn = item.expr->agg_fn;
+        if (item.expr->left != nullptr) {
+          INSIGHTNOTES_ASSIGN_OR_RETURN(agg.arg, Bind(*item.expr->left, in));
+        }
+        agg.output_name =
+            !item.alias.empty() ? item.alias : "agg" + std::to_string(agg_counter);
+        agg_output_names_.push_back(agg.output_name);
+        aggregates.push_back(std::move(agg));
+        ++agg_counter;
+      } else if (item.expr->ContainsAggregate()) {
+        return Status::NotImplemented(
+            "expressions over aggregates (e.g. COUNT(*)+1) are not supported");
+      } else {
+        // Non-aggregate item must match a GROUP BY expression.
+        std::string key = AstToString(*item.expr);
+        if (std::find(group_keys.begin(), group_keys.end(), key) == group_keys.end()) {
+          return Status::InvalidArgument("select item '" + key +
+                                         "' is neither aggregated nor in GROUP BY");
+        }
+        agg_output_names_.push_back("");  // Resolved via group column name.
+      }
+    }
+    aggregated_ = true;
+    return std::unique_ptr<exec::Operator>(std::make_unique<exec::AggregateOperator>(
+        std::move(tree), std::move(group_exprs), std::move(group_columns),
+        std::move(aggregates)));
+  }
+
+  Result<std::unique_ptr<exec::Operator>> ApplyOrderBy(
+      std::unique_ptr<exec::Operator> tree) {
+    if (stmt_.order_by.empty()) return tree;
+    // Stable sorts compose: applying one stable sort per key from the
+    // least-significant key to the most-significant yields the multi-key
+    // ordering, and lets SUMMARY_COUNT keys (sorted by the dedicated
+    // summary-aware operator) interleave with ordinary expression keys.
+    for (size_t k = stmt_.order_by.size(); k-- > 0;) {
+      const OrderItem& item = stmt_.order_by[k];
+      if (item.expr->kind == AstExpr::Kind::kSummaryCount) {
+        exec::SummaryCountSpec spec;
+        spec.instance = item.expr->name;
+        if (!item.expr->value.is_null()) spec.label = item.expr->value.AsString();
+        tree = std::make_unique<exec::SummarySortOperator>(
+            std::move(tree), std::move(spec), item.ascending);
+        continue;
+      }
+      // Bind against the current (pre-final-projection) schema; aliases of
+      // aggregate outputs are present there already.
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound,
+                                    Bind(*item.expr, tree->OutputSchema()));
+      std::vector<exec::SortKey> keys;
+      keys.push_back(exec::SortKey{std::move(bound), item.ascending});
+      tree = std::make_unique<exec::SortOperator>(std::move(tree), std::move(keys));
+    }
+    return tree;
+  }
+
+  Result<std::unique_ptr<exec::Operator>> ApplyFinalProjection(
+      std::unique_ptr<exec::Operator> tree) {
+    const rel::Schema& in = tree->OutputSchema();
+    std::vector<exec::ProjectionItem> items;
+    size_t agg_index = 0;
+    for (size_t i = 0; i < expanded_items_.size(); ++i) {
+      const SelectItem& item = expanded_items_[i];
+      exec::ProjectionItem out;
+      if (aggregated_) {
+        std::string name;
+        if (item.expr->kind == AstExpr::Kind::kAggregate) {
+          name = agg_output_names_[agg_index];
+        }
+        ++agg_index;
+        if (name.empty()) {
+          // Group column: find it by its column/AST name.
+          name = item.expr->kind == AstExpr::Kind::kColumn ? item.expr->name
+                                                           : AstToString(*item.expr);
+        }
+        INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, in.IndexOf(name));
+        const rel::Column& column = in.ColumnAt(index);
+        out.expr = rel::MakeColumn(index, column.QualifiedName());
+        out.output_name = !item.alias.empty() ? item.alias : column.name;
+        out.qualifier = item.alias.empty() ? column.qualifier : "";
+        out.type = column.type;
+      } else {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(out.expr, Bind(*item.expr, in));
+        if (item.expr->kind == AstExpr::Kind::kColumn) {
+          INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, in.IndexOf(item.expr->name));
+          const rel::Column& column = in.ColumnAt(index);
+          out.output_name = !item.alias.empty() ? item.alias : column.name;
+          out.qualifier = item.alias.empty() ? column.qualifier : "";
+          out.type = column.type;
+        } else {
+          out.output_name =
+              !item.alias.empty() ? item.alias : AstToString(*item.expr);
+          out.type = rel::ValueType::kNull;
+        }
+      }
+      items.push_back(std::move(out));
+    }
+    // Under normalization the trim already happened at the bottom of the
+    // plan; this projection is pure plumbing (Figure 2 step 4: dropping
+    // s.x after the join leaves summaries unchanged). The naive plan trims
+    // here instead — late, after the merges.
+    bool trim = !options_.project_before_merge;
+    return std::unique_ptr<exec::Operator>(std::make_unique<exec::ProjectOperator>(
+        std::move(tree), std::move(items), trim));
+  }
+
+  const SelectStatement& stmt_;
+  core::Engine* engine_;
+  PlannerOptions options_;
+
+  std::vector<TableSlot> tables_;
+  rel::Schema full_schema_;
+  std::vector<SelectItem> expanded_items_;
+  struct SummaryFilter {
+    exec::SummaryCountSpec spec;
+    rel::CompareOp op;
+    int64_t threshold;
+  };
+
+  std::vector<const AstExpr*> join_conjuncts_;
+  std::vector<const AstExpr*> residual_conjuncts_;
+  std::vector<SummaryFilter> summary_filters_;
+  std::vector<std::string> agg_output_names_;
+  bool aggregated_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<exec::Operator>> PlanSelect(const SelectStatement& stmt,
+                                                   core::Engine* engine,
+                                                   const PlannerOptions& options) {
+  SelectPlanner planner(stmt, engine, options);
+  return planner.Plan();
+}
+
+}  // namespace insightnotes::sql

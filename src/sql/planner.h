@@ -1,0 +1,34 @@
+// Planner: lowers a SELECT AST into a summary-aware operator tree.
+//
+// The key InsightNotes rule (Theorems 1 & 2 of the full paper) is encoded
+// here: the planner pushes a projection onto every base-table scan that
+// eliminates the effect of annotations on never-referenced columns *before*
+// any merge operator (join / group-by / distinct) runs. With normalization
+// on, all equivalent formulations of a query propagate identical summary
+// objects; `project_before_merge = false` exposes the naive pull-up plan
+// for the ablation experiment (E6).
+
+#ifndef INSIGHTNOTES_SQL_PLANNER_H_
+#define INSIGHTNOTES_SQL_PLANNER_H_
+
+#include <memory>
+
+#include "core/engine.h"
+#include "exec/operator.h"
+#include "sql/ast.h"
+
+namespace insightnotes::sql {
+
+struct PlannerOptions {
+  /// Apply the Theorem 1&2 normalization (default on).
+  bool project_before_merge = true;
+};
+
+/// Builds an executable operator tree for `stmt` against `engine`'s catalog.
+Result<std::unique_ptr<exec::Operator>> PlanSelect(const SelectStatement& stmt,
+                                                   core::Engine* engine,
+                                                   const PlannerOptions& options = {});
+
+}  // namespace insightnotes::sql
+
+#endif  // INSIGHTNOTES_SQL_PLANNER_H_

@@ -1,0 +1,53 @@
+// SqlSession: executes InsightNotes SQL statements against an Engine —
+// the layer InsightNotesGate (the GUI of Figure 5; here, the interactive
+// shell example) talks to.
+
+#ifndef INSIGHTNOTES_SQL_SESSION_H_
+#define INSIGHTNOTES_SQL_SESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "sql/planner.h"
+
+namespace insightnotes::sql {
+
+/// The outcome of one statement.
+struct ExecutionOutput {
+  enum class Kind { kRows, kZoomIn, kMessage };
+  Kind kind = Kind::kMessage;
+  core::QueryResult result;   // kRows.
+  core::ZoomInResult zoom;    // kZoomIn.
+  std::string message;        // kMessage (DDL acknowledgements etc.).
+};
+
+class SqlSession {
+ public:
+  /// `engine` must outlive the session.
+  explicit SqlSession(core::Engine* engine, PlannerOptions planner_options = {})
+      : engine_(engine), planner_options_(planner_options) {}
+
+  /// Parses, plans and executes one statement. With `trace` non-null,
+  /// SELECTs record per-operator tuple flow.
+  Result<ExecutionOutput> Execute(std::string_view sql,
+                                  std::vector<core::TraceEvent>* trace = nullptr);
+
+  core::Engine* engine() { return engine_; }
+
+ private:
+  core::Engine* engine_;
+  PlannerOptions planner_options_;
+};
+
+/// Renders a result table ("a | b\n1 | x\n...") with one trailing summary
+/// column per tuple; used by the shell and examples.
+std::string FormatResult(const core::QueryResult& result, bool show_summaries = true);
+
+/// Renders a zoom-in result for display.
+std::string FormatZoomIn(const core::ZoomInResult& zoom);
+
+}  // namespace insightnotes::sql
+
+#endif  // INSIGHTNOTES_SQL_SESSION_H_

@@ -1,0 +1,155 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace insightnotes::storage {
+
+PageGuard::PageGuard(BufferPool* pool, PageId page_id, char* data)
+    : pool_(pool), page_id_(page_id), data_(data) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), page_id_(other.page_id_), data_(other.data_), dirty_(other.dirty_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Unpin(page_id_, dirty_);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+  dirty_ = false;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  frames_.resize(capacity_);
+  for (Frame& f : frames_) {
+    f.data = std::make_unique<char[]>(kPageSize);
+  }
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    TouchLru(it->second);
+    return PageGuard(this, id, frame.data.get());
+  }
+  ++misses_;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, GetFrameFor(id, /*read_from_disk=*/true));
+  Frame& frame = frames_[index];
+  ++frame.pin_count;
+  TouchLru(index);
+  return PageGuard(this, id, frame.data.get());
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, GetFrameFor(id, /*read_from_disk=*/false));
+  Frame& frame = frames_[index];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.dirty = true;
+  ++frame.pin_count;
+  TouchLru(index);
+  return PageGuard(this, id, frame.data.get());
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      INSIGHTNOTES_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count > 0) --frame.pin_count;
+  frame.dirty = frame.dirty || dirty;
+}
+
+Result<size_t> BufferPool::GetFrameFor(PageId id, bool read_from_disk) {
+  size_t index;
+  if (page_table_.size() < capacity_) {
+    // A free frame exists: first frame not in use.
+    index = page_table_.size();
+    // Frames are handed out densely until the pool is full, but after
+    // evictions the "dense" assumption breaks, so scan for a truly free one.
+    if (frames_[index].page_id != kInvalidPageId) {
+      index = capacity_;  // Force the scan below.
+      for (size_t i = 0; i < capacity_; ++i) {
+        if (frames_[i].page_id == kInvalidPageId) {
+          index = i;
+          break;
+        }
+      }
+      if (index == capacity_) return Status::Internal("buffer pool bookkeeping error");
+    }
+  } else {
+    // Evict the least recently used unpinned frame.
+    size_t victim = capacity_;
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      if (frames_[*rit].pin_count == 0) {
+        victim = *rit;
+        break;
+      }
+    }
+    if (victim == capacity_) {
+      return Status::CapacityExceeded("all buffer pool frames are pinned");
+    }
+    Frame& evicted = frames_[victim];
+    if (evicted.dirty) {
+      INSIGHTNOTES_RETURN_IF_ERROR(disk_->WritePage(evicted.page_id, evicted.data.get()));
+    }
+    page_table_.erase(evicted.page_id);
+    lru_.erase(lru_pos_[victim]);
+    lru_pos_.erase(victim);
+    evicted.page_id = kInvalidPageId;
+    evicted.dirty = false;
+    index = victim;
+  }
+
+  Frame& frame = frames_[index];
+  frame.page_id = id;
+  frame.pin_count = 0;
+  frame.dirty = false;
+  if (read_from_disk) {
+    INSIGHTNOTES_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));
+  }
+  page_table_[id] = index;
+  return index;
+}
+
+void BufferPool::TouchLru(size_t frame_index) {
+  auto it = lru_pos_.find(frame_index);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+  }
+  lru_.push_front(frame_index);
+  lru_pos_[frame_index] = lru_.begin();
+}
+
+}  // namespace insightnotes::storage

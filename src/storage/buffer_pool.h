@@ -1,0 +1,108 @@
+// BufferPool: a fixed set of in-memory frames caching disk pages, with LRU
+// replacement, pin counts and dirty-page write-back. Heap files and the
+// zoom-in result cache sit on top of this.
+
+#ifndef INSIGHTNOTES_STORAGE_BUFFER_POOL_H_
+#define INSIGHTNOTES_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+
+namespace insightnotes::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Unpins (and marks dirty if written) on
+/// destruction. Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId page_id, char* data);
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  bool valid() const { return data_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  /// Read-only view of the page bytes.
+  const char* data() const { return data_; }
+
+  /// Mutable view; marks the page dirty.
+  char* MutableData() {
+    dirty_ = true;
+    return data_;
+  }
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId page_id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// LRU buffer pool over a DiskManager. Not thread-safe.
+class BufferPool {
+ public:
+  /// `capacity` is the number of frames. The pool does not own `disk`.
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on a miss.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Allocates a fresh page on disk and pins it (zero-filled).
+  Result<PageGuard> NewPage();
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<char[]> data;
+  };
+
+  void Unpin(PageId id, bool dirty);
+
+  /// Finds a frame for `id`, evicting an unpinned LRU victim if needed.
+  Result<size_t> GetFrameFor(PageId id, bool read_from_disk);
+
+  void TouchLru(size_t frame_index);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  // Front = most recently used. Holds frame indices of resident pages.
+  std::list<size_t> lru_;
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace insightnotes::storage
+
+#endif  // INSIGHTNOTES_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,87 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace insightnotes::storage {
+
+DiskManager::~DiskManager() { Close().ok(); }
+
+Status DiskManager::Open(const std::string& path) {
+  if (is_open()) return Status::Internal("DiskManager already open");
+  path_ = path;
+  if (path.empty()) {
+    in_memory_ = true;
+    num_pages_ = 0;
+    return Status::OK();
+  }
+  // "wb+" truncates: each DiskManager instance owns a fresh file. Reopening
+  // existing databases is out of scope for this engine (annotation stores
+  // are rebuilt from the workload generators).
+  file_ = std::fopen(path.c_str(), "wb+");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open database file '" + path + "'");
+  }
+  num_pages_ = 0;
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  in_memory_ = false;
+  memory_.clear();
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  if (!is_open()) return Status::Internal("DiskManager not open");
+  PageId id = num_pages_++;
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  INSIGHTNOTES_RETURN_IF_ERROR(WritePage(id, zeros));
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  if (!is_open()) return Status::Internal("DiskManager not open");
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page " + std::to_string(id));
+  }
+  ++num_reads_;
+  if (in_memory_) {
+    std::memcpy(out, memory_.data() + static_cast<size_t>(id) * kPageSize, kPageSize);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize), SEEK_SET) != 0) {
+    return Status::IoError("seek failed for page " + std::to_string(id));
+  }
+  if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("short read for page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  if (!is_open()) return Status::Internal("DiskManager not open");
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page " + std::to_string(id));
+  }
+  ++num_writes_;
+  if (in_memory_) {
+    size_t needed = static_cast<size_t>(id + 1) * kPageSize;
+    if (memory_.size() < needed) memory_.resize(needed, '\0');
+    std::memcpy(memory_.data() + static_cast<size_t>(id) * kPageSize, data, kPageSize);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize), SEEK_SET) != 0) {
+    return Status::IoError("seek failed for page " + std::to_string(id));
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("short write for page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace insightnotes::storage

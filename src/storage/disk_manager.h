@@ -1,0 +1,69 @@
+// DiskManager: page-granular I/O over a single database file. Pages are
+// fixed-size (see kPageSize) and identified by dense PageIds. This is the
+// bottom layer under the buffer pool; nothing above it touches the file
+// directly.
+
+#ifndef INSIGHTNOTES_STORAGE_DISK_MANAGER_H_
+#define INSIGHTNOTES_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace insightnotes::storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+inline constexpr size_t kPageSize = 4096;
+
+/// Owns the database file. Not thread-safe (one engine instance per file).
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if needed) the file at `path`. An empty `path` selects
+  /// a purely in-memory mode where pages live in an anonymous buffer —
+  /// convenient for tests and benches that don't care about persistence.
+  Status Open(const std::string& path);
+
+  /// Flushes and closes. Safe to call twice.
+  Status Close();
+
+  /// Appends a zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Reads page `id` into `out` (must have kPageSize bytes).
+  Status ReadPage(PageId id, char* out);
+
+  /// Writes kPageSize bytes from `data` to page `id`.
+  Status WritePage(PageId id, const char* data);
+
+  /// Number of pages allocated so far.
+  uint32_t num_pages() const { return num_pages_; }
+
+  /// Lifetime I/O counters (for benches and cache-efficiency reporting).
+  uint64_t num_reads() const { return num_reads_; }
+  uint64_t num_writes() const { return num_writes_; }
+
+  bool is_open() const { return file_ != nullptr || in_memory_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool in_memory_ = false;
+  std::string memory_;  // Backing store in in-memory mode.
+  uint32_t num_pages_ = 0;
+  uint64_t num_reads_ = 0;
+  uint64_t num_writes_ = 0;
+};
+
+}  // namespace insightnotes::storage
+
+#endif  // INSIGHTNOTES_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,127 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+namespace insightnotes::storage {
+
+Result<RecordId> HeapFile::Append(std::string_view record) {
+  if (record.size() > kMaxInlineRecord) {
+    return AppendOverflow(record);
+  }
+  std::string tagged;
+  tagged.reserve(record.size() + 1);
+  tagged.push_back(kInlineTag);
+  tagged.append(record);
+  return AppendInline(tagged);
+}
+
+Result<RecordId> HeapFile::AppendInline(std::string_view record) {
+  if (!pages_.empty()) {
+    PageId last = pages_.back();
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(last));
+    SlottedPage page(guard.MutableData());
+    if (page.HasRoomFor(record.size())) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(SlotId slot, page.Insert(record));
+      ++num_records_;
+      return RecordId{last, slot};
+    }
+  }
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+  SlottedPage page(guard.MutableData());
+  page.Initialize();
+  INSIGHTNOTES_ASSIGN_OR_RETURN(SlotId slot, page.Insert(record));
+  pages_.push_back(guard.page_id());
+  ++num_records_;
+  return RecordId{guard.page_id(), slot};
+}
+
+Result<RecordId> HeapFile::AppendOverflow(std::string_view record) {
+  // Write the chain back-to-front so each page knows its successor.
+  PageId next = kInvalidPageId;
+  // Chunk boundaries: the final chunk may be short; all chunks are written
+  // front-to-back in the record but allocated back-to-front here.
+  size_t num_chunks = (record.size() + kOverflowPayload - 1) / kOverflowPayload;
+  for (size_t chunk = num_chunks; chunk-- > 0;) {
+    size_t begin = chunk * kOverflowPayload;
+    size_t len = std::min(kOverflowPayload, record.size() - begin);
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+    char* data = guard.MutableData();
+    OverflowHeader header{next, static_cast<uint32_t>(len)};
+    std::memcpy(data, &header, sizeof(header));
+    std::memcpy(data + sizeof(header), record.data() + begin, len);
+    next = guard.page_id();
+  }
+
+  char stub[1 + sizeof(uint32_t) + sizeof(PageId)];
+  stub[0] = kOverflowTag;
+  auto total = static_cast<uint32_t>(record.size());
+  std::memcpy(stub + 1, &total, sizeof(total));
+  std::memcpy(stub + 1 + sizeof(total), &next, sizeof(next));
+  return AppendInline(std::string_view(stub, sizeof(stub)));
+}
+
+Result<std::string> HeapFile::Get(const RecordId& rid) const {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
+  SlottedPage page(const_cast<char*>(guard.data()));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(std::string_view bytes, page.Get(rid.slot));
+  if (bytes.empty()) return Status::Internal("empty record payload");
+  if (bytes[0] == kOverflowTag) return ReadOverflow(bytes);
+  return std::string(bytes.substr(1));
+}
+
+Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
+  uint32_t total;
+  PageId first;
+  std::memcpy(&total, stub.data() + 1, sizeof(total));
+  std::memcpy(&first, stub.data() + 1 + sizeof(total), sizeof(first));
+  std::string out;
+  out.reserve(total);
+  PageId current = first;
+  while (current != kInvalidPageId && out.size() < total) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(current));
+    OverflowHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    out.append(guard.data() + sizeof(header), header.length);
+    current = header.next;
+  }
+  if (out.size() != total) {
+    return Status::Internal("overflow chain truncated: expected " +
+                            std::to_string(total) + " bytes, got " +
+                            std::to_string(out.size()));
+  }
+  return out;
+}
+
+Status HeapFile::Delete(const RecordId& rid) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
+  SlottedPage page(guard.MutableData());
+  INSIGHTNOTES_RETURN_IF_ERROR(page.Delete(rid.slot));
+  --num_records_;
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(const RecordId&, std::string_view)>& fn) const {
+  for (PageId page_id : pages_) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+    SlottedPage page(const_cast<char*>(guard.data()));
+    uint16_t num_slots = page.NumSlots();
+    for (SlotId slot = 0; slot < num_slots; ++slot) {
+      auto bytes = page.Get(slot);
+      if (!bytes.ok()) continue;  // Tombstone.
+      std::string materialized;
+      std::string_view view = *bytes;
+      if (view.empty()) return Status::Internal("empty record payload");
+      if (view[0] == kOverflowTag) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(materialized, ReadOverflow(view));
+        view = materialized;
+      } else {
+        view = view.substr(1);
+      }
+      if (!fn(RecordId{page_id, slot}, view)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace insightnotes::storage

@@ -1,0 +1,81 @@
+// HeapFile: an unordered collection of variable-length records stored in
+// slotted pages through the buffer pool. Records larger than a page spill
+// into overflow-page chains (annotation attachments can be multi-KB
+// documents). RecordIds (page, slot) are stable handles.
+
+#ifndef INSIGHTNOTES_STORAGE_HEAP_FILE_H_
+#define INSIGHTNOTES_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace insightnotes::storage {
+
+struct RecordId {
+  PageId page = kInvalidPageId;
+  SlotId slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  friend bool operator==(const RecordId&, const RecordId&) = default;
+};
+
+/// Heap file over a shared buffer pool. Multiple heap files may share one
+/// pool/disk (each tracks its own page list). Not thread-safe.
+class HeapFile {
+ public:
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a record, returning its stable id.
+  Result<RecordId> Append(std::string_view record);
+
+  /// Reads the record at `rid` (resolving overflow chains).
+  Result<std::string> Get(const RecordId& rid) const;
+
+  /// Tombstones the record at `rid`. Overflow pages are not reclaimed.
+  Status Delete(const RecordId& rid);
+
+  /// Invokes `fn(rid, bytes)` for every live record in storage order.
+  /// Iteration stops early if `fn` returns false.
+  Status Scan(const std::function<bool(const RecordId&, std::string_view)>& fn) const;
+
+  uint64_t num_records() const { return num_records_; }
+  size_t num_data_pages() const { return pages_.size(); }
+
+ private:
+  // Every in-page payload starts with a tag byte distinguishing an inline
+  // record from a spilled-record stub:
+  //   inline:   [kInlineTag] [record bytes]
+  //   overflow: [kOverflowTag] [total_len (u32)] [first overflow page (u32)]
+  static constexpr char kInlineTag = 0;
+  static constexpr char kOverflowTag = 1;
+  // Records at or below this length are stored inline.
+  static constexpr size_t kMaxInlineRecord = kPageSize - 64;
+
+  struct OverflowHeader {
+    PageId next;
+    uint32_t length;  // Payload bytes in this page.
+  };
+  static constexpr size_t kOverflowPayload = kPageSize - sizeof(OverflowHeader);
+
+  Result<RecordId> AppendInline(std::string_view record);
+  Result<RecordId> AppendOverflow(std::string_view record);
+  Result<std::string> ReadOverflow(std::string_view stub) const;
+
+  BufferPool* pool_;
+  std::vector<PageId> pages_;  // Data pages in append order.
+  uint64_t num_records_ = 0;
+};
+
+}  // namespace insightnotes::storage
+
+#endif  // INSIGHTNOTES_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,73 @@
+#include "storage/page.h"
+
+namespace insightnotes::storage {
+
+void SlottedPage::Initialize() {
+  std::memset(data_, 0, kPageSize);
+  header()->num_slots = 0;
+  header()->free_ptr = static_cast<uint16_t>(kPageSize);
+}
+
+uint16_t SlottedPage::NumSlots() const { return header()->num_slots; }
+
+uint16_t SlottedPage::NumRecords() const {
+  uint16_t live = 0;
+  const Slot* slots = slot_array();
+  for (uint16_t i = 0; i < header()->num_slots; ++i) {
+    if (slots[i].offset != kTombstone) ++live;
+  }
+  return live;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t directory_end = sizeof(Header) + sizeof(Slot) * header()->num_slots;
+  size_t free_ptr = header()->free_ptr;
+  if (free_ptr < directory_end) return 0;
+  return free_ptr - directory_end;
+}
+
+bool SlottedPage::HasRoomFor(size_t len) const {
+  return FreeSpace() >= len + sizeof(Slot);
+}
+
+Result<SlotId> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > kPageSize) {
+    return Status::InvalidArgument("record larger than a page");
+  }
+  if (!HasRoomFor(record.size())) {
+    return Status::CapacityExceeded("page full");
+  }
+  uint16_t new_free = static_cast<uint16_t>(header()->free_ptr - record.size());
+  std::memcpy(data_ + new_free, record.data(), record.size());
+  SlotId slot = header()->num_slots;
+  slot_array()[slot] = {new_free, static_cast<uint16_t>(record.size())};
+  header()->num_slots = static_cast<uint16_t>(slot + 1);
+  header()->free_ptr = new_free;
+  return slot;
+}
+
+Result<std::string_view> SlottedPage::Get(SlotId slot) const {
+  if (slot >= header()->num_slots) {
+    return Status::NotFound("slot " + std::to_string(slot) + " out of range");
+  }
+  const Slot& s = slot_array()[slot];
+  if (s.offset == kTombstone) {
+    return Status::NotFound("slot " + std::to_string(slot) + " deleted");
+  }
+  return std::string_view(data_ + s.offset, s.length);
+}
+
+Status SlottedPage::Delete(SlotId slot) {
+  if (slot >= header()->num_slots) {
+    return Status::NotFound("slot " + std::to_string(slot) + " out of range");
+  }
+  Slot& s = slot_array()[slot];
+  if (s.offset == kTombstone) {
+    return Status::NotFound("slot " + std::to_string(slot) + " already deleted");
+  }
+  s.offset = kTombstone;
+  s.length = 0;
+  return Status::OK();
+}
+
+}  // namespace insightnotes::storage

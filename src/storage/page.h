@@ -1,0 +1,81 @@
+// SlottedPage: classic variable-length-record page layout.
+//
+//   [ header | slot directory -> ...grows right | free | ...records grow left ]
+//
+// Header: {record count, free-space pointer}. Each slot holds {offset, len};
+// a deleted record leaves a tombstone slot (offset = kTombstone) so slot ids
+// stay stable, which lets RecordIds (page_id, slot) be permanent handles.
+
+#ifndef INSIGHTNOTES_STORAGE_PAGE_H_
+#define INSIGHTNOTES_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+
+namespace insightnotes::storage {
+
+using SlotId = uint16_t;
+
+/// View over a kPageSize buffer interpreted as a slotted page. Does not own
+/// the buffer (the buffer pool does).
+class SlottedPage {
+ public:
+  /// Wraps `data` (must be kPageSize bytes, and must outlive the view).
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats the buffer as an empty page.
+  void Initialize();
+
+  /// Number of slots (including tombstones).
+  uint16_t NumSlots() const;
+
+  /// Live (non-tombstone) record count.
+  uint16_t NumRecords() const;
+
+  /// Bytes available for a new record (accounting for its slot entry).
+  size_t FreeSpace() const;
+
+  /// True if a record of `len` bytes fits.
+  bool HasRoomFor(size_t len) const;
+
+  /// Inserts a record, returning its slot. Fails with CapacityExceeded if it
+  /// does not fit.
+  Result<SlotId> Insert(std::string_view record);
+
+  /// Returns the record bytes at `slot`, or NotFound for tombstones /
+  /// out-of-range slots. The view is valid until the page is modified.
+  Result<std::string_view> Get(SlotId slot) const;
+
+  /// Tombstones `slot`. Space is not reclaimed (no compaction); the heap
+  /// file treats pages as append-mostly, matching annotation workloads.
+  Status Delete(SlotId slot);
+
+ private:
+  struct Header {
+    uint16_t num_slots;
+    uint16_t free_ptr;  // Offset of the byte past the last usable free byte.
+  };
+  struct Slot {
+    uint16_t offset;
+    uint16_t length;
+  };
+  static constexpr uint16_t kTombstone = 0xFFFF;
+
+  Header* header() { return reinterpret_cast<Header*>(data_); }
+  const Header* header() const { return reinterpret_cast<const Header*>(data_); }
+  Slot* slot_array() { return reinterpret_cast<Slot*>(data_ + sizeof(Header)); }
+  const Slot* slot_array() const {
+    return reinterpret_cast<const Slot*>(data_ + sizeof(Header));
+  }
+
+  char* data_;
+};
+
+}  // namespace insightnotes::storage
+
+#endif  // INSIGHTNOTES_STORAGE_PAGE_H_

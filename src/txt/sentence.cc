@@ -1,0 +1,70 @@
+#include "txt/sentence.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace insightnotes::txt {
+
+namespace {
+
+// Trailing words after which a '.' does not end a sentence.
+constexpr std::array<std::string_view, 10> kAbbreviations = {
+    "dr", "mr", "mrs", "ms", "prof", "e.g", "i.e", "etc", "vs", "fig"};
+
+bool EndsWithAbbreviation(std::string_view text_before_dot) {
+  // Extract the final word (letters and internal dots only).
+  size_t end = text_before_dot.size();
+  size_t start = end;
+  while (start > 0) {
+    char c = text_before_dot[start - 1];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '.') {
+      --start;
+    } else {
+      break;
+    }
+  }
+  if (start == end) return false;
+  std::string word = ToLower(text_before_dot.substr(start, end - start));
+  for (std::string_view abbr : kAbbreviations) {
+    if (word == abbr) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\n') {
+      std::string_view stripped = StripWhitespace(current);
+      if (!stripped.empty()) sentences.emplace_back(stripped);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+    if (c == '!' || c == '?' ||
+        (c == '.' && !EndsWithAbbreviation(
+                         std::string_view(current).substr(0, current.size() - 1)))) {
+      // A terminator followed by end-of-text, whitespace, or a quote closes
+      // the sentence; "3.14" stays together because the next char is a digit.
+      bool boundary = (i + 1 >= text.size()) ||
+                      std::isspace(static_cast<unsigned char>(text[i + 1])) ||
+                      text[i + 1] == '"' || text[i + 1] == '\'';
+      if (boundary) {
+        std::string_view stripped = StripWhitespace(current);
+        if (!stripped.empty()) sentences.emplace_back(stripped);
+        current.clear();
+      }
+    }
+  }
+  std::string_view stripped = StripWhitespace(current);
+  if (!stripped.empty()) sentences.emplace_back(stripped);
+  return sentences;
+}
+
+}  // namespace insightnotes::txt

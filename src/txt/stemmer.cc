@@ -1,0 +1,306 @@
+#include "txt/stemmer.h"
+
+#include <cctype>
+
+namespace insightnotes::txt {
+
+namespace {
+
+// Implementation of the classic 5-step Porter algorithm. Operates on a
+// mutable buffer `b` with logical end `k` (index of last character).
+class PorterContext {
+ public:
+  explicit PorterContext(std::string word) : b_(std::move(word)), k_(b_.size() - 1) {}
+
+  std::string Run() {
+    if (b_.size() <= 2) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(k_ + 1);
+    return b_;
+  }
+
+ private:
+  bool IsConsonant(size_t i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the word prefix [0, j]: number of VC sequences.
+  size_t Measure(size_t j) const {
+    size_t n = 0;
+    size_t i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if [0, j] contains a vowel.
+  bool HasVowel(size_t j) const {
+    for (size_t i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True if word ends with a double consonant at position j.
+  bool DoubleConsonant(size_t j) const {
+    if (j < 1) return false;
+    if (b_[j] != b_[j - 1]) return false;
+    return IsConsonant(j);
+  }
+
+  // True if [i-2, i] is consonant-vowel-consonant and the final consonant is
+  // not w, x or y. Used to detect e.g. -hop- in "hopping".
+  bool CvcEndsAt(size_t i) const {
+    if (i < 2) return false;
+    if (!IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) return false;
+    char ch = b_[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True if the word [0, k_] ends with `s`; sets j_ to the stem end. The
+  // suffix must leave at least one stem character (a word equal to the
+  // suffix has measure 0 and would never be rewritten anyway), which keeps
+  // j_ a valid index.
+  bool Ends(std::string_view s) {
+    size_t len = s.size();
+    if (len >= k_ + 1) return false;
+    if (b_.compare(k_ + 1 - len, len, s) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the suffix (j_+1 .. k_) with `s`.
+  void SetTo(std::string_view s) {
+    b_.resize(j_ + 1);
+    b_.append(s);
+    k_ = b_.size() - 1;
+  }
+
+  // Replaces the suffix with `s` iff the stem measure is positive.
+  void ReplaceIfMeasurePositive(std::string_view s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  // Step 1a: plurals. caresses->caress, ponies->poni, cats->cat.
+  // Step 1b: -eed/-ed/-ing. feed->feed, agreed->agree, plastered->plaster.
+  void Step1ab() {
+    if (b_[k_] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && HasVowel(j_)) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char ch = b_[k_];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (Measure(k_) == 1 && CvcEndsAt(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+    b_.resize(k_ + 1);
+  }
+
+  // Step 1c: y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && HasVowel(j_)) b_[k_] = 'i';
+  }
+
+  // Step 2: double suffixes -> single ones when measure > 0.
+  void Step2() {
+    if (k_ < 2) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfMeasurePositive("ate"); return; }
+        if (Ends("tional")) { ReplaceIfMeasurePositive("tion"); return; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfMeasurePositive("ence"); return; }
+        if (Ends("anci")) { ReplaceIfMeasurePositive("ance"); return; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfMeasurePositive("ize"); return; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfMeasurePositive("ble"); return; }
+        if (Ends("alli")) { ReplaceIfMeasurePositive("al"); return; }
+        if (Ends("entli")) { ReplaceIfMeasurePositive("ent"); return; }
+        if (Ends("eli")) { ReplaceIfMeasurePositive("e"); return; }
+        if (Ends("ousli")) { ReplaceIfMeasurePositive("ous"); return; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfMeasurePositive("ize"); return; }
+        if (Ends("ation")) { ReplaceIfMeasurePositive("ate"); return; }
+        if (Ends("ator")) { ReplaceIfMeasurePositive("ate"); return; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfMeasurePositive("al"); return; }
+        if (Ends("iveness")) { ReplaceIfMeasurePositive("ive"); return; }
+        if (Ends("fulness")) { ReplaceIfMeasurePositive("ful"); return; }
+        if (Ends("ousness")) { ReplaceIfMeasurePositive("ous"); return; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfMeasurePositive("al"); return; }
+        if (Ends("iviti")) { ReplaceIfMeasurePositive("ive"); return; }
+        if (Ends("biliti")) { ReplaceIfMeasurePositive("ble"); return; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfMeasurePositive("log"); return; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -icate/-ative/-alize/... -> stem.
+  void Step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfMeasurePositive("ic"); return; }
+        if (Ends("ative")) { ReplaceIfMeasurePositive(""); return; }
+        if (Ends("alize")) { ReplaceIfMeasurePositive("al"); return; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfMeasurePositive("ic"); return; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfMeasurePositive("ic"); return; }
+        if (Ends("ful")) { ReplaceIfMeasurePositive(""); return; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfMeasurePositive(""); return; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: strip -ant/-ence/-ment/... when measure > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && (b_[j_] == 's' || b_[j_] == 't')) break;
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure(j_) > 1) {
+      k_ = j_;
+      b_.resize(k_ + 1);
+    }
+  }
+
+  // Step 5: remove final -e and reduce -ll when measure > 1.
+  void Step5() {
+    if (k_ > 0 && b_[k_] == 'e') {
+      size_t m = Measure(k_ - 1);
+      if (m > 1 || (m == 1 && !CvcEndsAt(k_ - 1))) --k_;
+    }
+    if (b_[k_] == 'l' && DoubleConsonant(k_) && Measure(k_) > 1) --k_;
+    b_.resize(k_ + 1);
+  }
+
+  std::string b_;
+  size_t k_;  // Index of the last character.
+  size_t j_ = 0;  // Stem end set by Ends().
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) return std::string(word);
+  }
+  if (word.size() <= 2) return std::string(word);
+  return PorterContext(std::string(word)).Run();
+}
+
+}  // namespace insightnotes::txt

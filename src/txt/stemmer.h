@@ -1,0 +1,19 @@
+// Porter stemmer (M.F. Porter, 1980): reduces English words to stems so
+// that inflected forms ("observing", "observed", "observes") collapse to a
+// common term for classification and similarity purposes.
+
+#ifndef INSIGHTNOTES_TXT_STEMMER_H_
+#define INSIGHTNOTES_TXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace insightnotes::txt {
+
+/// Returns the Porter stem of `word`. `word` must already be lower-case
+/// ASCII; non-alphabetic input is returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace insightnotes::txt
+
+#endif  // INSIGHTNOTES_TXT_STEMMER_H_

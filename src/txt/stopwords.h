@@ -1,0 +1,15 @@
+// English stopword list used by the tokenizer.
+
+#ifndef INSIGHTNOTES_TXT_STOPWORDS_H_
+#define INSIGHTNOTES_TXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace insightnotes::txt {
+
+/// True if `word` (already lower-cased) is an English stopword.
+bool IsStopword(std::string_view word);
+
+}  // namespace insightnotes::txt
+
+#endif  // INSIGHTNOTES_TXT_STOPWORDS_H_

@@ -1,0 +1,41 @@
+#include "txt/tokenizer.h"
+
+#include <cctype>
+
+#include "txt/stemmer.h"
+#include "txt/stopwords.h"
+
+namespace insightnotes::txt {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() < options_.min_token_length) {
+      current.clear();
+      return;
+    }
+    if (options_.remove_stopwords && IsStopword(current)) {
+      current.clear();
+      return;
+    }
+    if (options_.stem) {
+      tokens.push_back(PorterStem(current));
+    } else {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char raw : text) {
+    auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(options_.lowercase ? static_cast<char>(std::tolower(c)) : raw);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace insightnotes::txt

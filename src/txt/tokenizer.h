@@ -1,0 +1,42 @@
+// Tokenization of free-text annotations into normalized terms.
+//
+// The pipeline (configurable): lower-case -> split on non-alphanumerics ->
+// drop stopwords -> drop very short tokens -> Porter-stem. This feeds the
+// Naive Bayes classifier, the similarity clustering, and TF-IDF sentence
+// scoring in the snippet summarizer.
+
+#ifndef INSIGHTNOTES_TXT_TOKENIZER_H_
+#define INSIGHTNOTES_TXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace insightnotes::txt {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  bool stem = true;
+  /// Tokens shorter than this (after normalization) are dropped.
+  size_t min_token_length = 2;
+};
+
+/// Stateless, reusable tokenizer.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(TokenizerOptions options) : options_(options) {}
+
+  /// Splits `text` into normalized term tokens.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace insightnotes::txt
+
+#endif  // INSIGHTNOTES_TXT_TOKENIZER_H_

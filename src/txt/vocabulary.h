@@ -1,0 +1,53 @@
+// Vocabulary: interns term strings to dense integer ids and tracks document
+// frequencies, so the mining kernels can work on integer term ids.
+
+#ifndef INSIGHTNOTES_TXT_VOCABULARY_H_
+#define INSIGHTNOTES_TXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace insightnotes::txt {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// Append-only term dictionary. Term ids are dense and stable.
+class Vocabulary {
+ public:
+  /// Returns the id for `term`, adding it if unseen.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id for `term` or kInvalidTermId if unseen.
+  TermId Lookup(std::string_view term) const;
+
+  /// Inverse mapping; `id` must be valid.
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  /// Document-frequency tracking: call once per distinct term per document.
+  void BumpDocumentFrequency(TermId id);
+  uint32_t DocumentFrequency(TermId id) const { return doc_freq_[id]; }
+
+  /// Number of documents folded into the df counts (caller-maintained via
+  /// BumpDocumentCount).
+  void BumpDocumentCount() { ++num_documents_; }
+  uint64_t num_documents() const { return num_documents_; }
+
+  /// Smoothed inverse document frequency: ln((N + 1) / (df + 1)) + 1.
+  double Idf(TermId id) const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+  std::vector<uint32_t> doc_freq_;
+  uint64_t num_documents_ = 0;
+};
+
+}  // namespace insightnotes::txt
+
+#endif  // INSIGHTNOTES_TXT_VOCABULARY_H_

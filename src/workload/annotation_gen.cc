@@ -1,0 +1,191 @@
+#include "workload/annotation_gen.h"
+
+#include <array>
+
+namespace insightnotes::workload {
+
+namespace {
+
+// Template pools per class. "%N" = species common name, "%S" = scientific
+// name, "%R" = region, "%D" = a random small number.
+const std::array<std::vector<std::string>, kNumAnnotationClasses> kTemplates = {{
+    // Behavior.
+    {"found eating stonewort near the shore",
+     "observed foraging at dusk with a flock of %D birds",
+     "aggressive behavior during nesting season noted",
+     "seen migrating south across %R in formation",
+     "pair observed building a nest close to the water",
+     "diving repeatedly for small fish and aquatic plants",
+     "the %N was calling loudly at dawn",
+     "courtship display lasted about %D minutes"},
+    // Disease.
+    {"signs of avian influenza infection detected in this population",
+     "sick individual with visible parasite infestation",
+     "lesions on the beak suggest a fungal disease",
+     "unusual lethargy may indicate infection",
+     "%D individuals found dead, disease suspected",
+     "feather loss consistent with mite infestation"},
+    // Anatomy.
+    {"large one having size around %D kilograms",
+     "wingspan measured at %D centimeters",
+     "long neck and orange beak with white feathers",
+     "body weight above average for %N",
+     "juvenile plumage still visible on the wings",
+     "unusually short tail feathers on this specimen",
+     "size seems wrong for an adult %N"},
+    // Other.
+    {"see the attached photo from the trip to %R",
+     "related wikipedia article linked for reference",
+     "recording of the call uploaded separately",
+     "misc note: equipment calibration was off today"},
+    // Provenance.
+    {"record produced by experiment E%D pipeline",
+     "derived from the %R winter survey dataset",
+     "value imported from the legacy database by the curation team",
+     "lineage: aggregated from %D field reports",
+     "source: banding station log %D"},
+    // Comment.
+    {"beautiful specimen observed this morning",
+     "third sighting of %N in this county this year",
+     "weather was cloudy, visibility moderate",
+     "count may be off by a few individuals",
+     "general remark: habitat quality declining in %R",
+     "confirmed the earlier observation by another watcher"},
+    // Question.
+    {"why is the population estimate for %N so high",
+     "is this really %S or a similar species",
+     "unclear whether this was an adult or juvenile",
+     "what explains the unusual coloration observed here",
+     "needs verification by a regional expert"},
+}};
+
+const std::vector<std::string> kDocumentSentences = {
+    "The %N (%S) is a bird of the family noted across %R.",
+    "It breeds in the northern parts of its range and winters further south.",
+    "Adults weigh around %D kilograms with considerable seasonal variation.",
+    "The species feeds on aquatic vegetation, seeds and small invertebrates.",
+    "Population estimates have fluctuated over the last %D decades.",
+    "Conservation programs in %R monitor nesting sites each season.",
+    "Migration routes cross several major flyways.",
+    "The call is a distinctive honking that carries over long distances.",
+    "Juveniles reach maturity after roughly %D years.",
+    "Habitat loss remains the primary threat according to recent surveys.",
+};
+
+}  // namespace
+
+std::string_view AnnotationClassToString(AnnotationClass c) {
+  switch (c) {
+    case AnnotationClass::kBehavior:
+      return "Behavior";
+    case AnnotationClass::kDisease:
+      return "Disease";
+    case AnnotationClass::kAnatomy:
+      return "Anatomy";
+    case AnnotationClass::kOther:
+      return "Other";
+    case AnnotationClass::kProvenance:
+      return "Provenance";
+    case AnnotationClass::kComment:
+      return "Comment";
+    case AnnotationClass::kQuestion:
+      return "Question";
+  }
+  return "?";
+}
+
+std::string AnnotationGenerator::FillTemplate(const std::string& tmpl,
+                                              const BirdSpecies& species) {
+  std::string out;
+  out.reserve(tmpl.size() + 32);
+  for (size_t i = 0; i < tmpl.size(); ++i) {
+    if (tmpl[i] == '%' && i + 1 < tmpl.size()) {
+      switch (tmpl[i + 1]) {
+        case 'N':
+          out += species.common_name;
+          ++i;
+          continue;
+        case 'S':
+          out += species.scientific_name;
+          ++i;
+          continue;
+        case 'R':
+          out += species.region;
+          ++i;
+          continue;
+        case 'D':
+          out += std::to_string(1 + rng_.Uniform(40));
+          ++i;
+          continue;
+        default:
+          break;
+      }
+    }
+    out.push_back(tmpl[i]);
+  }
+  return out;
+}
+
+GeneratedAnnotation AnnotationGenerator::GenerateComment(const BirdSpecies& species) {
+  auto klass = static_cast<AnnotationClass>(rng_.Weighted(class_weights_));
+  return GenerateComment(species, klass);
+}
+
+GeneratedAnnotation AnnotationGenerator::GenerateComment(const BirdSpecies& species,
+                                                         AnnotationClass klass) {
+  const auto& pool = kTemplates[static_cast<size_t>(klass)];
+  GeneratedAnnotation out;
+  out.label = klass;
+  out.annotation.kind = ann::AnnotationKind::kComment;
+  out.annotation.body = FillTemplate(pool[rng_.Uniform(pool.size())], species);
+  out.annotation.author = "watcher" + std::to_string(rng_.Uniform(200000));
+  out.annotation.timestamp = static_cast<int64_t>(1600000000 + rng_.Uniform(86400 * 365));
+  return out;
+}
+
+GeneratedAnnotation AnnotationGenerator::GenerateDocument(const BirdSpecies& species,
+                                                          size_t sentences) {
+  GeneratedAnnotation out;
+  out.label = AnnotationClass::kOther;
+  out.annotation.kind = ann::AnnotationKind::kDocument;
+  out.annotation.title = "Article: " + species.common_name;
+  out.annotation.author = "curator" + std::to_string(rng_.Uniform(500));
+  out.annotation.timestamp = static_cast<int64_t>(1600000000 + rng_.Uniform(86400 * 365));
+  std::string body;
+  for (size_t i = 0; i < sentences; ++i) {
+    if (i > 0) body += " ";
+    body += FillTemplate(kDocumentSentences[rng_.Uniform(kDocumentSentences.size())],
+                         species);
+  }
+  out.annotation.body = std::move(body);
+  return out;
+}
+
+std::vector<std::pair<size_t, std::string>> AnnotationGenerator::ClassBird1Training() {
+  return {
+      {0, "found eating stonewort foraging flock feeding"},
+      {0, "observed flying migrating south nesting behavior"},
+      {0, "aggressive courtship display diving calling dawn dusk"},
+      {1, "avian influenza infection sick disease detected"},
+      {1, "parasite infestation lesions fungal lethargy dead"},
+      {1, "feather loss mite disease suspected infection"},
+      {2, "size kilograms wingspan centimeters weight measured"},
+      {2, "neck beak feathers plumage tail wings specimen body"},
+      {2, "large adult juvenile size wrong average anatomy"},
+      {3, "photo wikipedia article linked recording uploaded misc"},
+      {3, "attached reference equipment calibration note trip"},
+  };
+}
+
+std::vector<std::pair<size_t, std::string>> AnnotationGenerator::ClassBird2Training() {
+  return {
+      {0, "produced experiment pipeline derived dataset imported lineage source log"},
+      {0, "record legacy database curation aggregated field reports banding station"},
+      {1, "beautiful specimen sighting weather cloudy remark confirmed observation count"},
+      {1, "general comment habitat quality morning county year watcher"},
+      {2, "why is unclear whether question what explains needs verification expert"},
+      {2, "is this really species similar unsure wondering high"},
+  };
+}
+
+}  // namespace insightnotes::workload

@@ -1,0 +1,73 @@
+// Template-driven free-text annotation generator with ground-truth class
+// labels. Mimics the AKN/eBird annotation stream the demo describes
+// (birdwatchers adding 1.6M free-text observations per month): behavior,
+// disease, anatomy observations, provenance notes, plain comments and
+// questions, plus occasional large attached documents.
+
+#ifndef INSIGHTNOTES_WORKLOAD_ANNOTATION_GEN_H_
+#define INSIGHTNOTES_WORKLOAD_ANNOTATION_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "annotation/annotation.h"
+#include "common/random.h"
+#include "workload/bird_data.h"
+
+namespace insightnotes::workload {
+
+/// Ground-truth classes. The first four match ClassBird1's labels, the last
+/// three feed ClassBird2-style instances.
+enum class AnnotationClass : int {
+  kBehavior = 0,
+  kDisease = 1,
+  kAnatomy = 2,
+  kOther = 3,
+  kProvenance = 4,
+  kComment = 5,
+  kQuestion = 6,
+};
+inline constexpr size_t kNumAnnotationClasses = 7;
+
+std::string_view AnnotationClassToString(AnnotationClass c);
+
+struct GeneratedAnnotation {
+  ann::Annotation annotation;
+  AnnotationClass label = AnnotationClass::kComment;
+};
+
+class AnnotationGenerator {
+ public:
+  explicit AnnotationGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// A free-text comment about `species`, drawn from one class's template
+  /// pool (class chosen by `class_weights`; defaults to a realistic mix).
+  GeneratedAnnotation GenerateComment(const BirdSpecies& species);
+
+  /// A comment of a specific class.
+  GeneratedAnnotation GenerateComment(const BirdSpecies& species,
+                                      AnnotationClass klass);
+
+  /// A large attached document (~`sentences` sentences) about `species`.
+  GeneratedAnnotation GenerateDocument(const BirdSpecies& species, size_t sentences);
+
+  /// Training examples for a classifier over the first four classes
+  /// (Behavior/Disease/Anatomy/Other) or the provenance trio.
+  static std::vector<std::pair<size_t, std::string>> ClassBird1Training();
+  static std::vector<std::pair<size_t, std::string>> ClassBird2Training();
+
+  void set_class_weights(std::vector<double> weights) {
+    class_weights_ = std::move(weights);
+  }
+
+ private:
+  std::string FillTemplate(const std::string& tmpl, const BirdSpecies& species);
+
+  Random rng_;
+  // Default mix: mostly behavior observations and comments, like eBird.
+  std::vector<double> class_weights_ = {0.30, 0.08, 0.18, 0.06, 0.10, 0.20, 0.08};
+};
+
+}  // namespace insightnotes::workload
+
+#endif  // INSIGHTNOTES_WORKLOAD_ANNOTATION_GEN_H_

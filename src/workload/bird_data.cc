@@ -1,0 +1,59 @@
+#include "workload/bird_data.h"
+
+namespace insightnotes::workload {
+
+const std::vector<BirdSpecies>& CuratedSpecies() {
+  static const auto* kSpecies = new std::vector<BirdSpecies>{
+      {"Swan Goose", "Anser cygnoides", "Anatidae", "East Asia", 3.2, 60000},
+      {"Mute Swan", "Cygnus olor", "Anatidae", "Eurasia", 11.0, 500000},
+      {"Grey Heron", "Ardea cinerea", "Ardeidae", "Eurasia", 1.5, 790000},
+      {"Bald Eagle", "Haliaeetus leucocephalus", "Accipitridae", "North America", 4.3, 316000},
+      {"Peregrine Falcon", "Falco peregrinus", "Falconidae", "Worldwide", 0.9, 140000},
+      {"Common Kingfisher", "Alcedo atthis", "Alcedinidae", "Eurasia", 0.04, 600000},
+      {"Barn Owl", "Tyto alba", "Tytonidae", "Worldwide", 0.5, 4900000},
+      {"Atlantic Puffin", "Fratercula arctica", "Alcidae", "North Atlantic", 0.45, 12000000},
+      {"Great Cormorant", "Phalacrocorax carbo", "Phalacrocoracidae", "Worldwide", 2.6, 1400000},
+      {"Sandhill Crane", "Antigone canadensis", "Gruidae", "North America", 4.0, 827000},
+      {"European Robin", "Erithacus rubecula", "Muscicapidae", "Europe", 0.02, 130000000},
+      {"Ruby-throated Hummingbird", "Archilochus colubris", "Trochilidae", "North America", 0.003, 34000000},
+      {"Canada Goose", "Branta canadensis", "Anatidae", "North America", 4.5, 7000000},
+      {"Snowy Owl", "Bubo scandiacus", "Strigidae", "Arctic", 2.0, 28000},
+      {"American Flamingo", "Phoenicopterus ruber", "Phoenicopteridae", "Caribbean", 2.8, 330000},
+      {"Emperor Penguin", "Aptenodytes forsteri", "Spheniscidae", "Antarctica", 30.0, 476000},
+      {"Common Loon", "Gavia immer", "Gaviidae", "North America", 4.1, 640000},
+      {"Osprey", "Pandion haliaetus", "Pandionidae", "Worldwide", 1.6, 500000},
+      {"Black-capped Chickadee", "Poecile atricapillus", "Paridae", "North America", 0.011, 41000000},
+      {"Northern Cardinal", "Cardinalis cardinalis", "Cardinalidae", "North America", 0.045, 130000000},
+  };
+  return *kSpecies;
+}
+
+std::vector<BirdSpecies> GenerateSpecies(size_t count, uint64_t seed) {
+  const auto& curated = CuratedSpecies();
+  std::vector<BirdSpecies> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count && i < curated.size(); ++i) {
+    out.push_back(curated[i]);
+  }
+  Random rng(seed);
+  static const char* kPrefixes[] = {"Lesser", "Greater", "Northern", "Southern",
+                                    "Spotted", "Crested", "Masked", "Golden"};
+  size_t next = out.size();
+  while (out.size() < count) {
+    const BirdSpecies& base = curated[rng.Uniform(curated.size())];
+    BirdSpecies species = base;
+    const char* prefix = kPrefixes[rng.Uniform(8)];
+    species.common_name = std::string(prefix) + " " + base.common_name + " " +
+                          std::to_string(next);
+    species.scientific_name = base.scientific_name + " var" + std::to_string(next);
+    species.weight_kg = base.weight_kg * (0.5 + rng.NextDouble());
+    species.population_estimate =
+        static_cast<int64_t>(static_cast<double>(base.population_estimate) *
+                             (0.1 + 2.0 * rng.NextDouble()));
+    out.push_back(std::move(species));
+    ++next;
+  }
+  return out;
+}
+
+}  // namespace insightnotes::workload

@@ -1,0 +1,33 @@
+// Synthetic ornithological base data standing in for the AKN dataset the
+// demo uses (Section 3): bird species with scientific names, families,
+// ranges and body measurements. Deterministic given a seed.
+
+#ifndef INSIGHTNOTES_WORKLOAD_BIRD_DATA_H_
+#define INSIGHTNOTES_WORKLOAD_BIRD_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace insightnotes::workload {
+
+struct BirdSpecies {
+  std::string common_name;
+  std::string scientific_name;
+  std::string family;
+  std::string region;
+  double weight_kg = 0.0;
+  int64_t population_estimate = 0;
+};
+
+/// The curated seed list (well-known birds, as the demo suggests).
+const std::vector<BirdSpecies>& CuratedSpecies();
+
+/// Returns `count` species: the curated list first, then deterministic
+/// synthetic species derived from it.
+std::vector<BirdSpecies> GenerateSpecies(size_t count, uint64_t seed);
+
+}  // namespace insightnotes::workload
+
+#endif  // INSIGHTNOTES_WORKLOAD_BIRD_DATA_H_

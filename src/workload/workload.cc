@@ -1,0 +1,131 @@
+#include "workload/workload.h"
+
+namespace insightnotes::workload {
+
+rel::Schema BirdTableSchema(const std::string& table_name) {
+  return rel::Schema({{"id", rel::ValueType::kInt64, table_name},
+                      {"name", rel::ValueType::kString, table_name},
+                      {"sci_name", rel::ValueType::kString, table_name},
+                      {"family", rel::ValueType::kString, table_name},
+                      {"region", rel::ValueType::kString, table_name},
+                      {"weight", rel::ValueType::kFloat64, table_name},
+                      {"population", rel::ValueType::kInt64, table_name}});
+}
+
+Status WorkloadBuilder::CreateInstances(core::Engine* engine) {
+  if (config_.with_classifier1) {
+    auto instance = core::SummaryInstance::MakeClassifier(
+        "ClassBird1", {"Behavior", "Disease", "Anatomy", "Other"});
+    for (const auto& [label, text] : AnnotationGenerator::ClassBird1Training()) {
+      INSIGHTNOTES_RETURN_IF_ERROR(instance->classifier()->Train(label, text));
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(engine->RegisterInstance(std::move(instance)));
+    INSIGHTNOTES_RETURN_IF_ERROR(
+        engine->LinkInstance("ClassBird1", config_.table_name));
+  }
+  if (config_.with_classifier2) {
+    auto instance = core::SummaryInstance::MakeClassifier(
+        "ClassBird2", {"Provenance", "Comment", "Question"});
+    for (const auto& [label, text] : AnnotationGenerator::ClassBird2Training()) {
+      INSIGHTNOTES_RETURN_IF_ERROR(instance->classifier()->Train(label, text));
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(engine->RegisterInstance(std::move(instance)));
+    INSIGHTNOTES_RETURN_IF_ERROR(
+        engine->LinkInstance("ClassBird2", config_.table_name));
+  }
+  if (config_.with_cluster) {
+    INSIGHTNOTES_RETURN_IF_ERROR(engine->RegisterInstance(
+        core::SummaryInstance::MakeCluster("SimCluster", 0.35)));
+    INSIGHTNOTES_RETURN_IF_ERROR(
+        engine->LinkInstance("SimCluster", config_.table_name));
+  }
+  if (config_.with_snippet) {
+    mining::SnippetOptions options;
+    options.max_sentences = 2;
+    options.max_chars = 200;
+    INSIGHTNOTES_RETURN_IF_ERROR(engine->RegisterInstance(
+        core::SummaryInstance::MakeSnippet("TextSummary1", options)));
+    INSIGHTNOTES_RETURN_IF_ERROR(
+        engine->LinkInstance("TextSummary1", config_.table_name));
+  }
+  return Status::OK();
+}
+
+Result<WorkloadStats> WorkloadBuilder::BuildBase(core::Engine* engine) {
+  species_ = GenerateSpecies(config_.num_species, config_.seed);
+  INSIGHTNOTES_RETURN_IF_ERROR(
+      engine->CreateTable(config_.table_name, BirdTableSchema(config_.table_name))
+          .status());
+  for (size_t i = 0; i < species_.size(); ++i) {
+    const BirdSpecies& s = species_[i];
+    rel::Tuple tuple({rel::Value(static_cast<int64_t>(i)), rel::Value(s.common_name),
+                      rel::Value(s.scientific_name), rel::Value(s.family),
+                      rel::Value(s.region), rel::Value(s.weight_kg),
+                      rel::Value(s.population_estimate)});
+    INSIGHTNOTES_RETURN_IF_ERROR(engine->Insert(config_.table_name, tuple).status());
+  }
+  INSIGHTNOTES_RETURN_IF_ERROR(CreateInstances(engine));
+  WorkloadStats stats;
+  stats.num_rows = species_.size();
+  return stats;
+}
+
+Result<WorkloadStats> WorkloadBuilder::StreamAnnotations(core::Engine* engine,
+                                                         size_t count) {
+  if (species_.empty()) {
+    return Status::Internal("StreamAnnotations called before BuildBase");
+  }
+  WorkloadStats stats;
+  stats.num_rows = species_.size();
+  Random rng(config_.seed ^ 0xA11071A7E5ULL);
+  AnnotationGenerator gen(config_.seed + 1);
+  size_t num_columns = BirdTableSchema(config_.table_name).NumColumns();
+  for (size_t i = 0; i < count; ++i) {
+    rel::RowId row = rng.Zipf(species_.size(), config_.zipf_skew);
+    const BirdSpecies& species = species_[row];
+    GeneratedAnnotation generated;
+    if (rng.Bernoulli(config_.document_fraction)) {
+      generated = gen.GenerateDocument(species, config_.document_sentences);
+      ++stats.num_documents;
+    } else {
+      generated = gen.GenerateComment(species);
+    }
+    core::AnnotateSpec spec;
+    spec.table = config_.table_name;
+    spec.row = row;
+    if (rng.Bernoulli(config_.cell_fraction)) {
+      spec.columns = {rng.Uniform(num_columns)};
+    }
+    spec.body = generated.annotation.body;
+    spec.author = generated.annotation.author;
+    spec.kind = generated.annotation.kind;
+    spec.title = generated.annotation.title;
+    spec.timestamp = generated.annotation.timestamp;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id, engine->Annotate(spec));
+    ++stats.num_annotations;
+    ++stats.num_attachments;
+    if (stats.labels.size() <= id) stats.labels.resize(id + 1, AnnotationClass::kOther);
+    stats.labels[id] = generated.label;
+    if (rng.Bernoulli(config_.shared_fraction)) {
+      rel::RowId other = rng.Uniform(species_.size());
+      if (other != row) {
+        INSIGHTNOTES_RETURN_IF_ERROR(
+            engine->AttachAnnotation(id, config_.table_name, other, spec.columns));
+        ++stats.num_shared;
+        ++stats.num_attachments;
+      }
+    }
+  }
+  return stats;
+}
+
+Result<WorkloadStats> WorkloadBuilder::Build(core::Engine* engine) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(WorkloadStats base, BuildBase(engine));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(
+      WorkloadStats stream,
+      StreamAnnotations(engine, config_.num_species * config_.annotations_per_tuple));
+  stream.num_rows = base.num_rows;
+  return stream;
+}
+
+}  // namespace insightnotes::workload

@@ -1,0 +1,86 @@
+// WorkloadBuilder: assembles a fully annotated ornithological database
+// inside an Engine — base table, summary instances (trained), links, and a
+// Zipf-skewed annotation stream — the shared setup of the examples and
+// every benchmark.
+
+#ifndef INSIGHTNOTES_WORKLOAD_WORKLOAD_H_
+#define INSIGHTNOTES_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/annotation_gen.h"
+#include "workload/bird_data.h"
+
+namespace insightnotes::workload {
+
+struct WorkloadConfig {
+  uint64_t seed = 42;
+  std::string table_name = "birds";
+  size_t num_species = 50;
+  /// Mean annotations per tuple (paper: annotation counts run 30x-250x the
+  /// data; scale to taste per experiment).
+  size_t annotations_per_tuple = 30;
+  /// Skew of the per-tuple annotation counts (0 = uniform).
+  double zipf_skew = 0.8;
+  /// Fraction of annotations that are large attached documents.
+  double document_fraction = 0.03;
+  size_t document_sentences = 20;
+  /// Fraction of annotations additionally attached to a second random
+  /// tuple (shared annotations / provenance notes).
+  double shared_fraction = 0.05;
+  /// Fraction of annotations attached to a specific column rather than the
+  /// whole row.
+  double cell_fraction = 0.4;
+
+  /// Instances to create and link. Disable selectively for ablations.
+  bool with_classifier1 = true;  // ClassBird1: Behavior/Disease/Anatomy/Other.
+  bool with_classifier2 = true;  // ClassBird2: Provenance/Comment/Question.
+  bool with_cluster = true;      // SimCluster.
+  bool with_snippet = true;      // TextSummary1.
+};
+
+struct WorkloadStats {
+  size_t num_rows = 0;
+  uint64_t num_annotations = 0;
+  uint64_t num_attachments = 0;
+  uint64_t num_documents = 0;
+  uint64_t num_shared = 0;
+  /// Ground-truth labels per annotation id (classifier accuracy checks).
+  std::vector<AnnotationClass> labels;
+};
+
+/// Schema of the generated table:
+/// (id BIGINT, name TEXT, sci_name TEXT, family TEXT, region TEXT,
+///  weight DOUBLE, population BIGINT).
+rel::Schema BirdTableSchema(const std::string& table_name);
+
+class WorkloadBuilder {
+ public:
+  explicit WorkloadBuilder(WorkloadConfig config) : config_(std::move(config)) {}
+
+  /// Creates the table, instances and links in `engine`, inserts the
+  /// species and streams in the annotations (maintaining summaries
+  /// incrementally).
+  Result<WorkloadStats> Build(core::Engine* engine);
+
+  /// Only the base table and instances — annotations streamed separately
+  /// (for maintenance benches that time the annotation path itself).
+  Result<WorkloadStats> BuildBase(core::Engine* engine);
+
+  /// Streams `count` annotations onto random rows of the built table.
+  Result<WorkloadStats> StreamAnnotations(core::Engine* engine, size_t count);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  Status CreateInstances(core::Engine* engine);
+
+  WorkloadConfig config_;
+  std::vector<BirdSpecies> species_;
+};
+
+}  // namespace insightnotes::workload
+
+#endif  // INSIGHTNOTES_WORKLOAD_WORKLOAD_H_

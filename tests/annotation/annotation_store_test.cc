@@ -1,0 +1,170 @@
+#include "annotation/annotation_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace insightnotes::ann {
+namespace {
+
+class AnnotationStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(disk_.Open("").ok());
+    pool_ = std::make_unique<storage::BufferPool>(&disk_, 64);
+    store_ = std::make_unique<AnnotationStore>(pool_.get());
+  }
+
+  Annotation Note(const std::string& body, AnnotationKind kind = AnnotationKind::kComment) {
+    Annotation a;
+    a.kind = kind;
+    a.author = "tester";
+    a.timestamp = 1000;
+    a.body = body;
+    return a;
+  }
+
+  storage::DiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<AnnotationStore> store_;
+};
+
+TEST_F(AnnotationStoreTest, AddAndGet) {
+  auto id = store_->Add(Note("size seems wrong"), CellRegion{0, 5, {2}});
+  ASSERT_TRUE(id.ok());
+  auto note = store_->Get(*id);
+  ASSERT_TRUE(note.ok());
+  EXPECT_EQ(note->body, "size seems wrong");
+  EXPECT_EQ(note->author, "tester");
+  EXPECT_EQ(note->id, *id);
+  EXPECT_FALSE(note->archived);
+  EXPECT_EQ(store_->NumAnnotations(), 1u);
+  EXPECT_EQ(store_->NumAttachments(), 1u);
+}
+
+TEST_F(AnnotationStoreTest, GetMissingFails) {
+  EXPECT_TRUE(store_->Get(99).status().IsNotFound());
+}
+
+TEST_F(AnnotationStoreTest, OnRowReturnsAttachmentsInOrder) {
+  auto a = store_->Add(Note("first"), CellRegion{0, 7, {}});
+  auto b = store_->Add(Note("second"), CellRegion{0, 7, {1}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto& atts = store_->OnRow(0, 7);
+  ASSERT_EQ(atts.size(), 2u);
+  EXPECT_EQ(atts[0].annotation, *a);
+  EXPECT_TRUE(atts[0].columns.empty());
+  EXPECT_EQ(atts[1].annotation, *b);
+  EXPECT_EQ(atts[1].columns, (std::vector<size_t>{1}));
+  EXPECT_TRUE(store_->OnRow(0, 8).empty());
+  EXPECT_TRUE(store_->OnRow(1, 7).empty());
+}
+
+TEST_F(AnnotationStoreTest, OnCellFiltersByColumn) {
+  ASSERT_TRUE(store_->Add(Note("whole row"), CellRegion{0, 3, {}}).ok());
+  auto col1 = store_->Add(Note("col 1 only"), CellRegion{0, 3, {1}});
+  ASSERT_TRUE(col1.ok());
+  ASSERT_TRUE(store_->Add(Note("cols 0 and 2"), CellRegion{0, 3, {0, 2}}).ok());
+  auto on1 = store_->OnCell(0, 3, 1);
+  ASSERT_EQ(on1.size(), 2u);  // Whole-row + col-1.
+  EXPECT_EQ(on1[1], *col1);
+  EXPECT_EQ(store_->OnCell(0, 3, 2).size(), 2u);  // Whole-row + cols{0,2}.
+}
+
+TEST_F(AnnotationStoreTest, SharedAnnotationAcrossRows) {
+  auto id = store_->Add(Note("provenance: produced by experiment E"),
+                        CellRegion{0, 1, {}});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store_->Attach(*id, CellRegion{0, 2, {}}).ok());
+  ASSERT_TRUE(store_->Attach(*id, CellRegion{1, 9, {0}}).ok());
+  EXPECT_EQ(store_->NumAnnotations(), 1u);
+  EXPECT_EQ(store_->NumAttachments(), 3u);
+  auto regions = store_->RegionsOf(*id);
+  ASSERT_TRUE(regions.ok());
+  EXPECT_EQ(regions->size(), 3u);
+  EXPECT_EQ(store_->OnRow(0, 2).size(), 1u);
+  EXPECT_EQ(store_->OnRow(1, 9).size(), 1u);
+}
+
+TEST_F(AnnotationStoreTest, ReattachToSameRowUnionsColumns) {
+  auto id = store_->Add(Note("x"), CellRegion{0, 1, {0}});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(store_->Attach(*id, CellRegion{0, 1, {2}}).ok());
+  const auto& atts = store_->OnRow(0, 1);
+  ASSERT_EQ(atts.size(), 1u);
+  EXPECT_EQ(atts[0].columns, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(store_->NumAttachments(), 1u);
+  // Whole-row attachment absorbs the column set.
+  ASSERT_TRUE(store_->Attach(*id, CellRegion{0, 1, {}}).ok());
+  EXPECT_TRUE(store_->OnRow(0, 1)[0].columns.empty());
+}
+
+TEST_F(AnnotationStoreTest, ColumnsNormalized) {
+  auto id = store_->Add(Note("x"), CellRegion{0, 1, {3, 1, 3, 2}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(store_->OnRow(0, 1)[0].columns, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST_F(AnnotationStoreTest, InvalidRegionRejected) {
+  EXPECT_TRUE(store_->Add(Note("x"), CellRegion{}).status().IsInvalidArgument());
+  auto id = store_->Add(Note("y"), CellRegion{0, 0, {}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(store_->Attach(*id, CellRegion{}).IsInvalidArgument());
+  EXPECT_TRUE(store_->Attach(12345, CellRegion{0, 0, {}}).IsNotFound());
+}
+
+TEST_F(AnnotationStoreTest, ArchiveMarksButKeeps) {
+  auto id = store_->Add(Note("obsolete claim"), CellRegion{0, 1, {}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(store_->IsArchived(*id));
+  ASSERT_TRUE(store_->Archive(*id).ok());
+  EXPECT_TRUE(store_->IsArchived(*id));
+  auto note = store_->Get(*id);
+  ASSERT_TRUE(note.ok());
+  EXPECT_TRUE(note->archived);
+  EXPECT_TRUE(store_->Archive(999).IsNotFound());
+}
+
+TEST_F(AnnotationStoreTest, LargeDocumentBodyRoundTrips) {
+  std::string article(20000, 'a');
+  for (size_t i = 0; i < article.size(); i += 37) article[i] = 'b';
+  Annotation doc = Note(article, AnnotationKind::kDocument);
+  doc.title = "Wikipedia article: Swan Goose";
+  auto id = store_->Add(std::move(doc), CellRegion{0, 1, {}});
+  ASSERT_TRUE(id.ok());
+  auto note = store_->Get(*id);
+  ASSERT_TRUE(note.ok());
+  EXPECT_EQ(note->body, article);
+  EXPECT_EQ(note->title, "Wikipedia article: Swan Goose");
+  EXPECT_EQ(note->kind, AnnotationKind::kDocument);
+}
+
+TEST_F(AnnotationStoreTest, ScanTableVisitsRowsSorted) {
+  ASSERT_TRUE(store_->Add(Note("c"), CellRegion{0, 9, {}}).ok());
+  ASSERT_TRUE(store_->Add(Note("a"), CellRegion{0, 2, {}}).ok());
+  ASSERT_TRUE(store_->Add(Note("b"), CellRegion{0, 2, {1}}).ok());
+  ASSERT_TRUE(store_->Add(Note("other table"), CellRegion{1, 1, {}}).ok());
+  std::vector<rel::RowId> rows;
+  store_->ScanTable(0, [&](rel::RowId row, const Attachment&) {
+    rows.push_back(row);
+    return true;
+  });
+  EXPECT_EQ(rows, (std::vector<rel::RowId>{2, 2, 9}));
+}
+
+TEST_F(AnnotationStoreTest, CellRegionSurvivesProjection) {
+  CellRegion whole_row{0, 1, {}};
+  CellRegion cells{0, 1, {1, 3}};
+  EXPECT_TRUE(whole_row.SurvivesProjection({0}));
+  EXPECT_TRUE(whole_row.SurvivesProjection({}));
+  EXPECT_TRUE(cells.SurvivesProjection({3, 5}));
+  EXPECT_FALSE(cells.SurvivesProjection({0, 2}));
+  EXPECT_FALSE(cells.SurvivesProjection({}));
+}
+
+}  // namespace
+}  // namespace insightnotes::ann

@@ -1,0 +1,123 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace insightnotes {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformInRangeInclusive) {
+  Random r(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.UniformInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRespectsProbabilityRoughly) {
+  Random r(13);
+  int hits = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (r.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.03);
+}
+
+TEST(RandomTest, ZipfSkewsTowardSmallRanks) {
+  Random r(17);
+  constexpr uint64_t kN = 1000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = r.Zipf(kN, 1.0);
+    ASSERT_LT(v, kN);
+    counts[v]++;
+  }
+  // Rank 0 must be sampled far more often than rank 100.
+  EXPECT_GT(counts[0], counts[100] * 3);
+}
+
+TEST(RandomTest, ZipfZeroSkewIsUniformish) {
+  Random r(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    counts[r.Zipf(10, 0.0)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2000, 300);
+  }
+}
+
+TEST(RandomTest, WeightedFollowsWeights) {
+  Random r(23);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    counts[r.Weighted(weights)]++;
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kTrials), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kTrials), 0.3, 0.03);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kTrials), 0.6, 0.03);
+}
+
+TEST(RandomTest, WeightedDegenerateCases) {
+  Random r(29);
+  EXPECT_EQ(r.Weighted({}), 0u);
+  EXPECT_EQ(r.Weighted({0.0, 0.0}), 0u);
+  EXPECT_EQ(r.Weighted({0.0, 5.0}), 1u);
+}
+
+TEST(RandomTest, ZipfBoundaries) {
+  Random r(31);
+  EXPECT_EQ(r.Zipf(0, 1.0), 0u);
+  EXPECT_EQ(r.Zipf(1, 1.0), 0u);
+  EXPECT_EQ(r.Zipf(1, 0.0), 0u);
+}
+
+}  // namespace
+}  // namespace insightnotes

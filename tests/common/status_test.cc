@@ -1,0 +1,117 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace insightnotes {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table 'birds' does not exist");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table 'birds' does not exist");
+  EXPECT_EQ(s.ToString(), "not found: table 'birds' does not exist");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Internal("boom");
+  Status t = s;
+  EXPECT_TRUE(t.IsInternal());
+  EXPECT_EQ(t.message(), "boom");
+  EXPECT_TRUE(s.IsInternal());
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status s = Status::IoError("disk full").WithContext("writing page 7");
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(s.message(), "writing page 7: disk full");
+  EXPECT_TRUE(Status::OK().WithContext("nope").ok());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::InvalidArgument("bad"); };
+  auto outer = [&]() -> Status {
+    INSIGHTNOTES_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsInvalidArgument());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto inner = []() { return Status::OK(); };
+  bool reached_end = false;
+  auto outer = [&]() -> Status {
+    INSIGHTNOTES_RETURN_IF_ERROR(inner());
+    reached_end = true;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().ok());
+  EXPECT_TRUE(reached_end);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MovesOutValue) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool ok) -> Result<int> {
+    if (ok) return 7;
+    return Status::Internal("no");
+  };
+  auto use = [&](bool ok) -> Result<int> {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(int v, make(ok));
+    return v * 2;
+  };
+  EXPECT_EQ(*use(true), 14);
+  EXPECT_TRUE(use(false).status().IsInternal());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "parse error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCapacityExceeded), "capacity exceeded");
+}
+
+}  // namespace
+}  // namespace insightnotes

@@ -1,0 +1,66 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace insightnotes {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  EXPECT_EQ(SplitWhitespace("  swan   goose \t anser\n"),
+            (std::vector<std::string>{"swan", "goose", "anser"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StripWhitespaceTest, Strips) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+  EXPECT_EQ(StripWhitespace("  \t\n "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(CaseTest, LowerUpper) {
+  EXPECT_EQ(ToLower("Anser CYGNOIDES 42"), "anser cygnoides 42");
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("selects", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("select", "selekt"));
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("zoomin", "zoom"));
+  EXPECT_FALSE(StartsWith("zoom", "zoomin"));
+  EXPECT_TRUE(EndsWith("summary_test.cc", ".cc"));
+  EXPECT_FALSE(EndsWith(".cc", "summary_test.cc"));
+}
+
+TEST(EllipsizeTest, TruncatesLongStrings) {
+  EXPECT_EQ(Ellipsize("short", 10), "short");
+  EXPECT_EQ(Ellipsize("exactly10!", 10), "exactly10!");
+  EXPECT_EQ(Ellipsize("a very long annotation body", 10), "a very ...");
+  EXPECT_EQ(Ellipsize("abcdef", 3), "abc");
+  EXPECT_EQ(Ellipsize("abcdef", 2), "ab");
+}
+
+}  // namespace
+}  // namespace insightnotes

@@ -1,0 +1,169 @@
+#include "core/rco_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace insightnotes::core {
+namespace {
+
+/// A snapshot of roughly `bytes` serialized size.
+ResultSnapshot SnapshotOfSize(size_t bytes) {
+  ResultSnapshot snapshot;
+  snapshot.column_names = {"pad"};
+  RowSnapshot row;
+  row.tuple = rel::Tuple({rel::Value(std::string(bytes, 'x'))});
+  snapshot.rows.push_back(std::move(row));
+  return snapshot;
+}
+
+TEST(ZoomInCacheTest, PutGetRoundTrip) {
+  ZoomInCache cache(CachePolicy::kLru, 1 << 20);
+  ASSERT_TRUE(cache.Init().ok());
+  ResultSnapshot snapshot;
+  snapshot.column_names = {"r.a", "r.b"};
+  RowSnapshot row;
+  row.tuple = rel::Tuple({rel::Value(static_cast<int64_t>(1))});
+  SummarySnapshot s;
+  s.instance = "ClassBird1";
+  s.rendered = "[(Behavior, 2)]";
+  s.components.push_back(ComponentSnapshot{"Behavior", {10, 20}});
+  row.summaries.push_back(s);
+  snapshot.rows.push_back(std::move(row));
+
+  ASSERT_TRUE(cache.Put(7, snapshot, 0.5).ok());
+  auto back = cache.Get(7);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->column_names, snapshot.column_names);
+  ASSERT_EQ(back->rows.size(), 1u);
+  ASSERT_EQ(back->rows[0].summaries.size(), 1u);
+  EXPECT_EQ(back->rows[0].summaries[0].rendered, "[(Behavior, 2)]");
+  EXPECT_EQ(back->rows[0].summaries[0].components[0].ids,
+            (std::vector<ann::AnnotationId>{10, 20}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ZoomInCacheTest, MissCounts) {
+  ZoomInCache cache(CachePolicy::kLru, 1 << 20);
+  ASSERT_TRUE(cache.Init().ok());
+  EXPECT_TRUE(cache.Get(1).status().IsNotFound());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ZoomInCacheTest, NonePolicyRejectsEverything) {
+  ZoomInCache cache(CachePolicy::kNone, 1 << 20);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(100), 1.0).ok());
+  EXPECT_TRUE(cache.Get(1).status().IsNotFound());
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ZoomInCacheTest, OversizeSnapshotRejected) {
+  ZoomInCache cache(CachePolicy::kLru, 512);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(4096), 1.0).ok());
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(ZoomInCacheTest, LruEvictsOldest) {
+  // Budget fits ~2 entries of ~400B.
+  ZoomInCache cache(CachePolicy::kLru, 800);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(300), 1.0).ok());
+  ASSERT_TRUE(cache.Put(2, SnapshotOfSize(300), 1.0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());  // Touch 1 so 2 is LRU.
+  ASSERT_TRUE(cache.Put(3, SnapshotOfSize(300), 1.0).ok());
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ZoomInCacheTest, LfuEvictsLeastFrequent) {
+  ZoomInCache cache(CachePolicy::kLfu, 800);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(300), 1.0).ok());
+  ASSERT_TRUE(cache.Put(2, SnapshotOfSize(300), 1.0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());
+  ASSERT_TRUE(cache.Get(1).ok());  // qid 1 referenced more.
+  ASSERT_TRUE(cache.Put(3, SnapshotOfSize(300), 1.0).ok());
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(ZoomInCacheTest, RcoKeepsExpensiveResults) {
+  // Two cold entries, same size and recency: RCO must evict the cheap one.
+  ZoomInCache cache(CachePolicy::kRco, 800);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(300), /*cost=*/10.0).ok());  // Expensive.
+  ASSERT_TRUE(cache.Put(2, SnapshotOfSize(300), /*cost=*/0.01).ok());  // Cheap.
+  ASSERT_TRUE(cache.Put(3, SnapshotOfSize(300), /*cost=*/5.0).ok());
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(ZoomInCacheTest, RcoPenalizesLargeResults) {
+  RcoWeights weights;
+  weights.recency = 0.0;  // Isolate the overhead factor.
+  weights.complexity = 0.0;
+  weights.overhead = 1.0;
+  ZoomInCache cache(CachePolicy::kRco, 1000, "", weights);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(500), 1.0).ok());  // Large.
+  ASSERT_TRUE(cache.Put(2, SnapshotOfSize(100), 1.0).ok());  // Small.
+  ASSERT_TRUE(cache.Put(3, SnapshotOfSize(400), 1.0).ok());
+  EXPECT_FALSE(cache.Contains(1));  // The big entry went first.
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(ZoomInCacheTest, ReplacingSameQidUpdates) {
+  ZoomInCache cache(CachePolicy::kLru, 1 << 20);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(100), 1.0).ok());
+  size_t used_before = cache.stats().bytes_used;
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(200), 1.0).ok());
+  EXPECT_GT(cache.stats().bytes_used, used_before);
+  auto back = cache.Get(1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows[0].tuple.ValueAt(0).AsString().size(), 200u);
+}
+
+TEST(ZoomInCacheTest, FileBackedCache) {
+  std::string path = ::testing::TempDir() + "/insightnotes_cache_test.db";
+  {
+    ZoomInCache cache(CachePolicy::kRco, 1 << 20, path);
+    ASSERT_TRUE(cache.Init().ok());
+    ASSERT_TRUE(cache.Put(1, SnapshotOfSize(5000), 1.0).ok());
+    auto back = cache.Get(1);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->rows[0].tuple.ValueAt(0).AsString().size(), 5000u);
+  }
+  // Destructor removed the backing file.
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(SnapshotTest, SerializationRoundTripsEmpty) {
+  ResultSnapshot empty;
+  std::string bytes;
+  empty.Serialize(&bytes);
+  auto back = ResultSnapshot::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->rows.empty());
+  EXPECT_TRUE(back->column_names.empty());
+}
+
+TEST(SnapshotTest, DeserializeRejectsTruncation) {
+  ResultSnapshot snapshot = SnapshotOfSize(100);
+  std::string bytes;
+  snapshot.Serialize(&bytes);
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{3}}) {
+    auto back = ResultSnapshot::Deserialize(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(back.ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace insightnotes::core

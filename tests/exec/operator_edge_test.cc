@@ -1,0 +1,208 @@
+// Edge-case coverage for the summary-aware operators: duplicate join keys,
+// NULL keys, sort stability, string aggregates, empty inputs, expression
+// projections.
+
+#include <gtest/gtest.h>
+
+#include "exec/aggregate.h"
+#include "exec/distinct.h"
+#include "exec/filter.h"
+#include "exec/hash_join.h"
+#include "exec/projection.h"
+#include "exec/sort.h"
+#include "testutil.h"
+
+namespace insightnotes::exec {
+namespace {
+
+using core::AnnotatedTuple;
+using testutil::Col;
+using testutil::F;
+using testutil::I;
+using testutil::S;
+
+class OperatorEdgeTest : public testutil::EngineFixture {
+ protected:
+  void SetUp() override {
+    testutil::EngineFixture::SetUp();
+    ASSERT_TRUE(engine_
+                    ->CreateTable("L", rel::Schema({{"k", rel::ValueType::kInt64, "L"},
+                                                    {"v", rel::ValueType::kString, "L"}}))
+                    .ok());
+    ASSERT_TRUE(engine_
+                    ->CreateTable("R2", rel::Schema({{"k", rel::ValueType::kInt64, "R2"},
+                                                     {"w", rel::ValueType::kString, "R2"}}))
+                    .ok());
+  }
+
+  void Insert(const std::string& table, rel::Tuple tuple) {
+    ASSERT_TRUE(engine_->Insert(table, std::move(tuple)).ok());
+  }
+
+  std::unique_ptr<Operator> Scan(const std::string& table, const std::string& alias) {
+    auto scan = engine_->MakeScan(table, alias);
+    EXPECT_TRUE(scan.ok());
+    return std::move(*scan);
+  }
+
+  std::vector<AnnotatedTuple> Drain(Operator* op) {
+    EXPECT_TRUE(op->Open().ok());
+    std::vector<AnnotatedTuple> out;
+    AnnotatedTuple t;
+    while (true) {
+      auto more = op->Next(&t);
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.ok() || !*more) break;
+      out.push_back(std::move(t));
+      t = AnnotatedTuple();
+    }
+    return out;
+  }
+};
+
+TEST_F(OperatorEdgeTest, HashJoinDuplicateKeysProduceCrossMatches) {
+  Insert("L", rel::Tuple({I(1), S("l1")}));
+  Insert("L", rel::Tuple({I(1), S("l2")}));
+  Insert("R2", rel::Tuple({I(1), S("r1")}));
+  Insert("R2", rel::Tuple({I(1), S("r2")}));
+  Insert("R2", rel::Tuple({I(2), S("r3")}));
+  auto left = Scan("L", "l");
+  auto right = Scan("R2", "r");
+  auto join = std::make_unique<HashJoinOperator>(
+      std::move(left), std::move(right), rel::MakeColumn(0, "l.k"),
+      rel::MakeColumn(0, "r.k"));
+  auto rows = Drain(join.get());
+  EXPECT_EQ(rows.size(), 4u);  // 2 x 2 on key 1.
+}
+
+TEST_F(OperatorEdgeTest, HashJoinNullKeysNeverJoin) {
+  Insert("L", rel::Tuple({rel::Value::Null(), S("null-left")}));
+  Insert("R2", rel::Tuple({rel::Value::Null(), S("null-right")}));
+  Insert("L", rel::Tuple({I(5), S("five")}));
+  Insert("R2", rel::Tuple({I(5), S("cinq")}));
+  auto join = std::make_unique<HashJoinOperator>(
+      Scan("L", "l"), Scan("R2", "r"), rel::MakeColumn(0, "l.k"),
+      rel::MakeColumn(0, "r.k"));
+  auto rows = Drain(join.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(1).AsString(), "five");
+}
+
+TEST_F(OperatorEdgeTest, HashJoinEmptyBuildSide) {
+  Insert("L", rel::Tuple({I(1), S("x")}));
+  auto join = std::make_unique<HashJoinOperator>(
+      Scan("L", "l"), Scan("R2", "r"), rel::MakeColumn(0, "l.k"),
+      rel::MakeColumn(0, "r.k"));
+  EXPECT_TRUE(Drain(join.get()).empty());
+}
+
+TEST_F(OperatorEdgeTest, SortIsStable) {
+  // Equal keys keep insertion order.
+  for (int i = 0; i < 5; ++i) {
+    Insert("L", rel::Tuple({I(7), S("row" + std::to_string(i))}));
+  }
+  std::vector<SortKey> keys;
+  keys.push_back(SortKey{rel::MakeColumn(0, "k"), true});
+  auto sort = std::make_unique<SortOperator>(Scan("L", "l"), std::move(keys));
+  auto rows = Drain(sort.get());
+  ASSERT_EQ(rows.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rows[i].tuple.ValueAt(1).AsString(), "row" + std::to_string(i));
+  }
+}
+
+TEST_F(OperatorEdgeTest, SortNullsFirst) {
+  Insert("L", rel::Tuple({I(2), S("b")}));
+  Insert("L", rel::Tuple({rel::Value::Null(), S("n")}));
+  Insert("L", rel::Tuple({I(1), S("a")}));
+  std::vector<SortKey> keys;
+  keys.push_back(SortKey{rel::MakeColumn(0, "k"), true});
+  auto sort = std::make_unique<SortOperator>(Scan("L", "l"), std::move(keys));
+  auto rows = Drain(sort.get());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows[0].tuple.ValueAt(0).is_null());
+  EXPECT_EQ(rows[1].tuple.ValueAt(0).AsInt64(), 1);
+}
+
+TEST_F(OperatorEdgeTest, LimitBeyondInputSize) {
+  Insert("L", rel::Tuple({I(1), S("only")}));
+  auto limit = std::make_unique<LimitOperator>(Scan("L", "l"), 100);
+  EXPECT_EQ(Drain(limit.get()).size(), 1u);
+}
+
+TEST_F(OperatorEdgeTest, MinMaxOverStrings) {
+  Insert("L", rel::Tuple({I(1), S("pear")}));
+  Insert("L", rel::Tuple({I(2), S("apple")}));
+  Insert("L", rel::Tuple({I(3), S("quince")}));
+  std::vector<AggregateItem> aggs;
+  aggs.push_back(AggregateItem{AggregateFunction::kMin, rel::MakeColumn(1, "v"), "lo"});
+  aggs.push_back(AggregateItem{AggregateFunction::kMax, rel::MakeColumn(1, "v"), "hi"});
+  auto agg = std::make_unique<AggregateOperator>(Scan("L", "l"),
+                                                 std::vector<rel::ExprPtr>{},
+                                                 std::vector<rel::Column>{},
+                                                 std::move(aggs));
+  auto rows = Drain(agg.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(0).AsString(), "apple");
+  EXPECT_EQ(rows[0].tuple.ValueAt(1).AsString(), "quince");
+}
+
+TEST_F(OperatorEdgeTest, AggregateIgnoresNulls) {
+  Insert("L", rel::Tuple({I(10), S("a")}));
+  Insert("L", rel::Tuple({rel::Value::Null(), S("b")}));
+  std::vector<AggregateItem> aggs;
+  aggs.push_back(AggregateItem{AggregateFunction::kCount, rel::MakeColumn(0, "k"), "c"});
+  aggs.push_back(AggregateItem{AggregateFunction::kSum, rel::MakeColumn(0, "k"), "s"});
+  aggs.push_back(AggregateItem{AggregateFunction::kCountStar, nullptr, "n"});
+  auto agg = std::make_unique<AggregateOperator>(Scan("L", "l"),
+                                                 std::vector<rel::ExprPtr>{},
+                                                 std::vector<rel::Column>{},
+                                                 std::move(aggs));
+  auto rows = Drain(agg.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(0).AsInt64(), 1);   // COUNT(k) skips NULL.
+  EXPECT_EQ(rows[0].tuple.ValueAt(1).AsInt64(), 10);  // SUM skips NULL.
+  EXPECT_EQ(rows[0].tuple.ValueAt(2).AsInt64(), 2);   // COUNT(*) does not.
+}
+
+TEST_F(OperatorEdgeTest, DistinctOnEmptyInput) {
+  auto distinct = std::make_unique<DistinctOperator>(Scan("L", "l"));
+  EXPECT_TRUE(Drain(distinct.get()).empty());
+}
+
+TEST_F(OperatorEdgeTest, DistinctTreatsNullsEqual) {
+  Insert("L", rel::Tuple({rel::Value::Null(), S("x")}));
+  Insert("L", rel::Tuple({rel::Value::Null(), S("x")}));
+  auto distinct = std::make_unique<DistinctOperator>(Scan("L", "l"));
+  EXPECT_EQ(Drain(distinct.get()).size(), 1u);
+}
+
+TEST_F(OperatorEdgeTest, ProjectionWithComputedExpression) {
+  Insert("L", rel::Tuple({I(21), S("x")}));
+  std::vector<ProjectionItem> items;
+  ProjectionItem item;
+  item.expr = rel::MakeArithmetic(rel::ArithmeticOp::kMul, rel::MakeColumn(0, "k"),
+                                  rel::MakeLiteral(I(2)));
+  item.output_name = "doubled";
+  items.push_back(std::move(item));
+  auto project = std::make_unique<ProjectOperator>(Scan("L", "l"), std::move(items));
+  auto rows = Drain(project.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(0).AsInt64(), 42);
+  EXPECT_EQ(project->OutputSchema().ColumnAt(0).name, "doubled");
+}
+
+TEST_F(OperatorEdgeTest, FilterTypeErrorSurfaces) {
+  Insert("L", rel::Tuple({I(1), S("x")}));
+  // Comparing a string column with an int literal is a type error.
+  auto filter = std::make_unique<FilterOperator>(
+      Scan("L", "l"), rel::MakeCompare(rel::CompareOp::kEq, rel::MakeColumn(1, "v"),
+                                       rel::MakeLiteral(I(1))));
+  ASSERT_TRUE(filter->Open().ok());
+  AnnotatedTuple t;
+  auto more = filter->Next(&t);
+  EXPECT_TRUE(more.status().IsTypeError());
+}
+
+}  // namespace
+}  // namespace insightnotes::exec

@@ -1,0 +1,181 @@
+// Golden reconstruction of the paper's Figure 2: the SPJ query
+//   SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2
+// over tuples r and s that carry classifier, cluster and snippet summaries,
+// including annotations on projected-out columns (r.c, r.d, s.y) and
+// annotations shared by both tuples.
+
+#include <gtest/gtest.h>
+
+#include "sql/session.h"
+#include "testutil.h"
+
+namespace insightnotes {
+namespace {
+
+using testutil::EngineFixture;
+
+class Figure2Test : public EngineFixture {
+ protected:
+  void SetUp() override {
+    EngineFixture::SetUp();
+    CreateFigure2Tables();
+    CreateFigure2Instances();
+    session_ = std::make_unique<sql::SqlSession>(engine_.get());
+
+    // Tuple r := R row 0 (a=1, b=2). Annotations across all columns:
+    //  - behavior notes on kept column a and on the whole row,
+    //  - anatomy note on projected-out column c  -> must be trimmed,
+    //  - disease note on projected-out column d  -> must be trimmed,
+    //  - a large article document (on column c)  -> snippet must be trimmed.
+    a_on_a_ = Annotate("R", 0, "found eating stonewort near the shore", {0});
+    a_whole_ = Annotate("R", 0, "observed flying in the region yesterday");
+    a_on_c_ = Annotate("R", 0, "large one having size around three kilograms", {2});
+    a_on_d_ = Annotate("R", 0, "signs of influenza infection on the beak", {3});
+    core::AnnotateSpec wiki = Spec("R", 0,
+                                   "The swan goose breeds in Mongolia. "
+                                   "It winters in eastern China.",
+                                   {2});
+    wiki.kind = ann::AnnotationKind::kDocument;
+    wiki.title = "Wikipedia article";
+    a_wiki_on_c_ = *engine_->Annotate(wiki);
+    core::AnnotateSpec exp = Spec("R", 0, "Experiment E produced this reading. ", {0});
+    exp.kind = ann::AnnotationKind::kDocument;
+    exp.title = "Experiment E";
+    a_exp_on_a_ = *engine_->Annotate(exp);
+
+    // Tuple s := S row 0 (x=1). One annotation on kept column x, one on the
+    // projected-out column y, and one SHARED with r (attached to both).
+    b_on_x_ = Annotate("S", 0, "why is this measurement so high", {0});
+    b_on_y_ = Annotate("S", 0, "this column is derived from provenance records", {1});
+    shared_ = Annotate("R", 0, "produced by experiment lineage pipeline");
+    EXPECT_TRUE(engine_->AttachAnnotation(shared_, "S", 0).ok());
+  }
+
+  ann::AnnotationId Annotate(const std::string& table, rel::RowId row,
+                             const std::string& body,
+                             std::vector<size_t> columns = {}) {
+    auto id = engine_->Annotate(Spec(table, row, body, std::move(columns)));
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  std::unique_ptr<sql::SqlSession> session_;
+  ann::AnnotationId a_on_a_ = 0, a_whole_ = 0, a_on_c_ = 0, a_on_d_ = 0;
+  ann::AnnotationId a_wiki_on_c_ = 0, a_exp_on_a_ = 0;
+  ann::AnnotationId b_on_x_ = 0, b_on_y_ = 0, shared_ = 0;
+};
+
+TEST_F(Figure2Test, FullPipelineMatchesPaperSemantics) {
+  auto out = session_->Execute(
+      "Select r.a, r.b, s.z From R r, S s Where r.a = s.x And r.b = 2;");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->result.rows.size(), 1u);
+  const core::AnnotatedTuple& row = out->result.rows[0];
+
+  // Output data: (1, 2, z0).
+  EXPECT_EQ(row.tuple.ValueAt(0).AsInt64(), 1);
+  EXPECT_EQ(row.tuple.ValueAt(1).AsInt64(), 2);
+  EXPECT_EQ(row.tuple.ValueAt(2).AsString(), "z0");
+
+  // Step 1 (projection trim): annotations on r.c, r.d and s.y are gone;
+  // annotations on r.a, whole-row and s.x survive, as does the shared one.
+  auto* class1 = row.FindSummary("ClassBird1");
+  ASSERT_NE(class1, nullptr);
+  EXPECT_TRUE(class1->Contains(a_on_a_));
+  EXPECT_TRUE(class1->Contains(a_whole_));
+  EXPECT_FALSE(class1->Contains(a_on_c_));
+  EXPECT_FALSE(class1->Contains(a_on_d_));
+  EXPECT_TRUE(class1->Contains(shared_));
+
+  // TextSummary1: the Wikipedia article (on r.c) is deleted from the
+  // snippet object; Experiment E (on r.a) remains — exactly Figure 2.
+  auto* snippets = row.FindSummary("TextSummary1");
+  ASSERT_NE(snippets, nullptr);
+  EXPECT_FALSE(snippets->Contains(a_wiki_on_c_));
+  EXPECT_TRUE(snippets->Contains(a_exp_on_a_));
+  EXPECT_EQ(snippets->NumComponents(), 1u);
+  EXPECT_NE(snippets->Render().find("Experiment E"), std::string::npos);
+
+  // Step 3 (join merge): ClassBird2 counterparts combined without double
+  // counting the shared annotation.
+  auto* class2 = row.FindSummary("ClassBird2");
+  ASSERT_NE(class2, nullptr);
+  // Surviving contributors: a_on_a, a_whole, a_exp_on_a, shared from r plus
+  // b_on_x from s -> 5, with the shared annotation counted once despite
+  // being attached to both r and s.
+  EXPECT_EQ(class2->NumAnnotations(), 5u);
+  EXPECT_TRUE(class2->Contains(shared_));
+  EXPECT_TRUE(class2->Contains(b_on_x_));
+  EXPECT_FALSE(class2->Contains(b_on_y_));
+
+  // SimCluster merged the two sides over the same survivor set.
+  auto* cluster = row.FindSummary("SimCluster");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->NumAnnotations(), 5u);
+}
+
+TEST_F(Figure2Test, ClusterMembershipAfterPipeline) {
+  auto out = session_->Execute(
+      "SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2");
+  ASSERT_TRUE(out.ok());
+  const core::AnnotatedTuple& row = out->result.rows[0];
+  auto* cluster = row.FindSummary("SimCluster");
+  ASSERT_NE(cluster, nullptr);
+  // Survivors: a_on_a_, a_whole_, a_exp_on_a_, shared_, b_on_x_ = 5.
+  EXPECT_EQ(cluster->NumAnnotations(), 5u);
+  EXPECT_FALSE(cluster->Contains(a_on_c_));
+  EXPECT_FALSE(cluster->Contains(b_on_y_));
+  // Zoom-in on every group returns only surviving annotations, and their
+  // union is exactly the survivor set.
+  std::set<ann::AnnotationId> seen;
+  for (size_t g = 0; g < cluster->NumComponents(); ++g) {
+    auto members = cluster->ZoomIn(g);
+    ASSERT_TRUE(members.ok());
+    for (auto id : *members) {
+      EXPECT_TRUE(seen.insert(id).second) << "annotation in two groups";
+    }
+  }
+  EXPECT_EQ(seen, (std::set<ann::AnnotationId>{a_on_a_, a_whole_, a_exp_on_a_,
+                                               shared_, b_on_x_}));
+}
+
+TEST_F(Figure2Test, SelectionDoesNotChangeSummaries) {
+  auto all = session_->Execute("SELECT * FROM R r");
+  auto filtered = session_->Execute("SELECT * FROM R r WHERE r.b = 2");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(filtered.ok());
+  // Row 0 appears in both results with identical summaries.
+  std::string render_all;
+  for (const auto& row : all->result.rows) {
+    if (row.tuple.ValueAt(0).AsInt64() == 1) {
+      render_all = row.FindSummary("ClassBird1")->Render();
+    }
+  }
+  std::string render_filtered =
+      filtered->result.rows[0].FindSummary("ClassBird1")->Render();
+  EXPECT_EQ(render_all, render_filtered);
+}
+
+TEST_F(Figure2Test, TraceShowsPipelineStages) {
+  std::vector<core::TraceEvent> trace;
+  auto out = session_->Execute(
+      "SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2", &trace);
+  ASSERT_TRUE(out.ok());
+  bool saw_scan = false;
+  bool saw_project = false;
+  bool saw_filter = false;
+  bool saw_join = false;
+  for (const auto& event : trace) {
+    saw_scan |= event.op.rfind("SeqScan", 0) == 0;
+    saw_project |= event.op.rfind("Project", 0) == 0;
+    saw_filter |= event.op.rfind("Filter", 0) == 0;
+    saw_join |= event.op.rfind("HashJoin", 0) == 0;
+  }
+  EXPECT_TRUE(saw_scan);
+  EXPECT_TRUE(saw_project);
+  EXPECT_TRUE(saw_filter);
+  EXPECT_TRUE(saw_join);
+}
+
+}  // namespace
+}  // namespace insightnotes

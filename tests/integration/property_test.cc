@@ -1,0 +1,196 @@
+// Property-based suites over the summary algebra (DESIGN.md §6): for
+// randomized annotation populations across all three summary types we check
+//   * counts partition: per-component sizes sum to NumAnnotations;
+//   * zoom-in completeness: the union of ZoomIn(component) over all
+//     components is exactly the contributing annotation id set;
+//   * merge commutativity (up to representative choice);
+//   * add/remove round trips;
+//   * shared-annotation idempotence: merging an object with itself is a
+//     no-op.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/summary_instance.h"
+#include "core/summary_object.h"
+#include "workload/annotation_gen.h"
+
+namespace insightnotes::core {
+namespace {
+
+struct PropertyCase {
+  int type;  // 0 classifier, 1 cluster, 2 snippet.
+  uint64_t seed;
+  size_t population;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const char* types[] = {"classifier", "cluster", "snippet"};
+  return std::string(types[info.param.type]) + "_seed" +
+         std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.population);
+}
+
+class SummaryAlgebraProperty : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    const PropertyCase& param = GetParam();
+    switch (param.type) {
+      case 0: {
+        instance_ = SummaryInstance::MakeClassifier(
+            "p", {"Behavior", "Disease", "Anatomy", "Other"});
+        for (const auto& [label, text] :
+             workload::AnnotationGenerator::ClassBird1Training()) {
+          ASSERT_TRUE(instance_->classifier()->Train(label, text).ok());
+        }
+        break;
+      }
+      case 1:
+        instance_ = SummaryInstance::MakeCluster("p", 0.3);
+        break;
+      default:
+        instance_ = SummaryInstance::MakeSnippet("p");
+        break;
+    }
+    gen_ = std::make_unique<workload::AnnotationGenerator>(param.seed);
+  }
+
+  /// Generates annotation `id` deterministically for this test's seed.
+  ann::Annotation MakeAnnotation(ann::AnnotationId id) {
+    auto it = generated_.find(id);
+    if (it != generated_.end()) return it->second;
+    const auto& species = workload::CuratedSpecies()[id % 20];
+    // Mix comments and documents so snippet objects see contributions.
+    workload::GeneratedAnnotation g =
+        (id % 4 == 0) ? gen_->GenerateDocument(species, 4)
+                      : gen_->GenerateComment(species);
+    g.annotation.id = id;
+    generated_[id] = g.annotation;
+    return g.annotation;
+  }
+
+  std::unique_ptr<SummaryObject> BuildObject(const std::vector<ann::AnnotationId>& ids) {
+    auto object = instance_->NewObject();
+    for (ann::AnnotationId id : ids) {
+      Status s = object->AddAnnotation(MakeAnnotation(id));
+      EXPECT_TRUE(s.ok() || s.IsAlreadyExists()) << s.ToString();
+    }
+    return object;
+  }
+
+  /// Ids the object actually holds (snippets ignore comments).
+  std::set<ann::AnnotationId> ContributingIds(
+      const SummaryObject& object, const std::vector<ann::AnnotationId>& ids) {
+    std::set<ann::AnnotationId> out;
+    for (ann::AnnotationId id : ids) {
+      if (object.Contains(id)) out.insert(id);
+    }
+    return out;
+  }
+
+  std::unique_ptr<SummaryInstance> instance_;
+  std::unique_ptr<workload::AnnotationGenerator> gen_;
+  std::map<ann::AnnotationId, ann::Annotation> generated_;
+};
+
+TEST_P(SummaryAlgebraProperty, ComponentsPartitionAnnotations) {
+  const PropertyCase& param = GetParam();
+  std::vector<ann::AnnotationId> ids;
+  for (size_t i = 0; i < param.population; ++i) ids.push_back(i);
+  auto object = BuildObject(ids);
+
+  std::set<ann::AnnotationId> via_zoom;
+  size_t total_component_sizes = 0;
+  for (size_t c = 0; c < object->NumComponents(); ++c) {
+    auto members = object->ZoomIn(c);
+    ASSERT_TRUE(members.ok());
+    total_component_sizes += members->size();
+    for (ann::AnnotationId id : *members) {
+      EXPECT_TRUE(via_zoom.insert(id).second)
+          << "annotation " << id << " in two components";
+    }
+  }
+  EXPECT_EQ(via_zoom, ContributingIds(*object, ids));
+  EXPECT_EQ(total_component_sizes, object->NumAnnotations());
+}
+
+TEST_P(SummaryAlgebraProperty, AddRemoveRoundTrip) {
+  const PropertyCase& param = GetParam();
+  std::vector<ann::AnnotationId> ids;
+  for (size_t i = 0; i < param.population; ++i) ids.push_back(i);
+  auto object = BuildObject(ids);
+  std::string before = object->Render();
+
+  ann::Annotation extra = MakeAnnotation(10000 + param.seed);
+  ASSERT_TRUE(object->AddAnnotation(extra).ok());
+  if (object->Contains(extra.id)) {
+    ASSERT_TRUE(object->RemoveAnnotation(extra.id).ok());
+  }
+  EXPECT_EQ(object->Render(), before);
+}
+
+TEST_P(SummaryAlgebraProperty, MergeCommutativeOnMembership) {
+  const PropertyCase& param = GetParam();
+  std::vector<ann::AnnotationId> left_ids;
+  std::vector<ann::AnnotationId> right_ids;
+  Random rng(param.seed);
+  for (size_t i = 0; i < param.population; ++i) {
+    if (rng.Bernoulli(0.5)) left_ids.push_back(i);
+    if (rng.Bernoulli(0.5)) right_ids.push_back(i);  // Overlap is intended.
+  }
+  auto ab = BuildObject(left_ids);
+  auto ab_rhs = BuildObject(right_ids);
+  ASSERT_TRUE(ab->MergeWith(*ab_rhs).ok());
+  auto ba = BuildObject(right_ids);
+  auto ba_rhs = BuildObject(left_ids);
+  ASSERT_TRUE(ba->MergeWith(*ba_rhs).ok());
+
+  EXPECT_EQ(ab->NumAnnotations(), ba->NumAnnotations());
+  std::vector<ann::AnnotationId> all_ids;
+  for (size_t i = 0; i < param.population; ++i) all_ids.push_back(i);
+  EXPECT_EQ(ContributingIds(*ab, all_ids), ContributingIds(*ba, all_ids));
+}
+
+TEST_P(SummaryAlgebraProperty, SelfMergeIsIdempotent) {
+  const PropertyCase& param = GetParam();
+  std::vector<ann::AnnotationId> ids;
+  for (size_t i = 0; i < param.population; ++i) ids.push_back(i);
+  auto object = BuildObject(ids);
+  size_t before = object->NumAnnotations();
+  auto twin = object->Clone();
+  ASSERT_TRUE(object->MergeWith(*twin).ok());
+  EXPECT_EQ(object->NumAnnotations(), before);
+}
+
+TEST_P(SummaryAlgebraProperty, RemoveEveryAnnotationEmptiesObject) {
+  const PropertyCase& param = GetParam();
+  std::vector<ann::AnnotationId> ids;
+  for (size_t i = 0; i < param.population; ++i) ids.push_back(i);
+  auto object = BuildObject(ids);
+  for (ann::AnnotationId id : ids) {
+    if (object->Contains(id)) {
+      ASSERT_TRUE(object->RemoveAnnotation(id).ok()) << id;
+    }
+  }
+  EXPECT_EQ(object->NumAnnotations(), 0u);
+  // Classifier keeps its (empty) label components; cluster/snippet have none.
+  for (size_t c = 0; c < object->NumComponents(); ++c) {
+    auto members = object->ZoomIn(c);
+    ASSERT_TRUE(members.ok());
+    EXPECT_TRUE(members->empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SummaryAlgebraProperty,
+    ::testing::Values(PropertyCase{0, 1, 10}, PropertyCase{0, 2, 60},
+                      PropertyCase{0, 3, 200}, PropertyCase{1, 1, 10},
+                      PropertyCase{1, 2, 60}, PropertyCase{1, 3, 200},
+                      PropertyCase{2, 1, 10}, PropertyCase{2, 2, 60},
+                      PropertyCase{2, 3, 200}),
+    CaseName);
+
+}  // namespace
+}  // namespace insightnotes::core

@@ -1,0 +1,100 @@
+#include "mining/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace insightnotes::mining {
+namespace {
+
+// The ornithological labels from the paper's ClassBird1 instance.
+NaiveBayesClassifier BirdClassifier() {
+  NaiveBayesClassifier nb({"Behavior", "Disease", "Anatomy", "Other"});
+  // Behavior.
+  EXPECT_TRUE(nb.Train(0, "found eating stonewort near the shore").ok());
+  EXPECT_TRUE(nb.Train(0, "observed flying south in large flocks migrating").ok());
+  EXPECT_TRUE(nb.Train(0, "aggressive behavior during nesting season").ok());
+  EXPECT_TRUE(nb.Train(0, "foraging and eating aquatic plants at dusk").ok());
+  // Disease.
+  EXPECT_TRUE(nb.Train(1, "signs of avian influenza infection detected").ok());
+  EXPECT_TRUE(nb.Train(1, "sick individual with parasite infestation").ok());
+  EXPECT_TRUE(nb.Train(1, "lesions suggest fungal disease on the beak").ok());
+  // Anatomy.
+  EXPECT_TRUE(nb.Train(2, "large one having size around 3 kilograms").ok());
+  EXPECT_TRUE(nb.Train(2, "long neck and orange beak with white feathers").ok());
+  EXPECT_TRUE(nb.Train(2, "wingspan measured at 160 centimeters body weight high").ok());
+  // Other.
+  EXPECT_TRUE(nb.Train(3, "see related wikipedia article for details").ok());
+  EXPECT_TRUE(nb.Train(3, "photo attached from the trip last weekend").ok());
+  return nb;
+}
+
+TEST(NaiveBayesTest, ClassifiesDomainExamples) {
+  auto nb = BirdClassifier();
+  EXPECT_EQ(nb.Classify("the goose was eating stonewort"), 0u);       // Behavior.
+  EXPECT_EQ(nb.Classify("infected with avian influenza parasite"), 1u);  // Disease.
+  EXPECT_EQ(nb.Classify("body size and wingspan measured"), 2u);      // Anatomy.
+}
+
+TEST(NaiveBayesTest, PriorsBreakTiesForUnknownText) {
+  NaiveBayesClassifier nb({"a", "b"});
+  ASSERT_TRUE(nb.Train(0, "alpha words here").ok());
+  ASSERT_TRUE(nb.Train(0, "more alpha content").ok());
+  ASSERT_TRUE(nb.Train(1, "beta text").ok());
+  // Tokens unknown to the model: decided by the prior (label 0 trained more).
+  EXPECT_EQ(nb.Classify("zzz qqq"), 0u);
+}
+
+TEST(NaiveBayesTest, UntrainedModelDefaultsToFirstLabel) {
+  NaiveBayesClassifier nb({"x", "y", "z"});
+  EXPECT_EQ(nb.Classify("anything at all"), 0u);
+  EXPECT_EQ(nb.num_training_docs(), 0u);
+}
+
+TEST(NaiveBayesTest, TrainValidatesLabel) {
+  NaiveBayesClassifier nb({"only"});
+  EXPECT_TRUE(nb.Train(1, "oops").IsInvalidArgument());
+  EXPECT_TRUE(nb.Train(0, "fine").ok());
+}
+
+TEST(NaiveBayesTest, ScoresAreFiniteAndOrdered) {
+  auto nb = BirdClassifier();
+  auto scores = nb.Scores("eating and foraging behavior");
+  ASSERT_EQ(scores.size(), 4u);
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_LT(s, 0.0);  // Log probabilities.
+  }
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[0], scores[3]);
+}
+
+TEST(NaiveBayesTest, IncrementalTrainingShiftsDecision) {
+  NaiveBayesClassifier nb({"refute", "approve"});
+  ASSERT_TRUE(nb.Train(0, "value is wrong incorrect mistaken").ok());
+  ASSERT_TRUE(nb.Train(1, "confirmed correct verified").ok());
+  EXPECT_EQ(nb.Classify("this is wrong"), 0u);
+  // Teach it that "suspicious" means refute.
+  EXPECT_EQ(nb.Classify("suspicious suspicious suspicious"), 0u);  // Prior tie -> 0 anyway.
+  ASSERT_TRUE(nb.Train(1, "suspicious but confirmed correct").ok());
+  ASSERT_TRUE(nb.Train(1, "suspicious reading verified fine").ok());
+  EXPECT_EQ(nb.Classify("suspicious"), 1u);
+}
+
+TEST(NaiveBayesTest, StemmingUnifiesInflections) {
+  NaiveBayesClassifier nb({"feeding", "nesting"});
+  ASSERT_TRUE(nb.Train(0, "eating eats feeding fed").ok());
+  ASSERT_TRUE(nb.Train(1, "nest nests nesting").ok());
+  EXPECT_EQ(nb.Classify("it was eating"), 0u);
+  EXPECT_EQ(nb.Classify("building a nest"), 1u);
+}
+
+TEST(NaiveBayesTest, VocabularyGrowsWithTraining) {
+  NaiveBayesClassifier nb({"a"});
+  size_t before = nb.vocabulary_size();
+  ASSERT_TRUE(nb.Train(0, "completely novel terminology stonewort").ok());
+  EXPECT_GT(nb.vocabulary_size(), before);
+}
+
+}  // namespace
+}  // namespace insightnotes::mining

@@ -1,0 +1,143 @@
+#include "rel/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace insightnotes::rel {
+namespace {
+
+Tuple TestTuple() {
+  // (id=1, name="swan", weight=3.5, count=NULL)
+  return Tuple({Value(static_cast<int64_t>(1)), Value("swan"), Value(3.5),
+                Value::Null()});
+}
+
+TEST(ExpressionTest, ColumnRefReadsValue) {
+  auto expr = MakeColumn(1, "name");
+  auto v = expr->Evaluate(TestTuple());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "swan");
+}
+
+TEST(ExpressionTest, ColumnRefOutOfRange) {
+  auto expr = MakeColumn(9);
+  EXPECT_TRUE(expr->Evaluate(TestTuple()).status().IsInternal());
+}
+
+TEST(ExpressionTest, LiteralEvaluatesToItself) {
+  auto expr = MakeLiteral(Value(static_cast<int64_t>(7)));
+  EXPECT_EQ(expr->Evaluate(TestTuple())->AsInt64(), 7);
+}
+
+struct CompareCase {
+  CompareOp op;
+  int64_t lhs;
+  int64_t rhs;
+  bool expected;
+};
+
+class CompareEvalTest : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(CompareEvalTest, EvaluatesCorrectly) {
+  const auto& c = GetParam();
+  auto expr = MakeCompare(c.op, MakeLiteral(Value(c.lhs)), MakeLiteral(Value(c.rhs)));
+  auto v = expr->EvaluateBool(TestTuple());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, CompareEvalTest,
+    ::testing::Values(CompareCase{CompareOp::kEq, 2, 2, true},
+                      CompareCase{CompareOp::kEq, 2, 3, false},
+                      CompareCase{CompareOp::kNe, 2, 3, true},
+                      CompareCase{CompareOp::kNe, 2, 2, false},
+                      CompareCase{CompareOp::kLt, 2, 3, true},
+                      CompareCase{CompareOp::kLt, 3, 2, false},
+                      CompareCase{CompareOp::kLe, 2, 2, true},
+                      CompareCase{CompareOp::kLe, 3, 2, false},
+                      CompareCase{CompareOp::kGt, 3, 2, true},
+                      CompareCase{CompareOp::kGt, 2, 3, false},
+                      CompareCase{CompareOp::kGe, 2, 2, true},
+                      CompareCase{CompareOp::kGe, 2, 3, false}));
+
+TEST(ExpressionTest, CompareWithNullIsNullAndFalseAsPredicate) {
+  auto expr = MakeCompare(CompareOp::kEq, MakeColumn(3, "count"),
+                          MakeLiteral(Value(static_cast<int64_t>(0))));
+  auto v = expr->Evaluate(TestTuple());
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  EXPECT_FALSE(*expr->EvaluateBool(TestTuple()));
+}
+
+TEST(ExpressionTest, AndOrShortCircuit) {
+  auto true_lit = [] { return MakeLiteral(Value(static_cast<int64_t>(1))); };
+  auto false_lit = [] { return MakeLiteral(Value(static_cast<int64_t>(0))); };
+  // Error expression on the right should never be evaluated.
+  auto error_expr = [] { return MakeColumn(99); };
+  EXPECT_FALSE(*MakeAnd(false_lit(), error_expr())->EvaluateBool(TestTuple()));
+  EXPECT_TRUE(*MakeOr(true_lit(), error_expr())->EvaluateBool(TestTuple()));
+  EXPECT_TRUE(*MakeAnd(true_lit(), true_lit())->EvaluateBool(TestTuple()));
+  EXPECT_FALSE(*MakeOr(false_lit(), false_lit())->EvaluateBool(TestTuple()));
+}
+
+TEST(ExpressionTest, NotInverts) {
+  auto expr = MakeNot(MakeCompare(CompareOp::kEq, MakeColumn(0, "id"),
+                                  MakeLiteral(Value(static_cast<int64_t>(1)))));
+  EXPECT_FALSE(*expr->EvaluateBool(TestTuple()));
+}
+
+TEST(ExpressionTest, ArithmeticIntAndFloat) {
+  auto plus = MakeArithmetic(ArithmeticOp::kAdd, MakeColumn(0, "id"),
+                             MakeLiteral(Value(static_cast<int64_t>(10))));
+  EXPECT_EQ(plus->Evaluate(TestTuple())->AsInt64(), 11);
+  auto times = MakeArithmetic(ArithmeticOp::kMul, MakeColumn(2, "weight"),
+                              MakeLiteral(Value(2.0)));
+  EXPECT_DOUBLE_EQ(times->Evaluate(TestTuple())->AsFloat64(), 7.0);
+}
+
+TEST(ExpressionTest, DivisionByZeroIsError) {
+  auto div = MakeArithmetic(ArithmeticOp::kDiv, MakeLiteral(Value(static_cast<int64_t>(1))),
+                            MakeLiteral(Value(static_cast<int64_t>(0))));
+  EXPECT_TRUE(div->Evaluate(TestTuple()).status().IsInvalidArgument());
+}
+
+TEST(ExpressionTest, StringConcatenation) {
+  auto cat = MakeArithmetic(ArithmeticOp::kAdd, MakeLiteral(Value("swan ")),
+                            MakeLiteral(Value("goose")));
+  EXPECT_EQ(cat->Evaluate(TestTuple())->AsString(), "swan goose");
+}
+
+TEST(ExpressionTest, ArithmeticWithNullIsNull) {
+  auto expr = MakeArithmetic(ArithmeticOp::kAdd, MakeColumn(3, "count"),
+                             MakeLiteral(Value(static_cast<int64_t>(1))));
+  EXPECT_TRUE(expr->Evaluate(TestTuple())->is_null());
+}
+
+TEST(ExpressionTest, CollectColumnRefs) {
+  auto expr = MakeAnd(
+      MakeCompare(CompareOp::kEq, MakeColumn(0), MakeColumn(2)),
+      MakeCompare(CompareOp::kGt, MakeColumn(1), MakeLiteral(Value("a"))));
+  std::vector<size_t> refs;
+  expr->CollectColumnRefs(&refs);
+  EXPECT_EQ(refs, (std::vector<size_t>{0, 2, 1}));
+}
+
+TEST(ExpressionTest, CloneIsDeepAndEquivalent) {
+  auto expr = MakeAnd(
+      MakeCompare(CompareOp::kLt, MakeColumn(0, "id"), MakeLiteral(Value(static_cast<int64_t>(5)))),
+      MakeNot(MakeCompare(CompareOp::kEq, MakeColumn(1, "name"), MakeLiteral(Value("x")))));
+  auto clone = expr->Clone();
+  EXPECT_EQ(expr->ToString(), clone->ToString());
+  EXPECT_EQ(*expr->EvaluateBool(TestTuple()), *clone->EvaluateBool(TestTuple()));
+}
+
+TEST(ExpressionTest, ToStringRendering) {
+  auto expr = MakeCompare(CompareOp::kGe, MakeColumn(2, "r.weight"),
+                          MakeLiteral(Value(1.5)));
+  EXPECT_EQ(expr->ToString(), "(r.weight >= 1.5)");
+  auto lit = MakeLiteral(Value("swan"));
+  EXPECT_EQ(lit->ToString(), "'swan'");
+}
+
+}  // namespace
+}  // namespace insightnotes::rel

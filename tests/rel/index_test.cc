@@ -1,0 +1,103 @@
+#include "rel/index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace insightnotes::rel {
+namespace {
+
+Value I(int64_t v) { return Value(v); }
+
+TEST(HashIndexTest, InsertLookup) {
+  HashIndex idx;
+  idx.Insert(Value("swan"), 1);
+  idx.Insert(Value("swan"), 2);
+  idx.Insert(Value("goose"), 3);
+  auto rows = idx.Lookup(Value("swan"));
+  EXPECT_EQ(rows, (std::vector<RowId>{1, 2}));
+  EXPECT_EQ(idx.Lookup(Value("heron")).size(), 0u);
+  EXPECT_EQ(idx.NumEntries(), 3u);
+}
+
+TEST(HashIndexTest, RemoveSpecificPairing) {
+  HashIndex idx;
+  idx.Insert(I(5), 1);
+  idx.Insert(I(5), 2);
+  ASSERT_TRUE(idx.Remove(I(5), 1).ok());
+  EXPECT_EQ(idx.Lookup(I(5)), (std::vector<RowId>{2}));
+  EXPECT_TRUE(idx.Remove(I(5), 99).IsNotFound());
+  EXPECT_TRUE(idx.Remove(I(6), 2).IsNotFound());
+  ASSERT_TRUE(idx.Remove(I(5), 2).ok());
+  EXPECT_EQ(idx.NumEntries(), 0u);
+}
+
+TEST(HashIndexTest, NumericKeyCoercion) {
+  HashIndex idx;
+  idx.Insert(I(5), 1);
+  // 5.0 must find the int key 5 (Value equality/hash coercion contract).
+  EXPECT_EQ(idx.Lookup(Value(5.0)), (std::vector<RowId>{1}));
+}
+
+TEST(OrderedIndexTest, RangeQueries) {
+  OrderedIndex idx;
+  for (int64_t i = 0; i < 10; ++i) idx.Insert(I(i), static_cast<RowId>(i * 10));
+  Value lo = I(3);
+  Value hi = I(6);
+  auto rows = idx.Range(&lo, &hi);
+  EXPECT_EQ(rows, (std::vector<RowId>{30, 40, 50, 60}));
+}
+
+TEST(OrderedIndexTest, UnboundedRanges) {
+  OrderedIndex idx;
+  for (int64_t i = 0; i < 5; ++i) idx.Insert(I(i), static_cast<RowId>(i));
+  Value hi = I(1);
+  EXPECT_EQ(idx.Range(nullptr, &hi), (std::vector<RowId>{0, 1}));
+  Value lo = I(3);
+  EXPECT_EQ(idx.Range(&lo, nullptr), (std::vector<RowId>{3, 4}));
+  EXPECT_EQ(idx.Range(nullptr, nullptr).size(), 5u);
+}
+
+TEST(OrderedIndexTest, EmptyRange) {
+  OrderedIndex idx;
+  idx.Insert(I(1), 1);
+  Value lo = I(5);
+  Value hi = I(9);
+  EXPECT_TRUE(idx.Range(&lo, &hi).empty());
+}
+
+TEST(OrderedIndexTest, RemoveAndLookup) {
+  OrderedIndex idx;
+  idx.Insert(Value("a"), 1);
+  idx.Insert(Value("b"), 2);
+  ASSERT_TRUE(idx.Remove(Value("a"), 1).ok());
+  EXPECT_TRUE(idx.Lookup(Value("a")).empty());
+  EXPECT_EQ(idx.Lookup(Value("b")), (std::vector<RowId>{2}));
+}
+
+TEST(ValueLessTest, MixedTypesHaveTotalOrder) {
+  ValueLess less;
+  Value null = Value::Null();
+  Value num = I(5);
+  Value str = Value("a");
+  EXPECT_TRUE(less(null, num));
+  EXPECT_TRUE(less(num, str));
+  EXPECT_TRUE(less(null, str));
+  EXPECT_FALSE(less(str, num));
+  EXPECT_FALSE(less(num, num));
+  // Strict weak ordering sanity: !(a<b) && !(b<a) for equal values.
+  EXPECT_FALSE(less(I(5), Value(5.0)));
+  EXPECT_FALSE(less(Value(5.0), I(5)));
+}
+
+TEST(OrderedIndexTest, MixedTypeKeysDoNotCrash) {
+  OrderedIndex idx;
+  idx.Insert(Value::Null(), 0);
+  idx.Insert(I(1), 1);
+  idx.Insert(Value("z"), 2);
+  EXPECT_EQ(idx.NumEntries(), 3u);
+  EXPECT_EQ(idx.Range(nullptr, nullptr).size(), 3u);
+}
+
+}  // namespace
+}  // namespace insightnotes::rel

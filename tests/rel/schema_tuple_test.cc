@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "rel/schema.h"
+#include "rel/tuple.h"
+
+namespace insightnotes::rel {
+namespace {
+
+Schema BirdSchema() {
+  return Schema({{"id", ValueType::kInt64, "r"},
+                 {"name", ValueType::kString, "r"},
+                 {"weight", ValueType::kFloat64, "r"}});
+}
+
+TEST(SchemaTest, IndexOfQualifiedAndBare) {
+  Schema s = BirdSchema();
+  EXPECT_EQ(*s.IndexOf("r.id"), 0u);
+  EXPECT_EQ(*s.IndexOf("name"), 1u);
+  EXPECT_EQ(*s.IndexOf("weight"), 2u);
+  EXPECT_TRUE(s.IndexOf("missing").status().IsNotFound());
+  EXPECT_TRUE(s.IndexOf("s.id").status().IsNotFound());
+}
+
+TEST(SchemaTest, AmbiguousBareNameIsError) {
+  Schema joined = Schema::Concat(BirdSchema(), BirdSchema().WithQualifier("s"));
+  EXPECT_TRUE(joined.IndexOf("id").status().IsInvalidArgument());
+  EXPECT_EQ(*joined.IndexOf("r.id"), 0u);
+  EXPECT_EQ(*joined.IndexOf("s.id"), 3u);
+}
+
+TEST(SchemaTest, WithQualifierRewritesAll) {
+  Schema s = BirdSchema().WithQualifier("x");
+  for (const auto& c : s.columns()) {
+    EXPECT_EQ(c.qualifier, "x");
+  }
+  EXPECT_EQ(*s.IndexOf("x.name"), 1u);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema joined = Schema::Concat(BirdSchema(), BirdSchema().WithQualifier("s"));
+  EXPECT_EQ(joined.NumColumns(), 6u);
+  EXPECT_EQ(joined.ColumnAt(0).QualifiedName(), "r.id");
+  EXPECT_EQ(joined.ColumnAt(3).QualifiedName(), "s.id");
+}
+
+TEST(SchemaTest, ToStringIsReadable) {
+  EXPECT_EQ(BirdSchema().ToString(), "(r.id BIGINT, r.name TEXT, r.weight DOUBLE)");
+}
+
+TEST(TupleTest, ConcatJoinsValues) {
+  Tuple l({Value(static_cast<int64_t>(1)), Value("a")});
+  Tuple r({Value(2.0)});
+  Tuple joined = Tuple::Concat(l, r);
+  EXPECT_EQ(joined.NumValues(), 3u);
+  EXPECT_EQ(joined.ValueAt(2).AsFloat64(), 2.0);
+}
+
+TEST(TupleTest, SerializationRoundTrip) {
+  Tuple t({Value(static_cast<int64_t>(42)), Value::Null(), Value("swan goose"),
+           Value(3.25)});
+  std::string bytes;
+  t.Serialize(&bytes);
+  auto back = Tuple::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(TupleTest, EmptyTupleRoundTrip) {
+  Tuple t;
+  std::string bytes;
+  t.Serialize(&bytes);
+  auto back = Tuple::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumValues(), 0u);
+}
+
+TEST(TupleTest, DeserializeRejectsGarbage) {
+  EXPECT_TRUE(Tuple::Deserialize("").status().IsParseError());
+  EXPECT_TRUE(Tuple::Deserialize("\x05").status().IsParseError());
+}
+
+TEST(TupleTest, HashEqualityContract) {
+  Tuple a({Value(static_cast<int64_t>(5)), Value("x")});
+  Tuple b({Value(5.0), Value("x")});
+  Tuple c({Value(static_cast<int64_t>(5)), Value("y")});
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t({Value(static_cast<int64_t>(1)), Value("swan"), Value::Null()});
+  EXPECT_EQ(t.ToString(), "(1, swan, NULL)");
+}
+
+}  // namespace
+}  // namespace insightnotes::rel

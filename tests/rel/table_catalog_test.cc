@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rel/catalog.h"
+#include "rel/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace insightnotes::rel {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(disk_.Open("").ok());
+    pool_ = std::make_unique<storage::BufferPool>(&disk_, 64);
+    catalog_ = std::make_unique<Catalog>(pool_.get());
+    auto table = catalog_->CreateTable(
+        "birds", Schema({{"id", ValueType::kInt64, "birds"},
+                         {"name", ValueType::kString, "birds"},
+                         {"weight", ValueType::kFloat64, "birds"}}));
+    ASSERT_TRUE(table.ok());
+    birds_ = *table;
+  }
+
+  Tuple Bird(int64_t id, const std::string& name, double weight) {
+    return Tuple({Value(id), Value(name), Value(weight)});
+  }
+
+  storage::DiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  Table* birds_ = nullptr;
+};
+
+TEST_F(TableTest, InsertAndGet) {
+  auto row = birds_->Insert(Bird(1, "Swan Goose", 3.2));
+  ASSERT_TRUE(row.ok());
+  auto t = birds_->Get(*row);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ValueAt(1).AsString(), "Swan Goose");
+  EXPECT_EQ(birds_->NumRows(), 1u);
+}
+
+TEST_F(TableTest, RowIdsAreDenseAndStable) {
+  auto r0 = birds_->Insert(Bird(1, "a", 1.0));
+  auto r1 = birds_->Insert(Bird(2, "b", 2.0));
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r0, 0u);
+  EXPECT_EQ(*r1, 1u);
+}
+
+TEST_F(TableTest, ArityMismatchRejected) {
+  Tuple wrong({Value(static_cast<int64_t>(1))});
+  EXPECT_TRUE(birds_->Insert(wrong).status().IsInvalidArgument());
+}
+
+TEST_F(TableTest, TypeMismatchRejected) {
+  Tuple wrong({Value("not-an-int"), Value("name"), Value(1.0)});
+  EXPECT_TRUE(birds_->Insert(wrong).status().IsTypeError());
+}
+
+TEST_F(TableTest, NullFitsAnyColumn) {
+  Tuple with_null({Value(static_cast<int64_t>(1)), Value::Null(), Value::Null()});
+  EXPECT_TRUE(birds_->Insert(with_null).ok());
+}
+
+TEST_F(TableTest, DeleteHidesRow) {
+  auto row = birds_->Insert(Bird(1, "x", 1.0));
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(birds_->Delete(*row).ok());
+  EXPECT_TRUE(birds_->Get(*row).status().IsNotFound());
+  EXPECT_FALSE(birds_->IsLive(*row));
+  EXPECT_EQ(birds_->NumRows(), 0u);
+  EXPECT_TRUE(birds_->Delete(*row).IsNotFound());
+  // New inserts never reuse the deleted RowId.
+  auto next = birds_->Insert(Bird(2, "y", 2.0));
+  ASSERT_TRUE(next.ok());
+  EXPECT_NE(*next, *row);
+}
+
+TEST_F(TableTest, ScanVisitsLiveRowsInOrder) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(birds_->Insert(Bird(i, "bird" + std::to_string(i), i * 0.5)).ok());
+  }
+  ASSERT_TRUE(birds_->Delete(5).ok());
+  std::vector<RowId> seen;
+  ASSERT_TRUE(birds_
+                  ->Scan([&](RowId row, const Tuple& t) {
+                    EXPECT_EQ(t.ValueAt(0).AsInt64(), static_cast<int64_t>(row));
+                    seen.push_back(row);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), 19u);
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 5), 0);
+}
+
+TEST_F(TableTest, LargeTableSpansManyPages) {
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(birds_->Insert(Bird(i, "species-" + std::to_string(i), 1.0)).ok());
+  }
+  EXPECT_EQ(birds_->NumRows(), 2000u);
+  auto t = birds_->Get(1999);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ValueAt(1).AsString(), "species-1999");
+}
+
+TEST_F(TableTest, CatalogNameCollision) {
+  EXPECT_TRUE(catalog_->CreateTable("birds", Schema()).status().IsAlreadyExists());
+}
+
+TEST_F(TableTest, CatalogLookup) {
+  auto t = catalog_->GetTable("birds");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "birds");
+  EXPECT_TRUE(catalog_->GetTable("nope").status().IsNotFound());
+  auto by_id = catalog_->GetTableById((*t)->id());
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(*by_id, *t);
+}
+
+TEST_F(TableTest, CatalogDrop) {
+  ASSERT_TRUE(catalog_->CreateTable("tmp", Schema()).ok());
+  ASSERT_TRUE(catalog_->DropTable("tmp").ok());
+  EXPECT_TRUE(catalog_->GetTable("tmp").status().IsNotFound());
+  EXPECT_TRUE(catalog_->DropTable("tmp").IsNotFound());
+}
+
+TEST_F(TableTest, CatalogTableNamesSorted) {
+  ASSERT_TRUE(catalog_->CreateTable("zebras", Schema()).ok());
+  ASSERT_TRUE(catalog_->CreateTable("ants", Schema()).ok());
+  EXPECT_EQ(catalog_->TableNames(),
+            (std::vector<std::string>{"ants", "birds", "zebras"}));
+}
+
+}  // namespace
+}  // namespace insightnotes::rel

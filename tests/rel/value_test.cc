@@ -1,0 +1,101 @@
+#include "rel/value.h"
+
+#include <gtest/gtest.h>
+
+namespace insightnotes::rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(static_cast<int64_t>(7)).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsFloat64(), 2.5);
+  EXPECT_EQ(Value("swan").AsString(), "swan");
+  EXPECT_EQ(Value("swan").type(), ValueType::kString);
+}
+
+TEST(ValueTest, NumericCoercionInCompare) {
+  Value five(static_cast<int64_t>(5));
+  Value five_f(5.0);
+  Value six(static_cast<int64_t>(6));
+  EXPECT_EQ(*five.Compare(five_f), 0);
+  EXPECT_LT(*five.Compare(six), 0);
+  EXPECT_GT(*six.Compare(five_f), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(*Value("apple").Compare(Value("banana")), 0);
+  EXPECT_EQ(*Value("swan").Compare(Value("swan")), 0);
+}
+
+TEST(ValueTest, MixedTypeCompareIsTypeError) {
+  EXPECT_TRUE(Value("x").Compare(Value(static_cast<int64_t>(1))).status().IsTypeError());
+  EXPECT_TRUE(Value(1.0).Compare(Value("x")).status().IsTypeError());
+}
+
+TEST(ValueTest, NullOrdering) {
+  Value null = Value::Null();
+  EXPECT_EQ(*null.Compare(Value::Null()), 0);
+  EXPECT_LT(*null.Compare(Value(static_cast<int64_t>(0))), 0);
+  EXPECT_GT(*Value("a").Compare(null), 0);
+}
+
+TEST(ValueTest, EqualityAndHashConsistency) {
+  Value a(static_cast<int64_t>(5));
+  Value b(5.0);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(Value("5") == a);
+  EXPECT_TRUE(Value::Null() == Value::Null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(static_cast<int64_t>(-3)).ToString(), "-3");
+  EXPECT_EQ(Value("text").ToString(), "text");
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(*Value(static_cast<int64_t>(3)).ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value(2.5).ToNumeric(), 2.5);
+  EXPECT_TRUE(Value("x").ToNumeric().status().IsTypeError());
+  EXPECT_TRUE(Value::Null().ToNumeric().status().IsTypeError());
+}
+
+class ValueSerializationTest : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ValueSerializationTest, RoundTrips) {
+  const Value& v = GetParam();
+  std::string bytes;
+  v.Serialize(&bytes);
+  size_t offset = 0;
+  auto back = Value::Deserialize(bytes, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(offset, bytes.size());
+  EXPECT_EQ(back->type(), v.type());
+  if (!v.is_null()) {
+    EXPECT_TRUE(*back == v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RoundTrip, ValueSerializationTest,
+    ::testing::Values(Value::Null(), Value(static_cast<int64_t>(0)),
+                      Value(static_cast<int64_t>(-123456789)),
+                      Value(static_cast<int64_t>(INT64_MAX)), Value(0.0),
+                      Value(-2.5e300), Value(""), Value("swan goose"),
+                      Value(std::string(10000, 'x')),
+                      Value(std::string("\x00\x01\xff", 3))));
+
+TEST(ValueTest, DeserializeRejectsTruncation) {
+  Value v(static_cast<int64_t>(42));
+  std::string bytes;
+  v.Serialize(&bytes);
+  bytes.resize(bytes.size() - 1);
+  size_t offset = 0;
+  EXPECT_TRUE(Value::Deserialize(bytes, &offset).status().IsParseError());
+  size_t at_end = bytes.size();
+  EXPECT_TRUE(Value::Deserialize(bytes, &at_end).status().IsParseError());
+}
+
+}  // namespace
+}  // namespace insightnotes::rel

@@ -1,0 +1,249 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace insightnotes::sql {
+namespace {
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Lex("SELECT r.a FROM R r WHERE r.b = 2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "r");
+  EXPECT_EQ((*tokens)[2].text, ".");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("select SeLeCt FROM");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "SELECT");
+  EXPECT_EQ((*tokens)[2].text, "FROM");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex("'it''s a goose'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's a goose");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Lex("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, NumbersAndFloats) {
+  auto tokens = Lex("42 3.25");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[1].float_value, 3.25);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("SELECT -- comment here\n1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // SELECT, 1, END.
+}
+
+TEST(LexerTest, TwoCharSymbols) {
+  auto tokens = Lex("a != b <> c <= d >= e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "!=");
+  EXPECT_EQ((*tokens)[3].text, "<>");
+  EXPECT_EQ((*tokens)[5].text, "<=");
+  EXPECT_EQ((*tokens)[7].text, ">=");
+}
+
+TEST(ParserTest, ParsesFigure2Query) {
+  auto stmt = Parse(
+      "Select r.a, r.b, s.z From R r, S s Where r.a = s.x And r.b = 2;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = std::get<SelectStatement>(*stmt);
+  ASSERT_EQ(select.items.size(), 3u);
+  EXPECT_EQ(select.items[0].expr->name, "r.a");
+  EXPECT_EQ(select.items[2].expr->name, "s.z");
+  ASSERT_EQ(select.from.size(), 2u);
+  EXPECT_EQ(select.from[0].table, "R");
+  EXPECT_EQ(select.from[0].alias, "r");
+  ASSERT_NE(select.where, nullptr);
+  EXPECT_EQ(select.where->kind, AstExpr::Kind::kLogical);
+}
+
+TEST(ParserTest, ParsesSelectStar) {
+  auto stmt = Parse("SELECT * FROM birds");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = std::get<SelectStatement>(*stmt);
+  ASSERT_EQ(select.items.size(), 1u);
+  EXPECT_EQ(select.items[0].expr, nullptr);
+  EXPECT_EQ(select.from[0].alias, "birds");  // Defaults to the table name.
+}
+
+TEST(ParserTest, ParsesGroupByOrderByLimit) {
+  auto stmt = Parse(
+      "SELECT b, COUNT(*) AS cnt, SUM(a) AS total FROM R GROUP BY b "
+      "ORDER BY cnt DESC, b LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& select = std::get<SelectStatement>(*stmt);
+  ASSERT_EQ(select.items.size(), 3u);
+  EXPECT_EQ(select.items[1].expr->kind, AstExpr::Kind::kAggregate);
+  EXPECT_EQ(select.items[1].expr->agg_fn, exec::AggregateFunction::kCountStar);
+  EXPECT_EQ(select.items[1].alias, "cnt");
+  EXPECT_EQ(select.items[2].expr->agg_fn, exec::AggregateFunction::kSum);
+  ASSERT_EQ(select.group_by.size(), 1u);
+  ASSERT_EQ(select.order_by.size(), 2u);
+  EXPECT_FALSE(select.order_by[0].ascending);
+  EXPECT_TRUE(select.order_by[1].ascending);
+  EXPECT_EQ(select.limit, 10u);
+}
+
+TEST(ParserTest, ParsesDistinct) {
+  auto stmt = Parse("SELECT DISTINCT name FROM birds");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<SelectStatement>(*stmt).distinct);
+}
+
+TEST(ParserTest, ParsesCreateTable) {
+  auto stmt = Parse("CREATE TABLE birds (id BIGINT, name TEXT, weight DOUBLE)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& create = std::get<CreateTableStatement>(*stmt);
+  EXPECT_EQ(create.table, "birds");
+  ASSERT_EQ(create.columns.size(), 3u);
+  EXPECT_EQ(create.columns[0].second, rel::ValueType::kInt64);
+  EXPECT_EQ(create.columns[1].second, rel::ValueType::kString);
+  EXPECT_EQ(create.columns[2].second, rel::ValueType::kFloat64);
+}
+
+TEST(ParserTest, ParsesInsertMultipleRows) {
+  auto stmt = Parse("INSERT INTO birds VALUES (1, 'Swan Goose', 3.2), (2, 'Heron', -1.5)");
+  ASSERT_TRUE(stmt.ok());
+  const auto& insert = std::get<InsertStatement>(*stmt);
+  ASSERT_EQ(insert.rows.size(), 2u);
+  EXPECT_EQ(insert.rows[0][1].AsString(), "Swan Goose");
+  EXPECT_DOUBLE_EQ(insert.rows[1][2].AsFloat64(), -1.5);
+}
+
+TEST(ParserTest, ParsesAnnotate) {
+  auto stmt = Parse(
+      "ANNOTATE birds ROW 3 COLUMNS (name, weight) TEXT 'size seems wrong' "
+      "AUTHOR 'alice'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& annotate = std::get<AnnotateStatement>(*stmt);
+  EXPECT_EQ(annotate.table, "birds");
+  EXPECT_EQ(annotate.row, 3u);
+  EXPECT_EQ(annotate.columns, (std::vector<std::string>{"name", "weight"}));
+  EXPECT_EQ(annotate.body, "size seems wrong");
+  EXPECT_EQ(annotate.author, "alice");
+  EXPECT_FALSE(annotate.is_document);
+}
+
+TEST(ParserTest, ParsesAnnotateDocument) {
+  auto stmt = Parse(
+      "ANNOTATE birds ROW 0 TEXT 'long article body' AS DOCUMENT TITLE 'Wiki'");
+  ASSERT_TRUE(stmt.ok());
+  const auto& annotate = std::get<AnnotateStatement>(*stmt);
+  EXPECT_TRUE(annotate.is_document);
+  EXPECT_EQ(annotate.title, "Wiki");
+}
+
+TEST(ParserTest, ParsesZoomInFigure3) {
+  auto stmt = Parse(
+      "ZoomIn Reference QID 101 Where c1 = 'x' On NaiveBayesClass Index 1;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const auto& zoomin = std::get<ZoomInStatement>(*stmt);
+  EXPECT_EQ(zoomin.qid, 101u);
+  ASSERT_NE(zoomin.where, nullptr);
+  EXPECT_EQ(zoomin.instance, "NaiveBayesClass");
+  EXPECT_EQ(zoomin.index, 0u);  // 1-based syntax -> 0-based internal.
+}
+
+TEST(ParserTest, ZoomInIndexMustBePositive) {
+  EXPECT_FALSE(Parse("ZOOMIN REFERENCE QID 1 ON x INDEX 0").ok());
+}
+
+TEST(ParserTest, ParsesCreateInstanceVariants) {
+  auto classifier = Parse(
+      "CREATE SUMMARY INSTANCE ClassBird1 CLASSIFIER LABELS "
+      "('Behavior', 'Disease', 'Anatomy', 'Other')");
+  ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+  const auto& c = std::get<CreateInstanceStatement>(*classifier);
+  EXPECT_EQ(c.type, CreateInstanceStatement::Type::kClassifier);
+  EXPECT_EQ(c.labels.size(), 4u);
+
+  auto cluster = Parse("CREATE SUMMARY INSTANCE SimCluster CLUSTER THRESHOLD 0.4");
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_DOUBLE_EQ(std::get<CreateInstanceStatement>(*cluster).threshold, 0.4);
+
+  auto snippet = Parse("CREATE SUMMARY INSTANCE TextSummary1 SNIPPET");
+  ASSERT_TRUE(snippet.ok());
+  EXPECT_EQ(std::get<CreateInstanceStatement>(*snippet).type,
+            CreateInstanceStatement::Type::kSnippet);
+}
+
+TEST(ParserTest, ParsesTrainAndLink) {
+  auto train = Parse("TRAIN SUMMARY ClassBird1 LABEL 'Behavior' WITH 'eating stonewort'");
+  ASSERT_TRUE(train.ok());
+  EXPECT_EQ(std::get<TrainInstanceStatement>(*train).label, "Behavior");
+
+  auto link = Parse("LINK SUMMARY ClassBird1 TO birds");
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE(std::get<LinkStatement>(*link).link);
+
+  auto unlink = Parse("UNLINK SUMMARY ClassBird1 FROM birds");
+  ASSERT_TRUE(unlink.ok());
+  EXPECT_FALSE(std::get<LinkStatement>(*unlink).link);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = Parse("SELECT a FROM t WHERE a + 1 * 2 = 3 AND b = 1 OR c = 2");
+  ASSERT_TRUE(stmt.ok());
+  const auto& where = *std::get<SelectStatement>(*stmt).where;
+  // Top node is OR.
+  ASSERT_EQ(where.kind, AstExpr::Kind::kLogical);
+  EXPECT_EQ(where.logical_op, rel::LogicalOp::kOr);
+  // Left of OR is the AND.
+  EXPECT_EQ(where.left->logical_op, rel::LogicalOp::kAnd);
+  // a + (1*2): the additive's right child is the multiplication.
+  const AstExpr& cmp = *where.left->left;
+  ASSERT_EQ(cmp.kind, AstExpr::Kind::kCompare);
+  ASSERT_EQ(cmp.left->kind, AstExpr::Kind::kArithmetic);
+  EXPECT_EQ(cmp.left->arith_op, rel::ArithmeticOp::kAdd);
+  EXPECT_EQ(cmp.left->right->arith_op, rel::ArithmeticOp::kMul);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("FLY ME TO THE MOON").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t extra garbage here").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t (a WIDGET)").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES (1,)").ok());
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = Parse("SELECT a FROM t WHERE (a + 1) * 2 = 6");
+  ASSERT_TRUE(stmt.ok());
+  const auto& where = *std::get<SelectStatement>(*stmt).where;
+  EXPECT_EQ(where.left->arith_op, rel::ArithmeticOp::kMul);
+  EXPECT_EQ(where.left->left->arith_op, rel::ArithmeticOp::kAdd);
+}
+
+TEST(ParserTest, UnaryMinusLowersToSubtraction) {
+  auto stmt = Parse("SELECT a FROM t WHERE a = -5");
+  ASSERT_TRUE(stmt.ok());
+  const auto& where = *std::get<SelectStatement>(*stmt).where;
+  EXPECT_EQ(where.right->kind, AstExpr::Kind::kArithmetic);
+  EXPECT_EQ(where.right->arith_op, rel::ArithmeticOp::kSub);
+}
+
+}  // namespace
+}  // namespace insightnotes::sql

@@ -1,0 +1,176 @@
+// Planner tests: plan shape (projection push-down, join selection) and
+// end-to-end correctness of planner-produced trees for query forms not
+// covered by the session tests.
+
+#include "sql/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "testutil.h"
+
+namespace insightnotes::sql {
+namespace {
+
+class PlannerTest : public testutil::EngineFixture {
+ protected:
+  void SetUp() override {
+    testutil::EngineFixture::SetUp();
+    CreateFigure2Tables();
+    CreateFigure2Instances();
+  }
+
+  std::unique_ptr<exec::Operator> PlanOf(const std::string& sql,
+                                         bool normalize = true) {
+    auto statement = Parse(sql);
+    EXPECT_TRUE(statement.ok()) << statement.status().ToString();
+    PlannerOptions options;
+    options.project_before_merge = normalize;
+    auto plan = PlanSelect(std::get<SelectStatement>(*statement), engine_.get(),
+                           options);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? std::move(*plan) : nullptr;
+  }
+
+  std::vector<core::AnnotatedTuple> Run(const std::string& sql,
+                                        bool normalize = true) {
+    auto plan = PlanOf(sql, normalize);
+    EXPECT_NE(plan, nullptr);
+    std::vector<core::AnnotatedTuple> rows;
+    if (plan == nullptr) return rows;
+    EXPECT_TRUE(plan->Open().ok());
+    core::AnnotatedTuple t;
+    while (true) {
+      auto more = plan->Next(&t);
+      EXPECT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.ok() || !*more) break;
+      rows.push_back(std::move(t));
+      t = core::AnnotatedTuple();
+    }
+    return rows;
+  }
+};
+
+TEST_F(PlannerTest, OutputSchemaNamesFollowSelectList) {
+  auto plan = PlanOf("SELECT r.a, r.c FROM R r");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->OutputSchema().ToString(), "(r.a BIGINT, r.c TEXT)");
+}
+
+TEST_F(PlannerTest, AliasRenamesOutput) {
+  auto plan = PlanOf("SELECT r.a AS alpha FROM R r");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->OutputSchema().ColumnAt(0).name, "alpha");
+}
+
+TEST_F(PlannerTest, StarExpandsAllTables) {
+  auto plan = PlanOf("SELECT * FROM R r, S s WHERE r.a = s.x");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->OutputSchema().NumColumns(), 7u);
+}
+
+TEST_F(PlannerTest, EquiJoinUsesHashJoin) {
+  auto plan = PlanOf("SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x");
+  ASSERT_NE(plan, nullptr);
+  // Root is the final projection; its child is the join. We can only check
+  // the root's name, so execute and validate results instead.
+  auto rows = Run("SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x");
+  EXPECT_EQ(rows.size(), 2u);  // Matches on 1 and 3.
+}
+
+TEST_F(PlannerTest, ReversedJoinPredicateStillPlans) {
+  auto rows = Run("SELECT r.a, s.z FROM R r, S s WHERE s.x = r.a");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(PlannerTest, NonEquiJoinFallsBackToCross) {
+  auto rows = Run("SELECT r.a, s.x FROM R r, S s WHERE r.a < s.x");
+  // Pairs where a < x: a=1 with x={3,4}, a=2 with x={3,4}, a=3 with x=4.
+  EXPECT_EQ(rows.size(), 5u);
+}
+
+TEST_F(PlannerTest, ThreeWayJoin) {
+  ASSERT_TRUE(engine_
+                  ->CreateTable("T", rel::Schema({{"k", rel::ValueType::kInt64, "T"},
+                                                  {"v", rel::ValueType::kString, "T"}}))
+                  .ok());
+  ASSERT_TRUE(engine_->Insert("T", rel::Tuple({testutil::I(1), testutil::S("v1")})).ok());
+  auto rows = Run(
+      "SELECT r.a, s.z, t.v FROM R r, S s, T t "
+      "WHERE r.a = s.x AND s.x = t.k");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(2).AsString(), "v1");
+}
+
+TEST_F(PlannerTest, SecondJoinConjunctBecomesFilter) {
+  auto rows = Run(
+      "SELECT r.a, s.z FROM R r, S s WHERE r.a = s.x AND r.b < s.x + 10");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(PlannerTest, ExpressionInSelectList) {
+  auto rows = Run("SELECT r.a + r.b AS total FROM R r WHERE r.a = 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(0).AsInt64(), 3);
+}
+
+TEST_F(PlannerTest, GlobalAggregateWithoutGroupBy) {
+  auto rows = Run("SELECT COUNT(*) AS n, SUM(r.a) AS s, MIN(r.b) AS lo, "
+                  "MAX(r.b) AS hi, AVG(r.a) AS mean FROM R r");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(0).AsInt64(), 3);
+  EXPECT_EQ(rows[0].tuple.ValueAt(1).AsInt64(), 6);
+  EXPECT_EQ(rows[0].tuple.ValueAt(2).AsInt64(), 2);
+  EXPECT_EQ(rows[0].tuple.ValueAt(3).AsInt64(), 9);
+  EXPECT_DOUBLE_EQ(rows[0].tuple.ValueAt(4).AsFloat64(), 2.0);
+}
+
+TEST_F(PlannerTest, GroupBySelectOrderIndependent) {
+  // Aggregate listed before the group column.
+  auto rows = Run("SELECT COUNT(*) AS n, r.b FROM R r GROUP BY r.b ORDER BY r.b");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(0).AsInt64(), 2);  // n for b=2.
+  EXPECT_EQ(rows[0].tuple.ValueAt(1).AsInt64(), 2);  // b=2.
+}
+
+TEST_F(PlannerTest, ProjectionPushDownTrimsScanSchema) {
+  // With normalization, the scan side of the plan is projected to needed
+  // columns; verify by checking summaries were trimmed for annotations on
+  // unreferenced columns (behavioral evidence of the push-down).
+  ASSERT_TRUE(engine_->Annotate(Spec("R", 0, "note on d", {3})).ok());
+  auto rows = Run("SELECT r.a FROM R r WHERE r.b = 2");
+  ASSERT_EQ(rows.size(), 2u);
+  auto* class1 = rows[0].FindSummary("ClassBird1");
+  ASSERT_NE(class1, nullptr);
+  EXPECT_EQ(class1->NumAnnotations(), 0u);
+  // Without normalization the trim happens at the (final) projection, so
+  // the end state matches for single-table plans.
+  auto naive_rows = Run("SELECT r.a FROM R r WHERE r.b = 2", false);
+  EXPECT_EQ(naive_rows[0].FindSummary("ClassBird1")->NumAnnotations(), 0u);
+}
+
+TEST_F(PlannerTest, ErrorsPropagate) {
+  auto statement = Parse("SELECT nope FROM R r");
+  ASSERT_TRUE(statement.ok());
+  auto plan = PlanSelect(std::get<SelectStatement>(*statement), engine_.get(), {});
+  EXPECT_TRUE(plan.status().IsNotFound());
+
+  statement = Parse("SELECT r.a FROM R r WHERE ghost = 1");
+  ASSERT_TRUE(statement.ok());
+  plan = PlanSelect(std::get<SelectStatement>(*statement), engine_.get(), {});
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(PlannerTest, LimitZero) {
+  auto rows = Run("SELECT r.a FROM R r LIMIT 0");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(PlannerTest, OrderByExpressionDescending) {
+  auto rows = Run("SELECT r.a FROM R r ORDER BY r.a * -1");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].tuple.ValueAt(0).AsInt64(), 3);
+}
+
+}  // namespace
+}  // namespace insightnotes::sql

@@ -1,0 +1,181 @@
+// End-to-end SQL tests: DDL through zoom-in, entirely through the SQL
+// surface (as InsightNotesGate would drive it).
+
+#include "sql/session.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace insightnotes::sql {
+namespace {
+
+class SessionTest : public testutil::EngineFixture {
+ protected:
+  void SetUp() override {
+    testutil::EngineFixture::SetUp();
+    session_ = std::make_unique<SqlSession>(engine_.get());
+  }
+
+  ExecutionOutput Must(const std::string& sql) {
+    auto out = session_->Execute(sql);
+    EXPECT_TRUE(out.ok()) << sql << " -> " << out.status().ToString();
+    return out.ok() ? std::move(*out) : ExecutionOutput{};
+  }
+
+  void BuildBirdsDatabase() {
+    Must("CREATE TABLE birds (id BIGINT, name TEXT, weight DOUBLE)");
+    Must("INSERT INTO birds VALUES (1, 'Swan Goose', 3.2), (2, 'Grey Heron', 1.5), "
+         "(3, 'Mute Swan', 11.0)");
+    Must("CREATE SUMMARY INSTANCE ClassBird1 CLASSIFIER LABELS "
+         "('Behavior', 'Disease', 'Anatomy', 'Other')");
+    Must("TRAIN SUMMARY ClassBird1 LABEL 'Behavior' WITH "
+         "'eating stonewort foraging flying migration'");
+    Must("TRAIN SUMMARY ClassBird1 LABEL 'Disease' WITH "
+         "'influenza infection sick parasite'");
+    Must("TRAIN SUMMARY ClassBird1 LABEL 'Anatomy' WITH "
+         "'size weight wingspan beak feathers'");
+    Must("TRAIN SUMMARY ClassBird1 LABEL 'Other' WITH 'article wikipedia photo'");
+    Must("LINK SUMMARY ClassBird1 TO birds");
+  }
+
+  std::unique_ptr<SqlSession> session_;
+};
+
+TEST_F(SessionTest, CreateInsertSelect) {
+  Must("CREATE TABLE birds (id BIGINT, name TEXT, weight DOUBLE)");
+  Must("INSERT INTO birds VALUES (1, 'Swan Goose', 3.2)");
+  auto out = Must("SELECT * FROM birds");
+  ASSERT_EQ(out.kind, ExecutionOutput::Kind::kRows);
+  ASSERT_EQ(out.result.rows.size(), 1u);
+  EXPECT_EQ(out.result.rows[0].tuple.ValueAt(1).AsString(), "Swan Goose");
+  EXPECT_EQ(out.result.schema.NumColumns(), 3u);
+}
+
+TEST_F(SessionTest, SelectWithFilterAndProjection) {
+  BuildBirdsDatabase();
+  auto out = Must("SELECT name FROM birds WHERE weight > 2.0");
+  ASSERT_EQ(out.result.rows.size(), 2u);
+  EXPECT_EQ(out.result.schema.ToString(), "(birds.name TEXT)");
+}
+
+TEST_F(SessionTest, AnnotationsFlowIntoSummaries) {
+  BuildBirdsDatabase();
+  Must("ANNOTATE birds ROW 0 TEXT 'found eating stonewort' AUTHOR 'alice'");
+  Must("ANNOTATE birds ROW 0 TEXT 'signs of influenza infection' AUTHOR 'bob'");
+  auto out = Must("SELECT * FROM birds WHERE id = 1");
+  ASSERT_EQ(out.result.rows.size(), 1u);
+  auto* summary = out.result.rows[0].FindSummary("ClassBird1");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->Render(),
+            "[(Behavior, 1), (Disease, 1), (Anatomy, 0), (Other, 0)]");
+}
+
+TEST_F(SessionTest, ZoomInThroughSql) {
+  BuildBirdsDatabase();
+  Must("ANNOTATE birds ROW 0 TEXT 'found eating stonewort'");
+  Must("ANNOTATE birds ROW 0 TEXT 'observed foraging at dusk'");
+  auto result = Must("SELECT * FROM birds");
+  uint64_t qid = result.result.qid;
+  auto zoom = Must("ZOOMIN REFERENCE QID " + std::to_string(qid) +
+                   " WHERE id = 1 ON ClassBird1 INDEX 1");
+  ASSERT_EQ(zoom.kind, ExecutionOutput::Kind::kZoomIn);
+  ASSERT_EQ(zoom.zoom.rows.size(), 1u);
+  EXPECT_EQ(zoom.zoom.rows[0].component_label, "Behavior");
+  EXPECT_EQ(zoom.zoom.rows[0].annotations.size(), 2u);
+  EXPECT_EQ(zoom.zoom.rows[0].annotations[0].body, "found eating stonewort");
+}
+
+TEST_F(SessionTest, JoinQueryPropagatesSummaries) {
+  CreateFigure2Tables();
+  CreateFigure2Instances();
+  session_ = std::make_unique<SqlSession>(engine_.get());
+  ASSERT_TRUE(engine_->Annotate(Spec("R", 0, "produced by experiment alpha")).ok());
+  ASSERT_TRUE(engine_->Annotate(Spec("S", 0, "why is x one")).ok());
+  auto out = Must("SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2");
+  ASSERT_EQ(out.result.rows.size(), 1u);  // Only (1,2) x (1,...) matches.
+  EXPECT_EQ(out.result.schema.NumColumns(), 3u);
+  auto* class2 = out.result.rows[0].FindSummary("ClassBird2");
+  ASSERT_NE(class2, nullptr);
+  EXPECT_EQ(class2->NumAnnotations(), 2u);
+}
+
+TEST_F(SessionTest, GroupByAggregate) {
+  BuildBirdsDatabase();
+  Must("INSERT INTO birds VALUES (4, 'Swan Goose', 3.4)");
+  auto out = Must(
+      "SELECT name, COUNT(*) AS cnt, AVG(weight) AS avg_w FROM birds "
+      "GROUP BY name ORDER BY cnt DESC, name ASC");
+  ASSERT_EQ(out.result.rows.size(), 3u);
+  EXPECT_EQ(out.result.rows[0].tuple.ValueAt(0).AsString(), "Swan Goose");
+  EXPECT_EQ(out.result.rows[0].tuple.ValueAt(1).AsInt64(), 2);
+  EXPECT_NEAR(out.result.rows[0].tuple.ValueAt(2).AsFloat64(), 3.3, 1e-9);
+}
+
+TEST_F(SessionTest, DistinctCollapsesDuplicates) {
+  BuildBirdsDatabase();
+  Must("INSERT INTO birds VALUES (5, 'Swan Goose', 9.9)");
+  auto out = Must("SELECT DISTINCT name FROM birds ORDER BY name");
+  ASSERT_EQ(out.result.rows.size(), 3u);
+}
+
+TEST_F(SessionTest, LimitAndOrder) {
+  BuildBirdsDatabase();
+  auto out = Must("SELECT id FROM birds ORDER BY weight DESC LIMIT 2");
+  ASSERT_EQ(out.result.rows.size(), 2u);
+  EXPECT_EQ(out.result.rows[0].tuple.ValueAt(0).AsInt64(), 3);  // Mute Swan.
+}
+
+TEST_F(SessionTest, UnlinkChangesVisibleSummaries) {
+  BuildBirdsDatabase();
+  Must("ANNOTATE birds ROW 0 TEXT 'eating stonewort'");
+  auto before = Must("SELECT * FROM birds WHERE id = 1");
+  EXPECT_NE(before.result.rows[0].FindSummary("ClassBird1"), nullptr);
+  Must("UNLINK SUMMARY ClassBird1 FROM birds");
+  auto after = Must("SELECT * FROM birds WHERE id = 1");
+  EXPECT_EQ(after.result.rows[0].FindSummary("ClassBird1"), nullptr);
+}
+
+TEST_F(SessionTest, ErrorsSurfaceCleanly) {
+  EXPECT_TRUE(session_->Execute("SELECT * FROM ghosts").status().IsNotFound());
+  Must("CREATE TABLE t (a BIGINT)");
+  EXPECT_TRUE(session_->Execute("CREATE TABLE t (a BIGINT)").status().IsAlreadyExists());
+  EXPECT_TRUE(session_->Execute("INSERT INTO t VALUES ('text')").status().IsTypeError());
+  EXPECT_TRUE(session_->Execute("SELECT nope FROM t").status().IsNotFound());
+  EXPECT_TRUE(session_->Execute("TRAIN SUMMARY missing LABEL 'x' WITH 'y'")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(session_->Execute("ANNOTATE t ROW 99 TEXT 'x'").status().IsNotFound());
+}
+
+TEST_F(SessionTest, AggregateMixedWithNonGroupColumnFails) {
+  BuildBirdsDatabase();
+  auto out = session_->Execute("SELECT name, COUNT(*) FROM birds");
+  EXPECT_TRUE(out.status().IsInvalidArgument());
+}
+
+TEST_F(SessionTest, FormattersProduceReadableOutput) {
+  BuildBirdsDatabase();
+  Must("ANNOTATE birds ROW 0 TEXT 'eating stonewort'");
+  auto out = Must("SELECT * FROM birds WHERE id = 1");
+  std::string rendered = FormatResult(out.result);
+  EXPECT_NE(rendered.find("Swan Goose"), std::string::npos);
+  EXPECT_NE(rendered.find("ClassBird1"), std::string::npos);
+  auto zoom = Must("ZOOMIN REFERENCE QID " + std::to_string(out.result.qid) +
+                   " ON ClassBird1 INDEX 1");
+  std::string zoom_rendered = FormatZoomIn(zoom.zoom);
+  EXPECT_NE(zoom_rendered.find("Behavior"), std::string::npos);
+  EXPECT_NE(zoom_rendered.find("eating stonewort"), std::string::npos);
+}
+
+TEST_F(SessionTest, CrossProductWithoutJoinPredicate) {
+  Must("CREATE TABLE a (x BIGINT)");
+  Must("CREATE TABLE b (y BIGINT)");
+  Must("INSERT INTO a VALUES (1), (2)");
+  Must("INSERT INTO b VALUES (10), (20), (30)");
+  auto out = Must("SELECT x, y FROM a, b");
+  EXPECT_EQ(out.result.rows.size(), 6u);
+}
+
+}  // namespace
+}  // namespace insightnotes::sql

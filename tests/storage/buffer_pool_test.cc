@@ -1,0 +1,168 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/disk_manager.h"
+
+namespace insightnotes::storage {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(disk_.Open("").ok()); }
+  DiskManager disk_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsZeroed) {
+  BufferPool pool(&disk_, 4);
+  auto guard = pool.NewPage();
+  ASSERT_TRUE(guard.ok());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(guard->data()[i], 0);
+  }
+}
+
+TEST_F(BufferPoolTest, WriteThenReadBack) {
+  BufferPool pool(&disk_, 4);
+  PageId id;
+  {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard->page_id();
+    std::memcpy(guard->MutableData(), "persisted", 9);
+  }
+  auto again = pool.FetchPage(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(std::memcmp(again->data(), "persisted", 9), 0);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  BufferPool pool(&disk_, 2);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    ids.push_back(guard->page_id());
+    std::string payload = "page-" + std::to_string(i);
+    std::memcpy(guard->MutableData(), payload.data(), payload.size());
+  }
+  // All six pages must be readable even though only two frames exist.
+  for (int i = 0; i < 6; ++i) {
+    auto guard = pool.FetchPage(ids[i]);
+    ASSERT_TRUE(guard.ok());
+    std::string expected = "page-" + std::to_string(i);
+    EXPECT_EQ(std::memcmp(guard->data(), expected.data(), expected.size()), 0);
+  }
+}
+
+TEST_F(BufferPoolTest, HitsAndMissesAreCounted) {
+  BufferPool pool(&disk_, 2);
+  auto g = pool.NewPage();
+  ASSERT_TRUE(g.ok());
+  PageId id = g->page_id();
+  g->Release();
+  uint64_t misses_before = pool.misses();
+  ASSERT_TRUE(pool.FetchPage(id).ok());  // Hit: still resident.
+  EXPECT_EQ(pool.misses(), misses_before);
+  EXPECT_GE(pool.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, AllPinnedFails) {
+  BufferPool pool(&disk_, 2);
+  auto a = pool.NewPage();
+  auto b = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = pool.NewPage();
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsCapacityExceeded());
+  // Releasing one pin makes room again.
+  a->Release();
+  auto d = pool.NewPage();
+  EXPECT_TRUE(d.ok());
+}
+
+TEST_F(BufferPoolTest, LruEvictsColdestPage) {
+  BufferPool pool(&disk_, 2);
+  PageId a, b;
+  {
+    auto ga = pool.NewPage();
+    ASSERT_TRUE(ga.ok());
+    a = ga->page_id();
+  }
+  {
+    auto gb = pool.NewPage();
+    ASSERT_TRUE(gb.ok());
+    b = gb->page_id();
+  }
+  // Touch `a` so `b` becomes the LRU victim.
+  { ASSERT_TRUE(pool.FetchPage(a).ok()); }
+  {
+    auto gc = pool.NewPage();
+    ASSERT_TRUE(gc.ok());
+  }
+  // `a` should still be resident (hit); `b` should miss.
+  uint64_t misses = pool.misses();
+  { ASSERT_TRUE(pool.FetchPage(a).ok()); }
+  EXPECT_EQ(pool.misses(), misses);
+  { ASSERT_TRUE(pool.FetchPage(b).ok()); }
+  EXPECT_EQ(pool.misses(), misses + 1);
+}
+
+TEST_F(BufferPoolTest, FlushAllPersistsToDisk) {
+  BufferPool pool(&disk_, 4);
+  auto g = pool.NewPage();
+  ASSERT_TRUE(g.ok());
+  std::memcpy(g->MutableData(), "flushme", 7);
+  PageId id = g->page_id();
+  g->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  char raw[kPageSize];
+  ASSERT_TRUE(disk_.ReadPage(id, raw).ok());
+  EXPECT_EQ(std::memcmp(raw, "flushme", 7), 0);
+}
+
+TEST_F(BufferPoolTest, MoveSemanticsOfGuard) {
+  BufferPool pool(&disk_, 2);
+  auto g = pool.NewPage();
+  ASSERT_TRUE(g.ok());
+  PageGuard moved = std::move(*g);
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+  // After release, both frames are free again.
+  ASSERT_TRUE(pool.NewPage().ok());
+  ASSERT_TRUE(pool.NewPage().ok());
+}
+
+TEST(DiskManagerTest, FileBackedRoundTrip) {
+  DiskManager disk;
+  std::string path = ::testing::TempDir() + "/insightnotes_disk_test.db";
+  ASSERT_TRUE(disk.Open(path).ok());
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char out[kPageSize];
+  std::memset(out, 'z', kPageSize);
+  ASSERT_TRUE(disk.WritePage(*id, out).ok());
+  char in[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(*id, in).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+  EXPECT_TRUE(disk.ReadPage(99, in).IsOutOfRange());
+  ASSERT_TRUE(disk.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskManagerTest, OperationsFailWhenClosed) {
+  DiskManager disk;
+  char buf[kPageSize];
+  EXPECT_TRUE(disk.ReadPage(0, buf).IsInternal());
+  EXPECT_TRUE(disk.WritePage(0, buf).IsInternal());
+  EXPECT_FALSE(disk.AllocatePage().ok());
+}
+
+}  // namespace
+}  // namespace insightnotes::storage

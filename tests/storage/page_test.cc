@@ -1,0 +1,119 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace insightnotes::storage {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : page_(buffer_) { page_.Initialize(); }
+  char buffer_[kPageSize] = {};
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, FreshPageIsEmpty) {
+  EXPECT_EQ(page_.NumSlots(), 0);
+  EXPECT_EQ(page_.NumRecords(), 0);
+  EXPECT_GT(page_.FreeSpace(), kPageSize - 32);
+}
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  auto slot = page_.Insert("hello world");
+  ASSERT_TRUE(slot.ok());
+  auto got = page_.Get(*slot);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello world");
+  EXPECT_EQ(page_.NumRecords(), 1);
+}
+
+TEST_F(SlottedPageTest, MultipleRecordsKeepDistinctSlots) {
+  std::vector<SlotId> slots;
+  for (int i = 0; i < 10; ++i) {
+    auto slot = page_.Insert("record-" + std::to_string(i));
+    ASSERT_TRUE(slot.ok());
+    slots.push_back(*slot);
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto got = page_.Get(slots[i]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "record-" + std::to_string(i));
+  }
+}
+
+TEST_F(SlottedPageTest, DeleteTombstones) {
+  auto a = page_.Insert("aaa");
+  auto b = page_.Insert("bbb");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(page_.Delete(*a).ok());
+  EXPECT_TRUE(page_.Get(*a).status().IsNotFound());
+  // Other record is unaffected; slot ids stay stable.
+  auto got = page_.Get(*b);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "bbb");
+  EXPECT_EQ(page_.NumSlots(), 2);
+  EXPECT_EQ(page_.NumRecords(), 1);
+}
+
+TEST_F(SlottedPageTest, DoubleDeleteFails) {
+  auto a = page_.Insert("aaa");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(page_.Delete(*a).ok());
+  EXPECT_TRUE(page_.Delete(*a).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, OutOfRangeSlot) {
+  EXPECT_TRUE(page_.Get(0).status().IsNotFound());
+  EXPECT_TRUE(page_.Delete(99).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, FillsUntilCapacityExceeded) {
+  std::string record(100, 'x');
+  int inserted = 0;
+  while (true) {
+    auto slot = page_.Insert(record);
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsCapacityExceeded());
+      break;
+    }
+    ++inserted;
+  }
+  // ~4KB page / (100B + 4B slot) => ~39 records.
+  EXPECT_GT(inserted, 30);
+  EXPECT_LT(inserted, 41);
+  // Everything inserted is still readable.
+  for (SlotId s = 0; s < inserted; ++s) {
+    ASSERT_TRUE(page_.Get(s).ok());
+  }
+}
+
+TEST_F(SlottedPageTest, EmptyRecordAllowed) {
+  auto slot = page_.Insert("");
+  ASSERT_TRUE(slot.ok());
+  auto got = page_.Get(*slot);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "");
+}
+
+TEST_F(SlottedPageTest, RejectsOversizeRecord) {
+  std::string big(kPageSize + 1, 'x');
+  EXPECT_TRUE(page_.Insert(big).status().IsInvalidArgument());
+  std::string nearly(kPageSize - 2, 'x');
+  EXPECT_TRUE(page_.Insert(nearly).status().IsCapacityExceeded());
+}
+
+TEST_F(SlottedPageTest, BinaryDataRoundTrips) {
+  std::string binary("\x00\x01\xff\x7f" "mixed\x00tail", 14);
+  auto slot = page_.Insert(binary);
+  ASSERT_TRUE(slot.ok());
+  auto got = page_.Get(*slot);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, binary);
+}
+
+}  // namespace
+}  // namespace insightnotes::storage

@@ -1,0 +1,54 @@
+#include "txt/sentence.h"
+
+#include <gtest/gtest.h>
+
+namespace insightnotes::txt {
+namespace {
+
+TEST(SentenceTest, SplitsOnTerminators) {
+  auto s = SplitSentences("First sentence. Second one! Third? Fourth");
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], "First sentence.");
+  EXPECT_EQ(s[1], "Second one!");
+  EXPECT_EQ(s[2], "Third?");
+  EXPECT_EQ(s[3], "Fourth");
+}
+
+TEST(SentenceTest, HonorsAbbreviations) {
+  auto s = SplitSentences("Large birds, e.g. swans, migrate. They fly far.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "Large birds, e.g. swans, migrate.");
+}
+
+TEST(SentenceTest, DoesNotSplitDecimals) {
+  auto s = SplitSentences("Mean weight is 3.2 kg. Wingspan is 1.6 m.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "Mean weight is 3.2 kg.");
+  EXPECT_EQ(s[1], "Wingspan is 1.6 m.");
+}
+
+TEST(SentenceTest, NewlinesAreBoundaries) {
+  auto s = SplitSentences("line one\nline two\n\nline three");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1], "line two");
+}
+
+TEST(SentenceTest, EmptyInput) {
+  EXPECT_TRUE(SplitSentences("").empty());
+  EXPECT_TRUE(SplitSentences("   \n  \n").empty());
+}
+
+TEST(SentenceTest, TrailingTextWithoutTerminator) {
+  auto s = SplitSentences("No terminator here");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], "No terminator here");
+}
+
+TEST(SentenceTest, TitleAbbreviation) {
+  auto s = SplitSentences("Dr. Smith observed the goose. It flew away.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "Dr. Smith observed the goose.");
+}
+
+}  // namespace
+}  // namespace insightnotes::txt

@@ -1,0 +1,82 @@
+#include "txt/stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace insightnotes::txt {
+namespace {
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+class PorterStemTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemTest, StemsAsReference) {
+  const StemCase& c = GetParam();
+  EXPECT_EQ(PorterStem(c.input), c.expected) << "input=" << c.input;
+}
+
+// Expected outputs follow Porter's reference implementation vocabulary.
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVocabulary, PorterStemTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"digitizer", "digit"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"formaliti", "formal"}, StemCase{"sensitiviti", "sensit"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemEdgeTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemEdgeTest, NonLowercaseInputUnchanged) {
+  EXPECT_EQ(PorterStem("Observing"), "Observing");
+  EXPECT_EQ(PorterStem("bird42"), "bird42");
+}
+
+TEST(PorterStemEdgeTest, IdempotentOnCommonDomainWords) {
+  for (const char* w : {"behavior", "diseas", "anatomi", "provenance"}) {
+    std::string once = PorterStem(w);
+    EXPECT_EQ(PorterStem(once), once) << w;
+  }
+}
+
+TEST(PorterStemEdgeTest, InflectionsCollapse) {
+  EXPECT_EQ(PorterStem("observing"), PorterStem("observed"));
+  EXPECT_EQ(PorterStem("observes"), PorterStem("observed"));
+  EXPECT_EQ(PorterStem("migrations"), PorterStem("migration"));
+}
+
+}  // namespace
+}  // namespace insightnotes::txt

@@ -1,0 +1,80 @@
+#include "txt/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "txt/stopwords.h"
+
+namespace insightnotes::txt {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  TokenizerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("Swan Goose, Anser!"),
+            (std::vector<std::string>{"swan", "goose", "anser"}));
+}
+
+TEST(TokenizerTest, DropsStopwords) {
+  TokenizerOptions opts;
+  opts.stem = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("the bird is eating a stonewort"),
+            (std::vector<std::string>{"bird", "eating", "stonewort"}));
+}
+
+TEST(TokenizerTest, StemsTokens) {
+  Tokenizer t;  // Default: lowercase + stopwords + stem.
+  auto tokens = t.Tokenize("The birds were eating stoneworts");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"bird", "eat", "stonewort"}));
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  TokenizerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("x yz abc"), (std::vector<std::string>{"yz", "abc"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  TokenizerOptions opts;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("weight 3200g approx"),
+            (std::vector<std::string>{"weight", "3200g", "approx"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("?!... --- ,,,").empty());
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("Swan GOOSE"), (std::vector<std::string>{"Swan", "GOOSE"}));
+}
+
+TEST(StopwordsTest, KnownStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("a"));
+  EXPECT_TRUE(IsStopword("yourselves"));
+  EXPECT_TRUE(IsStopword("because"));
+}
+
+TEST(StopwordsTest, NonStopwords) {
+  EXPECT_FALSE(IsStopword("bird"));
+  EXPECT_FALSE(IsStopword("swan"));
+  EXPECT_FALSE(IsStopword(""));
+  EXPECT_FALSE(IsStopword("thee"));
+}
+
+}  // namespace
+}  // namespace insightnotes::txt

@@ -72,6 +72,45 @@ BENCHMARK(BM_InsertThroughputVsInstances)
     ->ArgsProduct({{1, 2, 4, 8, 16}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
 
+/// Batched parallel ingest with k instances linked: thread sweep at a fixed
+/// instance count. Shows how much of the per-instance maintenance cost the
+/// row-sharded ingest path reclaims as workers are added.
+void BM_BatchInsertVsInstancesThreads(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  bool clusters = state.range(1) == 1;
+  constexpr size_t kInstances = 4;
+  constexpr size_t kBatchSize = 256;
+
+  workload::AnnotationGenerator gen(41);
+  const auto& species = workload::CuratedSpecies();
+  std::vector<core::AnnotateSpec> specs;
+  specs.reserve(kBatchSize);
+  for (size_t i = 0; i < kBatchSize; ++i) {
+    auto g = gen.GenerateComment(species[i % species.size()]);
+    core::AnnotateSpec spec;
+    spec.table = "birds";
+    spec.row = static_cast<rel::RowId>(i % 8);
+    spec.body = g.annotation.body;
+    specs.push_back(std::move(spec));
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = EngineWithKInstances(kInstances, clusters);
+    state.ResumeTiming();
+    Check(engine->AnnotateBatch(specs, {.num_threads = threads}), "batch");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatchSize));
+  state.SetLabel(std::string(clusters ? "cluster" : "classifier") + " x" +
+                 std::to_string(kInstances) + " threads=" +
+                 std::to_string(threads));
+}
+BENCHMARK(BM_BatchInsertVsInstancesThreads)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->Iterations(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_QueryCostVsInstances(benchmark::State& state) {
   size_t k = static_cast<size_t>(state.range(0));
   auto engine = EngineWithKInstances(k, /*clusters=*/false);

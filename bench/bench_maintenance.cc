@@ -132,6 +132,69 @@ BENCHMARK(BM_EngineAnnotatePath)
     ->Iterations(100)
     ->Unit(benchmark::kMicrosecond);
 
+/// Series 3: batched ingest throughput vs. worker threads (AnnotateBatch).
+/// A batch spread uniformly over many rows is folded into all four standard
+/// instances, sharded by target row. Compare items/s across threads=1/2/4/8
+/// — the parallel results are byte-identical to serial (see
+/// integration/parallel_ingest_test.cc), so this measures pure speedup.
+/// Wall-clock (UseRealTime) is the honest metric: the main thread sleeps
+/// while shards fold, so CPU time would overstate throughput wildly. The
+/// observed speedup is gated by the machine's core count — on a 1-core
+/// container the sweep is flat by construction (~95% of batch time is in
+/// the row-sharded fold, but there is no second core to run it on).
+void BM_ParallelBatchIngest(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  constexpr size_t kRows = 64;
+  constexpr size_t kBatchSize = 512;
+
+  // One shared batch: generation cost stays outside the measured region.
+  // Realistic mix of short comments and attached documents (the documents
+  // carry the snippet/cluster mining weight).
+  workload::AnnotationGenerator gen(17);
+  const auto& species = workload::CuratedSpecies();
+  std::vector<core::AnnotateSpec> specs;
+  specs.reserve(kBatchSize);
+  for (size_t i = 0; i < kBatchSize; ++i) {
+    const auto& sp = species[i % species.size()];
+    auto g = i % 8 == 0 ? gen.GenerateDocument(sp, 8) : gen.GenerateComment(sp);
+    core::AnnotateSpec spec;
+    spec.table = "birds";
+    spec.row = static_cast<rel::RowId>(i % kRows);
+    spec.body = g.annotation.body;
+    spec.author = g.annotation.author;
+    spec.kind = g.annotation.kind;
+    spec.title = g.annotation.title;
+    specs.push_back(std::move(spec));
+  }
+  // Warm-up batch (unmeasured): spawns the engine's ingest pool so thread
+  // start-up cost is not charged to the first measured batch.
+  std::vector<core::AnnotateSpec> warmup(specs.begin(), specs.begin() + 2);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Engine engine;
+    Check(engine.Init(), "init");
+    workload::WorkloadConfig config;
+    config.num_species = kRows;
+    config.annotations_per_tuple = 0;
+    workload::WorkloadBuilder builder(config);
+    Check(builder.BuildBase(&engine), "base");
+    Check(engine.AnnotateBatch(warmup, {.num_threads = threads}), "warmup");
+    state.ResumeTiming();
+    Check(engine.AnnotateBatch(specs, {.num_threads = threads}), "batch");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatchSize));
+  state.SetLabel("threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_ParallelBatchIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 /// Incremental total cost vs. rebuild-from-scratch for a row with N
 /// annotations (the rebuild is what a non-incremental engine pays per
 /// refresh).

@@ -120,6 +120,40 @@ BENCHMARK(BM_ZoomInPolicy)
                    {64, 256, 1024}})
     ->Unit(benchmark::kMillisecond);
 
+/// Eviction-heavy admission at a steady population of `n` live entries:
+/// every Put displaces exactly one victim, so the measured cost is dominated
+/// by victim selection. Regression guard for the PickVictim normalization
+/// pre-pass — RCO score maxima are now hoisted to one O(n) scan per
+/// eviction, where the previous code recomputed them per candidate, making
+/// each eviction O(n^2); before the fix this bench degraded ~n times faster
+/// than linearly as `n` grows.
+void BM_EvictionHeavyPut(benchmark::State& state) {
+  auto policy = static_cast<core::CachePolicy>(state.range(0));
+  size_t n = static_cast<size_t>(state.range(1));
+
+  core::ResultSnapshot snapshot = MakeSnapshot(/*rows=*/1, /*row_bytes=*/64);
+  size_t entry_size = snapshot.SizeBytes();
+  // Budget fits exactly n entries: the (n+1)-th admission must evict.
+  core::ZoomInCache cache(policy, entry_size * n);
+  Check(cache.Init(), "cache init");
+  Random rng(3);
+  for (size_t i = 0; i < n; ++i) {
+    Check(cache.Put(i, snapshot, 0.01 + rng.NextDouble()), "warm");
+  }
+  core::QueryId next_qid = n;
+  for (auto _ : state) {
+    Check(cache.Put(next_qid++, snapshot, 0.01 + rng.NextDouble()), "put");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(std::string(core::CachePolicyToString(policy)) + "/n=" +
+                 std::to_string(n));
+}
+BENCHMARK(BM_EvictionHeavyPut)
+    ->ArgsProduct({{static_cast<int>(core::CachePolicy::kLru),
+                    static_cast<int>(core::CachePolicy::kRco)},
+                   {64, 256, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+
 /// Raw zoom-in latency through the real engine: cache hit vs. forced
 /// re-execution (tiny cache).
 void BM_ZoomInEndToEnd(benchmark::State& state) {

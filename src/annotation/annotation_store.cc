@@ -77,7 +77,11 @@ Result<Annotation> AnnotationStore::Get(AnnotationId id) const {
     return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
   }
   const Meta& meta = metas_[id];
-  INSIGHTNOTES_ASSIGN_OR_RETURN(std::string body, bodies_.Get(meta.body));
+  std::string body;
+  {
+    std::lock_guard<std::mutex> lock(bodies_mutex_);
+    INSIGHTNOTES_ASSIGN_OR_RETURN(body, bodies_.Get(meta.body));
+  }
   Annotation note;
   note.id = id;
   note.kind = meta.kind;

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,12 @@ struct Attachment {
   std::vector<size_t> columns;  // Empty = whole row.
 };
 
+/// Thread-safety: writers (Add/Attach/Archive) must be externally
+/// serialized. The read surface (Get/OnRow/OnCell/RegionsOf/IsArchived/
+/// ScanTable) is safe for concurrent readers while no writer is active —
+/// body fetches go through the shared (not thread-safe) buffer pool and are
+/// serialized internally; the metadata maps are read without locks. Ingest
+/// shards reading disjoint tuple buckets rely on this.
 class AnnotationStore {
  public:
   /// `pool` backs the annotation-body heap file and must outlive the store.
@@ -91,6 +98,9 @@ class AnnotationStore {
     }
   };
 
+  // Serializes body reads: HeapFile::Get mutates buffer-pool frame state
+  // (pins, eviction) even though it is logically const.
+  mutable std::mutex bodies_mutex_;
   storage::HeapFile bodies_;
   std::vector<Meta> metas_;  // Indexed by AnnotationId.
   std::unordered_map<RowKey, std::vector<Attachment>, RowKeyHash> by_row_;

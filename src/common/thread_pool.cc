@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace insightnotes {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queued)
+    : max_queued_(std::max<size_t>(max_queued, 1)) {
+  workers_.reserve(std::max<size_t>(num_threads, 1));
+  for (size_t i = 0; i < std::max<size_t>(num_threads, 1); ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this]() { return queue_.size() < max_queued_ || shutdown_; });
+    if (shutdown_) {
+      // Submitting during shutdown: the packaged_task is dropped and its
+      // future reports broken_promise rather than running on a dead pool.
+      return;
+    }
+    queue_.push_back(std::move(job));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this]() { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this]() { return !queue_.empty() || shutdown_; });
+      // Graceful shutdown: keep draining until the queue is empty.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    not_full_.notify_one();
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace insightnotes

@@ -1,0 +1,70 @@
+// Fixed-size worker pool with a bounded work queue — the engine's
+// concurrency substrate (parallel annotation ingest, future parallel
+// operators). Submit() hands back a std::future; when the queue is at
+// capacity it blocks the producer (backpressure) rather than growing
+// without bound. Destruction is graceful: already-queued work is drained
+// before the workers join.
+
+#ifndef INSIGHTNOTES_COMMON_THREAD_POOL_H_
+#define INSIGHTNOTES_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace insightnotes {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one). `max_queued` bounds the
+  /// number of not-yet-started jobs; Submit blocks once it is reached.
+  explicit ThreadPool(size_t num_threads, size_t max_queued = 1024);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface through the future. Blocks while the queue is full.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every queued and running job has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t max_queued() const { return max_queued_; }
+
+ private:
+  void Enqueue(std::function<void()> job);
+  void WorkerLoop();
+
+  const size_t max_queued_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;  // Workers wait for jobs.
+  std::condition_variable not_full_;   // Producers wait for queue space.
+  std::condition_variable idle_;       // WaitIdle waits for quiescence.
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;    // Jobs currently executing on a worker.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace insightnotes
+
+#endif  // INSIGHTNOTES_COMMON_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "exec/seq_scan.h"
 
 namespace insightnotes::core {
@@ -32,7 +33,7 @@ Result<rel::RowId> Engine::Insert(const std::string& table, rel::Tuple tuple) {
   return t->Insert(tuple);
 }
 
-Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
+Result<rel::Table*> Engine::ValidateAnnotateSpec(const AnnotateSpec& spec) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, catalog_->GetTable(spec.table));
   if (!table->IsLive(spec.row)) {
     return Status::NotFound("row " + std::to_string(spec.row) + " not in table '" +
@@ -44,16 +45,69 @@ Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
                                 " outside schema of '" + spec.table + "'");
     }
   }
+  return table;
+}
+
+namespace {
+
+ann::Annotation NoteFromSpec(const AnnotateSpec& spec) {
   ann::Annotation note;
   note.kind = spec.kind;
   note.author = spec.author;
   note.timestamp = spec.timestamp;
   note.title = spec.title;
   note.body = spec.body;
+  return note;
+}
+
+}  // namespace
+
+Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, ValidateAnnotateSpec(spec));
   ann::CellRegion region{table->id(), spec.row, spec.columns};
-  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id, store_->Add(std::move(note), region));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id,
+                                store_->Add(NoteFromSpec(spec), region));
   INSIGHTNOTES_RETURN_IF_ERROR(manager_->OnAnnotationAttached(id, region));
   return id;
+}
+
+ThreadPool* Engine::EnsureIngestPool(size_t num_threads) {
+  if (ingest_pool_ == nullptr || ingest_pool_->num_threads() != num_threads) {
+    ingest_pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+  return ingest_pool_.get();
+}
+
+Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
+    std::span<const AnnotateSpec> specs, const AnnotateBatchOptions& options) {
+  // Validate the whole batch up front so a malformed spec cannot leave a
+  // half-ingested batch behind.
+  std::vector<rel::Table*> tables;
+  tables.reserve(specs.size());
+  for (const AnnotateSpec& spec : specs) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, ValidateAnnotateSpec(spec));
+    tables.push_back(table);
+  }
+  // Store appends stay serial (the heap file is single-writer) and in spec
+  // order, so ids come out exactly as N Annotate() calls would assign them.
+  std::vector<ann::AnnotationId> ids;
+  ids.reserve(specs.size());
+  std::vector<BatchAnnotation> batch;
+  batch.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    BatchAnnotation item;
+    item.note = NoteFromSpec(specs[i]);
+    item.region = ann::CellRegion{tables[i]->id(), specs[i].row, specs[i].columns};
+    INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id,
+                                  store_->Add(item.note, item.region));
+    item.note.id = id;
+    ids.push_back(id);
+    batch.push_back(std::move(item));
+  }
+  ThreadPool* pool =
+      options.num_threads > 1 ? EnsureIngestPool(options.num_threads) : nullptr;
+  INSIGHTNOTES_RETURN_IF_ERROR(manager_->ApplyAnnotationBatch(batch, pool));
+  return ids;
 }
 
 Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,

@@ -15,6 +15,7 @@
 #define INSIGHTNOTES_CORE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +66,15 @@ struct AnnotateSpec {
   int64_t timestamp = 0;
 };
 
+/// Options of the batched annotation-ingest facade.
+struct AnnotateBatchOptions {
+  /// Ingest shards/workers. 1 (the default) runs the exact serial path;
+  /// N > 1 shards summary maintenance by target row across a thread pool.
+  /// Either way the maintained summary objects are byte-identical to
+  /// serial ingest of the same specs (see DESIGN.md "Concurrency model").
+  size_t num_threads = 1;
+};
+
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
@@ -82,6 +92,15 @@ class Engine {
   // --- Annotations ----------------------------------------------------------
   /// Adds an annotation and incrementally maintains affected summaries.
   Result<ann::AnnotationId> Annotate(const AnnotateSpec& spec);
+  /// Batched ingest: validates every spec up front, appends the annotations
+  /// to the store in order (ids are assigned exactly as N Annotate calls
+  /// would), then folds them into the maintained summaries — serially for
+  /// `options.num_threads == 1`, sharded by target row otherwise. Returns
+  /// the assigned ids in spec order. On a mid-batch maintenance error the
+  /// stored annotations remain; affected rows can be repaired with
+  /// SummaryManager::RebuildRow.
+  Result<std::vector<ann::AnnotationId>> AnnotateBatch(
+      std::span<const AnnotateSpec> specs, const AnnotateBatchOptions& options = {});
   /// Attaches an existing annotation to another region (shared annotations).
   Status AttachAnnotation(ann::AnnotationId id, const std::string& table,
                           rel::RowId row, std::vector<size_t> columns = {});
@@ -132,6 +151,13 @@ class Engine {
 
   Result<ResultSnapshot> SnapshotFor(QueryId qid, bool* from_cache);
 
+  /// Validates an annotate spec against the catalog (table, row liveness,
+  /// column range) and returns the target table.
+  Result<rel::Table*> ValidateAnnotateSpec(const AnnotateSpec& spec);
+
+  /// Lazily (re)builds the ingest pool with `num_threads` workers.
+  ThreadPool* EnsureIngestPool(size_t num_threads);
+
   EngineOptions options_;
   storage::DiskManager disk_;
   std::unique_ptr<storage::BufferPool> pool_;
@@ -139,6 +165,7 @@ class Engine {
   std::unique_ptr<ann::AnnotationStore> store_;
   std::unique_ptr<SummaryManager> manager_;
   std::unique_ptr<ZoomInCache> cache_;
+  std::unique_ptr<ThreadPool> ingest_pool_;  // Lazily sized by AnnotateBatch.
   std::unordered_map<QueryId, StoredQuery> queries_;
   QueryId next_qid_ = 100;  // Figure 3 shows QIDs starting at 101.
 };

@@ -52,17 +52,25 @@ Status ZoomInCache::Put(QueryId qid, const ResultSnapshot& snapshot,
     ++stats_.rejected;
     return Status::OK();  // Larger than the whole cache: never admitted.
   }
-  // Replace an existing entry for the same result.
-  if (auto it = entries_.find(qid); it != entries_.end()) {
-    INSIGHTNOTES_RETURN_IF_ERROR(heap_->Delete(it->second.record));
-    stats_.bytes_used -= it->second.size;
-    entries_.erase(it);
-  }
-  if (!MakeRoom(bytes.size())) {
-    ++stats_.rejected;
+  // An existing entry for the same qid is replaced, but it must stay
+  // readable until the replacement has fully succeeded: it is pinned
+  // against eviction (MakeRoom skips it) and its bytes are discounted from
+  // the room calculation since they are reclaimed below.
+  auto existing = entries_.find(qid);
+  size_t reclaimable = existing != entries_.end() ? existing->second.size : 0;
+  const QueryId* pinned = existing != entries_.end() ? &qid : nullptr;
+  if (!MakeRoom(bytes.size(), reclaimable, pinned)) {
+    ++stats_.rejected;  // Old snapshot (if any) remains readable.
     return Status::OK();
   }
   INSIGHTNOTES_ASSIGN_OR_RETURN(storage::RecordId record, heap_->Append(bytes));
+  if (existing != entries_.end()) {
+    // The replacement is durable; now drop the old backing record.
+    Status s = heap_->Delete(existing->second.record);
+    stats_.bytes_used -= existing->second.size;
+    entries_.erase(existing);
+    if (!s.ok()) return s;
+  }
   Entry entry;
   entry.record = record;
   entry.size = bytes.size();
@@ -81,17 +89,39 @@ Result<ResultSnapshot> ZoomInCache::Get(QueryId qid) {
     ++stats_.misses;
     return Status::NotFound("result " + std::to_string(qid) + " not cached");
   }
+  // Read first: the hit is counted and recency/frequency bumped only for a
+  // snapshot the caller actually receives. A failed backing read (or a
+  // corrupt snapshot) is a miss and leaves the entry's metadata untouched.
+  auto bytes = heap_->Get(it->second.record);
+  if (!bytes.ok()) {
+    ++stats_.misses;
+    return bytes.status();
+  }
+  auto snapshot = ResultSnapshot::Deserialize(*bytes);
+  if (!snapshot.ok()) {
+    ++stats_.misses;
+    return snapshot.status();
+  }
   ++stats_.hits;
   it->second.last_ref = ++tick_;
   ++it->second.ref_count;
-  INSIGHTNOTES_ASSIGN_OR_RETURN(std::string bytes, heap_->Get(it->second.record));
-  return ResultSnapshot::Deserialize(bytes);
+  return snapshot;
 }
 
-bool ZoomInCache::MakeRoom(size_t needed) {
-  while (stats_.bytes_used + needed > budget_) {
-    if (entries_.empty()) return false;
-    QueryId victim = PickVictim();
+Status ZoomInCache::CorruptBackingRecordForTest(QueryId qid) {
+  auto it = entries_.find(qid);
+  if (it == entries_.end()) {
+    return Status::NotFound("result " + std::to_string(qid) + " not cached");
+  }
+  return heap_->Delete(it->second.record);
+}
+
+bool ZoomInCache::MakeRoom(size_t needed, size_t reclaimable, const QueryId* exclude) {
+  while (stats_.bytes_used - reclaimable + needed > budget_) {
+    // The pinned entry (the one being replaced) is not an eviction
+    // candidate.
+    if (entries_.size() <= (exclude != nullptr ? 1u : 0u)) return false;
+    QueryId victim = PickVictim(exclude);
     auto it = entries_.find(victim);
     Status s = heap_->Delete(it->second.record);
     if (!s.ok()) return false;
@@ -102,53 +132,54 @@ bool ZoomInCache::MakeRoom(size_t needed) {
   return true;
 }
 
-QueryId ZoomInCache::PickVictim() const {
-  QueryId victim = entries_.begin()->first;
-  switch (policy_) {
-    case CachePolicy::kLru: {
-      uint64_t oldest = entries_.begin()->second.last_ref;
-      for (const auto& [qid, e] : entries_) {
-        if (e.last_ref < oldest) {
-          oldest = e.last_ref;
+QueryId ZoomInCache::PickVictim(const QueryId* exclude) const {
+  // Hoisted normalization pre-pass: one O(n) scan per eviction instead of
+  // one per candidate (PickVictim used to be O(n^2) under kRco).
+  double max_cost = 1e-9;
+  size_t max_size = 1;
+  if (policy_ == CachePolicy::kRco) {
+    for (const auto& [qid, e] : entries_) {
+      max_cost = std::max(max_cost, e.cost);
+      max_size = std::max(max_size, e.size);
+    }
+  }
+  bool have_victim = false;
+  QueryId victim = 0;
+  uint64_t best_tick = 0;
+  double best_score = 0.0;
+  for (const auto& [qid, e] : entries_) {
+    if (exclude != nullptr && qid == *exclude) continue;
+    switch (policy_) {
+      case CachePolicy::kLru:
+        if (!have_victim || e.last_ref < best_tick) {
+          best_tick = e.last_ref;
           victim = qid;
         }
-      }
-      break;
-    }
-    case CachePolicy::kLfu: {
-      uint64_t fewest = entries_.begin()->second.ref_count;
-      for (const auto& [qid, e] : entries_) {
-        if (e.ref_count < fewest) {
-          fewest = e.ref_count;
+        break;
+      case CachePolicy::kLfu:
+        if (!have_victim || e.ref_count < best_tick) {
+          best_tick = e.ref_count;
           victim = qid;
         }
-      }
-      break;
-    }
-    case CachePolicy::kRco: {
-      double lowest = RcoScore(entries_.begin()->second);
-      for (const auto& [qid, e] : entries_) {
-        double score = RcoScore(e);
-        if (score < lowest) {
-          lowest = score;
+        break;
+      case CachePolicy::kRco: {
+        double score = RcoScore(e, max_cost, max_size);
+        if (!have_victim || score < best_score) {
+          best_score = score;
           victim = qid;
         }
+        break;
       }
-      break;
+      case CachePolicy::kNone:
+        if (!have_victim) victim = qid;
+        break;
     }
-    case CachePolicy::kNone:
-      break;
+    have_victim = true;
   }
   return victim;
 }
 
-double ZoomInCache::RcoScore(const Entry& e) const {
-  double max_cost = 1e-9;
-  size_t max_size = 1;
-  for (const auto& [qid, other] : entries_) {
-    max_cost = std::max(max_cost, other.cost);
-    max_size = std::max(max_size, other.size);
-  }
+double ZoomInCache::RcoScore(const Entry& e, double max_cost, size_t max_size) const {
   // Recency in (0, 1]: 1 for the most recent reference.
   double age = static_cast<double>(tick_ - e.last_ref);
   double recency = 1.0 / (1.0 + age);

@@ -57,12 +57,22 @@ class ZoomInCache {
 
   /// Admits the snapshot of `qid` with recompute cost `cost_seconds`.
   /// Snapshots that cannot fit even an empty cache are rejected (counted in
-  /// stats.rejected); under kNone everything is rejected.
+  /// stats.rejected); under kNone everything is rejected. Replacing an
+  /// existing qid is atomic from the reader's perspective: the old snapshot
+  /// stays readable until the replacement has fully succeeded, and a failed
+  /// or rejected replacement keeps it.
   Status Put(QueryId qid, const ResultSnapshot& snapshot, double cost_seconds);
 
   /// Fetches the snapshot for `qid`, bumping its recency/frequency. NotFound
-  /// on miss (evicted, rejected, or never inserted).
+  /// on miss (evicted, rejected, or never inserted). Hit/recency accounting
+  /// happens only once the snapshot has actually been read back: a failed
+  /// backing read counts as a miss and leaves the entry's metadata alone.
   Result<ResultSnapshot> Get(QueryId qid);
+
+  /// Test-only fault injection: tombstones the backing heap record of `qid`
+  /// while keeping its directory entry, simulating a torn cache file. Later
+  /// reads of (and evictions targeting) the entry fail at the heap layer.
+  Status CorruptBackingRecordForTest(QueryId qid);
 
   bool Contains(QueryId qid) const { return entries_.contains(qid); }
 
@@ -79,11 +89,17 @@ class ZoomInCache {
     uint64_t ref_count = 0;
   };
 
-  /// Evicts entries until `needed` bytes fit. Returns false if impossible.
-  bool MakeRoom(size_t needed);
-  /// Picks the eviction victim under the configured policy.
-  QueryId PickVictim() const;
-  double RcoScore(const Entry& e) const;
+  /// Evicts entries until `needed` bytes fit, where `reclaimable` bytes of
+  /// the current usage will be freed by the caller on success (the entry
+  /// being replaced) and `exclude`, when non-null, must never be picked as
+  /// a victim. Returns false if impossible.
+  bool MakeRoom(size_t needed, size_t reclaimable = 0, const QueryId* exclude = nullptr);
+  /// Picks the eviction victim under the configured policy, skipping
+  /// `exclude`. Must not be called when no candidate exists.
+  QueryId PickVictim(const QueryId* exclude) const;
+  /// RCO score against pre-computed normalization maxima (hoisted out of
+  /// the candidate loop: one pre-pass per eviction, not one per candidate).
+  double RcoScore(const Entry& e, double max_cost, size_t max_size) const;
 
   CachePolicy policy_;
   size_t budget_;

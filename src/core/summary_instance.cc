@@ -47,15 +47,18 @@ std::unique_ptr<SummaryObject> SummaryInstance::NewObject() {
 
 size_t SummaryInstance::ClassifyAnnotation(const ann::Annotation& note) {
   if (properties_.SummarizeOnceEligible()) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = label_cache_.find(note.id);
     if (it != label_cache_.end()) {
       ++cache_hits_;
       return it->second;
     }
   }
-  ++cache_misses_;
+  // The classifier is const/stateless: concurrent shards classify unlocked.
   size_t label = classifier_->Classify(note.body);
-  if (properties_.SummarizeOnceEligible()) label_cache_[note.id] = label;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++cache_misses_;
+  if (properties_.SummarizeOnceEligible()) label_cache_.emplace(note.id, label);
   return label;
 }
 
@@ -65,37 +68,75 @@ txt::SparseVector SummaryInstance::VectorizeAnnotation(const ann::Annotation& no
   // through this store (GetVector) so they stay lightweight. The invariant
   // property only controls whether a cached vector is *reused* (the
   // summarize-once optimization) or recomputed for accounting purposes.
-  auto it = vector_cache_.find(note.id);
-  if (it != vector_cache_.end() && properties_.data_invariant) {
-    ++cache_hits_;
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = vector_cache_.find(note.id);
+    if (it != vector_cache_.end() && properties_.data_invariant) {
+      ++cache_hits_;
+      return it->second;
+    }
   }
+  txt::SparseVector vec;
+  {
+    // The vectorizer grows the shared vocabulary: serialize it. Parallel
+    // ingest avoids this path by committing tokens up front (CommitTokens),
+    // so only non-data-invariant recomputation contends here.
+    std::lock_guard<std::mutex> lock(kernel_mutex_);
+    vec = vectorizer_->Vectorize(note.body);
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   ++cache_misses_;
-  txt::SparseVector vec = vectorizer_->Vectorize(note.body);
-  vector_cache_[note.id] = vec;
+  // emplace (not assignment): a vector already cached for this id is
+  // identical, and readers may hold GetVector pointers into it.
+  vector_cache_.emplace(note.id, vec);
   return vec;
 }
 
 std::string SummaryInstance::SummarizeDocument(const ann::Annotation& note) {
   if (properties_.SummarizeOnceEligible()) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = snippet_cache_.find(note.id);
     if (it != snippet_cache_.end()) {
       ++cache_hits_;
       return it->second;
     }
   }
-  ++cache_misses_;
+  // The extractor is const/stateless: concurrent shards summarize unlocked.
   std::string snippet = extractor_->Summarize(note.body);
-  if (properties_.SummarizeOnceEligible()) snippet_cache_[note.id] = snippet;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++cache_misses_;
+  if (properties_.SummarizeOnceEligible()) snippet_cache_.emplace(note.id, snippet);
   return snippet;
 }
 
+std::vector<std::string> SummaryInstance::TokenizeBody(const ann::Annotation& note) const {
+  if (vectorizer_ == nullptr) return {};
+  return vectorizer_->tokenizer().Tokenize(note.body);
+}
+
+void SummaryInstance::CommitTokens(ann::AnnotationId id,
+                                   const std::vector<std::string>& tokens) {
+  if (vectorizer_ == nullptr) return;
+  std::unique_lock<std::mutex> cache_lock(cache_mutex_);
+  if (vector_cache_.contains(id)) return;  // Shared annotation: commit once.
+  cache_lock.unlock();
+  txt::SparseVector vec;
+  {
+    std::lock_guard<std::mutex> lock(kernel_mutex_);
+    vec = vectorizer_->VectorizeTokens(tokens);
+  }
+  cache_lock.lock();
+  vector_cache_.emplace(id, std::move(vec));
+}
+
 const txt::SparseVector* SummaryInstance::GetVector(mining::DocId doc) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = vector_cache_.find(doc);
   return it == vector_cache_.end() ? nullptr : &it->second;
 }
 
 void SummaryInstance::ClearCaches() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   label_cache_.clear();
   vector_cache_.clear();
   snippet_cache_.clear();

@@ -8,6 +8,7 @@
 #define INSIGHTNOTES_CORE_SUMMARY_INSTANCE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -68,6 +69,14 @@ class SummaryInstance : public mining::DocVectorStore {
   // --- Summarize-once interface used by summary objects -------------------
   // Each returns the per-annotation summarization result, consulting the
   // instance-level cache when the properties make the result invariant.
+  //
+  // Thread-safety: these three methods, GetVector and the cache counters
+  // are safe to call from concurrent ingest shards. The classifier and
+  // snippet kernels are const/stateless and run unlocked; the cluster
+  // vectorizer mutates the shared vocabulary and is serialized on a kernel
+  // mutex. For ingest that must be byte-identical to serial execution, the
+  // vocabulary must be grown in deterministic order first — see
+  // TokenizeBody/CommitTokens below.
 
   /// Class label index for `note` (Classifier instances).
   size_t ClassifyAnnotation(const ann::Annotation& note);
@@ -77,6 +86,24 @@ class SummaryInstance : public mining::DocVectorStore {
 
   /// Extractive snippet for `note` (Snippet instances).
   std::string SummarizeDocument(const ann::Annotation& note);
+
+  // --- Two-phase vectorization (parallel ingest, Cluster instances) --------
+  // Vocabulary term ids are assigned in insertion order, so growing the
+  // vocabulary from concurrent shards would be nondeterministic. Parallel
+  // ingest instead splits vectorization: TokenizeBody (the expensive part)
+  // is pure and runs on any thread; CommitTokens folds the tokens into the
+  // shared vocabulary and warms the vectorize-once cache, and must be
+  // called serially in the same order a serial ingest would vectorize.
+
+  /// Normalized term tokens of `note` under this instance's tokenizer
+  /// configuration. Thread-safe; no shared state is touched.
+  std::vector<std::string> TokenizeBody(const ann::Annotation& note) const;
+
+  /// Folds `tokens` (from TokenizeBody of the same annotation) into the
+  /// vocabulary and caches the resulting vector for `id`. No-op if `id` is
+  /// already cached (shared annotations commit once). NOT thread-safe:
+  /// callers serialize commits in deterministic order.
+  void CommitTokens(ann::AnnotationId id, const std::vector<std::string>& tokens);
 
   /// Cache-efficiency counters (experiment E5).
   uint64_t cache_hits() const { return cache_hits_; }
@@ -108,7 +135,13 @@ class SummaryInstance : public mining::DocVectorStore {
   std::unique_ptr<mining::SnippetExtractor> extractor_;
   double cluster_threshold_ = 0.35;
 
-  // Summarize-once caches, keyed by annotation id.
+  // Summarize-once caches, keyed by annotation id. Guarded by cache_mutex_
+  // (concurrent ingest shards hit them for shared annotations); cached
+  // values are never mutated after insertion, so pointers handed out by
+  // GetVector stay valid without the lock.
+  mutable std::mutex cache_mutex_;
+  // Serializes the vectorizer (it mutates the shared vocabulary).
+  std::mutex kernel_mutex_;
   std::unordered_map<ann::AnnotationId, size_t> label_cache_;
   std::unordered_map<ann::AnnotationId, txt::SparseVector> vector_cache_;
   std::unordered_map<ann::AnnotationId, std::string> snippet_cache_;

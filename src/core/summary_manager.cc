@@ -1,6 +1,9 @@
 #include "core/summary_manager.h"
 
 #include <algorithm>
+#include <future>
+
+#include "common/thread_pool.h"
 
 namespace insightnotes::core {
 
@@ -98,17 +101,132 @@ bool SummaryManager::IsLinked(const std::string& instance_name,
 Status SummaryManager::OnAnnotationAttached(ann::AnnotationId id,
                                             const ann::CellRegion& region) {
   if (store_->IsArchived(id)) return Status::OK();
-  auto linked = LinkedTo(region.table);
-  if (linked.empty()) return Status::OK();
+  if (LinkedTo(region.table).empty()) return Status::OK();
   INSIGHTNOTES_ASSIGN_OR_RETURN(ann::Annotation note, store_->Get(id));
+  return FoldAnnotation(note, region);
+}
+
+Status SummaryManager::FoldAnnotation(const ann::Annotation& note,
+                                      const ann::CellRegion& region) {
   RowKey key{region.table, region.row};
-  for (SummaryInstance* instance : linked) {
+  for (SummaryInstance* instance : LinkedTo(region.table)) {
     SummaryObject* object = GetOrCreateObject(key, instance);
     Status s = object->AddAnnotation(note);
     // Re-attachment to the same row (column-set growth) is not an error.
     if (!s.ok() && !s.IsAlreadyExists()) return s;
   }
   return Status::OK();
+}
+
+Status SummaryManager::ApplyAnnotationBatch(const std::vector<BatchAnnotation>& batch,
+                                            ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1 || batch.size() <= 1) {
+    for (const BatchAnnotation& item : batch) {
+      if (item.note.archived || store_->IsArchived(item.note.id)) continue;
+      INSIGHTNOTES_RETURN_IF_ERROR(FoldAnnotation(item.note, item.region));
+    }
+    return Status::OK();
+  }
+
+  // Per-item ingest plan: which instances maintain the target table, and
+  // (for cluster instances) the parallel-tokenized body.
+  struct ItemPlan {
+    bool skip = false;
+    std::vector<SummaryInstance*> linked;
+    // tokens[k] corresponds to linked[k]; non-empty only for kCluster.
+    std::vector<std::vector<std::string>> tokens;
+  };
+  std::vector<ItemPlan> plans(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const BatchAnnotation& item = batch[i];
+    ItemPlan& plan = plans[i];
+    plan.linked = LinkedTo(item.region.table);
+    plan.skip = plan.linked.empty() || item.note.archived ||
+                store_->IsArchived(item.note.id);
+    if (!plan.skip) plan.tokens.resize(plan.linked.size());
+  }
+
+  // Phase 1 — parallel tokenization (pure; no shared state).
+  const size_t num_shards = pool->num_threads();
+  {
+    std::vector<std::future<void>> done;
+    size_t chunk = (batch.size() + num_shards - 1) / num_shards;
+    for (size_t begin = 0; begin < batch.size(); begin += chunk) {
+      size_t end = std::min(batch.size(), begin + chunk);
+      done.push_back(pool->Submit([&batch, &plans, begin, end]() {
+        for (size_t i = begin; i < end; ++i) {
+          if (plans[i].skip) continue;
+          for (size_t k = 0; k < plans[i].linked.size(); ++k) {
+            if (plans[i].linked[k]->type() != SummaryTypeKind::kCluster) continue;
+            plans[i].tokens[k] = plans[i].linked[k]->TokenizeBody(batch[i].note);
+          }
+        }
+      }));
+    }
+    for (auto& f : done) f.get();
+  }
+
+  // Phase 2 — serial, batch-order vocabulary fold: term ids end up exactly
+  // as a serial ingest would assign them (determinism guarantee), and the
+  // vectorize-once caches are warm before the shards start.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (plans[i].skip) continue;
+    for (size_t k = 0; k < plans[i].linked.size(); ++k) {
+      if (plans[i].linked[k]->type() != SummaryTypeKind::kCluster) continue;
+      plans[i].linked[k]->CommitTokens(batch[i].note.id, plans[i].tokens[k]);
+    }
+  }
+
+  // Phase 3 — serial object creation, so the objects_ map is structurally
+  // frozen while shards mutate disjoint rows' objects.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (plans[i].skip) continue;
+    RowKey key{batch[i].region.table, batch[i].region.row};
+    for (SummaryInstance* instance : plans[i].linked) {
+      GetOrCreateObject(key, instance);
+    }
+  }
+
+  // Phase 4 — sharded fold. Shard ownership is by row id, so every object
+  // is mutated by exactly one shard, and each shard folds its rows'
+  // annotations in batch order — the same per-row order a serial ingest
+  // applies.
+  std::vector<std::future<Status>> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards.push_back(pool->Submit([this, &batch, &plans, s, num_shards]() -> Status {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (plans[i].skip) continue;
+        if (batch[i].region.row % num_shards != s) continue;
+        auto it = objects_.find(RowKey{batch[i].region.table, batch[i].region.row});
+        if (it == objects_.end()) {
+          return Status::Internal("batch ingest: row objects missing");
+        }
+        for (SummaryInstance* instance : plans[i].linked) {
+          SummaryObject* object = nullptr;
+          for (const auto& candidate : it->second) {
+            if (candidate->instance() == instance) {
+              object = candidate.get();
+              break;
+            }
+          }
+          if (object == nullptr) {
+            return Status::Internal("batch ingest: object missing for instance '" +
+                                    instance->name() + "'");
+          }
+          Status st = object->AddAnnotation(batch[i].note);
+          if (!st.ok() && !st.IsAlreadyExists()) return st;
+        }
+      }
+      return Status::OK();
+    }));
+  }
+  Status result = Status::OK();
+  for (auto& f : shards) {
+    Status s = f.get();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
 }
 
 Status SummaryManager::RebuildRow(rel::TableId table, rel::RowId row) {

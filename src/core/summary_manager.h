@@ -16,7 +16,18 @@
 #include "core/summary_instance.h"
 #include "core/summary_object.h"
 
+namespace insightnotes {
+class ThreadPool;
+}
+
 namespace insightnotes::core {
+
+/// One annotation of an ingest batch, fully materialized (body included) so
+/// ingest shards never touch the annotation store's heap file.
+struct BatchAnnotation {
+  ann::Annotation note;
+  ann::CellRegion region;
+};
 
 class SummaryManager {
  public:
@@ -46,6 +57,19 @@ class SummaryManager {
   /// are skipped. Called by the engine after AnnotationStore::Add/Attach.
   Status OnAnnotationAttached(ann::AnnotationId id, const ann::CellRegion& region);
 
+  /// Folds a whole ingest batch into the maintained summary objects. With a
+  /// null `pool` (or a single worker) items are folded serially in batch
+  /// order — exactly N calls to the OnAnnotationAttached path. With a pool,
+  /// ingestion is sharded by target row: per-tuple summary state is
+  /// partitionable by row id, so shards own disjoint row sets and fold
+  /// their rows' annotations in batch order. Cluster vocabulary growth is
+  /// committed in a deterministic serial pre-pass (tokenization itself runs
+  /// on the pool), so the resulting summary objects are byte-identical to a
+  /// serial ingest of the same batch. On error the batch is not rolled
+  /// back; affected rows can be repaired with RebuildRow.
+  Status ApplyAnnotationBatch(const std::vector<BatchAnnotation>& batch,
+                              ThreadPool* pool = nullptr);
+
   /// Recomputes one row's objects from scratch (the non-incremental
   /// baseline of experiment E1, and the unarchive path).
   Status RebuildRow(rel::TableId table, rel::RowId row);
@@ -72,6 +96,11 @@ class SummaryManager {
 
   /// Returns the row's object for `instance`, creating it if needed.
   SummaryObject* GetOrCreateObject(const RowKey& key, SummaryInstance* instance);
+
+  /// Folds one materialized annotation into `row`'s objects for every
+  /// linked instance (the shared core of OnAnnotationAttached and the batch
+  /// path).
+  Status FoldAnnotation(const ann::Annotation& note, const ann::CellRegion& region);
 
   ann::AnnotationStore* store_;
   std::map<std::string, std::unique_ptr<SummaryInstance>> instances_;

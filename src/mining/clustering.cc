@@ -5,7 +5,10 @@
 namespace insightnotes::mining {
 
 txt::SparseVector TextVectorizer::Vectorize(std::string_view text) {
-  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  return VectorizeTokens(tokenizer_.Tokenize(text));
+}
+
+txt::SparseVector TextVectorizer::VectorizeTokens(const std::vector<std::string>& tokens) {
   return txt::SparseVector::FromTokens(tokens, &vocab_);
 }
 

@@ -52,6 +52,12 @@ class TextVectorizer {
   /// Tokenizes and counts; new terms extend the vocabulary.
   txt::SparseVector Vectorize(std::string_view text);
 
+  /// Counts pre-tokenized terms; new terms extend the vocabulary. Lets
+  /// parallel ingest tokenize off-thread and fold into the shared
+  /// vocabulary in a deterministic serial pass.
+  txt::SparseVector VectorizeTokens(const std::vector<std::string>& tokens);
+
+  const txt::Tokenizer& tokenizer() const { return tokenizer_; }
   const txt::Vocabulary& vocabulary() const { return vocab_; }
 
  private:

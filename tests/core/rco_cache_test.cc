@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <string>
+
 namespace insightnotes::core {
 namespace {
 
@@ -143,6 +147,234 @@ TEST(ZoomInCacheTest, FileBackedCache) {
   FILE* f = std::fopen(path.c_str(), "rb");
   EXPECT_EQ(f, nullptr);
   if (f != nullptr) std::fclose(f);
+}
+
+TEST(ZoomInCacheTest, HeapReadFailureCountsMissNotHit) {
+  // A torn backing record must surface as a miss: no hit is counted and the
+  // snapshot is not returned. (Previously the hit was counted and recency
+  // bumped before the heap read, so a failed read still looked like a hit.)
+  ZoomInCache cache(CachePolicy::kLru, 1 << 20);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(100), 1.0).ok());
+  ASSERT_TRUE(cache.CorruptBackingRecordForTest(1).ok());
+  auto back = cache.Get(1);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // The directory entry survives; only the backing read failed.
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(ZoomInCacheTest, FailedReplacementKeepsOldSnapshotReadable) {
+  // Replacing qid 1 with a bigger snapshot needs an eviction; the only
+  // victim candidate (qid 2, since the replaced entry is pinned) has a torn
+  // backing record, so eviction — and with it the replacement — fails.
+  // The old snapshot of qid 1 must remain readable. (Previously Put erased
+  // the old entry before MakeRoom, losing it on a failed replacement.)
+  ZoomInCache cache(CachePolicy::kLru, 800);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(300), 1.0).ok());
+  ASSERT_TRUE(cache.Put(2, SnapshotOfSize(300), 1.0).ok());
+  ASSERT_TRUE(cache.CorruptBackingRecordForTest(2).ok());
+
+  uint64_t rejected_before = cache.stats().rejected;
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(600), 1.0).ok());
+  EXPECT_EQ(cache.stats().rejected, rejected_before + 1);
+
+  auto back = cache.Get(1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows[0].tuple.ValueAt(0).AsString().size(), 300u);
+}
+
+TEST(ZoomInCacheTest, OversizedReplacementKeepsOldEntry) {
+  ZoomInCache cache(CachePolicy::kLru, 512);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(100), 1.0).ok());
+  // Larger than the whole budget: rejected, old snapshot untouched.
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(4096), 1.0).ok());
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  auto back = cache.Get(1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows[0].tuple.ValueAt(0).AsString().size(), 100u);
+}
+
+TEST(ZoomInCacheTest, ReplacementNeverEvictsItself) {
+  // The entry being replaced is pinned: growing it within budget must not
+  // pick it as its own victim even when it is the eviction-policy favorite.
+  ZoomInCache cache(CachePolicy::kLru, 800);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(300), 1.0).ok());  // LRU favorite.
+  ASSERT_TRUE(cache.Put(2, SnapshotOfSize(300), 1.0).ok());
+  ASSERT_TRUE(cache.Put(1, SnapshotOfSize(600), 1.0).ok());  // Needs room.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));  // 2 evicted, not the pinned 1.
+  auto back = cache.Get(1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows[0].tuple.ValueAt(0).AsString().size(), 600u);
+}
+
+/// Brute-force reference model of the cache's bookkeeping: same tick,
+/// recency/frequency and RCO-score semantics, victim picked by exhaustive
+/// scan. Drives an eviction-heavy random workload and cross-checks contents
+/// and stats after every operation.
+class CacheOracle {
+ public:
+  CacheOracle(CachePolicy policy, size_t budget, RcoWeights weights)
+      : policy_(policy), budget_(budget), weights_(weights) {}
+
+  void Put(QueryId qid, size_t bytes, double cost) {
+    if (bytes > budget_) {
+      ++stats_.rejected;
+      return;
+    }
+    auto existing = entries_.find(qid);
+    size_t reclaimable = existing != entries_.end() ? existing->second.size : 0;
+    bool pinned = existing != entries_.end();
+    while (stats_.bytes_used - reclaimable + bytes > budget_) {
+      if (entries_.size() <= (pinned ? 1u : 0u)) {
+        ++stats_.rejected;
+        return;
+      }
+      QueryId victim = PickVictim(pinned ? &qid : nullptr);
+      stats_.bytes_used -= entries_[victim].size;
+      entries_.erase(victim);
+      ++stats_.evictions;
+    }
+    if (existing != entries_.end()) {
+      stats_.bytes_used -= existing->second.size;
+      entries_.erase(existing);
+    }
+    Entry e;
+    e.size = bytes;
+    e.cost = cost;
+    e.last_ref = ++tick_;
+    e.ref_count = 1;
+    entries_[qid] = e;
+    stats_.bytes_used += bytes;
+    ++stats_.insertions;
+  }
+
+  void Get(QueryId qid) {
+    auto it = entries_.find(qid);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return;
+    }
+    ++stats_.hits;
+    it->second.last_ref = ++tick_;
+    ++it->second.ref_count;
+  }
+
+  bool Contains(QueryId qid) const { return entries_.contains(qid); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    size_t size = 0;
+    double cost = 0.0;
+    uint64_t last_ref = 0;
+    uint64_t ref_count = 0;
+  };
+
+  QueryId PickVictim(const QueryId* exclude) const {
+    double max_cost = 1e-9;
+    size_t max_size = 1;
+    for (const auto& [qid, e] : entries_) {
+      max_cost = std::max(max_cost, e.cost);
+      max_size = std::max(max_size, e.size);
+    }
+    bool have = false;
+    QueryId victim = 0;
+    uint64_t best_tick = 0;
+    double best_score = 0.0;
+    for (const auto& [qid, e] : entries_) {
+      if (exclude != nullptr && qid == *exclude) continue;
+      double score = 0.0;
+      uint64_t key = 0;
+      switch (policy_) {
+        case CachePolicy::kLru:
+          key = e.last_ref;
+          if (!have || key < best_tick) { best_tick = key; victim = qid; }
+          break;
+        case CachePolicy::kLfu:
+          key = e.ref_count;
+          if (!have || key < best_tick) { best_tick = key; victim = qid; }
+          break;
+        case CachePolicy::kRco: {
+          double age = static_cast<double>(tick_ - e.last_ref);
+          double recency = 1.0 / (1.0 + age);
+          double complexity = e.cost / max_cost;
+          double overhead =
+              static_cast<double>(e.size) / static_cast<double>(max_size);
+          score = weights_.recency * recency + weights_.complexity * complexity -
+                  weights_.overhead * overhead;
+          if (!have || score < best_score) { best_score = score; victim = qid; }
+          break;
+        }
+        case CachePolicy::kNone:
+          if (!have) victim = qid;
+          break;
+      }
+      have = true;
+    }
+    return victim;
+  }
+
+  CachePolicy policy_;
+  size_t budget_;
+  RcoWeights weights_;
+  std::map<QueryId, Entry> entries_;
+  uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+TEST(ZoomInCacheTest, EvictionHeavyRunMatchesBruteForceOracle) {
+  for (CachePolicy policy :
+       {CachePolicy::kLru, CachePolicy::kLfu, CachePolicy::kRco}) {
+    RcoWeights weights;  // Defaults, as the cache uses them.
+    const size_t kBudget = 1500;
+    ZoomInCache cache(policy, kBudget, "", weights);
+    ASSERT_TRUE(cache.Init().ok());
+    CacheOracle oracle(policy, kBudget, weights);
+
+    uint64_t rng = 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(policy);
+    auto next = [&rng]() {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    constexpr QueryId kQids = 12;
+    for (int op = 0; op < 400; ++op) {
+      QueryId qid = next() % kQids;
+      if (next() % 4 == 0) {
+        (void)cache.Get(qid);
+        oracle.Get(qid);
+      } else {
+        size_t payload = 100 + next() % 500;
+        double cost = 0.01 * static_cast<double>(1 + next() % 1000);
+        ResultSnapshot snapshot = SnapshotOfSize(payload);
+        std::string bytes;
+        snapshot.Serialize(&bytes);
+        ASSERT_TRUE(cache.Put(qid, snapshot, cost).ok());
+        oracle.Put(qid, bytes.size(), cost);
+      }
+      for (QueryId q = 0; q < kQids; ++q) {
+        ASSERT_EQ(cache.Contains(q), oracle.Contains(q))
+            << "policy=" << CachePolicyToString(policy) << " op=" << op
+            << " qid=" << q;
+      }
+      ASSERT_EQ(cache.stats().hits, oracle.stats().hits) << "op=" << op;
+      ASSERT_EQ(cache.stats().misses, oracle.stats().misses) << "op=" << op;
+      ASSERT_EQ(cache.stats().evictions, oracle.stats().evictions)
+          << "policy=" << CachePolicyToString(policy) << " op=" << op;
+      ASSERT_EQ(cache.stats().insertions, oracle.stats().insertions)
+          << "op=" << op;
+      ASSERT_EQ(cache.stats().rejected, oracle.stats().rejected) << "op=" << op;
+      ASSERT_EQ(cache.stats().bytes_used, oracle.stats().bytes_used)
+          << "op=" << op;
+    }
+  }
 }
 
 TEST(SnapshotTest, SerializationRoundTripsEmpty) {

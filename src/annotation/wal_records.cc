@@ -1,0 +1,152 @@
+#include "annotation/wal_records.h"
+
+#include <cstring>
+
+namespace insightnotes::ann {
+
+namespace {
+
+enum : uint8_t { kAddTag = 1, kAttachTag = 2, kArchiveTag = 3 };
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+template <typename T>
+void PutFixed(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutRegion(std::string* out, const CellRegion& region) {
+  PutFixed<uint32_t>(out, region.table);
+  PutFixed<uint64_t>(out, region.row);
+  PutFixed<uint32_t>(out, static_cast<uint32_t>(region.columns.size()));
+  for (size_t c : region.columns) PutFixed<uint64_t>(out, static_cast<uint64_t>(c));
+}
+
+/// Sequential reader over a record payload; any out-of-bounds read flips
+/// `ok` and sticks.
+struct Reader {
+  std::string_view data;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Take(void* out, size_t len) {
+    if (!ok || pos + len > data.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Take(&v, sizeof(v));
+    return v;
+  }
+
+  template <typename T>
+  T Fixed() {
+    T v{};
+    Take(&v, sizeof(T));
+    return v;
+  }
+
+  std::string String() {
+    uint32_t len = Fixed<uint32_t>();
+    if (!ok || pos + len > data.size()) {
+      ok = false;
+      return {};
+    }
+    std::string s(data.substr(pos, len));
+    pos += len;
+    return s;
+  }
+
+  CellRegion Region() {
+    CellRegion region;
+    region.table = Fixed<uint32_t>();
+    region.row = Fixed<uint64_t>();
+    uint32_t count = Fixed<uint32_t>();
+    // Bound by remaining bytes so a corrupt count cannot force a huge
+    // allocation.
+    if (!ok || static_cast<size_t>(count) * sizeof(uint64_t) > data.size() - pos) {
+      ok = false;
+      return region;
+    }
+    region.columns.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      region.columns.push_back(static_cast<size_t>(Fixed<uint64_t>()));
+    }
+    return region;
+  }
+};
+
+}  // namespace
+
+std::string EncodeWalEntry(const WalEntry& entry) {
+  std::string out;
+  if (const auto* add = std::get_if<WalAddRecord>(&entry)) {
+    PutU8(&out, kAddTag);
+    PutFixed<uint64_t>(&out, add->expected_id);
+    PutU8(&out, static_cast<uint8_t>(add->note.kind));
+    PutFixed<int64_t>(&out, add->note.timestamp);
+    PutString(&out, add->note.author);
+    PutString(&out, add->note.title);
+    PutString(&out, add->note.body);
+    PutRegion(&out, add->region);
+  } else if (const auto* attach = std::get_if<WalAttachRecord>(&entry)) {
+    PutU8(&out, kAttachTag);
+    PutFixed<uint64_t>(&out, attach->id);
+    PutRegion(&out, attach->region);
+  } else {
+    const auto& archive = std::get<WalArchiveRecord>(entry);
+    PutU8(&out, kArchiveTag);
+    PutFixed<uint64_t>(&out, archive.id);
+  }
+  return out;
+}
+
+Result<WalEntry> DecodeWalEntry(std::string_view payload) {
+  Reader reader{payload};
+  uint8_t tag = reader.U8();
+  switch (tag) {
+    case kAddTag: {
+      WalAddRecord add;
+      add.expected_id = reader.Fixed<uint64_t>();
+      add.note.kind = static_cast<AnnotationKind>(reader.U8());
+      add.note.timestamp = reader.Fixed<int64_t>();
+      add.note.author = reader.String();
+      add.note.title = reader.String();
+      add.note.body = reader.String();
+      add.region = reader.Region();
+      if (!reader.ok || reader.pos != payload.size()) break;
+      return WalEntry(std::move(add));
+    }
+    case kAttachTag: {
+      WalAttachRecord attach;
+      attach.id = reader.Fixed<uint64_t>();
+      attach.region = reader.Region();
+      if (!reader.ok || reader.pos != payload.size()) break;
+      return WalEntry(std::move(attach));
+    }
+    case kArchiveTag: {
+      WalArchiveRecord archive;
+      archive.id = reader.Fixed<uint64_t>();
+      if (!reader.ok || reader.pos != payload.size()) break;
+      return WalEntry(std::move(archive));
+    }
+    default:
+      return Status::Corruption("unknown WAL record tag " + std::to_string(tag));
+  }
+  return Status::Corruption("malformed WAL record (tag " + std::to_string(tag) + ")");
+}
+
+}  // namespace insightnotes::ann

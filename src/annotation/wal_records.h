@@ -1,0 +1,51 @@
+// Logical WAL records of the annotation layer. Every mutation of the
+// raw-annotation repository (Add / Attach / Archive) is encoded as one of
+// these and committed to the storage WAL before the store or the in-memory
+// maps change; recovery decodes and re-applies them in order, which
+// deterministically reproduces annotation ids and heap-file contents.
+//
+// Encoding: a leading type byte, then fixed-width little-endian integers
+// and u32-length-prefixed strings. The storage WAL frames and checksums
+// each record, so the codec itself only validates structure.
+
+#ifndef INSIGHTNOTES_ANNOTATION_WAL_RECORDS_H_
+#define INSIGHTNOTES_ANNOTATION_WAL_RECORDS_H_
+
+#include <string>
+#include <variant>
+
+#include "annotation/annotation.h"
+#include "common/result.h"
+
+namespace insightnotes::ann {
+
+/// A new annotation stored and attached to its first region. `expected_id`
+/// is the id the store assigned; replay verifies it reproduces the same
+/// one (ids are dense and assigned in insertion order).
+struct WalAddRecord {
+  AnnotationId expected_id = kInvalidAnnotationId;
+  Annotation note;  // `id` and `archived` are not encoded.
+  CellRegion region;
+};
+
+/// An existing annotation attached to an additional region.
+struct WalAttachRecord {
+  AnnotationId id = kInvalidAnnotationId;
+  CellRegion region;
+};
+
+/// An annotation archived by curation.
+struct WalArchiveRecord {
+  AnnotationId id = kInvalidAnnotationId;
+};
+
+using WalEntry = std::variant<WalAddRecord, WalAttachRecord, WalArchiveRecord>;
+
+std::string EncodeWalEntry(const WalEntry& entry);
+
+/// Decodes one record payload; malformed bytes yield Corruption.
+Result<WalEntry> DecodeWalEntry(std::string_view payload);
+
+}  // namespace insightnotes::ann
+
+#endif  // INSIGHTNOTES_ANNOTATION_WAL_RECORDS_H_

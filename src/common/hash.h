@@ -23,6 +23,40 @@ inline uint64_t Fnv1a64(const void* data, size_t len) {
 
 inline uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
 
+namespace internal_hash {
+
+/// CRC-32 (IEEE, reflected polynomial 0xEDB88320) lookup table, built at
+/// compile time.
+struct Crc32Table {
+  uint32_t entries[256];
+  constexpr Crc32Table() : entries{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+inline constexpr Crc32Table kCrc32Table{};
+
+}  // namespace internal_hash
+
+/// CRC-32 (IEEE 802.3) over arbitrary bytes. Pass a previous result as
+/// `crc` to checksum data incrementally.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t crc = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = internal_hash::kCrc32Table.entries[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
 /// Combines `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
 template <typename T>
 inline void HashCombine(uint64_t* seed, const T& value) {

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "type error";
     case StatusCode::kCapacityExceeded:
       return "capacity exceeded";
+    case StatusCode::kCorruption:
+      return "corruption";
   }
   return "unknown";
 }

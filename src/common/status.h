@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kParseError = 8,
   kTypeError = 9,
   kCapacityExceeded = 10,
+  kCorruption = 11,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -80,6 +81,9 @@ class Status {
   static Status CapacityExceeded(std::string msg) {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -96,6 +100,7 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <filesystem>
+
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -9,11 +11,50 @@ namespace insightnotes::core {
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (pool_ != nullptr) {
+    Status s = Checkpoint();
+    if (!s.ok()) {
+      INSIGHTNOTES_LOG(Error) << "checkpoint on shutdown failed: " << s.ToString();
+    }
+  }
+}
 
 Status Engine::Init() {
-  INSIGHTNOTES_RETURN_IF_ERROR(disk_.Open(options_.db_path));
-  pool_ = std::make_unique<storage::BufferPool>(&disk_, options_.buffer_pool_pages);
+  disk_ = options_.disk != nullptr ? options_.disk
+                                   : std::make_shared<storage::DiskManager>();
+  const bool file_backed = !options_.db_path.empty();
+  std::error_code ec;
+  const bool recover = options_.open_existing && file_backed &&
+                       std::filesystem::exists(options_.db_path, ec);
+
+  if (recover) {
+    // Audit the old page file: count pages whose checksum no longer
+    // verifies (torn writes from the crash). The page file is only a cache
+    // of annotation bodies — the WAL is the source of truth — so after the
+    // audit it is truncated and rebuilt by replay.
+    INSIGHTNOTES_RETURN_IF_ERROR(
+        disk_->Open(options_.db_path, storage::DiskOpenMode::kOpenExisting));
+    recovery_.performed = true;
+    recovery_.pages_scanned = disk_->num_pages();
+    auto page = std::make_unique<char[]>(storage::kPageSize);
+    for (storage::PageId id = 0; id < recovery_.pages_scanned; ++id) {
+      Status read = storage::RetryIo(options_.io_retry,
+                                     [&] { return disk_->ReadPage(id, page.get()); });
+      if (read.IsCorruption()) {
+        ++recovery_.corrupt_pages;
+        INSIGHTNOTES_LOG(Warning) << "recovery: " << read.ToString();
+      } else if (!read.ok()) {
+        return read;
+      }
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(disk_->Close());
+  }
+  INSIGHTNOTES_RETURN_IF_ERROR(
+      disk_->Open(options_.db_path, storage::DiskOpenMode::kTruncate));
+
+  pool_ = std::make_unique<storage::BufferPool>(disk_.get(), options_.buffer_pool_pages,
+                                                options_.io_retry);
   catalog_ = std::make_unique<rel::Catalog>(pool_.get());
   store_ = std::make_unique<ann::AnnotationStore>(pool_.get());
   manager_ = std::make_unique<SummaryManager>(store_.get());
@@ -21,8 +62,67 @@ Status Engine::Init() {
                                          options_.cache_budget_bytes,
                                          options_.cache_path, options_.rco_weights);
   INSIGHTNOTES_RETURN_IF_ERROR(cache_->Init());
+
+  if (file_backed) {
+    const std::string wal_path = options_.db_path + ".wal";
+    uint64_t keep_bytes = UINT64_MAX;
+    if (recover) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(
+          storage::WriteAheadLog::ReplayStats replayed,
+          storage::WriteAheadLog::Replay(
+              wal_path, [this](std::string_view payload) { return ApplyWalRecord(payload); }));
+      recovery_.wal_records_replayed = replayed.records;
+      recovery_.wal_bytes_truncated = replayed.truncated_bytes;
+      keep_bytes = replayed.valid_bytes;
+      if (replayed.truncated_bytes > 0) {
+        INSIGHTNOTES_LOG(Warning) << "recovery: dropped " << replayed.truncated_bytes
+                                  << " torn-tail byte(s) from '" << wal_path << "'";
+      }
+    }
+    wal_ = std::make_unique<storage::WriteAheadLog>();
+    INSIGHTNOTES_RETURN_IF_ERROR(wal_->Open(wal_path, /*truncate=*/!recover, keep_bytes));
+  }
   return Status::OK();
 }
+
+Status Engine::ApplyWalRecord(std::string_view payload) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::WalEntry entry, ann::DecodeWalEntry(payload));
+  if (const auto* add = std::get_if<ann::WalAddRecord>(&entry)) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id,
+                                  store_->Add(add->note, add->region));
+    // Ids are dense and assigned in insertion order, so replay must hand
+    // back exactly the id the original ingest logged.
+    if (id != add->expected_id) {
+      return Status::Corruption("WAL replay assigned annotation id " +
+                                std::to_string(id) + ", log expected " +
+                                std::to_string(add->expected_id));
+    }
+    return Status::OK();
+  }
+  if (const auto* attach = std::get_if<ann::WalAttachRecord>(&entry)) {
+    return store_->Attach(attach->id, attach->region);
+  }
+  return store_->Archive(std::get<ann::WalArchiveRecord>(entry).id);
+}
+
+Status Engine::LogWalEntry(const ann::WalEntry& entry) {
+  if (wal_ == nullptr) return Status::OK();
+  INSIGHTNOTES_RETURN_IF_ERROR(wal_->Append(ann::EncodeWalEntry(entry)));
+  return wal_->Sync();
+}
+
+Status Engine::Checkpoint() {
+  Status first_error = Status::OK();
+  auto keep_first = [&first_error](Status s) {
+    if (first_error.ok() && !s.ok()) first_error = std::move(s);
+  };
+  if (pool_ != nullptr) keep_first(pool_->FlushAll());
+  if (disk_ != nullptr && disk_->is_open()) keep_first(disk_->Fsync());
+  if (wal_ != nullptr && wal_->is_open()) keep_first(wal_->Sync());
+  return first_error;
+}
+
+Result<size_t> Engine::RepairStaleSummaries() { return manager_->RepairStale(); }
 
 Result<rel::Table*> Engine::CreateTable(const std::string& name, rel::Schema schema) {
   return catalog_->CreateTable(name, std::move(schema));
@@ -65,8 +165,12 @@ ann::Annotation NoteFromSpec(const AnnotateSpec& spec) {
 Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, ValidateAnnotateSpec(spec));
   ann::CellRegion region{table->id(), spec.row, spec.columns};
-  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id,
-                                store_->Add(NoteFromSpec(spec), region));
+  ann::Annotation note = NoteFromSpec(spec);
+  // Write-ahead: the record is durable before the store mutates, so a crash
+  // between the two replays the annotation instead of losing it.
+  INSIGHTNOTES_RETURN_IF_ERROR(
+      LogWalEntry(ann::WalAddRecord{store_->NumAnnotations(), note, region}));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id, store_->Add(note, region));
   INSIGHTNOTES_RETURN_IF_ERROR(manager_->OnAnnotationAttached(id, region));
   return id;
 }
@@ -88,21 +192,34 @@ Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
     INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, ValidateAnnotateSpec(spec));
     tables.push_back(table);
   }
-  // Store appends stay serial (the heap file is single-writer) and in spec
-  // order, so ids come out exactly as N Annotate() calls would assign them.
-  std::vector<ann::AnnotationId> ids;
-  ids.reserve(specs.size());
   std::vector<BatchAnnotation> batch;
   batch.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
     BatchAnnotation item;
     item.note = NoteFromSpec(specs[i]);
     item.region = ann::CellRegion{tables[i]->id(), specs[i].row, specs[i].columns};
+    batch.push_back(std::move(item));
+  }
+  // Write-ahead, one sync for the whole batch: every record is durable
+  // before the first store mutation, so a crash anywhere in the append loop
+  // replays the full batch.
+  if (wal_ != nullptr) {
+    ann::AnnotationId next_id = store_->NumAnnotations();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      INSIGHTNOTES_RETURN_IF_ERROR(wal_->Append(ann::EncodeWalEntry(
+          ann::WalAddRecord{next_id + i, batch[i].note, batch[i].region})));
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(wal_->Sync());
+  }
+  // Store appends stay serial (the heap file is single-writer) and in spec
+  // order, so ids come out exactly as N Annotate() calls would assign them.
+  std::vector<ann::AnnotationId> ids;
+  ids.reserve(specs.size());
+  for (BatchAnnotation& item : batch) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id,
                                   store_->Add(item.note, item.region));
     item.note.id = id;
     ids.push_back(id);
-    batch.push_back(std::move(item));
   }
   ThreadPool* pool =
       options.num_threads > 1 ? EnsureIngestPool(options.num_threads) : nullptr;
@@ -117,13 +234,20 @@ Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,
     return Status::NotFound("row " + std::to_string(row) + " not in table '" + table +
                             "'");
   }
+  if (id >= store_->NumAnnotations()) {
+    return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
+  }
   ann::CellRegion region{t->id(), row, std::move(columns)};
+  // Validation precedes the log append: a record the store would reject
+  // must never reach the WAL, or replay would fail on it.
+  INSIGHTNOTES_RETURN_IF_ERROR(LogWalEntry(ann::WalAttachRecord{id, region}));
   INSIGHTNOTES_RETURN_IF_ERROR(store_->Attach(id, region));
   return manager_->OnAnnotationAttached(id, region);
 }
 
 Status Engine::ArchiveAnnotation(ann::AnnotationId id) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(auto regions, store_->RegionsOf(id));
+  INSIGHTNOTES_RETURN_IF_ERROR(LogWalEntry(ann::WalArchiveRecord{id}));
   INSIGHTNOTES_RETURN_IF_ERROR(store_->Archive(id));
   // Remove the archived annotation's effect from every affected row.
   for (const ann::CellRegion& region : regions) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "annotation/annotation_store.h"
+#include "annotation/wal_records.h"
 #include "common/result.h"
 #include "core/rco_cache.h"
 #include "core/summary_manager.h"
@@ -29,6 +30,8 @@
 #include "rel/catalog.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/io_retry.h"
+#include "storage/wal.h"
 
 namespace insightnotes::core {
 
@@ -39,6 +42,24 @@ struct EngineOptions {
   size_t cache_budget_bytes = 4 << 20;
   std::string cache_path;         // "" = in-memory cache backing.
   RcoWeights rco_weights;
+  /// Reopen an existing database file instead of truncating it: Init audits
+  /// the page file's checksums, then rebuilds the store by replaying the
+  /// write-ahead log at `db_path + ".wal"` (see Engine::recovery()).
+  bool open_existing = false;
+  /// Backoff schedule the buffer pool applies to transient disk errors.
+  storage::IoRetryPolicy io_retry;
+  /// Test seam: a caller-supplied disk (e.g. a FaultInjectingDiskManager)
+  /// to use instead of a plain DiskManager. Must not be open yet.
+  std::shared_ptr<storage::DiskManager> disk;
+};
+
+/// What Init did when reopening an existing database file.
+struct RecoveryReport {
+  bool performed = false;           // False for fresh/in-memory databases.
+  uint64_t wal_records_replayed = 0;
+  uint64_t wal_bytes_truncated = 0;  // Torn WAL tail cut off before appends.
+  uint32_t pages_scanned = 0;        // Pages audited in the old page file.
+  uint32_t corrupt_pages = 0;        // Pages whose checksum failed the audit.
 };
 
 /// One emitted tuple as seen by an operator — the demo's under-the-hood log.
@@ -83,7 +104,27 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Opens the storage substrate. With `options.open_existing` and a
+  /// file-backed `db_path`, an existing database is recovered: the page
+  /// file's checksums are audited, then the raw-annotation store is rebuilt
+  /// by replaying the WAL (the page file is a rebuildable cache of
+  /// annotation bodies; the log is the source of truth). Summary instances,
+  /// links and the catalog are configuration — re-register and re-link them
+  /// after Init; Link() re-summarizes the recovered annotations.
   Status Init();
+
+  /// What recovery did during Init (all-zero unless open_existing hit an
+  /// existing file).
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  /// Flushes dirty pages, fsyncs the page file, and syncs the WAL. Called
+  /// best-effort by the destructor; call it explicitly at batch boundaries
+  /// for a durability point.
+  Status Checkpoint();
+
+  /// Rebuilds every summary row marked stale by a degraded summarizer
+  /// failure (see SummaryManager::RepairStale). Returns rows repaired.
+  Result<size_t> RepairStaleSummaries();
 
   // --- Schema & data -------------------------------------------------------
   Result<rel::Table*> CreateTable(const std::string& name, rel::Schema schema);
@@ -141,6 +182,8 @@ class Engine {
   SummaryManager* summaries() { return manager_.get(); }
   ZoomInCache* cache() { return cache_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
+  storage::DiskManager* disk() { return disk_.get(); }
+  storage::WriteAheadLog* wal() { return wal_.get(); }
 
  private:
   struct StoredQuery {
@@ -158,8 +201,17 @@ class Engine {
   /// Lazily (re)builds the ingest pool with `num_threads` workers.
   ThreadPool* EnsureIngestPool(size_t num_threads);
 
+  /// Applies one decoded WAL record to the store during recovery replay.
+  Status ApplyWalRecord(std::string_view payload);
+
+  /// Appends `entry` to the WAL and syncs it (no-op without a WAL). Must
+  /// run before the mutation it describes touches the store.
+  Status LogWalEntry(const ann::WalEntry& entry);
+
   EngineOptions options_;
-  storage::DiskManager disk_;
+  std::shared_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  RecoveryReport recovery_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<rel::Catalog> catalog_;
   std::unique_ptr<ann::AnnotationStore> store_;

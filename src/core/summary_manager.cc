@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <future>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 
 namespace insightnotes::core {
@@ -49,10 +50,12 @@ Status SummaryManager::Link(const std::string& instance_name, rel::TableId table
       return false;
     }
     SummaryObject* object = GetOrCreateObject(RowKey{table, row}, instance);
-    Status s = object->AddAnnotation(*note);
+    Status s = ApplyToObject(object, instance, *note);
     if (!s.ok() && !s.IsAlreadyExists()) {
-      status = s;
-      return false;
+      MarkStale(RowKey{table, row});
+      INSIGHTNOTES_LOG(Warning) << "summarizer '" << instance->name()
+                                << "' failed while linking table " << table
+                                << "; row " << row << " marked stale: " << s.ToString();
     }
     return true;
   });
@@ -111,11 +114,64 @@ Status SummaryManager::FoldAnnotation(const ann::Annotation& note,
   RowKey key{region.table, region.row};
   for (SummaryInstance* instance : LinkedTo(region.table)) {
     SummaryObject* object = GetOrCreateObject(key, instance);
-    Status s = object->AddAnnotation(note);
-    // Re-attachment to the same row (column-set growth) is not an error.
-    if (!s.ok() && !s.IsAlreadyExists()) return s;
+    Status s = ApplyToObject(object, instance, note);
+    // Re-attachment to the same row (column-set growth) is not an error. A
+    // genuine summarizer failure degrades to a stale mark: the annotation
+    // itself is durable, so the row can be repaired later.
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      MarkStale(key);
+      INSIGHTNOTES_LOG(Warning) << "summarizer '" << instance->name()
+                                << "' failed on annotation " << note.id << "; row ("
+                                << region.table << ", " << region.row
+                                << ") marked stale: " << s.ToString();
+    }
   }
   return Status::OK();
+}
+
+Status SummaryManager::ApplyToObject(SummaryObject* object, SummaryInstance* instance,
+                                     const ann::Annotation& note) {
+  if (fault_hook_) {
+    INSIGHTNOTES_RETURN_IF_ERROR(fault_hook_(instance->name(), note));
+  }
+  return object->AddAnnotation(note);
+}
+
+void SummaryManager::MarkStale(const RowKey& key) {
+  std::lock_guard<std::mutex> lock(stale_mutex_);
+  stale_rows_.insert(key);
+}
+
+bool SummaryManager::IsStale(rel::TableId table, rel::RowId row) const {
+  std::lock_guard<std::mutex> lock(stale_mutex_);
+  return stale_rows_.contains(RowKey{table, row});
+}
+
+std::vector<std::pair<rel::TableId, rel::RowId>> SummaryManager::StaleRows() const {
+  std::lock_guard<std::mutex> lock(stale_mutex_);
+  return {stale_rows_.begin(), stale_rows_.end()};
+}
+
+Result<size_t> SummaryManager::RepairStale() {
+  std::vector<RowKey> rows;
+  {
+    std::lock_guard<std::mutex> lock(stale_mutex_);
+    rows.assign(stale_rows_.begin(), stale_rows_.end());
+  }
+  size_t repaired = 0;
+  Status first_error = Status::OK();
+  for (const RowKey& key : rows) {
+    Status s = RebuildRow(key.first, key.second);
+    if (s.ok()) {
+      std::lock_guard<std::mutex> lock(stale_mutex_);
+      stale_rows_.erase(key);
+      ++repaired;
+    } else if (first_error.ok()) {
+      first_error = s;  // Row stays stale for the next repair attempt.
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  return repaired;
 }
 
 Status SummaryManager::ApplyAnnotationBatch(const std::vector<BatchAnnotation>& batch,
@@ -214,8 +270,17 @@ Status SummaryManager::ApplyAnnotationBatch(const std::vector<BatchAnnotation>& 
             return Status::Internal("batch ingest: object missing for instance '" +
                                     instance->name() + "'");
           }
-          Status st = object->AddAnnotation(batch[i].note);
-          if (!st.ok() && !st.IsAlreadyExists()) return st;
+          Status st = ApplyToObject(object, instance, batch[i].note);
+          if (!st.ok() && !st.IsAlreadyExists()) {
+            // Per-tuple summarizer failure degrades to a stale mark instead
+            // of failing the whole batch (MarkStale is mutex-guarded).
+            MarkStale(RowKey{batch[i].region.table, batch[i].region.row});
+            INSIGHTNOTES_LOG(Warning)
+                << "summarizer '" << instance->name() << "' failed on annotation "
+                << batch[i].note.id << " during batch ingest; row ("
+                << batch[i].region.table << ", " << batch[i].region.row
+                << ") marked stale: " << st.ToString();
+          }
         }
       }
       return Status::OK();
@@ -237,7 +302,9 @@ Status SummaryManager::RebuildRow(rel::TableId table, rel::RowId row) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(ann::Annotation note, store_->Get(att.annotation));
     for (SummaryInstance* instance : LinkedTo(table)) {
       SummaryObject* object = GetOrCreateObject(key, instance);
-      Status s = object->AddAnnotation(note);
+      // Rebuild propagates summarizer errors (no degradation): RepairStale
+      // relies on it to tell a repaired row from one that is still failing.
+      Status s = ApplyToObject(object, instance, note);
       if (!s.ok() && !s.IsAlreadyExists()) return s;
     }
   }

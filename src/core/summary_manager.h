@@ -5,10 +5,14 @@
 #ifndef INSIGHTNOTES_CORE_SUMMARY_MANAGER_H_
 #define INSIGHTNOTES_CORE_SUMMARY_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "annotation/annotation_store.h"
@@ -91,6 +95,30 @@ class SummaryManager {
 
   uint64_t NumMaintainedRows() const { return objects_.size(); }
 
+  // --- Graceful degradation -------------------------------------------------
+  /// When a summarizer fails on one annotation, the affected row's summary
+  /// objects are marked stale and ingest continues; the raw annotation is
+  /// already durable, so the summaries can be recomputed later. Stale rows
+  /// still answer queries (with the last successfully folded state).
+
+  /// True if the row's summary objects missed at least one annotation.
+  bool IsStale(rel::TableId table, rel::RowId row) const;
+
+  /// All currently stale rows, in (table, row) order.
+  std::vector<std::pair<rel::TableId, rel::RowId>> StaleRows() const;
+
+  /// Recomputes every stale row from the annotation store and clears its
+  /// stale mark. Returns how many rows were repaired; a row whose rebuild
+  /// fails again stays stale and the first error is returned.
+  Result<size_t> RepairStale();
+
+  /// Deterministic failure injection for tests: invoked before each
+  /// summarizer fold with the instance name and the annotation; a non-OK
+  /// return is treated as a summarizer failure for that fold.
+  using SummarizerFaultHook =
+      std::function<Status(const std::string& instance_name, const ann::Annotation& note)>;
+  void SetSummarizerFaultHook(SummarizerFaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   using RowKey = std::pair<rel::TableId, rel::RowId>;
 
@@ -99,14 +127,25 @@ class SummaryManager {
 
   /// Folds one materialized annotation into `row`'s objects for every
   /// linked instance (the shared core of OnAnnotationAttached and the batch
-  /// path).
+  /// path). Summarizer failures degrade to a stale mark, not an error.
   Status FoldAnnotation(const ann::Annotation& note, const ann::CellRegion& region);
+
+  /// One summarizer fold: fault hook (if set), then AddAnnotation.
+  Status ApplyToObject(SummaryObject* object, SummaryInstance* instance,
+                       const ann::Annotation& note);
+
+  void MarkStale(const RowKey& key);
 
   ann::AnnotationStore* store_;
   std::map<std::string, std::unique_ptr<SummaryInstance>> instances_;
   std::map<rel::TableId, std::vector<SummaryInstance*>> links_;
   // Maintained per-row summary objects, one per linked instance.
   std::map<RowKey, std::vector<std::unique_ptr<SummaryObject>>> objects_;
+  // Rows whose objects missed a fold. Guarded by a mutex because phase-4
+  // batch shards mark rows stale concurrently.
+  mutable std::mutex stale_mutex_;
+  std::set<RowKey> stale_rows_;
+  SummarizerFaultHook fault_hook_;
 };
 
 }  // namespace insightnotes::core

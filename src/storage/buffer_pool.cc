@@ -37,8 +37,8 @@ void PageGuard::Release() {
   dirty_ = false;
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity)
-    : disk_(disk), capacity_(capacity) {
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, IoRetryPolicy retry)
+    : disk_(disk), capacity_(capacity), retry_(std::move(retry)) {
   frames_.resize(capacity_);
   for (Frame& f : frames_) {
     f.data = std::make_unique<char[]>(kPageSize);
@@ -63,7 +63,13 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
 }
 
 Result<PageGuard> BufferPool::NewPage() {
-  INSIGHTNOTES_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  PageId id = kInvalidPageId;
+  INSIGHTNOTES_RETURN_IF_ERROR(RetryIo(retry_, [&]() -> Status {
+    Result<PageId> allocated = disk_->AllocatePage();
+    if (!allocated.ok()) return allocated.status();
+    id = *allocated;
+    return Status::OK();
+  }));
   INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, GetFrameFor(id, /*read_from_disk=*/false));
   Frame& frame = frames_[index];
   std::memset(frame.data.get(), 0, kPageSize);
@@ -74,13 +80,19 @@ Result<PageGuard> BufferPool::NewPage() {
 }
 
 Status BufferPool::FlushAll() {
+  Status first_error = Status::OK();
   for (Frame& frame : frames_) {
     if (frame.page_id != kInvalidPageId && frame.dirty) {
-      INSIGHTNOTES_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.get()));
-      frame.dirty = false;
+      Status written = RetryIo(
+          retry_, [&] { return disk_->WritePage(frame.page_id, frame.data.get()); });
+      if (written.ok()) {
+        frame.dirty = false;
+      } else if (first_error.ok()) {
+        first_error = written;  // Frame stays dirty for a later retry.
+      }
     }
   }
-  return Status::OK();
+  return first_error;
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
@@ -122,7 +134,8 @@ Result<size_t> BufferPool::GetFrameFor(PageId id, bool read_from_disk) {
     }
     Frame& evicted = frames_[victim];
     if (evicted.dirty) {
-      INSIGHTNOTES_RETURN_IF_ERROR(disk_->WritePage(evicted.page_id, evicted.data.get()));
+      INSIGHTNOTES_RETURN_IF_ERROR(RetryIo(
+          retry_, [&] { return disk_->WritePage(evicted.page_id, evicted.data.get()); }));
     }
     page_table_.erase(evicted.page_id);
     lru_.erase(lru_pos_[victim]);
@@ -133,12 +146,18 @@ Result<size_t> BufferPool::GetFrameFor(PageId id, bool read_from_disk) {
   }
 
   Frame& frame = frames_[index];
-  frame.page_id = id;
   frame.pin_count = 0;
   frame.dirty = false;
   if (read_from_disk) {
-    INSIGHTNOTES_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));
+    Status read = RetryIo(retry_, [&] { return disk_->ReadPage(id, frame.data.get()); });
+    if (!read.ok()) {
+      // Leave the frame free (not claimed for `id`) so a failed read does
+      // not leak it out of the pool.
+      frame.page_id = kInvalidPageId;
+      return read;
+    }
   }
+  frame.page_id = id;
   page_table_[id] = index;
   return index;
 }

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "storage/disk_manager.h"
+#include "storage/io_retry.h"
 
 namespace insightnotes::storage {
 
@@ -57,7 +58,8 @@ class PageGuard {
 class BufferPool {
  public:
   /// `capacity` is the number of frames. The pool does not own `disk`.
-  BufferPool(DiskManager* disk, size_t capacity);
+  /// `retry` governs transient-IoError retries around every disk access.
+  BufferPool(DiskManager* disk, size_t capacity, IoRetryPolicy retry = {});
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -68,7 +70,9 @@ class BufferPool {
   /// Allocates a fresh page on disk and pins it (zero-filled).
   Result<PageGuard> NewPage();
 
-  /// Writes back all dirty frames.
+  /// Writes back all dirty frames. A failed write does not stop the sweep:
+  /// remaining dirty frames are still flushed, the failed frames stay dirty
+  /// for a later retry, and the first error is returned.
   Status FlushAll();
 
   size_t capacity() const { return capacity_; }
@@ -94,6 +98,7 @@ class BufferPool {
 
   DiskManager* disk_;
   size_t capacity_;
+  IoRetryPolicy retry_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   // Front = most recently used. Holds frame indices of resident pages.

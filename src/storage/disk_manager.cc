@@ -1,12 +1,36 @@
 #include "storage/disk_manager.h"
 
+#include <cerrno>
 #include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "common/hash.h"
+#include "common/logging.h"
 
 namespace insightnotes::storage {
 
-DiskManager::~DiskManager() { Close().ok(); }
+namespace {
 
-Status DiskManager::Open(const std::string& path) {
+/// Size of the file behind `file`, or -1. Leaves the position at the end.
+long FileSize(std::FILE* file) {
+  if (std::fseek(file, 0, SEEK_END) != 0) return -1;
+  return std::ftell(file);
+}
+
+}  // namespace
+
+DiskManager::~DiskManager() {
+  Status s = Close();
+  if (!s.ok()) {
+    INSIGHTNOTES_LOG(Error) << "DiskManager::Close failed in destructor: "
+                            << s.ToString();
+  }
+}
+
+Status DiskManager::Open(const std::string& path, DiskOpenMode mode) {
   if (is_open()) return Status::Internal("DiskManager already open");
   path_ = path;
   if (path.empty()) {
@@ -14,9 +38,24 @@ Status DiskManager::Open(const std::string& path) {
     num_pages_ = 0;
     return Status::OK();
   }
-  // "wb+" truncates: each DiskManager instance owns a fresh file. Reopening
-  // existing databases is out of scope for this engine (annotation stores
-  // are rebuilt from the workload generators).
+  if (mode == DiskOpenMode::kOpenExisting) {
+    // "rb+" keeps existing pages; fall through to creation when the file
+    // does not exist yet.
+    file_ = std::fopen(path.c_str(), "rb+");
+    if (file_ != nullptr) {
+      long size = FileSize(file_);
+      if (size < 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return Status::IoError("cannot size database file '" + path + "'");
+      }
+      // Round up: a torn trailing partial page still occupies an id (its
+      // read reports Corruption, which recovery counts).
+      num_pages_ = static_cast<uint32_t>((static_cast<size_t>(size) + kPageSize - 1) /
+                                         kPageSize);
+      return Status::OK();
+    }
+  }
   file_ = std::fopen(path.c_str(), "wb+");
   if (file_ == nullptr) {
     return Status::IoError("cannot open database file '" + path + "'");
@@ -26,12 +65,34 @@ Status DiskManager::Open(const std::string& path) {
 }
 
 Status DiskManager::Close() {
+  Status result = Status::OK();
   if (file_ != nullptr) {
-    std::fclose(file_);
+    if (std::fflush(file_) != 0) {
+      result = Status::IoError("flush on close failed for '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+    if (std::fclose(file_) != 0 && result.ok()) {
+      result = Status::IoError("close failed for '" + path_ +
+                               "': " + std::strerror(errno));
+    }
     file_ = nullptr;
   }
   in_memory_ = false;
   memory_.clear();
+  return result;
+}
+
+Status DiskManager::Fsync() {
+  if (!is_open()) return Status::Internal("DiskManager not open");
+  if (in_memory_) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("fflush failed for '" + path_ + "': " + std::strerror(errno));
+  }
+#if !defined(_WIN32)
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IoError("fsync failed for '" + path_ + "': " + std::strerror(errno));
+  }
+#endif
   return Status::OK();
 }
 
@@ -40,8 +101,37 @@ Result<PageId> DiskManager::AllocatePage() {
   PageId id = num_pages_++;
   char zeros[kPageSize];
   std::memset(zeros, 0, kPageSize);
-  INSIGHTNOTES_RETURN_IF_ERROR(WritePage(id, zeros));
+  Status written = WritePage(id, zeros);
+  if (!written.ok()) {
+    // Roll back so the failed id is not left permanently unreadable; the
+    // next allocation retries the same id.
+    num_pages_ = id;
+    return written;
+  }
   return id;
+}
+
+void DiskManager::StampChecksum(const char* data, char* out) {
+  std::memcpy(out, data, kPageSize);
+  uint32_t crc = Crc32(data + kPageDataOffset, kPageSize - kPageDataOffset);
+  std::memcpy(out, &crc, sizeof(crc));
+}
+
+Status DiskManager::WriteRaw(PageId id, const char* data, size_t len) {
+  if (in_memory_) {
+    size_t needed = static_cast<size_t>(id + 1) * kPageSize;
+    if (memory_.size() < needed) memory_.resize(needed, '\0');
+    std::memcpy(memory_.data() + static_cast<size_t>(id) * kPageSize, data, len);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed for page " + std::to_string(id));
+  }
+  if (std::fwrite(data, 1, len, file_) != len) {
+    return Status::IoError("short write for page " + std::to_string(id));
+  }
+  return Status::OK();
 }
 
 Status DiskManager::ReadPage(PageId id, char* out) {
@@ -51,14 +141,28 @@ Status DiskManager::ReadPage(PageId id, char* out) {
   }
   ++num_reads_;
   if (in_memory_) {
-    std::memcpy(out, memory_.data() + static_cast<size_t>(id) * kPageSize, kPageSize);
-    return Status::OK();
+    size_t offset = static_cast<size_t>(id) * kPageSize;
+    if (memory_.size() < offset + kPageSize) {
+      return Status::Corruption("short read for page " + std::to_string(id));
+    }
+    std::memcpy(out, memory_.data() + offset, kPageSize);
+  } else {
+    if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize),
+                   SEEK_SET) != 0) {
+      return Status::IoError("seek failed for page " + std::to_string(id));
+    }
+    // A short read means the page was never fully written (torn tail); the
+    // page file's length is otherwise always a multiple of kPageSize.
+    if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
+      return Status::Corruption("short read for page " + std::to_string(id));
+    }
   }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize), SEEK_SET) != 0) {
-    return Status::IoError("seek failed for page " + std::to_string(id));
-  }
-  if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
-    return Status::IoError("short read for page " + std::to_string(id));
+  uint32_t stored;
+  std::memcpy(&stored, out, sizeof(stored));
+  uint32_t computed = Crc32(out + kPageDataOffset, kPageSize - kPageDataOffset);
+  if (stored != computed) {
+    return Status::Corruption("checksum mismatch on page " + std::to_string(id) +
+                              " (torn or corrupted write)");
   }
   return Status::OK();
 }
@@ -69,19 +173,9 @@ Status DiskManager::WritePage(PageId id, const char* data) {
     return Status::OutOfRange("write of unallocated page " + std::to_string(id));
   }
   ++num_writes_;
-  if (in_memory_) {
-    size_t needed = static_cast<size_t>(id + 1) * kPageSize;
-    if (memory_.size() < needed) memory_.resize(needed, '\0');
-    std::memcpy(memory_.data() + static_cast<size_t>(id) * kPageSize, data, kPageSize);
-    return Status::OK();
-  }
-  if (std::fseek(file_, static_cast<long>(id) * static_cast<long>(kPageSize), SEEK_SET) != 0) {
-    return Status::IoError("seek failed for page " + std::to_string(id));
-  }
-  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
-    return Status::IoError("short write for page " + std::to_string(id));
-  }
-  return Status::OK();
+  char stamped[kPageSize];
+  StampChecksum(data, stamped);
+  return WriteRaw(id, stamped, kPageSize);
 }
 
 }  // namespace insightnotes::storage

@@ -2,6 +2,13 @@
 // fixed-size (see kPageSize) and identified by dense PageIds. This is the
 // bottom layer under the buffer pool; nothing above it touches the file
 // directly.
+//
+// Every page image reserves its first kPageDataOffset bytes for a CRC32
+// checksum word owned by this layer: WritePage stamps it over bytes
+// [kPageDataOffset, kPageSize) before the bytes hit the file, and ReadPage
+// verifies it, surfacing torn or bit-rotted pages as Status::Corruption
+// instead of silent garbage. Page formats above (SlottedPage, overflow
+// pages) start their own headers at kPageDataOffset.
 
 #ifndef INSIGHTNOTES_STORAGE_DISK_MANAGER_H_
 #define INSIGHTNOTES_STORAGE_DISK_MANAGER_H_
@@ -19,31 +26,55 @@ using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
 inline constexpr size_t kPageSize = 4096;
 
+/// Bytes at the head of every page reserved for the disk layer's CRC32
+/// checksum word. Page formats must not store data below this offset.
+inline constexpr size_t kPageDataOffset = sizeof(uint32_t);
+
+/// How Open treats an existing file at the target path.
+enum class DiskOpenMode {
+  /// Truncate: the DiskManager owns a fresh, empty database file.
+  kTruncate,
+  /// Keep existing contents; num_pages() is derived from the file size
+  /// (a trailing partial page counts as one — it reads as Corruption).
+  /// Creates the file when it does not exist.
+  kOpenExisting,
+};
+
 /// Owns the database file. Not thread-safe (one engine instance per file).
+/// The page I/O surface is virtual so tests can interpose a fault-injecting
+/// subclass underneath the buffer pool (see storage/fault_injection.h).
 class DiskManager {
  public:
   DiskManager() = default;
-  ~DiskManager();
+  virtual ~DiskManager();
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// Opens (creating if needed) the file at `path`. An empty `path` selects
-  /// a purely in-memory mode where pages live in an anonymous buffer —
-  /// convenient for tests and benches that don't care about persistence.
-  Status Open(const std::string& path);
+  /// Opens the file at `path`. An empty `path` selects a purely in-memory
+  /// mode where pages live in an anonymous buffer — convenient for tests
+  /// and benches that don't care about persistence.
+  Status Open(const std::string& path, DiskOpenMode mode = DiskOpenMode::kTruncate);
 
-  /// Flushes and closes. Safe to call twice.
+  /// Flushes buffered writes and closes. Flush/close failures propagate as
+  /// IoError. Safe to call twice.
   Status Close();
 
-  /// Appends a zeroed page and returns its id.
-  Result<PageId> AllocatePage();
+  /// Appends a zeroed page and returns its id. A failed zero-fill write
+  /// rolls the allocation back, so the page id can be re-allocated later.
+  virtual Result<PageId> AllocatePage();
 
-  /// Reads page `id` into `out` (must have kPageSize bytes).
-  Status ReadPage(PageId id, char* out);
+  /// Reads page `id` into `out` (must have kPageSize bytes) and verifies
+  /// its checksum; a mismatch or short read returns Status::Corruption.
+  virtual Status ReadPage(PageId id, char* out);
 
-  /// Writes kPageSize bytes from `data` to page `id`.
-  Status WritePage(PageId id, const char* data);
+  /// Stamps the checksum word and writes kPageSize bytes from `data` to
+  /// page `id`. The caller's buffer is not modified.
+  virtual Status WritePage(PageId id, const char* data);
+
+  /// Forces buffered writes to stable storage (fflush + fsync). No-op in
+  /// in-memory mode.
+  virtual Status Fsync();
 
   /// Number of pages allocated so far.
   uint32_t num_pages() const { return num_pages_; }
@@ -53,6 +84,16 @@ class DiskManager {
   uint64_t num_writes() const { return num_writes_; }
 
   bool is_open() const { return file_ != nullptr || in_memory_; }
+  const std::string& path() const { return path_; }
+
+ protected:
+  /// Copies `data` into `out` (both kPageSize) with the checksum word
+  /// recomputed over bytes [kPageDataOffset, kPageSize).
+  static void StampChecksum(const char* data, char* out);
+
+  /// Writes `len` raw bytes at page `id`'s offset with no checksum
+  /// handling. Fault-injecting subclasses use short `len` for torn writes.
+  Status WriteRaw(PageId id, const char* data, size_t len);
 
  private:
   std::string path_;

@@ -1,0 +1,93 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <string>
+
+namespace insightnotes::storage {
+
+namespace {
+
+bool OpMatches(IoOpKind scripted, IoOpKind actual) {
+  return scripted == IoOpKind::kAny || scripted == actual;
+}
+
+}  // namespace
+
+void FaultInjectingDiskManager::FailOnceAt(IoOpKind kind, uint64_t at) {
+  faults_.push_back({ScriptedFault::Kind::kTransient, kind, at, 0});
+}
+
+void FaultInjectingDiskManager::TearWriteAt(uint64_t at, size_t keep_bytes) {
+  faults_.push_back(
+      {ScriptedFault::Kind::kTorn, IoOpKind::kWrite, at, std::min(keep_bytes, kPageSize)});
+}
+
+void FaultInjectingDiskManager::CrashAtOp(uint64_t at) { crash_at_ = at; }
+
+void FaultInjectingDiskManager::Reset() {
+  faults_.clear();
+  crash_at_ = UINT64_MAX;
+  crashed_ = false;
+}
+
+const FaultInjectingDiskManager::ScriptedFault* FaultInjectingDiskManager::Match(
+    IoOpKind op, uint64_t index) {
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    if (it->at == index && OpMatches(it->op, op)) {
+      matched_ = *it;
+      faults_.erase(it);
+      return &matched_;
+    }
+  }
+  return nullptr;
+}
+
+Status FaultInjectingDiskManager::ReadPage(PageId id, char* out) {
+  uint64_t index = op_count_++;
+  if (index >= crash_at_) {
+    crashed_ = true;
+    ++faults_injected_;
+    return Status::IoError("simulated crash at op " + std::to_string(index));
+  }
+  if (const ScriptedFault* fault = Match(IoOpKind::kRead, index); fault != nullptr) {
+    ++faults_injected_;
+    return Status::IoError("injected transient read error at op " +
+                           std::to_string(index));
+  }
+  return DiskManager::ReadPage(id, out);
+}
+
+Status FaultInjectingDiskManager::WritePage(PageId id, const char* data) {
+  uint64_t index = op_count_++;
+  if (index >= crash_at_) {
+    crashed_ = true;
+    ++faults_injected_;
+    return Status::IoError("simulated crash at op " + std::to_string(index));
+  }
+  if (const ScriptedFault* fault = Match(IoOpKind::kWrite, index); fault != nullptr) {
+    ++faults_injected_;
+    if (fault->kind == ScriptedFault::Kind::kTorn) {
+      // Persist a prefix of the correctly-stamped image: the stored
+      // checksum covers bytes the tear never wrote, so the page reads back
+      // as Corruption.
+      char stamped[kPageSize];
+      StampChecksum(data, stamped);
+      WriteRaw(id, stamped, fault->keep_bytes).ok();  // Best effort, like a torn device.
+      return Status::IoError("injected torn write at op " + std::to_string(index));
+    }
+    return Status::IoError("injected transient write error at op " +
+                           std::to_string(index));
+  }
+  return DiskManager::WritePage(id, data);
+}
+
+Status FaultInjectingDiskManager::Fsync() {
+  if (crashed_ || op_count_ >= crash_at_) {
+    crashed_ = true;
+    ++faults_injected_;
+    return Status::IoError("simulated crash during fsync");
+  }
+  return DiskManager::Fsync();
+}
+
+}  // namespace insightnotes::storage

@@ -1,0 +1,87 @@
+// FaultInjectingDiskManager: the storage half of the fault-injection
+// harness. Tests interpose it under the buffer pool (EngineOptions::disk or
+// a direct BufferPool) and script faults against a global operation counter
+// that every ReadPage/WritePage call advances:
+//
+//   - transient EIO: the matching k-th operation fails once with IoError,
+//     then I/O proceeds normally (exercises retry-with-backoff paths);
+//   - torn write: the k-th write persists only a prefix of the page and
+//     fails, leaving a page whose checksum no longer matches (a partial
+//     page write at power-off);
+//   - crash: every operation at or after index k fails — the process "died"
+//     at that point; reopen the path with a fresh DiskManager to recover.
+//
+// Scheduling is deterministic: operation indices are assigned in call
+// order, so a scripted fault fires at exactly the same point on every run.
+
+#ifndef INSIGHTNOTES_STORAGE_FAULT_INJECTION_H_
+#define INSIGHTNOTES_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/disk_manager.h"
+
+namespace insightnotes::storage {
+
+/// Which operations a scripted fault applies to.
+enum class IoOpKind { kRead, kWrite, kAny };
+
+class FaultInjectingDiskManager final : public DiskManager {
+ public:
+  FaultInjectingDiskManager() = default;
+
+  /// The operation matching `kind` at global index `at` fails once with
+  /// IoError (transient: a retry of the same logical I/O succeeds).
+  void FailOnceAt(IoOpKind kind, uint64_t at);
+
+  /// The write at global index `at` persists only the first `keep_bytes`
+  /// bytes of the (checksummed) page image and fails with IoError. The
+  /// page is left torn on disk: a later read reports Corruption unless a
+  /// full write overwrites it first.
+  void TearWriteAt(uint64_t at, size_t keep_bytes = kPageSize / 2);
+
+  /// Every operation at or after global index `at` fails with IoError
+  /// ("simulated crash"), including Fsync. Irreversible until Reset.
+  void CrashAtOp(uint64_t at);
+
+  /// Clears the fault script and the crash state (counters keep running).
+  void Reset();
+
+  /// Operations (reads + writes) observed so far.
+  uint64_t op_count() const { return op_count_; }
+
+  /// True once a scheduled crash point has been reached.
+  bool crashed() const { return crashed_; }
+
+  /// Faults injected so far (transient + torn + crash-refused operations).
+  uint64_t faults_injected() const { return faults_injected_; }
+
+  Result<PageId> AllocatePage() override { return DiskManager::AllocatePage(); }
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  Status Fsync() override;
+
+ private:
+  struct ScriptedFault {
+    enum class Kind { kTransient, kTorn } kind;
+    IoOpKind op;
+    uint64_t at;
+    size_t keep_bytes;
+  };
+
+  /// Consumes and returns the scripted fault matching (`op`, `index`), if
+  /// any. Crash cut-offs are handled separately.
+  const ScriptedFault* Match(IoOpKind op, uint64_t index);
+
+  std::vector<ScriptedFault> faults_;
+  ScriptedFault matched_;  // Storage for the consumed fault Match returns.
+  uint64_t crash_at_ = UINT64_MAX;
+  uint64_t op_count_ = 0;
+  uint64_t faults_injected_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace insightnotes::storage
+
+#endif  // INSIGHTNOTES_STORAGE_FAULT_INJECTION_H_

@@ -45,7 +45,7 @@ Result<RecordId> HeapFile::AppendOverflow(std::string_view record) {
     size_t begin = chunk * kOverflowPayload;
     size_t len = std::min(kOverflowPayload, record.size() - begin);
     INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
-    char* data = guard.MutableData();
+    char* data = guard.MutableData() + kPageDataOffset;
     OverflowHeader header{next, static_cast<uint32_t>(len)};
     std::memcpy(data, &header, sizeof(header));
     std::memcpy(data + sizeof(header), record.data() + begin, len);
@@ -70,6 +70,10 @@ Result<std::string> HeapFile::Get(const RecordId& rid) const {
 }
 
 Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
+  if (stub.size() < 1 + sizeof(uint32_t) + sizeof(PageId)) {
+    return Status::Corruption("overflow stub truncated to " +
+                              std::to_string(stub.size()) + " bytes");
+  }
   uint32_t total;
   PageId first;
   std::memcpy(&total, stub.data() + 1, sizeof(total));
@@ -80,8 +84,16 @@ Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
   while (current != kInvalidPageId && out.size() < total) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(current));
     OverflowHeader header;
-    std::memcpy(&header, guard.data(), sizeof(header));
-    out.append(guard.data() + sizeof(header), header.length);
+    std::memcpy(&header, guard.data() + kPageDataOffset, sizeof(header));
+    // A corrupted chain page must not drive an OOB append or a loop that
+    // never grows `out`.
+    if (header.length == 0 || header.length > kOverflowPayload) {
+      return Status::Corruption("overflow page " + std::to_string(current) +
+                                " claims " + std::to_string(header.length) +
+                                " payload bytes (max " +
+                                std::to_string(kOverflowPayload) + ")");
+    }
+    out.append(guard.data() + kPageDataOffset + sizeof(header), header.length);
     current = header.next;
   }
   if (out.size() != total) {

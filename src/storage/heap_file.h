@@ -65,7 +65,9 @@ class HeapFile {
     PageId next;
     uint32_t length;  // Payload bytes in this page.
   };
-  static constexpr size_t kOverflowPayload = kPageSize - sizeof(OverflowHeader);
+  // Overflow pages reserve the disk layer's checksum word like every page.
+  static constexpr size_t kOverflowPayload =
+      kPageSize - kPageDataOffset - sizeof(OverflowHeader);
 
   Result<RecordId> AppendInline(std::string_view record);
   Result<RecordId> AppendOverflow(std::string_view record);

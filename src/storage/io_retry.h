@@ -1,0 +1,53 @@
+// Retry-with-backoff for transient page I/O errors (graceful degradation
+// under flaky devices). Only IoError is considered transient: Corruption,
+// OutOfRange and Internal statuses reflect state that a retry cannot fix
+// and propagate immediately.
+
+#ifndef INSIGHTNOTES_STORAGE_IO_RETRY_H_
+#define INSIGHTNOTES_STORAGE_IO_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/status.h"
+
+namespace insightnotes::storage {
+
+struct IoRetryPolicy {
+  /// Total attempts (1 = no retry). The default absorbs short transient
+  /// error bursts without masking persistent failures.
+  int max_attempts = 4;
+  /// Backoff before attempt n+1 is initial * 2^(n-1), capped at `max`.
+  int64_t initial_backoff_nanos = 1'000'000;    // 1 ms
+  int64_t max_backoff_nanos = 100'000'000;      // 100 ms cap
+  /// Sleep hook; tests inject a recorder for deterministic backoff
+  /// verification. Null = really sleep.
+  std::function<void(int64_t nanos)> sleep;
+};
+
+/// Runs `io` up to policy.max_attempts times, backing off between attempts,
+/// while it returns IoError. Returns the first non-IoError status (OK or a
+/// non-transient failure) or the final IoError.
+template <typename Fn>
+Status RetryIo(const IoRetryPolicy& policy, Fn&& io) {
+  int64_t backoff = policy.initial_backoff_nanos;
+  int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    status = io();
+    if (!status.IsIoError() || attempt >= attempts) return status;
+    if (policy.sleep) {
+      policy.sleep(backoff);
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    }
+    backoff = std::min(backoff * 2, policy.max_backoff_nanos);
+  }
+}
+
+}  // namespace insightnotes::storage
+
+#endif  // INSIGHTNOTES_STORAGE_IO_RETRY_H_

@@ -10,7 +10,29 @@ void SlottedPage::Initialize() {
 
 uint16_t SlottedPage::NumSlots() const { return header()->num_slots; }
 
+size_t SlottedPage::DirectoryEnd() const {
+  size_t end = kLayoutStart + sizeof(Header) +
+               sizeof(Slot) * static_cast<size_t>(header()->num_slots);
+  return end <= kPageSize ? end : 0;
+}
+
+Status SlottedPage::ValidateHeader() const {
+  size_t directory_end = DirectoryEnd();
+  if (directory_end == 0) {
+    return Status::Corruption("slot directory does not fit in page (count " +
+                              std::to_string(header()->num_slots) + ")");
+  }
+  size_t free_ptr = header()->free_ptr;
+  if (free_ptr > kPageSize || free_ptr < directory_end) {
+    return Status::Corruption("free-space pointer " + std::to_string(free_ptr) +
+                              " outside [" + std::to_string(directory_end) + ", " +
+                              std::to_string(kPageSize) + "]");
+  }
+  return Status::OK();
+}
+
 uint16_t SlottedPage::NumRecords() const {
+  if (DirectoryEnd() == 0) return 0;
   uint16_t live = 0;
   const Slot* slots = slot_array();
   for (uint16_t i = 0; i < header()->num_slots; ++i) {
@@ -20,9 +42,10 @@ uint16_t SlottedPage::NumRecords() const {
 }
 
 size_t SlottedPage::FreeSpace() const {
-  size_t directory_end = sizeof(Header) + sizeof(Slot) * header()->num_slots;
+  size_t directory_end = DirectoryEnd();
+  if (directory_end == 0) return 0;
   size_t free_ptr = header()->free_ptr;
-  if (free_ptr < directory_end) return 0;
+  if (free_ptr > kPageSize || free_ptr < directory_end) return 0;
   return free_ptr - directory_end;
 }
 
@@ -34,6 +57,7 @@ Result<SlotId> SlottedPage::Insert(std::string_view record) {
   if (record.size() > kPageSize) {
     return Status::InvalidArgument("record larger than a page");
   }
+  INSIGHTNOTES_RETURN_IF_ERROR(ValidateHeader());
   if (!HasRoomFor(record.size())) {
     return Status::CapacityExceeded("page full");
   }
@@ -47,6 +71,7 @@ Result<SlotId> SlottedPage::Insert(std::string_view record) {
 }
 
 Result<std::string_view> SlottedPage::Get(SlotId slot) const {
+  INSIGHTNOTES_RETURN_IF_ERROR(ValidateHeader());
   if (slot >= header()->num_slots) {
     return Status::NotFound("slot " + std::to_string(slot) + " out of range");
   }
@@ -54,10 +79,20 @@ Result<std::string_view> SlottedPage::Get(SlotId slot) const {
   if (s.offset == kTombstone) {
     return Status::NotFound("slot " + std::to_string(slot) + " deleted");
   }
-  return std::string_view(data_ + s.offset, s.length);
+  // Records live in [free_ptr, kPageSize); size_t math cannot overflow for
+  // two uint16_t values.
+  size_t begin = s.offset;
+  size_t end = begin + s.length;
+  if (begin < header()->free_ptr || end > kPageSize) {
+    return Status::Corruption("slot " + std::to_string(slot) + " points at [" +
+                              std::to_string(begin) + ", " + std::to_string(end) +
+                              ") outside the record area");
+  }
+  return std::string_view(data_ + begin, s.length);
 }
 
 Status SlottedPage::Delete(SlotId slot) {
+  INSIGHTNOTES_RETURN_IF_ERROR(ValidateHeader());
   if (slot >= header()->num_slots) {
     return Status::NotFound("slot " + std::to_string(slot) + " out of range");
   }

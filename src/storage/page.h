@@ -1,10 +1,17 @@
 // SlottedPage: classic variable-length-record page layout.
 //
-//   [ header | slot directory -> ...grows right | free | ...records grow left ]
+//   [ checksum | header | slot directory -> ...grows right | free | ...records grow left ]
 //
+// The leading checksum word (kPageDataOffset bytes) belongs to the disk
+// layer (see storage/disk_manager.h); the slotted layout starts after it.
 // Header: {record count, free-space pointer}. Each slot holds {offset, len};
 // a deleted record leaves a tombstone slot (offset = kTombstone) so slot ids
 // stay stable, which lets RecordIds (page_id, slot) be permanent handles.
+//
+// Readers never trust the buffer: a page that arrives corrupted (bad slot
+// offsets, lengths crossing the free-space pointer, an impossible slot
+// directory) yields Status::Corruption from the accessors rather than
+// out-of-bounds access.
 
 #ifndef INSIGHTNOTES_STORAGE_PAGE_H_
 #define INSIGHTNOTES_STORAGE_PAGE_H_
@@ -34,21 +41,23 @@ class SlottedPage {
   /// Number of slots (including tombstones).
   uint16_t NumSlots() const;
 
-  /// Live (non-tombstone) record count.
+  /// Live (non-tombstone) record count. Corrupt directories count 0.
   uint16_t NumRecords() const;
 
   /// Bytes available for a new record (accounting for its slot entry).
+  /// A corrupt header yields 0, so inserts fail cleanly.
   size_t FreeSpace() const;
 
   /// True if a record of `len` bytes fits.
   bool HasRoomFor(size_t len) const;
 
-  /// Inserts a record, returning its slot. Fails with CapacityExceeded if it
-  /// does not fit.
+  /// Inserts a record, returning its slot. Fails with CapacityExceeded if
+  /// it does not fit, or Corruption if the header is malformed.
   Result<SlotId> Insert(std::string_view record);
 
   /// Returns the record bytes at `slot`, or NotFound for tombstones /
-  /// out-of-range slots. The view is valid until the page is modified.
+  /// out-of-range slots, or Corruption if the slot entry points outside
+  /// the record area. The view is valid until the page is modified.
   Result<std::string_view> Get(SlotId slot) const;
 
   /// Tombstones `slot`. Space is not reclaimed (no compaction); the heap
@@ -65,12 +74,24 @@ class SlottedPage {
     uint16_t length;
   };
   static constexpr uint16_t kTombstone = 0xFFFF;
+  static constexpr size_t kLayoutStart = kPageDataOffset;
 
-  Header* header() { return reinterpret_cast<Header*>(data_); }
-  const Header* header() const { return reinterpret_cast<const Header*>(data_); }
-  Slot* slot_array() { return reinterpret_cast<Slot*>(data_ + sizeof(Header)); }
+  /// End of the slot directory for the header's current slot count, or 0
+  /// if the directory cannot fit in the page (corrupt count).
+  size_t DirectoryEnd() const;
+
+  /// Non-OK if the header's slot count or free pointer are impossible.
+  Status ValidateHeader() const;
+
+  Header* header() { return reinterpret_cast<Header*>(data_ + kLayoutStart); }
+  const Header* header() const {
+    return reinterpret_cast<const Header*>(data_ + kLayoutStart);
+  }
+  Slot* slot_array() {
+    return reinterpret_cast<Slot*>(data_ + kLayoutStart + sizeof(Header));
+  }
   const Slot* slot_array() const {
-    return reinterpret_cast<const Slot*>(data_ + sizeof(Header));
+    return reinterpret_cast<const Slot*>(data_ + kLayoutStart + sizeof(Header));
   }
 
   char* data_;

@@ -1,0 +1,181 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace insightnotes::storage {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'I', 'N', 'W', 'A', 'L', '\x01', '\0', '\0'};
+constexpr size_t kFrameHeader = 2 * sizeof(uint32_t);  // length + crc.
+
+long SizeOf(std::FILE* file) {
+  if (std::fseek(file, 0, SEEK_END) != 0) return -1;
+  return std::ftell(file);
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() {
+  Status s = Close();
+  if (!s.ok()) {
+    INSIGHTNOTES_LOG(Error) << "WriteAheadLog::Close failed in destructor: "
+                            << s.ToString();
+  }
+}
+
+Status WriteAheadLog::Open(const std::string& path, bool truncate,
+                           uint64_t keep_bytes) {
+  if (is_open()) return Status::Internal("WAL already open");
+  path_ = path;
+  if (!truncate) {
+    file_ = std::fopen(path.c_str(), "rb+");
+    if (file_ != nullptr) {
+      long size = SizeOf(file_);
+      if (size < 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return Status::IoError("cannot size WAL '" + path + "'");
+      }
+      if (keep_bytes != UINT64_MAX && static_cast<uint64_t>(size) > keep_bytes) {
+#if !defined(_WIN32)
+        if (::ftruncate(fileno(file_), static_cast<off_t>(keep_bytes)) != 0) {
+          std::fclose(file_);
+          file_ = nullptr;
+          return Status::IoError("cannot truncate torn WAL tail of '" + path +
+                                 "': " + std::strerror(errno));
+        }
+#endif
+      }
+      if (std::fseek(file_, 0, SEEK_END) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return Status::IoError("seek to WAL end failed for '" + path + "'");
+      }
+      // An empty (or fully truncated) file still needs its magic header.
+      if (std::ftell(file_) == 0 &&
+          std::fwrite(kWalMagic, 1, sizeof(kWalMagic), file_) != sizeof(kWalMagic)) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return Status::IoError("cannot write WAL header to '" + path + "'");
+      }
+      return Status::OK();
+    }
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open WAL '" + path + "'");
+  }
+  if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), file_) != sizeof(kWalMagic)) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::IoError("cannot write WAL header to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(std::string_view payload) {
+  if (!is_open()) return Status::Internal("WAL not open");
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  char header[kFrameHeader];
+  std::memcpy(header, &length, sizeof(length));
+  std::memcpy(header + sizeof(length), &crc, sizeof(crc));
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    return Status::IoError("WAL append failed for '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+  ++num_appended_;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (!is_open()) return Status::Internal("WAL not open");
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("WAL flush failed for '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+#if !defined(_WIN32)
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed for '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+#endif
+  return Status::OK();
+}
+
+Status WriteAheadLog::Close() {
+  Status result = Status::OK();
+  if (file_ != nullptr) {
+    if (std::fflush(file_) != 0) {
+      result = Status::IoError("WAL flush on close failed for '" + path_ + "'");
+    }
+    if (std::fclose(file_) != 0 && result.ok()) {
+      result = Status::IoError("WAL close failed for '" + path_ + "'");
+    }
+    file_ = nullptr;
+  }
+  return result;
+}
+
+Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
+    const std::string& path, const std::function<Status(std::string_view)>& fn) {
+  ReplayStats stats;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return stats;  // Missing log = empty log.
+  long size_long = SizeOf(file);
+  if (size_long < 0) {
+    std::fclose(file);
+    return Status::IoError("cannot size WAL '" + path + "'");
+  }
+  uint64_t size = static_cast<uint64_t>(size_long);
+  std::rewind(file);
+
+  char magic[sizeof(kWalMagic)];
+  if (size == 0) {
+    std::fclose(file);
+    return stats;
+  }
+  if (size < sizeof(kWalMagic) ||
+      std::fread(magic, 1, sizeof(magic), file) != sizeof(magic) ||
+      std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
+    std::fclose(file);
+    return Status::Corruption("'" + path + "' is not an InsightNotes WAL");
+  }
+  stats.valid_bytes = sizeof(kWalMagic);
+
+  std::vector<char> payload;
+  while (stats.valid_bytes + kFrameHeader <= size) {
+    char header[kFrameHeader];
+    if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) break;
+    uint32_t length, crc;
+    std::memcpy(&length, header, sizeof(length));
+    std::memcpy(&crc, header + sizeof(length), sizeof(crc));
+    if (stats.valid_bytes + kFrameHeader + length > size) break;  // Torn tail.
+    payload.resize(length);
+    if (length > 0 && std::fread(payload.data(), 1, length, file) != length) break;
+    if (Crc32(payload.data(), length) != crc) break;  // Corrupt tail.
+    Status applied = fn(std::string_view(payload.data(), length));
+    if (!applied.ok()) {
+      std::fclose(file);
+      return applied;
+    }
+    ++stats.records;
+    stats.valid_bytes += kFrameHeader + length;
+  }
+  stats.truncated_bytes = size - stats.valid_bytes;
+  std::fclose(file);
+  return stats;
+}
+
+}  // namespace insightnotes::storage

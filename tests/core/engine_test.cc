@@ -126,6 +126,7 @@ TEST_F(EngineTest, FileBackedEngineWorks) {
   ASSERT_EQ(result->rows.size(), 1u);
   EXPECT_EQ(result->rows[0].tuple.ValueAt(0).AsString(), "persisted to a real file");
   std::remove(options.db_path.c_str());
+  std::remove((options.db_path + ".wal").c_str());
 }
 
 TEST_F(EngineTest, MaintainedSummariesUnaffectedByQueryMutation) {

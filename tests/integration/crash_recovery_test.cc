@@ -1,0 +1,406 @@
+// Crash-recovery acceptance suite: a 500-annotation ingest is interrupted
+// by scripted faults (transient EIO, torn page writes, hard crash
+// cut-offs) at swept operation indices; after reopen + WAL replay the
+// annotation store and the maintained summaries must be byte-identical
+// (serialized snapshots) to an uninterrupted oracle, and the recovery
+// audit must flag every injected torn page.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/summary_instance.h"
+#include "storage/fault_injection.h"
+#include "testutil.h"
+
+namespace insightnotes::core {
+namespace {
+
+constexpr size_t kNumAnnotations = 500;
+constexpr size_t kNumRows = 10;
+
+// Fault points swept per fault type. Each point is a full
+// ingest -> crash -> reopen -> compare cycle, so the sweep samples the op
+// range instead of visiting every index.
+constexpr size_t kSweepPoints = 10;
+
+std::vector<AnnotateSpec> MakeSpecs() {
+  static const char* kThemes[] = {
+      "eating stonewort foraging flying migration behavior seen near the reed beds",
+      "influenza infection sick parasite disease lesion found on the left wing",
+      "size weight wingspan beak feathers anatomy large adult specimen measured",
+      "article wikipedia photo link reference misc material filed for later",
+  };
+  std::vector<AnnotateSpec> specs;
+  specs.reserve(kNumAnnotations);
+  for (size_t i = 0; i < kNumAnnotations; ++i) {
+    AnnotateSpec spec;
+    spec.table = "notes";
+    spec.row = static_cast<rel::RowId>(i % kNumRows);
+    if (i % 3 == 1) spec.columns = {1};
+    spec.author = "tester-" + std::to_string(i % 7);
+    spec.timestamp = 1437004800 + static_cast<int64_t>(i);
+    spec.body = std::string(kThemes[i % 4]) + ". Observation " + std::to_string(i) +
+                " with enough trailing detail text to spread the annotation "
+                "bodies across many heap-file pages.";
+    if (i % 25 == 0) {
+      spec.kind = ann::AnnotationKind::kDocument;
+      spec.title = "Field report " + std::to_string(i);
+      spec.body += " Extended document section follows. " + spec.body;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// A plain disk that records the kind of every page operation, so the
+/// sweeps know which global op indices exist and which of them are writes.
+class OpRecordingDiskManager final : public storage::DiskManager {
+ public:
+  Status ReadPage(storage::PageId id, char* out) override {
+    ops.push_back('r');
+    return DiskManager::ReadPage(id, out);
+  }
+  Status WritePage(storage::PageId id, const char* data) override {
+    ops.push_back('w');
+    return DiskManager::WritePage(id, data);
+  }
+
+  std::vector<char> ops;
+};
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_path_ = ::testing::TempDir() + "/insightnotes_crash_" +
+               std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+    RemoveDbFiles();
+    specs_ = MakeSpecs();
+    oracle_ = BuildOracle(/*with_extras=*/false);
+    ASSERT_FALSE(oracle_.empty());
+  }
+  void TearDown() override { RemoveDbFiles(); }
+
+  void RemoveDbFiles() {
+    std::remove(db_path_.c_str());
+    std::remove((db_path_ + ".wal").c_str());
+  }
+
+  EngineOptions FileBackedOptions(std::shared_ptr<storage::DiskManager> disk = nullptr,
+                                  bool open_existing = false) {
+    EngineOptions options;
+    options.db_path = db_path_;
+    options.buffer_pool_pages = 8;  // Small pool: ingest must do real I/O.
+    options.open_existing = open_existing;
+    options.disk = std::move(disk);
+    options.io_retry.sleep = [](int64_t) {};  // Backoff without wall-clock cost.
+    return options;
+  }
+
+  /// Creates the notes table (10 rows), a trained classifier and a snippet
+  /// instance, and links both. Run after Init (and after recovery replay:
+  /// schema and instances are configuration, not WAL state).
+  void SetupDatabase(Engine* engine) {
+    ASSERT_TRUE(engine
+                    ->CreateTable("notes",
+                                  rel::Schema({{"id", rel::ValueType::kInt64, "notes"},
+                                               {"label", rel::ValueType::kString, "notes"}}))
+                    .ok());
+    for (size_t i = 0; i < kNumRows; ++i) {
+      auto row = engine->Insert("notes", rel::Tuple({testutil::I(static_cast<int64_t>(i)),
+                                                     testutil::S("row" + std::to_string(i))}));
+      ASSERT_TRUE(row.ok());
+      ASSERT_EQ(*row, static_cast<rel::RowId>(i));
+    }
+
+    auto classifier = SummaryInstance::MakeClassifier(
+        "BirdClass", {"Behavior", "Disease", "Anatomy", "Other"});
+    auto* nb = classifier->classifier();
+    ASSERT_TRUE(nb->Train(0, "eating stonewort foraging flying migration behavior").ok());
+    ASSERT_TRUE(nb->Train(1, "influenza infection sick parasite disease lesion").ok());
+    ASSERT_TRUE(nb->Train(2, "size weight wingspan beak feathers anatomy large").ok());
+    ASSERT_TRUE(nb->Train(3, "article wikipedia photo link reference misc").ok());
+    ASSERT_TRUE(engine->RegisterInstance(std::move(classifier)).ok());
+
+    mining::SnippetOptions snippet_opts;
+    snippet_opts.max_sentences = 1;
+    snippet_opts.max_chars = 120;
+    ASSERT_TRUE(
+        engine->RegisterInstance(SummaryInstance::MakeSnippet("Snippets", snippet_opts)).ok());
+
+    ASSERT_TRUE(engine->LinkInstance("BirdClass", "notes").ok());
+    ASSERT_TRUE(engine->LinkInstance("Snippets", "notes").ok());
+  }
+
+  /// Post-batch mutations exercising the Attach and Archive WAL records.
+  void ApplyExtras(Engine* engine) {
+    ASSERT_TRUE(engine->AttachAnnotation(0, "notes", 5, {0}).ok());
+    ASSERT_TRUE(engine->ArchiveAnnotation(7).ok());
+  }
+
+  /// Serializes everything recovery must reproduce: every stored
+  /// annotation (all fields + regions + archived flag) and the rendered
+  /// summary objects of every row.
+  std::string Snapshot(Engine* engine) {
+    std::ostringstream out;
+    auto* store = engine->annotations();
+    out << "annotations=" << store->NumAnnotations()
+        << " attachments=" << store->NumAttachments() << "\n";
+    for (ann::AnnotationId id = 0; id < store->NumAnnotations(); ++id) {
+      auto note = store->Get(id);
+      if (!note.ok()) {
+        out << id << "|ERROR " << note.status().ToString() << "\n";
+        continue;
+      }
+      out << id << "|" << static_cast<int>(note->kind) << "|" << note->author << "|"
+          << note->timestamp << "|" << note->title << "|" << note->body << "|"
+          << note->archived;
+      auto regions = store->RegionsOf(id);
+      if (regions.ok()) {
+        for (const ann::CellRegion& region : *regions) {
+          out << "|" << region.table << ":" << region.row << ":";
+          for (size_t column : region.columns) out << column << ",";
+        }
+      }
+      out << "\n";
+    }
+    auto table = engine->catalog()->GetTable("notes");
+    if (table.ok()) {
+      for (rel::RowId row = 0; row < static_cast<rel::RowId>(kNumRows); ++row) {
+        auto summaries = engine->summaries()->SummariesFor((*table)->id(), row);
+        if (!summaries.ok()) {
+          out << "row " << row << ": ERROR " << summaries.status().ToString() << "\n";
+          continue;
+        }
+        for (const auto& object : *summaries) {
+          out << "row " << row << ": " << object->Render() << "\n";
+        }
+      }
+    }
+    return out.str();
+  }
+
+  /// Uninterrupted in-memory run of the same workload: the ground truth
+  /// every faulted run must converge back to.
+  std::string BuildOracle(bool with_extras) {
+    Engine engine;  // In-memory: no page file, no WAL.
+    EXPECT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    if (::testing::Test::HasFatalFailure()) return "";
+    auto ids = engine.AnnotateBatch(specs_);
+    EXPECT_TRUE(ids.ok());
+    if (with_extras) ApplyExtras(&engine);
+    return Snapshot(&engine);
+  }
+
+  /// Clean file-backed run on a recording disk: yields the deterministic
+  /// op-index range [batch_begin, batch_end) of the ingest and the op
+  /// kinds, which the fault sweeps sample.
+  void ProbeOpStream(std::vector<char>* ops, uint64_t* batch_begin, uint64_t* batch_end) {
+    RemoveDbFiles();
+    auto disk = std::make_shared<OpRecordingDiskManager>();
+    Engine engine(FileBackedOptions(disk));
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    *batch_begin = disk->ops.size();
+    auto ids = engine.AnnotateBatch(specs_);
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+    *batch_end = disk->ops.size();
+    ASSERT_GT(*batch_end, *batch_begin)
+        << "ingest produced no disk I/O; shrink the buffer pool";
+    *ops = disk->ops;
+  }
+
+  static std::vector<uint64_t> SamplePoints(const std::vector<uint64_t>& candidates) {
+    std::vector<uint64_t> points;
+    if (candidates.empty()) return points;
+    size_t stride = std::max<size_t>(1, candidates.size() / kSweepPoints);
+    for (size_t i = 0; i < candidates.size(); i += stride) points.push_back(candidates[i]);
+    if (points.back() != candidates.back()) points.push_back(candidates.back());
+    return points;
+  }
+
+  /// Reopens the database after a simulated crash and checks the recovered
+  /// state against the oracle. Returns the recovery report for
+  /// fault-specific assertions.
+  RecoveryReport RecoverAndCompare(const std::string& context) {
+    Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+    EXPECT_TRUE(engine.Init().ok()) << context;
+    EXPECT_TRUE(engine.recovery().performed) << context;
+    EXPECT_EQ(engine.recovery().wal_records_replayed, kNumAnnotations) << context;
+    SetupDatabase(&engine);  // Link() re-summarizes the replayed annotations.
+    EXPECT_EQ(Snapshot(&engine), oracle_) << context;
+    EXPECT_TRUE(engine.Checkpoint().ok()) << context;
+    return engine.recovery();
+  }
+
+  std::string db_path_;
+  std::vector<AnnotateSpec> specs_;
+  std::string oracle_;
+};
+
+TEST_F(CrashRecoveryTest, TransientFaultsAreAbsorbedByRetry) {
+  std::vector<char> ops;
+  uint64_t begin = 0, end = 0;
+  ProbeOpStream(&ops, &begin, &end);
+
+  std::vector<uint64_t> candidates;
+  for (uint64_t k = begin; k < end; ++k) candidates.push_back(k);
+  for (uint64_t k : SamplePoints(candidates)) {
+    SCOPED_TRACE("transient EIO at op " + std::to_string(k));
+    RemoveDbFiles();
+    auto disk = std::make_shared<storage::FaultInjectingDiskManager>();
+    Engine engine(FileBackedOptions(disk));
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    disk->FailOnceAt(storage::IoOpKind::kAny, k);
+
+    // The retry layer absorbs the fault: ingest completes and the engine
+    // state matches the oracle with no recovery involved.
+    auto ids = engine.AnnotateBatch(specs_);
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+    EXPECT_EQ(ids->size(), kNumAnnotations);
+    EXPECT_EQ(disk->faults_injected(), 1u);
+    EXPECT_EQ(Snapshot(&engine), oracle_);
+    EXPECT_TRUE(engine.Checkpoint().ok());
+  }
+}
+
+TEST_F(CrashRecoveryTest, HardCrashRecoversFromWalReplay) {
+  std::vector<char> ops;
+  uint64_t begin = 0, end = 0;
+  ProbeOpStream(&ops, &begin, &end);
+
+  std::vector<uint64_t> candidates;
+  for (uint64_t k = begin; k < end; ++k) candidates.push_back(k);
+  for (uint64_t k : SamplePoints(candidates)) {
+    SCOPED_TRACE("hard crash at op " + std::to_string(k));
+    RemoveDbFiles();
+    auto disk = std::make_shared<storage::FaultInjectingDiskManager>();
+    auto* faults = disk.get();
+    {
+      // The engine takes sole ownership: destroying it closes the disk and
+      // flushes whatever the "crashed" process had managed to write.
+      Engine engine(FileBackedOptions(std::move(disk)));
+      ASSERT_TRUE(engine.Init().ok());
+      SetupDatabase(&engine);
+      faults->CrashAtOp(k);
+      // The batch was WAL-committed before the first store mutation, so the
+      // crash loses no annotations; the ingest itself fails.
+      auto ids = engine.AnnotateBatch(specs_);
+      EXPECT_FALSE(ids.ok());
+      EXPECT_TRUE(faults->crashed());
+      // The destructor's best-effort checkpoint also hits the dead disk; it
+      // must degrade to a logged error, not a crash.
+    }
+    RecoverAndCompare("crash at op " + std::to_string(k));
+  }
+}
+
+TEST_F(CrashRecoveryTest, TornPageWritesAreFlaggedAndRecovered) {
+  std::vector<char> ops;
+  uint64_t begin = 0, end = 0;
+  ProbeOpStream(&ops, &begin, &end);
+
+  std::vector<uint64_t> write_indices;
+  for (uint64_t k = begin; k < end; ++k) {
+    if (ops[k] == 'w') write_indices.push_back(k);
+  }
+  ASSERT_FALSE(write_indices.empty());
+  for (uint64_t k : SamplePoints(write_indices)) {
+    SCOPED_TRACE("torn write at op " + std::to_string(k));
+    RemoveDbFiles();
+    auto disk = std::make_shared<storage::FaultInjectingDiskManager>();
+    auto* faults = disk.get();
+    {
+      Engine engine(FileBackedOptions(std::move(disk)));
+      ASSERT_TRUE(engine.Init().ok());
+      SetupDatabase(&engine);
+      // Tear the page at op k, keeping only the stamped checksum word and
+      // a sliver of the header — the appended record bytes near the page
+      // tail are lost, so the stored checksum cannot match. The crash at
+      // k+1 kills the retry that would otherwise heal the page, so the
+      // tear survives to the reopen.
+      faults->TearWriteAt(k, /*keep_bytes=*/64);
+      faults->CrashAtOp(k + 1);
+      auto ids = engine.AnnotateBatch(specs_);
+      EXPECT_FALSE(ids.ok());
+    }
+    RecoveryReport report = RecoverAndCompare("torn write at op " + std::to_string(k));
+    // The checksum audit must flag the injected torn page.
+    EXPECT_GE(report.corrupt_pages, 1u);
+    EXPECT_GT(report.pages_scanned, 0u);
+  }
+}
+
+TEST_F(CrashRecoveryTest, CleanShutdownReopensWithoutCorruption) {
+  std::string oracle_with_extras = BuildOracle(/*with_extras=*/true);
+  ASSERT_FALSE(oracle_with_extras.empty());
+
+  RemoveDbFiles();
+  {
+    Engine engine(FileBackedOptions());
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    auto ids = engine.AnnotateBatch(specs_);
+    ASSERT_TRUE(ids.ok());
+    ApplyExtras(&engine);
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+
+  Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_TRUE(engine.recovery().performed);
+  // 500 adds + 1 attach + 1 archive.
+  EXPECT_EQ(engine.recovery().wal_records_replayed, kNumAnnotations + 2);
+  EXPECT_EQ(engine.recovery().corrupt_pages, 0u);
+  EXPECT_GT(engine.recovery().pages_scanned, 0u);
+  EXPECT_EQ(engine.recovery().wal_bytes_truncated, 0u);
+  SetupDatabase(&engine);
+  EXPECT_EQ(Snapshot(&engine), oracle_with_extras);
+}
+
+TEST_F(CrashRecoveryTest, SummarizerFailuresDegradeToStaleRows) {
+  Engine engine;
+  ASSERT_TRUE(engine.Init().ok());
+  SetupDatabase(&engine);
+
+  // Every classifier fold fails; ingest must still succeed, with the
+  // damaged rows marked stale instead of the batch erroring out.
+  engine.summaries()->SetSummarizerFaultHook(
+      [](const std::string& instance, const ann::Annotation&) -> Status {
+        if (instance == "BirdClass") return Status::IoError("summarizer knocked out");
+        return Status::OK();
+      });
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 40);
+  auto ids = engine.AnnotateBatch(specs);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+
+  auto table = engine.catalog()->GetTable("notes");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(engine.summaries()->IsStale((*table)->id(), 3));
+  EXPECT_EQ(engine.summaries()->StaleRows().size(), kNumRows);  // 40 specs hit all 10 rows.
+
+  // Once the summarizer heals, RepairStale rebuilds exactly the damaged
+  // rows and the state matches an engine that never failed.
+  engine.summaries()->SetSummarizerFaultHook(nullptr);
+  auto repaired = engine.RepairStaleSummaries();
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_EQ(*repaired, kNumRows);
+  EXPECT_TRUE(engine.summaries()->StaleRows().empty());
+
+  Engine healthy;
+  ASSERT_TRUE(healthy.Init().ok());
+  SetupDatabase(&healthy);
+  ASSERT_TRUE(healthy.AnnotateBatch(specs).ok());
+  EXPECT_EQ(Snapshot(&engine), Snapshot(&healthy));
+}
+
+}  // namespace
+}  // namespace insightnotes::core

@@ -33,11 +33,12 @@ TEST_F(BufferPoolTest, WriteThenReadBack) {
     auto guard = pool.NewPage();
     ASSERT_TRUE(guard.ok());
     id = guard->page_id();
-    std::memcpy(guard->MutableData(), "persisted", 9);
+    // Bytes below kPageDataOffset belong to the disk layer's checksum word.
+    std::memcpy(guard->MutableData() + kPageDataOffset, "persisted", 9);
   }
   auto again = pool.FetchPage(id);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(std::memcmp(again->data(), "persisted", 9), 0);
+  EXPECT_EQ(std::memcmp(again->data() + kPageDataOffset, "persisted", 9), 0);
 }
 
 TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
@@ -48,14 +49,16 @@ TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
     ASSERT_TRUE(guard.ok());
     ids.push_back(guard->page_id());
     std::string payload = "page-" + std::to_string(i);
-    std::memcpy(guard->MutableData(), payload.data(), payload.size());
+    std::memcpy(guard->MutableData() + kPageDataOffset, payload.data(), payload.size());
   }
   // All six pages must be readable even though only two frames exist.
   for (int i = 0; i < 6; ++i) {
     auto guard = pool.FetchPage(ids[i]);
     ASSERT_TRUE(guard.ok());
     std::string expected = "page-" + std::to_string(i);
-    EXPECT_EQ(std::memcmp(guard->data(), expected.data(), expected.size()), 0);
+    EXPECT_EQ(
+        std::memcmp(guard->data() + kPageDataOffset, expected.data(), expected.size()),
+        0);
   }
 }
 
@@ -117,13 +120,13 @@ TEST_F(BufferPoolTest, FlushAllPersistsToDisk) {
   BufferPool pool(&disk_, 4);
   auto g = pool.NewPage();
   ASSERT_TRUE(g.ok());
-  std::memcpy(g->MutableData(), "flushme", 7);
+  std::memcpy(g->MutableData() + kPageDataOffset, "flushme", 7);
   PageId id = g->page_id();
   g->Release();
   ASSERT_TRUE(pool.FlushAll().ok());
   char raw[kPageSize];
   ASSERT_TRUE(disk_.ReadPage(id, raw).ok());
-  EXPECT_EQ(std::memcmp(raw, "flushme", 7), 0);
+  EXPECT_EQ(std::memcmp(raw + kPageDataOffset, "flushme", 7), 0);
 }
 
 TEST_F(BufferPoolTest, MoveSemanticsOfGuard) {
@@ -150,7 +153,11 @@ TEST(DiskManagerTest, FileBackedRoundTrip) {
   ASSERT_TRUE(disk.WritePage(*id, out).ok());
   char in[kPageSize];
   ASSERT_TRUE(disk.ReadPage(*id, in).ok());
-  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+  // The checksum word is owned by the disk layer; the payload below it
+  // round-trips bit-exactly.
+  EXPECT_EQ(std::memcmp(in + kPageDataOffset, out + kPageDataOffset,
+                        kPageSize - kPageDataOffset),
+            0);
   EXPECT_TRUE(disk.ReadPage(99, in).IsOutOfRange());
   ASSERT_TRUE(disk.Close().ok());
   std::remove(path.c_str());

@@ -1,0 +1,186 @@
+// DiskManager durability behavior: page checksums, non-truncating reopen,
+// fsync, and close-failure propagation. The round-trip and closed-handle
+// basics live in buffer_pool_test.cc.
+
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace insightnotes::storage {
+namespace {
+
+class DiskManagerFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/insightnotes_dm_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Page image with `fill` bytes in the payload area.
+  static void FillPage(char* page, char fill) {
+    std::memset(page, 0, kPageSize);
+    std::memset(page + kPageDataOffset, fill, kPageSize - kPageDataOffset);
+  }
+
+  std::string path_;
+};
+
+TEST_F(DiskManagerFileTest, ChecksumDetectsFlippedBit) {
+  char page[kPageSize];
+  FillPage(page, 'a');
+  {
+    DiskManager disk;
+    ASSERT_TRUE(disk.Open(path_).ok());
+    auto id = disk.AllocatePage();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(disk.WritePage(*id, page).ok());
+    ASSERT_TRUE(disk.Close().ok());
+  }
+  // Flip one payload byte behind the manager's back.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, kPageSize / 2, SEEK_SET), 0);
+  ASSERT_EQ(std::fputc('X', f), 'X');
+  ASSERT_EQ(std::fclose(f), 0);
+
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_, DiskOpenMode::kOpenExisting).ok());
+  char out[kPageSize];
+  Status read = disk.ReadPage(0, out);
+  EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+}
+
+TEST_F(DiskManagerFileTest, ReopenKeepsPages) {
+  char page[kPageSize];
+  {
+    DiskManager disk;
+    ASSERT_TRUE(disk.Open(path_).ok());
+    for (char fill : {'a', 'b', 'c'}) {
+      auto id = disk.AllocatePage();
+      ASSERT_TRUE(id.ok());
+      FillPage(page, fill);
+      ASSERT_TRUE(disk.WritePage(*id, page).ok());
+    }
+    ASSERT_TRUE(disk.Fsync().ok());
+    ASSERT_TRUE(disk.Close().ok());
+  }
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_, DiskOpenMode::kOpenExisting).ok());
+  EXPECT_EQ(disk.num_pages(), 3u);
+  char out[kPageSize];
+  char fills[] = {'a', 'b', 'c'};
+  for (PageId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(disk.ReadPage(id, out).ok()) << "page " << id;
+    EXPECT_EQ(out[kPageDataOffset], fills[id]);
+    EXPECT_EQ(out[kPageSize - 1], fills[id]);
+  }
+  // Reopened files keep allocating past the existing pages.
+  auto next = disk.AllocatePage();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 3u);
+}
+
+TEST_F(DiskManagerFileTest, TruncateModeDiscardsExistingPages) {
+  {
+    DiskManager disk;
+    ASSERT_TRUE(disk.Open(path_).ok());
+    ASSERT_TRUE(disk.AllocatePage().ok());
+    ASSERT_TRUE(disk.Close().ok());
+  }
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_, DiskOpenMode::kTruncate).ok());
+  EXPECT_EQ(disk.num_pages(), 0u);
+}
+
+TEST_F(DiskManagerFileTest, ReopenCreatesMissingFile) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_, DiskOpenMode::kOpenExisting).ok());
+  EXPECT_EQ(disk.num_pages(), 0u);
+  ASSERT_TRUE(disk.AllocatePage().ok());
+}
+
+TEST_F(DiskManagerFileTest, PartialTailPageReadsAsCorruption) {
+  // Simulate a crash mid-append: one full valid page plus half a page.
+  char page[kPageSize];
+  FillPage(page, 'v');
+  {
+    DiskManager disk;
+    ASSERT_TRUE(disk.Open(path_).ok());
+    auto id = disk.AllocatePage();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(disk.WritePage(*id, page).ok());
+    ASSERT_TRUE(disk.Close().ok());
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  char half[kPageSize / 2];
+  std::memset(half, 'T', sizeof(half));
+  ASSERT_EQ(std::fwrite(half, 1, sizeof(half), f), sizeof(half));
+  ASSERT_EQ(std::fclose(f), 0);
+
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_, DiskOpenMode::kOpenExisting).ok());
+  ASSERT_EQ(disk.num_pages(), 2u);  // The torn partial page counts.
+  char out[kPageSize];
+  EXPECT_TRUE(disk.ReadPage(0, out).ok());
+  Status torn = disk.ReadPage(1, out);
+  EXPECT_TRUE(torn.IsCorruption()) << torn.ToString();
+}
+
+TEST_F(DiskManagerFileTest, FsyncSucceedsOnOpenFile) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  EXPECT_TRUE(disk.Fsync().ok());
+}
+
+TEST_F(DiskManagerFileTest, CloseIsIdempotent) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path_).ok());
+  EXPECT_TRUE(disk.Close().ok());
+  EXPECT_TRUE(disk.Close().ok());
+  EXPECT_FALSE(disk.is_open());
+}
+
+TEST(DiskManagerInMemoryTest, ChecksumSemanticsMatchFileMode) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open("").ok());
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char page[kPageSize];
+  std::memset(page, 0, kPageSize);
+  std::memset(page + kPageDataOffset, 'm', kPageSize - kPageDataOffset);
+  ASSERT_TRUE(disk.WritePage(*id, page).ok());
+  char out[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(*id, out).ok());
+  EXPECT_EQ(std::memcmp(out + kPageDataOffset, page + kPageDataOffset,
+                        kPageSize - kPageDataOffset),
+            0);
+  EXPECT_TRUE(disk.Fsync().ok());  // No-op in memory.
+}
+
+TEST(DiskManagerInMemoryTest, FsyncFailsWhenClosed) {
+  DiskManager disk;
+  EXPECT_TRUE(disk.Fsync().IsInternal());
+}
+
+TEST(DiskManagerOpenTest, OpenFailsOnUnwritablePath) {
+  DiskManager disk;
+  Status s = disk.Open("/nonexistent-dir/insightnotes.db");
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+}
+
+TEST(DiskManagerOpenTest, DoubleOpenFails) {
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open("").ok());
+  EXPECT_TRUE(disk.Open("").IsInternal());
+}
+
+}  // namespace
+}  // namespace insightnotes::storage

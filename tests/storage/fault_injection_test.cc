@@ -1,0 +1,301 @@
+// Fault-injection harness: scripted transient errors, torn writes and
+// crash cut-offs against the global operation counter, plus the retry
+// policy that turns transient faults into successes.
+
+#include "storage/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/io_retry.h"
+
+namespace insightnotes::storage {
+namespace {
+
+void FillPage(char* page, char fill) {
+  std::memset(page, 0, kPageSize);
+  std::memset(page + kPageDataOffset, fill, kPageSize - kPageDataOffset);
+}
+
+/// Retry policy whose sleeps are recorded instead of slept.
+IoRetryPolicy RecordingPolicy(std::vector<int64_t>* sleeps, int max_attempts = 4) {
+  IoRetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.sleep = [sleeps](int64_t nanos) { sleeps->push_back(nanos); };
+  return policy;
+}
+
+TEST(FaultInjectionTest, TransientWriteFailsExactlyOnce) {
+  FaultInjectingDiskManager disk;
+  ASSERT_TRUE(disk.Open("").ok());
+  auto id = disk.AllocatePage();  // Zero-fill goes through WritePage: op 0.
+  ASSERT_TRUE(id.ok());
+
+  char page[kPageSize];
+  FillPage(page, 'w');
+  disk.FailOnceAt(IoOpKind::kWrite, disk.op_count());
+  Status failed = disk.WritePage(*id, page);
+  EXPECT_TRUE(failed.IsIoError()) << failed.ToString();
+  EXPECT_EQ(disk.faults_injected(), 1u);
+  // The same logical write succeeds on retry.
+  ASSERT_TRUE(disk.WritePage(*id, page).ok());
+  char out[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(*id, out).ok());
+  EXPECT_EQ(out[kPageDataOffset], 'w');
+}
+
+TEST(FaultInjectionTest, TransientReadDoesNotMatchWrites) {
+  FaultInjectingDiskManager disk;
+  ASSERT_TRUE(disk.Open("").ok());
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char page[kPageSize];
+  FillPage(page, 'r');
+  // Scripted against reads only: the write occupying this op index does
+  // not match, so it sails through and the fault never fires.
+  disk.FailOnceAt(IoOpKind::kRead, disk.op_count());
+  ASSERT_TRUE(disk.WritePage(*id, page).ok());
+  EXPECT_EQ(disk.faults_injected(), 0u);
+  disk.Reset();  // Drop the stale (index-passed) fault.
+  // Scheduled at the index the read actually occupies, it fires.
+  disk.FailOnceAt(IoOpKind::kRead, disk.op_count());
+  Status failed = disk.ReadPage(*id, page);
+  EXPECT_TRUE(failed.IsIoError()) << failed.ToString();
+  EXPECT_TRUE(disk.ReadPage(*id, page).ok());
+}
+
+TEST(FaultInjectionTest, TornWriteLeavesChecksumMismatch) {
+  FaultInjectingDiskManager disk;
+  std::string path = ::testing::TempDir() + "/insightnotes_torn_test.db";
+  std::remove(path.c_str());
+  ASSERT_TRUE(disk.Open(path).ok());
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char page[kPageSize];
+  FillPage(page, 't');
+
+  disk.TearWriteAt(disk.op_count());
+  Status torn = disk.WritePage(*id, page);
+  EXPECT_TRUE(torn.IsIoError()) << torn.ToString();
+
+  char out[kPageSize];
+  Status read = disk.ReadPage(*id, out);
+  EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+
+  // A full rewrite heals the page.
+  ASSERT_TRUE(disk.WritePage(*id, page).ok());
+  ASSERT_TRUE(disk.ReadPage(*id, out).ok());
+  EXPECT_EQ(out[kPageSize - 1], 't');
+  ASSERT_TRUE(disk.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, TornWriteSurvivesReopen) {
+  std::string path = ::testing::TempDir() + "/insightnotes_torn_reopen_test.db";
+  std::remove(path.c_str());
+  {
+    FaultInjectingDiskManager disk;
+    ASSERT_TRUE(disk.Open(path).ok());
+    auto id = disk.AllocatePage();
+    ASSERT_TRUE(id.ok());
+    char page[kPageSize];
+    FillPage(page, 'x');
+    disk.TearWriteAt(disk.op_count());
+    EXPECT_TRUE(disk.WritePage(*id, page).IsIoError());
+    ASSERT_TRUE(disk.Close().ok());
+  }
+  // A plain DiskManager reopening the file sees the corruption.
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(path, DiskOpenMode::kOpenExisting).ok());
+  ASSERT_EQ(disk.num_pages(), 1u);
+  char out[kPageSize];
+  EXPECT_TRUE(disk.ReadPage(0, out).IsCorruption());
+  ASSERT_TRUE(disk.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, CrashFailsEveryOperationFromCutoff) {
+  FaultInjectingDiskManager disk;
+  ASSERT_TRUE(disk.Open("").ok());
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char page[kPageSize];
+  FillPage(page, 'c');
+  ASSERT_TRUE(disk.WritePage(*id, page).ok());
+
+  disk.CrashAtOp(disk.op_count());
+  EXPECT_FALSE(disk.crashed());
+  EXPECT_TRUE(disk.WritePage(*id, page).IsIoError());
+  EXPECT_TRUE(disk.crashed());
+  EXPECT_TRUE(disk.ReadPage(*id, page).IsIoError());
+  EXPECT_TRUE(disk.Fsync().IsIoError());
+  EXPECT_FALSE(disk.AllocatePage().ok());
+
+  disk.Reset();
+  EXPECT_FALSE(disk.crashed());
+  EXPECT_TRUE(disk.ReadPage(*id, page).ok());
+  EXPECT_TRUE(disk.Fsync().ok());
+}
+
+TEST(FaultInjectionTest, AllocateRollsBackWhenZeroFillFails) {
+  FaultInjectingDiskManager disk;
+  ASSERT_TRUE(disk.Open("").ok());
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  EXPECT_EQ(disk.num_pages(), 1u);
+
+  // The allocation's zero-fill write fails: num_pages_ must roll back so
+  // the id is not left permanently unreadable.
+  disk.FailOnceAt(IoOpKind::kWrite, disk.op_count());
+  EXPECT_FALSE(disk.AllocatePage().ok());
+  EXPECT_EQ(disk.num_pages(), 1u);
+
+  // The next allocation hands out the same id again.
+  auto retried = disk.AllocatePage();
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(*retried, 1u);
+  EXPECT_EQ(disk.num_pages(), 2u);
+}
+
+TEST(IoRetryTest, TransientFaultHealedByRetry) {
+  FaultInjectingDiskManager disk;
+  ASSERT_TRUE(disk.Open("").ok());
+  auto id = disk.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  char page[kPageSize];
+  FillPage(page, 'h');
+
+  std::vector<int64_t> sleeps;
+  IoRetryPolicy policy = RecordingPolicy(&sleeps);
+  disk.FailOnceAt(IoOpKind::kWrite, disk.op_count());
+  Status s = RetryIo(policy, [&] { return disk.WritePage(*id, page); });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(sleeps.size(), 1u);
+  EXPECT_EQ(sleeps[0], policy.initial_backoff_nanos);
+}
+
+TEST(IoRetryTest, BackoffDoublesAndCaps) {
+  std::vector<int64_t> sleeps;
+  IoRetryPolicy policy = RecordingPolicy(&sleeps, /*max_attempts=*/6);
+  policy.initial_backoff_nanos = 40;
+  policy.max_backoff_nanos = 100;
+  int calls = 0;
+  Status s = RetryIo(policy, [&] {
+    ++calls;
+    return Status::IoError("still down");
+  });
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(calls, 6);
+  // 40, 80, then capped at 100.
+  EXPECT_EQ(sleeps, (std::vector<int64_t>{40, 80, 100, 100, 100}));
+}
+
+TEST(IoRetryTest, CorruptionIsNotRetried) {
+  std::vector<int64_t> sleeps;
+  IoRetryPolicy policy = RecordingPolicy(&sleeps);
+  int calls = 0;
+  Status s = RetryIo(policy, [&] {
+    ++calls;
+    return Status::Corruption("bad page");
+  });
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(IoRetryTest, BufferPoolRetriesTransientReadAndWrite) {
+  auto disk = std::make_unique<FaultInjectingDiskManager>();
+  ASSERT_TRUE(disk->Open("").ok());
+  std::vector<int64_t> sleeps;
+  BufferPool pool(disk.get(), 2, RecordingPolicy(&sleeps));
+
+  PageId id;
+  {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard->page_id();
+    std::memcpy(guard->MutableData() + kPageDataOffset, "retry me", 8);
+  }
+  // Evict `id` through two more pages; the eviction write hits a transient
+  // fault that the pool's retry policy absorbs.
+  disk->FailOnceAt(IoOpKind::kWrite, disk->op_count());
+  ASSERT_TRUE(pool.NewPage().ok());
+  ASSERT_TRUE(pool.NewPage().ok());
+  EXPECT_GE(sleeps.size(), 1u);
+
+  // Re-reading the evicted page across a transient read fault also heals.
+  disk->FailOnceAt(IoOpKind::kRead, disk->op_count());
+  auto back = pool.FetchPage(id);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(std::memcmp(back->data() + kPageDataOffset, "retry me", 8), 0);
+}
+
+TEST(IoRetryTest, FlushAllAggregatesErrorsAndKeepsFlushing) {
+  auto disk = std::make_unique<FaultInjectingDiskManager>();
+  ASSERT_TRUE(disk->Open("").ok());
+  // No retries: every IoError surfaces immediately.
+  IoRetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  BufferPool pool(disk.get(), 4, no_retry);
+
+  std::vector<PageId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    ids.push_back(guard->page_id());
+    guard->MutableData()[kPageDataOffset] = static_cast<char>('0' + i);
+  }
+  // First flushed frame fails; the rest must still be written out.
+  uint64_t writes_before = disk->num_writes();
+  disk->FailOnceAt(IoOpKind::kWrite, disk->op_count());
+  Status flushed = pool.FlushAll();
+  EXPECT_TRUE(flushed.IsIoError()) << flushed.ToString();
+  EXPECT_EQ(disk->num_writes(), writes_before + 2);  // 2 of 3 landed.
+
+  // The failed frame stayed dirty: a second FlushAll completes the job.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(disk->num_writes(), writes_before + 3);
+  char out[kPageSize];
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(disk->ReadPage(ids[i], out).ok());
+    EXPECT_EQ(out[kPageDataOffset], static_cast<char>('0' + i));
+  }
+}
+
+TEST(IoRetryTest, FailedReadDoesNotLeakBufferPoolFrame) {
+  auto disk = std::make_unique<FaultInjectingDiskManager>();
+  ASSERT_TRUE(disk->Open("").ok());
+  IoRetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  BufferPool pool(disk.get(), 2, no_retry);
+  PageId id;
+  {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard->page_id();
+  }
+  {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+  }
+  {
+    auto guard = pool.NewPage();  // Evicts one of the two.
+    ASSERT_TRUE(guard.ok());
+  }
+  // Clean every frame so the fetches below evict without writing — the
+  // scripted fault index must land on the read itself.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  // Every fetch of the evicted page fails 8 times in a row...
+  for (int i = 0; i < 8; ++i) {
+    disk->FailOnceAt(IoOpKind::kRead, disk->op_count());
+    EXPECT_FALSE(pool.FetchPage(id).ok());
+  }
+  // ...yet no frame leaked: both pages are still fetchable afterwards.
+  EXPECT_TRUE(pool.FetchPage(id).ok());
+}
+
+}  // namespace
+}  // namespace insightnotes::storage

@@ -64,7 +64,8 @@ TEST_F(HeapFileTest, OverflowRecordRoundTrips) {
 
 TEST_F(HeapFileTest, OverflowBoundaryExactMultiple) {
   // Exercise the exact-chunk-multiple edge in the overflow writer.
-  std::string payload(2 * (kPageSize - 8), 'q');  // 2 * kOverflowPayload.
+  // 2 * kOverflowPayload: page minus checksum word minus overflow header.
+  std::string payload(2 * (kPageSize - kPageDataOffset - 8), 'q');
   auto rid = heap_->Append(payload);
   ASSERT_TRUE(rid.ok());
   auto got = heap_->Get(*rid);

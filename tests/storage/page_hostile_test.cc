@@ -1,0 +1,158 @@
+// SlottedPage against hostile buffers: pages whose headers, slot
+// directories or slot entries were corrupted on disk. Accessors must
+// return errors (Corruption / NotFound), never read or write out of
+// bounds — the ASan+UBSan CI job keeps this suite honest.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/random.h"
+#include "storage/page.h"
+
+namespace insightnotes::storage {
+namespace {
+
+// Mirror of the private on-page layout, for crafting corrupt images:
+//   [checksum word][u16 num_slots][u16 free_ptr][slots: {u16 off, u16 len}...]
+constexpr size_t kNumSlotsAt = kPageDataOffset;
+constexpr size_t kFreePtrAt = kPageDataOffset + sizeof(uint16_t);
+constexpr size_t kSlotsAt = kPageDataOffset + 2 * sizeof(uint16_t);
+
+void PutU16(char* page, size_t at, uint16_t v) { std::memcpy(page + at, &v, sizeof(v)); }
+
+struct PageBuffer {
+  char data[kPageSize];
+
+  PageBuffer() {
+    SlottedPage page(data);
+    page.Initialize();
+  }
+  SlottedPage View() { return SlottedPage(data); }
+};
+
+TEST(PageHostileTest, HugeSlotCountIsCorruption) {
+  PageBuffer buf;
+  PutU16(buf.data, kNumSlotsAt, 0xFFFF);  // Directory would be ~256 KiB.
+  SlottedPage page = buf.View();
+  EXPECT_EQ(page.NumRecords(), 0u);
+  EXPECT_EQ(page.FreeSpace(), 0u);
+  EXPECT_FALSE(page.HasRoomFor(1));
+  EXPECT_TRUE(page.Insert("x").status().IsCorruption());
+  EXPECT_TRUE(page.Get(0).status().IsCorruption());
+  EXPECT_TRUE(page.Delete(0).IsCorruption());
+}
+
+TEST(PageHostileTest, FreePtrPastPageEndIsCorruption) {
+  PageBuffer buf;
+  PutU16(buf.data, kFreePtrAt, 0xFFFF);  // > kPageSize.
+  SlottedPage page = buf.View();
+  EXPECT_EQ(page.FreeSpace(), 0u);
+  EXPECT_TRUE(page.Insert("x").status().IsCorruption());
+  EXPECT_TRUE(page.Get(0).status().IsCorruption());
+}
+
+TEST(PageHostileTest, FreePtrInsideDirectoryIsCorruption) {
+  PageBuffer buf;
+  SlottedPage page = buf.View();
+  ASSERT_TRUE(page.Insert("record").ok());
+  // Point free_ptr below the directory end (header + 1 slot).
+  PutU16(buf.data, kFreePtrAt, static_cast<uint16_t>(kSlotsAt));
+  EXPECT_EQ(page.FreeSpace(), 0u);
+  EXPECT_TRUE(page.Insert("x").status().IsCorruption());
+  EXPECT_TRUE(page.Get(0).status().IsCorruption());
+}
+
+TEST(PageHostileTest, SlotOffsetBelowFreePtrIsCorruption) {
+  PageBuffer buf;
+  SlottedPage page = buf.View();
+  ASSERT_TRUE(page.Insert("victim").ok());
+  // Redirect slot 0 into the directory region (offset < free_ptr).
+  PutU16(buf.data, kSlotsAt, static_cast<uint16_t>(kPageDataOffset));
+  auto got = page.Get(0);
+  EXPECT_TRUE(got.status().IsCorruption()) << got.status().ToString();
+}
+
+TEST(PageHostileTest, SlotLengthPastPageEndIsCorruption) {
+  PageBuffer buf;
+  SlottedPage page = buf.View();
+  ASSERT_TRUE(page.Insert("victim").ok());
+  // Slot 0 keeps its (valid) offset but claims a length that runs past the
+  // end of the page.
+  PutU16(buf.data, kSlotsAt + sizeof(uint16_t), 0xFFFE);
+  auto got = page.Get(0);
+  EXPECT_TRUE(got.status().IsCorruption()) << got.status().ToString();
+}
+
+TEST(PageHostileTest, TombstoneEdgeCases) {
+  PageBuffer buf;
+  SlottedPage page = buf.View();
+  auto slot = page.Insert("to delete");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page.Delete(*slot).ok());
+  // Tombstones answer NotFound, not Corruption, and stay deleted.
+  EXPECT_TRUE(page.Get(*slot).status().IsNotFound());
+  EXPECT_TRUE(page.Delete(*slot).IsNotFound());
+  // Out-of-range slots are NotFound too.
+  EXPECT_TRUE(page.Get(7).status().IsNotFound());
+  EXPECT_TRUE(page.Delete(7).IsNotFound());
+  // A tombstone does not hide its neighbors.
+  auto other = page.Insert("still here");
+  ASSERT_TRUE(other.ok());
+  auto got = page.Get(*other);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "still here");
+}
+
+TEST(PageHostileTest, AllSlotsTombstonedCountsZeroLive) {
+  PageBuffer buf;
+  SlottedPage page = buf.View();
+  for (int i = 0; i < 5; ++i) {
+    auto slot = page.Insert("r" + std::to_string(i));
+    ASSERT_TRUE(slot.ok());
+    ASSERT_TRUE(page.Delete(*slot).ok());
+  }
+  EXPECT_EQ(page.NumSlots(), 5u);
+  EXPECT_EQ(page.NumRecords(), 0u);
+}
+
+TEST(PageHostileTest, RandomGarbageNeverCrashes) {
+  Random rng(20150831);
+  char data[kPageSize];
+  for (int round = 0; round < 256; ++round) {
+    for (size_t i = 0; i < kPageSize; ++i) {
+      data[i] = static_cast<char>(rng.NextUint64() & 0xFF);
+    }
+    SlottedPage page(data);
+    // Every accessor must come back with a value or an error — no OOB
+    // reads/writes, no hangs (ASan/UBSan enforce the memory half).
+    page.NumSlots();
+    page.NumRecords();
+    page.FreeSpace();
+    page.HasRoomFor(64);
+    for (SlotId slot = 0; slot < 4; ++slot) {
+      auto got = page.Get(slot);
+      if (got.ok()) continue;
+      EXPECT_TRUE(got.status().IsNotFound() || got.status().IsCorruption());
+    }
+    page.Insert("probe").status();
+    page.Delete(0);
+  }
+}
+
+TEST(PageHostileTest, ZeroedBufferBehavesAsCorrupt) {
+  // An all-zero page (e.g. allocated but never written): num_slots = 0 but
+  // free_ptr = 0 < directory end, so the header is invalid — readers get a
+  // clean error instead of garbage.
+  char data[kPageSize];
+  std::memset(data, 0, kPageSize);
+  SlottedPage page(data);
+  EXPECT_EQ(page.NumRecords(), 0u);
+  EXPECT_EQ(page.FreeSpace(), 0u);
+  EXPECT_TRUE(page.Insert("x").status().IsCorruption());
+  EXPECT_TRUE(page.Get(0).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace insightnotes::storage

@@ -20,19 +20,59 @@ Engine::~Engine() {
   }
 }
 
+namespace {
+
+/// Where the pre-recovery page file is parked while WAL replay rebuilds a
+/// fresh one (see Engine::InitStorage).
+std::string ParkedPathFor(const std::string& db_path) {
+  return db_path + ".recovering";
+}
+
+}  // namespace
+
 Status Engine::Init() {
+  Status status = InitStorage();
+  if (!status.ok() && !parked_page_file_.empty()) {
+    // Recovery failed after the old page file was parked aside. Put it
+    // back: it is the only other copy of the annotation bodies, and it
+    // must survive a failed recovery (e.g. a corrupt WAL) intact.
+    RestoreParkedPageFile();
+  }
+  return status;
+}
+
+Status Engine::InitStorage() {
+  recovery_required_ = Status::OK();
   disk_ = options_.disk != nullptr ? options_.disk
                                    : std::make_shared<storage::DiskManager>();
   const bool file_backed = !options_.db_path.empty();
   std::error_code ec;
+  if (options_.open_existing && file_backed &&
+      std::filesystem::exists(ParkedPathFor(options_.db_path), ec)) {
+    // A parked page file means an earlier recovery was interrupted. The
+    // parked copy is the pre-recovery original; whatever sits at db_path
+    // is at best a partial rebuild. Adopt the original and recover from it
+    // (the WAL, untouched by the interrupted attempt, replays either way).
+    std::filesystem::remove(options_.db_path, ec);
+    std::error_code rename_ec;
+    std::filesystem::rename(ParkedPathFor(options_.db_path), options_.db_path,
+                            rename_ec);
+    if (rename_ec) {
+      return Status::IoError("cannot adopt page file '" +
+                             ParkedPathFor(options_.db_path) +
+                             "' parked by an interrupted recovery: " +
+                             rename_ec.message());
+    }
+  }
   const bool recover = options_.open_existing && file_backed &&
                        std::filesystem::exists(options_.db_path, ec);
 
   if (recover) {
     // Audit the old page file: count pages whose checksum no longer
     // verifies (torn writes from the crash). The page file is only a cache
-    // of annotation bodies — the WAL is the source of truth — so after the
-    // audit it is truncated and rebuilt by replay.
+    // of annotation bodies — the WAL is the source of truth — so it is
+    // rebuilt by replay; but it is parked aside, not destroyed, until
+    // replay has actually succeeded.
     INSIGHTNOTES_RETURN_IF_ERROR(
         disk_->Open(options_.db_path, storage::DiskOpenMode::kOpenExisting));
     recovery_.performed = true;
@@ -49,6 +89,14 @@ Status Engine::Init() {
       }
     }
     INSIGHTNOTES_RETURN_IF_ERROR(disk_->Close());
+    std::error_code rename_ec;
+    std::filesystem::rename(options_.db_path, ParkedPathFor(options_.db_path),
+                            rename_ec);
+    if (rename_ec) {
+      return Status::IoError("cannot park page file '" + options_.db_path +
+                             "' for recovery: " + rename_ec.message());
+    }
+    parked_page_file_ = ParkedPathFor(options_.db_path);
   }
   INSIGHTNOTES_RETURN_IF_ERROR(
       disk_->Open(options_.db_path, storage::DiskOpenMode::kTruncate));
@@ -82,7 +130,47 @@ Status Engine::Init() {
     wal_ = std::make_unique<storage::WriteAheadLog>();
     INSIGHTNOTES_RETURN_IF_ERROR(wal_->Open(wal_path, /*truncate=*/!recover, keep_bytes));
   }
+  if (!parked_page_file_.empty()) {
+    // Replay succeeded; the parked pre-recovery page file is obsolete.
+    std::filesystem::remove(parked_page_file_, ec);
+    if (ec) {
+      INSIGHTNOTES_LOG(Warning) << "cannot remove parked page file '"
+                                << parked_page_file_ << "': " << ec.message();
+    }
+    parked_page_file_.clear();
+  }
   return Status::OK();
+}
+
+void Engine::RestoreParkedPageFile() {
+  // Tear down in reverse construction order: catalog/store/manager hold
+  // raw pointers into the pool, the pool into the disk.
+  cache_.reset();
+  manager_.reset();
+  store_.reset();
+  catalog_.reset();
+  pool_.reset();
+  wal_.reset();
+  if (disk_ != nullptr && disk_->is_open()) {
+    Status closed = disk_->Close();
+    if (!closed.ok()) {
+      INSIGHTNOTES_LOG(Error) << "closing page file after failed recovery: "
+                              << closed.ToString();
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove(options_.db_path, ec);  // The partial rebuild.
+  std::error_code rename_ec;
+  std::filesystem::rename(parked_page_file_, options_.db_path, rename_ec);
+  if (rename_ec) {
+    // The original survives at the parked path; the next open_existing
+    // Init adopts it from there.
+    INSIGHTNOTES_LOG(Error) << "cannot restore parked page file '"
+                            << parked_page_file_
+                            << "' after failed recovery: " << rename_ec.message();
+  } else {
+    parked_page_file_.clear();
+  }
 }
 
 Status Engine::ApplyWalRecord(std::string_view payload) {
@@ -109,6 +197,36 @@ Status Engine::LogWalEntry(const ann::WalEntry& entry) {
   if (wal_ == nullptr) return Status::OK();
   INSIGHTNOTES_RETURN_IF_ERROR(wal_->Append(ann::EncodeWalEntry(entry)));
   return wal_->Sync();
+}
+
+Status Engine::CheckMutable() const {
+  if (recovery_required_.ok()) return Status::OK();
+  return Status::Internal(
+      "engine requires recovery (reopen with open_existing to replay the "
+      "WAL); mutations refused after: " +
+      recovery_required_.ToString());
+}
+
+void Engine::MarkRecoveryRequired(const Status& cause) {
+  if (recovery_required_.ok()) recovery_required_ = cause;
+  INSIGHTNOTES_LOG(Error)
+      << "a WAL-committed record failed to apply; engine requires recovery: "
+      << cause.ToString();
+}
+
+Result<uint64_t> Engine::WalOffset() {
+  if (wal_ == nullptr) return uint64_t{0};
+  return wal_->AppendOffset();
+}
+
+void Engine::RewindWal(uint64_t offset) {
+  if (wal_ == nullptr) return;
+  Status s = wal_->TruncateTo(offset);
+  if (!s.ok()) {
+    // The WAL is now failed and refuses appends, so the stray record can
+    // never be followed by one that collides with its id at replay.
+    INSIGHTNOTES_LOG(Error) << "WAL rewind failed: " << s.ToString();
+  }
 }
 
 Status Engine::Checkpoint() {
@@ -163,16 +281,30 @@ ann::Annotation NoteFromSpec(const AnnotateSpec& spec) {
 }  // namespace
 
 Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, ValidateAnnotateSpec(spec));
   ann::CellRegion region{table->id(), spec.row, spec.columns};
   ann::Annotation note = NoteFromSpec(spec);
   // Write-ahead: the record is durable before the store mutates, so a crash
   // between the two replays the annotation instead of losing it.
-  INSIGHTNOTES_RETURN_IF_ERROR(
-      LogWalEntry(ann::WalAddRecord{store_->NumAnnotations(), note, region}));
-  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id, store_->Add(note, region));
-  INSIGHTNOTES_RETURN_IF_ERROR(manager_->OnAnnotationAttached(id, region));
-  return id;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(uint64_t wal_mark, WalOffset());
+  Status logged = LogWalEntry(ann::WalAddRecord{store_->NumAnnotations(), note, region});
+  if (!logged.ok()) {
+    // Never acknowledged: cut any half-landed bytes back out so the next
+    // append cannot follow a torn or unsynced frame.
+    RewindWal(wal_mark);
+    return logged;
+  }
+  Result<ann::AnnotationId> added = store_->Add(note, region);
+  if (!added.ok()) {
+    // The record is committed but unapplied: replay resurrects it on the
+    // next open. Until then no further record may be logged — it would
+    // reuse this record's dense id and make replay diverge.
+    MarkRecoveryRequired(added.status());
+    return added.status();
+  }
+  INSIGHTNOTES_RETURN_IF_ERROR(manager_->OnAnnotationAttached(*added, region));
+  return *added;
 }
 
 ThreadPool* Engine::EnsureIngestPool(size_t num_threads) {
@@ -184,6 +316,7 @@ ThreadPool* Engine::EnsureIngestPool(size_t num_threads) {
 
 Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
     std::span<const AnnotateSpec> specs, const AnnotateBatchOptions& options) {
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   // Validate the whole batch up front so a malformed spec cannot leave a
   // half-ingested batch behind.
   std::vector<rel::Table*> tables;
@@ -203,23 +336,44 @@ Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
   // Write-ahead, one sync for the whole batch: every record is durable
   // before the first store mutation, so a crash anywhere in the append loop
   // replays the full batch.
+  std::vector<uint64_t> wal_marks;  // Offset before each record's frame.
   if (wal_ != nullptr) {
+    wal_marks.reserve(batch.size());
     ann::AnnotationId next_id = store_->NumAnnotations();
-    for (size_t i = 0; i < batch.size(); ++i) {
-      INSIGHTNOTES_RETURN_IF_ERROR(wal_->Append(ann::EncodeWalEntry(
-          ann::WalAddRecord{next_id + i, batch[i].note, batch[i].region})));
+    Status logged;
+    for (size_t i = 0; i < batch.size() && logged.ok(); ++i) {
+      Result<uint64_t> mark = wal_->AppendOffset();
+      if (!mark.ok()) {
+        logged = mark.status();
+        break;
+      }
+      wal_marks.push_back(*mark);
+      logged = wal_->Append(ann::EncodeWalEntry(
+          ann::WalAddRecord{next_id + i, batch[i].note, batch[i].region}));
     }
-    INSIGHTNOTES_RETURN_IF_ERROR(wal_->Sync());
+    if (logged.ok()) logged = wal_->Sync();
+    if (!logged.ok()) {
+      // No record was acknowledged and none applied; roll the whole batch
+      // back out of the log.
+      if (!wal_marks.empty()) RewindWal(wal_marks.front());
+      return logged;
+    }
   }
   // Store appends stay serial (the heap file is single-writer) and in spec
   // order, so ids come out exactly as N Annotate() calls would assign them.
   std::vector<ann::AnnotationId> ids;
   ids.reserve(specs.size());
-  for (BatchAnnotation& item : batch) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id,
-                                  store_->Add(item.note, item.region));
-    item.note.id = id;
-    ids.push_back(id);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    BatchAnnotation& item = batch[i];
+    Result<ann::AnnotationId> added = store_->Add(item.note, item.region);
+    if (!added.ok()) {
+      // Records from position i on are committed but unapplied; replay
+      // resurrects them, so further logging must stop (see Annotate).
+      MarkRecoveryRequired(added.status());
+      return added.status();
+    }
+    item.note.id = *added;
+    ids.push_back(*added);
   }
   ThreadPool* pool =
       options.num_threads > 1 ? EnsureIngestPool(options.num_threads) : nullptr;
@@ -229,6 +383,7 @@ Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
 
 Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,
                                 rel::RowId row, std::vector<size_t> columns) {
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
   if (!t->IsLive(row)) {
     return Status::NotFound("row " + std::to_string(row) + " not in table '" + table +
@@ -240,15 +395,34 @@ Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,
   ann::CellRegion region{t->id(), row, std::move(columns)};
   // Validation precedes the log append: a record the store would reject
   // must never reach the WAL, or replay would fail on it.
-  INSIGHTNOTES_RETURN_IF_ERROR(LogWalEntry(ann::WalAttachRecord{id, region}));
-  INSIGHTNOTES_RETURN_IF_ERROR(store_->Attach(id, region));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(uint64_t wal_mark, WalOffset());
+  Status logged = LogWalEntry(ann::WalAttachRecord{id, region});
+  if (!logged.ok()) {
+    RewindWal(wal_mark);
+    return logged;
+  }
+  Status applied = store_->Attach(id, region);
+  if (!applied.ok()) {
+    MarkRecoveryRequired(applied);
+    return applied;
+  }
   return manager_->OnAnnotationAttached(id, region);
 }
 
 Status Engine::ArchiveAnnotation(ann::AnnotationId id) {
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   INSIGHTNOTES_ASSIGN_OR_RETURN(auto regions, store_->RegionsOf(id));
-  INSIGHTNOTES_RETURN_IF_ERROR(LogWalEntry(ann::WalArchiveRecord{id}));
-  INSIGHTNOTES_RETURN_IF_ERROR(store_->Archive(id));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(uint64_t wal_mark, WalOffset());
+  Status logged = LogWalEntry(ann::WalArchiveRecord{id});
+  if (!logged.ok()) {
+    RewindWal(wal_mark);
+    return logged;
+  }
+  Status applied = store_->Archive(id);
+  if (!applied.ok()) {
+    MarkRecoveryRequired(applied);
+    return applied;
+  }
   // Remove the archived annotation's effect from every affected row.
   for (const ann::CellRegion& region : regions) {
     INSIGHTNOTES_RETURN_IF_ERROR(manager_->RebuildRow(region.table, region.row));

@@ -106,9 +106,13 @@ class Engine {
 
   /// Opens the storage substrate. With `options.open_existing` and a
   /// file-backed `db_path`, an existing database is recovered: the page
-  /// file's checksums are audited, then the raw-annotation store is rebuilt
+  /// file's checksums are audited, the file is parked at
+  /// `db_path + ".recovering"`, and the raw-annotation store is rebuilt
   /// by replaying the WAL (the page file is a rebuildable cache of
-  /// annotation bodies; the log is the source of truth). Summary instances,
+  /// annotation bodies; the log is the source of truth). The parked copy
+  /// is deleted once replay succeeds and restored if Init fails first, so
+  /// a failed recovery never destroys the pre-recovery data. Summary
+  /// instances,
   /// links and the catalog are configuration — re-register and re-link them
   /// after Init; Link() re-summarizes the recovered annotations.
   Status Init();
@@ -117,9 +121,18 @@ class Engine {
   /// existing file).
   const RecoveryReport& recovery() const { return recovery_; }
 
+  /// True after a WAL-committed mutation failed to apply to the store: the
+  /// log is ahead of memory, so Annotate/AnnotateBatch/Attach/Archive are
+  /// refused (a later record would reuse the unapplied record's dense id
+  /// and make replay diverge). Reads still serve the pre-failure state;
+  /// reopen with open_existing to replay the log and resume.
+  bool requires_recovery() const { return !recovery_required_.ok(); }
+
   /// Flushes dirty pages, fsyncs the page file, and syncs the WAL. Called
   /// best-effort by the destructor; call it explicitly at batch boundaries
-  /// for a durability point.
+  /// for a durability point. Note the WAL is never compacted: recovery
+  /// replays the full mutation history, so the log (and replay time) grows
+  /// with it — see "Durability & failure model" in DESIGN.md.
   Status Checkpoint();
 
   /// Rebuilds every summary row marked stale by a degraded summarizer
@@ -201,6 +214,15 @@ class Engine {
   /// Lazily (re)builds the ingest pool with `num_threads` workers.
   ThreadPool* EnsureIngestPool(size_t num_threads);
 
+  /// Init minus the failure cleanup: Init() restores the parked page file
+  /// if this returns an error after parking it.
+  Status InitStorage();
+
+  /// Best-effort undo of a failed recovery: tears the half-built storage
+  /// stack down and moves the parked pre-recovery page file back to
+  /// `options_.db_path`.
+  void RestoreParkedPageFile();
+
   /// Applies one decoded WAL record to the store during recovery replay.
   Status ApplyWalRecord(std::string_view payload);
 
@@ -208,10 +230,31 @@ class Engine {
   /// run before the mutation it describes touches the store.
   Status LogWalEntry(const ann::WalEntry& entry);
 
+  /// OK while WAL-logged mutations are accepted; the recovery-required
+  /// error otherwise (see requires_recovery()).
+  Status CheckMutable() const;
+
+  /// Enters the recovery-required state after `cause` prevented a
+  /// WAL-committed record from applying to the store.
+  void MarkRecoveryRequired(const Status& cause);
+
+  /// The WAL append offset to pass to RewindWal (0 without a WAL).
+  Result<uint64_t> WalOffset();
+
+  /// Rolls unacknowledged record bytes at or past `offset` back out of the
+  /// WAL. Best-effort: on failure the WAL enters its failed state and
+  /// refuses further appends, so the stray record can never be followed by
+  /// a diverging one.
+  void RewindWal(uint64_t offset);
+
   EngineOptions options_;
   std::shared_ptr<storage::DiskManager> disk_;
   std::unique_ptr<storage::WriteAheadLog> wal_;
   RecoveryReport recovery_;
+  Status recovery_required_;  // Non-OK: mutations refused, see requires_recovery().
+  // Non-empty while the pre-recovery page file sits parked at
+  // `db_path + ".recovering"` (from after the audit until replay succeeds).
+  std::string parked_page_file_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<rel::Catalog> catalog_;
   std::unique_ptr<ann::AnnotationStore> store_;

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <vector>
 
-#if !defined(_WIN32)
+#if defined(_WIN32)
+#include <io.h>
+#else
 #include <unistd.h>
 #endif
 
@@ -23,6 +25,39 @@ long SizeOf(std::FILE* file) {
   return std::ftell(file);
 }
 
+Status TruncateFileTo(std::FILE* file, uint64_t size, const std::string& path) {
+#if defined(_WIN32)
+  if (_chsize_s(_fileno(file), static_cast<long long>(size)) != 0) {
+    return Status::IoError("cannot truncate WAL '" + path + "' to " +
+                           std::to_string(size) + " bytes");
+  }
+#else
+  if (::ftruncate(fileno(file), static_cast<off_t>(size)) != 0) {
+    return Status::IoError("cannot truncate WAL '" + path + "' to " +
+                           std::to_string(size) + " bytes: " + std::strerror(errno));
+  }
+#endif
+  return Status::OK();
+}
+
+Status SyncFileToDisk(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    return Status::IoError("WAL flush failed for '" + path +
+                           "': " + std::strerror(errno));
+  }
+#if defined(_WIN32)
+  if (_commit(_fileno(file)) != 0) {
+    return Status::IoError("WAL commit-to-disk failed for '" + path + "'");
+  }
+#else
+  if (::fsync(fileno(file)) != 0) {
+    return Status::IoError("WAL fsync failed for '" + path +
+                           "': " + std::strerror(errno));
+  }
+#endif
+  return Status::OK();
+}
+
 }  // namespace
 
 WriteAheadLog::~WriteAheadLog() {
@@ -37,6 +72,8 @@ Status WriteAheadLog::Open(const std::string& path, bool truncate,
                            uint64_t keep_bytes) {
   if (is_open()) return Status::Internal("WAL already open");
   path_ = path;
+  failed_ = false;
+  num_appended_ = 0;
   if (!truncate) {
     file_ = std::fopen(path.c_str(), "rb+");
     if (file_ != nullptr) {
@@ -47,14 +84,12 @@ Status WriteAheadLog::Open(const std::string& path, bool truncate,
         return Status::IoError("cannot size WAL '" + path + "'");
       }
       if (keep_bytes != UINT64_MAX && static_cast<uint64_t>(size) > keep_bytes) {
-#if !defined(_WIN32)
-        if (::ftruncate(fileno(file_), static_cast<off_t>(keep_bytes)) != 0) {
+        Status truncated = TruncateFileTo(file_, keep_bytes, path);
+        if (!truncated.ok()) {
           std::fclose(file_);
           file_ = nullptr;
-          return Status::IoError("cannot truncate torn WAL tail of '" + path +
-                                 "': " + std::strerror(errno));
+          return truncated.WithContext("cannot cut torn WAL tail");
         }
-#endif
       }
       if (std::fseek(file_, 0, SEEK_END) != 0) {
         std::fclose(file_);
@@ -85,6 +120,15 @@ Status WriteAheadLog::Open(const std::string& path, bool truncate,
 
 Status WriteAheadLog::Append(std::string_view payload) {
   if (!is_open()) return Status::Internal("WAL not open");
+  if (failed_) {
+    return Status::IoError("WAL '" + path_ +
+                           "' is failed after an unrecovered partial append");
+  }
+  long start = std::ftell(file_);
+  if (start < 0) {
+    return Status::IoError("cannot read WAL append offset of '" + path_ +
+                           "': " + std::strerror(errno));
+  }
   uint32_t length = static_cast<uint32_t>(payload.size());
   uint32_t crc = Crc32(payload.data(), payload.size());
   char header[kFrameHeader];
@@ -92,8 +136,19 @@ Status WriteAheadLog::Append(std::string_view payload) {
   std::memcpy(header + sizeof(length), &crc, sizeof(crc));
   if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
       std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
-    return Status::IoError("WAL append failed for '" + path_ +
-                           "': " + std::strerror(errno));
+    Status io = Status::IoError("WAL append failed for '" + path_ +
+                                "': " + std::strerror(errno));
+    // A torn frame may sit in the file or the stdio buffer. Rewind to the
+    // pre-append offset so later appends extend the acknowledged prefix
+    // instead of landing after a frame replay stops at; if the rewind
+    // fails the log refuses further appends until repaired.
+    std::clearerr(file_);
+    if (std::fseek(file_, start, SEEK_SET) != 0 ||
+        !TruncateFileTo(file_, static_cast<uint64_t>(start), path_).ok()) {
+      failed_ = true;
+      return io.WithContext("WAL failed (torn frame could not be rewound)");
+    }
+    return io;
   }
   ++num_appended_;
   return Status::OK();
@@ -101,16 +156,43 @@ Status WriteAheadLog::Append(std::string_view payload) {
 
 Status WriteAheadLog::Sync() {
   if (!is_open()) return Status::Internal("WAL not open");
-  if (std::fflush(file_) != 0) {
-    return Status::IoError("WAL flush failed for '" + path_ +
+  if (failed_) {
+    return Status::IoError("WAL '" + path_ +
+                           "' is failed after an unrecovered partial append");
+  }
+  return SyncFileToDisk(file_, path_);
+}
+
+Result<uint64_t> WriteAheadLog::AppendOffset() {
+  if (!is_open()) return Status::Internal("WAL not open");
+  long pos = std::ftell(file_);
+  if (pos < 0) {
+    return Status::IoError("cannot read WAL append offset of '" + path_ +
                            "': " + std::strerror(errno));
   }
-#if !defined(_WIN32)
-  if (::fsync(fileno(file_)) != 0) {
-    return Status::IoError("WAL fsync failed for '" + path_ +
-                           "': " + std::strerror(errno));
+  return static_cast<uint64_t>(pos);
+}
+
+Status WriteAheadLog::TruncateTo(uint64_t offset) {
+  if (!is_open()) return Status::Internal("WAL not open");
+  // fseek first: it flushes whatever stdio buffered, so the truncation
+  // below removes those bytes too instead of having them re-land later.
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    failed_ = true;
+    return Status::IoError("cannot seek WAL '" + path_ + "' to offset " +
+                           std::to_string(offset) + ": " + std::strerror(errno));
   }
-#endif
+  Status truncated = TruncateFileTo(file_, offset, path_);
+  if (!truncated.ok()) {
+    failed_ = true;
+    return truncated;
+  }
+  Status synced = SyncFileToDisk(file_, path_);
+  if (!synced.ok()) {
+    failed_ = true;
+    return synced.WithContext("WAL rollback not durable");
+  }
+  failed_ = false;  // The valid prefix provably ends here: repaired.
   return Status::OK();
 }
 

@@ -51,15 +51,36 @@ class WriteAheadLog {
               uint64_t keep_bytes = UINT64_MAX);
 
   /// Appends one record. Buffered; call Sync() to make it durable. The
-  /// record only counts as committed once Sync() returns OK.
+  /// record only counts as committed once Sync() returns OK. A partially
+  /// written frame (short write, e.g. ENOSPC) is rewound to the pre-append
+  /// offset so acknowledged records stay contiguous; if the rewind itself
+  /// fails, the log enters a failed state and refuses further appends
+  /// (see failed()) rather than let new records land after a torn frame
+  /// that replay would stop at.
   Status Append(std::string_view payload);
 
   /// Flushes and fsyncs all appended records.
   Status Sync();
 
+  /// Byte offset the next Append writes at. Capture it before an append to
+  /// be able to roll the record back with TruncateTo if the mutation it
+  /// describes is never applied.
+  Result<uint64_t> AppendOffset();
+
+  /// Discards every byte at or past `offset` (from AppendOffset), making
+  /// the rollback durable (ftruncate + fsync). Also repairs a failed()
+  /// log: on success the valid prefix ends at `offset` and appends are
+  /// accepted again. On failure the log is (or stays) failed.
+  Status TruncateTo(uint64_t offset);
+
   Status Close();
 
   bool is_open() const { return file_ != nullptr; }
+  /// True after a partial append could not be rewound: the file may end in
+  /// a torn frame, so Append/Sync are refused until TruncateTo or a
+  /// reopen repairs the tail.
+  bool failed() const { return failed_; }
+  /// Successful Append calls since Open (not reduced by TruncateTo).
   uint64_t num_appended() const { return num_appended_; }
 
   /// Reads `path` and invokes `fn` for each complete, checksum-valid
@@ -73,6 +94,7 @@ class WriteAheadLog {
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
+  bool failed_ = false;
   uint64_t num_appended_ = 0;
 };
 

@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -90,6 +92,14 @@ class CrashRecoveryTest : public ::testing::Test {
   void RemoveDbFiles() {
     std::remove(db_path_.c_str());
     std::remove((db_path_ + ".wal").c_str());
+    std::remove((db_path_ + ".recovering").c_str());
+  }
+
+  static std::string ReadFileBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
   }
 
   EngineOptions FileBackedOptions(std::shared_ptr<storage::DiskManager> disk = nullptr,
@@ -364,6 +374,123 @@ TEST_F(CrashRecoveryTest, CleanShutdownReopensWithoutCorruption) {
   EXPECT_EQ(engine.recovery().wal_bytes_truncated, 0u);
   SetupDatabase(&engine);
   EXPECT_EQ(Snapshot(&engine), oracle_with_extras);
+}
+
+// A transient store-apply failure must never make the database
+// unrecoverable: the WAL-committed-but-unapplied record poisons the
+// engine (further mutations are refused, so no later record can collide
+// with its dense id), and the next reopen replays it back into the store.
+TEST_F(CrashRecoveryTest, FailedStoreApplyPoisonsEngineUntilRecovery) {
+  RemoveDbFiles();
+  auto disk = std::make_shared<storage::FaultInjectingDiskManager>();
+  auto* faults = disk.get();
+  EngineOptions options = FileBackedOptions(disk);
+  options.io_retry.max_attempts = 1;  // One injected EIO defeats the retry layer.
+  std::vector<AnnotateSpec> committed;
+  {
+    Engine engine(options);
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    // Annotate with a one-shot EIO armed at the next disk op until one
+    // lands inside the store apply itself (faults that hit validation
+    // reads fail before the WAL append; faults that hit summary
+    // maintenance fail after the store grew — both leave the engine live).
+    bool poisoned = false;
+    for (size_t i = 0; i < 200 && !poisoned; ++i) {
+      faults->FailOnceAt(storage::IoOpKind::kAny, faults->op_count());
+      size_t before = engine.annotations()->NumAnnotations();
+      auto id = engine.Annotate(specs_[i]);
+      if (engine.requires_recovery()) {
+        ASSERT_FALSE(id.ok());
+        committed.push_back(specs_[i]);  // Committed to the WAL, unapplied.
+        poisoned = true;
+      } else if (id.ok() || engine.annotations()->NumAnnotations() > before) {
+        committed.push_back(specs_[i]);
+      }
+    }
+    ASSERT_TRUE(poisoned) << "no injected fault ever landed in a store apply";
+    faults->Reset();
+    // Even with the disk healed, the poisoned engine refuses mutations: a
+    // new record would reuse the unapplied record's id and wreck replay.
+    EXPECT_FALSE(engine.Annotate(specs_[0]).ok());
+    std::vector<AnnotateSpec> one(specs_.begin(), specs_.begin() + 1);
+    EXPECT_FALSE(engine.AnnotateBatch(one).ok());
+    EXPECT_FALSE(engine.AttachAnnotation(0, "notes", 1).ok());
+    EXPECT_FALSE(engine.ArchiveAnnotation(0).ok());
+  }
+
+  Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+  ASSERT_TRUE(engine.Init().ok()) << "recovery after a failed apply must succeed";
+  EXPECT_EQ(engine.recovery().wal_records_replayed, committed.size());
+  SetupDatabase(&engine);
+  Engine oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  SetupDatabase(&oracle);
+  for (const AnnotateSpec& spec : committed) {
+    ASSERT_TRUE(oracle.Annotate(spec).ok());
+  }
+  EXPECT_EQ(Snapshot(&engine), Snapshot(&oracle));
+  EXPECT_FALSE(engine.requires_recovery());
+}
+
+// A recovery that fails (here: a WAL whose magic rotted) must leave the
+// page file — the only other copy of the annotation bodies — exactly as
+// it found it, instead of truncating it before the log was validated.
+TEST_F(CrashRecoveryTest, FailedReplayRestoresThePageFile) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 50);
+  {
+    Engine engine(FileBackedOptions());
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  std::string before = ReadFileBytes(db_path_);
+  ASSERT_FALSE(before.empty());
+
+  {
+    std::FILE* f = std::fopen((db_path_ + ".wal").c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite("GARBAGE!", 1, 8, f), 8u);
+    ASSERT_EQ(std::fclose(f), 0);
+  }
+  {
+    Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+    Status status = engine.Init();
+    ASSERT_TRUE(status.IsCorruption()) << status.ToString();
+  }
+  EXPECT_EQ(ReadFileBytes(db_path_), before);
+  EXPECT_FALSE(std::filesystem::exists(db_path_ + ".recovering"));
+}
+
+// A crash in the middle of recovery leaves the original page file parked
+// at db_path + ".recovering"; the next open must adopt it and finish the
+// job rather than treat the database as fresh (which would truncate the
+// WAL and lose everything).
+TEST_F(CrashRecoveryTest, InterruptedRecoveryAdoptsParkedPageFile) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 50);
+  {
+    Engine engine(FileBackedOptions());
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  std::filesystem::rename(db_path_, db_path_ + ".recovering");
+
+  Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_TRUE(engine.recovery().performed);
+  EXPECT_EQ(engine.recovery().wal_records_replayed, specs.size());
+  EXPECT_FALSE(std::filesystem::exists(db_path_ + ".recovering"));
+  SetupDatabase(&engine);
+  Engine oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  SetupDatabase(&oracle);
+  ASSERT_TRUE(oracle.AnnotateBatch(specs).ok());
+  EXPECT_EQ(Snapshot(&engine), Snapshot(&oracle));
 }
 
 TEST_F(CrashRecoveryTest, SummarizerFailuresDegradeToStaleRows) {

@@ -157,6 +157,56 @@ TEST_F(WalTest, ReopenWithoutTruncateKeepsRecords) {
   EXPECT_EQ(records[1], "two");
 }
 
+TEST_F(WalTest, TruncateToRollsBackAppendedRecords) {
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path_, /*truncate=*/true).ok());
+  ASSERT_TRUE(wal.Append("keep").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  auto mark = wal.AppendOffset();
+  ASSERT_TRUE(mark.ok()) << mark.status().ToString();
+  // Even a synced record can be rolled back: the engine does this when the
+  // store mutation the record describes never applied.
+  ASSERT_TRUE(wal.Append("rolled back").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.TruncateTo(*mark).ok());
+  EXPECT_FALSE(wal.failed());
+  ASSERT_TRUE(wal.Append("replacement").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Close().ok());
+
+  auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "keep");
+  EXPECT_EQ(records[1], "replacement");
+}
+
+TEST_F(WalTest, TruncateToZeroKeepsMagicIntactOnReopen) {
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_, /*truncate=*/true).ok());
+    auto mark = wal.AppendOffset();
+    ASSERT_TRUE(mark.ok());
+    ASSERT_TRUE(wal.Append("only").ok());
+    ASSERT_TRUE(wal.TruncateTo(*mark).ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  uint64_t valid = 0, truncated = 0;
+  auto records = ReplayAll(&valid, &truncated);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(truncated, 0u);
+
+  // The rolled-back log accepts appends again after a reopen.
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path_, /*truncate=*/false, valid).ok());
+    ASSERT_TRUE(wal.Append("fresh").ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  records = ReplayAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "fresh");
+}
+
 TEST_F(WalTest, ReplayStopsOnCallbackError) {
   {
     WriteAheadLog wal;

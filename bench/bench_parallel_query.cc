@@ -1,0 +1,83 @@
+// Thread sweep over the morsel-driven parallel executor: the same
+// scan+filter and scan+filter+join workloads planned at parallelism
+// 1 / 2 / 4 / 8. Parallelism 1 is the legacy serial tree (the baseline
+// the speedup is measured against); the oracle test guarantees the
+// parallel plans return byte-identical results, so the sweep measures
+// pure execution-layer scaling. Emits BENCH_query.json alongside the
+// console report (see bench_util.h / check_bench_json.py).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <variant>
+
+#include "bench/bench_util.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace insightnotes::bench {
+namespace {
+
+constexpr size_t kSpecies = 256;          // One bird row per species.
+constexpr size_t kAnnotationsPerTuple = 12;
+constexpr size_t kMorselSize = 32;        // 256 rows -> 8 morsels.
+
+/// Plans `text` at the given parallelism and drains the tree directly
+/// (bypassing Engine::Execute so repeated iterations don't grow the
+/// zoom-in cache).
+size_t RunQuery(core::Engine* engine, const std::string& text, size_t parallelism) {
+  sql::Statement statement = Check(sql::Parse(text), "parse");
+  auto* select = std::get_if<sql::SelectStatement>(&statement);
+  if (select == nullptr) std::abort();
+  sql::PlannerOptions options;
+  options.parallelism = parallelism;
+  options.morsel_size = kMorselSize;
+  auto plan = Check(sql::PlanSelect(*select, engine, options), "plan");
+  Check(plan->Open(), "open");
+  core::AnnotatedTuple tuple;
+  size_t rows = 0;
+  while (Check(plan->Next(&tuple), "next")) ++rows;
+  return rows;
+}
+
+void BM_ParallelScanFilter(benchmark::State& state) {
+  size_t parallelism = static_cast<size_t>(state.range(0));
+  BuiltWorkload* built = GetWorkload(kSpecies, kAnnotationsPerTuple);
+  const std::string query =
+      "SELECT b.id, b.name, b.weight FROM birds b WHERE b.weight > 1.0";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuery(built->engine.get(), query, parallelism));
+  }
+  state.counters["threads"] = static_cast<double>(parallelism);
+  state.SetLabel("scan+filter/p" + std::to_string(parallelism));
+}
+
+void BM_ParallelScanFilterJoin(benchmark::State& state) {
+  size_t parallelism = static_cast<size_t>(state.range(0));
+  BuiltWorkload* built = GetWorkload(kSpecies, kAnnotationsPerTuple);
+  const std::string query =
+      "SELECT l.id, l.name, r.id FROM birds l, birds r "
+      "WHERE l.family = r.family AND l.weight > 1.0";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuery(built->engine.get(), query, parallelism));
+  }
+  state.counters["threads"] = static_cast<double>(parallelism);
+  state.SetLabel("scan+filter+join/p" + std::to_string(parallelism));
+}
+
+BENCHMARK(BM_ParallelScanFilter)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ParallelScanFilterJoin)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace insightnotes::bench
+
+int main(int argc, char** argv) {
+  return insightnotes::bench::RunBenchmarksWithJsonReport(argc, argv,
+                                                          "BENCH_query.json");
+}

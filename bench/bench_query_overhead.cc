@@ -152,4 +152,7 @@ BENCHMARK(BM_JoinSummaryVsRaw)
 }  // namespace
 }  // namespace insightnotes::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return insightnotes::bench::RunBenchmarksWithJsonReport(argc, argv,
+                                                          "BENCH_query.json");
+}

@@ -7,9 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/engine.h"
 #include "sql/session.h"
@@ -67,6 +71,34 @@ inline BuiltWorkload* GetWorkload(size_t num_species, size_t annotations_per_tup
   auto* raw = built.get();
   (*cache)[key] = std::move(built);
   return raw;
+}
+
+/// Drop-in BENCHMARK_MAIN() replacement that, in addition to the console
+/// report, always writes Google Benchmark's JSON report to `default_path`
+/// (override with $INSIGHTNOTES_BENCH_JSON, or pass --benchmark_out=
+/// explicitly) so CI can record the perf trajectory machine-readably.
+/// bench/check_bench_json.py validates the emitted schema.
+inline int RunBenchmarksWithJsonReport(int argc, char** argv,
+                                       const char* default_path) {
+  const char* env = std::getenv("INSIGHTNOTES_BENCH_JSON");
+  std::string path = env != nullptr ? env : default_path;
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=" + path;
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out && !path.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace insightnotes::bench

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable benchmark report (BENCH_query.json).
+
+The bench binaries built on bench/bench_util.h always emit a Google
+Benchmark JSON report next to the console output. CI runs this script
+after a bench smoke invocation to make sure the report parses and the
+fields downstream tooling depends on are present with sane values.
+
+Usage: check_bench_json.py [report.json ...]
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_report(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"unreadable or invalid JSON: {err}")
+
+    for key in ("context", "benchmarks"):
+        if key not in report:
+            return fail(path, f"missing top-level key '{key}'")
+
+    context = report["context"]
+    if not isinstance(context.get("date"), str) or not context["date"]:
+        return fail(path, "context.date missing or empty")
+    if not isinstance(context.get("num_cpus"), int) or context["num_cpus"] < 1:
+        return fail(path, "context.num_cpus missing or < 1")
+
+    benchmarks = report["benchmarks"]
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return fail(path, "benchmarks array missing or empty")
+
+    for i, entry in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            return fail(path, f"{where}.name missing or empty")
+        for field in ("real_time", "cpu_time"):
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                return fail(path, f"{where}.{field} ({name}) missing or negative")
+        if entry.get("time_unit") not in ("ns", "us", "ms", "s"):
+            return fail(path, f"{where}.time_unit ({name}) invalid")
+
+    print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
+    return 0
+
+
+def main(argv):
+    paths = argv[1:] or ["BENCH_query.json"]
+    return max(check_report(path) for path in paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

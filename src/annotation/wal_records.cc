@@ -6,7 +6,7 @@ namespace insightnotes::ann {
 
 namespace {
 
-enum : uint8_t { kAddTag = 1, kAttachTag = 2, kArchiveTag = 3 };
+enum : uint8_t { kAddTag = 1, kAttachTag = 2, kArchiveTag = 3, kCheckpointTag = 4 };
 
 void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
 
@@ -106,10 +106,13 @@ std::string EncodeWalEntry(const WalEntry& entry) {
     PutU8(&out, kAttachTag);
     PutFixed<uint64_t>(&out, attach->id);
     PutRegion(&out, attach->region);
-  } else {
-    const auto& archive = std::get<WalArchiveRecord>(entry);
+  } else if (const auto* archive = std::get_if<WalArchiveRecord>(&entry)) {
     PutU8(&out, kArchiveTag);
-    PutFixed<uint64_t>(&out, archive.id);
+    PutFixed<uint64_t>(&out, archive->id);
+  } else {
+    const auto& checkpoint = std::get<WalCheckpointRecord>(entry);
+    PutU8(&out, kCheckpointTag);
+    PutFixed<uint64_t>(&out, checkpoint.num_annotations);
   }
   return out;
 }
@@ -142,6 +145,12 @@ Result<WalEntry> DecodeWalEntry(std::string_view payload) {
       archive.id = reader.Fixed<uint64_t>();
       if (!reader.ok || reader.pos != payload.size()) break;
       return WalEntry(std::move(archive));
+    }
+    case kCheckpointTag: {
+      WalCheckpointRecord checkpoint;
+      checkpoint.num_annotations = reader.Fixed<uint64_t>();
+      if (!reader.ok || reader.pos != payload.size()) break;
+      return WalEntry(checkpoint);
     }
     default:
       return Status::Corruption("unknown WAL record tag " + std::to_string(tag));

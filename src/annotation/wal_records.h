@@ -39,7 +39,17 @@ struct WalArchiveRecord {
   AnnotationId id = kInvalidAnnotationId;
 };
 
-using WalEntry = std::variant<WalAddRecord, WalAttachRecord, WalArchiveRecord>;
+/// A durability point written by Engine::Checkpoint after the page file was
+/// flushed and fsynced: every annotation up to `num_annotations` is on disk.
+/// Replay uses it as a consistency check (the store rebuilt from the
+/// preceding records must hold exactly that many annotations), and it marks
+/// where a future log-compaction pass could cut the log.
+struct WalCheckpointRecord {
+  uint64_t num_annotations = 0;
+};
+
+using WalEntry = std::variant<WalAddRecord, WalAttachRecord, WalArchiveRecord,
+                              WalCheckpointRecord>;
 
 std::string EncodeWalEntry(const WalEntry& entry);
 

@@ -54,6 +54,22 @@ class AnnotatedTuple {
   std::vector<AttachmentInfo> attachments;
 };
 
+/// A run of AnnotatedTuples moved through the batch-at-a-time operator
+/// interface. `morsel` tags the scan morsel the batch descends from: the
+/// parallel executor's gather stage re-serializes worker output by this
+/// index, which is what makes parallel results byte-identical to serial
+/// execution (each per-tuple pipeline stage maps one input batch to one
+/// output batch, so the tag survives the whole pipeline section).
+struct AnnotatedBatch {
+  std::vector<AnnotatedTuple> tuples;
+  uint64_t morsel = 0;
+
+  void Clear() {
+    tuples.clear();
+    morsel = 0;
+  }
+};
+
 /// Join-merge (Figure 2 step 3): appends `right`'s values to `left`,
 /// merges counterpart summary objects (matched by instance) without double
 /// counting shared annotations, unions non-counterpart objects, and merges

@@ -119,7 +119,10 @@ Status Engine::InitStorage() {
           storage::WriteAheadLog::ReplayStats replayed,
           storage::WriteAheadLog::Replay(
               wal_path, [this](std::string_view payload) { return ApplyWalRecord(payload); }));
-      recovery_.wal_records_replayed = replayed.records;
+      // Checkpoint markers are consistency checks, not mutations — report
+      // only the records that actually rebuilt store state.
+      recovery_.wal_records_replayed =
+          replayed.records - recovery_.checkpoints_replayed;
       recovery_.wal_bytes_truncated = replayed.truncated_bytes;
       keep_bytes = replayed.valid_bytes;
       if (replayed.truncated_bytes > 0) {
@@ -175,6 +178,20 @@ void Engine::RestoreParkedPageFile() {
 
 Status Engine::ApplyWalRecord(std::string_view payload) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(ann::WalEntry entry, ann::DecodeWalEntry(payload));
+  if (const auto* checkpoint = std::get_if<ann::WalCheckpointRecord>(&entry)) {
+    // A checkpoint marker asserts the store state at the time it was
+    // written; replay must reproduce exactly that state here.
+    if (store_->NumAnnotations() != checkpoint->num_annotations) {
+      return Status::Corruption(
+          "WAL checkpoint expects " + std::to_string(checkpoint->num_annotations) +
+          " annotation(s), replay produced " +
+          std::to_string(store_->NumAnnotations()));
+    }
+    ++recovery_.checkpoints_replayed;
+    recovery_.records_since_checkpoint = 0;
+    return Status::OK();
+  }
+  ++recovery_.records_since_checkpoint;
   if (const auto* add = std::get_if<ann::WalAddRecord>(&entry)) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id,
                                   store_->Add(add->note, add->region));
@@ -237,6 +254,14 @@ Status Engine::Checkpoint() {
   if (pool_ != nullptr) keep_first(pool_->FlushAll());
   if (disk_ != nullptr && disk_->is_open()) keep_first(disk_->Fsync());
   if (wal_ != nullptr && wal_->is_open()) keep_first(wal_->Sync());
+  // Mark the durability point in the log: replay verifies the marker and a
+  // future compaction pass could start from the last one. Skipped when the
+  // flush failed or the engine is in the recovery-required state (the store
+  // would disagree with the log).
+  if (first_error.ok() && recovery_required_.ok() && wal_ != nullptr &&
+      wal_->is_open()) {
+    keep_first(LogWalEntry(ann::WalCheckpointRecord{store_->NumAnnotations()}));
+  }
   return first_error;
 }
 
@@ -312,6 +337,13 @@ ThreadPool* Engine::EnsureIngestPool(size_t num_threads) {
     ingest_pool_ = std::make_unique<ThreadPool>(num_threads);
   }
   return ingest_pool_.get();
+}
+
+ThreadPool* Engine::ExecPool(size_t num_threads) {
+  if (exec_pool_ == nullptr || exec_pool_->num_threads() != num_threads) {
+    exec_pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+  return exec_pool_.get();
 }
 
 Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
@@ -463,12 +495,14 @@ Result<QueryResult> Engine::Execute(std::unique_ptr<exec::Operator> plan,
   INSIGHTNOTES_RETURN_IF_ERROR(plan->Open());
   QueryResult result;
   result.schema = plan->OutputSchema();
-  AnnotatedTuple tuple;
+  result.rows.reserve(plan->EstimatedRows());
+  AnnotatedBatch batch;
   while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, plan->Next(&tuple));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch));
     if (!more) break;
-    result.rows.push_back(std::move(tuple));
-    tuple = AnnotatedTuple();
+    for (AnnotatedTuple& tuple : batch.tuples) {
+      result.rows.push_back(std::move(tuple));
+    }
   }
   result.execute_seconds = watch.ElapsedSeconds();
   result.qid = ++next_qid_;
@@ -509,12 +543,14 @@ Result<ResultSnapshot> Engine::SnapshotFor(QueryId qid, bool* from_cache) {
   StoredQuery& stored = it->second;
   INSIGHTNOTES_RETURN_IF_ERROR(stored.plan->Open());
   std::vector<AnnotatedTuple> rows;
-  AnnotatedTuple tuple;
+  rows.reserve(stored.plan->EstimatedRows());
+  AnnotatedBatch batch;
   while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, stored.plan->Next(&tuple));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, stored.plan->NextBatch(&batch));
     if (!more) break;
-    rows.push_back(std::move(tuple));
-    tuple = AnnotatedTuple();
+    for (AnnotatedTuple& tuple : batch.tuples) {
+      rows.push_back(std::move(tuple));
+    }
   }
   INSIGHTNOTES_ASSIGN_OR_RETURN(ResultSnapshot snapshot,
                                 ResultSnapshot::Capture(stored.schema, rows));

@@ -56,10 +56,14 @@ struct EngineOptions {
 /// What Init did when reopening an existing database file.
 struct RecoveryReport {
   bool performed = false;           // False for fresh/in-memory databases.
-  uint64_t wal_records_replayed = 0;
+  uint64_t wal_records_replayed = 0;  // Mutation records only (no markers).
   uint64_t wal_bytes_truncated = 0;  // Torn WAL tail cut off before appends.
   uint32_t pages_scanned = 0;        // Pages audited in the old page file.
   uint32_t corrupt_pages = 0;        // Pages whose checksum failed the audit.
+  uint64_t checkpoints_replayed = 0;  // kCheckpoint markers seen (and verified).
+  // Mutation records decoded after the last checkpoint marker (the work a
+  // checkpoint-aware replay would actually redo).
+  uint64_t records_since_checkpoint = 0;
 };
 
 /// One emitted tuple as seen by an operator — the demo's under-the-hood log.
@@ -128,11 +132,13 @@ class Engine {
   /// reopen with open_existing to replay the log and resume.
   bool requires_recovery() const { return !recovery_required_.ok(); }
 
-  /// Flushes dirty pages, fsyncs the page file, and syncs the WAL. Called
+  /// Flushes dirty pages, fsyncs the page file, syncs the WAL, and appends
+  /// a kCheckpoint marker recording the durable annotation count. Called
   /// best-effort by the destructor; call it explicitly at batch boundaries
-  /// for a durability point. Note the WAL is never compacted: recovery
-  /// replays the full mutation history, so the log (and replay time) grows
-  /// with it — see "Durability & failure model" in DESIGN.md.
+  /// for a durability point. Replay verifies each marker and reports how
+  /// many records follow the last one (RecoveryReport); the log itself is
+  /// still never compacted — truncating up to the last marker is follow-up
+  /// work — see "Durability & failure model" in DESIGN.md.
   Status Checkpoint();
 
   /// Rebuilds every summary row marked stale by a degraded summarizer
@@ -188,6 +194,11 @@ class Engine {
   /// Output schema of a previously executed query (for binding ZoomIn WHERE
   /// predicates against the result).
   Result<rel::Schema> SchemaOf(QueryId qid) const;
+
+  /// Lazily (re)builds the query-execution pool with `num_threads` workers.
+  /// Used by the planner's parallel section (exec::GatherOperator); the
+  /// pool is shared by all queries of this engine.
+  ThreadPool* ExecPool(size_t num_threads);
 
   // --- Component access (benches, tests, shell) ------------------------------
   rel::Catalog* catalog() { return catalog_.get(); }
@@ -261,6 +272,7 @@ class Engine {
   std::unique_ptr<SummaryManager> manager_;
   std::unique_ptr<ZoomInCache> cache_;
   std::unique_ptr<ThreadPool> ingest_pool_;  // Lazily sized by AnnotateBatch.
+  std::unique_ptr<ThreadPool> exec_pool_;    // Lazily sized by ExecPool().
   std::unordered_map<QueryId, StoredQuery> queries_;
   QueryId next_qid_ = 100;  // Figure 3 shows QIDs starting at 101.
 };

@@ -53,7 +53,7 @@ AggregateOperator::AggregateOperator(std::unique_ptr<Operator> child,
   }
 }
 
-Status AggregateOperator::Open() {
+Status AggregateOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
   groups_.clear();
   cursor_ = 0;
@@ -61,41 +61,42 @@ Status AggregateOperator::Open() {
   std::unordered_map<rel::Tuple, size_t,
                      decltype([](const rel::Tuple& t) { return static_cast<size_t>(t.Hash()); })>
       index;
-  core::AnnotatedTuple in;
+  core::AnnotatedBatch batch;
   while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
-    rel::Tuple key;
-    for (const auto& expr : group_exprs_) {
-      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value v, expr->Evaluate(in.tuple));
-      key.Append(std::move(v));
-    }
-    auto [it, inserted] = index.emplace(key, groups_.size());
-    if (inserted) {
-      Group group;
-      group.merged = core::AnnotatedTuple(key);
-      group.merged.summaries.reserve(in.summaries.size());
-      for (const auto& s : in.summaries) group.merged.summaries.push_back(s->Clone());
-      // Grouped outputs expose aggregate columns, not the original ones:
-      // annotation coverage degrades to whole-row.
-      for (const core::AttachmentInfo& att : in.attachments) {
-        group.merged.attachments.push_back(core::AttachmentInfo{att.id, {}});
+    for (core::AnnotatedTuple& in : batch.tuples) {
+      rel::Tuple key;
+      for (const auto& expr : group_exprs_) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value v, expr->Evaluate(in.tuple));
+        key.Append(std::move(v));
       }
-      group.states.resize(aggregates_.size());
-      INSIGHTNOTES_RETURN_IF_ERROR(Accumulate(&group, in));
-      groups_.push_back(std::move(group));
-    } else {
-      Group& group = groups_[it->second];
-      core::AnnotatedTuple stripped;
-      stripped.tuple = in.tuple;
-      stripped.summaries = std::move(in.summaries);
-      for (const core::AttachmentInfo& att : in.attachments) {
-        stripped.attachments.push_back(core::AttachmentInfo{att.id, {}});
+      auto [it, inserted] = index.emplace(key, groups_.size());
+      if (inserted) {
+        Group group;
+        group.merged = core::AnnotatedTuple(key);
+        group.merged.summaries.reserve(in.summaries.size());
+        for (const auto& s : in.summaries) group.merged.summaries.push_back(s->Clone());
+        // Grouped outputs expose aggregate columns, not the original ones:
+        // annotation coverage degrades to whole-row.
+        for (const core::AttachmentInfo& att : in.attachments) {
+          group.merged.attachments.push_back(core::AttachmentInfo{att.id, {}});
+        }
+        group.states.resize(aggregates_.size());
+        INSIGHTNOTES_RETURN_IF_ERROR(Accumulate(&group, in));
+        groups_.push_back(std::move(group));
+      } else {
+        Group& group = groups_[it->second];
+        core::AnnotatedTuple stripped;
+        stripped.tuple = in.tuple;
+        stripped.summaries = std::move(in.summaries);
+        for (const core::AttachmentInfo& att : in.attachments) {
+          stripped.attachments.push_back(core::AttachmentInfo{att.id, {}});
+        }
+        INSIGHTNOTES_RETURN_IF_ERROR(core::MergeForGrouping(&group.merged, stripped));
+        INSIGHTNOTES_RETURN_IF_ERROR(Accumulate(&group, in));
       }
-      INSIGHTNOTES_RETURN_IF_ERROR(core::MergeForGrouping(&group.merged, stripped));
-      INSIGHTNOTES_RETURN_IF_ERROR(Accumulate(&group, in));
     }
-    in = core::AnnotatedTuple();
   }
 
   // Global aggregate over empty input still emits one row of zero counts.
@@ -177,7 +178,7 @@ Result<rel::Value> AggregateOperator::Finalize(const AggState& state,
   return Status::Internal("unknown aggregate function");
 }
 
-Result<bool> AggregateOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> AggregateOperator::NextImpl(core::AnnotatedTuple* out) {
   if (cursor_ >= groups_.size()) return false;
   Group& group = groups_[cursor_++];
   rel::Tuple result = group.merged.tuple;

@@ -37,14 +37,13 @@ class AggregateOperator final : public Operator {
                     std::vector<rel::Column> group_columns,
                     std::vector<AggregateItem> aggregates);
 
-  Status Open() override;
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return schema_; }
   std::string Name() const override;
-  void SetTraceSink(TraceSink sink) override {
-    child_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
 
  private:
   struct AggState {

@@ -4,29 +4,30 @@
 
 namespace insightnotes::exec {
 
-Status DistinctOperator::Open() {
+Status DistinctOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
   results_.clear();
   cursor_ = 0;
   std::unordered_map<rel::Tuple, size_t,
                      decltype([](const rel::Tuple& t) { return static_cast<size_t>(t.Hash()); })>
       index;
-  core::AnnotatedTuple in;
+  core::AnnotatedBatch batch;
   while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
-    auto [it, inserted] = index.emplace(in.tuple, results_.size());
-    if (inserted) {
-      results_.push_back(std::move(in));
-    } else {
-      INSIGHTNOTES_RETURN_IF_ERROR(core::MergeForGrouping(&results_[it->second], in));
+    for (core::AnnotatedTuple& in : batch.tuples) {
+      auto [it, inserted] = index.emplace(in.tuple, results_.size());
+      if (inserted) {
+        results_.push_back(std::move(in));
+      } else {
+        INSIGHTNOTES_RETURN_IF_ERROR(core::MergeForGrouping(&results_[it->second], in));
+      }
     }
-    in = core::AnnotatedTuple();
   }
   return Status::OK();
 }
 
-Result<bool> DistinctOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> DistinctOperator::NextImpl(core::AnnotatedTuple* out) {
   if (cursor_ >= results_.size()) return false;
   *out = std::move(results_[cursor_++]);
   Trace(*out);

@@ -17,14 +17,14 @@ class DistinctOperator final : public Operator {
   explicit DistinctOperator(std::unique_ptr<Operator> child)
       : child_(std::move(child)) {}
 
-  Status Open() override;
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
   std::string Name() const override { return "Distinct"; }
-  void SetTraceSink(TraceSink sink) override {
-    child_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
 
  private:
   std::unique_ptr<Operator> child_;

@@ -5,6 +5,7 @@
 #define INSIGHTNOTES_EXEC_FILTER_H_
 
 #include <memory>
+#include <vector>
 
 #include "exec/operator.h"
 #include "rel/expression.h"
@@ -16,14 +17,18 @@ class FilterOperator final : public Operator {
   FilterOperator(std::unique_ptr<Operator> child, rel::ExprPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
   std::string Name() const override { return "Filter" + predicate_->ToString(); }
-  void SetTraceSink(TraceSink sink) override {
-    child_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
+  /// Native batch path: consumes exactly one child batch per call and
+  /// filters it in place, preserving the morsel tag. The output batch may
+  /// be empty (only a `false` return means exhausted).
+  Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
 
  private:
   std::unique_ptr<Operator> child_;

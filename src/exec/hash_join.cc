@@ -1,40 +1,155 @@
 #include "exec/hash_join.h"
 
+#include <future>
+
 namespace insightnotes::exec {
+
+HashJoinBuildState::HashJoinBuildState(std::unique_ptr<Operator> input,
+                                       rel::ExprPtr key, size_t num_partitions,
+                                       ThreadPool* pool)
+    : input_(std::move(input)),
+      key_(std::move(key)),
+      key_name_(key_->ToString()),
+      num_partitions_(std::max<size_t>(1, num_partitions)),
+      pool_(pool) {}
+
+Status HashJoinBuildState::Reset() {
+  rows_.clear();
+  keys_.clear();
+  hashes_.clear();
+  INSIGHTNOTES_RETURN_IF_ERROR(input_->Open());
+  rows_.reserve(input_->EstimatedRows());
+  core::AnnotatedBatch batch;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&batch));
+    if (!more) break;
+    for (core::AnnotatedTuple& tuple : batch.tuples) {
+      rows_.push_back(std::move(tuple));
+    }
+  }
+  keys_.reserve(rows_.size());
+  hashes_.reserve(rows_.size());
+  rel::ValueHash hasher;
+  for (const core::AnnotatedTuple& row : rows_) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value key, key_->Evaluate(row.tuple));
+    hashes_.push_back(key.is_null() ? 0 : hasher(key));
+    keys_.push_back(std::move(key));
+  }
+  partitions_.assign(num_partitions_, PartitionMap{});
+  // Each partition is filled by exactly one worker scanning the rows in
+  // input order, so match lists come out in build-insertion order and the
+  // per-partition maps need no synchronization.
+  auto build_partition = [this](size_t p) {
+    PartitionMap& partition = partitions_[p];
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (keys_[i].is_null()) continue;  // NULL keys never join.
+      if (hashes_[i] % num_partitions_ != p) continue;
+      partition[keys_[i]].push_back(i);
+    }
+  };
+  if (pool_ == nullptr || num_partitions_ == 1) {
+    for (size_t p = 0; p < num_partitions_; ++p) build_partition(p);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(num_partitions_);
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      futures.push_back(pool_->Submit([build_partition, p] { build_partition(p); }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  return Status::OK();
+}
+
+const std::vector<size_t>* HashJoinBuildState::Find(const rel::Value& key) const {
+  if (key.is_null()) return nullptr;
+  rel::ValueHash hasher;
+  const PartitionMap& partition = partitions_[hasher(key) % num_partitions_];
+  auto it = partition.find(key);
+  return it == partition.end() ? nullptr : &it->second;
+}
+
+HashJoinProbeOperator::HashJoinProbeOperator(std::unique_ptr<Operator> child,
+                                             std::shared_ptr<HashJoinBuildState> state,
+                                             rel::ExprPtr probe_key, bool expose_build)
+    : child_(std::move(child)),
+      state_(std::move(state)),
+      probe_key_(std::move(probe_key)),
+      expose_build_(expose_build),
+      schema_(rel::Schema::Concat(child_->OutputSchema(), state_->schema())) {}
+
+std::string HashJoinProbeOperator::Name() const {
+  return "HashJoinProbe(" + probe_key_->ToString() + " = " + state_->key_name() + ")";
+}
+
+std::vector<Operator*> HashJoinProbeOperator::Children() {
+  if (expose_build_) return {child_.get(), state_->input()};
+  return {child_.get()};
+}
+
+Status HashJoinProbeOperator::OpenImpl() {
+  // The shared build state is reset by the GatherOperator, not here.
+  pending_.Clear();
+  pending_pos_ = 0;
+  metrics_.build_partitions = state_->num_partitions();
+  return child_->Open();
+}
+
+Result<bool> HashJoinProbeOperator::NextBatchImpl(core::AnnotatedBatch* out) {
+  core::AnnotatedBatch in;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&in));
+  if (!more) return false;
+  out->tuples.clear();
+  out->morsel = in.morsel;
+  for (const core::AnnotatedTuple& left : in.tuples) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value key, probe_key_->Evaluate(left.tuple));
+    const std::vector<size_t>* matches = state_->Find(key);
+    if (matches == nullptr) continue;
+    for (size_t index : *matches) {
+      core::AnnotatedTuple joined = left.Clone();
+      INSIGHTNOTES_RETURN_IF_ERROR(
+          core::MergeAnnotatedTuples(&joined, state_->Row(index)));
+      Trace(joined);
+      out->tuples.push_back(std::move(joined));
+    }
+  }
+  return true;
+}
+
+Result<bool> HashJoinProbeOperator::NextImpl(core::AnnotatedTuple* out) {
+  while (pending_pos_ >= pending_.tuples.size()) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, NextBatchImpl(&pending_));
+    if (!more) return false;
+    pending_pos_ = 0;
+  }
+  *out = std::move(pending_.tuples[pending_pos_++]);
+  return true;
+}
 
 HashJoinOperator::HashJoinOperator(std::unique_ptr<Operator> left,
                                    std::unique_ptr<Operator> right,
                                    rel::ExprPtr left_key, rel::ExprPtr right_key)
     : left_(std::move(left)),
-      right_(std::move(right)),
       left_key_(std::move(left_key)),
-      right_key_(std::move(right_key)),
-      schema_(rel::Schema::Concat(left_->OutputSchema(), right_->OutputSchema())) {}
+      state_(std::make_shared<HashJoinBuildState>(std::move(right),
+                                                  std::move(right_key),
+                                                  /*num_partitions=*/1,
+                                                  /*pool=*/nullptr)),
+      schema_(rel::Schema::Concat(left_->OutputSchema(), state_->schema())) {}
 
-Status HashJoinOperator::Open() {
+Status HashJoinOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(left_->Open());
-  INSIGHTNOTES_RETURN_IF_ERROR(right_->Open());
-  build_.clear();
+  INSIGHTNOTES_RETURN_IF_ERROR(state_->Reset());
   matches_ = nullptr;
   match_index_ = 0;
   left_valid_ = false;
-  // Build phase over the right input.
-  core::AnnotatedTuple tuple;
-  while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, right_->Next(&tuple));
-    if (!more) break;
-    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value key, right_key_->Evaluate(tuple.tuple));
-    if (key.is_null()) continue;  // NULL keys never join.
-    build_[key].push_back(std::move(tuple));
-    tuple = core::AnnotatedTuple();
-  }
+  metrics_.build_partitions = state_->num_partitions();
   return Status::OK();
 }
 
-Result<bool> HashJoinOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> HashJoinOperator::NextImpl(core::AnnotatedTuple* out) {
   while (true) {
     if (left_valid_ && matches_ != nullptr && match_index_ < matches_->size()) {
-      const core::AnnotatedTuple& right_tuple = (*matches_)[match_index_++];
+      const core::AnnotatedTuple& right_tuple = state_->Row((*matches_)[match_index_++]);
       // Clone the probe tuple: it may pair with several build tuples.
       *out = current_left_.Clone();
       INSIGHTNOTES_RETURN_IF_ERROR(core::MergeAnnotatedTuples(out, right_tuple));
@@ -46,17 +161,12 @@ Result<bool> HashJoinOperator::Next(core::AnnotatedTuple* out) {
     left_valid_ = true;
     INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value key, left_key_->Evaluate(current_left_.tuple));
     match_index_ = 0;
-    if (key.is_null()) {
-      matches_ = nullptr;
-      continue;
-    }
-    auto it = build_.find(key);
-    matches_ = it == build_.end() ? nullptr : &it->second;
+    matches_ = state_->Find(key);
   }
 }
 
 std::string HashJoinOperator::Name() const {
-  return "HashJoin(" + left_key_->ToString() + " = " + right_key_->ToString() + ")";
+  return "HashJoin(" + left_key_->ToString() + " = " + state_->key_name() + ")";
 }
 
 }  // namespace insightnotes::exec

@@ -2,6 +2,16 @@
 // pair, counterpart summary objects of the two inputs are combined without
 // double counting shared annotations; objects without a counterpart
 // propagate unchanged.
+//
+// The build side lives in a HashJoinBuildState: the input is materialized
+// once in input order, then partitioned by hash(key) % P — each partition
+// built by one worker, lock-free — and probed partition-wise. Because the
+// partition maps store *indexes into the ordered row vector*, appended by
+// a single worker scanning in input order, each key's match list is in
+// serial build-insertion order regardless of P: probes produce exactly the
+// serial operator's output. The serial HashJoinOperator owns a
+// single-partition state; the parallel planner shares one multi-partition
+// state across P HashJoinProbeOperators (see exec/parallel.h).
 
 #ifndef INSIGHTNOTES_EXEC_HASH_JOIN_H_
 #define INSIGHTNOTES_EXEC_HASH_JOIN_H_
@@ -11,10 +21,81 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/parallel.h"
 #include "rel/expression.h"
 #include "rel/index.h"
 
 namespace insightnotes::exec {
+
+/// Materialized, partitioned build side of a hash join. Reset drains the
+/// build input (serially — it owns the buffer-pool access), then builds
+/// the partitions, one pool job per partition when a pool is given.
+/// Find/Row are safe for concurrent readers once Reset returned.
+class HashJoinBuildState final : public SharedPlanState {
+ public:
+  /// `num_partitions` >= 1; `pool` may be null (partitions built inline).
+  HashJoinBuildState(std::unique_ptr<Operator> input, rel::ExprPtr key,
+                     size_t num_partitions, ThreadPool* pool);
+
+  Status Reset() override;
+
+  /// Match row indexes for `key` in build-input order; null when none.
+  /// NULL keys never match.
+  const std::vector<size_t>* Find(const rel::Value& key) const;
+
+  const core::AnnotatedTuple& Row(size_t index) const { return rows_[index]; }
+  const rel::Schema& schema() const { return input_->OutputSchema(); }
+  const std::string& key_name() const { return key_name_; }
+  size_t num_partitions() const { return num_partitions_; }
+  Operator* input() { return input_.get(); }
+
+ private:
+  using PartitionMap = std::unordered_map<rel::Value, std::vector<size_t>,
+                                          rel::ValueHash, rel::ValueEq>;
+
+  std::unique_ptr<Operator> input_;
+  rel::ExprPtr key_;
+  std::string key_name_;
+  size_t num_partitions_;
+  ThreadPool* pool_;
+
+  std::vector<core::AnnotatedTuple> rows_;  // Build input, input order.
+  std::vector<rel::Value> keys_;            // Key per row (may be NULL).
+  std::vector<size_t> hashes_;              // ValueHash per row.
+  std::vector<PartitionMap> partitions_;
+};
+
+/// Probe stage over a shared (or owned) build state. Used per worker
+/// pipeline by the parallel planner; Open does NOT reset the state (the
+/// GatherOperator resets each shared state exactly once).
+class HashJoinProbeOperator final : public Operator {
+ public:
+  /// `expose_build` lists the build input as a child (exactly one probe
+  /// per shared state should, so trace/metrics visit the build once).
+  HashJoinProbeOperator(std::unique_ptr<Operator> child,
+                        std::shared_ptr<HashJoinBuildState> state,
+                        rel::ExprPtr probe_key, bool expose_build);
+
+  const rel::Schema& OutputSchema() const override { return schema_; }
+  std::string Name() const override;
+  std::vector<Operator*> Children() override;
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
+  Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::shared_ptr<HashJoinBuildState> state_;
+  rel::ExprPtr probe_key_;
+  bool expose_build_;
+  rel::Schema schema_;
+  // Tuple-at-a-time adapter state (NextBatch is the native interface).
+  core::AnnotatedBatch pending_;
+  size_t pending_pos_ = 0;
+};
 
 class HashJoinOperator final : public Operator {
  public:
@@ -22,30 +103,25 @@ class HashJoinOperator final : public Operator {
   HashJoinOperator(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
                    rel::ExprPtr left_key, rel::ExprPtr right_key);
 
-  Status Open() override;
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return schema_; }
   std::string Name() const override;
-  void SetTraceSink(TraceSink sink) override {
-    left_->SetTraceSink(sink);
-    right_->SetTraceSink(sink);
-    trace_ = std::move(sink);
+  std::vector<Operator*> Children() override {
+    return {left_.get(), state_->input()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
 
  private:
   std::unique_ptr<Operator> left_;
-  std::unique_ptr<Operator> right_;
   rel::ExprPtr left_key_;
-  rel::ExprPtr right_key_;
+  std::shared_ptr<HashJoinBuildState> state_;  // Owned; single partition.
   rel::Schema schema_;
 
-  // Build side (right), keyed by join value.
-  std::unordered_map<rel::Value, std::vector<core::AnnotatedTuple>, rel::ValueHash,
-                     rel::ValueEq>
-      build_;
   // Probe state.
   core::AnnotatedTuple current_left_;
-  const std::vector<core::AnnotatedTuple>* matches_ = nullptr;
+  const std::vector<size_t>* matches_ = nullptr;
   size_t match_index_ = 0;
   bool left_valid_ = false;
 };

@@ -1,0 +1,51 @@
+#include "exec/metrics.h"
+
+#include <sstream>
+
+namespace insightnotes::exec {
+
+PlanMetrics CollectPlanMetrics(Operator* root) {
+  PlanMetrics node;
+  node.name = root->Name();
+  node.metrics = root->metrics();
+  for (Operator* child : root->Children()) {
+    node.children.push_back(CollectPlanMetrics(child));
+    node.rows_in += node.children.back().metrics.rows_out;
+  }
+  return node;
+}
+
+namespace {
+
+void RenderShape(Operator* op, size_t depth, std::ostringstream* os) {
+  *os << std::string(depth * 2, ' ') << "-> " << op->Name() << "\n";
+  for (Operator* child : op->Children()) RenderShape(child, depth + 1, os);
+}
+
+void RenderNode(const PlanMetrics& node, size_t depth, std::ostringstream* os) {
+  *os << std::string(depth * 2, ' ') << "-> " << node.name << "  (rows_in="
+      << node.rows_in << " rows_out=" << node.metrics.rows_out
+      << " batches=" << node.metrics.batches_out;
+  if (node.metrics.morsels > 0) *os << " morsels=" << node.metrics.morsels;
+  if (node.metrics.build_partitions > 0) {
+    *os << " build_partitions=" << node.metrics.build_partitions;
+  }
+  *os << " wall_ms=" << static_cast<double>(node.metrics.wall_ns) / 1e6 << ")\n";
+  for (const PlanMetrics& child : node.children) RenderNode(child, depth + 1, os);
+}
+
+}  // namespace
+
+std::string RenderPlan(Operator* root) {
+  std::ostringstream os;
+  RenderShape(root, 0, &os);
+  return os.str();
+}
+
+std::string RenderPlanMetrics(const PlanMetrics& root) {
+  std::ostringstream os;
+  RenderNode(root, 0, &os);
+  return os.str();
+}
+
+}  // namespace insightnotes::exec

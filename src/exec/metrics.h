@@ -1,0 +1,36 @@
+// Plan-tree snapshots of the per-operator OperatorMetrics counters and
+// their text rendering — the implementation behind EXPLAIN [ANALYZE].
+// CollectPlanMetrics walks Operator::Children() after execution; rows_in
+// of an operator is derived as the sum of its children's rows_out, so
+// operators only maintain output-side counters.
+
+#ifndef INSIGHTNOTES_EXEC_METRICS_H_
+#define INSIGHTNOTES_EXEC_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace insightnotes::exec {
+
+/// One node of the snapshot tree produced by CollectPlanMetrics.
+struct PlanMetrics {
+  std::string name;
+  OperatorMetrics metrics;
+  uint64_t rows_in = 0;  // Sum of children's rows_out.
+  std::vector<PlanMetrics> children;
+};
+
+/// Snapshots the counters of `root`'s subtree (call after execution).
+PlanMetrics CollectPlanMetrics(Operator* root);
+
+/// Renders the plan shape only — EXPLAIN.
+std::string RenderPlan(Operator* root);
+
+/// Renders the snapshot with counters — EXPLAIN ANALYZE.
+std::string RenderPlanMetrics(const PlanMetrics& root);
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_METRICS_H_

@@ -10,23 +10,25 @@ NestedLoopJoinOperator::NestedLoopJoinOperator(std::unique_ptr<Operator> left,
       predicate_(std::move(predicate)),
       schema_(rel::Schema::Concat(left_->OutputSchema(), right_->OutputSchema())) {}
 
-Status NestedLoopJoinOperator::Open() {
+Status NestedLoopJoinOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(left_->Open());
   INSIGHTNOTES_RETURN_IF_ERROR(right_->Open());
   right_tuples_.clear();
   right_index_ = 0;
   left_valid_ = false;
-  core::AnnotatedTuple tuple;
+  right_tuples_.reserve(right_->EstimatedRows());
+  core::AnnotatedBatch batch;
   while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, right_->Next(&tuple));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, right_->NextBatch(&batch));
     if (!more) break;
-    right_tuples_.push_back(std::move(tuple));
-    tuple = core::AnnotatedTuple();
+    for (core::AnnotatedTuple& tuple : batch.tuples) {
+      right_tuples_.push_back(std::move(tuple));
+    }
   }
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> NestedLoopJoinOperator::NextImpl(core::AnnotatedTuple* out) {
   while (true) {
     if (!left_valid_ || right_index_ >= right_tuples_.size()) {
       INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));

@@ -18,15 +18,13 @@ class NestedLoopJoinOperator final : public Operator {
   NestedLoopJoinOperator(std::unique_ptr<Operator> left,
                          std::unique_ptr<Operator> right, rel::ExprPtr predicate);
 
-  Status Open() override;
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return schema_; }
   std::string Name() const override { return "NestedLoopJoin" + predicate_->ToString(); }
-  void SetTraceSink(TraceSink sink) override {
-    left_->SetTraceSink(sink);
-    right_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  std::vector<Operator*> Children() override { return {left_.get(), right_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
 
  private:
   std::unique_ptr<Operator> left_;

@@ -1,0 +1,54 @@
+#include "exec/operator.h"
+
+#include "common/clock.h"
+
+namespace insightnotes::exec {
+
+Status Operator::Open() {
+  if (!metrics_enabled_) return OpenImpl();
+  Stopwatch watch;
+  Status status = OpenImpl();
+  metrics_.wall_ns += static_cast<uint64_t>(watch.ElapsedNanos());
+  return status;
+}
+
+Result<bool> Operator::Next(core::AnnotatedTuple* out) {
+  if (!metrics_enabled_) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, NextImpl(out));
+    if (more) ++metrics_.rows_out;
+    return more;
+  }
+  Stopwatch watch;
+  Result<bool> more = NextImpl(out);
+  metrics_.wall_ns += static_cast<uint64_t>(watch.ElapsedNanos());
+  if (more.ok() && *more) ++metrics_.rows_out;
+  return more;
+}
+
+Result<bool> Operator::NextBatch(core::AnnotatedBatch* out) {
+  out->Clear();
+  Result<bool> more = [&]() -> Result<bool> {
+    if (!metrics_enabled_) return NextBatchImpl(out);
+    Stopwatch watch;
+    Result<bool> r = NextBatchImpl(out);
+    metrics_.wall_ns += static_cast<uint64_t>(watch.ElapsedNanos());
+    return r;
+  }();
+  if (more.ok() && *more) {
+    ++metrics_.batches_out;
+    metrics_.rows_out += out->tuples.size();
+  }
+  return more;
+}
+
+Result<bool> Operator::NextBatchImpl(core::AnnotatedBatch* out) {
+  while (out->tuples.size() < kDefaultBatchSize) {
+    core::AnnotatedTuple tuple;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, NextImpl(&tuple));
+    if (!more) break;
+    out->tuples.push_back(std::move(tuple));
+  }
+  return !out->tuples.empty();
+}
+
+}  // namespace insightnotes::exec

@@ -1,14 +1,24 @@
-// Volcano-style iterator interface over AnnotatedTuples. Every operator
-// implements the extended summary-propagation semantics of its relational
-// counterpart (Section 2.1). Operators optionally report each emitted tuple
-// to a trace sink — the demo's "under-the-hood execution" feature
-// (Section 3, demonstration feature 3).
+// Iterator interface over AnnotatedTuples, offered at two granularities:
+// the classic Volcano tuple-at-a-time Next() and a batch-at-a-time
+// NextBatch() used by the morsel-driven parallel executor (a default
+// adapter turns any tuple-at-a-time operator into a batch producer). Every
+// operator implements the extended summary-propagation semantics of its
+// relational counterpart (Section 2.1).
+//
+// The public Open/Next/NextBatch entry points are non-virtual wrappers
+// (operators override OpenImpl/NextImpl/NextBatchImpl): the wrapper layer
+// maintains the per-operator OperatorMetrics counters surfaced through
+// EXPLAIN ANALYZE and, when metrics are enabled, per-call wall-clock time.
+// Operators optionally report each emitted tuple to a trace sink — the
+// demo's "under-the-hood execution" feature (Section 3, demonstration
+// feature 3).
 
 #ifndef INSIGHTNOTES_EXEC_OPERATOR_H_
 #define INSIGHTNOTES_EXEC_OPERATOR_H_
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/annotated_tuple.h"
@@ -19,29 +29,81 @@ namespace insightnotes::exec {
 /// Callback invoked per emitted tuple: (operator name, tuple).
 using TraceSink = std::function<void(const std::string&, const core::AnnotatedTuple&)>;
 
+/// Tuples the default NextBatch adapter packs into one batch.
+inline constexpr size_t kDefaultBatchSize = 256;
+
+/// Execution counters maintained by the Open/Next/NextBatch wrappers and
+/// the operators themselves. Counters are always on (plain increments);
+/// wall-clock time is only accumulated while metrics are enabled (see
+/// Operator::SetMetricsEnabled) to keep the hot path timer-free.
+struct OperatorMetrics {
+  uint64_t rows_out = 0;          // Tuples emitted through Next/NextBatch.
+  uint64_t batches_out = 0;       // Batches emitted through NextBatch.
+  uint64_t wall_ns = 0;           // Inclusive time in Open/Next/NextBatch.
+  uint64_t morsels = 0;           // Morsel scans: morsels processed.
+  uint64_t build_partitions = 0;  // Hash joins: partitions in the build.
+};
+
 class Operator {
  public:
   virtual ~Operator() = default;
 
   /// Prepares the operator (and its children) for iteration. Must be called
-  /// before Next; calling it again restarts the iteration.
-  virtual Status Open() = 0;
+  /// before Next/NextBatch; calling it again restarts the iteration.
+  Status Open();
 
   /// Produces the next tuple into `out`. Returns false when exhausted.
-  virtual Result<bool> Next(core::AnnotatedTuple* out) = 0;
+  Result<bool> Next(core::AnnotatedTuple* out);
+
+  /// Produces the next batch into `out` (cleared first). Returns false when
+  /// exhausted. A returned batch may be *empty* (e.g. a fully filtered
+  /// morsel): emptiness does not signal exhaustion, only `false` does.
+  Result<bool> NextBatch(core::AnnotatedBatch* out);
 
   virtual const rel::Schema& OutputSchema() const = 0;
   virtual std::string Name() const = 0;
 
+  /// Direct child operators, probe-side first. Drives trace/metrics
+  /// propagation and EXPLAIN's plan rendering.
+  virtual std::vector<Operator*> Children() { return {}; }
+
+  /// Best-effort cardinality hint (0 = unknown); consumers use it to
+  /// reserve materialization buffers (e.g. the hash-join build vector).
+  virtual size_t EstimatedRows() const { return 0; }
+
   /// Installs `sink` on this operator and its children.
-  virtual void SetTraceSink(TraceSink sink) { trace_ = std::move(sink); }
+  virtual void SetTraceSink(TraceSink sink) {
+    for (Operator* child : Children()) child->SetTraceSink(sink);
+    trace_ = std::move(sink);
+  }
+
+  /// Turns wall-clock accounting on/off for this subtree.
+  void SetMetricsEnabled(bool enabled) {
+    for (Operator* child : Children()) child->SetMetricsEnabled(enabled);
+    metrics_enabled_ = enabled;
+  }
+
+  /// Zeroes the counters of this subtree (e.g. before a re-execution).
+  void ResetMetricsTree() {
+    for (Operator* child : Children()) child->ResetMetricsTree();
+    metrics_ = OperatorMetrics{};
+  }
+
+  const OperatorMetrics& metrics() const { return metrics_; }
 
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(core::AnnotatedTuple* out) = 0;
+  /// Default adapter: packs up to kDefaultBatchSize NextImpl tuples.
+  virtual Result<bool> NextBatchImpl(core::AnnotatedBatch* out);
+
   void Trace(const core::AnnotatedTuple& tuple) const {
     if (trace_) trace_(Name(), tuple);
   }
 
   TraceSink trace_;
+  OperatorMetrics metrics_;
+  bool metrics_enabled_ = false;
 };
 
 }  // namespace insightnotes::exec

@@ -1,0 +1,193 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <future>
+
+namespace insightnotes::exec {
+
+ScanMorselSource::ScanMorselSource(const rel::Table* table, std::string alias,
+                                   core::SummaryManager* manager,
+                                   const ann::AnnotationStore* store,
+                                   bool with_summaries, size_t morsel_size)
+    : table_(table),
+      alias_(std::move(alias)),
+      manager_(manager),
+      store_(store),
+      with_summaries_(with_summaries),
+      morsel_size_(std::max<size_t>(1, morsel_size)),
+      schema_(table->schema().WithQualifier(alias_.empty() ? table->name() : alias_)) {
+  if (alias_.empty()) alias_ = table->name();
+}
+
+Status ScanMorselSource::Reset() {
+  rows_.clear();
+  tuples_.clear();
+  rows_.reserve(static_cast<size_t>(table_->NumRows()));
+  tuples_.reserve(static_cast<size_t>(table_->NumRows()));
+  next_morsel_.store(0, std::memory_order_relaxed);
+  return table_->Scan([&](rel::RowId row, const rel::Tuple& tuple) {
+    rows_.push_back(row);
+    tuples_.push_back(tuple);
+    return true;
+  });
+}
+
+bool ScanMorselSource::ClaimMorsel(uint64_t* morsel) {
+  uint64_t num_morsels = (rows_.size() + morsel_size_ - 1) / morsel_size_;
+  uint64_t claimed = next_morsel_.fetch_add(1, std::memory_order_relaxed);
+  if (claimed >= num_morsels) return false;
+  *morsel = claimed;
+  return true;
+}
+
+Status ScanMorselSource::Materialize(uint64_t morsel, core::AnnotatedBatch* out) const {
+  out->tuples.clear();
+  out->morsel = morsel;
+  size_t begin = static_cast<size_t>(morsel) * morsel_size_;
+  size_t end = std::min(begin + morsel_size_, rows_.size());
+  out->tuples.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    core::AnnotatedTuple tuple(tuples_[i]);
+    if (with_summaries_) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(tuple.summaries,
+                                    manager_->SummariesFor(table_->id(), rows_[i]));
+      for (const ann::Attachment& att : store_->OnRow(table_->id(), rows_[i])) {
+        if (store_->IsArchived(att.annotation)) continue;
+        tuple.attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+      }
+    }
+    out->tuples.push_back(std::move(tuple));
+  }
+  return Status::OK();
+}
+
+Status MorselScanOperator::OpenImpl() {
+  pending_.Clear();
+  pending_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> MorselScanOperator::NextBatchImpl(core::AnnotatedBatch* out) {
+  uint64_t morsel = 0;
+  if (!source_->ClaimMorsel(&morsel)) return false;
+  INSIGHTNOTES_RETURN_IF_ERROR(source_->Materialize(morsel, out));
+  ++metrics_.morsels;
+  if (trace_) {
+    for (const core::AnnotatedTuple& tuple : out->tuples) Trace(tuple);
+  }
+  return true;
+}
+
+Result<bool> MorselScanOperator::NextImpl(core::AnnotatedTuple* out) {
+  while (pending_pos_ >= pending_.tuples.size()) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, NextBatchImpl(&pending_));
+    if (!more) return false;
+    pending_pos_ = 0;
+  }
+  *out = std::move(pending_.tuples[pending_pos_++]);
+  return true;
+}
+
+GatherOperator::GatherOperator(std::vector<std::unique_ptr<Operator>> workers,
+                               std::vector<std::shared_ptr<SharedPlanState>> states,
+                               ThreadPool* pool)
+    : workers_(std::move(workers)), states_(std::move(states)), pool_(pool) {}
+
+std::vector<Operator*> GatherOperator::Children() {
+  std::vector<Operator*> children;
+  children.reserve(workers_.size());
+  for (const auto& worker : workers_) children.push_back(worker.get());
+  return children;
+}
+
+void GatherOperator::SetTraceSink(TraceSink sink) {
+  if (sink) {
+    auto mutex = std::make_shared<std::mutex>();
+    auto inner = std::make_shared<TraceSink>(std::move(sink));
+    sink = [mutex, inner](const std::string& op, const core::AnnotatedTuple& t) {
+      std::lock_guard<std::mutex> lock(*mutex);
+      (*inner)(op, t);
+    };
+  }
+  Operator::SetTraceSink(std::move(sink));
+}
+
+Status GatherOperator::DrainWorker(Operator* worker,
+                                   std::vector<core::AnnotatedBatch>* out) {
+  INSIGHTNOTES_RETURN_IF_ERROR(worker->Open());
+  while (true) {
+    core::AnnotatedBatch batch;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, worker->NextBatch(&batch));
+    if (!more) break;
+    out->push_back(std::move(batch));
+  }
+  return Status::OK();
+}
+
+Status GatherOperator::OpenImpl() {
+  // Shared states reset once, serially, before any worker job runs: the
+  // morsel source's prefetch and the join builds do all buffer-pool I/O
+  // here on the caller's thread.
+  for (const auto& state : states_) {
+    INSIGHTNOTES_RETURN_IF_ERROR(state->Reset());
+  }
+  batches_.clear();
+  batch_cursor_ = 0;
+  tuple_cursor_ = 0;
+
+  if (pool_ == nullptr || workers_.size() == 1) {
+    for (const auto& worker : workers_) {
+      INSIGHTNOTES_RETURN_IF_ERROR(DrainWorker(worker.get(), &batches_));
+    }
+  } else {
+    std::vector<std::future<Status>> futures;
+    std::vector<std::vector<core::AnnotatedBatch>> collected(workers_.size());
+    futures.reserve(workers_.size());
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      Operator* worker = workers_[w].get();
+      std::vector<core::AnnotatedBatch>* sink = &collected[w];
+      futures.push_back(
+          pool_->Submit([worker, sink] { return DrainWorker(worker, sink); }));
+    }
+    Status first_error;
+    for (auto& future : futures) {
+      Status status = future.get();
+      if (first_error.ok() && !status.ok()) first_error = std::move(status);
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(first_error);
+    size_t total = 0;
+    for (const auto& worker_batches : collected) total += worker_batches.size();
+    batches_.reserve(total);
+    for (auto& worker_batches : collected) {
+      for (auto& batch : worker_batches) batches_.push_back(std::move(batch));
+    }
+  }
+  // Re-serialize: morsel indexes are unique, so sorting by them restores
+  // the exact order a serial scan would have produced.
+  std::sort(batches_.begin(), batches_.end(),
+            [](const core::AnnotatedBatch& a, const core::AnnotatedBatch& b) {
+              return a.morsel < b.morsel;
+            });
+  return Status::OK();
+}
+
+Result<bool> GatherOperator::NextBatchImpl(core::AnnotatedBatch* out) {
+  if (batch_cursor_ >= batches_.size()) return false;
+  *out = std::move(batches_[batch_cursor_++]);
+  return true;
+}
+
+Result<bool> GatherOperator::NextImpl(core::AnnotatedTuple* out) {
+  while (batch_cursor_ < batches_.size()) {
+    core::AnnotatedBatch& batch = batches_[batch_cursor_];
+    if (tuple_cursor_ < batch.tuples.size()) {
+      *out = std::move(batch.tuples[tuple_cursor_++]);
+      return true;
+    }
+    ++batch_cursor_;
+    tuple_cursor_ = 0;
+  }
+  return false;
+}
+
+}  // namespace insightnotes::exec

@@ -1,0 +1,153 @@
+// Morsel-driven parallel execution (after HyPer, Leis et al.; see
+// PAPERS.md): the planner replicates the per-tuple pipeline section of a
+// plan (scan -> filters -> Theorem-1 projections -> hash-join probes ->
+// summary filters) into P worker pipelines that share
+//
+//   * a ScanMorselSource — the driving table materialized once, handing
+//     out fixed-size tuple-range morsels through an atomic cursor, and
+//   * any HashJoinBuildState (see exec/hash_join.h) — built once, probed
+//     concurrently.
+//
+// GatherOperator owns the worker pipelines and the shared states, runs the
+// workers on the engine's thread pool, and re-serializes their output in
+// morsel order. Because every pipeline stage is a pure per-tuple function
+// over immutable shared state, each morsel's output batch is independent
+// of which worker ran it — so the gathered stream (tuples, merged summary
+// objects, re-elected cluster representatives, attachment metadata) is
+// byte-identical to serial execution, preserving the Theorems 1 & 2
+// plan-equivalence guarantees.
+
+#ifndef INSIGHTNOTES_EXEC_PARALLEL_H_
+#define INSIGHTNOTES_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "annotation/annotation_store.h"
+#include "common/thread_pool.h"
+#include "core/summary_manager.h"
+#include "exec/operator.h"
+#include "rel/table.h"
+
+namespace insightnotes::exec {
+
+/// State shared by all worker pipelines of one parallel plan. Gather
+/// resets each registered state exactly once per Open, in registration
+/// order, before any worker job is submitted.
+class SharedPlanState {
+ public:
+  virtual ~SharedPlanState() = default;
+  virtual Status Reset() = 0;
+};
+
+/// The driving table of a parallel pipeline section. Reset materializes
+/// the live rows *and their data tuples* in one serial scan pass (the
+/// buffer pool below rel::Table is single-threaded); workers then only do
+/// CPU work — summary clones, attachment metadata, downstream stages.
+class ScanMorselSource final : public SharedPlanState {
+ public:
+  ScanMorselSource(const rel::Table* table, std::string alias,
+                   core::SummaryManager* manager, const ann::AnnotationStore* store,
+                   bool with_summaries, size_t morsel_size);
+
+  Status Reset() override;
+
+  /// Claims the next unprocessed morsel index. Thread-safe; false when the
+  /// table is exhausted.
+  bool ClaimMorsel(uint64_t* morsel);
+
+  /// Materializes morsel `morsel`'s AnnotatedTuples into `out` (summary
+  /// clones + attachment metadata, exactly as SeqScanOperator would emit
+  /// them). Safe to call concurrently for distinct morsels.
+  Status Materialize(uint64_t morsel, core::AnnotatedBatch* out) const;
+
+  const rel::Schema& schema() const { return schema_; }
+  const std::string& alias() const { return alias_; }
+  size_t EstimatedRows() const { return static_cast<size_t>(table_->NumRows()); }
+
+ private:
+  const rel::Table* table_;
+  std::string alias_;
+  core::SummaryManager* manager_;
+  const ann::AnnotationStore* store_;
+  bool with_summaries_;
+  size_t morsel_size_;
+  rel::Schema schema_;
+
+  std::vector<rel::RowId> rows_;    // Live row ids, insertion order.
+  std::vector<rel::Tuple> tuples_;  // Prefetched data tuples, same order.
+  std::atomic<uint64_t> next_morsel_{0};
+};
+
+/// Per-worker scan stage over a shared ScanMorselSource. Open is a no-op
+/// (the source is reset by the owning GatherOperator).
+class MorselScanOperator final : public Operator {
+ public:
+  explicit MorselScanOperator(std::shared_ptr<ScanMorselSource> source)
+      : source_(std::move(source)) {}
+
+  const rel::Schema& OutputSchema() const override { return source_->schema(); }
+  std::string Name() const override {
+    return "MorselScan(" + source_->alias() + ")";
+  }
+  size_t EstimatedRows() const override { return source_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
+  Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
+
+ private:
+  std::shared_ptr<ScanMorselSource> source_;
+  // Tuple-at-a-time adapter state (NextBatch is the native interface).
+  core::AnnotatedBatch pending_;
+  size_t pending_pos_ = 0;
+};
+
+/// Exchange: runs P worker pipelines over the shared morsel source on the
+/// engine's thread pool and re-serializes their batches in morsel order,
+/// making the output order (and content) identical to serial execution.
+/// With a null pool or a single worker the pipeline runs inline.
+class GatherOperator final : public Operator {
+ public:
+  GatherOperator(std::vector<std::unique_ptr<Operator>> workers,
+                 std::vector<std::shared_ptr<SharedPlanState>> states,
+                 ThreadPool* pool);
+
+  const rel::Schema& OutputSchema() const override {
+    return workers_.front()->OutputSchema();
+  }
+  std::string Name() const override {
+    return "Gather(" + std::to_string(workers_.size()) + ")";
+  }
+  std::vector<Operator*> Children() override;
+  size_t EstimatedRows() const override {
+    return workers_.front()->EstimatedRows();
+  }
+  /// Serializes the sink: worker pipelines emit from pool threads.
+  void SetTraceSink(TraceSink sink) override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
+  Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
+
+ private:
+  /// Runs one worker pipeline to exhaustion, appending its batches.
+  static Status DrainWorker(Operator* worker, std::vector<core::AnnotatedBatch>* out);
+
+  std::vector<std::unique_ptr<Operator>> workers_;
+  std::vector<std::shared_ptr<SharedPlanState>> states_;
+  ThreadPool* pool_;
+
+  std::vector<core::AnnotatedBatch> batches_;  // Morsel order after Open.
+  size_t batch_cursor_ = 0;
+  size_t tuple_cursor_ = 0;  // Within batches_[batch_cursor_] for NextImpl.
+};
+
+}  // namespace insightnotes::exec
+
+#endif  // INSIGHTNOTES_EXEC_PARALLEL_H_

@@ -46,11 +46,9 @@ Result<std::unique_ptr<ProjectOperator>> ProjectOperator::FromColumns(
                                            trim_annotations);
 }
 
-Result<bool> ProjectOperator::Next(core::AnnotatedTuple* out) {
-  core::AnnotatedTuple in;
-  INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
-  if (!more) return false;
-
+Status ProjectOperator::ProjectTuple(core::AnnotatedTuple* in_ptr,
+                                     core::AnnotatedTuple* out) const {
+  core::AnnotatedTuple& in = *in_ptr;
   // 1. Trim: eliminate the effect of annotations attached only to
   //    projected-out columns (before any downstream merge — Theorem 1).
   std::vector<core::AttachmentInfo> surviving;
@@ -95,7 +93,28 @@ Result<bool> ProjectOperator::Next(core::AnnotatedTuple* out) {
   out->tuple = std::move(projected);
   out->summaries = std::move(in.summaries);
   out->attachments = std::move(surviving);
+  return Status::OK();
+}
+
+Result<bool> ProjectOperator::NextImpl(core::AnnotatedTuple* out) {
+  core::AnnotatedTuple in;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  INSIGHTNOTES_RETURN_IF_ERROR(ProjectTuple(&in, out));
   Trace(*out);
+  return true;
+}
+
+Result<bool> ProjectOperator::NextBatchImpl(core::AnnotatedBatch* out) {
+  core::AnnotatedBatch in;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&in));
+  if (!more) return false;
+  out->tuples.resize(in.tuples.size());
+  out->morsel = in.morsel;
+  for (size_t i = 0; i < in.tuples.size(); ++i) {
+    INSIGHTNOTES_RETURN_IF_ERROR(ProjectTuple(&in.tuples[i], &out->tuples[i]));
+    Trace(out->tuples[i]);
+  }
   return true;
 }
 

@@ -42,16 +42,22 @@ class ProjectOperator final : public Operator {
       std::unique_ptr<Operator> child, const std::vector<std::string>& names,
       bool trim_annotations = true);
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return schema_; }
   std::string Name() const override;
-  void SetTraceSink(TraceSink sink) override {
-    child_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
+  /// Native batch path: one child batch in, one (same-morsel) batch out.
+  Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
 
  private:
+  /// Trims/remaps annotations and projects the data values of one tuple.
+  Status ProjectTuple(core::AnnotatedTuple* in, core::AnnotatedTuple* out) const;
+
+
   std::unique_ptr<Operator> child_;
   std::vector<ProjectionItem> items_;
   rel::Schema schema_;

@@ -15,7 +15,7 @@ SeqScanOperator::SeqScanOperator(const rel::Table* table, std::string alias,
   if (alias_.empty()) alias_ = table->name();
 }
 
-Status SeqScanOperator::Open() {
+Status SeqScanOperator::OpenImpl() {
   rows_.clear();
   cursor_ = 0;
   return table_->Scan([&](rel::RowId row, const rel::Tuple&) {
@@ -24,7 +24,7 @@ Status SeqScanOperator::Open() {
   });
 }
 
-Result<bool> SeqScanOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> SeqScanOperator::NextImpl(core::AnnotatedTuple* out) {
   if (cursor_ >= rows_.size()) return false;
   rel::RowId row = rows_[cursor_++];
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Tuple tuple, table_->Get(row));

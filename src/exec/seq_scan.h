@@ -25,10 +25,15 @@ class SeqScanOperator final : public Operator {
                   core::SummaryManager* manager, const ann::AnnotationStore* store,
                   bool with_summaries = true);
 
-  Status Open() override;
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return schema_; }
   std::string Name() const override { return "SeqScan(" + alias_ + ")"; }
+  size_t EstimatedRows() const override {
+    return static_cast<size_t>(table_->NumRows());
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
 
  private:
   const rel::Table* table_;

@@ -6,16 +6,18 @@
 
 namespace insightnotes::exec {
 
-Status SortOperator::Open() {
+Status SortOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
   results_.clear();
   cursor_ = 0;
-  core::AnnotatedTuple in;
+  results_.reserve(child_->EstimatedRows());
+  core::AnnotatedBatch batch;
   while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
-    results_.push_back(std::move(in));
-    in = core::AnnotatedTuple();
+    for (core::AnnotatedTuple& in : batch.tuples) {
+      results_.push_back(std::move(in));
+    }
   }
 
   // Precompute key values so comparator calls cannot fail mid-sort.
@@ -46,14 +48,14 @@ Status SortOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> SortOperator::NextImpl(core::AnnotatedTuple* out) {
   if (cursor_ >= results_.size()) return false;
   *out = std::move(results_[cursor_++]);
   Trace(*out);
   return true;
 }
 
-Result<bool> LimitOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> LimitOperator::NextImpl(core::AnnotatedTuple* out) {
   if (produced_ >= limit_) return false;
   INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;

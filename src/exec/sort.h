@@ -5,6 +5,7 @@
 #ifndef INSIGHTNOTES_EXEC_SORT_H_
 #define INSIGHTNOTES_EXEC_SORT_H_
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -23,14 +24,14 @@ class SortOperator final : public Operator {
   SortOperator(std::unique_ptr<Operator> child, std::vector<SortKey> keys)
       : child_(std::move(child)), keys_(std::move(keys)) {}
 
-  Status Open() override;
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
   std::string Name() const override { return "Sort"; }
-  void SetTraceSink(TraceSink sink) override {
-    child_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -45,17 +46,19 @@ class LimitOperator final : public Operator {
   LimitOperator(std::unique_ptr<Operator> child, size_t limit)
       : child_(std::move(child)), limit_(limit) {}
 
-  Status Open() override {
+  const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
+  std::string Name() const override { return "Limit(" + std::to_string(limit_) + ")"; }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override {
+    return std::min(limit_, child_->EstimatedRows());
+  }
+
+ protected:
+  Status OpenImpl() override {
     produced_ = 0;
     return child_->Open();
   }
-  Result<bool> Next(core::AnnotatedTuple* out) override;
-  const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
-  std::string Name() const override { return "Limit(" + std::to_string(limit_) + ")"; }
-  void SetTraceSink(TraceSink sink) override {
-    child_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
 
  private:
   std::unique_ptr<Operator> child_;

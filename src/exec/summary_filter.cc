@@ -24,37 +24,50 @@ std::string SummaryCountSpec::ToString() const {
          ")";
 }
 
-Result<bool> SummaryFilterOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> SummaryFilterOperator::Passes(const core::AnnotatedTuple& tuple) const {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t count, spec_.Evaluate(tuple));
+  switch (op_) {
+    case rel::CompareOp::kEq:
+      return count == threshold_;
+    case rel::CompareOp::kNe:
+      return count != threshold_;
+    case rel::CompareOp::kLt:
+      return count < threshold_;
+    case rel::CompareOp::kLe:
+      return count <= threshold_;
+    case rel::CompareOp::kGt:
+      return count > threshold_;
+    case rel::CompareOp::kGe:
+      return count >= threshold_;
+  }
+  return false;
+}
+
+Result<bool> SummaryFilterOperator::NextImpl(core::AnnotatedTuple* out) {
   while (true) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
-    INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t count, spec_.Evaluate(*out));
-    bool pass = false;
-    switch (op_) {
-      case rel::CompareOp::kEq:
-        pass = count == threshold_;
-        break;
-      case rel::CompareOp::kNe:
-        pass = count != threshold_;
-        break;
-      case rel::CompareOp::kLt:
-        pass = count < threshold_;
-        break;
-      case rel::CompareOp::kLe:
-        pass = count <= threshold_;
-        break;
-      case rel::CompareOp::kGt:
-        pass = count > threshold_;
-        break;
-      case rel::CompareOp::kGe:
-        pass = count >= threshold_;
-        break;
-    }
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool pass, Passes(*out));
     if (pass) {
       Trace(*out);
       return true;
     }
   }
+}
+
+Result<bool> SummaryFilterOperator::NextBatchImpl(core::AnnotatedBatch* out) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(out));
+  if (!more) return false;
+  size_t kept = 0;
+  for (size_t i = 0; i < out->tuples.size(); ++i) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool pass, Passes(out->tuples[i]));
+    if (!pass) continue;
+    if (kept != i) out->tuples[kept] = std::move(out->tuples[i]);
+    Trace(out->tuples[kept]);
+    ++kept;
+  }
+  out->tuples.resize(kept);
+  return true;
 }
 
 std::string SummaryFilterOperator::Name() const {
@@ -63,19 +76,22 @@ std::string SummaryFilterOperator::Name() const {
          std::to_string(threshold_) + ")";
 }
 
-Status SummarySortOperator::Open() {
+Status SummarySortOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
   results_.clear();
   cursor_ = 0;
-  core::AnnotatedTuple in;
+  results_.reserve(child_->EstimatedRows());
   std::vector<int64_t> keys;
+  keys.reserve(child_->EstimatedRows());
+  core::AnnotatedBatch batch;
   while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
-    INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t key, spec_.Evaluate(in));
-    keys.push_back(key);
-    results_.push_back(std::move(in));
-    in = core::AnnotatedTuple();
+    for (core::AnnotatedTuple& in : batch.tuples) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t key, spec_.Evaluate(in));
+      keys.push_back(key);
+      results_.push_back(std::move(in));
+    }
   }
   std::vector<size_t> order(results_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -89,7 +105,7 @@ Status SummarySortOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> SummarySortOperator::Next(core::AnnotatedTuple* out) {
+Result<bool> SummarySortOperator::NextImpl(core::AnnotatedTuple* out) {
   if (cursor_ >= results_.size()) return false;
   *out = std::move(results_[cursor_++]);
   Trace(*out);

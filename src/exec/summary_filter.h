@@ -41,16 +41,21 @@ class SummaryFilterOperator final : public Operator {
       : child_(std::move(child)), spec_(std::move(spec)), op_(op),
         threshold_(threshold) {}
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
   std::string Name() const override;
-  void SetTraceSink(TraceSink sink) override {
-    child_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
+  /// Native batch path: one child batch in, one (same-morsel) batch out;
+  /// may be empty with a `true` return.
+  Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
 
  private:
+  Result<bool> Passes(const core::AnnotatedTuple& tuple) const;
+
   std::unique_ptr<Operator> child_;
   SummaryCountSpec spec_;
   rel::CompareOp op_;
@@ -64,16 +69,16 @@ class SummarySortOperator final : public Operator {
                       bool ascending)
       : child_(std::move(child)), spec_(std::move(spec)), ascending_(ascending) {}
 
-  Status Open() override;
-  Result<bool> Next(core::AnnotatedTuple* out) override;
   const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
   std::string Name() const override {
     return "SummarySort(" + spec_.ToString() + (ascending_ ? " ASC" : " DESC") + ")";
   }
-  void SetTraceSink(TraceSink sink) override {
-    child_->SetTraceSink(sink);
-    trace_ = std::move(sink);
-  }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
 
  private:
   std::unique_ptr<Operator> child_;

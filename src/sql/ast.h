@@ -132,10 +132,24 @@ struct LinkStatement {
   bool link = true;  // False = UNLINK.
 };
 
+/// SET <name> = <integer> — session knob (e.g. SET PARALLELISM = 8).
+struct SetStatement {
+  std::string name;
+  int64_t value = 0;
+};
+
+/// EXPLAIN [ANALYZE] <select>. Plain EXPLAIN prints the plan shape;
+/// ANALYZE executes the query and prints per-operator metrics.
+struct ExplainStatement {
+  bool analyze = false;
+  SelectStatement select;
+};
+
 using Statement =
     std::variant<SelectStatement, CreateTableStatement, InsertStatement,
                  AnnotateStatement, ZoomInStatement, CreateInstanceStatement,
-                 TrainInstanceStatement, LinkStatement>;
+                 TrainInstanceStatement, LinkStatement, SetStatement,
+                 ExplainStatement>;
 
 }  // namespace insightnotes::sql
 

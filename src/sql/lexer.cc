@@ -11,14 +11,17 @@ namespace insightnotes::sql {
 namespace {
 
 // Sorted for binary search.
-constexpr std::array<std::string_view, 56> kKeywords = {
-    "AND",      "ANNOTATE", "AS",      "ASC",     "AUTHOR",   "AVG",
+constexpr std::array<std::string_view, 59> kKeywords = {
+    "ANALYZE",  "AND",      "ANNOTATE", "AS",      "ASC",     "AUTHOR",
+    "AVG",
     "BIGINT",   "BY",       "CLASSIFIER", "CLUSTER", "COLUMNS", "COUNT",
-    "CREATE",   "DESC",     "DISTINCT", "DOCUMENT", "DOUBLE",  "FLOAT",
+    "CREATE",   "DESC",     "DISTINCT", "DOCUMENT", "DOUBLE",  "EXPLAIN",
+    "FLOAT",
     "FROM",     "GROUP",    "INDEX",   "INSERT",  "INSTANCE", "INT",
     "INTO",     "LABEL",    "LABELS",  "LIMIT",   "LINK",     "MAX",
     "MIN",      "NOT",      "NULL",    "ON",      "OR",       "ORDER",
-    "PROPERTIES", "QID",    "REFERENCE", "ROW",   "SELECT",   "SNIPPET",
+    "PROPERTIES", "QID",    "REFERENCE", "ROW",   "SELECT",   "SET",
+    "SNIPPET",
     "SUM",      "SUMMARY",  "SUMMARY_COUNT", "TABLE", "TEXT", "THRESHOLD",
     "TITLE",
     "TO",       "TRAIN",    "UNLINK",  "VALUES",  "WHERE",   "WITH",

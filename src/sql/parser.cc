@@ -12,6 +12,8 @@ class Parser {
 
   Result<Statement> ParseStatement() {
     if (AtKeyword("SELECT")) return ParseSelect();
+    if (AtKeyword("EXPLAIN")) return ParseExplain();
+    if (AtKeyword("SET")) return ParseSet();
     if (AtKeyword("INSERT")) return ParseInsert();
     if (AtKeyword("ANNOTATE")) return ParseAnnotate();
     if (AtKeyword("ZOOMIN")) return ParseZoomIn();
@@ -386,6 +388,24 @@ class Parser {
       if (n < 0) return Error("LIMIT must be non-negative");
       stmt.limit = static_cast<size_t>(n);
     }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseExplain() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
+    ExplainStatement stmt;
+    stmt.analyze = ConsumeKeyword("ANALYZE");
+    INSIGHTNOTES_ASSIGN_OR_RETURN(Statement inner, ParseSelect());
+    stmt.select = std::move(std::get<SelectStatement>(inner));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseSet() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    SetStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("="));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.value, ExpectInteger());
     return Statement(std::move(stmt));
   }
 

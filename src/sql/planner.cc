@@ -8,6 +8,7 @@
 #include "exec/filter.h"
 #include "exec/hash_join.h"
 #include "exec/nested_loop_join.h"
+#include "exec/parallel.h"
 #include "exec/projection.h"
 #include "exec/sort.h"
 #include "exec/summary_filter.h"
@@ -79,8 +80,16 @@ class SelectPlanner {
     INSIGHTNOTES_RETURN_IF_ERROR(ResolveTables());
     INSIGHTNOTES_RETURN_IF_ERROR(ExpandStar());
     INSIGHTNOTES_RETURN_IF_ERROR(CollectReferencedColumns());
-    INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> tree, BuildJoinTree());
-    INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyResidualFilters(std::move(tree)));
+    std::unique_ptr<exec::Operator> tree;
+    if (options_.parallelism > 1) {
+      // Residual and summary filters run inside the workers when the
+      // parallel section is eligible; otherwise fall through to serial.
+      INSIGHTNOTES_ASSIGN_OR_RETURN(tree, BuildParallelSection());
+    }
+    if (tree == nullptr) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(tree, BuildJoinTree());
+      INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyResidualFilters(std::move(tree)));
+    }
     INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyAggregation(std::move(tree)));
     INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyOrderBy(std::move(tree)));
     INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyFinalProjection(std::move(tree)));
@@ -260,11 +269,11 @@ class SelectPlanner {
     return Status::OK();
   }
 
-  /// Scan [+ filter] [+ Theorem-1 projection] for one table.
-  Result<std::unique_ptr<exec::Operator>> BuildTableInput(size_t k) {
+  /// Table `k`'s per-tuple stages — filters + Theorem-1 projection — on top
+  /// of `tree` (a scan of the table, serial or morsel-parallel).
+  Result<std::unique_ptr<exec::Operator>> ApplyTableStages(
+      size_t k, std::unique_ptr<exec::Operator> tree) {
     TableSlot& slot = tables_[k];
-    INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> tree,
-                                  engine_->MakeScan(slot.table->name(), slot.alias));
     for (const AstExpr* filter : slot.filters) {
       INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound,
                                     Bind(*filter, tree->OutputSchema()));
@@ -282,6 +291,107 @@ class SelectPlanner {
       tree = std::move(project);
     }
     return tree;
+  }
+
+  /// Scan [+ filter] [+ Theorem-1 projection] for one table.
+  Result<std::unique_ptr<exec::Operator>> BuildTableInput(size_t k) {
+    TableSlot& slot = tables_[k];
+    INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> tree,
+                                  engine_->MakeScan(slot.table->name(), slot.alias));
+    return ApplyTableStages(k, std::move(tree));
+  }
+
+  /// Morsel-parallel form of BuildJoinTree + ApplyResidualFilters: P worker
+  /// pipelines sharing a morsel source over the driving table (and one
+  /// partitioned build state per equi-join), re-serialized by a Gather in
+  /// morsel order. Returns null — without touching planner state — when the
+  /// plan needs a stage with no parallel form (a cross product), so the
+  /// caller falls back to the serial tree.
+  Result<std::unique_ptr<exec::Operator>> BuildParallelSection() {
+    const size_t num_workers = options_.parallelism;
+    ThreadPool* pool = engine_->ExecPool(num_workers);
+    TableSlot& driver = tables_[0];
+    auto source = std::make_shared<exec::ScanMorselSource>(
+        driver.table, driver.alias, engine_->summaries(), engine_->annotations(),
+        /*with_summaries=*/true, options_.morsel_size);
+    std::vector<std::shared_ptr<exec::SharedPlanState>> states;
+    states.push_back(source);
+
+    std::vector<std::unique_ptr<exec::Operator>> pipes;
+    pipes.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      std::unique_ptr<exec::Operator> pipe =
+          std::make_unique<exec::MorselScanOperator>(source);
+      INSIGHTNOTES_ASSIGN_OR_RETURN(pipe, ApplyTableStages(0, std::move(pipe)));
+      pipes.push_back(std::move(pipe));
+    }
+
+    // Joins: same conjunct selection as the serial BuildJoinTree (all pipes
+    // share one output schema, so pipes[0] stands in for the serial tree),
+    // but the build side is materialized once into a shared partitioned
+    // state probed by every worker.
+    std::vector<bool> used(join_conjuncts_.size(), false);
+    for (size_t k = 1; k < tables_.size(); ++k) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> right,
+                                    BuildTableInput(k));
+      ssize_t chosen = -1;
+      bool left_is_tree = true;
+      for (size_t j = 0; j < join_conjuncts_.size(); ++j) {
+        if (used[j]) continue;
+        const AstExpr* c = join_conjuncts_[j];
+        if (BindableAgainst(*c->left, pipes[0]->OutputSchema()) &&
+            BindableAgainst(*c->right, right->OutputSchema())) {
+          chosen = static_cast<ssize_t>(j);
+          left_is_tree = true;
+          break;
+        }
+        if (BindableAgainst(*c->left, right->OutputSchema()) &&
+            BindableAgainst(*c->right, pipes[0]->OutputSchema())) {
+          chosen = static_cast<ssize_t>(j);
+          left_is_tree = false;
+          break;
+        }
+      }
+      if (chosen < 0) return std::unique_ptr<exec::Operator>();
+      used[static_cast<size_t>(chosen)] = true;
+      const AstExpr* c = join_conjuncts_[static_cast<size_t>(chosen)];
+      const AstExpr* probe_side = left_is_tree ? c->left.get() : c->right.get();
+      const AstExpr* build_side = left_is_tree ? c->right.get() : c->left.get();
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr build_key,
+                                    Bind(*build_side, right->OutputSchema()));
+      auto state = std::make_shared<exec::HashJoinBuildState>(
+          std::move(right), std::move(build_key), num_workers, pool);
+      states.push_back(state);
+      for (size_t w = 0; w < num_workers; ++w) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr probe_key,
+                                      Bind(*probe_side, pipes[w]->OutputSchema()));
+        pipes[w] = std::make_unique<exec::HashJoinProbeOperator>(
+            std::move(pipes[w]), state, std::move(probe_key),
+            /*expose_build=*/w == 0);
+      }
+    }
+
+    // Residual conjuncts (incl. leftover join conjuncts) and summary
+    // filters are per-tuple stages: they run inside every worker instead
+    // of above the gather.
+    std::vector<const AstExpr*> residuals = residual_conjuncts_;
+    for (size_t j = 0; j < join_conjuncts_.size(); ++j) {
+      if (!used[j]) residuals.push_back(join_conjuncts_[j]);
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      for (const AstExpr* conjunct : residuals) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound,
+                                      Bind(*conjunct, pipes[w]->OutputSchema()));
+        pipes[w] =
+            std::make_unique<exec::FilterOperator>(std::move(pipes[w]), std::move(bound));
+      }
+      for (const SummaryFilter& filter : summary_filters_) {
+        pipes[w] = std::make_unique<exec::SummaryFilterOperator>(
+            std::move(pipes[w]), filter.spec, filter.op, filter.threshold);
+      }
+    }
+    return std::unique_ptr<exec::Operator>(std::make_unique<exec::GatherOperator>(
+        std::move(pipes), std::move(states), pool));
   }
 
   Result<std::unique_ptr<exec::Operator>> BuildJoinTree() {

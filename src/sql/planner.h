@@ -22,6 +22,15 @@ namespace insightnotes::sql {
 struct PlannerOptions {
   /// Apply the Theorem 1&2 normalization (default on).
   bool project_before_merge = true;
+  /// Worker pipelines of the morsel-driven parallel section. 1 (default)
+  /// plans the legacy serial tree. N > 1 replicates the per-tuple section
+  /// of eligible plans (scan / filter / projection / equi-join probe /
+  /// summary filter) into N pipelines over a shared morsel source, gathered
+  /// in morsel order — results are byte-identical to serial execution.
+  /// Plans needing a cross product fall back to the serial tree.
+  size_t parallelism = 1;
+  /// Tuples per morsel handed to a parallel-scan worker.
+  size_t morsel_size = 256;
 };
 
 /// Builds an executable operator tree for `stmt` against `engine`'s catalog.

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "exec/metrics.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 
@@ -155,7 +156,41 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
                                             std::vector<core::TraceEvent>* trace) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(Statement statement, Parse(sql));
   if (auto* select = std::get_if<SelectStatement>(&statement)) {
-    return RunSelect(*select, engine_, planner_options_, trace);
+    PlannerOptions options = planner_options_;
+    // Tracing observes per-operator tuple order; keep the legacy serial plan.
+    options.parallelism = trace != nullptr ? 1 : parallelism_;
+    return RunSelect(*select, engine_, options, trace);
+  }
+  if (auto* set = std::get_if<SetStatement>(&statement)) {
+    if (EqualsIgnoreCase(set->name, "parallelism")) {
+      parallelism_ = static_cast<size_t>(std::max<int64_t>(1, set->value));
+      ExecutionOutput out;
+      out.message = "parallelism = " + std::to_string(parallelism_);
+      return out;
+    }
+    return Status::InvalidArgument("unknown session knob '" + set->name + "'");
+  }
+  if (auto* explain = std::get_if<ExplainStatement>(&statement)) {
+    PlannerOptions options = planner_options_;
+    options.parallelism = parallelism_;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(auto plan,
+                                  PlanSelect(explain->select, engine_, options));
+    ExecutionOutput out;
+    if (!explain->analyze) {
+      out.message = exec::RenderPlan(plan.get());
+      return out;
+    }
+    exec::Operator* root = plan.get();
+    root->SetMetricsEnabled(true);
+    // The engine retains the plan for zoom-in re-execution, so `root`
+    // outlives Execute and the counters can be snapshotted afterwards.
+    INSIGHTNOTES_ASSIGN_OR_RETURN(core::QueryResult result,
+                                  engine_->Execute(std::move(plan)));
+    std::ostringstream os;
+    os << exec::RenderPlanMetrics(exec::CollectPlanMetrics(root));
+    os << "QID " << result.qid << ": " << result.rows.size() << " row(s)";
+    out.message = os.str();
+    return out;
   }
   if (auto* create = std::get_if<CreateTableStatement>(&statement)) {
     return RunCreateTable(*create, engine_);

@@ -5,8 +5,10 @@
 #ifndef INSIGHTNOTES_SQL_SESSION_H_
 #define INSIGHTNOTES_SQL_SESSION_H_
 
+#include <algorithm>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "common/result.h"
 #include "core/engine.h"
@@ -25,20 +27,31 @@ struct ExecutionOutput {
 
 class SqlSession {
  public:
-  /// `engine` must outlive the session.
+  /// `engine` must outlive the session. The session's parallelism knob
+  /// starts at `planner_options.parallelism` when that is explicit (> 1),
+  /// otherwise at the hardware concurrency; SET PARALLELISM = N adjusts it
+  /// (1 = legacy serial plans).
   explicit SqlSession(core::Engine* engine, PlannerOptions planner_options = {})
-      : engine_(engine), planner_options_(planner_options) {}
+      : engine_(engine),
+        planner_options_(planner_options),
+        parallelism_(planner_options.parallelism > 1
+                         ? planner_options.parallelism
+                         : std::max<size_t>(1, std::thread::hardware_concurrency())) {}
 
   /// Parses, plans and executes one statement. With `trace` non-null,
-  /// SELECTs record per-operator tuple flow.
+  /// SELECTs record per-operator tuple flow (traced queries always plan
+  /// serially so events arrive in the legacy order).
   Result<ExecutionOutput> Execute(std::string_view sql,
                                   std::vector<core::TraceEvent>* trace = nullptr);
 
   core::Engine* engine() { return engine_; }
 
+  size_t parallelism() const { return parallelism_; }
+
  private:
   core::Engine* engine_;
   PlannerOptions planner_options_;
+  size_t parallelism_;
 };
 
 /// Renders a result table ("a | b\n1 | x\n...") with one trailing summary

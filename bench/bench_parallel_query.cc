@@ -1,8 +1,8 @@
-// Thread sweep over the morsel-driven parallel executor: the same
-// scan+filter and scan+filter+join workloads planned at parallelism
-// 1 / 2 / 4 / 8. Parallelism 1 is the legacy serial tree (the baseline
-// the speedup is measured against); the oracle test guarantees the
-// parallel plans return byte-identical results, so the sweep measures
+// Thread sweep over the morsel-driven parallel executor: scan+filter,
+// scan+filter+join, aggregation, sort and distinct workloads planned at
+// parallelism 1 / 2 / 4 / 8. Parallelism 1 is the legacy serial tree (the
+// baseline the speedup is measured against); the oracle tests guarantee
+// the parallel plans return byte-identical results, so the sweep measures
 // pure execution-layer scaling. Emits BENCH_query.json alongside the
 // console report (see bench_util.h / check_bench_json.py).
 
@@ -65,6 +65,58 @@ void BM_ParallelScanFilterJoin(benchmark::State& state) {
   state.SetLabel("scan+filter+join/p" + std::to_string(parallelism));
 }
 
+void BM_ParallelAggregate(benchmark::State& state) {
+  size_t parallelism = static_cast<size_t>(state.range(0));
+  BuiltWorkload* built = GetWorkload(kSpecies, kAnnotationsPerTuple);
+  // Pre-aggregation runs inside the workers; the merge above the gather
+  // folds the per-worker group tables (and their partially-merged
+  // summaries) in morsel order.
+  const std::string query =
+      "SELECT b.family, COUNT(*), SUM(b.weight), AVG(b.weight), MIN(b.name) "
+      "FROM birds b GROUP BY b.family";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuery(built->engine.get(), query, parallelism));
+  }
+  state.counters["threads"] = static_cast<double>(parallelism);
+  state.SetLabel("aggregate/p" + std::to_string(parallelism));
+}
+
+void BM_ParallelSort(benchmark::State& state) {
+  size_t parallelism = static_cast<size_t>(state.range(0));
+  BuiltWorkload* built = GetWorkload(kSpecies, kAnnotationsPerTuple);
+  const std::string query =
+      "SELECT b.id, b.name, b.weight FROM birds b "
+      "ORDER BY b.weight DESC, b.id";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuery(built->engine.get(), query, parallelism));
+  }
+  state.counters["threads"] = static_cast<double>(parallelism);
+  state.SetLabel("sort/p" + std::to_string(parallelism));
+}
+
+void BM_ParallelDistinct(benchmark::State& state) {
+  size_t parallelism = static_cast<size_t>(state.range(0));
+  BuiltWorkload* built = GetWorkload(kSpecies, kAnnotationsPerTuple);
+  const std::string query = "SELECT DISTINCT b.family FROM birds b";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuery(built->engine.get(), query, parallelism));
+  }
+  state.counters["threads"] = static_cast<double>(parallelism);
+  state.SetLabel("distinct/p" + std::to_string(parallelism));
+}
+
+BENCHMARK(BM_ParallelAggregate)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ParallelSort)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ParallelDistinct)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 BENCHMARK(BM_ParallelScanFilter)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)

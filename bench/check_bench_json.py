@@ -51,7 +51,30 @@ def check_report(path):
         if entry.get("time_unit") not in ("ns", "us", "ms", "s"):
             return fail(path, f"{where}.time_unit ({name}) invalid")
 
+    status = check_thread_sweeps(path, benchmarks)
+    if status:
+        return status
+
     print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
+    return 0
+
+
+def check_thread_sweeps(path, benchmarks):
+    """Parallel-executor sweeps (BM_Parallel*) must carry a `threads`
+    counter, and every swept family needs its parallelism-1 entry — that is
+    the serial baseline the speedup trajectory is computed against."""
+    families = {}
+    for i, entry in enumerate(benchmarks):
+        name = entry.get("name", "")
+        if not name.startswith("BM_Parallel"):
+            continue
+        threads = entry.get("threads")
+        if not isinstance(threads, (int, float)) or threads < 1:
+            return fail(path, f"benchmarks[{i}].threads ({name}) missing or < 1")
+        families.setdefault(name.split("/")[0], set()).add(int(threads))
+    for family, seen in sorted(families.items()):
+        if max(seen) > 1 and 1 not in seen:
+            return fail(path, f"{family}: thread sweep has no parallelism-1 baseline")
     return 0
 
 

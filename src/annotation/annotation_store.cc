@@ -146,4 +146,12 @@ void AnnotationStore::ScanTable(
   }
 }
 
+void AnnotationStore::ForEachRow(
+    const std::function<void(rel::TableId, rel::RowId,
+                             const std::vector<Attachment>&)>& fn) const {
+  for (const auto& [key, attachments] : by_row_) {
+    if (!attachments.empty()) fn(key.first, key.second, attachments);
+  }
+}
+
 }  // namespace insightnotes::ann

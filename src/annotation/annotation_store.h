@@ -80,6 +80,12 @@ class AnnotationStore {
   void ScanTable(rel::TableId table,
                  const std::function<bool(rel::RowId, const Attachment&)>& fn) const;
 
+  /// Calls `fn` once per annotated row across all tables with that row's
+  /// attachments in insertion order. Row visit order is unspecified. Used
+  /// by WAL compaction to snapshot the attachment index.
+  void ForEachRow(const std::function<void(rel::TableId, rel::RowId,
+                                           const std::vector<Attachment>&)>& fn) const;
+
  private:
   struct Meta {
     AnnotationKind kind;

@@ -4,14 +4,8 @@
 
 namespace insightnotes::core {
 
-namespace {
-
-/// Merges `incoming` attachment metadata into `list`, shifting incoming
-/// column positions by `offset`. An annotation present on both sides keeps
-/// one entry with the union of covered columns; whole-row coverage (empty
-/// set) absorbs column sets.
-void MergeAttachments(std::vector<AttachmentInfo>* list,
-                      const std::vector<AttachmentInfo>& incoming, size_t offset) {
+void MergeAttachmentLists(std::vector<AttachmentInfo>* list,
+                          const std::vector<AttachmentInfo>& incoming, size_t offset) {
   for (const AttachmentInfo& in : incoming) {
     std::vector<size_t> shifted;
     shifted.reserve(in.columns.size());
@@ -35,22 +29,33 @@ void MergeAttachments(std::vector<AttachmentInfo>* list,
   }
 }
 
-Status MergeSummaries(AnnotatedTuple* into, const AnnotatedTuple& other) {
-  for (const auto& summary : other.summaries) {
-    SummaryObject* counterpart = into->FindSummary(summary->instance_name());
+namespace {
+
+SummaryObject* FindIn(const std::vector<std::unique_ptr<SummaryObject>>& list,
+                      std::string_view name) {
+  for (const auto& s : list) {
+    if (s->instance_name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status MergeSummaryLists(std::vector<std::unique_ptr<SummaryObject>>* into,
+                         const std::vector<std::unique_ptr<SummaryObject>>& incoming) {
+  for (const auto& summary : incoming) {
+    SummaryObject* counterpart = FindIn(*into, summary->instance_name());
     if (counterpart != nullptr) {
       // Counterpart objects combine (ClassBird2 / SimCluster in Figure 2).
       INSIGHTNOTES_RETURN_IF_ERROR(counterpart->MergeWith(*summary));
     } else {
       // Objects with no counterpart propagate unchanged (ClassBird1,
       // TextSummary1 in Figure 2).
-      into->summaries.push_back(summary->Clone());
+      into->push_back(summary->Clone());
     }
   }
   return Status::OK();
 }
-
-}  // namespace
 
 AnnotatedTuple AnnotatedTuple::Clone() const {
   AnnotatedTuple copy(tuple);
@@ -77,14 +82,14 @@ AttachmentInfo* AnnotatedTuple::FindAttachment(ann::AnnotationId id) {
 Status MergeAnnotatedTuples(AnnotatedTuple* left, const AnnotatedTuple& right) {
   size_t left_width = left->tuple.NumValues();
   left->tuple = rel::Tuple::Concat(left->tuple, right.tuple);
-  INSIGHTNOTES_RETURN_IF_ERROR(MergeSummaries(left, right));
-  MergeAttachments(&left->attachments, right.attachments, left_width);
+  INSIGHTNOTES_RETURN_IF_ERROR(MergeSummaryLists(&left->summaries, right.summaries));
+  MergeAttachmentLists(&left->attachments, right.attachments, left_width);
   return Status::OK();
 }
 
 Status MergeForGrouping(AnnotatedTuple* into, const AnnotatedTuple& other) {
-  INSIGHTNOTES_RETURN_IF_ERROR(MergeSummaries(into, other));
-  MergeAttachments(&into->attachments, other.attachments, /*offset=*/0);
+  INSIGHTNOTES_RETURN_IF_ERROR(MergeSummaryLists(&into->summaries, other.summaries));
+  MergeAttachmentLists(&into->attachments, other.attachments, /*offset=*/0);
   return Status::OK();
 }
 

@@ -82,6 +82,22 @@ Status MergeAnnotatedTuples(AnnotatedTuple* left, const AnnotatedTuple& right);
 /// preserved (the inputs share one schema).
 Status MergeForGrouping(AnnotatedTuple* into, const AnnotatedTuple& other);
 
+/// The summary half of the merges above: counterpart objects (same
+/// instance) combine via MergeWith, objects without a counterpart are
+/// cloned in. The partial-state operators fold per-morsel summary lists
+/// through this, so partial merging stays byte-identical to the serial
+/// per-tuple fold.
+Status MergeSummaryLists(std::vector<std::unique_ptr<SummaryObject>>* into,
+                         const std::vector<std::unique_ptr<SummaryObject>>& incoming);
+
+/// The attachment half: merges `incoming` into `list`, shifting incoming
+/// column positions by `offset`. An annotation present on both sides keeps
+/// one entry with the union of covered columns; whole-row coverage (empty
+/// set) absorbs column sets. First-seen order of annotation ids is
+/// preserved.
+void MergeAttachmentLists(std::vector<AttachmentInfo>* list,
+                          const std::vector<AttachmentInfo>& incoming, size_t offset);
+
 }  // namespace insightnotes::core
 
 #endif  // INSIGHTNOTES_CORE_ANNOTATED_TUPLE_H_

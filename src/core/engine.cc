@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <filesystem>
+#include <queue>
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -254,15 +255,138 @@ Status Engine::Checkpoint() {
   if (pool_ != nullptr) keep_first(pool_->FlushAll());
   if (disk_ != nullptr && disk_->is_open()) keep_first(disk_->Fsync());
   if (wal_ != nullptr && wal_->is_open()) keep_first(wal_->Sync());
-  // Mark the durability point in the log: replay verifies the marker and a
-  // future compaction pass could start from the last one. Skipped when the
-  // flush failed or the engine is in the recovery-required state (the store
-  // would disagree with the log).
+  // Mark the durability point in the log. Skipped when the flush failed or
+  // the engine is in the recovery-required state (the store would disagree
+  // with the log). With compaction enabled the whole history is rewritten
+  // as a snapshot ending in the marker; otherwise (or when the rewrite
+  // fails while the log still accepts appends) the marker is appended to
+  // the existing history.
   if (first_error.ok() && recovery_required_.ok() && wal_ != nullptr &&
       wal_->is_open()) {
+    if (options_.compact_wal_on_checkpoint) {
+      Status compacted = CompactWal();
+      if (compacted.ok()) return first_error;
+      INSIGHTNOTES_LOG(Warning) << "WAL compaction failed, appending a plain "
+                                   "checkpoint marker instead: "
+                                << compacted.ToString();
+    }
     keep_first(LogWalEntry(ann::WalCheckpointRecord{store_->NumAnnotations()}));
   }
   return first_error;
+}
+
+Status Engine::CompactWal() {
+  if (wal_ == nullptr || !wal_->is_open()) {
+    return Status::Internal("no open WAL to compact");
+  }
+  // Snapshot the store as the minimal record sequence whose replay rebuilds
+  // it exactly: one add per annotation (its first region), one attach per
+  // further region, archives, then the checkpoint marker. Replay imposes
+  // ordering constraints the original history satisfied but a naive
+  // per-annotation emission would not:
+  //   * adds must appear in id order (replay verifies dense ids),
+  //   * an annotation's regions must appear in region-list order,
+  //   * the attachments of one row must appear in the row's insertion
+  //     order (OnRow exposes it; summaries depend on it).
+  // Each constraint is an edge of a DAG over (annotation, region) events —
+  // acyclic because the original mutation history is a linear extension of
+  // it — and a deterministic topological order (smallest (id, region)
+  // first) linearizes them.
+  const uint64_t num = store_->NumAnnotations();
+  std::vector<std::vector<ann::CellRegion>> regions(num);
+  std::vector<size_t> offset(num + 1, 0);
+  for (ann::AnnotationId a = 0; a < num; ++a) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(regions[a], store_->RegionsOf(a));
+    if (regions[a].empty()) {
+      return Status::Internal("annotation " + std::to_string(a) +
+                              " has no regions; cannot snapshot WAL");
+    }
+    offset[a + 1] = offset[a] + regions[a].size();
+  }
+  const size_t n = offset[num];
+  std::vector<std::vector<size_t>> out(n);
+  std::vector<size_t> indegree(n, 0);
+  auto add_edge = [&](size_t from, size_t to) {
+    out[from].push_back(to);
+    ++indegree[to];
+  };
+  for (ann::AnnotationId a = 0; a < num; ++a) {
+    for (size_t r = 0; r + 1 < regions[a].size(); ++r) {
+      add_edge(offset[a] + r, offset[a] + r + 1);
+    }
+    if (a + 1 < num) add_edge(offset[a], offset[a + 1]);
+  }
+  Status row_chains = Status::OK();
+  store_->ForEachRow([&](rel::TableId table, rel::RowId row,
+                         const std::vector<ann::Attachment>& attachments) {
+    size_t prev = SIZE_MAX;
+    for (const ann::Attachment& attachment : attachments) {
+      size_t node = SIZE_MAX;
+      const std::vector<ann::CellRegion>& list = regions[attachment.annotation];
+      for (size_t r = 0; r < list.size(); ++r) {
+        if (list[r].table == table && list[r].row == row) {
+          node = offset[attachment.annotation] + r;
+          break;
+        }
+      }
+      if (node == SIZE_MAX) {
+        if (row_chains.ok()) {
+          row_chains = Status::Internal(
+              "attachment of annotation " + std::to_string(attachment.annotation) +
+              " has no matching region; cannot snapshot WAL");
+        }
+        return;
+      }
+      if (prev != SIZE_MAX) add_edge(prev, node);
+      prev = node;
+    }
+  });
+  INSIGHTNOTES_RETURN_IF_ERROR(row_chains);
+
+  std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>> ready;
+  for (size_t node = 0; node < n; ++node) {
+    if (indegree[node] == 0) ready.push(node);
+  }
+  std::vector<size_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    size_t node = ready.top();
+    ready.pop();
+    order.push_back(node);
+    for (size_t next : out[node]) {
+      if (--indegree[next] == 0) ready.push(next);
+    }
+  }
+  if (order.size() != n) {
+    return Status::Internal("cyclic ordering constraints; cannot snapshot WAL");
+  }
+
+  std::vector<std::string> payloads;
+  payloads.reserve(n + 1);
+  for (size_t node : order) {
+    auto owner = static_cast<ann::AnnotationId>(
+        std::upper_bound(offset.begin(), offset.end(), node) - offset.begin() - 1);
+    size_t r = node - offset[owner];
+    if (r == 0) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(ann::Annotation note, store_->Get(owner));
+      payloads.push_back(ann::EncodeWalEntry(
+          ann::WalAddRecord{owner, std::move(note), regions[owner][0]}));
+    } else {
+      payloads.push_back(
+          ann::EncodeWalEntry(ann::WalAttachRecord{owner, regions[owner][r]}));
+    }
+  }
+  for (ann::AnnotationId a = 0; a < num; ++a) {
+    if (store_->IsArchived(a)) {
+      payloads.push_back(ann::EncodeWalEntry(ann::WalArchiveRecord{a}));
+    }
+  }
+  payloads.push_back(ann::EncodeWalEntry(ann::WalCheckpointRecord{num}));
+
+  INSIGHTNOTES_RETURN_IF_ERROR(wal_->Rewrite(payloads));
+  ++wal_compaction_.compactions;
+  wal_compaction_.records_written += payloads.size();
+  return Status::OK();
 }
 
 Result<size_t> Engine::RepairStaleSummaries() { return manager_->RepairStale(); }

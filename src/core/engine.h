@@ -51,6 +51,16 @@ struct EngineOptions {
   /// Test seam: a caller-supplied disk (e.g. a FaultInjectingDiskManager)
   /// to use instead of a plain DiskManager. Must not be open yet.
   std::shared_ptr<storage::DiskManager> disk;
+  /// Compact the WAL at every checkpoint: once the page file is durable,
+  /// the log's history is rewritten as an equivalent minimal snapshot of
+  /// the store, bounding log growth across checkpoint/reopen cycles.
+  bool compact_wal_on_checkpoint = true;
+};
+
+/// What checkpoint-time WAL compaction has done over this engine's life.
+struct WalCompactionStats {
+  uint64_t compactions = 0;      // Successful Rewrite swaps.
+  uint64_t records_written = 0;  // Snapshot records across all compactions.
 };
 
 /// What Init did when reopening an existing database file.
@@ -132,14 +142,21 @@ class Engine {
   /// reopen with open_existing to replay the log and resume.
   bool requires_recovery() const { return !recovery_required_.ok(); }
 
-  /// Flushes dirty pages, fsyncs the page file, syncs the WAL, and appends
-  /// a kCheckpoint marker recording the durable annotation count. Called
+  /// Flushes dirty pages, fsyncs the page file, syncs the WAL, and (with
+  /// `options.compact_wal_on_checkpoint`) rewrites the log as a minimal
+  /// snapshot of the store — one add per annotation, one attach per extra
+  /// region, archives, then a kCheckpoint marker — atomically swapped in
+  /// via a temp file + rename, so the log stops growing with history.
+  /// Without compaction (or when the rewrite fails) a kCheckpoint marker
+  /// recording the durable annotation count is appended instead. Called
   /// best-effort by the destructor; call it explicitly at batch boundaries
   /// for a durability point. Replay verifies each marker and reports how
-  /// many records follow the last one (RecoveryReport); the log itself is
-  /// still never compacted — truncating up to the last marker is follow-up
-  /// work — see "Durability & failure model" in DESIGN.md.
+  /// many records follow the last one (RecoveryReport) — see "Durability &
+  /// failure model" in DESIGN.md.
   Status Checkpoint();
+
+  /// What checkpoint-time WAL compaction has done so far.
+  const WalCompactionStats& wal_compaction() const { return wal_compaction_; }
 
   /// Rebuilds every summary row marked stale by a degraded summarizer
   /// failure (see SummaryManager::RepairStale). Returns rows repaired.
@@ -241,6 +258,11 @@ class Engine {
   /// run before the mutation it describes touches the store.
   Status LogWalEntry(const ann::WalEntry& entry);
 
+  /// Rewrites the WAL as a minimal snapshot of the current store state,
+  /// replacing the full mutation history. Only safe right after the page
+  /// file was flushed and fsynced (the snapshot references live bodies).
+  Status CompactWal();
+
   /// OK while WAL-logged mutations are accepted; the recovery-required
   /// error otherwise (see requires_recovery()).
   Status CheckMutable() const;
@@ -275,6 +297,7 @@ class Engine {
   std::unique_ptr<ThreadPool> exec_pool_;    // Lazily sized by ExecPool().
   std::unordered_map<QueryId, StoredQuery> queries_;
   QueryId next_qid_ = 100;  // Figure 3 shows QIDs starting at 101.
+  WalCompactionStats wal_compaction_;
 };
 
 }  // namespace insightnotes::core

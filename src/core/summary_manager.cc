@@ -8,6 +8,71 @@
 
 namespace insightnotes::core {
 
+void PartialSummaryState::Seed(AnnotatedTuple* first, bool whole_row,
+                               size_t reserve_hint) {
+  whole_row_ = whole_row;
+  summaries_ = std::move(first->summaries);
+  if (whole_row) {
+    // The group's output row carries whole-row references: strip the
+    // per-column coverage of the seed tuple's attachments.
+    attachments_.reserve(std::max(reserve_hint, first->attachments.size()));
+    for (const AttachmentInfo& att : first->attachments) {
+      attachments_.push_back(AttachmentInfo{att.id, {}});
+    }
+  } else {
+    attachments_ = std::move(first->attachments);
+    attachments_.reserve(std::max(reserve_hint, attachments_.size()));
+  }
+}
+
+Status PartialSummaryState::Fold(const AnnotatedTuple& dup) {
+  INSIGHTNOTES_RETURN_IF_ERROR(MergeSummaryLists(&summaries_, dup.summaries));
+  if (whole_row_) {
+    // Whole-row union: append each annotation id not seen yet. Equivalent
+    // to stripping the duplicate's columns and running the full attachment
+    // merge (all entries are whole-row, so unioning column sets is a
+    // no-op), minus the per-duplicate allocation.
+    for (const AttachmentInfo& att : dup.attachments) {
+      bool seen = false;
+      for (const AttachmentInfo& have : attachments_) {
+        if (have.id == att.id) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) attachments_.push_back(AttachmentInfo{att.id, {}});
+    }
+    return Status::OK();
+  }
+  MergeAttachmentLists(&attachments_, dup.attachments, /*offset=*/0);
+  return Status::OK();
+}
+
+Status PartialSummaryState::Combine(PartialSummaryState&& other) {
+  INSIGHTNOTES_RETURN_IF_ERROR(MergeSummaryLists(&summaries_, other.summaries_));
+  if (whole_row_) {
+    attachments_.reserve(attachments_.size() + other.attachments_.size());
+    for (const AttachmentInfo& att : other.attachments_) {
+      bool seen = false;
+      for (const AttachmentInfo& have : attachments_) {
+        if (have.id == att.id) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) attachments_.push_back(AttachmentInfo{att.id, {}});
+    }
+    return Status::OK();
+  }
+  MergeAttachmentLists(&attachments_, other.attachments_, /*offset=*/0);
+  return Status::OK();
+}
+
+void PartialSummaryState::Release(AnnotatedTuple* out) {
+  out->summaries = std::move(summaries_);
+  out->attachments = std::move(attachments_);
+}
+
 Status SummaryManager::RegisterInstance(std::unique_ptr<SummaryInstance> instance) {
   const std::string& name = instance->name();
   if (instances_.contains(name)) {

@@ -17,6 +17,7 @@
 
 #include "annotation/annotation_store.h"
 #include "common/result.h"
+#include "core/annotated_tuple.h"
 #include "core/summary_instance.h"
 #include "core/summary_object.h"
 
@@ -31,6 +32,50 @@ namespace insightnotes::core {
 struct BatchAnnotation {
   ann::Annotation note;
   ann::CellRegion region;
+};
+
+/// The mergeable summary half of a group / distinct-set entry: the summary
+/// objects and attachment metadata of every tuple collapsed into the entry
+/// so far. The serial operators fold tuples into it one at a time (Seed +
+/// Fold); the parallel partial-state operators additionally Combine whole
+/// per-morsel states in ascending morsel order, which re-associates the
+/// same left-fold and therefore yields byte-identical merged summaries
+/// (see DESIGN.md "Parallel aggregation, sort, and distinct").
+///
+/// `whole_row` selects the attachment semantics: aggregation collapses a
+/// group to one output row whose attachments are whole-row references (the
+/// per-column coverage of the source tuples is meaningless on the
+/// aggregated row), while DISTINCT keeps per-column coverage and unions
+/// column sets exactly like MergeForGrouping.
+class PartialSummaryState {
+ public:
+  PartialSummaryState() = default;
+  PartialSummaryState(PartialSummaryState&&) noexcept = default;
+  PartialSummaryState& operator=(PartialSummaryState&&) noexcept = default;
+  PartialSummaryState(const PartialSummaryState&) = delete;
+  PartialSummaryState& operator=(const PartialSummaryState&) = delete;
+
+  /// Adopts the first tuple of the entry: moves its summaries (and, for
+  /// `whole_row == false`, its attachments) into the state; `first->tuple`
+  /// is left untouched for the caller. `reserve_hint` pre-sizes the
+  /// attachment merge buffer so folding duplicates does not reallocate per
+  /// tuple.
+  void Seed(AnnotatedTuple* first, bool whole_row, size_t reserve_hint);
+
+  /// Folds one further tuple of the entry (a duplicate of the seed under
+  /// the grouping key). Byte-identical to the serial merge path.
+  Status Fold(const AnnotatedTuple& dup);
+
+  /// Folds a whole later state (same key, later morsels) into this one.
+  Status Combine(PartialSummaryState&& other);
+
+  /// Moves the merged summaries and attachments onto `out`.
+  void Release(AnnotatedTuple* out);
+
+ private:
+  bool whole_row_ = false;
+  std::vector<std::unique_ptr<SummaryObject>> summaries_;
+  std::vector<AttachmentInfo> attachments_;
 };
 
 class SummaryManager {

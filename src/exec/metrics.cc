@@ -30,6 +30,12 @@ void RenderNode(const PlanMetrics& node, size_t depth, std::ostringstream* os) {
   if (node.metrics.build_partitions > 0) {
     *os << " build_partitions=" << node.metrics.build_partitions;
   }
+  if (node.metrics.partial_groups > 0) {
+    *os << " partial_groups=" << node.metrics.partial_groups;
+  }
+  if (node.metrics.merge_ns > 0) {
+    *os << " merge_ms=" << static_cast<double>(node.metrics.merge_ns) / 1e6;
+  }
   *os << " wall_ms=" << static_cast<double>(node.metrics.wall_ns) / 1e6 << ")\n";
   for (const PlanMetrics& child : node.children) RenderNode(child, depth + 1, os);
 }

@@ -42,6 +42,8 @@ struct OperatorMetrics {
   uint64_t wall_ns = 0;           // Inclusive time in Open/Next/NextBatch.
   uint64_t morsels = 0;           // Morsel scans: morsels processed.
   uint64_t build_partitions = 0;  // Hash joins: partitions in the build.
+  uint64_t partial_groups = 0;    // Partial agg/distinct/sort: local states built.
+  uint64_t merge_ns = 0;          // Merge operators: time folding partial states.
 };
 
 class Operator {

@@ -1,7 +1,9 @@
 #include "exec/sort.h"
 
 #include <algorithm>
+#include <queue>
 
+#include "common/clock.h"
 #include "rel/index.h"
 
 namespace insightnotes::exec {
@@ -49,6 +51,122 @@ Status SortOperator::OpenImpl() {
 }
 
 Result<bool> SortOperator::NextImpl(core::AnnotatedTuple* out) {
+  if (cursor_ >= results_.size()) return false;
+  *out = std::move(results_[cursor_++]);
+  Trace(*out);
+  return true;
+}
+
+Status PartialSortState::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  runs_.clear();
+  return Status::OK();
+}
+
+void PartialSortState::Publish(std::vector<SortRunEntry>&& run) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  runs_.push_back(std::move(run));
+}
+
+std::vector<std::vector<SortRunEntry>> PartialSortState::Take() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(runs_);
+}
+
+PartialSortOperator::PartialSortOperator(std::unique_ptr<Operator> child,
+                                         std::vector<ParallelSortKey> keys,
+                                         std::shared_ptr<PartialSortState> sink)
+    : child_(std::move(child)), keys_(std::move(keys)), sink_(std::move(sink)) {
+  ascending_.reserve(keys_.size());
+  for (const ParallelSortKey& key : keys_) ascending_.push_back(key.ascending);
+}
+
+std::string PartialSortOperator::Name() const { return "PartialSort"; }
+
+Result<bool> PartialSortOperator::NextImpl(core::AnnotatedTuple*) {
+  core::AnnotatedBatch batch;
+  return NextBatchImpl(&batch);
+}
+
+Result<bool> PartialSortOperator::NextBatchImpl(core::AnnotatedBatch*) {
+  // Drain the pipeline into one local run, tagging each tuple with its
+  // serial rank (morsel, position within the morsel batch).
+  core::AnnotatedBatch batch;
+  std::vector<SortRunEntry> run;
+  while (true) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
+    if (!more) break;
+    for (size_t i = 0; i < batch.tuples.size(); ++i) {
+      core::AnnotatedTuple& in = batch.tuples[i];
+      SortRunEntry entry;
+      entry.keys.reserve(keys_.size());
+      for (const ParallelSortKey& key : keys_) {
+        if (key.spec != nullptr) {
+          INSIGHTNOTES_ASSIGN_OR_RETURN(int64_t count, key.spec->Evaluate(in));
+          entry.keys.emplace_back(count);
+        } else {
+          INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value v, key.expr->Evaluate(in.tuple));
+          entry.keys.push_back(std::move(v));
+        }
+      }
+      entry.morsel = batch.morsel;
+      entry.pos = static_cast<uint32_t>(i);
+      entry.tuple = std::move(in);
+      run.push_back(std::move(entry));
+    }
+  }
+  // The rank makes SortRunLess a total order, so a plain sort suffices.
+  std::sort(run.begin(), run.end(), SortRunLess(&ascending_));
+  metrics_.partial_groups += run.size();
+  if (!run.empty()) sink_->Publish(std::move(run));
+  return false;  // Runs surface via the sink, not as batches.
+}
+
+SortMergeOperator::SortMergeOperator(std::unique_ptr<Operator> child,
+                                     std::vector<bool> ascending, std::string label,
+                                     std::shared_ptr<PartialSortState> source)
+    : child_(std::move(child)),
+      ascending_(std::move(ascending)),
+      label_(std::move(label)),
+      source_(std::move(source)) {}
+
+Status SortMergeOperator::OpenImpl() {
+  results_.clear();
+  cursor_ = 0;
+  // Opening the child runs the parallel section to exhaustion; the pool
+  // futures it joins on provide the happens-before for the published runs.
+  INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
+  std::vector<std::vector<SortRunEntry>> runs = source_->Take();
+  Stopwatch watch;
+  SortRunLess less(&ascending_);
+  std::vector<size_t> pos(runs.size(), 0);
+  // Min-heap over run indexes, keyed by each run's current head entry.
+  // pos[i] only advances while i is out of the heap, so the comparator
+  // stays consistent for every element currently enqueued.
+  auto head_greater = [&](size_t a, size_t b) {
+    return less(runs[b][pos[b]], runs[a][pos[a]]);
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(head_greater)> heap(
+      head_greater);
+  size_t total = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    total += runs[i].size();
+    if (!runs[i].empty()) heap.push(i);
+  }
+  results_.reserve(total);
+  while (!heap.empty()) {
+    size_t i = heap.top();
+    heap.pop();
+    results_.push_back(std::move(runs[i][pos[i]].tuple));
+    if (++pos[i] < runs[i].size()) heap.push(i);
+  }
+  if (metrics_enabled_) {
+    metrics_.merge_ns += static_cast<uint64_t>(watch.ElapsedNanos());
+  }
+  return Status::OK();
+}
+
+Result<bool> SortMergeOperator::NextImpl(core::AnnotatedTuple* out) {
   if (cursor_ >= results_.size()) return false;
   *out = std::move(results_[cursor_++]);
   Trace(*out);

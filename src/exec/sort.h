@@ -1,16 +1,28 @@
 // Order-by: materializes and sorts; summaries ride along unchanged. Sort
 // keys may be arbitrary expressions, each ascending or descending. The sort
 // is stable, so equal keys preserve child order (deterministic results).
+//
+// Parallel shape: per-worker PartialSortOperators evaluate the full key
+// list (expressions and SUMMARY_COUNT specs) per tuple, sort their local
+// run, and publish it to a shared PartialSortState; SortMergeOperator
+// k-way-merges the runs above the gather. The run comparator breaks key
+// ties by (morsel, position-in-morsel) — the tuple's rank in the serial
+// input stream — so the merged order is exactly what the serial cascade of
+// stable sorts produces.
 
 #ifndef INSIGHTNOTES_EXEC_SORT_H_
 #define INSIGHTNOTES_EXEC_SORT_H_
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/parallel.h"
+#include "exec/summary_filter.h"
 #include "rel/expression.h"
+#include "rel/index.h"
 
 namespace insightnotes::exec {
 
@@ -36,6 +48,111 @@ class SortOperator final : public Operator {
  private:
   std::unique_ptr<Operator> child_;
   std::vector<SortKey> keys_;
+  std::vector<core::AnnotatedTuple> results_;
+  size_t cursor_ = 0;
+};
+
+/// One ORDER BY key of the parallel sort, in significance order (first =
+/// most significant). Either a bound expression or a SUMMARY_COUNT spec.
+struct ParallelSortKey {
+  rel::ExprPtr expr;                       // Null when `spec` is set.
+  std::unique_ptr<SummaryCountSpec> spec;  // SUMMARY_COUNT(...) key.
+  bool ascending = true;
+};
+
+/// One tuple of a per-worker sorted run: the precomputed key values plus
+/// the tuple's serial rank (morsel, position within the morsel).
+struct SortRunEntry {
+  std::vector<rel::Value> keys;  // Significance order.
+  uint64_t morsel = 0;
+  uint32_t pos = 0;
+  core::AnnotatedTuple tuple;
+};
+
+/// Strict weak order over run entries: lexicographic over the keys with
+/// per-key direction, then the serial rank. Because the rank is unique,
+/// this is a total order — the merged sequence is independent of how
+/// tuples were partitioned into runs, and equals the serial stable-sort
+/// output.
+class SortRunLess {
+ public:
+  explicit SortRunLess(const std::vector<bool>* ascending)
+      : ascending_(ascending) {}
+
+  bool operator()(const SortRunEntry& a, const SortRunEntry& b) const {
+    rel::ValueLess less;
+    for (size_t k = 0; k < ascending_->size(); ++k) {
+      if (less(a.keys[k], b.keys[k])) return (*ascending_)[k];
+      if (less(b.keys[k], a.keys[k])) return !(*ascending_)[k];
+    }
+    if (a.morsel != b.morsel) return a.morsel < b.morsel;
+    return a.pos < b.pos;
+  }
+
+ private:
+  const std::vector<bool>* ascending_;
+};
+
+/// Shared sink of the parallel sort shape: one sorted run per worker.
+class PartialSortState final : public SharedPlanState {
+ public:
+  Status Reset() override;
+  void Publish(std::vector<SortRunEntry>&& run);
+  std::vector<std::vector<SortRunEntry>> Take();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::vector<SortRunEntry>> runs_;
+};
+
+/// Per-worker sort: drains its pipeline, evaluates the key list per tuple,
+/// sorts the local run, and publishes it; emits no batches itself.
+class PartialSortOperator final : public Operator {
+ public:
+  PartialSortOperator(std::unique_ptr<Operator> child,
+                      std::vector<ParallelSortKey> keys,
+                      std::shared_ptr<PartialSortState> sink);
+
+  const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
+  std::string Name() const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
+  Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<ParallelSortKey> keys_;
+  std::vector<bool> ascending_;  // Direction per key, for the comparator.
+  std::shared_ptr<PartialSortState> sink_;
+};
+
+/// Final k-way merge of the per-worker sorted runs above the gather.
+class SortMergeOperator final : public Operator {
+ public:
+  /// `label` names the key list for EXPLAIN (built by the planner);
+  /// `ascending` gives the per-key directions in significance order.
+  SortMergeOperator(std::unique_ptr<Operator> child, std::vector<bool> ascending,
+                    std::string label, std::shared_ptr<PartialSortState> source);
+
+  const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
+  std::string Name() const override { return "SortMerge(" + label_ + ")"; }
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(core::AnnotatedTuple* out) override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<bool> ascending_;
+  std::string label_;
+  std::shared_ptr<PartialSortState> source_;
+
   std::vector<core::AnnotatedTuple> results_;
   size_t cursor_ = 0;
 };

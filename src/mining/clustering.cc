@@ -183,12 +183,23 @@ bool ClusterSet::SameGrouping(const ClusterSet& other) const {
 }
 
 void ClusterSet::ElectRepresentative(ClusterGroup* group) const {
+  // Election measures against a canonical centroid refolded from the member
+  // vectors in ascending id order, not against centroid_sum: the maintained
+  // sum accumulates float error in whatever order Add/Merge folded vectors,
+  // which differs between serial and parallel (partial-state) plans. The
+  // canonical centroid makes the representative a pure function of the
+  // member set, so byte-identical membership yields an identical choice.
+  txt::SparseVector centroid;
+  for (DocId doc : group->members) {
+    const txt::SparseVector* vec = VectorOf(doc);
+    if (vec != nullptr) centroid.AddScaled(*vec, 1.0);
+  }
   double best_sim = -1.0;
   DocId best = group->members.empty() ? 0 : group->members.front();
   for (DocId doc : group->members) {
     const txt::SparseVector* vec = VectorOf(doc);
     if (vec == nullptr) continue;
-    double sim = group->centroid_sum.Cosine(*vec);
+    double sim = centroid.Cosine(*vec);
     if (sim > best_sim) {
       best_sim = sim;
       best = doc;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "rel/schema.h"
+
 namespace insightnotes::rel {
 
 std::string_view CompareOpToString(CompareOp op) {
@@ -45,6 +47,11 @@ void ColumnRefExpr::CollectColumnRefs(std::vector<size_t>* out) const {
 
 ExprPtr ColumnRefExpr::Clone() const {
   return std::make_unique<ColumnRefExpr>(index_, display_name_);
+}
+
+ValueType ColumnRefExpr::InferType(const Schema& schema) const {
+  if (index_ >= schema.NumColumns()) return ValueType::kNull;
+  return schema.ColumnAt(index_).type;
 }
 
 Result<Value> LiteralExpr::Evaluate(const Tuple&) const { return value_; }
@@ -172,6 +179,20 @@ void ArithmeticExpr::CollectColumnRefs(std::vector<size_t>* out) const {
 
 ExprPtr ArithmeticExpr::Clone() const {
   return std::make_unique<ArithmeticExpr>(op_, left_->Clone(), right_->Clone());
+}
+
+ValueType ArithmeticExpr::InferType(const Schema& schema) const {
+  ValueType l = left_->InferType(schema);
+  ValueType r = right_->InferType(schema);
+  if (op_ == ArithmeticOp::kAdd && l == ValueType::kString &&
+      r == ValueType::kString) {
+    return ValueType::kString;
+  }
+  if (l == ValueType::kInt64 && r == ValueType::kInt64) return ValueType::kInt64;
+  bool l_numeric = l == ValueType::kInt64 || l == ValueType::kFloat64;
+  bool r_numeric = r == ValueType::kInt64 || r == ValueType::kFloat64;
+  if (l_numeric && r_numeric) return ValueType::kFloat64;
+  return ValueType::kNull;  // Statically unknown (or a runtime type error).
 }
 
 std::string ArithmeticExpr::ToString() const {

@@ -16,6 +16,7 @@
 namespace insightnotes::rel {
 
 class Expression;
+class Schema;
 using ExprPtr = std::unique_ptr<Expression>;
 
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
@@ -37,6 +38,11 @@ class Expression {
   virtual ExprPtr Clone() const = 0;
   virtual std::string ToString() const = 0;
 
+  /// Static result type of the expression when evaluated against tuples of
+  /// `schema`. kNull when the type cannot be determined statically (e.g. a
+  /// kNull-typed input column). Used to type aggregate output schemas.
+  virtual ValueType InferType(const Schema& schema) const = 0;
+
   /// Evaluates as a predicate: NULL results count as false.
   Result<bool> EvaluateBool(const Tuple& tuple) const;
 };
@@ -50,6 +56,7 @@ class ColumnRefExpr final : public Expression {
   void CollectColumnRefs(std::vector<size_t>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override { return display_name_; }
+  ValueType InferType(const Schema& schema) const override;
 
   size_t index() const { return index_; }
 
@@ -66,6 +73,7 @@ class LiteralExpr final : public Expression {
   void CollectColumnRefs(std::vector<size_t>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
+  ValueType InferType(const Schema&) const override { return value_.type(); }
 
   const Value& value() const { return value_; }
 
@@ -82,6 +90,8 @@ class CompareExpr final : public Expression {
   void CollectColumnRefs(std::vector<size_t>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
+  // Boolean results are Int64 0/1.
+  ValueType InferType(const Schema&) const override { return ValueType::kInt64; }
 
   CompareOp op() const { return op_; }
   const Expression& left() const { return *left_; }
@@ -102,6 +112,7 @@ class LogicalExpr final : public Expression {
   void CollectColumnRefs(std::vector<size_t>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
+  ValueType InferType(const Schema&) const override { return ValueType::kInt64; }
 
  private:
   LogicalOp op_;
@@ -117,6 +128,7 @@ class NotExpr final : public Expression {
   void CollectColumnRefs(std::vector<size_t>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
+  ValueType InferType(const Schema&) const override { return ValueType::kInt64; }
 
  private:
   ExprPtr inner_;
@@ -131,6 +143,7 @@ class ArithmeticExpr final : public Expression {
   void CollectColumnRefs(std::vector<size_t>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
+  ValueType InferType(const Schema& schema) const override;
 
  private:
   ArithmeticOp op_;

@@ -90,10 +90,18 @@ class SelectPlanner {
       INSIGHTNOTES_ASSIGN_OR_RETURN(tree, BuildJoinTree());
       INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyResidualFilters(std::move(tree)));
     }
-    INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyAggregation(std::move(tree)));
-    INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyOrderBy(std::move(tree)));
-    INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyFinalProjection(std::move(tree)));
-    if (stmt_.distinct) {
+    // Stages already handled inside the parallel section (partial operators
+    // below the gather + a merge above it) are skipped here.
+    if (!parallel_aggregated_) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyAggregation(std::move(tree)));
+    }
+    if (!parallel_sorted_) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyOrderBy(std::move(tree)));
+    }
+    if (!parallel_projected_) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyFinalProjection(std::move(tree)));
+    }
+    if (stmt_.distinct && !parallel_distinct_) {
       tree = std::make_unique<exec::DistinctOperator>(std::move(tree));
     }
     if (stmt_.limit.has_value()) {
@@ -390,8 +398,123 @@ class SelectPlanner {
             std::move(pipes[w]), filter.spec, filter.op, filter.threshold);
       }
     }
+
+    // Blocking stages: instead of ending the parallel section at the gather
+    // and aggregating/sorting/deduplicating serially above it, push a
+    // partial operator into every worker pipeline and merge the partial
+    // states deterministically above the gather. Aggregation subsumes the
+    // other stages' cost (its output is tiny), so it wins the dispatch;
+    // otherwise a sort dominates a residual distinct.
+    if (HasAggregation()) {
+      return BuildParallelAggregation(std::move(pipes), std::move(states), pool);
+    }
+    if (!stmt_.order_by.empty()) {
+      return BuildParallelSort(std::move(pipes), std::move(states), pool);
+    }
+    if (stmt_.distinct) {
+      return BuildParallelDistinct(std::move(pipes), std::move(states), pool);
+    }
     return std::unique_ptr<exec::Operator>(std::make_unique<exec::GatherOperator>(
         std::move(pipes), std::move(states), pool));
+  }
+
+  /// Parallel aggregation: PartialAggregateOperator per worker feeding a
+  /// shared PartialAggState, folded above the gather by
+  /// AggregateMergeOperator in ascending morsel order.
+  Result<std::unique_ptr<exec::Operator>> BuildParallelAggregation(
+      std::vector<std::unique_ptr<exec::Operator>> pipes,
+      std::vector<std::shared_ptr<exec::SharedPlanState>> states, ThreadPool* pool) {
+    auto sink = std::make_shared<exec::PartialAggState>();
+    states.push_back(sink);
+    for (std::unique_ptr<exec::Operator>& pipe : pipes) {
+      std::vector<rel::ExprPtr> group_exprs;
+      std::vector<rel::Column> group_columns;
+      std::vector<exec::AggregateItem> aggregates;
+      INSIGHTNOTES_RETURN_IF_ERROR(BindAggregation(
+          pipe->OutputSchema(), &group_exprs, &group_columns, &aggregates));
+      pipe = std::make_unique<exec::PartialAggregateOperator>(
+          std::move(pipe), std::move(group_exprs), std::move(aggregates), sink);
+    }
+    auto gather = std::make_unique<exec::GatherOperator>(std::move(pipes),
+                                                         std::move(states), pool);
+    std::vector<rel::ExprPtr> group_exprs;
+    std::vector<rel::Column> group_columns;
+    std::vector<exec::AggregateItem> aggregates;
+    INSIGHTNOTES_RETURN_IF_ERROR(BindAggregation(
+        gather->OutputSchema(), &group_exprs, &group_columns, &aggregates));
+    parallel_aggregated_ = true;
+    return std::unique_ptr<exec::Operator>(
+        std::make_unique<exec::AggregateMergeOperator>(
+            std::move(gather), std::move(group_exprs), std::move(group_columns),
+            std::move(aggregates), std::move(sink)));
+  }
+
+  /// Parallel sort: PartialSortOperator per worker publishes a locally
+  /// sorted run tagged with serial ranks; SortMergeOperator k-way-merges
+  /// the runs above the gather.
+  Result<std::unique_ptr<exec::Operator>> BuildParallelSort(
+      std::vector<std::unique_ptr<exec::Operator>> pipes,
+      std::vector<std::shared_ptr<exec::SharedPlanState>> states, ThreadPool* pool) {
+    auto sink = std::make_shared<exec::PartialSortState>();
+    states.push_back(sink);
+    std::vector<bool> ascending;
+    std::string label;
+    for (const OrderItem& item : stmt_.order_by) {
+      ascending.push_back(item.ascending);
+      if (!label.empty()) label += ", ";
+      label += AstToString(*item.expr);
+      if (!item.ascending) label += " DESC";
+    }
+    for (std::unique_ptr<exec::Operator>& pipe : pipes) {
+      std::vector<exec::ParallelSortKey> keys;
+      for (const OrderItem& item : stmt_.order_by) {
+        exec::ParallelSortKey key;
+        key.ascending = item.ascending;
+        if (item.expr->kind == AstExpr::Kind::kSummaryCount) {
+          auto spec = std::make_unique<exec::SummaryCountSpec>();
+          spec->instance = item.expr->name;
+          if (!item.expr->value.is_null()) spec->label = item.expr->value.AsString();
+          key.spec = std::move(spec);
+        } else {
+          INSIGHTNOTES_ASSIGN_OR_RETURN(key.expr,
+                                        Bind(*item.expr, pipe->OutputSchema()));
+        }
+        keys.push_back(std::move(key));
+      }
+      pipe = std::make_unique<exec::PartialSortOperator>(std::move(pipe),
+                                                         std::move(keys), sink);
+    }
+    auto gather = std::make_unique<exec::GatherOperator>(std::move(pipes),
+                                                         std::move(states), pool);
+    parallel_sorted_ = true;
+    return std::unique_ptr<exec::Operator>(std::make_unique<exec::SortMergeOperator>(
+        std::move(gather), std::move(ascending), std::move(label), std::move(sink)));
+  }
+
+  /// Parallel distinct: the final projection moves below the partial
+  /// operators (distinct keys are the projected columns), then each worker
+  /// collapses its morsels locally and DistinctMergeOperator folds the
+  /// per-morsel sets above the gather in ascending morsel order.
+  Result<std::unique_ptr<exec::Operator>> BuildParallelDistinct(
+      std::vector<std::unique_ptr<exec::Operator>> pipes,
+      std::vector<std::shared_ptr<exec::SharedPlanState>> states, ThreadPool* pool) {
+    auto sink = std::make_shared<exec::PartialDistinctState>();
+    states.push_back(sink);
+    bool trim = !options_.project_before_merge;
+    for (std::unique_ptr<exec::Operator>& pipe : pipes) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(std::vector<exec::ProjectionItem> items,
+                                    BuildFinalProjectionItems(pipe->OutputSchema()));
+      pipe = std::make_unique<exec::ProjectOperator>(std::move(pipe),
+                                                     std::move(items), trim);
+      pipe = std::make_unique<exec::PartialDistinctOperator>(std::move(pipe), sink);
+    }
+    auto gather = std::make_unique<exec::GatherOperator>(std::move(pipes),
+                                                         std::move(states), pool);
+    parallel_projected_ = true;
+    parallel_distinct_ = true;
+    return std::unique_ptr<exec::Operator>(
+        std::make_unique<exec::DistinctMergeOperator>(std::move(gather),
+                                                      std::move(sink)));
   }
 
   Result<std::unique_ptr<exec::Operator>> BuildJoinTree() {
@@ -482,13 +605,13 @@ class SelectPlanner {
     return false;
   }
 
-  Result<std::unique_ptr<exec::Operator>> ApplyAggregation(
-      std::unique_ptr<exec::Operator> tree) {
-    if (!HasAggregation()) return tree;
-    const rel::Schema& in = tree->OutputSchema();
-
-    std::vector<rel::ExprPtr> group_exprs;
-    std::vector<rel::Column> group_columns;
+  /// Binds GROUP BY expressions and aggregate select items against `in`
+  /// (the pre-aggregation schema). Idempotent: the parallel shape calls it
+  /// once per worker pipeline and once more for the merge operator.
+  Status BindAggregation(const rel::Schema& in,
+                         std::vector<rel::ExprPtr>* group_exprs,
+                         std::vector<rel::Column>* group_columns,
+                         std::vector<exec::AggregateItem>* aggregates) {
     std::vector<std::string> group_keys;  // Canonical AST strings.
     for (const auto& g : stmt_.group_by) {
       INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound, Bind(*g, in));
@@ -498,11 +621,10 @@ class SelectPlanner {
         INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, in.IndexOf(g->name));
         column = in.ColumnAt(index);
       }
-      group_columns.push_back(std::move(column));
-      group_exprs.push_back(std::move(bound));
+      group_columns->push_back(std::move(column));
+      group_exprs->push_back(std::move(bound));
     }
 
-    std::vector<exec::AggregateItem> aggregates;
     agg_output_names_.clear();
     size_t agg_counter = 0;
     for (const SelectItem& item : expanded_items_) {
@@ -515,7 +637,7 @@ class SelectPlanner {
         agg.output_name =
             !item.alias.empty() ? item.alias : "agg" + std::to_string(agg_counter);
         agg_output_names_.push_back(agg.output_name);
-        aggregates.push_back(std::move(agg));
+        aggregates->push_back(std::move(agg));
         ++agg_counter;
       } else if (item.expr->ContainsAggregate()) {
         return Status::NotImplemented(
@@ -531,6 +653,17 @@ class SelectPlanner {
       }
     }
     aggregated_ = true;
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<exec::Operator>> ApplyAggregation(
+      std::unique_ptr<exec::Operator> tree) {
+    if (!HasAggregation()) return tree;
+    std::vector<rel::ExprPtr> group_exprs;
+    std::vector<rel::Column> group_columns;
+    std::vector<exec::AggregateItem> aggregates;
+    INSIGHTNOTES_RETURN_IF_ERROR(BindAggregation(
+        tree->OutputSchema(), &group_exprs, &group_columns, &aggregates));
     return std::unique_ptr<exec::Operator>(std::make_unique<exec::AggregateOperator>(
         std::move(tree), std::move(group_exprs), std::move(group_columns),
         std::move(aggregates)));
@@ -564,9 +697,11 @@ class SelectPlanner {
     return tree;
   }
 
-  Result<std::unique_ptr<exec::Operator>> ApplyFinalProjection(
-      std::unique_ptr<exec::Operator> tree) {
-    const rel::Schema& in = tree->OutputSchema();
+  /// The projection items of the final SELECT list against `in`. Shared by
+  /// the serial top-of-plan projection and the parallel distinct shape
+  /// (which projects inside every worker, below the partial operators).
+  Result<std::vector<exec::ProjectionItem>> BuildFinalProjectionItems(
+      const rel::Schema& in) {
     std::vector<exec::ProjectionItem> items;
     size_t agg_index = 0;
     for (size_t i = 0; i < expanded_items_.size(); ++i) {
@@ -605,6 +740,13 @@ class SelectPlanner {
       }
       items.push_back(std::move(out));
     }
+    return items;
+  }
+
+  Result<std::unique_ptr<exec::Operator>> ApplyFinalProjection(
+      std::unique_ptr<exec::Operator> tree) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(std::vector<exec::ProjectionItem> items,
+                                  BuildFinalProjectionItems(tree->OutputSchema()));
     // Under normalization the trim already happened at the bottom of the
     // plan; this projection is pure plumbing (Figure 2 step 4: dropping
     // s.x after the join leaves summaries unchanged). The naive plan trims
@@ -632,6 +774,12 @@ class SelectPlanner {
   std::vector<SummaryFilter> summary_filters_;
   std::vector<std::string> agg_output_names_;
   bool aggregated_ = false;
+  // Stages absorbed by the parallel section (partial + merge operators);
+  // Plan() skips the corresponding serial stage.
+  bool parallel_aggregated_ = false;
+  bool parallel_sorted_ = false;
+  bool parallel_projected_ = false;
+  bool parallel_distinct_ = false;
 };
 
 }  // namespace

@@ -196,6 +196,84 @@ Status WriteAheadLog::TruncateTo(uint64_t offset) {
   return Status::OK();
 }
 
+Status WriteAheadLog::Rewrite(const std::vector<std::string>& payloads) {
+  if (!is_open()) return Status::Internal("WAL not open");
+  if (failed_) {
+    return Status::IoError("WAL '" + path_ +
+                           "' is failed after an unrecovered partial append");
+  }
+  // Build the replacement beside the live log so the swap is a rename.
+  const std::string temp_path = path_ + ".compact";
+  std::FILE* temp = std::fopen(temp_path.c_str(), "wb");
+  if (temp == nullptr) {
+    return Status::IoError("cannot open WAL rewrite file '" + temp_path +
+                           "': " + std::strerror(errno));
+  }
+  auto fail_temp = [&](Status status) {
+    std::fclose(temp);
+    std::remove(temp_path.c_str());
+    return status;
+  };
+  if (std::fwrite(kWalMagic, 1, sizeof(kWalMagic), temp) != sizeof(kWalMagic)) {
+    return fail_temp(Status::IoError("cannot write WAL header to '" + temp_path +
+                                     "': " + std::strerror(errno)));
+  }
+  for (const std::string& payload : payloads) {
+    uint32_t length = static_cast<uint32_t>(payload.size());
+    uint32_t crc = Crc32(payload.data(), payload.size());
+    char header[kFrameHeader];
+    std::memcpy(header, &length, sizeof(length));
+    std::memcpy(header + sizeof(length), &crc, sizeof(crc));
+    if (std::fwrite(header, 1, sizeof(header), temp) != sizeof(header) ||
+        std::fwrite(payload.data(), 1, payload.size(), temp) != payload.size()) {
+      return fail_temp(Status::IoError("WAL rewrite append failed for '" +
+                                       temp_path + "': " + std::strerror(errno)));
+    }
+  }
+  Status synced = SyncFileToDisk(temp, temp_path);
+  if (!synced.ok()) return fail_temp(synced);
+  if (std::fclose(temp) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::IoError("cannot close WAL rewrite file '" + temp_path + "'");
+  }
+
+  // Point of no return: drop the live handle and swap the files. Every
+  // payload is already durable in the temp file, so a crash between the
+  // close and the rename just leaves the original log plus a stale
+  // .compact sibling (overwritten by the next compaction).
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    std::remove(temp_path.c_str());
+    return Status::IoError("cannot close WAL '" + path_ + "' for rewrite");
+  }
+  file_ = nullptr;
+  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+    Status renamed = Status::IoError("cannot swap rewritten WAL into '" + path_ +
+                                     "': " + std::strerror(errno));
+    std::remove(temp_path.c_str());
+    // The original log is intact on disk; reopen it for appending.
+    file_ = std::fopen(path_.c_str(), "rb+");
+    if (file_ == nullptr || std::fseek(file_, 0, SEEK_END) != 0) {
+      if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+      }
+      return renamed.WithContext("WAL closed (reopen after failed swap failed)");
+    }
+    return renamed;
+  }
+  file_ = std::fopen(path_.c_str(), "rb+");
+  if (file_ == nullptr || std::fseek(file_, 0, SEEK_END) != 0) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+    return Status::IoError("cannot reopen rewritten WAL '" + path_ + "'");
+  }
+  num_appended_ += payloads.size();
+  return Status::OK();
+}
+
 Status WriteAheadLog::Close() {
   Status result = Status::OK();
   if (file_ != nullptr) {

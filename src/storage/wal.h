@@ -22,6 +22,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -72,6 +73,15 @@ class WriteAheadLog {
   /// log: on success the valid prefix ends at `offset` and appends are
   /// accepted again. On failure the log is (or stays) failed.
   Status TruncateTo(uint64_t offset);
+
+  /// Atomically replaces the entire log with `payloads` (in order): the
+  /// records are written to a sibling temp file, synced, and renamed over
+  /// the live log, which is then reopened for appending. Used by
+  /// checkpoint-time compaction to swap the append-only history for an
+  /// equivalent snapshot. A failure before the rename leaves the original
+  /// log untouched; a failure after it reports the log failed/closed so
+  /// the caller falls back to recovery-by-replay semantics.
+  Status Rewrite(const std::vector<std::string>& payloads);
 
   Status Close();
 

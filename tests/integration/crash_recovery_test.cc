@@ -376,6 +376,93 @@ TEST_F(CrashRecoveryTest, CleanShutdownReopensWithoutCorruption) {
   EXPECT_EQ(Snapshot(&engine), oracle_with_extras);
 }
 
+// Checkpoint compaction rewrites the log as a snapshot of live state, so
+// repeated checkpoints keep the WAL bounded instead of accreting a marker
+// record per cycle.
+TEST_F(CrashRecoveryTest, CheckpointCompactionKeepsWalBounded) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 60);
+  Engine engine(FileBackedOptions());
+  ASSERT_TRUE(engine.Init().ok());
+  SetupDatabase(&engine);
+  ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  EXPECT_EQ(engine.wal_compaction().compactions, 1u);
+  // 60 adds + 1 checkpoint marker.
+  EXPECT_EQ(engine.wal_compaction().records_written, specs.size() + 1);
+  uintmax_t size_after_first = std::filesystem::file_size(db_path_ + ".wal");
+  // With no new mutations, every further checkpoint rewrites the identical
+  // snapshot: the log size is a pure function of live state.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine.Checkpoint().ok());
+  EXPECT_EQ(std::filesystem::file_size(db_path_ + ".wal"), size_after_first);
+  EXPECT_EQ(engine.wal_compaction().compactions, 4u);
+}
+
+// The compacted snapshot must reproduce per-row attachment order, which
+// cross-row attaches make different from annotation-id order.
+TEST_F(CrashRecoveryTest, CompactedWalReplaysInterleavedAttachOrder) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 30);
+  auto mutate = [&](Engine* engine) {
+    ASSERT_TRUE(engine->AnnotateBatch(specs).ok());
+    // Row 1 now holds annotations in order {1, 11, 21, 20, 3}: the last two
+    // attached out of id order, and 3 as a whole-row region.
+    ASSERT_TRUE(engine->AttachAnnotation(20, "notes", 1, {0}).ok());
+    ASSERT_TRUE(engine->AttachAnnotation(3, "notes", 1).ok());
+    ASSERT_TRUE(engine->AttachAnnotation(15, "notes", 2, {1}).ok());
+    ASSERT_TRUE(engine->ArchiveAnnotation(4).ok());
+  };
+  {
+    Engine engine(FileBackedOptions());
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    mutate(&engine);
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());  // Compacting a snapshot is idempotent.
+  }
+  Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_TRUE(engine.recovery().performed);
+  SetupDatabase(&engine);
+  Engine oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  SetupDatabase(&oracle);
+  mutate(&oracle);
+  EXPECT_EQ(Snapshot(&engine), Snapshot(&oracle));
+}
+
+// Compaction is an option: disabling it restores the append-only marker
+// behavior, and recovery still converges to the same state.
+TEST_F(CrashRecoveryTest, CompactionCanBeDisabled) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 20);
+  EngineOptions options = FileBackedOptions();
+  options.compact_wal_on_checkpoint = false;
+  {
+    Engine engine(options);
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    EXPECT_EQ(engine.wal_compaction().compactions, 0u);
+    uintmax_t size_after_first = std::filesystem::file_size(db_path_ + ".wal");
+    // Without compaction every checkpoint appends another marker record.
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    EXPECT_GT(std::filesystem::file_size(db_path_ + ".wal"), size_after_first);
+  }
+  EngineOptions reopen = FileBackedOptions(nullptr, /*open_existing=*/true);
+  reopen.compact_wal_on_checkpoint = false;
+  Engine engine(reopen);
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_EQ(engine.recovery().wal_records_replayed, specs.size());
+  SetupDatabase(&engine);
+  Engine oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  SetupDatabase(&oracle);
+  ASSERT_TRUE(oracle.AnnotateBatch(specs).ok());
+  EXPECT_EQ(Snapshot(&engine), Snapshot(&oracle));
+}
+
 // A transient store-apply failure must never make the database
 // unrecoverable: the WAL-committed-but-unapplied record poisons the
 // engine (further mutations are refused, so no later record can collide

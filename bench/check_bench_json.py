@@ -55,6 +55,10 @@ def check_report(path):
     if status:
         return status
 
+    status = check_limit_sweep(path, benchmarks)
+    if status:
+        return status
+
     print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
     return 0
 
@@ -75,6 +79,58 @@ def check_thread_sweeps(path, benchmarks):
     for family, seen in sorted(families.items()):
         if max(seen) > 1 and 1 not in seen:
             return fail(path, f"{family}: thread sweep has no parallelism-1 baseline")
+    return 0
+
+
+EXPECTED_TOPK_KS = (8, 64)
+
+
+def check_limit_sweep(path, benchmarks):
+    """The top-k family (BM_ParallelTopK) must sweep the expected k values
+    with a parallelism-1 serial baseline per k, carry a rows_pruned counter
+    everywhere, actually prune at the tightest k once the plan is parallel,
+    and prune monotonically non-increasingly as k grows at a fixed thread
+    count (guaranteed because max_threads * min_k <= max_k)."""
+    entries = []
+    for i, entry in enumerate(benchmarks):
+        name = entry.get("name", "")
+        if not name.startswith("BM_ParallelTopK"):
+            continue
+        where = f"benchmarks[{i}] ({name})"
+        for counter in ("threads", "limit_k", "rows_pruned"):
+            value = entry.get(counter)
+            if not isinstance(value, (int, float)) or value < 0:
+                return fail(path, f"{where}.{counter} missing or negative")
+        entries.append((int(entry["threads"]), int(entry["limit_k"]),
+                        float(entry["rows_pruned"]), name))
+    if not entries:
+        # Reports from other bench binaries simply have no top-k family.
+        return 0
+
+    ks_seen = {k for _, k, _, _ in entries}
+    if not set(EXPECTED_TOPK_KS) <= ks_seen:
+        return fail(path, f"BM_ParallelTopK: k sweep {sorted(ks_seen)} missing "
+                          f"expected values {list(EXPECTED_TOPK_KS)}")
+    for k in sorted(ks_seen):
+        threads = {t for t, kk, _, _ in entries if kk == k}
+        if max(threads) > 1 and 1 not in threads:
+            return fail(path, f"BM_ParallelTopK k={k}: no parallelism-1 baseline")
+
+    min_k = min(ks_seen)
+    for t, k, pruned, name in entries:
+        if t > 1 and k == min_k and pruned <= 0:
+            return fail(path, f"{name}: parallel top-k with k={k} pruned no rows")
+
+    by_threads = {}
+    for t, k, pruned, _ in entries:
+        by_threads.setdefault(t, []).append((k, pruned))
+    for t, points in sorted(by_threads.items()):
+        points.sort()
+        for (k_lo, pruned_lo), (k_hi, pruned_hi) in zip(points, points[1:]):
+            if pruned_hi > pruned_lo:
+                return fail(path, f"BM_ParallelTopK threads={t}: rows_pruned grew "
+                                  f"from {pruned_lo} (k={k_lo}) to {pruned_hi} "
+                                  f"(k={k_hi}); pruning must not increase with k")
     return 0
 
 

@@ -33,6 +33,12 @@ void RenderNode(const PlanMetrics& node, size_t depth, std::ostringstream* os) {
   if (node.metrics.partial_groups > 0) {
     *os << " partial_groups=" << node.metrics.partial_groups;
   }
+  if (node.metrics.rows_pruned > 0) {
+    *os << " rows_pruned=" << node.metrics.rows_pruned;
+  }
+  if (node.metrics.bound_updates > 0) {
+    *os << " bound_updates=" << node.metrics.bound_updates;
+  }
   if (node.metrics.merge_ns > 0) {
     *os << " merge_ms=" << static_cast<double>(node.metrics.merge_ns) / 1e6;
   }

@@ -44,6 +44,9 @@ struct OperatorMetrics {
   uint64_t build_partitions = 0;  // Hash joins: partitions in the build.
   uint64_t partial_groups = 0;    // Partial agg/distinct/sort: local states built.
   uint64_t merge_ns = 0;          // Merge operators: time folding partial states.
+  uint64_t rows_pruned = 0;       // LIMIT pushdown: rows provably outside the
+                                  // result, dropped before materialization.
+  uint64_t bound_updates = 0;     // Top-k sort: shared k-th-candidate tightenings.
 };
 
 class Operator {

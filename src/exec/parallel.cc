@@ -5,6 +5,29 @@
 
 namespace insightnotes::exec {
 
+Status RowQuota::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  prefix_morsel_ = 0;
+  prefix_rows_ = 0;
+  satisfied_.store(limit_ == 0, std::memory_order_release);
+  return Status::OK();
+}
+
+void RowQuota::OnMorselDone(uint64_t morsel, size_t rows) {
+  if (satisfied_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_[morsel] = rows;
+  // Fold completed morsels into the contiguous prefix, in morsel order.
+  auto it = pending_.find(prefix_morsel_);
+  while (it != pending_.end()) {
+    prefix_rows_ += it->second;
+    pending_.erase(it);
+    it = pending_.find(++prefix_morsel_);
+  }
+  if (prefix_rows_ >= limit_) satisfied_.store(true, std::memory_order_release);
+}
+
 ScanMorselSource::ScanMorselSource(const rel::Table* table, std::string alias,
                                    core::SummaryManager* manager,
                                    const ann::AnnotationStore* store,
@@ -34,10 +57,21 @@ Status ScanMorselSource::Reset() {
 
 bool ScanMorselSource::ClaimMorsel(uint64_t* morsel) {
   uint64_t num_morsels = (rows_.size() + morsel_size_ - 1) / morsel_size_;
+  // Checked before the cursor bump so a satisfied quota stops dispatch
+  // without consuming morsel indexes (UndispatchedRows stays exact).
+  if (quota_ != nullptr && quota_->Satisfied()) return false;
   uint64_t claimed = next_morsel_.fetch_add(1, std::memory_order_relaxed);
   if (claimed >= num_morsels) return false;
   *morsel = claimed;
   return true;
+}
+
+size_t ScanMorselSource::UndispatchedRows() const {
+  uint64_t num_morsels = (rows_.size() + morsel_size_ - 1) / morsel_size_;
+  uint64_t next = std::min<uint64_t>(
+      next_morsel_.load(std::memory_order_relaxed), num_morsels);
+  size_t dispatched = std::min(static_cast<size_t>(next) * morsel_size_, rows_.size());
+  return rows_.size() - dispatched;
 }
 
 Status ScanMorselSource::Materialize(uint64_t morsel, core::AnnotatedBatch* out) const {
@@ -112,13 +146,16 @@ void GatherOperator::SetTraceSink(TraceSink sink) {
   Operator::SetTraceSink(std::move(sink));
 }
 
-Status GatherOperator::DrainWorker(Operator* worker,
+Status GatherOperator::DrainWorker(Operator* worker, RowQuota* quota,
                                    std::vector<core::AnnotatedBatch>* out) {
   INSIGHTNOTES_RETURN_IF_ERROR(worker->Open());
   while (true) {
     core::AnnotatedBatch batch;
     INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, worker->NextBatch(&batch));
     if (!more) break;
+    // Empty batches count too: a fully filtered morsel still advances the
+    // quota's contiguous completed prefix.
+    if (quota != nullptr) quota->OnMorselDone(batch.morsel, batch.tuples.size());
     out->push_back(std::move(batch));
   }
   return Status::OK();
@@ -135,9 +172,10 @@ Status GatherOperator::OpenImpl() {
   batch_cursor_ = 0;
   tuple_cursor_ = 0;
 
+  RowQuota* quota = quota_.get();
   if (pool_ == nullptr || workers_.size() == 1) {
     for (const auto& worker : workers_) {
-      INSIGHTNOTES_RETURN_IF_ERROR(DrainWorker(worker.get(), &batches_));
+      INSIGHTNOTES_RETURN_IF_ERROR(DrainWorker(worker.get(), quota, &batches_));
     }
   } else {
     std::vector<std::future<Status>> futures;
@@ -146,8 +184,8 @@ Status GatherOperator::OpenImpl() {
     for (size_t w = 0; w < workers_.size(); ++w) {
       Operator* worker = workers_[w].get();
       std::vector<core::AnnotatedBatch>* sink = &collected[w];
-      futures.push_back(
-          pool_->Submit([worker, sink] { return DrainWorker(worker, sink); }));
+      futures.push_back(pool_->Submit(
+          [worker, quota, sink] { return DrainWorker(worker, quota, sink); }));
     }
     Status first_error;
     for (auto& future : futures) {
@@ -168,6 +206,11 @@ Status GatherOperator::OpenImpl() {
             [](const core::AnnotatedBatch& a, const core::AnnotatedBatch& b) {
               return a.morsel < b.morsel;
             });
+  if (quota_ != nullptr && quota_source_ != nullptr) {
+    // All workers have joined, so the morsel cursor is final: rows of
+    // never-dispatched morsels were pruned by the LIMIT quota.
+    metrics_.rows_pruned += quota_source_->UndispatchedRows();
+  }
   return Status::OK();
 }
 

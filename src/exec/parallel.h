@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "annotation/annotation_store.h"
@@ -43,6 +44,41 @@ class SharedPlanState {
   virtual Status Reset() = 0;
 };
 
+/// Cooperative row quota of a plain `LIMIT k` parallel plan (no ORDER BY).
+/// Serial semantics take the first k surviving rows in morsel order, so
+/// dispatch can stop early: workers report each completed morsel's
+/// surviving row count, the quota advances a contiguous-prefix pointer
+/// over completed morsels, and it is satisfied once the prefix carries at
+/// least k rows. Because morsels are claimed off a contiguous atomic
+/// cursor, every morsel before the prefix pointer has been dispatched —
+/// the gathered stream therefore always contains the serial first k rows,
+/// and whatever the still-running workers publish past them is trimmed by
+/// the Limit above. Stopping dispatch can only *shrink* the tail, never
+/// change the first k rows, so results stay byte-identical to serial.
+class RowQuota final : public SharedPlanState {
+ public:
+  explicit RowQuota(size_t limit) : limit_(limit) {}
+
+  Status Reset() override;
+  size_t limit() const { return limit_; }
+
+  /// Records that morsel `morsel` completed with `rows` surviving rows.
+  /// Called from worker threads as batches reach the gather.
+  void OnMorselDone(uint64_t morsel, size_t rows);
+
+  /// True once the contiguous completed prefix carries >= limit rows
+  /// (immediately for LIMIT 0). One relaxed atomic load on the fast path.
+  bool Satisfied() const { return satisfied_.load(std::memory_order_acquire); }
+
+ private:
+  const size_t limit_;
+  std::atomic<bool> satisfied_{false};
+  std::mutex mutex_;
+  std::unordered_map<uint64_t, size_t> pending_;  // Done, not yet in prefix.
+  uint64_t prefix_morsel_ = 0;  // First morsel not folded into the prefix.
+  size_t prefix_rows_ = 0;      // Surviving rows in morsels [0, prefix_morsel_).
+};
+
 /// The driving table of a parallel pipeline section. Reset materializes
 /// the live rows *and their data tuples* in one serial scan pass (the
 /// buffer pool below rel::Table is single-threaded); workers then only do
@@ -56,8 +92,16 @@ class ScanMorselSource final : public SharedPlanState {
   Status Reset() override;
 
   /// Claims the next unprocessed morsel index. Thread-safe; false when the
-  /// table is exhausted.
+  /// table is exhausted or an attached RowQuota is satisfied.
   bool ClaimMorsel(uint64_t* morsel);
+
+  /// Attaches a LIMIT row quota: once satisfied, ClaimMorsel stops
+  /// dispatching. Set by the planner before execution.
+  void SetQuota(std::shared_ptr<RowQuota> quota) { quota_ = std::move(quota); }
+
+  /// Rows of morsels never dispatched (quota stopped the scan early).
+  /// Meaningful once the parallel section has drained.
+  size_t UndispatchedRows() const;
 
   /// Materializes morsel `morsel`'s AnnotatedTuples into `out` (summary
   /// clones + attachment metadata, exactly as SeqScanOperator would emit
@@ -80,6 +124,7 @@ class ScanMorselSource final : public SharedPlanState {
   std::vector<rel::RowId> rows_;    // Live row ids, insertion order.
   std::vector<rel::Tuple> tuples_;  // Prefetched data tuples, same order.
   std::atomic<uint64_t> next_morsel_{0};
+  std::shared_ptr<RowQuota> quota_;  // Null unless a LIMIT was pushed down.
 };
 
 /// Per-worker scan stage over a shared ScanMorselSource. Open is a no-op
@@ -130,6 +175,15 @@ class GatherOperator final : public Operator {
   /// Serializes the sink: worker pipelines emit from pool threads.
   void SetTraceSink(TraceSink sink) override;
 
+  /// Wires the LIMIT row-quota protocol: drained batches report their
+  /// surviving rows to `quota`, and rows `source` never dispatched count
+  /// as this operator's rows_pruned.
+  void EnableRowQuota(std::shared_ptr<RowQuota> quota,
+                      std::shared_ptr<ScanMorselSource> source) {
+    quota_ = std::move(quota);
+    quota_source_ = std::move(source);
+  }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(core::AnnotatedTuple* out) override;
@@ -137,11 +191,15 @@ class GatherOperator final : public Operator {
 
  private:
   /// Runs one worker pipeline to exhaustion, appending its batches.
-  static Status DrainWorker(Operator* worker, std::vector<core::AnnotatedBatch>* out);
+  /// `quota` (nullable) learns each batch's morsel + surviving row count.
+  static Status DrainWorker(Operator* worker, RowQuota* quota,
+                            std::vector<core::AnnotatedBatch>* out);
 
   std::vector<std::unique_ptr<Operator>> workers_;
   std::vector<std::shared_ptr<SharedPlanState>> states_;
   ThreadPool* pool_;
+  std::shared_ptr<RowQuota> quota_;             // Null without LIMIT pushdown.
+  std::shared_ptr<ScanMorselSource> quota_source_;
 
   std::vector<core::AnnotatedBatch> batches_;  // Morsel order after Open.
   size_t batch_cursor_ = 0;

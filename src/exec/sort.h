@@ -14,6 +14,8 @@
 #define INSIGHTNOTES_EXEC_SORT_H_
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -105,13 +107,60 @@ class PartialSortState final : public SharedPlanState {
   std::vector<std::vector<SortRunEntry>> runs_;
 };
 
+/// Shared k-th-candidate bound of an `ORDER BY ... LIMIT k` parallel sort.
+///
+/// A worker whose local top-k heap is full publishes its heap root (its
+/// local k-th candidate, keys + serial rank, no tuple): the worker already
+/// holds k entries that sort at or before the root, so no entry sorting
+/// strictly after any published root can be part of the global top k.
+/// The bound keeps the minimum over everything published — it only ever
+/// tightens — and other workers consult it to skip rows without storing
+/// them. Because SortRunLess is a *total* order (the serial rank breaks
+/// key ties), pruning on "strictly after the bound" can never discard an
+/// entry the serial `Sort + Limit` cascade would have emitted: the pruned
+/// and the kept side of the bound are disjoint by trichotomy.
+class TopKBound final : public SharedPlanState {
+ public:
+  TopKBound(size_t limit, std::vector<bool> ascending)
+      : limit_(limit), ascending_(std::move(ascending)) {}
+
+  Status Reset() override;
+  size_t limit() const { return limit_; }
+
+  /// Publishes `candidate` as a worker's current k-th entry; keeps it only
+  /// if it is strictly tighter (sorts before the held bound). The
+  /// candidate's tuple payload is not copied. Returns true on tightening.
+  bool Tighten(const SortRunEntry& candidate);
+
+  /// Refreshes a worker's cached copy of the bound. `version` is the
+  /// caller's last-seen bound version (0 initially); on change the bound's
+  /// keys and rank are copied into `out` and true is returned.
+  bool Refresh(uint64_t* version, SortRunEntry* out) const;
+
+ private:
+  const size_t limit_;
+  const std::vector<bool> ascending_;
+  mutable std::mutex mutex_;
+  // Readers poll version_ (one relaxed-ish atomic load per row) and only
+  // take the mutex when it moved. 0 = no bound published yet.
+  std::atomic<uint64_t> version_{0};
+  SortRunEntry bound_;  // Guarded by mutex_; keys + rank only.
+};
+
 /// Per-worker sort: drains its pipeline, evaluates the key list per tuple,
 /// sorts the local run, and publishes it; emits no batches itself.
+///
+/// With a TopKBound (`ORDER BY ... LIMIT k` pushdown) the worker keeps a
+/// size-k max-heap instead of the full run: rows sorting after the heap
+/// root (once full) or after the shared bound are dropped — counted in
+/// `rows_pruned` — and the heap root is published to the bound so other
+/// workers prune too.
 class PartialSortOperator final : public Operator {
  public:
   PartialSortOperator(std::unique_ptr<Operator> child,
                       std::vector<ParallelSortKey> keys,
-                      std::shared_ptr<PartialSortState> sink);
+                      std::shared_ptr<PartialSortState> sink,
+                      std::shared_ptr<TopKBound> bound = nullptr);
 
   const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
   std::string Name() const override;
@@ -124,24 +173,35 @@ class PartialSortOperator final : public Operator {
   Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
 
  private:
+  Status BuildEntry(const core::AnnotatedBatch& batch, size_t i,
+                    SortRunEntry* entry);
+  Status DrainUnbounded(std::vector<SortRunEntry>* run);
+  Status DrainTopK(std::vector<SortRunEntry>* run);
+
   std::unique_ptr<Operator> child_;
   std::vector<ParallelSortKey> keys_;
   std::vector<bool> ascending_;  // Direction per key, for the comparator.
   std::shared_ptr<PartialSortState> sink_;
+  std::shared_ptr<TopKBound> bound_;  // Null when no LIMIT was pushed down.
 };
 
-/// Final k-way merge of the per-worker sorted runs above the gather.
+/// Final k-way merge of the per-worker sorted runs above the gather. With
+/// a pushed-down LIMIT the merge stops after emitting `limit` rows.
 class SortMergeOperator final : public Operator {
  public:
   /// `label` names the key list for EXPLAIN (built by the planner);
   /// `ascending` gives the per-key directions in significance order.
+  /// `limit` of SIZE_MAX means "merge everything".
   SortMergeOperator(std::unique_ptr<Operator> child, std::vector<bool> ascending,
-                    std::string label, std::shared_ptr<PartialSortState> source);
+                    std::string label, std::shared_ptr<PartialSortState> source,
+                    size_t limit = SIZE_MAX);
 
   const rel::Schema& OutputSchema() const override { return child_->OutputSchema(); }
   std::string Name() const override { return "SortMerge(" + label_ + ")"; }
   std::vector<Operator*> Children() override { return {child_.get()}; }
-  size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+  size_t EstimatedRows() const override {
+    return std::min(limit_, child_->EstimatedRows());
+  }
 
  protected:
   Status OpenImpl() override;
@@ -152,6 +212,7 @@ class SortMergeOperator final : public Operator {
   std::vector<bool> ascending_;
   std::string label_;
   std::shared_ptr<PartialSortState> source_;
+  size_t limit_;
 
   std::vector<core::AnnotatedTuple> results_;
   size_t cursor_ = 0;

@@ -414,6 +414,19 @@ class SelectPlanner {
     if (stmt_.distinct) {
       return BuildParallelDistinct(std::move(pipes), std::move(states), pool);
     }
+    if (stmt_.limit.has_value()) {
+      // Plain LIMIT k: serial semantics take the first k surviving rows in
+      // morsel order, so a cooperative row quota lets the morsel source
+      // stop dispatching once the first morsels' completed batches already
+      // carry k rows. The LimitOperator above trims in-flight extras.
+      auto quota = std::make_shared<exec::RowQuota>(*stmt_.limit);
+      source->SetQuota(quota);
+      states.push_back(quota);
+      auto gather = std::make_unique<exec::GatherOperator>(std::move(pipes),
+                                                           std::move(states), pool);
+      gather->EnableRowQuota(std::move(quota), source);
+      return std::unique_ptr<exec::Operator>(std::move(gather));
+    }
     return std::unique_ptr<exec::Operator>(std::make_unique<exec::GatherOperator>(
         std::move(pipes), std::move(states), pool));
   }
@@ -451,7 +464,10 @@ class SelectPlanner {
 
   /// Parallel sort: PartialSortOperator per worker publishes a locally
   /// sorted run tagged with serial ranks; SortMergeOperator k-way-merges
-  /// the runs above the gather.
+  /// the runs above the gather. With `ORDER BY ... LIMIT k` (and no
+  /// DISTINCT, which would dedup *between* sort and limit) the limit is
+  /// pushed down: workers keep bounded top-k runs pruned against a shared
+  /// k-th-candidate bound, and the merge stops after k rows.
   Result<std::unique_ptr<exec::Operator>> BuildParallelSort(
       std::vector<std::unique_ptr<exec::Operator>> pipes,
       std::vector<std::shared_ptr<exec::SharedPlanState>> states, ThreadPool* pool) {
@@ -464,6 +480,12 @@ class SelectPlanner {
       if (!label.empty()) label += ", ";
       label += AstToString(*item.expr);
       if (!item.ascending) label += " DESC";
+    }
+    const bool push_limit = stmt_.limit.has_value() && !stmt_.distinct;
+    std::shared_ptr<exec::TopKBound> bound;
+    if (push_limit) {
+      bound = std::make_shared<exec::TopKBound>(*stmt_.limit, ascending);
+      states.push_back(bound);
     }
     for (std::unique_ptr<exec::Operator>& pipe : pipes) {
       std::vector<exec::ParallelSortKey> keys;
@@ -481,14 +503,15 @@ class SelectPlanner {
         }
         keys.push_back(std::move(key));
       }
-      pipe = std::make_unique<exec::PartialSortOperator>(std::move(pipe),
-                                                         std::move(keys), sink);
+      pipe = std::make_unique<exec::PartialSortOperator>(
+          std::move(pipe), std::move(keys), sink, bound);
     }
     auto gather = std::make_unique<exec::GatherOperator>(std::move(pipes),
                                                          std::move(states), pool);
     parallel_sorted_ = true;
     return std::unique_ptr<exec::Operator>(std::make_unique<exec::SortMergeOperator>(
-        std::move(gather), std::move(ascending), std::move(label), std::move(sink)));
+        std::move(gather), std::move(ascending), std::move(label), std::move(sink),
+        push_limit ? *stmt_.limit : SIZE_MAX));
   }
 
   /// Parallel distinct: the final projection moves below the partial

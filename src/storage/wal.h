@@ -83,6 +83,18 @@ class WriteAheadLog {
   /// the caller falls back to recovery-by-replay semantics.
   Status Rewrite(const std::vector<std::string>& payloads);
 
+  /// Test seam: invoked before each scripted Rewrite step with the step's
+  /// name ("temp_create", "temp_header", "temp_write" per payload,
+  /// "temp_fsync", "temp_close", "live_close", "rename", "post_rename").
+  /// A non-OK return simulates a crash at that point: both file handles
+  /// are abandoned exactly as they are on disk (no cleanup, no rename
+  /// rollback) and the log reports closed, the way a process kill would
+  /// leave it for the next reopen-and-replay.
+  using RewriteFaultHook = std::function<Status(const char* op)>;
+  void SetRewriteFaultHook(RewriteFaultHook hook) {
+    rewrite_fault_hook_ = std::move(hook);
+  }
+
   Status Close();
 
   bool is_open() const { return file_ != nullptr; }
@@ -106,6 +118,7 @@ class WriteAheadLog {
   std::FILE* file_ = nullptr;
   bool failed_ = false;
   uint64_t num_appended_ = 0;
+  RewriteFaultHook rewrite_fault_hook_;
 };
 
 }  // namespace insightnotes::storage

@@ -1,6 +1,8 @@
 // Edge-case coverage for the summary-aware operators: duplicate join keys,
 // NULL keys, sort stability, string aggregates, empty inputs, expression
-// projections.
+// projections — plus the top-k LIMIT pushdown property suite (boundary
+// k values, tie groups straddling the cut, the shared TopKBound protocol,
+// and the no-ORDER-BY RowQuota with a late-publishing worker).
 
 #include <gtest/gtest.h>
 
@@ -8,8 +10,11 @@
 #include "exec/distinct.h"
 #include "exec/filter.h"
 #include "exec/hash_join.h"
+#include "exec/parallel.h"
 #include "exec/projection.h"
 #include "exec/sort.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
 #include "testutil.h"
 
 namespace insightnotes::exec {
@@ -190,6 +195,157 @@ TEST_F(OperatorEdgeTest, ProjectionWithComputedExpression) {
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].tuple.ValueAt(0).AsInt64(), 42);
   EXPECT_EQ(project->OutputSchema().ColumnAt(0).name, "doubled");
+}
+
+// ---- Top-K LIMIT pushdown properties ----
+
+class TopKPropertyTest : public OperatorEdgeTest {
+ protected:
+  /// 40 rows in 4 tie groups of 10 on k (0,0,...,1,1,...), v records the
+  /// insertion order so stable-tie order is observable byte for byte.
+  void FillTieGroups() {
+    for (int i = 0; i < 40; ++i) {
+      Insert("L", rel::Tuple({I(i / 10), S("row" + std::to_string(i))}));
+    }
+  }
+
+  std::vector<std::string> RunSql(const std::string& sql_text, size_t parallelism,
+                                  size_t morsel_size = 4) {
+    auto statement = sql::Parse(sql_text);
+    EXPECT_TRUE(statement.ok()) << statement.status().ToString();
+    auto* select = std::get_if<sql::SelectStatement>(&*statement);
+    EXPECT_NE(select, nullptr);
+    sql::PlannerOptions options;
+    options.parallelism = parallelism;
+    options.morsel_size = morsel_size;
+    auto plan = sql::PlanSelect(*select, engine_.get(), options);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    auto result = engine_->Execute(std::move(*plan));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<std::string> rows;
+    if (result.ok()) {
+      for (const auto& row : result->rows) rows.push_back(row.tuple.ToString());
+    }
+    return rows;
+  }
+
+  void ExpectSerialParallelEqual(const std::string& sql_text) {
+    SCOPED_TRACE(sql_text);
+    std::vector<std::string> serial = RunSql(sql_text, 1);
+    for (size_t parallelism : {2u, 4u, 8u}) {
+      SCOPED_TRACE("parallelism=" + std::to_string(parallelism));
+      EXPECT_EQ(serial, RunSql(sql_text, parallelism));
+    }
+  }
+};
+
+TEST_F(TopKPropertyTest, OrderByLimitBoundaryValues) {
+  FillTieGroups();
+  // k = 0, 1, n-1, n, and beyond n (n = 40).
+  for (int k : {0, 1, 39, 40, 100}) {
+    ExpectSerialParallelEqual("SELECT l.k, l.v FROM L l ORDER BY l.k LIMIT " +
+                              std::to_string(k));
+  }
+}
+
+TEST_F(TopKPropertyTest, DuplicateKeysStraddlingTheBoundary) {
+  FillTieGroups();
+  // LIMIT 15 cuts through the second tie group (rows 10..19 share k = 1):
+  // the kept ties must be the first 5 of the group in insertion order.
+  std::vector<std::string> rows =
+      RunSql("SELECT l.v FROM L l ORDER BY l.k LIMIT 15", 8);
+  ASSERT_EQ(rows.size(), 15u);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(rows[i], rel::Tuple({S("row" + std::to_string(i))}).ToString());
+  }
+  ExpectSerialParallelEqual("SELECT l.v FROM L l ORDER BY l.k LIMIT 15");
+  ExpectSerialParallelEqual("SELECT l.v FROM L l ORDER BY l.k DESC LIMIT 15");
+}
+
+TEST_F(TopKPropertyTest, LimitUnderDistinctAndAggregation) {
+  FillTieGroups();
+  // DISTINCT dedups between sort and limit, so the planner must NOT push
+  // the limit into the sort; the result must still match serial.
+  ExpectSerialParallelEqual("SELECT DISTINCT l.k FROM L l ORDER BY l.k LIMIT 2");
+  ExpectSerialParallelEqual("SELECT DISTINCT l.k FROM L l LIMIT 3");
+  ExpectSerialParallelEqual(
+      "SELECT l.k, COUNT(*) FROM L l GROUP BY l.k ORDER BY l.k LIMIT 2");
+  ExpectSerialParallelEqual("SELECT l.k, COUNT(*) FROM L l GROUP BY l.k LIMIT 2");
+}
+
+TEST_F(TopKPropertyTest, NoOrderByQuotaTakesSerialPrefix) {
+  FillTieGroups();
+  // Plain LIMIT: serial semantics are the first k rows in insertion order;
+  // the quota-stopped parallel scan must produce exactly those.
+  for (int k : {0, 1, 7, 39, 40, 100}) {
+    ExpectSerialParallelEqual("SELECT l.k, l.v FROM L l LIMIT " + std::to_string(k));
+  }
+  std::vector<std::string> rows = RunSql("SELECT l.v FROM L l LIMIT 7", 8);
+  ASSERT_EQ(rows.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(rows[i], rel::Tuple({S("row" + std::to_string(i))}).ToString());
+  }
+}
+
+TEST_F(TopKPropertyTest, TopKBoundTightensMonotonically) {
+  TopKBound bound(2, {true});
+  ASSERT_TRUE(bound.Reset().ok());
+  uint64_t version = 0;
+  SortRunEntry seen;
+  EXPECT_FALSE(bound.Refresh(&version, &seen));  // Nothing published yet.
+
+  SortRunEntry first;
+  first.keys = {I(5)};
+  first.morsel = 0;
+  first.pos = 3;
+  EXPECT_TRUE(bound.Tighten(first));
+  EXPECT_TRUE(bound.Refresh(&version, &seen));
+  EXPECT_EQ(seen.keys[0].AsInt64(), 5);
+  EXPECT_EQ(seen.pos, 3u);
+  EXPECT_FALSE(bound.Refresh(&version, &seen));  // Version unchanged.
+
+  SortRunEntry worse;
+  worse.keys = {I(9)};
+  EXPECT_FALSE(bound.Tighten(worse));  // Only strict tightening is kept.
+  EXPECT_FALSE(bound.Refresh(&version, &seen));
+
+  SortRunEntry tie_better;  // Same key, earlier serial rank: tighter.
+  tie_better.keys = {I(5)};
+  tie_better.morsel = 0;
+  tie_better.pos = 1;
+  EXPECT_TRUE(bound.Tighten(tie_better));
+  SortRunEntry better;
+  better.keys = {I(3)};
+  EXPECT_TRUE(bound.Tighten(better));
+  EXPECT_TRUE(bound.Refresh(&version, &seen));
+  EXPECT_EQ(seen.keys[0].AsInt64(), 3);
+
+  ASSERT_TRUE(bound.Reset().ok());  // Re-execution starts unbounded.
+  version = 0;
+  EXPECT_FALSE(bound.Refresh(&version, &seen));
+}
+
+TEST_F(TopKPropertyTest, RowQuotaWaitsForLatePublisher) {
+  RowQuota quota(10);
+  ASSERT_TRUE(quota.Reset().ok());
+  EXPECT_FALSE(quota.Satisfied());
+  // Later morsels complete first: plenty of rows, but the prefix is
+  // blocked on morsel 0, still owned by a slow worker.
+  quota.OnMorselDone(1, 6);
+  quota.OnMorselDone(2, 6);
+  quota.OnMorselDone(4, 100);
+  EXPECT_FALSE(quota.Satisfied());
+  // The late worker publishes morsel 0: prefix = morsels 0..2 with
+  // 4 + 6 + 6 >= 10 rows (morsel 4 stays outside the contiguous prefix).
+  quota.OnMorselDone(0, 4);
+  EXPECT_TRUE(quota.Satisfied());
+
+  RowQuota zero(0);
+  ASSERT_TRUE(zero.Reset().ok());
+  EXPECT_TRUE(zero.Satisfied());  // LIMIT 0 never dispatches anything.
+
+  ASSERT_TRUE(quota.Reset().ok());
+  EXPECT_FALSE(quota.Satisfied());  // Reset rearms the quota.
 }
 
 TEST_F(OperatorEdgeTest, FilterTypeErrorSurfaces) {

@@ -580,6 +580,80 @@ TEST_F(CrashRecoveryTest, InterruptedRecoveryAdoptsParkedPageFile) {
   EXPECT_EQ(Snapshot(&engine), Snapshot(&oracle));
 }
 
+// Crash-point sweep for checkpoint compaction: WriteAheadLog::Rewrite is
+// killed at EVERY scripted op (temp create/header, each payload write,
+// fsync, both closes, the rename, and just after it). Whatever the crash
+// point, the on-disk log is either the intact pre-compaction history or
+// the complete compacted snapshot — both replay to the same live state —
+// so the reopened engine must always equal the oracle. Closes the crash
+// window the compaction feature left untested.
+TEST_F(CrashRecoveryTest, CompactionCrashSweepRecoversAtEveryOp) {
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 20);
+  Engine memory_oracle;
+  ASSERT_TRUE(memory_oracle.Init().ok());
+  SetupDatabase(&memory_oracle);
+  ASSERT_TRUE(memory_oracle.AnnotateBatch(specs).ok());
+  ApplyExtras(&memory_oracle);
+  std::string expected = Snapshot(&memory_oracle);
+
+  auto ingest = [&](Engine* engine) {
+    SetupDatabase(engine);
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_TRUE(engine->AnnotateBatch(specs).ok());
+    ApplyExtras(engine);
+  };
+
+  // Probe pass: count the scripted ops of one compaction with a hook that
+  // never fails, so the sweep below can kill each index exactly once.
+  std::vector<std::string> op_names;
+  {
+    RemoveDbFiles();
+    Engine engine(FileBackedOptions());
+    ASSERT_TRUE(engine.Init().ok());
+    ingest(&engine);
+    engine.wal()->SetRewriteFaultHook([&op_names](const char* op) {
+      op_names.emplace_back(op);
+      return Status::OK();
+    });
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    engine.wal()->SetRewriteFaultHook(nullptr);
+  }
+  // At least: temp_create, temp_header, one temp_write per record
+  // (20 adds + extras + marker), temp_fsync, temp_close, live_close,
+  // rename, post_rename.
+  ASSERT_GE(op_names.size(), specs.size() + 7) << "Rewrite fault schedule shrank";
+
+  for (size_t kill = 0; kill < op_names.size(); ++kill) {
+    SCOPED_TRACE("compaction crash at op " + std::to_string(kill) + " (" +
+                 op_names[kill] + ")");
+    RemoveDbFiles();
+    {
+      Engine engine(FileBackedOptions());
+      ASSERT_TRUE(engine.Init().ok());
+      ingest(&engine);
+      size_t fired = 0;
+      engine.wal()->SetRewriteFaultHook([&fired, kill](const char* op) -> Status {
+        if (fired++ == kill) {
+          return Status::IoError(std::string("simulated crash at ") + op);
+        }
+        return Status::OK();
+      });
+      // The simulated crash abandons both file handles, so the fallback
+      // checkpoint marker cannot be appended either: Checkpoint fails and
+      // the destructor's best-effort retry degrades to a logged error.
+      EXPECT_FALSE(engine.Checkpoint().ok());
+    }
+    Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+    ASSERT_TRUE(engine.Init().ok());
+    EXPECT_TRUE(engine.recovery().performed);
+    SetupDatabase(&engine);
+    EXPECT_EQ(Snapshot(&engine), expected);
+    // The next checkpoint compacts successfully (overwriting any stale
+    // .compact sibling the crash left behind).
+    EXPECT_TRUE(engine.Checkpoint().ok());
+  }
+}
+
 TEST_F(CrashRecoveryTest, SummarizerFailuresDegradeToStaleRows) {
   Engine engine;
   ASSERT_TRUE(engine.Init().ok());

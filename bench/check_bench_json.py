@@ -59,6 +59,10 @@ def check_report(path):
     if status:
         return status
 
+    status = check_recovery_sweep(path, benchmarks)
+    if status:
+        return status
+
     print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
     return 0
 
@@ -131,6 +135,45 @@ def check_limit_sweep(path, benchmarks):
                 return fail(path, f"BM_ParallelTopK threads={t}: rows_pruned grew "
                                   f"from {pruned_lo} (k={k_lo}) to {pruned_hi} "
                                   f"(k={k_hi}); pruning must not increase with k")
+    return 0
+
+
+def check_recovery_sweep(path, benchmarks):
+    """The recovery family (BM_ParallelRecovery) sweeps WAL-replay
+    parallelism over a fixed prebuilt log: every entry must carry the
+    threads / wal_records / chains counters, the parallelism-1 serial
+    baseline must be present (the generic thread-sweep check enforces it
+    too), every entry must have replayed the same record count (otherwise
+    the sweep timed different workloads), and the parallel entries must
+    have partitioned replay into more than one chain — a single chain
+    cannot scale with cores."""
+    entries = []
+    for i, entry in enumerate(benchmarks):
+        name = entry.get("name", "")
+        if not name.startswith("BM_ParallelRecovery"):
+            continue
+        where = f"benchmarks[{i}] ({name})"
+        for counter in ("threads", "wal_records", "chains"):
+            value = entry.get(counter)
+            if not isinstance(value, (int, float)) or value < 1:
+                return fail(path, f"{where}.{counter} missing or < 1")
+        entries.append((int(entry["threads"]), int(entry["wal_records"]),
+                        int(entry["chains"]), name))
+    if not entries:
+        # Reports from other bench binaries simply have no recovery family.
+        return 0
+
+    threads_seen = {t for t, _, _, _ in entries}
+    if max(threads_seen) > 1 and 1 not in threads_seen:
+        return fail(path, "BM_ParallelRecovery: no parallelism-1 baseline")
+    records_seen = {r for _, r, _, _ in entries}
+    if len(records_seen) != 1:
+        return fail(path, f"BM_ParallelRecovery: replayed record counts differ "
+                          f"across the sweep: {sorted(records_seen)}")
+    for t, _, chains, name in entries:
+        if t > 1 and chains < 2:
+            return fail(path, f"{name}: parallel replay produced {chains} "
+                              f"chain(s); partitioning did not happen")
     return 0
 
 

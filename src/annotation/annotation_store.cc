@@ -34,6 +34,11 @@ Result<AnnotationId> AnnotationStore::Add(Annotation note, const CellRegion& reg
 }
 
 Status AnnotationStore::Attach(AnnotationId id, const CellRegion& region) {
+  return AttachImpl(id, region, /*recovery=*/false);
+}
+
+Status AnnotationStore::AttachImpl(AnnotationId id, const CellRegion& region,
+                                   bool recovery) {
   if (id >= metas_.size()) {
     return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
   }
@@ -45,7 +50,20 @@ Status AnnotationStore::Attach(AnnotationId id, const CellRegion& region) {
 
   Meta& meta = metas_[id];
   RowKey key{normalized.table, normalized.row};
-  auto& attachments = by_row_[key];
+  std::vector<Attachment>* attachments_ptr;
+  if (recovery) {
+    // Pre-created by BeginParallelRecovery: concurrent chains must never
+    // insert (a rehash would race with chains reading other rows).
+    auto it = by_row_.find(key);
+    if (it == by_row_.end()) {
+      return Status::Internal("recovery row (" + std::to_string(key.first) + ", " +
+                              std::to_string(key.second) + ") was not pre-created");
+    }
+    attachments_ptr = &it->second;
+  } else {
+    attachments_ptr = &by_row_[key];
+  }
+  auto& attachments = *attachments_ptr;
   // Re-attachment to the same row unions column sets (idempotent).
   for (Attachment& a : attachments) {
     if (a.annotation == id) {
@@ -69,6 +87,90 @@ Status AnnotationStore::Attach(AnnotationId id, const CellRegion& region) {
   attachments.push_back(Attachment{id, normalized.columns});
   meta.regions.push_back(normalized);
   ++num_attachments_;
+  return Status::OK();
+}
+
+Status AnnotationStore::BeginParallelRecovery(
+    uint64_t num_annotations,
+    const std::vector<std::pair<rel::TableId, rel::RowId>>& rows) {
+  if (!metas_.empty() || !by_row_.empty() || NumAttachments() != 0) {
+    return Status::Internal("parallel recovery requires an empty store");
+  }
+  if (in_recovery_) {
+    return Status::Internal("parallel recovery already in progress");
+  }
+  // Pre-size the id-indexed structures and pre-create every row key so the
+  // replay chains never mutate shared container structure: a chain only
+  // writes the meta slots of its own ids and the attachment vectors of its
+  // own rows.
+  metas_.resize(num_annotations);
+  recovered_.assign(num_annotations, 0);
+  by_row_.reserve(rows.size());
+  for (const auto& [table, row] : rows) {
+    by_row_.try_emplace(RowKey{table, row});
+  }
+  in_recovery_ = true;
+  return Status::OK();
+}
+
+Status AnnotationStore::RecoverAdd(AnnotationId id, Annotation note,
+                                   const CellRegion& region) {
+  if (!in_recovery_) return Status::Internal("RecoverAdd outside recovery");
+  if (id >= metas_.size()) {
+    return Status::Corruption("recovered annotation id " + std::to_string(id) +
+                              " out of range");
+  }
+  if (recovered_[id]) {
+    return Status::Corruption("annotation " + std::to_string(id) +
+                              " added twice in the log");
+  }
+  if (region.row == rel::kInvalidRowId) {
+    return Status::Corruption("recovered annotation region has no row");
+  }
+  storage::RecordId body_rid;
+  {
+    std::lock_guard<std::mutex> lock(bodies_mutex_);
+    INSIGHTNOTES_ASSIGN_OR_RETURN(body_rid, bodies_.Append(note.body));
+  }
+  Meta& meta = metas_[id];
+  meta.kind = note.kind;
+  meta.author = std::move(note.author);
+  meta.timestamp = note.timestamp;
+  meta.title = std::move(note.title);
+  meta.body = body_rid;
+  recovered_[id] = 1;
+  return AttachImpl(id, region, /*recovery=*/true);
+}
+
+Status AnnotationStore::RecoverAttach(AnnotationId id, const CellRegion& region) {
+  if (!in_recovery_) return Status::Internal("RecoverAttach outside recovery");
+  if (id >= metas_.size() || !recovered_[id]) {
+    return Status::Corruption("log attaches annotation " + std::to_string(id) +
+                              " before adding it");
+  }
+  return AttachImpl(id, region, /*recovery=*/true);
+}
+
+Status AnnotationStore::RecoverArchive(AnnotationId id) {
+  if (!in_recovery_) return Status::Internal("RecoverArchive outside recovery");
+  if (id >= metas_.size() || !recovered_[id]) {
+    return Status::Corruption("log archives annotation " + std::to_string(id) +
+                              " before adding it");
+  }
+  metas_[id].archived = true;
+  return Status::OK();
+}
+
+Status AnnotationStore::EndParallelRecovery() {
+  if (!in_recovery_) return Status::Internal("EndParallelRecovery outside recovery");
+  in_recovery_ = false;
+  for (size_t id = 0; id < recovered_.size(); ++id) {
+    if (!recovered_[id]) {
+      return Status::Corruption("annotation " + std::to_string(id) +
+                                " was never added during replay");
+    }
+  }
+  recovered_.clear();
   return Status::OK();
 }
 

@@ -7,11 +7,13 @@
 #ifndef INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_
 #define INSIGHTNOTES_ANNOTATION_ANNOTATION_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "annotation/annotation.h"
@@ -73,7 +75,39 @@ class AnnotationStore {
   uint64_t NumAnnotations() const { return metas_.size(); }
 
   /// Number of (annotation, row) attachments.
-  uint64_t NumAttachments() const { return num_attachments_; }
+  uint64_t NumAttachments() const {
+    return num_attachments_.load(std::memory_order_relaxed);
+  }
+
+  // --- Parallel-recovery surface (WAL replay only) ---------------------------
+  // Recovery partitions the log into chains such that any two records
+  // touching the same annotation id or the same (table, row) share a chain,
+  // then replays chains concurrently. These methods make that safe on an
+  // empty store: BeginParallelRecovery pre-sizes the id-indexed meta table
+  // and pre-creates every row's attachment vector, so concurrent chains
+  // never mutate shared map structure — each chain only touches the meta
+  // slots of its own ids and the attachment vectors of its own rows. Body
+  // appends go through the heap file under an internal mutex (placement
+  // order is scheduling-dependent; the logical state is not).
+
+  /// Must be called on an empty store. `rows` lists every (table, row) any
+  /// replayed record attaches to.
+  Status BeginParallelRecovery(
+      uint64_t num_annotations,
+      const std::vector<std::pair<rel::TableId, rel::RowId>>& rows);
+
+  /// Replays one add record into meta slot `id` (chains know their ids;
+  /// recovery verified density up front).
+  Status RecoverAdd(AnnotationId id, Annotation note, const CellRegion& region);
+
+  /// Replays one attach record. Fails if `id` was not recovered yet —
+  /// within a chain that means the log attached before adding.
+  Status RecoverAttach(AnnotationId id, const CellRegion& region);
+
+  Status RecoverArchive(AnnotationId id);
+
+  /// Verifies every meta slot was filled and leaves recovery mode.
+  Status EndParallelRecovery();
 
   /// Calls `fn` for each attachment on each row of `table`; stops early on
   /// false.
@@ -104,13 +138,22 @@ class AnnotationStore {
     }
   };
 
+  /// Shared attach logic. With `recovery` the row's attachment vector must
+  /// have been pre-created by BeginParallelRecovery (no map mutation).
+  Status AttachImpl(AnnotationId id, const CellRegion& region, bool recovery);
+
   // Serializes body reads: HeapFile::Get mutates buffer-pool frame state
-  // (pins, eviction) even though it is logically const.
+  // (pins, eviction) even though it is logically const. During parallel
+  // recovery it also serializes body appends.
   mutable std::mutex bodies_mutex_;
   storage::HeapFile bodies_;
   std::vector<Meta> metas_;  // Indexed by AnnotationId.
   std::unordered_map<RowKey, std::vector<Attachment>, RowKeyHash> by_row_;
-  uint64_t num_attachments_ = 0;
+  // Atomic so concurrent recovery chains can bump it; plain increments
+  // elsewhere (writers are externally serialized).
+  std::atomic<uint64_t> num_attachments_{0};
+  bool in_recovery_ = false;
+  std::vector<uint8_t> recovered_;  // Per-id: meta slot filled during recovery.
 };
 
 }  // namespace insightnotes::ann

@@ -1,5 +1,6 @@
 #include "annotation/wal_records.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace insightnotes::ann {
@@ -156,6 +157,112 @@ Result<WalEntry> DecodeWalEntry(std::string_view payload) {
       return Status::Corruption("unknown WAL record tag " + std::to_string(tag));
   }
   return Status::Corruption("malformed WAL record (tag " + std::to_string(tag) + ")");
+}
+
+WalChainKey ChainKeyOf(const WalEntry& entry) {
+  WalChainKey key;
+  if (const auto* add = std::get_if<WalAddRecord>(&entry)) {
+    key.annotation = add->expected_id;
+    key.has_row = true;
+    key.table = add->region.table;
+    key.row = add->region.row;
+  } else if (const auto* attach = std::get_if<WalAttachRecord>(&entry)) {
+    key.annotation = attach->id;
+    key.has_row = true;
+    key.table = attach->region.table;
+    key.row = attach->region.row;
+  } else if (const auto* archive = std::get_if<WalArchiveRecord>(&entry)) {
+    key.annotation = archive->id;
+  } else {
+    key.is_marker = true;
+  }
+  return key;
+}
+
+namespace {
+
+std::vector<size_t> SortedUniqueColumns(std::vector<size_t> columns) {
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  return columns;
+}
+
+}  // namespace
+
+void WalLivenessTracker::ReportDead(uint64_t segment_id, uint32_t record_index) {
+  if (on_dead_) on_dead_(segment_id, record_index);
+}
+
+void WalLivenessTracker::Observe(const WalEntry& entry, uint64_t segment_id,
+                                 uint32_t record_index) {
+  if (std::holds_alternative<WalCheckpointRecord>(entry)) {
+    if (has_marker_) ReportDead(marker_pos_.first, marker_pos_.second);
+    has_marker_ = true;
+    marker_pos_ = {segment_id, record_index};
+    return;
+  }
+  if (const auto* archive = std::get_if<WalArchiveRecord>(&entry)) {
+    if (!archived_.insert(archive->id).second) {
+      ReportDead(segment_id, record_index);  // Already archived: no-op record.
+    }
+    return;
+  }
+  AnnotationId id;
+  const CellRegion* region;
+  bool is_add = false;
+  if (const auto* add = std::get_if<WalAddRecord>(&entry)) {
+    id = add->expected_id;
+    region = &add->region;
+    is_add = true;
+  } else {
+    const auto& attach = std::get<WalAttachRecord>(entry);
+    id = attach.id;
+    region = &attach.region;
+  }
+  auto key = std::make_tuple(id, region->table, region->row);
+  std::vector<size_t> columns = SortedUniqueColumns(region->columns);
+  auto [it, first_for_pair] = pairs_.try_emplace(key);
+  PairState& state = it->second;
+  if (first_for_pair || is_add) {
+    // First record of this (annotation, row) pair — it pins the row's
+    // attachment insertion position and always stays live.
+    state.whole_row = columns.empty();
+    state.columns = std::move(columns);
+    return;
+  }
+  if (state.whole_row) {
+    // The pair already covers the whole row; this re-attach adds nothing.
+    ReportDead(segment_id, record_index);
+    return;
+  }
+  if (columns.empty()) {
+    // Whole-row re-attach: absorbs the union for good. Every earlier
+    // non-first re-attach is now redundant (first + this one replays to
+    // the same whole-row attachment); this record itself is terminal.
+    for (const auto& pos : state.supersedable) ReportDead(pos.first, pos.second);
+    state.supersedable.clear();
+    state.whole_row = true;
+    state.columns.clear();
+    return;
+  }
+  if (std::includes(state.columns.begin(), state.columns.end(), columns.begin(),
+                    columns.end())) {
+    // Adds no columns to the union: pure no-op.
+    ReportDead(segment_id, record_index);
+    return;
+  }
+  std::vector<size_t> merged = state.columns;
+  merged.insert(merged.end(), columns.begin(), columns.end());
+  merged = SortedUniqueColumns(std::move(merged));
+  if (columns.size() == merged.size()) {
+    // This record alone covers the whole accumulated union, so the earlier
+    // non-first re-attaches became redundant: first + this one replays to
+    // the full union.
+    for (const auto& pos : state.supersedable) ReportDead(pos.first, pos.second);
+    state.supersedable.clear();
+  }
+  state.columns = std::move(merged);
+  state.supersedable.emplace_back(segment_id, record_index);
 }
 
 }  // namespace insightnotes::ann

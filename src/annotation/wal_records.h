@@ -11,8 +11,14 @@
 #ifndef INSIGHTNOTES_ANNOTATION_WAL_RECORDS_H_
 #define INSIGHTNOTES_ANNOTATION_WAL_RECORDS_H_
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
+#include <tuple>
+#include <unordered_set>
 #include <variant>
+#include <vector>
 
 #include "annotation/annotation.h"
 #include "common/result.h"
@@ -55,6 +61,66 @@ std::string EncodeWalEntry(const WalEntry& entry);
 
 /// Decodes one record payload; malformed bytes yield Corruption.
 Result<WalEntry> DecodeWalEntry(std::string_view payload);
+
+/// What one record touches, for recovery's chain partition. Two mutation
+/// records must replay in log order iff they share a chain key: the same
+/// annotation id (dense-id assignment, the per-annotation region list) or
+/// the same (table, row) (a row's attachments replay in insertion order).
+/// Records sharing neither commute. Checkpoint markers are cross-chain
+/// barriers (`is_marker`): they assert a global count and join no chain.
+struct WalChainKey {
+  AnnotationId annotation = kInvalidAnnotationId;
+  bool has_row = false;
+  rel::TableId table = 0;
+  rel::RowId row = 0;
+  bool is_marker = false;
+};
+
+WalChainKey ChainKeyOf(const WalEntry& entry);
+
+/// Tracks which log records are superseded ("dead") as newer mutations
+/// land, feeding per-segment liveness accounting (SegmentedWal::MarkDead).
+/// Observe() must see every durably appended (or replayed) record in log
+/// order. A record is only reported dead when dropping it provably leaves
+/// replay's final state unchanged:
+///   * a checkpoint marker dies when the next marker is appended (markers
+///     are pure assertions about the prefix before them);
+///   * a repeated archive of an already-archived annotation is a no-op;
+///   * a re-attach of (annotation, row) dies when it adds no columns to
+///     the accumulated union, and the *earlier* non-first re-attaches die
+///     when a later one covers the whole union by itself (replaying just
+///     the first record — which pins the attachment's insertion position —
+///     plus the covering one reproduces the same union; a whole-row attach
+///     covers everything and absorbs the column set for good).
+/// Add records never die (annotations are never deleted; archived ones
+/// stay retrievable), and the first record attaching an annotation to a
+/// row never dies (it pins the row's attachment order).
+class WalLivenessTracker {
+ public:
+  using DeadFn = std::function<void(uint64_t segment_id, uint32_t record_index)>;
+
+  /// Sink for dead positions; replaceable (recovery collects into a
+  /// vector, then the engine rebinds to the reopened log).
+  void set_on_dead(DeadFn fn) { on_dead_ = std::move(fn); }
+
+  void Observe(const WalEntry& entry, uint64_t segment_id, uint32_t record_index);
+
+ private:
+  struct PairState {
+    std::vector<size_t> columns;  // Accumulated union; meaningless if whole_row.
+    bool whole_row = false;
+    // Positions of live non-first re-attaches, superseded as the union grows.
+    std::vector<std::pair<uint64_t, uint32_t>> supersedable;
+  };
+
+  void ReportDead(uint64_t segment_id, uint32_t record_index);
+
+  std::map<std::tuple<AnnotationId, rel::TableId, rel::RowId>, PairState> pairs_;
+  std::unordered_set<AnnotationId> archived_;
+  bool has_marker_ = false;
+  std::pair<uint64_t, uint32_t> marker_pos_{0, 0};
+  DeadFn on_dead_;
+};
 
 }  // namespace insightnotes::ann
 

@@ -1,12 +1,14 @@
 #include "core/engine.h"
 
 #include <filesystem>
-#include <queue>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "core/recovery.h"
 #include "exec/seq_scan.h"
+#include "storage/wal.h"  // storage::FsyncDirOf
 
 namespace insightnotes::core {
 
@@ -19,6 +21,7 @@ Engine::~Engine() {
       INSIGHTNOTES_LOG(Error) << "checkpoint on shutdown failed: " << s.ToString();
     }
   }
+  StopWalCompactor();
 }
 
 namespace {
@@ -43,6 +46,7 @@ Status Engine::Init() {
 }
 
 Status Engine::InitStorage() {
+  StopWalCompactor();
   recovery_required_ = Status::OK();
   disk_ = options_.disk != nullptr ? options_.disk
                                    : std::make_shared<storage::DiskManager>();
@@ -64,6 +68,10 @@ Status Engine::InitStorage() {
                              "' parked by an interrupted recovery: " +
                              rename_ec.message());
     }
+    // The adoption must survive a power loss: sync the directory entry, or
+    // a crash here could resurrect the parked name and re-run this branch
+    // against a half-written rename.
+    INSIGHTNOTES_RETURN_IF_ERROR(FsyncParentDir(options_.db_path));
   }
   const bool recover = options_.open_existing && file_backed &&
                        std::filesystem::exists(options_.db_path, ec);
@@ -97,7 +105,13 @@ Status Engine::InitStorage() {
       return Status::IoError("cannot park page file '" + options_.db_path +
                              "' for recovery: " + rename_ec.message());
     }
+    // Record the park before syncing it: if the directory fsync fails, the
+    // rename already happened, and Init() must rename the file back rather
+    // than strand it at the parked name.
     parked_page_file_ = ParkedPathFor(options_.db_path);
+    // Durable park: a crash mid-recovery must find the parked name on
+    // disk, or the interrupted-recovery adoption above cannot fire.
+    INSIGHTNOTES_RETURN_IF_ERROR(FsyncParentDir(options_.db_path));
   }
   INSIGHTNOTES_RETURN_IF_ERROR(
       disk_->Open(options_.db_path, storage::DiskOpenMode::kTruncate));
@@ -115,24 +129,48 @@ Status Engine::InitStorage() {
   if (file_backed) {
     const std::string wal_path = options_.db_path + ".wal";
     uint64_t keep_bytes = UINT64_MAX;
+    uint64_t active_records = 0;
+    // Replay observes records before the log is reopened, so dead
+    // positions are parked here and forwarded once it is.
+    std::vector<storage::WalRecordPos> replay_dead;
+    tracker_ = ann::WalLivenessTracker();
     if (recover) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(storage::SegmentedWal::Manifest manifest,
+                                    storage::SegmentedWal::LoadForReplay(wal_path));
+      tracker_.set_on_dead([&replay_dead](uint64_t segment_id, uint32_t record_index) {
+        replay_dead.push_back({segment_id, record_index});
+      });
+      WalReplayOptions replay_options;
+      replay_options.threads = options_.recovery_threads;
       INSIGHTNOTES_ASSIGN_OR_RETURN(
-          storage::WriteAheadLog::ReplayStats replayed,
-          storage::WriteAheadLog::Replay(
-              wal_path, [this](std::string_view payload) { return ApplyWalRecord(payload); }));
-      // Checkpoint markers are consistency checks, not mutations — report
-      // only the records that actually rebuilt store state.
-      recovery_.wal_records_replayed =
-          replayed.records - recovery_.checkpoints_replayed;
-      recovery_.wal_bytes_truncated = replayed.truncated_bytes;
-      keep_bytes = replayed.valid_bytes;
-      if (replayed.truncated_bytes > 0) {
-        INSIGHTNOTES_LOG(Warning) << "recovery: dropped " << replayed.truncated_bytes
-                                  << " torn-tail byte(s) from '" << wal_path << "'";
+          WalReplayStats replayed,
+          ReplaySegmentedWal(manifest, store_.get(), &tracker_, replay_options));
+      recovery_.wal_records_replayed = replayed.mutation_records;
+      recovery_.wal_bytes_truncated = replayed.active_truncated_bytes;
+      recovery_.checkpoints_replayed = replayed.checkpoints;
+      recovery_.records_since_checkpoint = replayed.records_since_checkpoint;
+      recovery_.replay_chains = replayed.chains;
+      recovery_.replay_threads = replayed.threads_used;
+      keep_bytes = replayed.active_valid_bytes;
+      active_records = replayed.active_records;
+      if (replayed.active_truncated_bytes > 0) {
+        INSIGHTNOTES_LOG(Warning)
+            << "recovery: dropped " << replayed.active_truncated_bytes
+            << " torn-tail byte(s) from the active segment of '" << wal_path << "'";
       }
     }
-    wal_ = std::make_unique<storage::WriteAheadLog>();
-    INSIGHTNOTES_RETURN_IF_ERROR(wal_->Open(wal_path, /*truncate=*/!recover, keep_bytes));
+    wal_ = std::make_unique<storage::SegmentedWal>();
+    storage::SegmentedWal::Options wal_options;
+    wal_options.segment_bytes = options_.wal_segment_bytes;
+    wal_options.compact_min_dead_ratio = options_.wal_compact_min_dead_ratio;
+    INSIGHTNOTES_RETURN_IF_ERROR(wal_->Open(wal_path, /*truncate=*/!recover,
+                                            keep_bytes, active_records, wal_options));
+    // From here on superseded records feed the live log's per-segment
+    // accounting directly; first flush what replay collected.
+    tracker_.set_on_dead([this](uint64_t segment_id, uint32_t record_index) {
+      if (wal_ != nullptr) wal_->MarkDead(segment_id, record_index);
+    });
+    for (const storage::WalRecordPos& pos : replay_dead) wal_->MarkDead(pos);
   }
   if (!parked_page_file_.empty()) {
     // Replay succeeded; the parked pre-recovery page file is obsolete.
@@ -140,10 +178,22 @@ Status Engine::InitStorage() {
     if (ec) {
       INSIGHTNOTES_LOG(Warning) << "cannot remove parked page file '"
                                 << parked_page_file_ << "': " << ec.message();
+    } else {
+      Status synced = FsyncParentDir(options_.db_path);
+      if (!synced.ok()) {
+        INSIGHTNOTES_LOG(Warning) << "cannot sync unlink of parked page file: "
+                                  << synced.ToString();
+      }
     }
     parked_page_file_.clear();
   }
   return Status::OK();
+}
+
+Status Engine::FsyncParentDir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  if (disk_ != nullptr) return disk_->FsyncDir(dir.empty() ? "." : dir);
+  return storage::FsyncDir(dir.empty() ? "." : dir);
 }
 
 void Engine::RestoreParkedPageFile() {
@@ -173,48 +223,29 @@ void Engine::RestoreParkedPageFile() {
                             << parked_page_file_
                             << "' after failed recovery: " << rename_ec.message();
   } else {
+    Status synced = FsyncParentDir(options_.db_path);
+    if (!synced.ok()) {
+      INSIGHTNOTES_LOG(Warning) << "cannot sync restore of parked page file: "
+                                << synced.ToString();
+    }
     parked_page_file_.clear();
   }
 }
 
-Status Engine::ApplyWalRecord(std::string_view payload) {
-  INSIGHTNOTES_ASSIGN_OR_RETURN(ann::WalEntry entry, ann::DecodeWalEntry(payload));
-  if (const auto* checkpoint = std::get_if<ann::WalCheckpointRecord>(&entry)) {
-    // A checkpoint marker asserts the store state at the time it was
-    // written; replay must reproduce exactly that state here.
-    if (store_->NumAnnotations() != checkpoint->num_annotations) {
-      return Status::Corruption(
-          "WAL checkpoint expects " + std::to_string(checkpoint->num_annotations) +
-          " annotation(s), replay produced " +
-          std::to_string(store_->NumAnnotations()));
-    }
-    ++recovery_.checkpoints_replayed;
-    recovery_.records_since_checkpoint = 0;
-    return Status::OK();
-  }
-  ++recovery_.records_since_checkpoint;
-  if (const auto* add = std::get_if<ann::WalAddRecord>(&entry)) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(ann::AnnotationId id,
-                                  store_->Add(add->note, add->region));
-    // Ids are dense and assigned in insertion order, so replay must hand
-    // back exactly the id the original ingest logged.
-    if (id != add->expected_id) {
-      return Status::Corruption("WAL replay assigned annotation id " +
-                                std::to_string(id) + ", log expected " +
-                                std::to_string(add->expected_id));
-    }
-    return Status::OK();
-  }
-  if (const auto* attach = std::get_if<ann::WalAttachRecord>(&entry)) {
-    return store_->Attach(attach->id, attach->region);
-  }
-  return store_->Archive(std::get<ann::WalArchiveRecord>(entry).id);
-}
-
 Status Engine::LogWalEntry(const ann::WalEntry& entry) {
   if (wal_ == nullptr) return Status::OK();
-  INSIGHTNOTES_RETURN_IF_ERROR(wal_->Append(ann::EncodeWalEntry(entry)));
-  return wal_->Sync();
+  INSIGHTNOTES_ASSIGN_OR_RETURN(storage::WalRecordPos pos,
+                                wal_->Append(ann::EncodeWalEntry(entry)));
+  INSIGHTNOTES_RETURN_IF_ERROR(wal_->Sync());
+  // Only acknowledged records count for liveness: a record rewound by
+  // RewindWal must never have marked an earlier one dead.
+  tracker_.Observe(entry, pos.segment_id, pos.record_index);
+  return Status::OK();
+}
+
+Status Engine::MaybeRotateWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->MaybeRotate();
 }
 
 Status Engine::CheckMutable() const {
@@ -232,14 +263,14 @@ void Engine::MarkRecoveryRequired(const Status& cause) {
       << cause.ToString();
 }
 
-Result<uint64_t> Engine::WalOffset() {
-  if (wal_ == nullptr) return uint64_t{0};
-  return wal_->AppendOffset();
+Result<storage::SegmentedWal::Mark> Engine::WalMark() {
+  if (wal_ == nullptr) return storage::SegmentedWal::Mark{};
+  return wal_->MarkPos();
 }
 
-void Engine::RewindWal(uint64_t offset) {
+void Engine::RewindWal(const storage::SegmentedWal::Mark& mark) {
   if (wal_ == nullptr) return;
-  Status s = wal_->TruncateTo(offset);
+  Status s = wal_->TruncateTo(mark);
   if (!s.ok()) {
     // The WAL is now failed and refuses appends, so the stray record can
     // never be followed by one that collides with its id at replay.
@@ -257,136 +288,82 @@ Status Engine::Checkpoint() {
   if (wal_ != nullptr && wal_->is_open()) keep_first(wal_->Sync());
   // Mark the durability point in the log. Skipped when the flush failed or
   // the engine is in the recovery-required state (the store would disagree
-  // with the log). With compaction enabled the whole history is rewritten
-  // as a snapshot ending in the marker; otherwise (or when the rewrite
-  // fails while the log still accepts appends) the marker is appended to
-  // the existing history.
+  // with the log). The marker supersedes the previous one (the liveness
+  // tracker reports it dead), and with compaction enabled a background
+  // pass is scheduled to retire mostly-dead sealed segments — Checkpoint
+  // itself never blocks on the rewrite.
   if (first_error.ok() && recovery_required_.ok() && wal_ != nullptr &&
       wal_->is_open()) {
-    if (options_.compact_wal_on_checkpoint) {
-      Status compacted = CompactWal();
-      if (compacted.ok()) return first_error;
-      INSIGHTNOTES_LOG(Warning) << "WAL compaction failed, appending a plain "
-                                   "checkpoint marker instead: "
-                                << compacted.ToString();
-    }
+    keep_first(MaybeRotateWal());
     keep_first(LogWalEntry(ann::WalCheckpointRecord{store_->NumAnnotations()}));
+    if (options_.compact_wal_on_checkpoint) ScheduleWalCompaction();
   }
   return first_error;
 }
 
-Status Engine::CompactWal() {
-  if (wal_ == nullptr || !wal_->is_open()) {
-    return Status::Internal("no open WAL to compact");
+void Engine::ScheduleWalCompaction() {
+  std::lock_guard<std::mutex> lock(compact_mutex_);
+  ++compact_scheduled_;
+  if (!wal_compactor_.joinable()) {
+    compact_stop_ = false;
+    wal_compactor_ = std::thread([this] { WalCompactorLoop(); });
   }
-  // Snapshot the store as the minimal record sequence whose replay rebuilds
-  // it exactly: one add per annotation (its first region), one attach per
-  // further region, archives, then the checkpoint marker. Replay imposes
-  // ordering constraints the original history satisfied but a naive
-  // per-annotation emission would not:
-  //   * adds must appear in id order (replay verifies dense ids),
-  //   * an annotation's regions must appear in region-list order,
-  //   * the attachments of one row must appear in the row's insertion
-  //     order (OnRow exposes it; summaries depend on it).
-  // Each constraint is an edge of a DAG over (annotation, region) events —
-  // acyclic because the original mutation history is a linear extension of
-  // it — and a deterministic topological order (smallest (id, region)
-  // first) linearizes them.
-  const uint64_t num = store_->NumAnnotations();
-  std::vector<std::vector<ann::CellRegion>> regions(num);
-  std::vector<size_t> offset(num + 1, 0);
-  for (ann::AnnotationId a = 0; a < num; ++a) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(regions[a], store_->RegionsOf(a));
-    if (regions[a].empty()) {
-      return Status::Internal("annotation " + std::to_string(a) +
-                              " has no regions; cannot snapshot WAL");
-    }
-    offset[a + 1] = offset[a] + regions[a].size();
+  compact_cv_.notify_all();
+}
+
+void Engine::WaitForWalCompaction() {
+  std::unique_lock<std::mutex> lock(compact_mutex_);
+  compact_cv_.wait(lock, [this] { return compact_completed_ >= compact_scheduled_; });
+}
+
+void Engine::StopWalCompactor() {
+  {
+    std::lock_guard<std::mutex> lock(compact_mutex_);
+    if (!wal_compactor_.joinable()) return;
+    compact_stop_ = true;
+    compact_cv_.notify_all();
   }
-  const size_t n = offset[num];
-  std::vector<std::vector<size_t>> out(n);
-  std::vector<size_t> indegree(n, 0);
-  auto add_edge = [&](size_t from, size_t to) {
-    out[from].push_back(to);
-    ++indegree[to];
-  };
-  for (ann::AnnotationId a = 0; a < num; ++a) {
-    for (size_t r = 0; r + 1 < regions[a].size(); ++r) {
-      add_edge(offset[a] + r, offset[a] + r + 1);
-    }
-    if (a + 1 < num) add_edge(offset[a], offset[a + 1]);
-  }
-  Status row_chains = Status::OK();
-  store_->ForEachRow([&](rel::TableId table, rel::RowId row,
-                         const std::vector<ann::Attachment>& attachments) {
-    size_t prev = SIZE_MAX;
-    for (const ann::Attachment& attachment : attachments) {
-      size_t node = SIZE_MAX;
-      const std::vector<ann::CellRegion>& list = regions[attachment.annotation];
-      for (size_t r = 0; r < list.size(); ++r) {
-        if (list[r].table == table && list[r].row == row) {
-          node = offset[attachment.annotation] + r;
-          break;
-        }
+  wal_compactor_.join();
+  wal_compactor_ = std::thread();
+}
+
+void Engine::WalCompactorLoop() {
+  std::unique_lock<std::mutex> lock(compact_mutex_);
+  while (true) {
+    compact_cv_.wait(lock, [this] {
+      return compact_stop_ || compact_completed_ < compact_scheduled_;
+    });
+    if (compact_completed_ >= compact_scheduled_) break;  // Stop, fully drained.
+    const uint64_t target = compact_scheduled_;
+    lock.unlock();
+    // One scheduled pass drains every qualifying segment: compacting one
+    // can push another over the threshold relative to the shrunken log.
+    while (wal_ != nullptr) {
+      Result<storage::SegmentedWal::CompactionResult> pass = wal_->CompactOnce();
+      std::lock_guard<std::mutex> stats_lock(wal_compaction_mutex_);
+      if (!pass.ok()) {
+        ++wal_compaction_.failures;
+        INSIGHTNOTES_LOG(Warning)
+            << "background WAL compaction pass failed (will retry at the "
+               "next checkpoint): "
+            << pass.status().ToString();
+        break;
       }
-      if (node == SIZE_MAX) {
-        if (row_chains.ok()) {
-          row_chains = Status::Internal(
-              "attachment of annotation " + std::to_string(attachment.annotation) +
-              " has no matching region; cannot snapshot WAL");
-        }
-        return;
-      }
-      if (prev != SIZE_MAX) add_edge(prev, node);
-      prev = node;
+      if (!pass->compacted) break;
+      ++wal_compaction_.compactions;
+      wal_compaction_.records_written += pass->live_records;
+      wal_compaction_.records_dropped += pass->dead_records;
+      ++wal_compaction_.segments_retired;
     }
-  });
-  INSIGHTNOTES_RETURN_IF_ERROR(row_chains);
+    lock.lock();
+    if (compact_completed_ < target) compact_completed_ = target;
+    compact_cv_.notify_all();
+  }
+}
 
-  std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>> ready;
-  for (size_t node = 0; node < n; ++node) {
-    if (indegree[node] == 0) ready.push(node);
-  }
-  std::vector<size_t> order;
-  order.reserve(n);
-  while (!ready.empty()) {
-    size_t node = ready.top();
-    ready.pop();
-    order.push_back(node);
-    for (size_t next : out[node]) {
-      if (--indegree[next] == 0) ready.push(next);
-    }
-  }
-  if (order.size() != n) {
-    return Status::Internal("cyclic ordering constraints; cannot snapshot WAL");
-  }
-
-  std::vector<std::string> payloads;
-  payloads.reserve(n + 1);
-  for (size_t node : order) {
-    auto owner = static_cast<ann::AnnotationId>(
-        std::upper_bound(offset.begin(), offset.end(), node) - offset.begin() - 1);
-    size_t r = node - offset[owner];
-    if (r == 0) {
-      INSIGHTNOTES_ASSIGN_OR_RETURN(ann::Annotation note, store_->Get(owner));
-      payloads.push_back(ann::EncodeWalEntry(
-          ann::WalAddRecord{owner, std::move(note), regions[owner][0]}));
-    } else {
-      payloads.push_back(
-          ann::EncodeWalEntry(ann::WalAttachRecord{owner, regions[owner][r]}));
-    }
-  }
-  for (ann::AnnotationId a = 0; a < num; ++a) {
-    if (store_->IsArchived(a)) {
-      payloads.push_back(ann::EncodeWalEntry(ann::WalArchiveRecord{a}));
-    }
-  }
-  payloads.push_back(ann::EncodeWalEntry(ann::WalCheckpointRecord{num}));
-
-  INSIGHTNOTES_RETURN_IF_ERROR(wal_->Rewrite(payloads));
-  ++wal_compaction_.compactions;
-  wal_compaction_.records_written += payloads.size();
-  return Status::OK();
+WalCompactionStats Engine::wal_compaction() const {
+  std::lock_guard<std::mutex> lock(wal_compaction_mutex_);
+  return wal_compaction_;
 }
 
 Result<size_t> Engine::RepairStaleSummaries() { return manager_->RepairStale(); }
@@ -434,9 +411,12 @@ Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, ValidateAnnotateSpec(spec));
   ann::CellRegion region{table->id(), spec.row, spec.columns};
   ann::Annotation note = NoteFromSpec(spec);
+  // Rotation happens only here, between mutations: the rollback mark below
+  // must stay within the active segment for the whole mutation.
+  INSIGHTNOTES_RETURN_IF_ERROR(MaybeRotateWal());
   // Write-ahead: the record is durable before the store mutates, so a crash
   // between the two replays the annotation instead of losing it.
-  INSIGHTNOTES_ASSIGN_OR_RETURN(uint64_t wal_mark, WalOffset());
+  INSIGHTNOTES_ASSIGN_OR_RETURN(storage::SegmentedWal::Mark wal_mark, WalMark());
   Status logged = LogWalEntry(ann::WalAddRecord{store_->NumAnnotations(), note, region});
   if (!logged.ok()) {
     // Never acknowledged: cut any half-landed bytes back out so the next
@@ -491,28 +471,39 @@ Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
   }
   // Write-ahead, one sync for the whole batch: every record is durable
   // before the first store mutation, so a crash anywhere in the append loop
-  // replays the full batch.
-  std::vector<uint64_t> wal_marks;  // Offset before each record's frame.
+  // replays the full batch. Rotation happens up front — never between the
+  // rollback mark and the appends it might have to undo.
   if (wal_ != nullptr) {
-    wal_marks.reserve(batch.size());
+    INSIGHTNOTES_RETURN_IF_ERROR(MaybeRotateWal());
     ann::AnnotationId next_id = store_->NumAnnotations();
-    Status logged;
+    std::vector<ann::WalEntry> entries;
+    entries.reserve(batch.size());
+    std::vector<storage::WalRecordPos> positions;
+    positions.reserve(batch.size());
+    Result<storage::SegmentedWal::Mark> batch_mark = wal_->MarkPos();
+    Status logged = batch_mark.ok() ? Status::OK() : batch_mark.status();
     for (size_t i = 0; i < batch.size() && logged.ok(); ++i) {
-      Result<uint64_t> mark = wal_->AppendOffset();
-      if (!mark.ok()) {
-        logged = mark.status();
+      entries.emplace_back(
+          ann::WalAddRecord{next_id + i, batch[i].note, batch[i].region});
+      Result<storage::WalRecordPos> pos =
+          wal_->Append(ann::EncodeWalEntry(entries.back()));
+      if (!pos.ok()) {
+        logged = pos.status();
         break;
       }
-      wal_marks.push_back(*mark);
-      logged = wal_->Append(ann::EncodeWalEntry(
-          ann::WalAddRecord{next_id + i, batch[i].note, batch[i].region}));
+      positions.push_back(*pos);
     }
     if (logged.ok()) logged = wal_->Sync();
     if (!logged.ok()) {
       // No record was acknowledged and none applied; roll the whole batch
       // back out of the log.
-      if (!wal_marks.empty()) RewindWal(wal_marks.front());
+      if (batch_mark.ok()) RewindWal(*batch_mark);
       return logged;
+    }
+    // The whole batch is acknowledged — now it may feed liveness.
+    for (size_t i = 0; i < positions.size(); ++i) {
+      tracker_.Observe(entries[i], positions[i].segment_id,
+                       positions[i].record_index);
     }
   }
   // Store appends stay serial (the heap file is single-writer) and in spec
@@ -549,9 +540,10 @@ Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,
     return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
   }
   ann::CellRegion region{t->id(), row, std::move(columns)};
+  INSIGHTNOTES_RETURN_IF_ERROR(MaybeRotateWal());
   // Validation precedes the log append: a record the store would reject
   // must never reach the WAL, or replay would fail on it.
-  INSIGHTNOTES_ASSIGN_OR_RETURN(uint64_t wal_mark, WalOffset());
+  INSIGHTNOTES_ASSIGN_OR_RETURN(storage::SegmentedWal::Mark wal_mark, WalMark());
   Status logged = LogWalEntry(ann::WalAttachRecord{id, region});
   if (!logged.ok()) {
     RewindWal(wal_mark);
@@ -568,7 +560,8 @@ Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,
 Status Engine::ArchiveAnnotation(ann::AnnotationId id) {
   INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   INSIGHTNOTES_ASSIGN_OR_RETURN(auto regions, store_->RegionsOf(id));
-  INSIGHTNOTES_ASSIGN_OR_RETURN(uint64_t wal_mark, WalOffset());
+  INSIGHTNOTES_RETURN_IF_ERROR(MaybeRotateWal());
+  INSIGHTNOTES_ASSIGN_OR_RETURN(storage::SegmentedWal::Mark wal_mark, WalMark());
   Status logged = LogWalEntry(ann::WalArchiveRecord{id});
   if (!logged.ok()) {
     RewindWal(wal_mark);

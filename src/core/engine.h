@@ -14,9 +14,12 @@
 #ifndef INSIGHTNOTES_CORE_ENGINE_H_
 #define INSIGHTNOTES_CORE_ENGINE_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -31,7 +34,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/io_retry.h"
-#include "storage/wal.h"
+#include "storage/wal_segments.h"
 
 namespace insightnotes::core {
 
@@ -44,23 +47,37 @@ struct EngineOptions {
   RcoWeights rco_weights;
   /// Reopen an existing database file instead of truncating it: Init audits
   /// the page file's checksums, then rebuilds the store by replaying the
-  /// write-ahead log at `db_path + ".wal"` (see Engine::recovery()).
+  /// segmented write-ahead log rooted at `db_path + ".wal"` (see
+  /// Engine::recovery()).
   bool open_existing = false;
   /// Backoff schedule the buffer pool applies to transient disk errors.
   storage::IoRetryPolicy io_retry;
   /// Test seam: a caller-supplied disk (e.g. a FaultInjectingDiskManager)
   /// to use instead of a plain DiskManager. Must not be open yet.
   std::shared_ptr<storage::DiskManager> disk;
-  /// Compact the WAL at every checkpoint: once the page file is durable,
-  /// the log's history is rewritten as an equivalent minimal snapshot of
-  /// the store, bounding log growth across checkpoint/reopen cycles.
+  /// Compact the WAL in the background: each checkpoint schedules an
+  /// incremental pass that retires the mostly-dead sealed segments (see
+  /// storage::SegmentedWal::CompactOnce), bounding log growth across
+  /// checkpoint/reopen cycles without stalling ingest.
   bool compact_wal_on_checkpoint = true;
+  /// Size threshold at which the active WAL segment is sealed and a fresh
+  /// one opened (between mutations).
+  uint64_t wal_segment_bytes = 1 << 20;
+  /// Minimum dead-record fraction before a sealed segment is compacted.
+  double wal_compact_min_dead_ratio = 0.25;
+  /// WAL replay parallelism on reopen: 0 = one task per hardware thread,
+  /// 1 = the exact serial replay path, N > 1 = replay chains over N pool
+  /// workers. Any setting rebuilds the identical logical store state.
+  size_t recovery_threads = 0;
 };
 
-/// What checkpoint-time WAL compaction has done over this engine's life.
+/// What background WAL compaction has done over this engine's life.
 struct WalCompactionStats {
-  uint64_t compactions = 0;      // Successful Rewrite swaps.
-  uint64_t records_written = 0;  // Snapshot records across all compactions.
+  uint64_t compactions = 0;        // Successful segment-rewrite swaps.
+  uint64_t records_written = 0;    // Live records carried into fresh segments.
+  uint64_t records_dropped = 0;    // Proven-dead records eliminated.
+  uint64_t segments_retired = 0;   // Old segment files removed.
+  uint64_t failures = 0;           // Failed passes (the candidate is retried).
 };
 
 /// What Init did when reopening an existing database file.
@@ -74,6 +91,8 @@ struct RecoveryReport {
   // Mutation records decoded after the last checkpoint marker (the work a
   // checkpoint-aware replay would actually redo).
   uint64_t records_since_checkpoint = 0;
+  uint64_t replay_chains = 0;   // Independent chains replay partitioned into.
+  size_t replay_threads = 1;    // Parallelism replay actually used.
 };
 
 /// One emitted tuple as seen by an operator — the demo's under-the-hood log.
@@ -142,21 +161,27 @@ class Engine {
   /// reopen with open_existing to replay the log and resume.
   bool requires_recovery() const { return !recovery_required_.ok(); }
 
-  /// Flushes dirty pages, fsyncs the page file, syncs the WAL, and (with
-  /// `options.compact_wal_on_checkpoint`) rewrites the log as a minimal
-  /// snapshot of the store — one add per annotation, one attach per extra
-  /// region, archives, then a kCheckpoint marker — atomically swapped in
-  /// via a temp file + rename, so the log stops growing with history.
-  /// Without compaction (or when the rewrite fails) a kCheckpoint marker
-  /// recording the durable annotation count is appended instead. Called
-  /// best-effort by the destructor; call it explicitly at batch boundaries
-  /// for a durability point. Replay verifies each marker and reports how
-  /// many records follow the last one (RecoveryReport) — see "Durability &
-  /// failure model" in DESIGN.md.
+  /// Flushes dirty pages, fsyncs the page file, syncs the WAL, rotates the
+  /// active segment if it crossed the size threshold, and appends a
+  /// kCheckpoint marker recording the durable annotation count. With
+  /// `options.compact_wal_on_checkpoint` it then *schedules* an incremental
+  /// compaction pass on the background compactor thread and returns without
+  /// waiting — ingest continues while mostly-dead sealed segments are
+  /// rewritten (WaitForWalCompaction blocks on the pass for tests and
+  /// benches). A failed pass leaves the segment list unchanged
+  /// (wal_compaction().failures counts it; the next pass retries the same
+  /// candidate). Called best-effort by the destructor; call it explicitly
+  /// at batch boundaries for a durability point. Replay verifies each
+  /// marker and reports how many records follow the last one
+  /// (RecoveryReport) — see "Durability & failure model" in DESIGN.md.
   Status Checkpoint();
 
-  /// What checkpoint-time WAL compaction has done so far.
-  const WalCompactionStats& wal_compaction() const { return wal_compaction_; }
+  /// Blocks until every compaction pass scheduled so far has finished.
+  void WaitForWalCompaction();
+
+  /// What background WAL compaction has done so far (snapshot; the
+  /// compactor thread updates it concurrently).
+  WalCompactionStats wal_compaction() const;
 
   /// Rebuilds every summary row marked stale by a degraded summarizer
   /// failure (see SummaryManager::RepairStale). Returns rows repaired.
@@ -224,7 +249,7 @@ class Engine {
   ZoomInCache* cache() { return cache_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }
   storage::DiskManager* disk() { return disk_.get(); }
-  storage::WriteAheadLog* wal() { return wal_.get(); }
+  storage::SegmentedWal* wal() { return wal_.get(); }
 
  private:
   struct StoredQuery {
@@ -251,17 +276,15 @@ class Engine {
   /// `options_.db_path`.
   void RestoreParkedPageFile();
 
-  /// Applies one decoded WAL record to the store during recovery replay.
-  Status ApplyWalRecord(std::string_view payload);
-
-  /// Appends `entry` to the WAL and syncs it (no-op without a WAL). Must
-  /// run before the mutation it describes touches the store.
+  /// Appends `entry` to the WAL, syncs it, and feeds the liveness tracker
+  /// (no-op without a WAL). Must run before the mutation it describes
+  /// touches the store.
   Status LogWalEntry(const ann::WalEntry& entry);
 
-  /// Rewrites the WAL as a minimal snapshot of the current store state,
-  /// replacing the full mutation history. Only safe right after the page
-  /// file was flushed and fsynced (the snapshot references live bodies).
-  Status CompactWal();
+  /// Rotates the active WAL segment when it crossed the size threshold.
+  /// Must run before a mutation captures its rollback mark (rotation moves
+  /// the append position to a fresh segment, invalidating older marks).
+  Status MaybeRotateWal();
 
   /// OK while WAL-logged mutations are accepted; the recovery-required
   /// error otherwise (see requires_recovery()).
@@ -271,18 +294,35 @@ class Engine {
   /// WAL-committed record from applying to the store.
   void MarkRecoveryRequired(const Status& cause);
 
-  /// The WAL append offset to pass to RewindWal (0 without a WAL).
-  Result<uint64_t> WalOffset();
+  /// The active-segment append position to pass to RewindWal (default-
+  /// constructed without a WAL).
+  Result<storage::SegmentedWal::Mark> WalMark();
 
-  /// Rolls unacknowledged record bytes at or past `offset` back out of the
+  /// Rolls unacknowledged record bytes at or past `mark` back out of the
   /// WAL. Best-effort: on failure the WAL enters its failed state and
   /// refuses further appends, so the stray record can never be followed by
   /// a diverging one.
-  void RewindWal(uint64_t offset);
+  void RewindWal(const storage::SegmentedWal::Mark& mark);
+
+  /// Fsyncs the directory holding `path` through the DiskManager seam
+  /// (falls back to the plain filesystem sync when no disk exists yet).
+  Status FsyncParentDir(const std::string& path);
+
+  /// Queues one background compaction pass (starts the compactor thread on
+  /// first use).
+  void ScheduleWalCompaction();
+
+  /// Drains scheduled passes, then joins the compactor thread.
+  void StopWalCompactor();
+
+  void WalCompactorLoop();
 
   EngineOptions options_;
   std::shared_ptr<storage::DiskManager> disk_;
-  std::unique_ptr<storage::WriteAheadLog> wal_;
+  std::unique_ptr<storage::SegmentedWal> wal_;
+  /// Observes every acknowledged WAL record and forwards superseded
+  /// positions to the log's per-segment dead-record accounting.
+  ann::WalLivenessTracker tracker_;
   RecoveryReport recovery_;
   Status recovery_required_;  // Non-OK: mutations refused, see requires_recovery().
   // Non-empty while the pre-recovery page file sits parked at
@@ -297,6 +337,17 @@ class Engine {
   std::unique_ptr<ThreadPool> exec_pool_;    // Lazily sized by ExecPool().
   std::unordered_map<QueryId, StoredQuery> queries_;
   QueryId next_qid_ = 100;  // Figure 3 shows QIDs starting at 101.
+
+  // Background WAL compactor: Checkpoint schedules passes; the thread
+  // drains them. Guarded by compact_mutex_ except the stats, which have
+  // their own lock so wal_compaction() never blocks behind a pass.
+  std::thread wal_compactor_;
+  std::mutex compact_mutex_;
+  std::condition_variable compact_cv_;
+  bool compact_stop_ = false;
+  uint64_t compact_scheduled_ = 0;
+  uint64_t compact_completed_ = 0;
+  mutable std::mutex wal_compaction_mutex_;
   WalCompactionStats wal_compaction_;
 };
 

@@ -9,6 +9,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "storage/wal.h"  // storage::FsyncDir
 
 namespace insightnotes::storage {
 
@@ -94,6 +95,11 @@ Status DiskManager::Fsync() {
   }
 #endif
   return Status::OK();
+}
+
+Status DiskManager::FsyncDir(const std::string& dir_path) {
+  if (in_memory_) return Status::OK();
+  return storage::FsyncDir(dir_path);
 }
 
 Result<PageId> DiskManager::AllocatePage() {

@@ -76,6 +76,12 @@ class DiskManager {
   /// in-memory mode.
   virtual Status Fsync();
 
+  /// Fsyncs directory `dir_path` itself, making renames/creates/unlinks of
+  /// its entries durable (see storage::FsyncDir). Routed through the
+  /// DiskManager so fault-injecting subclasses can script crashes at
+  /// directory-sync points. No-op in in-memory mode.
+  virtual Status FsyncDir(const std::string& dir_path);
+
   /// Number of pages allocated so far.
   uint32_t num_pages() const { return num_pages_; }
 

@@ -14,43 +14,57 @@ bool OpMatches(IoOpKind scripted, IoOpKind actual) {
 }  // namespace
 
 void FaultInjectingDiskManager::FailOnceAt(IoOpKind kind, uint64_t at) {
+  std::lock_guard<std::mutex> lock(faults_mutex_);
   faults_.push_back({ScriptedFault::Kind::kTransient, kind, at, 0});
 }
 
 void FaultInjectingDiskManager::TearWriteAt(uint64_t at, size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(faults_mutex_);
   faults_.push_back(
       {ScriptedFault::Kind::kTorn, IoOpKind::kWrite, at, std::min(keep_bytes, kPageSize)});
 }
 
-void FaultInjectingDiskManager::CrashAtOp(uint64_t at) { crash_at_ = at; }
-
-void FaultInjectingDiskManager::Reset() {
-  faults_.clear();
-  crash_at_ = UINT64_MAX;
-  crashed_ = false;
+void FaultInjectingDiskManager::CrashAtOp(uint64_t at) {
+  crash_at_.store(at, std::memory_order_relaxed);
 }
 
-const FaultInjectingDiskManager::ScriptedFault* FaultInjectingDiskManager::Match(
-    IoOpKind op, uint64_t index) {
+void FaultInjectingDiskManager::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(faults_mutex_);
+    faults_.clear();
+  }
+  crash_at_.store(UINT64_MAX, std::memory_order_relaxed);
+  crashed_.store(false, std::memory_order_relaxed);
+}
+
+std::optional<FaultInjectingDiskManager::ScriptedFault>
+FaultInjectingDiskManager::Match(IoOpKind op, uint64_t index) {
+  std::lock_guard<std::mutex> lock(faults_mutex_);
   for (auto it = faults_.begin(); it != faults_.end(); ++it) {
     if (it->at == index && OpMatches(it->op, op)) {
-      matched_ = *it;
+      ScriptedFault fault = *it;
       faults_.erase(it);
-      return &matched_;
+      return fault;
     }
   }
-  return nullptr;
+  return std::nullopt;
+}
+
+Status FaultInjectingDiskManager::ClaimOp(uint64_t* index) {
+  *index = op_count_.fetch_add(1, std::memory_order_relaxed);
+  if (*index >= crash_at_.load(std::memory_order_relaxed)) {
+    crashed_.store(true, std::memory_order_relaxed);
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("simulated crash at op " + std::to_string(*index));
+  }
+  return Status::OK();
 }
 
 Status FaultInjectingDiskManager::ReadPage(PageId id, char* out) {
-  uint64_t index = op_count_++;
-  if (index >= crash_at_) {
-    crashed_ = true;
-    ++faults_injected_;
-    return Status::IoError("simulated crash at op " + std::to_string(index));
-  }
-  if (const ScriptedFault* fault = Match(IoOpKind::kRead, index); fault != nullptr) {
-    ++faults_injected_;
+  uint64_t index;
+  INSIGHTNOTES_RETURN_IF_ERROR(ClaimOp(&index));
+  if (Match(IoOpKind::kRead, index).has_value()) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError("injected transient read error at op " +
                            std::to_string(index));
   }
@@ -58,14 +72,11 @@ Status FaultInjectingDiskManager::ReadPage(PageId id, char* out) {
 }
 
 Status FaultInjectingDiskManager::WritePage(PageId id, const char* data) {
-  uint64_t index = op_count_++;
-  if (index >= crash_at_) {
-    crashed_ = true;
-    ++faults_injected_;
-    return Status::IoError("simulated crash at op " + std::to_string(index));
-  }
-  if (const ScriptedFault* fault = Match(IoOpKind::kWrite, index); fault != nullptr) {
-    ++faults_injected_;
+  uint64_t index;
+  INSIGHTNOTES_RETURN_IF_ERROR(ClaimOp(&index));
+  if (std::optional<ScriptedFault> fault = Match(IoOpKind::kWrite, index);
+      fault.has_value()) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
     if (fault->kind == ScriptedFault::Kind::kTorn) {
       // Persist a prefix of the correctly-stamped image: the stored
       // checksum covers bytes the tear never wrote, so the page reads back
@@ -82,12 +93,25 @@ Status FaultInjectingDiskManager::WritePage(PageId id, const char* data) {
 }
 
 Status FaultInjectingDiskManager::Fsync() {
-  if (crashed_ || op_count_ >= crash_at_) {
-    crashed_ = true;
-    ++faults_injected_;
+  if (crashed_.load(std::memory_order_relaxed) ||
+      op_count_.load(std::memory_order_relaxed) >=
+          crash_at_.load(std::memory_order_relaxed)) {
+    crashed_.store(true, std::memory_order_relaxed);
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
     return Status::IoError("simulated crash during fsync");
   }
   return DiskManager::Fsync();
+}
+
+Status FaultInjectingDiskManager::FsyncDir(const std::string& dir_path) {
+  uint64_t index;
+  INSIGHTNOTES_RETURN_IF_ERROR(ClaimOp(&index));
+  if (Match(IoOpKind::kDirFsync, index).has_value()) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected transient directory-fsync error at op " +
+                           std::to_string(index));
+  }
+  return DiskManager::FsyncDir(dir_path);
 }
 
 }  // namespace insightnotes::storage

@@ -1,7 +1,7 @@
 // FaultInjectingDiskManager: the storage half of the fault-injection
 // harness. Tests interpose it under the buffer pool (EngineOptions::disk or
 // a direct BufferPool) and script faults against a global operation counter
-// that every ReadPage/WritePage call advances:
+// that every ReadPage/WritePage/FsyncDir call advances:
 //
 //   - transient EIO: the matching k-th operation fails once with IoError,
 //     then I/O proceeds normally (exercises retry-with-backoff paths);
@@ -13,11 +13,17 @@
 //
 // Scheduling is deterministic: operation indices are assigned in call
 // order, so a scripted fault fires at exactly the same point on every run.
+// The counters and the fault script are thread-safe — the engine's
+// background WAL compactor and replay workers share the disk with the
+// foreground thread.
 
 #ifndef INSIGHTNOTES_STORAGE_FAULT_INJECTION_H_
 #define INSIGHTNOTES_STORAGE_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "storage/disk_manager.h"
@@ -25,7 +31,7 @@
 namespace insightnotes::storage {
 
 /// Which operations a scripted fault applies to.
-enum class IoOpKind { kRead, kWrite, kAny };
+enum class IoOpKind { kRead, kWrite, kDirFsync, kAny };
 
 class FaultInjectingDiskManager final : public DiskManager {
  public:
@@ -48,19 +54,22 @@ class FaultInjectingDiskManager final : public DiskManager {
   /// Clears the fault script and the crash state (counters keep running).
   void Reset();
 
-  /// Operations (reads + writes) observed so far.
-  uint64_t op_count() const { return op_count_; }
+  /// Operations (reads + writes + directory fsyncs) observed so far.
+  uint64_t op_count() const { return op_count_.load(std::memory_order_relaxed); }
 
   /// True once a scheduled crash point has been reached.
-  bool crashed() const { return crashed_; }
+  bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
 
   /// Faults injected so far (transient + torn + crash-refused operations).
-  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
 
   Result<PageId> AllocatePage() override { return DiskManager::AllocatePage(); }
   Status ReadPage(PageId id, char* out) override;
   Status WritePage(PageId id, const char* data) override;
   Status Fsync() override;
+  Status FsyncDir(const std::string& dir_path) override;
 
  private:
   struct ScriptedFault {
@@ -72,14 +81,18 @@ class FaultInjectingDiskManager final : public DiskManager {
 
   /// Consumes and returns the scripted fault matching (`op`, `index`), if
   /// any. Crash cut-offs are handled separately.
-  const ScriptedFault* Match(IoOpKind op, uint64_t index);
+  std::optional<ScriptedFault> Match(IoOpKind op, uint64_t index);
 
+  /// Claims the next operation index; returns the crash error if the index
+  /// is at or past the crash cut-off.
+  Status ClaimOp(uint64_t* index);
+
+  std::mutex faults_mutex_;
   std::vector<ScriptedFault> faults_;
-  ScriptedFault matched_;  // Storage for the consumed fault Match returns.
-  uint64_t crash_at_ = UINT64_MAX;
-  uint64_t op_count_ = 0;
-  uint64_t faults_injected_ = 0;
-  bool crashed_ = false;
+  std::atomic<uint64_t> crash_at_{UINT64_MAX};
+  std::atomic<uint64_t> op_count_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace insightnotes::storage

@@ -2,11 +2,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <vector>
 
 #if defined(_WIN32)
 #include <io.h>
 #else
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -59,6 +61,32 @@ Status SyncFileToDisk(std::FILE* file, const std::string& path) {
 }
 
 }  // namespace
+
+Status FsyncDir(const std::string& dir_path) {
+#if defined(_WIN32)
+  (void)dir_path;
+  return Status::OK();
+#else
+  const std::string dir = dir_path.empty() ? "." : dir_path;
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory '" + dir +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("cannot fsync directory '" + dir +
+                           "': " + std::strerror(saved_errno));
+  }
+  return Status::OK();
+#endif
+}
+
+Status FsyncDirOf(const std::string& file_path) {
+  return FsyncDir(std::filesystem::path(file_path).parent_path().string());
+}
 
 WriteAheadLog::~WriteAheadLog() {
   Status s = Close();
@@ -283,6 +311,15 @@ Status WriteAheadLog::Rewrite(const std::vector<std::string>& payloads) {
       return renamed.WithContext("WAL closed (reopen after failed swap failed)");
     }
     return renamed;
+  }
+  // The rename swapped the directory entry, but the entry itself only
+  // becomes durable once the parent directory is synced — without this a
+  // power loss here can resurrect the pre-rewrite log on some filesystems.
+  if (Status f = fault("dir_fsync"); !f.ok()) return crash(nullptr, std::move(f));
+  if (Status synced_dir = FsyncDirOf(path_); !synced_dir.ok()) {
+    // The swap may or may not be durable; report the log closed so the
+    // caller falls back to reopen-and-replay, which handles either file.
+    return synced_dir.WithContext("WAL closed (swap durability unknown)");
   }
   if (Status f = fault("post_rename"); !f.ok()) return crash(nullptr, std::move(f));
   file_ = std::fopen(path_.c_str(), "rb+");

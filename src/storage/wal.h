@@ -29,6 +29,16 @@
 
 namespace insightnotes::storage {
 
+/// Fsyncs directory `dir_path` itself (not its contents). POSIX only makes
+/// a rename, create or unlink of a directory entry durable once the
+/// directory's own inode is synced; skipping this lets a power loss
+/// resurrect the old entry (or lose the new one). No-op on Windows, where
+/// directory handles cannot be flushed and NTFS journals namespace updates.
+Status FsyncDir(const std::string& dir_path);
+
+/// Fsyncs the directory containing `file_path` (see FsyncDir).
+Status FsyncDirOf(const std::string& file_path);
+
 class WriteAheadLog {
  public:
   /// Replay outcome: records delivered and where the valid prefix ends.
@@ -85,7 +95,8 @@ class WriteAheadLog {
 
   /// Test seam: invoked before each scripted Rewrite step with the step's
   /// name ("temp_create", "temp_header", "temp_write" per payload,
-  /// "temp_fsync", "temp_close", "live_close", "rename", "post_rename").
+  /// "temp_fsync", "temp_close", "live_close", "rename", "dir_fsync",
+  /// "post_rename").
   /// A non-OK return simulates a crash at that point: both file handles
   /// are abandoned exactly as they are on disk (no cleanup, no rename
   /// rollback) and the log reports closed, the way a process kill would

@@ -126,7 +126,12 @@ TEST_F(EngineTest, FileBackedEngineWorks) {
   ASSERT_EQ(result->rows.size(), 1u);
   EXPECT_EQ(result->rows[0].tuple.ValueAt(0).AsString(), "persisted to a real file");
   std::remove(options.db_path.c_str());
-  std::remove((options.db_path + ".wal").c_str());
+  // The WAL is segmented: remove the manifest and every segment file.
+  std::remove((options.db_path + ".wal.manifest").c_str());
+  for (uint64_t id = 1; id <= 4; ++id) {
+    std::remove(
+        storage::SegmentedWal::SegmentPathFor(options.db_path + ".wal", id).c_str());
+  }
 }
 
 TEST_F(EngineTest, MaintainedSummariesUnaffectedByQueryMutation) {

@@ -8,17 +8,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/summary_instance.h"
 #include "storage/fault_injection.h"
+#include "storage/wal_segments.h"
 #include "testutil.h"
 
 namespace insightnotes::core {
@@ -89,10 +94,62 @@ class CrashRecoveryTest : public ::testing::Test {
   }
   void TearDown() override { RemoveDbFiles(); }
 
-  void RemoveDbFiles() {
-    std::remove(db_path_.c_str());
-    std::remove((db_path_ + ".wal").c_str());
-    std::remove((db_path_ + ".recovering").c_str());
+  /// Removes the page file plus every WAL artifact (segments, manifest,
+  /// temp leftovers) — all share the db path as a name prefix.
+  void RemoveDbFiles() { RemoveFilesWithPrefix(db_path_); }
+
+  static void RemoveFilesWithPrefix(const std::string& prefix) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path dir = fs::path(prefix).parent_path();
+    const std::string stem = fs::path(prefix).filename().string();
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      const std::string name = it->path().filename().string();
+      if (name.rfind(stem, 0) == 0) {
+        std::error_code remove_ec;
+        fs::remove(it->path(), remove_ec);
+      }
+    }
+  }
+
+  /// Copies the page file + WAL artifacts to a sibling path prefix, so one
+  /// crashed database can be recovered several times from identical bytes.
+  static void CopyDbFiles(const std::string& from, const std::string& to) {
+    namespace fs = std::filesystem;
+    RemoveFilesWithPrefix(to);
+    std::error_code ec;
+    fs::path dir = fs::path(from).parent_path();
+    const std::string stem = fs::path(from).filename().string();
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      const std::string name = it->path().filename().string();
+      if (name.rfind(stem, 0) == 0) {
+        std::error_code copy_ec;
+        fs::copy_file(it->path(), fs::path(to + name.substr(stem.size())),
+                      fs::copy_options::overwrite_existing, copy_ec);
+        ASSERT_FALSE(copy_ec) << "copying " << name << ": " << copy_ec.message();
+      }
+    }
+  }
+
+  /// Total bytes of every WAL artifact (segments + manifest).
+  uintmax_t WalBytes() const {
+    namespace fs = std::filesystem;
+    uintmax_t total = 0;
+    std::error_code ec;
+    fs::path dir = fs::path(db_path_).parent_path();
+    const std::string stem = fs::path(db_path_).filename().string() + ".wal";
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      const std::string name = it->path().filename().string();
+      if (name.rfind(stem, 0) == 0) {
+        std::error_code size_ec;
+        uintmax_t size = fs::file_size(it->path(), size_ec);
+        if (!size_ec) total += size;
+      }
+    }
+    return total;
   }
 
   static std::string ReadFileBytes(const std::string& path) {
@@ -376,29 +433,46 @@ TEST_F(CrashRecoveryTest, CleanShutdownReopensWithoutCorruption) {
   EXPECT_EQ(Snapshot(&engine), oracle_with_extras);
 }
 
-// Checkpoint compaction rewrites the log as a snapshot of live state, so
-// repeated checkpoints keep the WAL bounded instead of accreting a marker
-// record per cycle.
+// Background compaction keeps the segmented log bounded: superseded
+// records pile up in sealed segments, and the pass a checkpoint schedules
+// retires them while the engine keeps running.
 TEST_F(CrashRecoveryTest, CheckpointCompactionKeepsWalBounded) {
   RemoveDbFiles();
-  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 60);
-  Engine engine(FileBackedOptions());
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 20);
+  EngineOptions options = FileBackedOptions();
+  options.wal_segment_bytes = 512;  // Tiny segments: rotation is frequent.
+  Engine engine(options);
   ASSERT_TRUE(engine.Init().ok());
   SetupDatabase(&engine);
   ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+  ApplyExtras(&engine);
+  // Re-archiving an archived annotation logs a record that is dead on
+  // arrival; a few hundred of them fill whole segments with garbage.
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(engine.ArchiveAnnotation(7).ok());
+  uintmax_t bytes_before = WalBytes();
+
   ASSERT_TRUE(engine.Checkpoint().ok());
-  EXPECT_EQ(engine.wal_compaction().compactions, 1u);
-  // 60 adds + 1 checkpoint marker.
-  EXPECT_EQ(engine.wal_compaction().records_written, specs.size() + 1);
-  uintmax_t size_after_first = std::filesystem::file_size(db_path_ + ".wal");
-  // With no new mutations, every further checkpoint rewrites the identical
-  // snapshot: the log size is a pure function of live state.
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(engine.Checkpoint().ok());
-  EXPECT_EQ(std::filesystem::file_size(db_path_ + ".wal"), size_after_first);
-  EXPECT_EQ(engine.wal_compaction().compactions, 4u);
+  engine.WaitForWalCompaction();
+  WalCompactionStats stats = engine.wal_compaction();
+  EXPECT_GE(stats.compactions, 1u);
+  EXPECT_GE(stats.segments_retired, 1u);
+  EXPECT_GE(stats.records_dropped, 100u);
+  EXPECT_EQ(stats.failures, 0u);
+  // The retired garbage is actually gone from disk.
+  EXPECT_LT(WalBytes(), bytes_before);
+
+  // With no new mutations, further checkpoints converge: each marker kills
+  // its predecessor, so the live set — and the bytes holding it — stops
+  // growing once the dead segments are retired.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    engine.WaitForWalCompaction();
+  }
+  EXPECT_EQ(engine.wal_compaction().failures, 0u);
+  EXPECT_LT(WalBytes(), bytes_before);
 }
 
-// The compacted snapshot must reproduce per-row attachment order, which
+// The compacted log must reproduce per-row attachment order, which
 // cross-row attaches make different from annotation-id order.
 TEST_F(CrashRecoveryTest, CompactedWalReplaysInterleavedAttachOrder) {
   RemoveDbFiles();
@@ -413,12 +487,16 @@ TEST_F(CrashRecoveryTest, CompactedWalReplaysInterleavedAttachOrder) {
     ASSERT_TRUE(engine->ArchiveAnnotation(4).ok());
   };
   {
-    Engine engine(FileBackedOptions());
+    EngineOptions options = FileBackedOptions();
+    options.wal_segment_bytes = 512;  // Force rotation so compaction has work.
+    Engine engine(options);
     ASSERT_TRUE(engine.Init().ok());
     SetupDatabase(&engine);
     mutate(&engine);
     ASSERT_TRUE(engine.Checkpoint().ok());
-    ASSERT_TRUE(engine.Checkpoint().ok());  // Compacting a snapshot is idempotent.
+    engine.WaitForWalCompaction();
+    ASSERT_TRUE(engine.Checkpoint().ok());  // The new marker retires the old.
+    engine.WaitForWalCompaction();
   }
   Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
   ASSERT_TRUE(engine.Init().ok());
@@ -444,11 +522,14 @@ TEST_F(CrashRecoveryTest, CompactionCanBeDisabled) {
     SetupDatabase(&engine);
     ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
     ASSERT_TRUE(engine.Checkpoint().ok());
+    engine.WaitForWalCompaction();
     EXPECT_EQ(engine.wal_compaction().compactions, 0u);
-    uintmax_t size_after_first = std::filesystem::file_size(db_path_ + ".wal");
+    uintmax_t size_after_first = WalBytes();
     // Without compaction every checkpoint appends another marker record.
     ASSERT_TRUE(engine.Checkpoint().ok());
-    EXPECT_GT(std::filesystem::file_size(db_path_ + ".wal"), size_after_first);
+    engine.WaitForWalCompaction();
+    EXPECT_EQ(engine.wal_compaction().compactions, 0u);
+    EXPECT_GT(WalBytes(), size_after_first);
   }
   EngineOptions reopen = FileBackedOptions(nullptr, /*open_existing=*/true);
   reopen.compact_wal_on_checkpoint = false;
@@ -537,7 +618,9 @@ TEST_F(CrashRecoveryTest, FailedReplayRestoresThePageFile) {
   ASSERT_FALSE(before.empty());
 
   {
-    std::FILE* f = std::fopen((db_path_ + ".wal").c_str(), "rb+");
+    const std::string segment =
+        storage::SegmentedWal::SegmentPathFor(db_path_ + ".wal", 1);
+    std::FILE* f = std::fopen(segment.c_str(), "rb+");
     ASSERT_NE(f, nullptr);
     ASSERT_EQ(std::fwrite("GARBAGE!", 1, 8, f), 8u);
     ASSERT_EQ(std::fclose(f), 0);
@@ -580,13 +663,13 @@ TEST_F(CrashRecoveryTest, InterruptedRecoveryAdoptsParkedPageFile) {
   EXPECT_EQ(Snapshot(&engine), Snapshot(&oracle));
 }
 
-// Crash-point sweep for checkpoint compaction: WriteAheadLog::Rewrite is
-// killed at EVERY scripted op (temp create/header, each payload write,
-// fsync, both closes, the rename, and just after it). Whatever the crash
-// point, the on-disk log is either the intact pre-compaction history or
-// the complete compacted snapshot — both replay to the same live state —
-// so the reopened engine must always equal the oracle. Closes the crash
-// window the compaction feature left untested.
+// Crash-point sweep for segment rotation, background compaction, and the
+// manifest/retire swaps: the segmented log is killed at EVERY scripted op
+// of its fault schedule. All state-changing mutations happen before the
+// hook is armed; the hooked phase appends only dead-on-arrival duplicate
+// archives (logical no-ops), rotates, checkpoints and compacts — so
+// whatever the crash point, the acknowledged history replays to the same
+// oracle state. Closes the crash windows the segmented log introduced.
 TEST_F(CrashRecoveryTest, CompactionCrashSweepRecoversAtEveryOp) {
   std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 20);
   Engine memory_oracle;
@@ -596,62 +679,346 @@ TEST_F(CrashRecoveryTest, CompactionCrashSweepRecoversAtEveryOp) {
   ApplyExtras(&memory_oracle);
   std::string expected = Snapshot(&memory_oracle);
 
+  EngineOptions options = FileBackedOptions();
+  options.wal_segment_bytes = 256;  // Tiny segments: rotation + compaction fire.
+
   auto ingest = [&](Engine* engine) {
     SetupDatabase(engine);
     if (::testing::Test::HasFatalFailure()) return;
     ASSERT_TRUE(engine->AnnotateBatch(specs).ok());
     ApplyExtras(engine);
+    // Settle into a deterministic compacted state before the hook arms.
+    ASSERT_TRUE(engine->Checkpoint().ok());
+    engine->WaitForWalCompaction();
+  };
+  auto hooked_phase = [](Engine* engine) {
+    // Duplicate archives fill segments with dead-on-arrival records that
+    // the checkpoint's compaction pass will want to retire. Once the
+    // sweep's kill fires, the log refuses writes and these calls (and the
+    // checkpoint) fail — expected, hence no status assertions.
+    for (int i = 0; i < 40; ++i) engine->ArchiveAnnotation(7).ok();
+    engine->Checkpoint().ok();
+    engine->WaitForWalCompaction();
   };
 
-  // Probe pass: count the scripted ops of one compaction with a hook that
+  // Probe pass: record the deterministic op schedule with a hook that
   // never fails, so the sweep below can kill each index exactly once.
+  // Rotation ops fire on the engine thread mid-loop; compaction, manifest
+  // and retire ops fire on the background thread while the engine waits.
   std::vector<std::string> op_names;
   {
     RemoveDbFiles();
-    Engine engine(FileBackedOptions());
+    Engine engine(options);
     ASSERT_TRUE(engine.Init().ok());
     ingest(&engine);
-    engine.wal()->SetRewriteFaultHook([&op_names](const char* op) {
+    std::mutex names_mutex;
+    engine.wal()->SetFaultHook([&op_names, &names_mutex](const char* op) {
+      std::lock_guard<std::mutex> lock(names_mutex);
       op_names.emplace_back(op);
       return Status::OK();
     });
-    ASSERT_TRUE(engine.Checkpoint().ok());
-    engine.wal()->SetRewriteFaultHook(nullptr);
+    hooked_phase(&engine);
+    engine.wal()->SetFaultHook(nullptr);
   }
-  // At least: temp_create, temp_header, one temp_write per record
-  // (20 adds + extras + marker), temp_fsync, temp_close, live_close,
-  // rename, post_rename.
-  ASSERT_GE(op_names.size(), specs.size() + 7) << "Rewrite fault schedule shrank";
+  auto seen = [&](const char* name) {
+    return std::find(op_names.begin(), op_names.end(), name) != op_names.end();
+  };
+  ASSERT_TRUE(seen("rotate_create")) << "no rotation fired under the hook";
+  ASSERT_TRUE(seen("rotate_dir_fsync"));
+  ASSERT_TRUE(seen("manifest_rename"));
+  ASSERT_TRUE(seen("manifest_dir_fsync"));
+  ASSERT_TRUE(seen("compact_read")) << "no compaction pass fired under the hook";
+  ASSERT_TRUE(seen("retire_remove"));
+  ASSERT_TRUE(seen("retire_dir_fsync"));
 
   for (size_t kill = 0; kill < op_names.size(); ++kill) {
-    SCOPED_TRACE("compaction crash at op " + std::to_string(kill) + " (" +
+    SCOPED_TRACE("crash at scripted op " + std::to_string(kill) + " (" +
                  op_names[kill] + ")");
     RemoveDbFiles();
     {
-      Engine engine(FileBackedOptions());
+      Engine engine(options);
       ASSERT_TRUE(engine.Init().ok());
       ingest(&engine);
-      size_t fired = 0;
-      engine.wal()->SetRewriteFaultHook([&fired, kill](const char* op) -> Status {
-        if (fired++ == kill) {
+      std::atomic<size_t> fired{0};
+      engine.wal()->SetFaultHook([&fired, kill](const char* op) -> Status {
+        if (fired.fetch_add(1, std::memory_order_relaxed) == kill) {
           return Status::IoError(std::string("simulated crash at ") + op);
         }
         return Status::OK();
       });
-      // The simulated crash abandons both file handles, so the fallback
-      // checkpoint marker cannot be appended either: Checkpoint fails and
-      // the destructor's best-effort retry degrades to a logged error.
-      EXPECT_FALSE(engine.Checkpoint().ok());
+      hooked_phase(&engine);
+      engine.wal()->SetFaultHook(nullptr);
+      EXPECT_TRUE(engine.wal()->failed());
+      // The destructor's best-effort checkpoint on the dead log degrades
+      // to a logged error.
     }
-    Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+    EngineOptions reopen = options;
+    reopen.open_existing = true;
+    Engine engine(reopen);
     ASSERT_TRUE(engine.Init().ok());
     EXPECT_TRUE(engine.recovery().performed);
     SetupDatabase(&engine);
     EXPECT_EQ(Snapshot(&engine), expected);
-    // The next checkpoint compacts successfully (overwriting any stale
-    // .compact sibling the crash left behind).
+    // The reopened log checkpoints and compacts cleanly, retiring whatever
+    // garbage the crash stranded.
     EXPECT_TRUE(engine.Checkpoint().ok());
+    engine.WaitForWalCompaction();
+    EXPECT_EQ(engine.wal_compaction().failures, 0u);
   }
+}
+
+// Parallel WAL replay is an implementation detail: at any parallelism the
+// recovered store and summaries must be byte-identical to the serial
+// replay, the chain partition must be stable, and the report must say how
+// many workers ran.
+TEST_F(CrashRecoveryTest, ParallelRecoveryMatchesSerialReplay) {
+  RemoveDbFiles();
+  std::string oracle_with_extras = BuildOracle(/*with_extras=*/true);
+  ASSERT_FALSE(oracle_with_extras.empty());
+  {
+    Engine engine(FileBackedOptions());
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    ASSERT_TRUE(engine.AnnotateBatch(specs_).ok());
+    ApplyExtras(&engine);
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    engine.WaitForWalCompaction();
+  }
+
+  uint64_t parallel_chains = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE("recovery_threads=" + std::to_string(threads));
+    // Replay a byte-identical copy each time: recovering mutates the files.
+    const std::string copy_path = ::testing::TempDir() + "/insightnotes_parrec_" +
+                                  std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                                  "_" + std::to_string(threads) + ".db";
+    CopyDbFiles(db_path_, copy_path);
+    if (::testing::Test::HasFatalFailure()) return;
+    EngineOptions options = FileBackedOptions(nullptr, /*open_existing=*/true);
+    options.db_path = copy_path;
+    options.recovery_threads = threads;
+    {
+      Engine engine(options);
+      ASSERT_TRUE(engine.Init().ok());
+      EXPECT_TRUE(engine.recovery().performed);
+      // 500 adds + 1 attach + 1 archive; markers don't count.
+      EXPECT_EQ(engine.recovery().wal_records_replayed, kNumAnnotations + 2);
+      EXPECT_EQ(engine.recovery().replay_threads, threads);
+      if (threads == 1) {
+        // Serial replay applies the log as one chain.
+        EXPECT_EQ(engine.recovery().replay_chains, 1u);
+      } else {
+        // The 10 rows partition the log into per-row chains (the cross-row
+        // attach merges two of them); the partition is a pure function of
+        // the log, so every parallel run sees the same count.
+        EXPECT_GE(engine.recovery().replay_chains, 2u);
+        if (parallel_chains == 0) {
+          parallel_chains = engine.recovery().replay_chains;
+        } else {
+          EXPECT_EQ(engine.recovery().replay_chains, parallel_chains);
+        }
+      }
+      SetupDatabase(&engine);
+      EXPECT_EQ(Snapshot(&engine), oracle_with_extras);
+    }
+    RemoveFilesWithPrefix(copy_path);
+  }
+}
+
+// A failed background pass must not advance the "log is compact"
+// accounting: it counts as a failure, retires nothing, and leaves the
+// candidate segment on disk so the next checkpoint retries it.
+TEST_F(CrashRecoveryTest, FailedCompactionKeepsSegmentForRetry) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 20);
+  Engine memory_oracle;
+  ASSERT_TRUE(memory_oracle.Init().ok());
+  SetupDatabase(&memory_oracle);
+  ASSERT_TRUE(memory_oracle.AnnotateBatch(specs).ok());
+  ApplyExtras(&memory_oracle);
+  std::string expected = Snapshot(&memory_oracle);
+
+  EngineOptions options = FileBackedOptions();
+  options.wal_segment_bytes = 256;
+  const std::string wal_base = db_path_ + ".wal";
+  std::vector<uint64_t> dead_segments;
+  {
+    Engine engine(options);
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+    ApplyExtras(&engine);
+    // Duplicate archives: dead-on-arrival records that fill whole sealed
+    // segments with garbage compaction will want to retire.
+    for (int i = 0; i < 80; ++i) ASSERT_TRUE(engine.ArchiveAnnotation(7).ok());
+    for (const auto& s : engine.wal()->Segments()) {
+      if (!s.active && s.records > 0 && s.dead == s.records) {
+        dead_segments.push_back(s.id);
+      }
+    }
+    ASSERT_FALSE(dead_segments.empty()) << "no fully-dead sealed segment formed";
+
+    engine.wal()->SetFaultHook([](const char* op) -> Status {
+      if (std::string(op) == "compact_read") {
+        return Status::IoError("simulated crash reading the candidate");
+      }
+      return Status::OK();
+    });
+    ASSERT_TRUE(engine.Checkpoint().ok());  // The marker lands; the pass dies.
+    engine.WaitForWalCompaction();
+    WalCompactionStats stats = engine.wal_compaction();
+    EXPECT_GE(stats.failures, 1u);
+    EXPECT_EQ(stats.compactions, 0u);
+    EXPECT_EQ(stats.segments_retired, 0u);
+    EXPECT_EQ(stats.records_dropped, 0u);
+  }
+
+  // Nothing was retired: the candidate segments are still on disk.
+  for (uint64_t id : dead_segments) {
+    EXPECT_TRUE(std::filesystem::exists(
+        storage::SegmentedWal::SegmentPathFor(wal_base, id)))
+        << "segment " << id;
+  }
+
+  EngineOptions reopen = options;
+  reopen.open_existing = true;
+  Engine engine(reopen);
+  ASSERT_TRUE(engine.Init().ok());
+  SetupDatabase(&engine);
+  EXPECT_EQ(Snapshot(&engine), expected);
+  // Replay re-derived the liveness, so this checkpoint retries — and
+  // retires — the very segments the failed pass left behind.
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  engine.WaitForWalCompaction();
+  EXPECT_EQ(engine.wal_compaction().failures, 0u);
+  EXPECT_GE(engine.wal_compaction().segments_retired, dead_segments.size());
+  for (uint64_t id : dead_segments) {
+    EXPECT_FALSE(std::filesystem::exists(
+        storage::SegmentedWal::SegmentPathFor(wal_base, id)))
+        << "segment " << id;
+  }
+}
+
+// Checkpoint schedules compaction and returns without waiting for it: a
+// stalled background pass must block neither the checkpoint call nor
+// concurrent mutations. (A blocking checkpoint would deadlock here, so
+// the test completing at all is the assertion.)
+TEST_F(CrashRecoveryTest, CheckpointReturnsWhileCompactionRuns) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 20);
+  EngineOptions options = FileBackedOptions();
+  options.wal_segment_bytes = 256;
+  Engine engine(options);
+  ASSERT_TRUE(engine.Init().ok());
+  SetupDatabase(&engine);
+  ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+  ApplyExtras(&engine);
+  for (int i = 0; i < 80; ++i) ASSERT_TRUE(engine.ArchiveAnnotation(7).ok());
+
+  std::atomic<bool> stalled{false};
+  std::atomic<bool> release{false};
+  engine.wal()->SetFaultHook([&stalled, &release](const char* op) -> Status {
+    if (std::string(op) == "compact_read" && !release.load()) {
+      stalled.store(true);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(engine.Checkpoint().ok());  // Returns while the pass is held.
+  while (!stalled.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // The pass has not finished, yet the engine keeps accepting mutations.
+  EXPECT_EQ(engine.wal_compaction().compactions, 0u);
+  ASSERT_TRUE(engine.ArchiveAnnotation(7).ok());
+  release.store(true);
+  engine.WaitForWalCompaction();
+  EXPECT_GE(engine.wal_compaction().compactions, 1u);
+  EXPECT_EQ(engine.wal_compaction().failures, 0u);
+  engine.wal()->SetFaultHook(nullptr);
+}
+
+// The park rename that moves the page file aside at the start of recovery
+// is followed by a parent-directory fsync through the DiskManager seam; a
+// fault injected there must fail Init and leave the page file restored
+// byte-identical, ready for a clean retry.
+TEST_F(CrashRecoveryTest, ParkDirFsyncFaultRestoresPageFile) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 30);
+  {
+    Engine engine(FileBackedOptions());
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  std::string before = ReadFileBytes(db_path_);
+  ASSERT_FALSE(before.empty());
+
+  {
+    auto disk = std::make_shared<storage::FaultInjectingDiskManager>();
+    // Arm a directory-fsync fault at every op index: the first FsyncDir
+    // call — the park rename's — trips it whatever its position.
+    for (uint64_t k = 0; k < 1 << 14; ++k) {
+      disk->FailOnceAt(storage::IoOpKind::kDirFsync, k);
+    }
+    Engine engine(FileBackedOptions(disk, /*open_existing=*/true));
+    Status status = engine.Init();
+    ASSERT_FALSE(status.ok());
+    EXPECT_GE(disk->faults_injected(), 1u);
+  }
+  EXPECT_EQ(ReadFileBytes(db_path_), before);
+  EXPECT_FALSE(std::filesystem::exists(db_path_ + ".recovering"));
+
+  // With the disk healed, recovery completes and matches the oracle.
+  Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_EQ(engine.recovery().wal_records_replayed, specs.size());
+  SetupDatabase(&engine);
+  Engine oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  SetupDatabase(&oracle);
+  ASSERT_TRUE(oracle.AnnotateBatch(specs).ok());
+  EXPECT_EQ(Snapshot(&engine), Snapshot(&oracle));
+}
+
+// A database from the single-file WAL era (one `<db>.wal`, no manifest)
+// must be adopted in place: the file becomes segment 1, a manifest is
+// written, and replay proceeds as usual.
+TEST_F(CrashRecoveryTest, LegacySingleFileWalIsMigrated) {
+  RemoveDbFiles();
+  std::vector<AnnotateSpec> specs(specs_.begin(), specs_.begin() + 30);
+  {
+    Engine engine(FileBackedOptions());
+    ASSERT_TRUE(engine.Init().ok());
+    SetupDatabase(&engine);
+    ASSERT_TRUE(engine.AnnotateBatch(specs).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    engine.WaitForWalCompaction();
+  }
+  // Reshape the on-disk layout into the single-file era: the one segment
+  // becomes `<db>.wal`, the manifest disappears.
+  const std::string wal_base = db_path_ + ".wal";
+  const std::string segment1 = storage::SegmentedWal::SegmentPathFor(wal_base, 1);
+  ASSERT_TRUE(std::filesystem::exists(segment1));
+  std::filesystem::rename(segment1, wal_base);
+  std::filesystem::remove(storage::SegmentedWal::ManifestPathFor(wal_base));
+
+  Engine engine(FileBackedOptions(nullptr, /*open_existing=*/true));
+  ASSERT_TRUE(engine.Init().ok());
+  EXPECT_TRUE(engine.recovery().performed);
+  EXPECT_EQ(engine.recovery().wal_records_replayed, specs.size());
+  // The legacy file was migrated, not copied: segment 1 + manifest.
+  EXPECT_FALSE(std::filesystem::exists(wal_base));
+  EXPECT_TRUE(std::filesystem::exists(segment1));
+  EXPECT_TRUE(
+      std::filesystem::exists(storage::SegmentedWal::ManifestPathFor(wal_base)));
+  SetupDatabase(&engine);
+  Engine oracle;
+  ASSERT_TRUE(oracle.Init().ok());
+  SetupDatabase(&oracle);
+  ASSERT_TRUE(oracle.AnnotateBatch(specs).ok());
+  EXPECT_EQ(Snapshot(&engine), Snapshot(&oracle));
 }
 
 TEST_F(CrashRecoveryTest, SummarizerFailuresDegradeToStaleRows) {

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -139,6 +141,60 @@ TEST(FaultInjectionTest, CrashFailsEveryOperationFromCutoff) {
   EXPECT_FALSE(disk.crashed());
   EXPECT_TRUE(disk.ReadPage(*id, page).ok());
   EXPECT_TRUE(disk.Fsync().ok());
+}
+
+TEST(FaultInjectionTest, DirFsyncFaultMatchesOnlyDirectoryFsyncs) {
+  FaultInjectingDiskManager disk;
+  std::string path = ::testing::TempDir() + "/insightnotes_dirfsync_test.db";
+  std::remove(path.c_str());
+  ASSERT_TRUE(disk.Open(path).ok());
+  const std::string dir = ::testing::TempDir();
+
+  // A write occupies the scripted index: the kDirFsync fault does not match.
+  disk.FailOnceAt(IoOpKind::kDirFsync, disk.op_count());
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  EXPECT_EQ(disk.faults_injected(), 0u);
+  disk.Reset();
+
+  // Scheduled at the index the directory fsync actually occupies, it fires
+  // exactly once.
+  disk.FailOnceAt(IoOpKind::kDirFsync, disk.op_count());
+  Status failed = disk.FsyncDir(dir);
+  EXPECT_TRUE(failed.IsIoError()) << failed.ToString();
+  EXPECT_EQ(disk.faults_injected(), 1u);
+  EXPECT_TRUE(disk.FsyncDir(dir).ok());
+
+  // Crash cut-offs fail directory fsyncs like any other counted op.
+  disk.CrashAtOp(disk.op_count());
+  EXPECT_TRUE(disk.FsyncDir(dir).IsIoError());
+  EXPECT_TRUE(disk.crashed());
+  disk.Reset();
+  ASSERT_TRUE(disk.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, OpCounterAndScriptsAreThreadSafe) {
+  FaultInjectingDiskManager disk;
+  ASSERT_TRUE(disk.Open("").ok());  // In-memory: FsyncDir is a counted no-op.
+  const std::string dir = ::testing::TempDir();
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 256;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&disk, &failures, &dir] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (!disk.FsyncDir(dir).ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Concurrent scripting must not race the op stream (the scripted index
+  // is far beyond the ops issued, so nothing ever fires).
+  for (int i = 0; i < 64; ++i) disk.FailOnceAt(IoOpKind::kRead, uint64_t{1} << 20);
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(disk.op_count(), static_cast<uint64_t>(kThreads) * kOpsPerThread);
 }
 
 TEST(FaultInjectionTest, AllocateRollsBackWhenZeroFillFails) {

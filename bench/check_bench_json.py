@@ -63,6 +63,10 @@ def check_report(path):
     if status:
         return status
 
+    status = check_cancellation_sweep(path, benchmarks)
+    if status:
+        return status
+
     print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
     return 0
 
@@ -174,6 +178,49 @@ def check_recovery_sweep(path, benchmarks):
         if t > 1 and chains < 2:
             return fail(path, f"{name}: parallel replay produced {chains} "
                               f"chain(s); partitioning did not happen")
+    return 0
+
+
+def check_cancellation_sweep(path, benchmarks):
+    """The query-lifecycle families (BM_CancelUnwind / BM_MemoryBudgetOverhead)
+    must carry a `threads` counter with a parallelism-1 baseline, and the
+    overhead family must sweep both sides of the comparison — every thread
+    count needs a budgeted AND an unbudgeted entry, plus a positive mem_peak
+    on the budgeted side (a zero peak means accounting never ran and the
+    "overhead" measured nothing)."""
+    cancel_threads = set()
+    overhead = {}
+    for i, entry in enumerate(benchmarks):
+        name = entry.get("name", "")
+        if not (name.startswith("BM_CancelUnwind")
+                or name.startswith("BM_MemoryBudgetOverhead")):
+            continue
+        where = f"benchmarks[{i}] ({name})"
+        threads = entry.get("threads")
+        if not isinstance(threads, (int, float)) or threads < 1:
+            return fail(path, f"{where}.threads missing or < 1")
+        if name.startswith("BM_CancelUnwind"):
+            cancel_threads.add(int(threads))
+            continue
+        budgeted = entry.get("budgeted")
+        if budgeted not in (0, 1, 0.0, 1.0):
+            return fail(path, f"{where}.budgeted missing or not 0/1")
+        if budgeted and not entry.get("mem_peak", 0) > 0:
+            return fail(path, f"{where}: budgeted run reports no mem_peak")
+        overhead.setdefault(int(threads), set()).add(int(budgeted))
+    if not cancel_threads and not overhead:
+        # Reports from other bench binaries have no lifecycle families.
+        return 0
+
+    if cancel_threads and max(cancel_threads) > 1 and 1 not in cancel_threads:
+        return fail(path, "BM_CancelUnwind: no parallelism-1 baseline")
+    for threads, sides in sorted(overhead.items()):
+        if sides != {0, 1}:
+            return fail(path, f"BM_MemoryBudgetOverhead threads={threads}: "
+                              f"needs both budgeted and unbudgeted entries, "
+                              f"saw budgeted={sorted(sides)}")
+    if overhead and max(overhead) > 1 and 1 not in overhead:
+        return fail(path, "BM_MemoryBudgetOverhead: no parallelism-1 baseline")
     return 0
 
 

@@ -32,6 +32,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "capacity exceeded";
     case StatusCode::kCorruption:
       return "corruption";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

@@ -29,6 +29,9 @@ enum class StatusCode : int {
   kTypeError = 9,
   kCapacityExceeded = 10,
   kCorruption = 11,
+  kCancelled = 12,
+  kDeadlineExceeded = 13,
+  kResourceExhausted = 14,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -84,6 +87,15 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -101,6 +113,11 @@ class Status {
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -93,4 +93,34 @@ Status MergeForGrouping(AnnotatedTuple* into, const AnnotatedTuple& other) {
   return Status::OK();
 }
 
+namespace {
+// Flat per-summary-object figure: a SummaryObject carries an instance
+// name, aggregate state and (for cluster summaries) representative text.
+constexpr size_t kSummaryObjectApproxBytes = 192;
+}  // namespace
+
+size_t ApproxBytes(const rel::Tuple& tuple) {
+  size_t bytes = sizeof(rel::Tuple) + tuple.NumValues() * sizeof(rel::Value);
+  for (size_t i = 0; i < tuple.NumValues(); ++i) {
+    const rel::Value& v = tuple.ValueAt(i);
+    if (v.type() == rel::ValueType::kString) bytes += v.AsString().capacity();
+  }
+  return bytes;
+}
+
+size_t ApproxBytes(const AnnotatedTuple& tuple) {
+  size_t bytes = ApproxBytes(tuple.tuple) +
+                 tuple.summaries.size() * kSummaryObjectApproxBytes;
+  for (const AttachmentInfo& att : tuple.attachments) {
+    bytes += sizeof(AttachmentInfo) + att.columns.capacity() * sizeof(size_t);
+  }
+  return bytes;
+}
+
+size_t ApproxBytes(const AnnotatedBatch& batch) {
+  size_t bytes = sizeof(AnnotatedBatch);
+  for (const AnnotatedTuple& tuple : batch.tuples) bytes += ApproxBytes(tuple);
+  return bytes;
+}
+
 }  // namespace insightnotes::core

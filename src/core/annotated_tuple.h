@@ -98,6 +98,14 @@ Status MergeSummaryLists(std::vector<std::unique_ptr<SummaryObject>>* into,
 void MergeAttachmentLists(std::vector<AttachmentInfo>* list,
                           const std::vector<AttachmentInfo>& incoming, size_t offset);
 
+/// Coarse byte estimates for the per-query memory budget (see
+/// exec/query_context.h). Summary objects are polymorphic, so each is
+/// costed at a flat per-object figure rather than walked; the estimate
+/// only needs to scale with materialized state, not be exact.
+size_t ApproxBytes(const rel::Tuple& tuple);
+size_t ApproxBytes(const AnnotatedTuple& tuple);
+size_t ApproxBytes(const AnnotatedBatch& batch);
+
 }  // namespace insightnotes::core
 
 #endif  // INSIGHTNOTES_CORE_ANNOTATED_TUPLE_H_

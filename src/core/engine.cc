@@ -609,17 +609,31 @@ Result<QueryResult> Engine::Execute(std::unique_ptr<exec::Operator> plan,
   }
 
   Stopwatch watch;
-  INSIGHTNOTES_RETURN_IF_ERROR(plan->Open());
   QueryResult result;
   result.schema = plan->OutputSchema();
-  result.rows.reserve(plan->EstimatedRows());
-  AnnotatedBatch batch;
-  while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch));
-    if (!more) break;
-    for (AnnotatedTuple& tuple : batch.tuples) {
-      result.rows.push_back(std::move(tuple));
+  auto drain = [&]() -> Status {
+    INSIGHTNOTES_RETURN_IF_ERROR(plan->Open());
+    result.rows.reserve(plan->EstimatedRows());
+    AnnotatedBatch batch;
+    while (true) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, plan->NextBatch(&batch));
+      if (!more) break;
+      for (AnnotatedTuple& tuple : batch.tuples) {
+        result.rows.push_back(std::move(tuple));
+      }
     }
+    return Status::OK();
+  };
+  Status executed = drain();
+  if (!executed.ok()) {
+    // A cancelled / timed-out / failed plan must not leave workers running
+    // or memory reserved: Close joins the parallel section and releases
+    // every operator's reservation before the plan is destroyed.
+    Status closed = plan->Close();
+    if (!closed.ok()) {
+      INSIGHTNOTES_LOG(Warning) << "closing failed plan: " << closed.ToString();
+    }
+    return executed;
   }
   result.execute_seconds = watch.ElapsedSeconds();
   result.qid = ++next_qid_;
@@ -658,16 +672,28 @@ Result<ResultSnapshot> Engine::SnapshotFor(QueryId qid, bool* from_cache) {
   // Cache miss: transparently re-execute the retained plan.
   INSIGHTNOTES_LOG(Info) << "zoom-in cache miss for QID " << qid << "; re-executing";
   StoredQuery& stored = it->second;
-  INSIGHTNOTES_RETURN_IF_ERROR(stored.plan->Open());
   std::vector<AnnotatedTuple> rows;
-  rows.reserve(stored.plan->EstimatedRows());
-  AnnotatedBatch batch;
-  while (true) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, stored.plan->NextBatch(&batch));
-    if (!more) break;
-    for (AnnotatedTuple& tuple : batch.tuples) {
-      rows.push_back(std::move(tuple));
+  auto reexecute = [&]() -> Status {
+    INSIGHTNOTES_RETURN_IF_ERROR(stored.plan->Open());
+    rows.reserve(stored.plan->EstimatedRows());
+    AnnotatedBatch batch;
+    while (true) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, stored.plan->NextBatch(&batch));
+      if (!more) break;
+      for (AnnotatedTuple& tuple : batch.tuples) {
+        rows.push_back(std::move(tuple));
+      }
     }
+    return Status::OK();
+  };
+  Status executed = reexecute();
+  if (!executed.ok()) {
+    Status closed = stored.plan->Close();
+    if (!closed.ok()) {
+      INSIGHTNOTES_LOG(Warning) << "closing failed re-execution: "
+                                << closed.ToString();
+    }
+    return executed;
   }
   INSIGHTNOTES_ASSIGN_OR_RETURN(ResultSnapshot snapshot,
                                 ResultSnapshot::Capture(stored.schema, rows));

@@ -16,6 +16,10 @@ struct TupleHash {
 };
 using TupleIndex = std::unordered_map<rel::Tuple, size_t, TupleHash>;
 
+// Flat memory-accounting figure per group beyond keys and AggStates: the
+// merged summary state and its hash-index entry.
+constexpr size_t kGroupStateApproxBytes = 256;
+
 }  // namespace
 
 std::string_view AggregateFunctionToString(AggregateFunction fn) {
@@ -220,6 +224,7 @@ Status AggregateOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
   groups_.clear();
   cursor_ = 0;
+  ReleaseMemory();
 
   TupleIndex index;
   core::AnnotatedBatch batch;
@@ -236,6 +241,9 @@ Status AggregateOperator::OpenImpl() {
       if (inserted) {
         Group group;
         group.key = std::move(key);
+        INSIGHTNOTES_RETURN_IF_ERROR(ChargeMemory(
+            core::ApproxBytes(group.key) + kGroupStateApproxBytes +
+            aggregates_.size() * sizeof(AggState)));
         // Grouped outputs expose aggregate columns, not the original ones:
         // annotation coverage degrades to whole-row.
         group.summary.Seed(&in, /*whole_row=*/true,
@@ -347,6 +355,14 @@ Result<bool> PartialAggregateOperator::NextBatchImpl(core::AnnotatedBatch*) {
       }
     }
     metrics_.partial_groups += partial.groups.size();
+    // Group tables + recorded SUM/AVG replay terms for this morsel.
+    size_t partial_bytes =
+        batch.tuples.size() * aggregates_.size() * sizeof(double);
+    for (const PartialAggState::PartialGroup& group : partial.groups) {
+      partial_bytes += core::ApproxBytes(group.key) + kGroupStateApproxBytes +
+                       aggregates_.size() * sizeof(AggState);
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(ChargeMemory(partial_bytes));
     sink_->Publish(std::move(partial));
   }
   return false;  // Partial states surface via the sink, not as batches.

@@ -22,6 +22,7 @@ Status DistinctOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
   results_.clear();
   cursor_ = 0;
+  ReleaseMemory();
   TupleIndex index;
   core::AnnotatedBatch batch;
   while (true) {
@@ -30,6 +31,7 @@ Status DistinctOperator::OpenImpl() {
     for (core::AnnotatedTuple& in : batch.tuples) {
       auto [it, inserted] = index.emplace(in.tuple, results_.size());
       if (inserted) {
+        INSIGHTNOTES_RETURN_IF_ERROR(ChargeMemory(core::ApproxBytes(in)));
         results_.push_back(std::move(in));
       } else {
         INSIGHTNOTES_RETURN_IF_ERROR(core::MergeForGrouping(&results_[it->second], in));
@@ -91,6 +93,11 @@ Result<bool> PartialDistinctOperator::NextBatchImpl(core::AnnotatedBatch*) {
       }
     }
     metrics_.partial_groups += partial.entries.size();
+    size_t partial_bytes = 0;
+    for (const PartialDistinctState::Entry& entry : partial.entries) {
+      partial_bytes += core::ApproxBytes(entry.tuple) + 256;
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(ChargeMemory(partial_bytes));
     sink_->Publish(std::move(partial));
   }
   return false;  // Distinct sets surface via the sink, not as batches.

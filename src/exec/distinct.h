@@ -81,7 +81,10 @@ class PartialDistinctOperator final : public Operator {
   size_t EstimatedRows() const override { return child_->EstimatedRows(); }
 
  protected:
-  Status OpenImpl() override { return child_->Open(); }
+  Status OpenImpl() override {
+    ReleaseMemory();  // Previous execution's distinct-set charges.
+    return child_->Open();
+  }
   Result<bool> NextImpl(core::AnnotatedTuple* out) override;
   Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
 

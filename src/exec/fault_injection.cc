@@ -1,0 +1,33 @@
+#include "exec/fault_injection.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace insightnotes::exec {
+
+Result<bool> FaultInjectingOperator::NextBatchImpl(core::AnnotatedBatch* out) {
+  ++calls_;
+  if (script_ != nullptr) {
+    const ExecFault* fault = script_->Match(worker_, calls_);
+    if (fault != nullptr) {
+      switch (fault->action) {
+        case ExecFaultAction::kError:
+          return Status::Internal(
+              "injected fault: worker " + std::to_string(worker_) +
+              " failed at NextBatch call " + std::to_string(calls_));
+        case ExecFaultAction::kThrow:
+          throw std::runtime_error(
+              "injected fault: worker " + std::to_string(worker_) +
+              " threw at NextBatch call " + std::to_string(calls_));
+        case ExecFaultAction::kStall:
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(fault->stall_ms));
+          break;  // Stalls proceed; a deadline check should catch them.
+      }
+    }
+  }
+  return child_->NextBatch(out);
+}
+
+}  // namespace insightnotes::exec

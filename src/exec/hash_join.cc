@@ -13,25 +13,46 @@ HashJoinBuildState::HashJoinBuildState(std::unique_ptr<Operator> input,
       num_partitions_(std::max<size_t>(1, num_partitions)),
       pool_(pool) {}
 
+void HashJoinBuildState::AttachQueryContext(
+    std::shared_ptr<QueryContext> context) {
+  if (input_ != nullptr) input_->SetQueryContext(context);
+  build_reservation_.Attach(
+      context != nullptr ? &context->budget() : nullptr,
+      "HashJoinBuild(" + key_name_ + ")");
+  context_ = std::move(context);
+}
+
 Status HashJoinBuildState::Reset() {
   rows_.clear();
   keys_.clear();
   hashes_.clear();
+  build_reservation_.ReleaseAll();
   INSIGHTNOTES_RETURN_IF_ERROR(input_->Open());
   rows_.reserve(input_->EstimatedRows());
   core::AnnotatedBatch batch;
   while (true) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&batch));
     if (!more) break;
+    // Batch-granular charge: an over-budget build aborts here with
+    // kResourceExhausted naming this operator, before the table finishes
+    // materializing.
+    INSIGHTNOTES_RETURN_IF_ERROR(
+        build_reservation_.Charge(core::ApproxBytes(batch)));
     for (core::AnnotatedTuple& tuple : batch.tuples) {
       rows_.push_back(std::move(tuple));
     }
   }
   keys_.reserve(rows_.size());
   hashes_.reserve(rows_.size());
+  // Keys, hashes and the partition-map entries (bucket + index slot each).
+  INSIGHTNOTES_RETURN_IF_ERROR(build_reservation_.Charge(
+      rows_.size() * (sizeof(rel::Value) + 4 * sizeof(size_t))));
   rel::ValueHash hasher;
-  for (const core::AnnotatedTuple& row : rows_) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value key, key_->Evaluate(row.tuple));
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if ((i & 1023u) == 0 && context_ != nullptr) {
+      INSIGHTNOTES_RETURN_IF_ERROR(context_->CheckInterrupt());
+    }
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Value key, key_->Evaluate(rows_[i].tuple));
     hashes_.push_back(key.is_null() ? 0 : hasher(key));
     keys_.push_back(std::move(key));
   }
@@ -39,23 +60,51 @@ Status HashJoinBuildState::Reset() {
   // Each partition is filled by exactly one worker scanning the rows in
   // input order, so match lists come out in build-insertion order and the
   // per-partition maps need no synchronization.
-  auto build_partition = [this](size_t p) {
+  auto build_partition = [this](size_t p) -> Status {
     PartitionMap& partition = partitions_[p];
     for (size_t i = 0; i < rows_.size(); ++i) {
+      if ((i & 4095u) == 0 && context_ != nullptr) {
+        INSIGHTNOTES_RETURN_IF_ERROR(context_->CheckInterrupt());
+      }
       if (keys_[i].is_null()) continue;  // NULL keys never join.
       if (hashes_[i] % num_partitions_ != p) continue;
       partition[keys_[i]].push_back(i);
     }
+    return Status::OK();
   };
   if (pool_ == nullptr || num_partitions_ == 1) {
-    for (size_t p = 0; p < num_partitions_; ++p) build_partition(p);
+    for (size_t p = 0; p < num_partitions_; ++p) {
+      INSIGHTNOTES_RETURN_IF_ERROR(build_partition(p));
+    }
   } else {
-    std::vector<std::future<void>> futures;
+    std::vector<std::future<Status>> futures;
     futures.reserve(num_partitions_);
     for (size_t p = 0; p < num_partitions_; ++p) {
-      futures.push_back(pool_->Submit([build_partition, p] { build_partition(p); }));
+      futures.push_back(pool_->Submit([build_partition, p]() -> Status {
+        try {
+          return build_partition(p);
+        } catch (const std::exception& e) {
+          return Status::Internal(std::string("partition build threw: ") +
+                                  e.what());
+        } catch (...) {
+          return Status::Internal("partition build threw a non-standard exception");
+        }
+      }));
     }
-    for (auto& future : futures) future.get();
+    // Join every future before returning: the jobs reference this state.
+    Status first_error;
+    for (auto& future : futures) {
+      Status status;
+      try {
+        status = future.get();
+      } catch (const std::exception& e) {
+        status = Status::Internal(std::string("partition build lost: ") + e.what());
+      } catch (...) {
+        status = Status::Internal("partition build lost: unknown exception");
+      }
+      if (first_error.ok() && !status.ok()) first_error = std::move(status);
+    }
+    INSIGHTNOTES_RETURN_IF_ERROR(first_error);
   }
   return Status::OK();
 }

@@ -38,6 +38,9 @@ class HashJoinBuildState final : public SharedPlanState {
                      size_t num_partitions, ThreadPool* pool);
 
   Status Reset() override;
+  /// Forwards the context into the build input subtree and arms this
+  /// state's memory reservation (label "HashJoinBuild(<key>)").
+  void AttachQueryContext(std::shared_ptr<QueryContext> context) override;
 
   /// Match row indexes for `key` in build-input order; null when none.
   /// NULL keys never match.
@@ -58,6 +61,9 @@ class HashJoinBuildState final : public SharedPlanState {
   std::string key_name_;
   size_t num_partitions_;
   ThreadPool* pool_;
+
+  std::shared_ptr<QueryContext> context_;  // Nullable.
+  MemoryReservation build_reservation_;    // Charges rows_/keys_/partitions_.
 
   std::vector<core::AnnotatedTuple> rows_;  // Build input, input order.
   std::vector<rel::Value> keys_;            // Key per row (may be NULL).
@@ -80,6 +86,13 @@ class HashJoinProbeOperator final : public Operator {
   std::string Name() const override;
   std::vector<Operator*> Children() override;
   size_t EstimatedRows() const override { return child_->EstimatedRows(); }
+  /// Also arms the shared build state when this probe exposes the build
+  /// (exactly one probe per state does, so the state is attached once even
+  /// when the gather does not know about it).
+  void SetQueryContext(std::shared_ptr<QueryContext> context) override {
+    Operator::SetQueryContext(context);
+    if (expose_build_) state_->AttachQueryContext(context_);
+  }
 
  protected:
   Status OpenImpl() override;
@@ -107,6 +120,10 @@ class HashJoinOperator final : public Operator {
   std::string Name() const override;
   std::vector<Operator*> Children() override {
     return {left_.get(), state_->input()};
+  }
+  void SetQueryContext(std::shared_ptr<QueryContext> context) override {
+    Operator::SetQueryContext(context);
+    state_->AttachQueryContext(context_);
   }
 
  protected:

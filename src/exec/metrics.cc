@@ -42,6 +42,12 @@ void RenderNode(const PlanMetrics& node, size_t depth, std::ostringstream* os) {
   if (node.metrics.merge_ns > 0) {
     *os << " merge_ms=" << static_cast<double>(node.metrics.merge_ns) / 1e6;
   }
+  if (node.metrics.cancel_checks > 0) {
+    *os << " cancel_checks=" << node.metrics.cancel_checks;
+  }
+  if (node.metrics.mem_peak > 0) {
+    *os << " mem_peak=" << node.metrics.mem_peak;
+  }
   *os << " wall_ms=" << static_cast<double>(node.metrics.wall_ns) / 1e6 << ")\n";
   for (const PlanMetrics& child : node.children) RenderNode(child, depth + 1, os);
 }

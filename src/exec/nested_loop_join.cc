@@ -16,11 +16,13 @@ Status NestedLoopJoinOperator::OpenImpl() {
   right_tuples_.clear();
   right_index_ = 0;
   left_valid_ = false;
+  ReleaseMemory();
   right_tuples_.reserve(right_->EstimatedRows());
   core::AnnotatedBatch batch;
   while (true) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, right_->NextBatch(&batch));
     if (!more) break;
+    INSIGHTNOTES_RETURN_IF_ERROR(ChargeMemory(core::ApproxBytes(batch)));
     for (core::AnnotatedTuple& tuple : batch.tuples) {
       right_tuples_.push_back(std::move(tuple));
     }

@@ -5,6 +5,8 @@
 namespace insightnotes::exec {
 
 Status Operator::Open() {
+  next_calls_ = 0;
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckInterrupt());
   if (!metrics_enabled_) return OpenImpl();
   Stopwatch watch;
   Status status = OpenImpl();
@@ -13,6 +15,9 @@ Status Operator::Open() {
 }
 
 Result<bool> Operator::Next(core::AnnotatedTuple* out) {
+  if (++next_calls_ % kInterruptStride == 0) {
+    INSIGHTNOTES_RETURN_IF_ERROR(CheckInterrupt());
+  }
   if (!metrics_enabled_) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, NextImpl(out));
     if (more) ++metrics_.rows_out;
@@ -27,6 +32,7 @@ Result<bool> Operator::Next(core::AnnotatedTuple* out) {
 
 Result<bool> Operator::NextBatch(core::AnnotatedBatch* out) {
   out->Clear();
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckInterrupt());
   Result<bool> more = [&]() -> Result<bool> {
     if (!metrics_enabled_) return NextBatchImpl(out);
     Stopwatch watch;
@@ -39,6 +45,19 @@ Result<bool> Operator::NextBatch(core::AnnotatedBatch* out) {
     metrics_.rows_out += out->tuples.size();
   }
   return more;
+}
+
+Status Operator::Close() {
+  // Parent-first so operators holding in-flight worker jobs (gather, join
+  // build) quiesce before the shared state and children they reference are
+  // torn down; memory goes back to the budget last.
+  Status status = CloseImpl();
+  for (Operator* child : Children()) {
+    Status child_status = child->Close();
+    if (status.ok()) status = child_status;
+  }
+  ReleaseMemory();
+  return status;
 }
 
 Result<bool> Operator::NextBatchImpl(core::AnnotatedBatch* out) {

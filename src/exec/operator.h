@@ -17,11 +17,13 @@
 #define INSIGHTNOTES_EXEC_OPERATOR_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/annotated_tuple.h"
+#include "exec/query_context.h"
 #include "rel/schema.h"
 
 namespace insightnotes::exec {
@@ -47,6 +49,8 @@ struct OperatorMetrics {
   uint64_t rows_pruned = 0;       // LIMIT pushdown: rows provably outside the
                                   // result, dropped before materialization.
   uint64_t bound_updates = 0;     // Top-k sort: shared k-th-candidate tightenings.
+  uint64_t cancel_checks = 0;     // Cooperative interrupt polls at this operator.
+  uint64_t mem_peak = 0;          // High-water bytes of materialized state.
 };
 
 class Operator {
@@ -65,6 +69,12 @@ class Operator {
   /// morsel): emptiness does not signal exhaustion, only `false` does.
   Result<bool> NextBatch(core::AnnotatedBatch* out);
 
+  /// Releases execution-scoped resources: joins outstanding worker jobs
+  /// (gather), returns memory reservations to the budget, closes children.
+  /// Idempotent; safe mid-iteration (the cancellation path) and after
+  /// exhaustion. The plan can be Open()ed again afterwards.
+  Status Close();
+
   virtual const rel::Schema& OutputSchema() const = 0;
   virtual std::string Name() const = 0;
 
@@ -81,6 +91,20 @@ class Operator {
     for (Operator* child : Children()) child->SetTraceSink(sink);
     trace_ = std::move(sink);
   }
+
+  /// Installs the per-statement lifecycle context (cancellation, deadline,
+  /// memory budget) on this subtree. shared_ptr because retained plans
+  /// (zoom-in re-execution) outlive the statement that created them.
+  /// Operators that own sub-plans outside Children() (shared build states,
+  /// worker pipelines) override to forward there too.
+  virtual void SetQueryContext(std::shared_ptr<QueryContext> context) {
+    for (Operator* child : Children()) child->SetQueryContext(context);
+    context_ = std::move(context);
+    reservation_.Attach(context_ != nullptr ? &context_->budget() : nullptr,
+                        Name());
+  }
+
+  QueryContext* query_context() const { return context_.get(); }
 
   /// Turns wall-clock accounting on/off for this subtree.
   void SetMetricsEnabled(bool enabled) {
@@ -101,14 +125,46 @@ class Operator {
   virtual Result<bool> NextImpl(core::AnnotatedTuple* out) = 0;
   /// Default adapter: packs up to kDefaultBatchSize NextImpl tuples.
   virtual Result<bool> NextBatchImpl(core::AnnotatedBatch* out);
+  /// Operator-specific teardown; the Close() wrapper handles children and
+  /// the memory reservation.
+  virtual Status CloseImpl() { return Status::OK(); }
+
+  /// Polls the query context for cancellation / deadline expiry. The
+  /// Open/NextBatch wrappers call this at every boundary; tuple-at-a-time
+  /// drivers sample every kInterruptStride-th Next() call.
+  Status CheckInterrupt() {
+    if (context_ == nullptr) return Status::OK();
+    ++metrics_.cancel_checks;
+    return context_->CheckInterrupt();
+  }
+
+  /// Records `bytes` of materialized state against the statement budget.
+  /// kResourceExhausted (naming this operator) once the budget is blown.
+  Status ChargeMemory(size_t bytes) {
+    Status status = reservation_.Charge(bytes);
+    if (reservation_.peak() > metrics_.mem_peak) {
+      metrics_.mem_peak = reservation_.peak();
+    }
+    return status;
+  }
+
+  /// Returns every charged byte to the budget (state was dropped/reset).
+  void ReleaseMemory() { reservation_.ReleaseAll(); }
 
   void Trace(const core::AnnotatedTuple& tuple) const {
     if (trace_) trace_(Name(), tuple);
   }
 
+  /// Next() wrapper polls the context once per this many calls so the
+  /// tuple-at-a-time path stays clock-free between samples.
+  static constexpr uint64_t kInterruptStride = 64;
+
   TraceSink trace_;
   OperatorMetrics metrics_;
   bool metrics_enabled_ = false;
+  std::shared_ptr<QueryContext> context_;
+  MemoryReservation reservation_;
+  uint64_t next_calls_ = 0;  // Next() invocations since Open, for the stride.
 };
 
 }  // namespace insightnotes::exec

@@ -42,6 +42,12 @@ class SharedPlanState {
  public:
   virtual ~SharedPlanState() = default;
   virtual Status Reset() = 0;
+
+  /// Wires the statement lifecycle context into states that materialize
+  /// memory (morsel prefetch, join builds) so Reset can charge the budget
+  /// and poll for cancellation. `context` may be nullptr (detach); states
+  /// keep the shared_ptr so a retained plan's context stays alive.
+  virtual void AttachQueryContext(std::shared_ptr<QueryContext> /*context*/) {}
 };
 
 /// Cooperative row quota of a plain `LIMIT k` parallel plan (no ORDER BY).
@@ -90,10 +96,22 @@ class ScanMorselSource final : public SharedPlanState {
                    bool with_summaries, size_t morsel_size);
 
   Status Reset() override;
+  void AttachQueryContext(std::shared_ptr<QueryContext> context) override;
 
   /// Claims the next unprocessed morsel index. Thread-safe; false when the
-  /// table is exhausted or an attached RowQuota is satisfied.
+  /// table is exhausted, an attached RowQuota is satisfied, or dispatch
+  /// was aborted (worker failure / cancellation).
   bool ClaimMorsel(uint64_t* morsel);
+
+  /// Stops handing out morsels: peer workers of a failed/cancelled worker
+  /// drain via exhaustion at their next claim instead of scanning on.
+  /// Thread-safe; cleared by Reset. The gather still reports the recorded
+  /// error, so an aborted dispatch can never pass off a truncated result
+  /// as success.
+  void AbortDispatch() { abort_.store(true, std::memory_order_release); }
+  bool dispatch_aborted() const {
+    return abort_.load(std::memory_order_acquire);
+  }
 
   /// Attaches a LIMIT row quota: once satisfied, ClaimMorsel stops
   /// dispatching. Set by the planner before execution.
@@ -124,7 +142,10 @@ class ScanMorselSource final : public SharedPlanState {
   std::vector<rel::RowId> rows_;    // Live row ids, insertion order.
   std::vector<rel::Tuple> tuples_;  // Prefetched data tuples, same order.
   std::atomic<uint64_t> next_morsel_{0};
+  std::atomic<bool> abort_{false};
   std::shared_ptr<RowQuota> quota_;  // Null unless a LIMIT was pushed down.
+  std::shared_ptr<QueryContext> context_;  // Nullable.
+  MemoryReservation reservation_;          // Charges the prefetched tuples.
 };
 
 /// Per-worker scan stage over a shared ScanMorselSource. Open is a no-op
@@ -140,6 +161,15 @@ class MorselScanOperator final : public Operator {
   }
   size_t EstimatedRows() const override { return source_->EstimatedRows(); }
 
+  /// No morsel claimed yet (error before the first claim sorts first).
+  static constexpr uint64_t kNoMorselClaimed = ~uint64_t{0};
+
+  /// The morsel most recently claimed by this worker's scan —
+  /// kNoMorselClaimed before the first claim. Written by the worker
+  /// thread; the gather reads it after joining the worker to order
+  /// failures by morsel (first-error-in-morsel-order).
+  uint64_t last_claimed_morsel() const { return last_claimed_morsel_; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(core::AnnotatedTuple* out) override;
@@ -147,6 +177,7 @@ class MorselScanOperator final : public Operator {
 
  private:
   std::shared_ptr<ScanMorselSource> source_;
+  uint64_t last_claimed_morsel_ = kNoMorselClaimed;
   // Tuple-at-a-time adapter state (NextBatch is the native interface).
   core::AnnotatedBatch pending_;
   size_t pending_pos_ = 0;
@@ -174,6 +205,9 @@ class GatherOperator final : public Operator {
   }
   /// Serializes the sink: worker pipelines emit from pool threads.
   void SetTraceSink(TraceSink sink) override;
+  /// Forwards the context to worker pipelines and shared states, and
+  /// attaches one gather-buffer reservation per worker.
+  void SetQueryContext(std::shared_ptr<QueryContext> context) override;
 
   /// Wires the LIMIT row-quota protocol: drained batches report their
   /// surviving rows to `quota`, and rows `source` never dispatched count
@@ -188,18 +222,41 @@ class GatherOperator final : public Operator {
   Status OpenImpl() override;
   Result<bool> NextImpl(core::AnnotatedTuple* out) override;
   Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
+  /// Joins any outstanding worker jobs before shared states or the worker
+  /// pipelines can be torn down — the cancellation-path half of teardown.
+  Status CloseImpl() override;
 
  private:
-  /// Runs one worker pipeline to exhaustion, appending its batches.
-  /// `quota` (nullable) learns each batch's morsel + surviving row count.
-  static Status DrainWorker(Operator* worker, RowQuota* quota,
-                            std::vector<core::AnnotatedBatch>* out);
+  /// Runs worker `w`'s pipeline to exhaustion, charging its gathered
+  /// batches to the budget. On failure, aborts morsel dispatch so peers
+  /// drain at their next claim.
+  Status DrainWorker(size_t w);
+  /// DrainWorker with exception containment: a throwing pipeline stage
+  /// surfaces as Status::Internal on the gather path, never std::terminate.
+  Status RunWorkerContained(size_t w);
+  /// Joins all outstanding futures, recording each worker's Status.
+  void JoinWorkers();
+  /// The error to surface: user cancellation/deadline first (uniform
+  /// across workers), otherwise the failure with the smallest
+  /// (last-claimed-morsel, worker) — deterministic regardless of which
+  /// worker's job happened to fail first on the clock.
+  Status FirstWorkerError() const;
 
   std::vector<std::unique_ptr<Operator>> workers_;
   std::vector<std::shared_ptr<SharedPlanState>> states_;
   ThreadPool* pool_;
   std::shared_ptr<RowQuota> quota_;             // Null without LIMIT pushdown.
   std::shared_ptr<ScanMorselSource> quota_source_;
+  std::shared_ptr<ScanMorselSource> source_;    // Dispatch-abort target.
+  std::vector<MorselScanOperator*> leaves_;     // Per-worker scan leaf (nullable).
+
+  // Per-worker execution state. collected_[w], worker_reservations_[w] and
+  // leaves_[w] are touched only by worker w's job between submit and join;
+  // worker_status_ is written at join time.
+  std::vector<std::future<Status>> futures_;
+  std::vector<std::vector<core::AnnotatedBatch>> collected_;
+  std::vector<Status> worker_status_;
+  std::vector<std::unique_ptr<MemoryReservation>> worker_reservations_;
 
   std::vector<core::AnnotatedBatch> batches_;  // Morsel order after Open.
   size_t batch_cursor_ = 0;

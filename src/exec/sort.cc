@@ -12,11 +12,13 @@ Status SortOperator::OpenImpl() {
   INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
   results_.clear();
   cursor_ = 0;
+  ReleaseMemory();
   results_.reserve(child_->EstimatedRows());
   core::AnnotatedBatch batch;
   while (true) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
+    INSIGHTNOTES_RETURN_IF_ERROR(ChargeMemory(core::ApproxBytes(batch)));
     for (core::AnnotatedTuple& in : batch.tuples) {
       results_.push_back(std::move(in));
     }
@@ -152,6 +154,8 @@ Status PartialSortOperator::DrainUnbounded(std::vector<SortRunEntry>* run) {
   while (true) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
     if (!more) break;
+    INSIGHTNOTES_RETURN_IF_ERROR(ChargeMemory(
+        core::ApproxBytes(batch) + batch.tuples.size() * sizeof(SortRunEntry)));
     for (size_t i = 0; i < batch.tuples.size(); ++i) {
       SortRunEntry entry;
       INSIGHTNOTES_RETURN_IF_ERROR(BuildEntry(batch, i, &entry));
@@ -246,6 +250,7 @@ SortMergeOperator::SortMergeOperator(std::unique_ptr<Operator> child,
 Status SortMergeOperator::OpenImpl() {
   results_.clear();
   cursor_ = 0;
+  ReleaseMemory();
   // Opening the child runs the parallel section to exhaustion; the pool
   // futures it joins on provide the happens-before for the published runs.
   INSIGHTNOTES_RETURN_IF_ERROR(child_->Open());
@@ -274,6 +279,9 @@ Status SortMergeOperator::OpenImpl() {
     heap.pop();
     results_.push_back(std::move(runs[i][pos[i]].tuple));
     if (++pos[i] < runs[i].size()) heap.push(i);
+  }
+  for (const core::AnnotatedTuple& tuple : results_) {
+    INSIGHTNOTES_RETURN_IF_ERROR(ChargeMemory(core::ApproxBytes(tuple)));
   }
   if (metrics_enabled_) {
     metrics_.merge_ns += static_cast<uint64_t>(watch.ElapsedNanos());

@@ -168,7 +168,10 @@ class PartialSortOperator final : public Operator {
   size_t EstimatedRows() const override { return child_->EstimatedRows(); }
 
  protected:
-  Status OpenImpl() override { return child_->Open(); }
+  Status OpenImpl() override {
+    ReleaseMemory();  // Previous execution's run charges.
+    return child_->Open();
+  }
   Result<bool> NextImpl(core::AnnotatedTuple* out) override;
   Result<bool> NextBatchImpl(core::AnnotatedBatch* out) override;
 

@@ -404,7 +404,7 @@ class Parser {
     INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("SET"));
     SetStatement stmt;
     INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
-    INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("="));
+    ConsumeSymbol("=");  // Both "SET knob = n" and "SET knob n" parse.
     INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.value, ExpectInteger());
     return Statement(std::move(stmt));
   }

@@ -397,6 +397,12 @@ class SelectPlanner {
         pipes[w] = std::make_unique<exec::SummaryFilterOperator>(
             std::move(pipes[w]), filter.spec, filter.op, filter.threshold);
       }
+      // Fault-injection seam: wrap the finished per-tuple pipeline before
+      // any blocking partial operator, so scripted faults hit the worker
+      // at morsel granularity.
+      if (options_.wrap_worker_pipeline) {
+        pipes[w] = options_.wrap_worker_pipeline(std::move(pipes[w]), w);
+      }
     }
 
     // Blocking stages: instead of ending the parallel section at the gather

@@ -11,6 +11,7 @@
 #ifndef INSIGHTNOTES_SQL_PLANNER_H_
 #define INSIGHTNOTES_SQL_PLANNER_H_
 
+#include <functional>
 #include <memory>
 
 #include "core/engine.h"
@@ -31,6 +32,15 @@ struct PlannerOptions {
   size_t parallelism = 1;
   /// Tuples per morsel handed to a parallel-scan worker.
   size_t morsel_size = 256;
+  /// Test seam: wraps each worker pipeline of the parallel section (after
+  /// the per-tuple stages, before any blocking partial operator) — e.g. in
+  /// an exec::FaultInjectingOperator for the fault sweep. Called once per
+  /// worker with the pipeline and its worker index; must return the
+  /// (possibly wrapped) pipeline. Null = no wrapping. Serial plans
+  /// (parallelism 1 without a parallel section) are not wrapped.
+  std::function<std::unique_ptr<exec::Operator>(std::unique_ptr<exec::Operator>,
+                                                size_t)>
+      wrap_worker_pipeline;
 };
 
 /// Builds an executable operator tree for `stmt` against `engine`'s catalog.

@@ -13,8 +13,10 @@ namespace {
 
 Result<ExecutionOutput> RunSelect(const SelectStatement& stmt, core::Engine* engine,
                                   const PlannerOptions& options,
+                                  const std::shared_ptr<exec::QueryContext>& context,
                                   std::vector<core::TraceEvent>* trace) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(auto plan, PlanSelect(stmt, engine, options));
+  plan->SetQueryContext(context);
   INSIGHTNOTES_ASSIGN_OR_RETURN(core::QueryResult result,
                                 engine->Execute(std::move(plan), trace));
   ExecutionOutput out;
@@ -22,6 +24,9 @@ Result<ExecutionOutput> RunSelect(const SelectStatement& stmt, core::Engine* eng
   out.result = std::move(result);
   return out;
 }
+
+/// SET knobs treat any negative value as "off".
+int64_t ClampNonNegative(int64_t value) { return value < 0 ? 0 : value; }
 
 Result<ExecutionOutput> RunCreateTable(const CreateTableStatement& stmt,
                                        core::Engine* engine) {
@@ -159,13 +164,32 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
     PlannerOptions options = planner_options_;
     // Tracing observes per-operator tuple order; keep the legacy serial plan.
     options.parallelism = trace != nullptr ? 1 : parallelism_;
-    return RunSelect(*select, engine_, options, trace);
+    context_->BeginStatement(statement_timeout_ms_, memory_limit_bytes_);
+    return RunSelect(*select, engine_, options, context_, trace);
   }
   if (auto* set = std::get_if<SetStatement>(&statement)) {
     if (EqualsIgnoreCase(set->name, "parallelism")) {
       parallelism_ = static_cast<size_t>(std::max<int64_t>(1, set->value));
       ExecutionOutput out;
       out.message = "parallelism = " + std::to_string(parallelism_);
+      return out;
+    }
+    if (EqualsIgnoreCase(set->name, "statement_timeout")) {
+      statement_timeout_ms_ = ClampNonNegative(set->value);
+      ExecutionOutput out;
+      out.message =
+          statement_timeout_ms_ > 0
+              ? "statement_timeout = " + std::to_string(statement_timeout_ms_) + " ms"
+              : "statement_timeout = off";
+      return out;
+    }
+    if (EqualsIgnoreCase(set->name, "memory_limit")) {
+      memory_limit_bytes_ = static_cast<size_t>(ClampNonNegative(set->value));
+      ExecutionOutput out;
+      out.message = memory_limit_bytes_ > 0
+                        ? "memory_limit = " + std::to_string(memory_limit_bytes_) +
+                              " bytes"
+                        : "memory_limit = off";
       return out;
     }
     return Status::InvalidArgument("unknown session knob '" + set->name + "'");
@@ -182,6 +206,8 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
     }
     exec::Operator* root = plan.get();
     root->SetMetricsEnabled(true);
+    plan->SetQueryContext(context_);
+    context_->BeginStatement(statement_timeout_ms_, memory_limit_bytes_);
     // The engine retains the plan for zoom-in re-execution, so `root`
     // outlives Execute and the counters can be snapshotted afterwards.
     INSIGHTNOTES_ASSIGN_OR_RETURN(core::QueryResult result,

@@ -6,12 +6,14 @@
 #define INSIGHTNOTES_SQL_SESSION_H_
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
 
 #include "common/result.h"
 #include "core/engine.h"
+#include "exec/query_context.h"
 #include "sql/planner.h"
 
 namespace insightnotes::sql {
@@ -36,22 +38,42 @@ class SqlSession {
         planner_options_(planner_options),
         parallelism_(planner_options.parallelism > 1
                          ? planner_options.parallelism
-                         : std::max<size_t>(1, std::thread::hardware_concurrency())) {}
+                         : std::max<size_t>(1, std::thread::hardware_concurrency())),
+        context_(std::make_shared<exec::QueryContext>()) {}
 
   /// Parses, plans and executes one statement. With `trace` non-null,
   /// SELECTs record per-operator tuple flow (traced queries always plan
   /// serially so events arrive in the legacy order).
+  ///
+  /// Every SELECT / EXPLAIN re-arms the session's QueryContext: the
+  /// statement runs under `SET STATEMENT_TIMEOUT` / `SET MEMORY_LIMIT` and
+  /// can be aborted mid-flight with CancelCurrent().
   Result<ExecutionOutput> Execute(std::string_view sql,
                                   std::vector<core::TraceEvent>* trace = nullptr);
+
+  /// Requests cancellation of the statement currently executing (from
+  /// another thread); it unwinds with kCancelled at its next cooperative
+  /// interrupt check. A no-op between statements (Execute re-arms the
+  /// flag).
+  void CancelCurrent() { context_->Cancel(); }
 
   core::Engine* engine() { return engine_; }
 
   size_t parallelism() const { return parallelism_; }
+  int64_t statement_timeout_ms() const { return statement_timeout_ms_; }
+  size_t memory_limit_bytes() const { return memory_limit_bytes_; }
+
+  /// The per-statement lifecycle state (test seam: CancelAtCheck,
+  /// cancel_checks, budget peaks).
+  const std::shared_ptr<exec::QueryContext>& query_context() { return context_; }
 
  private:
   core::Engine* engine_;
   PlannerOptions planner_options_;
   size_t parallelism_;
+  int64_t statement_timeout_ms_ = 0;  // 0 = no deadline.
+  size_t memory_limit_bytes_ = 0;     // 0 = unlimited.
+  std::shared_ptr<exec::QueryContext> context_;
 };
 
 /// Renders a result table ("a | b\n1 | x\n...") with one trailing summary

@@ -1,0 +1,245 @@
+// Query-lifecycle integration tests through the SQL session: SET
+// STATEMENT_TIMEOUT, SET MEMORY_LIMIT and CancelCurrent() must abort a
+// running plan — serial or parallel — with a clean kDeadlineExceeded /
+// kResourceExhausted / kCancelled Status within a bounded number of
+// cooperative interrupt checks, leaving the session able to answer the
+// next statement byte-identically to a fresh serial run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/fault_injection.h"
+#include "sql/session.h"
+#include "testutil.h"
+
+namespace insightnotes {
+namespace {
+
+using testutil::EngineFixture;
+using testutil::I;
+using testutil::S;
+
+constexpr int64_t kFactRows = 200;
+constexpr int64_t kBigRows = 2000;
+
+class CancellationTest : public EngineFixture {
+ protected:
+  void SetUp() override {
+    EngineFixture::SetUp();
+    CreateFigure2Tables();
+    CreateFigure2Instances();
+    ASSERT_TRUE(engine_
+                    ->CreateTable("t",
+                                  rel::Schema({{"id", rel::ValueType::kInt64, "t"},
+                                               {"grp", rel::ValueType::kInt64, "t"},
+                                               {"val", rel::ValueType::kInt64, "t"}}))
+                    .ok());
+    // A wide build-side table so SET MEMORY_LIMIT trips inside the
+    // hash-join build, not the driving scan.
+    ASSERT_TRUE(engine_
+                    ->CreateTable("big",
+                                  rel::Schema({{"k", rel::ValueType::kInt64, "big"},
+                                               {"pad", rel::ValueType::kString, "big"}}))
+                    .ok());
+    Random rng(3);
+    for (int64_t i = 0; i < kFactRows; ++i) {
+      ASSERT_TRUE(engine_
+                      ->Insert("t", rel::Tuple({I(i), I(i % 10),
+                                                I(static_cast<int64_t>(rng.Uniform(100)))}))
+                      .ok());
+    }
+    const std::string pad(512, 'x');
+    for (int64_t i = 0; i < kBigRows; ++i) {
+      ASSERT_TRUE(
+          engine_->Insert("big", rel::Tuple({I(i % kFactRows), S(pad)})).ok());
+    }
+  }
+
+  /// Renders a row result for byte-identity comparison.
+  static std::vector<std::string> Render(const core::QueryResult& result) {
+    std::vector<std::string> rows;
+    for (const core::AnnotatedTuple& row : result.rows) {
+      rows.push_back(row.tuple.ToString());
+    }
+    return rows;
+  }
+
+  Result<std::vector<std::string>> Run(sql::SqlSession& session,
+                                       const std::string& sql_text) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(sql::ExecutionOutput out, session.Execute(sql_text));
+    return Render(out.result);
+  }
+};
+
+TEST_F(CancellationTest, CancelAtCheckAbortsWithinBoundedBoundaries) {
+  const std::string sql =
+      "SELECT t.grp, COUNT(*), SUM(t.val) FROM t t GROUP BY t.grp ORDER BY t.grp";
+  sql::SqlSession serial_session(engine_.get());
+  ASSERT_TRUE(serial_session.Execute("SET PARALLELISM = 1").ok());
+  auto expected = Run(serial_session, sql);
+  ASSERT_TRUE(expected.ok());
+
+  for (size_t parallelism : {size_t{1}, size_t{8}}) {
+    sql::SqlSession session(engine_.get());
+    ASSERT_TRUE(
+        session.Execute("SET PARALLELISM = " + std::to_string(parallelism)).ok());
+    const uint64_t trip = 3;
+    session.query_context()->CancelAtCheck(trip);
+    auto cancelled = Run(session, sql);
+    ASSERT_FALSE(cancelled.ok()) << "parallelism " << parallelism;
+    EXPECT_TRUE(cancelled.status().IsCancelled()) << cancelled.status().ToString();
+    // Cooperative boundary bound: after the trip, every in-flight operator
+    // surfaces the cancellation at its next check — the total stays within
+    // a fixed slack of the trip point instead of running the plan dry.
+    EXPECT_LE(session.query_context()->cancel_checks(), trip + 200)
+        << "parallelism " << parallelism;
+
+    // Disarmed, the very next statement is byte-identical to serial.
+    session.query_context()->CancelAtCheck(0);
+    auto clean = Run(session, sql);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_EQ(*clean, *expected);
+  }
+}
+
+TEST_F(CancellationTest, CancelCurrentFromAnotherThread) {
+  // A stalled worker keeps the statement in flight while another thread
+  // calls CancelCurrent(); the cooperative checks pick the flag up at the
+  // next morsel boundary.
+  auto script = std::make_shared<exec::ExecFaultScript>();
+  script->AddFault({0, 1, exec::ExecFaultAction::kStall, /*stall_ms=*/300});
+  sql::PlannerOptions options;
+  options.wrap_worker_pipeline = [script](std::unique_ptr<exec::Operator> pipe,
+                                          size_t worker) {
+    return std::make_unique<exec::FaultInjectingOperator>(std::move(pipe), script,
+                                                          worker);
+  };
+  sql::SqlSession session(engine_.get(), options);
+  ASSERT_TRUE(session.Execute("SET PARALLELISM = 2").ok());
+
+  std::atomic<bool> done{false};
+  Status status = Status::OK();
+  std::thread query([&] {
+    auto result = session.Execute("SELECT t.id FROM t t WHERE t.val >= 0");
+    status = result.status();
+    done.store(true);
+  });
+  // Let the query reach the stall, then cancel from this thread.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  session.CancelCurrent();
+  query.join();
+  ASSERT_TRUE(done.load());
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+
+  // The session answers the next statement normally.
+  sql::SqlSession serial_session(engine_.get());
+  ASSERT_TRUE(serial_session.Execute("SET PARALLELISM = 1").ok());
+  auto expected = Run(serial_session, "SELECT t.id FROM t t WHERE t.val >= 0");
+  ASSERT_TRUE(expected.ok());
+  auto clean = Run(session, "SELECT t.id FROM t t WHERE t.val >= 0");
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(*clean, *expected);
+}
+
+TEST_F(CancellationTest, StatementTimeoutExpires) {
+  auto script = std::make_shared<exec::ExecFaultScript>();
+  script->AddFault({0, 1, exec::ExecFaultAction::kStall, /*stall_ms=*/150});
+  sql::PlannerOptions options;
+  options.wrap_worker_pipeline = [script](std::unique_ptr<exec::Operator> pipe,
+                                          size_t worker) {
+    return std::make_unique<exec::FaultInjectingOperator>(std::move(pipe), script,
+                                                          worker);
+  };
+  sql::SqlSession session(engine_.get(), options);
+  ASSERT_TRUE(session.Execute("SET PARALLELISM = 2").ok());
+  ASSERT_TRUE(session.Execute("SET STATEMENT_TIMEOUT = 20").ok());
+  auto timed_out = session.Execute("SELECT t.id FROM t t");
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_TRUE(timed_out.status().IsDeadlineExceeded())
+      << timed_out.status().ToString();
+  EXPECT_NE(timed_out.status().ToString().find("20 ms"), std::string::npos);
+
+  // SET STATEMENT_TIMEOUT = 0 turns the deadline off (stall and all).
+  ASSERT_TRUE(session.Execute("SET STATEMENT_TIMEOUT = 0").ok());
+  script->ClearFired();
+  auto clean = session.Execute("SELECT t.id FROM t t");
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+}
+
+TEST_F(CancellationTest, MemoryLimitAbortsHashJoinBuildByName) {
+  const std::string sql =
+      "SELECT t.id, big.pad FROM t t, big big WHERE t.id = big.k";
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    sql::SqlSession session(engine_.get());
+    ASSERT_TRUE(
+        session.Execute("SET PARALLELISM = " + std::to_string(parallelism)).ok());
+    // ~1 MB build side against a 256 KB budget: the driving scan fits, the
+    // hash-join build cannot.
+    ASSERT_TRUE(session.Execute("SET MEMORY_LIMIT = 262144").ok());
+    auto exhausted = session.Execute(sql);
+    ASSERT_FALSE(exhausted.ok()) << "parallelism " << parallelism;
+    EXPECT_TRUE(exhausted.status().IsResourceExhausted())
+        << exhausted.status().ToString();
+    EXPECT_NE(exhausted.status().ToString().find("HashJoinBuild"), std::string::npos)
+        << exhausted.status().ToString();
+    EXPECT_NE(exhausted.status().ToString().find("memory limit exceeded"),
+              std::string::npos);
+
+    // Lifting the limit makes the same query complete.
+    ASSERT_TRUE(session.Execute("SET MEMORY_LIMIT = 0").ok());
+    auto clean = session.Execute(sql);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_EQ(clean->result.rows.size(), static_cast<size_t>(kBigRows));
+  }
+}
+
+TEST_F(CancellationTest, ExplainAnalyzeReportsLifecycleCounters) {
+  sql::SqlSession session(engine_.get());
+  ASSERT_TRUE(session.Execute("SET PARALLELISM = 1").ok());
+  auto out = session.Execute(
+      "EXPLAIN ANALYZE SELECT t.grp, SUM(t.val) FROM t t GROUP BY t.grp "
+      "ORDER BY t.grp");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->message.find("cancel_checks="), std::string::npos) << out->message;
+  EXPECT_NE(out->message.find("mem_peak="), std::string::npos) << out->message;
+}
+
+TEST_F(CancellationTest, CancellationStressLeavesNoTornState) {
+  // Hammer one session with alternating seeded cancellations and clean
+  // runs at full parallelism; every clean run must match serial exactly.
+  const std::string sql =
+      "SELECT t.grp, COUNT(*) FROM t t, big big WHERE t.id = big.k "
+      "GROUP BY t.grp ORDER BY t.grp";
+  sql::SqlSession serial_session(engine_.get());
+  ASSERT_TRUE(serial_session.Execute("SET PARALLELISM = 1").ok());
+  auto expected = Run(serial_session, sql);
+  ASSERT_TRUE(expected.ok());
+
+  sql::SqlSession session(engine_.get());
+  ASSERT_TRUE(session.Execute("SET PARALLELISM = 8").ok());
+  Random rng(99);
+  for (int round = 0; round < 25; ++round) {
+    const uint64_t trip = 1 + rng.Uniform(60);
+    session.query_context()->CancelAtCheck(trip);
+    auto cancelled = Run(session, sql);
+    if (!cancelled.ok()) {
+      EXPECT_TRUE(cancelled.status().IsCancelled())
+          << "round " << round << ": " << cancelled.status().ToString();
+    }
+    session.query_context()->CancelAtCheck(0);
+    auto clean = Run(session, sql);
+    ASSERT_TRUE(clean.ok()) << "round " << round << ": "
+                            << clean.status().ToString();
+    ASSERT_EQ(*clean, *expected) << "round " << round << " trip " << trip;
+  }
+}
+
+}  // namespace
+}  // namespace insightnotes

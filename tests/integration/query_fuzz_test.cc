@@ -15,11 +15,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "exec/query_context.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
 #include "testutil.h"
@@ -196,8 +198,9 @@ class QueryFuzzTest : public EngineFixture {
 
   // ---- Differential execution. ----
 
-  core::QueryResult Execute(const std::string& sql_text, size_t parallelism,
-                            size_t morsel_size) {
+  Result<core::QueryResult> TryExecute(const std::string& sql_text, size_t parallelism,
+                                       size_t morsel_size,
+                                       std::shared_ptr<exec::QueryContext> context) {
     auto statement = sql::Parse(sql_text);
     EXPECT_TRUE(statement.ok()) << statement.status().ToString();
     auto* select = std::get_if<sql::SelectStatement>(&*statement);
@@ -205,9 +208,15 @@ class QueryFuzzTest : public EngineFixture {
     sql::PlannerOptions options;
     options.parallelism = parallelism;
     options.morsel_size = morsel_size;
-    auto plan = sql::PlanSelect(*select, engine_.get(), options);
-    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
-    auto result = engine_->Execute(std::move(*plan));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(auto plan,
+                                  sql::PlanSelect(*select, engine_.get(), options));
+    if (context != nullptr) plan->SetQueryContext(context);
+    return engine_->Execute(std::move(plan));
+  }
+
+  core::QueryResult Execute(const std::string& sql_text, size_t parallelism,
+                            size_t morsel_size) {
+    auto result = TryExecute(sql_text, parallelism, morsel_size, nullptr);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return result.ok() ? std::move(*result) : core::QueryResult{};
   }
@@ -235,6 +244,67 @@ class QueryFuzzTest : public EngineFixture {
     return rows;
   }
 };
+
+// Cancellation fuzzing: each random query runs once with a seeded
+// cancellation point (the trip fires at a random cooperative interrupt
+// check) and then again uncancelled. A tripped run must fail with exactly
+// kCancelled; the uncancelled rerun must stay byte-identical to serial —
+// cancellation mid-flight (including mid-parallel-plan) leaves no torn
+// shared state behind. Replay with INSIGHTNOTES_FUZZ_SEED=<seed>.
+TEST_F(QueryFuzzTest, SeededCancellationLeavesEngineConsistent) {
+  const uint64_t seed = FuzzSeed();
+  Random rng(seed + 1);  // Distinct stream from the byte-identity fuzz.
+  auto context = std::make_shared<exec::QueryContext>();
+  constexpr int kCancelQueries = 50;
+  int cancelled_runs = 0;
+  for (int q = 0; q < kCancelQueries; ++q) {
+    const std::string sql = GenQuery(rng);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" + std::to_string(q) +
+                 " sql: " + sql);
+    std::vector<std::string> serial = Run(sql, 1, 16);
+    ASSERT_FALSE(::testing::Test::HasFailure())
+        << "replay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << sql;
+
+    const size_t parallelism = rng.Bernoulli(0.5) ? 8 : 2;
+    const uint64_t trip = 1 + rng.Uniform(80);
+    context->CancelAtCheck(trip);
+    context->BeginStatement(0, 0);
+    auto tripped = TryExecute(sql, parallelism, 16, context);
+    if (!tripped.ok()) {
+      ++cancelled_runs;
+      ASSERT_TRUE(tripped.status().IsCancelled())
+          << "trip=" << trip << " parallelism=" << parallelism
+          << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << sql
+          << "\n  " << tripped.status().ToString();
+    }
+    // Disarmed, the same query must come back byte-identical to serial.
+    context->CancelAtCheck(0);
+    context->BeginStatement(0, 0);
+    auto clean = TryExecute(sql, parallelism, 16, context);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString()
+                            << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed;
+    std::vector<std::string> rows;
+    for (const core::AnnotatedTuple& row : clean->rows) {
+      std::ostringstream os;
+      os << row.tuple.ToString();
+      for (const auto& summary : row.summaries) {
+        os << " || " << summary->instance_name() << "=" << summary->Render();
+      }
+      for (const auto& attachment : row.attachments) {
+        os << " [A" << attachment.id << ":";
+        for (size_t c : attachment.columns) os << c << ",";
+        os << "]";
+      }
+      rows.push_back(os.str());
+    }
+    ASSERT_EQ(rows, serial) << "parallelism=" << parallelism << " trip=" << trip
+                            << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  "
+                            << sql;
+  }
+  // The sweep must actually exercise cancellation, not just finish early.
+  EXPECT_GT(cancelled_runs, kCancelQueries / 4)
+      << "too few runs tripped; widen the trip range";
+}
 
 TEST_F(QueryFuzzTest, RandomQueriesMatchSerialByteForByte) {
   const uint64_t seed = FuzzSeed();

@@ -67,6 +67,10 @@ def check_report(path):
     if status:
         return status
 
+    status = check_optimizer_sweep(path, benchmarks)
+    if status:
+        return status
+
     print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
     return 0
 
@@ -221,6 +225,48 @@ def check_cancellation_sweep(path, benchmarks):
                               f"saw budgeted={sorted(sides)}")
     if overhead and max(overhead) > 1 and 1 not in overhead:
         return fail(path, "BM_MemoryBudgetOverhead: no parallelism-1 baseline")
+    return 0
+
+
+# The optimized plan may not regress past this factor of the rule-driven
+# plan. The bench workloads are engineered with >= 5x margins (index probe
+# vs 20k-row scan, 1-row-first join vs a 100k-row intermediate), so 1.25
+# only absorbs timer noise, never a real plan-choice regression.
+OPTIMIZER_TOLERANCE = 1.25
+
+
+def check_optimizer_sweep(path, benchmarks):
+    """The optimizer families (BM_Opt*) sweep the same query rule-driven
+    (optimized=0) and cost-based (optimized=1). Both sides must be present
+    per family and the optimized side must be no slower than the
+    rule-driven side (within OPTIMIZER_TOLERANCE) — the optimizer's whole
+    contract is that it never picks a worse plan than the identity one."""
+    families = {}
+    for i, entry in enumerate(benchmarks):
+        name = entry.get("name", "")
+        if not name.startswith("BM_Opt"):
+            continue
+        where = f"benchmarks[{i}] ({name})"
+        optimized = entry.get("optimized")
+        if optimized not in (0, 1, 0.0, 1.0):
+            return fail(path, f"{where}.optimized missing or not 0/1")
+        family = name.split("/")[0]
+        families.setdefault(family, {}).setdefault(int(optimized), []).append(
+            float(entry["real_time"]))
+    if not families:
+        # Reports from other bench binaries have no optimizer families.
+        return 0
+
+    for family, sides in sorted(families.items()):
+        if set(sides) != {0, 1}:
+            return fail(path, f"{family}: needs both rule-driven and optimized "
+                              f"entries, saw optimized={sorted(sides)}")
+        baseline = min(sides[0])
+        optimized = min(sides[1])
+        if optimized > baseline * OPTIMIZER_TOLERANCE:
+            return fail(path, f"{family}: optimized plan took {optimized:.3f} "
+                              f"vs rule-driven {baseline:.3f} (> {OPTIMIZER_TOLERANCE}x); "
+                              f"the cost-based plan regressed")
     return 0
 
 

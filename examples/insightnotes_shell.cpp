@@ -44,6 +44,9 @@ void PrintHelp() {
       "                              | CLUSTER [THRESHOLD x] | SNIPPET;\n"
       "  TRAIN SUMMARY name LABEL 'l' WITH 'examples...';\n"
       "  LINK SUMMARY name TO t;   UNLINK SUMMARY name FROM t;\n"
+      "  ANALYZE t;                collect optimizer statistics\n"
+      "  CREATE INDEX ON t(col);   enable index-backed access paths\n"
+      "  SET OPTIMIZER = on|off;   toggle cost-based planning\n"
       "Shell commands: .help .demo .tables .instances .trace on|off .cache .quit\n";
 }
 

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <filesystem>
+#include <map>
 #include <utility>
 
 #include "common/clock.h"
@@ -8,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "core/recovery.h"
 #include "exec/seq_scan.h"
+#include "rel/stats.h"
 #include "storage/wal.h"  // storage::FsyncDirOf
 
 namespace insightnotes::core {
@@ -375,6 +377,58 @@ Result<rel::Table*> Engine::CreateTable(const std::string& name, rel::Schema sch
 Result<rel::RowId> Engine::Insert(const std::string& table, rel::Tuple tuple) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
   return t->Insert(tuple);
+}
+
+Result<uint64_t> Engine::Analyze(const std::string& table) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
+  const rel::Schema& schema = t->schema();
+  std::vector<std::vector<rel::Value>> column_values(schema.NumColumns());
+  uint64_t rows = 0;
+  auto stats = std::make_shared<rel::TableStats>();
+  INSIGHTNOTES_RETURN_IF_ERROR(
+      t->Scan([&](rel::RowId row, const rel::Tuple& tuple) {
+        ++rows;
+        for (size_t c = 0; c < schema.NumColumns(); ++c) {
+          column_values[c].push_back(tuple.ValueAt(c));
+        }
+        // Live (non-archived) annotation count of this row, for
+        // SUMMARY_COUNT selectivity.
+        int64_t live = 0;
+        for (const ann::Attachment& attachment : store_->OnRow(t->id(), row)) {
+          if (!store_->IsArchived(attachment.annotation)) ++live;
+        }
+        stats->ann_count_freq.emplace_back(live, 1);
+        if (live > 0) {
+          ++stats->annotated_rows;
+          stats->total_annotations += static_cast<uint64_t>(live);
+        }
+        return true;
+      }));
+  stats->row_count = rows;
+  for (std::vector<rel::Value>& values : column_values) {
+    stats->columns.push_back(rel::BuildColumnStats(std::move(values)));
+  }
+  // Collapse the per-row (count, 1) entries into the sorted distribution.
+  {
+    std::map<int64_t, uint64_t> freq;
+    for (const auto& [count, n] : stats->ann_count_freq) freq[count] += n;
+    stats->ann_count_freq.assign(freq.begin(), freq.end());
+  }
+  for (const SummaryInstance* instance : manager_->LinkedTo(t->id())) {
+    rel::InstanceDensity density;
+    density.instance = instance->name();
+    density.annotated_rows = stats->annotated_rows;
+    density.total_annotations = stats->total_annotations;
+    stats->instances.push_back(std::move(density));
+  }
+  t->SetStats(std::move(stats));
+  return rows;
+}
+
+Status Engine::CreateIndex(const std::string& table, const std::string& column) {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
+  INSIGHTNOTES_ASSIGN_OR_RETURN(size_t position, t->schema().IndexOf(column));
+  return t->CreateIndex(position);
 }
 
 Result<rel::Table*> Engine::ValidateAnnotateSpec(const AnnotateSpec& spec) {

@@ -191,6 +191,18 @@ class Engine {
   Result<rel::Table*> CreateTable(const std::string& name, rel::Schema schema);
   Result<rel::RowId> Insert(const std::string& table, rel::Tuple tuple);
 
+  // --- Statistics & indexes --------------------------------------------------
+  /// ANALYZE <table>: one scan collecting per-column distributions (NDV,
+  /// min/max, equi-depth histogram, null fraction), the live-annotation
+  /// count distribution, and per-instance summary density; installs the
+  /// snapshot on the table for the cost-based optimizer. Returns the rows
+  /// analyzed. Stats are advisory — plans stay correct (just differently
+  /// shaped) when they go stale; re-run ANALYZE after bulk changes.
+  Result<uint64_t> Analyze(const std::string& table);
+  /// CREATE INDEX ON <table>(<column>): builds (or rebuilds) the ordered
+  /// secondary index the optimizer's index-backed access paths probe.
+  Status CreateIndex(const std::string& table, const std::string& column);
+
   // --- Annotations ----------------------------------------------------------
   /// Adds an annotation and incrementally maintains affected summaries.
   Result<ann::AnnotationId> Annotate(const AnnotateSpec& spec);

@@ -1,0 +1,78 @@
+#include "exec/index_scan.h"
+
+#include <algorithm>
+
+namespace insightnotes::exec {
+
+std::string IndexProbeSpec::ToString() const {
+  std::string out =
+      column_name.empty() ? "col" + std::to_string(column) : column_name;
+  if (has_eq) return out + " = " + eq.ToString();
+  std::string lo_s = has_lo ? lo.ToString() : "-inf";
+  std::string hi_s = has_hi ? hi.ToString() : "+inf";
+  return out + " in [" + lo_s + ", " + hi_s + "]";
+}
+
+Status ProbeIndex(const rel::Table& table, const IndexProbeSpec& probe,
+                  std::vector<rel::RowId>* out) {
+  const rel::OrderedIndex* index = table.IndexOn(probe.column);
+  if (index == nullptr) {
+    return Status::InvalidArgument("table '" + table.name() + "' has no index on column " +
+                                   std::to_string(probe.column));
+  }
+  size_t first = out->size();
+  if (probe.has_eq) {
+    index->LookupInto(probe.eq, out);
+  } else {
+    index->RangeInto(probe.has_lo ? &probe.lo : nullptr,
+                     probe.has_hi ? &probe.hi : nullptr, out);
+  }
+  // The index yields rows grouped by key; re-establish global RowId order
+  // so the emission order is a subsequence of the SeqScan order.
+  std::sort(out->begin() + first, out->end());
+  return Status::OK();
+}
+
+IndexScanOperator::IndexScanOperator(const rel::Table* table, std::string alias,
+                                     core::SummaryManager* manager,
+                                     const ann::AnnotationStore* store,
+                                     IndexProbeSpec probe, bool with_summaries)
+    : table_(table),
+      alias_(std::move(alias)),
+      manager_(manager),
+      store_(store),
+      probe_(std::move(probe)),
+      with_summaries_(with_summaries),
+      schema_(table->schema().WithQualifier(alias_.empty() ? table->name() : alias_)) {
+  if (alias_.empty()) alias_ = table->name();
+}
+
+Status IndexScanOperator::OpenImpl() {
+  rows_.clear();
+  cursor_ = 0;
+  return ProbeIndex(*table_, probe_, &rows_);
+}
+
+Result<bool> IndexScanOperator::NextImpl(core::AnnotatedTuple* out) {
+  while (cursor_ < rows_.size()) {
+    size_t position = cursor_;
+    rel::RowId row = rows_[cursor_++];
+    if (!table_->IsLive(row)) continue;  // Deleted since the probe.
+    INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Tuple tuple, table_->Get(row));
+    *out = core::AnnotatedTuple(std::move(tuple));
+    if (stamp_ranks_) out->order_ranks.assign(1, static_cast<uint32_t>(position));
+    if (with_summaries_) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(out->summaries,
+                                    manager_->SummariesFor(table_->id(), row));
+      for (const ann::Attachment& att : store_->OnRow(table_->id(), row)) {
+        if (store_->IsArchived(att.annotation)) continue;
+        out->attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+      }
+    }
+    Trace(*out);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace insightnotes::exec

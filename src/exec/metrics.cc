@@ -8,6 +8,8 @@ PlanMetrics CollectPlanMetrics(Operator* root) {
   PlanMetrics node;
   node.name = root->Name();
   node.metrics = root->metrics();
+  node.est_rows = root->PlannerEstimate();
+  node.has_est = root->HasPlannerEstimate();
   for (Operator* child : root->Children()) {
     node.children.push_back(CollectPlanMetrics(child));
     node.rows_in += node.children.back().metrics.rows_out;
@@ -18,14 +20,28 @@ PlanMetrics CollectPlanMetrics(Operator* root) {
 namespace {
 
 void RenderShape(Operator* op, size_t depth, std::ostringstream* os) {
-  *os << std::string(depth * 2, ' ') << "-> " << op->Name() << "\n";
+  *os << std::string(depth * 2, ' ') << "-> " << op->Name()
+      << " (est_rows=" << op->PlannerEstimate() << ")\n";
   for (Operator* child : op->Children()) RenderShape(child, depth + 1, os);
+}
+
+/// Estimated-vs-actual drift ratio, always >= 1 (max/min, zero-safe: zero
+/// counts are treated as 1 so a 0-vs-0 operator reports drift 1).
+double DriftRatio(uint64_t est, uint64_t actual) {
+  double a = static_cast<double>(est == 0 ? 1 : est);
+  double b = static_cast<double>(actual == 0 ? 1 : actual);
+  return a > b ? a / b : b / a;
 }
 
 void RenderNode(const PlanMetrics& node, size_t depth, std::ostringstream* os) {
   *os << std::string(depth * 2, ' ') << "-> " << node.name << "  (rows_in="
-      << node.rows_in << " rows_out=" << node.metrics.rows_out
-      << " batches=" << node.metrics.batches_out;
+      << node.rows_in << " rows_out=" << node.metrics.rows_out;
+  if (node.has_est) {
+    double drift = DriftRatio(node.est_rows, node.metrics.rows_out);
+    *os << " est_rows=" << node.est_rows << " drift=" << drift
+        << (drift > 10.0 ? " [EST-DRIFT>10x]" : "");
+  }
+  *os << " batches=" << node.metrics.batches_out;
   if (node.metrics.morsels > 0) *os << " morsels=" << node.metrics.morsels;
   if (node.metrics.build_partitions > 0) {
     *os << " build_partitions=" << node.metrics.build_partitions;

@@ -18,7 +18,11 @@ namespace insightnotes::exec {
 struct PlanMetrics {
   std::string name;
   OperatorMetrics metrics;
-  uint64_t rows_in = 0;  // Sum of children's rows_out.
+  uint64_t rows_in = 0;   // Sum of children's rows_out.
+  uint64_t est_rows = 0;  // Planner's cardinality estimate (PlannerEstimate).
+  /// True when the planner stamped est_rows; drift is only meaningful (and
+  /// only rendered) then — heuristic fallbacks would flag spurious drift.
+  bool has_est = false;
   std::vector<PlanMetrics> children;
 };
 

@@ -86,6 +86,16 @@ class Operator {
   /// reserve materialization buffers (e.g. the hash-join build vector).
   virtual size_t EstimatedRows() const { return 0; }
 
+  /// Cost-based planner's output-cardinality estimate for this operator.
+  /// Stamped by the optimizer when it planned the query; EXPLAIN [ANALYZE]
+  /// reads PlannerEstimate(), which falls back to the operator's own
+  /// structural hint when the optimizer did not run.
+  void SetPlannerEstimate(size_t rows) { planner_est_ = rows; }
+  size_t PlannerEstimate() const {
+    return planner_est_ != kNoPlannerEstimate ? planner_est_ : EstimatedRows();
+  }
+  bool HasPlannerEstimate() const { return planner_est_ != kNoPlannerEstimate; }
+
   /// Installs `sink` on this operator and its children.
   virtual void SetTraceSink(TraceSink sink) {
     for (Operator* child : Children()) child->SetTraceSink(sink);
@@ -165,6 +175,10 @@ class Operator {
   std::shared_ptr<QueryContext> context_;
   MemoryReservation reservation_;
   uint64_t next_calls_ = 0;  // Next() invocations since Open, for the stride.
+
+ private:
+  static constexpr size_t kNoPlannerEstimate = static_cast<size_t>(-1);
+  size_t planner_est_ = kNoPlannerEstimate;
 };
 
 }  // namespace insightnotes::exec

@@ -53,6 +53,19 @@ Status ScanMorselSource::Reset() {
   // The prefetch is the plan's first big materialization: charge it row by
   // row (batched into slabs by the reservation) so an over-budget scan
   // aborts before the whole table is resident.
+  if (has_probe_) {
+    std::vector<rel::RowId> matches;
+    INSIGHTNOTES_RETURN_IF_ERROR(ProbeIndex(*table_, probe_, &matches));
+    for (rel::RowId row : matches) {
+      if (!table_->IsLive(row)) continue;
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Tuple tuple, table_->Get(row));
+      INSIGHTNOTES_RETURN_IF_ERROR(
+          reservation_.Charge(core::ApproxBytes(tuple) + sizeof(row)));
+      rows_.push_back(row);
+      tuples_.push_back(std::move(tuple));
+    }
+    return Status::OK();
+  }
   Status charge;
   INSIGHTNOTES_RETURN_IF_ERROR(
       table_->Scan([&](rel::RowId row, const rel::Tuple& tuple) {
@@ -99,6 +112,7 @@ Status ScanMorselSource::Materialize(uint64_t morsel, core::AnnotatedBatch* out)
   out->tuples.reserve(end - begin);
   for (size_t i = begin; i < end; ++i) {
     core::AnnotatedTuple tuple(tuples_[i]);
+    if (stamp_ranks_) tuple.order_ranks.assign(1, static_cast<uint32_t>(i));
     if (with_summaries_) {
       INSIGHTNOTES_ASSIGN_OR_RETURN(tuple.summaries,
                                     manager_->SummariesFor(table_->id(), rows_[i]));

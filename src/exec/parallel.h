@@ -30,6 +30,7 @@
 #include "annotation/annotation_store.h"
 #include "common/thread_pool.h"
 #include "core/summary_manager.h"
+#include "exec/index_scan.h"
 #include "exec/operator.h"
 #include "rel/table.h"
 
@@ -117,6 +118,24 @@ class ScanMorselSource final : public SharedPlanState {
   /// dispatching. Set by the planner before execution.
   void SetQuota(std::shared_ptr<RowQuota> quota) { quota_ = std::move(quota); }
 
+  /// Restricts the materialized rows to an index probe's matches (see
+  /// exec/index_scan.h): Reset probes the table's index instead of
+  /// scanning, yielding rows in ascending RowId order — a subsequence of
+  /// the full-scan order, so morsel-order gathering semantics carry over
+  /// unchanged. Set by the planner before execution.
+  void SetIndexProbe(IndexProbeSpec probe) {
+    probe_ = std::move(probe);
+    has_probe_ = true;
+  }
+  bool has_probe() const { return has_probe_; }
+  const IndexProbeSpec& probe() const { return probe_; }
+
+  /// See SeqScanOperator::EnableRankStamping: Materialize stamps each
+  /// tuple's order_ranks with its global scan position. Positions are
+  /// stable across morsels (index into the materialized row vector), so
+  /// parallel and serial plans stamp identical ranks.
+  void EnableRankStamping() { stamp_ranks_ = true; }
+
   /// Rows of morsels never dispatched (quota stopped the scan early).
   /// Meaningful once the parallel section has drained.
   size_t UndispatchedRows() const;
@@ -139,6 +158,10 @@ class ScanMorselSource final : public SharedPlanState {
   size_t morsel_size_;
   rel::Schema schema_;
 
+  IndexProbeSpec probe_;            // Valid when has_probe_.
+  bool has_probe_ = false;
+  bool stamp_ranks_ = false;
+
   std::vector<rel::RowId> rows_;    // Live row ids, insertion order.
   std::vector<rel::Tuple> tuples_;  // Prefetched data tuples, same order.
   std::atomic<uint64_t> next_morsel_{0};
@@ -157,6 +180,10 @@ class MorselScanOperator final : public Operator {
 
   const rel::Schema& OutputSchema() const override { return source_->schema(); }
   std::string Name() const override {
+    if (source_->has_probe()) {
+      return "MorselIndexScan(" + source_->alias() + "." +
+             source_->probe().ToString() + ")";
+    }
     return "MorselScan(" + source_->alias() + ")";
   }
   size_t EstimatedRows() const override { return source_->EstimatedRows(); }

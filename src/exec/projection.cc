@@ -93,6 +93,9 @@ Status ProjectOperator::ProjectTuple(core::AnnotatedTuple* in_ptr,
   out->tuple = std::move(projected);
   out->summaries = std::move(in.summaries);
   out->attachments = std::move(surviving);
+  // Per-table Theorem-1 projections sit below the joins of a reordered
+  // plan; carry the order keys through to the RestoreOrder above.
+  out->order_ranks = std::move(in.order_ranks);
   return Status::OK();
 }
 

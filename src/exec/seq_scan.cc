@@ -26,9 +26,11 @@ Status SeqScanOperator::OpenImpl() {
 
 Result<bool> SeqScanOperator::NextImpl(core::AnnotatedTuple* out) {
   if (cursor_ >= rows_.size()) return false;
+  size_t position = cursor_;
   rel::RowId row = rows_[cursor_++];
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Tuple tuple, table_->Get(row));
   *out = core::AnnotatedTuple(std::move(tuple));
+  if (stamp_ranks_) out->order_ranks.assign(1, static_cast<uint32_t>(position));
   if (with_summaries_) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(out->summaries,
                                   manager_->SummariesFor(table_->id(), row));

@@ -31,6 +31,11 @@ class SeqScanOperator final : public Operator {
     return static_cast<size_t>(table_->NumRows());
   }
 
+  /// Reordered plans only: stamp each emitted tuple's order_ranks with its
+  /// scan-emission position, the sort key the RestoreOrderOperator uses to
+  /// re-establish the canonical FROM-order output.
+  void EnableRankStamping() { stamp_ranks_ = true; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(core::AnnotatedTuple* out) override;
@@ -41,6 +46,7 @@ class SeqScanOperator final : public Operator {
   core::SummaryManager* manager_;
   const ann::AnnotationStore* store_;
   bool with_summaries_;
+  bool stamp_ranks_ = false;
   rel::Schema schema_;
 
   // Materialized row ids (tables are mutable between Open calls).

@@ -45,9 +45,9 @@ Status HashIndex::Remove(const Value& key, RowId row) {
   return Status::OK();
 }
 
-std::vector<RowId> HashIndex::Lookup(const Value& key) const {
+void HashIndex::LookupInto(const Value& key, std::vector<RowId>* out) const {
   auto it = map_.find(key);
-  return it == map_.end() ? std::vector<RowId>{} : it->second;
+  if (it != map_.end()) out->insert(out->end(), it->second.begin(), it->second.end());
 }
 
 void OrderedIndex::Insert(const Value& key, RowId row) {
@@ -67,19 +67,18 @@ Status OrderedIndex::Remove(const Value& key, RowId row) {
   return Status::OK();
 }
 
-std::vector<RowId> OrderedIndex::Lookup(const Value& key) const {
+void OrderedIndex::LookupInto(const Value& key, std::vector<RowId>* out) const {
   auto it = map_.find(key);
-  return it == map_.end() ? std::vector<RowId>{} : it->second;
+  if (it != map_.end()) out->insert(out->end(), it->second.begin(), it->second.end());
 }
 
-std::vector<RowId> OrderedIndex::Range(const Value* lo, const Value* hi) const {
+void OrderedIndex::RangeInto(const Value* lo, const Value* hi,
+                             std::vector<RowId>* out) const {
   auto begin = lo != nullptr ? map_.lower_bound(*lo) : map_.begin();
   auto end = hi != nullptr ? map_.upper_bound(*hi) : map_.end();
-  std::vector<RowId> out;
   for (auto it = begin; it != end; ++it) {
-    out.insert(out.end(), it->second.begin(), it->second.end());
+    out->insert(out->end(), it->second.begin(), it->second.end());
   }
-  return out;
 }
 
 }  // namespace insightnotes::rel

@@ -36,8 +36,15 @@ class HashIndex {
   void Insert(const Value& key, RowId row);
   /// Removes one (key, row) pairing; NotFound if absent.
   Status Remove(const Value& key, RowId row);
+  /// Appends the rows with exactly this key to `out` — the allocation-free
+  /// probe path (zoom-in, IndexScan).
+  void LookupInto(const Value& key, std::vector<RowId>* out) const;
   /// Rows with exactly this key (empty vector if none).
-  std::vector<RowId> Lookup(const Value& key) const;
+  std::vector<RowId> Lookup(const Value& key) const {
+    std::vector<RowId> out;
+    LookupInto(key, &out);
+    return out;
+  }
   size_t NumEntries() const { return num_entries_; }
 
  private:
@@ -50,9 +57,20 @@ class OrderedIndex {
  public:
   void Insert(const Value& key, RowId row);
   Status Remove(const Value& key, RowId row);
-  std::vector<RowId> Lookup(const Value& key) const;
+  /// Append-into probe paths (no per-probe vector allocation).
+  void LookupInto(const Value& key, std::vector<RowId>* out) const;
+  void RangeInto(const Value* lo, const Value* hi, std::vector<RowId>* out) const;
+  std::vector<RowId> Lookup(const Value& key) const {
+    std::vector<RowId> out;
+    LookupInto(key, &out);
+    return out;
+  }
   /// Rows with lo <= key <= hi. Null bounds mean unbounded.
-  std::vector<RowId> Range(const Value* lo, const Value* hi) const;
+  std::vector<RowId> Range(const Value* lo, const Value* hi) const {
+    std::vector<RowId> out;
+    RangeInto(lo, hi, &out);
+    return out;
+  }
   size_t NumEntries() const { return num_entries_; }
 
  private:

@@ -29,6 +29,9 @@ Result<RowId> Table::Insert(const Tuple& tuple) {
   RowId row = rows_.size();
   rows_.push_back(rid);
   ++num_live_;
+  for (auto& [column, index] : indexes_) {
+    index.Insert(tuple.ValueAt(column), row);
+  }
   return row;
 }
 
@@ -46,6 +49,13 @@ Status Table::Delete(RowId row) {
     return Status::NotFound("row " + std::to_string(row) + " not found in table '" +
                             name_ + "'");
   }
+  if (!indexes_.empty()) {
+    // Fetch the keys before the heap record goes away.
+    INSIGHTNOTES_ASSIGN_OR_RETURN(Tuple tuple, Get(row));
+    for (auto& [column, index] : indexes_) {
+      INSIGHTNOTES_RETURN_IF_ERROR(index.Remove(tuple.ValueAt(column), row));
+    }
+  }
   INSIGHTNOTES_RETURN_IF_ERROR(heap_.Delete(rows_[row]));
   rows_[row] = storage::RecordId{};
   --num_live_;
@@ -53,6 +63,19 @@ Status Table::Delete(RowId row) {
 }
 
 bool Table::IsLive(RowId row) const { return row < rows_.size() && rows_[row].valid(); }
+
+Status Table::CreateIndex(size_t column) {
+  if (column >= schema_.NumColumns()) {
+    return Status::InvalidArgument("no column " + std::to_string(column) +
+                                   " in table '" + name_ + "'");
+  }
+  OrderedIndex& index = indexes_[column];
+  index = OrderedIndex{};  // Rebuild from scratch if it already existed.
+  return Scan([&](RowId row, const Tuple& tuple) {
+    index.Insert(tuple.ValueAt(column), row);
+    return true;
+  });
+}
 
 Status Table::Scan(const std::function<bool(RowId, const Tuple&)>& fn) const {
   for (RowId row = 0; row < rows_.size(); ++row) {

@@ -7,11 +7,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "rel/index.h"
 #include "rel/schema.h"
+#include "rel/stats.h"
 #include "rel/tuple.h"
 #include "storage/heap_file.h"
 
@@ -50,6 +55,29 @@ class Table {
 
   uint64_t NumRows() const { return num_live_; }
 
+  /// Builds (or rebuilds) an ordered secondary index over `column`,
+  /// scanning the existing rows; Insert/Delete maintain it afterwards.
+  Status CreateIndex(size_t column);
+
+  /// The index on `column`, or null if none was created. The pointer stays
+  /// valid for the table's lifetime (indexes are never dropped).
+  const OrderedIndex* IndexOn(size_t column) const {
+    auto it = indexes_.find(column);
+    return it == indexes_.end() ? nullptr : &it->second;
+  }
+
+  /// Immutable optimizer-statistics snapshot (null until ANALYZE ran).
+  /// Thread-safe: readers get a consistent shared_ptr while ANALYZE swaps
+  /// in a fresh snapshot.
+  std::shared_ptr<const TableStats> stats() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
+  void SetStats(std::shared_ptr<const TableStats> stats) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_ = std::move(stats);
+  }
+
  private:
   Status CheckTuple(const Tuple& tuple) const;
 
@@ -60,6 +88,11 @@ class Table {
   // row id -> heap record; invalid RecordId marks a deleted row.
   std::vector<storage::RecordId> rows_;
   uint64_t num_live_ = 0;
+  // Secondary indexes by column position. std::map keeps IndexOn pointers
+  // stable across CreateIndex calls on other columns.
+  std::map<size_t, OrderedIndex> indexes_;
+  mutable std::mutex stats_mutex_;
+  std::shared_ptr<const TableStats> stats_;
 };
 
 }  // namespace insightnotes::rel

@@ -145,11 +145,23 @@ struct ExplainStatement {
   SelectStatement select;
 };
 
+/// ANALYZE <table> — collect optimizer statistics (rel/stats.h).
+struct AnalyzeStatement {
+  std::string table;
+};
+
+/// CREATE INDEX ON <table> ( <column> ) — ordered secondary index used by
+/// the optimizer's index-backed access paths.
+struct CreateIndexStatement {
+  std::string table;
+  std::string column;
+};
+
 using Statement =
     std::variant<SelectStatement, CreateTableStatement, InsertStatement,
                  AnnotateStatement, ZoomInStatement, CreateInstanceStatement,
                  TrainInstanceStatement, LinkStatement, SetStatement,
-                 ExplainStatement>;
+                 ExplainStatement, AnalyzeStatement, CreateIndexStatement>;
 
 }  // namespace insightnotes::sql
 

@@ -1,0 +1,114 @@
+#include "sql/card_est.h"
+
+#include <algorithm>
+
+namespace insightnotes::sql {
+
+namespace {
+
+double Clamp01(double s) { return std::min(1.0, std::max(0.0, s)); }
+
+/// Flips an asymmetric comparison for <literal> <op> <column> normalization.
+rel::CompareOp FlipOp(rel::CompareOp op) {
+  switch (op) {
+    case rel::CompareOp::kLt: return rel::CompareOp::kGt;
+    case rel::CompareOp::kLe: return rel::CompareOp::kGe;
+    case rel::CompareOp::kGt: return rel::CompareOp::kLt;
+    case rel::CompareOp::kGe: return rel::CompareOp::kLe;
+    default: return op;
+  }
+}
+
+double DefaultForOp(rel::CompareOp op) {
+  switch (op) {
+    case rel::CompareOp::kEq: return kDefaultEqSelectivity;
+    case rel::CompareOp::kNe: return 1.0 - kDefaultEqSelectivity;
+    default: return kDefaultRangeSelectivity;
+  }
+}
+
+const rel::ColumnStats* StatsFor(const rel::Schema& schema,
+                                 const std::string& name,
+                                 const rel::TableStats* stats) {
+  if (stats == nullptr) return nullptr;
+  Result<size_t> index = schema.IndexOf(name);
+  if (!index.ok() || *index >= stats->columns.size()) return nullptr;
+  return &stats->columns[*index];
+}
+
+double CompareSelectivity(const AstExpr& pred, const rel::Schema& schema,
+                          const rel::TableStats* stats) {
+  // Normalize to <column> <op> <literal>.
+  const AstExpr* column = nullptr;
+  const AstExpr* literal = nullptr;
+  rel::CompareOp op = pred.compare_op;
+  if (pred.left->kind == AstExpr::Kind::kColumn &&
+      pred.right->kind == AstExpr::Kind::kLiteral) {
+    column = pred.left.get();
+    literal = pred.right.get();
+  } else if (pred.right->kind == AstExpr::Kind::kColumn &&
+             pred.left->kind == AstExpr::Kind::kLiteral) {
+    column = pred.right.get();
+    literal = pred.left.get();
+    op = FlipOp(op);
+  } else {
+    return DefaultForOp(op);
+  }
+  const rel::ColumnStats* cs = StatsFor(schema, column->name, stats);
+  if (cs == nullptr) return DefaultForOp(op);
+  const rel::Value& v = literal->value;
+  switch (op) {
+    case rel::CompareOp::kEq:
+      return Clamp01(cs->EqSelectivity(v));
+    case rel::CompareOp::kNe:
+      return Clamp01(1.0 - cs->EqSelectivity(v));
+    case rel::CompareOp::kLt:
+      return Clamp01(cs->RangeSelectivity(nullptr, false, &v, false));
+    case rel::CompareOp::kLe:
+      return Clamp01(cs->RangeSelectivity(nullptr, false, &v, true));
+    case rel::CompareOp::kGt:
+      return Clamp01(cs->RangeSelectivity(&v, false, nullptr, false));
+    case rel::CompareOp::kGe:
+      return Clamp01(cs->RangeSelectivity(&v, true, nullptr, false));
+  }
+  return kDefaultUnknownSelectivity;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const AstExpr& pred, const rel::Schema& schema,
+                           const rel::TableStats* stats) {
+  switch (pred.kind) {
+    case AstExpr::Kind::kCompare:
+      return CompareSelectivity(pred, schema, stats);
+    case AstExpr::Kind::kLogical: {
+      double l = EstimateSelectivity(*pred.left, schema, stats);
+      double r = EstimateSelectivity(*pred.right, schema, stats);
+      // Independence assumption: AND multiplies, OR inclusion-excludes.
+      if (pred.logical_op == rel::LogicalOp::kAnd) return Clamp01(l * r);
+      return Clamp01(l + r - l * r);
+    }
+    case AstExpr::Kind::kNot:
+      return Clamp01(1.0 - EstimateSelectivity(*pred.left, schema, stats));
+    default:
+      return kDefaultUnknownSelectivity;
+  }
+}
+
+double ColumnNdv(const rel::Schema& schema, const std::string& name,
+                 const rel::TableStats* stats, double fallback) {
+  const rel::ColumnStats* cs = StatsFor(schema, name, stats);
+  if (cs == nullptr || cs->ndv == 0) return std::max(1.0, fallback);
+  return std::max(1.0, static_cast<double>(cs->ndv));
+}
+
+double EstimateJoinRows(double left_rows, double right_rows, double left_ndv,
+                        double right_ndv) {
+  left_rows = std::max(0.0, left_rows);
+  right_rows = std::max(0.0, right_rows);
+  double l = std::max(1.0, std::min(left_ndv, std::max(1.0, left_rows)));
+  double r = std::max(1.0, std::min(right_ndv, std::max(1.0, right_rows)));
+  return left_rows * right_rows / std::max(l, r);
+}
+
+}  // namespace insightnotes::sql

@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include "common/string_util.h"
 #include "sql/lexer.h"
 
 namespace insightnotes::sql {
@@ -19,10 +20,12 @@ class Parser {
     if (AtKeyword("ZOOMIN")) return ParseZoomIn();
     if (AtKeyword("TRAIN")) return ParseTrain();
     if (AtKeyword("LINK") || AtKeyword("UNLINK")) return ParseLink();
+    if (AtKeyword("ANALYZE")) return ParseAnalyze();
     if (AtKeyword("CREATE")) {
       if (PeekKeyword(1, "TABLE")) return ParseCreateTable();
       if (PeekKeyword(1, "SUMMARY")) return ParseCreateInstance();
-      return Error("expected TABLE or SUMMARY after CREATE");
+      if (PeekKeyword(1, "INDEX")) return ParseCreateIndex();
+      return Error("expected TABLE, SUMMARY or INDEX after CREATE");
     }
     return Error("unrecognized statement");
   }
@@ -405,7 +408,37 @@ class Parser {
     SetStatement stmt;
     INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
     ConsumeSymbol("=");  // Both "SET knob = n" and "SET knob n" parse.
+    // Boolean knobs accept ON / OFF as sugar for 1 / 0 (SET OPTIMIZER = ON).
+    // ON lexes as a keyword, OFF as an identifier.
+    if (ConsumeKeyword("ON")) {
+      stmt.value = 1;
+      return Statement(std::move(stmt));
+    }
+    if (Peek().type == TokenType::kIdentifier && ToUpper(Peek().text) == "OFF") {
+      Advance();
+      stmt.value = 0;
+      return Statement(std::move(stmt));
+    }
     INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.value, ExpectInteger());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseAnalyze() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+    AnalyzeStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateIndex() {
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    CreateIndexStatement stmt;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol("("));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier());
+    INSIGHTNOTES_RETURN_IF_ERROR(ExpectSymbol(")"));
     return Statement(std::move(stmt));
   }
 

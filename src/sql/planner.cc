@@ -1,18 +1,24 @@
 #include "sql/planner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <set>
 
 #include "exec/aggregate.h"
 #include "exec/distinct.h"
 #include "exec/filter.h"
 #include "exec/hash_join.h"
+#include "exec/index_scan.h"
 #include "exec/nested_loop_join.h"
 #include "exec/parallel.h"
 #include "exec/projection.h"
+#include "exec/restore_order.h"
+#include "exec/seq_scan.h"
 #include "exec/sort.h"
 #include "exec/summary_filter.h"
 #include "sql/binder.h"
+#include "sql/optimizer.h"
 
 namespace insightnotes::sql {
 
@@ -80,6 +86,20 @@ class SelectPlanner {
     INSIGHTNOTES_RETURN_IF_ERROR(ResolveTables());
     INSIGHTNOTES_RETURN_IF_ERROR(ExpandStar());
     INSIGHTNOTES_RETURN_IF_ERROR(CollectReferencedColumns());
+    join_order_.resize(tables_.size());
+    std::iota(join_order_.begin(), join_order_.end(), 0);
+    if (options_.optimize) {
+      INSIGHTNOTES_RETURN_IF_ERROR(RunOptimizer());
+      join_order_ = choice_.join_order;
+      stamp_ranks_ = choice_.reordered;
+      if (choice_.serial) options_.parallelism = 1;
+    }
+    // A driver smaller than one morsel plans serial even with the optimizer
+    // off: a single-morsel parallel section is pure dispatch overhead, and
+    // serial output is byte-identical anyway.
+    if (tables_[join_order_[0]].table->NumRows() < options_.morsel_size) {
+      options_.parallelism = 1;
+    }
     std::unique_ptr<exec::Operator> tree;
     if (options_.parallelism > 1) {
       // Residual and summary filters run inside the workers when the
@@ -89,6 +109,7 @@ class SelectPlanner {
     if (tree == nullptr) {
       INSIGHTNOTES_ASSIGN_OR_RETURN(tree, BuildJoinTree());
       INSIGHTNOTES_ASSIGN_OR_RETURN(tree, ApplyResidualFilters(std::move(tree)));
+      if (stamp_ranks_) tree = RestoreCanonicalOrder(std::move(tree));
     }
     // Stages already handled inside the parallel section (partial operators
     // below the gather + a merge above it) are skipped here.
@@ -277,6 +298,76 @@ class SelectPlanner {
     return Status::OK();
   }
 
+  static size_t EstimateToRows(double estimate) {
+    if (!(estimate > 0.0)) return 0;
+    return static_cast<size_t>(std::llround(estimate));
+  }
+
+  /// True when reordering the table could reorder summary-object or
+  /// attachment merges: it has linked summary instances or stored
+  /// annotations. Such tables keep their FROM-relative order.
+  bool TableIsAnnotated(const rel::Table* table) const {
+    if (!engine_->summaries()->LinkedTo(table->id()).empty()) return true;
+    bool any = false;
+    engine_->annotations()->ScanTable(
+        table->id(), [&](rel::RowId, const ann::Attachment&) {
+          any = true;
+          return false;
+        });
+    return any;
+  }
+
+  /// Runs the cost-based search (sql/optimizer.h) over the resolved tables
+  /// and classified conjuncts; fills choice_.
+  Status RunOptimizer() {
+    std::vector<OptimizerTable> opt_tables;
+    opt_tables.reserve(tables_.size());
+    for (TableSlot& slot : tables_) {
+      OptimizerTable t;
+      t.table = slot.table;
+      t.schema = slot.schema;
+      t.stats = slot.table->stats();
+      t.filters = slot.filters;
+      t.annotated = TableIsAnnotated(slot.table);
+      opt_tables.push_back(std::move(t));
+    }
+    std::vector<OptimizerJoin> opt_joins;
+    for (const AstExpr* conjunct : join_conjuncts_) {
+      // Only plain column = column conjuncts enter the cost graph; anything
+      // fancier keeps the identity order (conservative, never incorrect).
+      std::vector<std::string> left_cols, right_cols;
+      conjunct->left->CollectColumns(&left_cols);
+      conjunct->right->CollectColumns(&right_cols);
+      if (left_cols.size() != 1 || right_cols.size() != 1) continue;
+      auto left_owner = OwnerOf(left_cols[0]);
+      auto right_owner = OwnerOf(right_cols[0]);
+      if (!left_owner.ok() || !right_owner.ok()) continue;
+      OptimizerJoin join;
+      join.left_table = *left_owner;
+      join.left_column = left_cols[0];
+      join.right_table = *right_owner;
+      join.right_column = right_cols[0];
+      opt_joins.push_back(std::move(join));
+    }
+    choice_ = ChoosePlan(opt_tables, opt_joins, options_.morsel_size);
+    optimized_ = true;
+    return Status::OK();
+  }
+
+  /// Sorts a reordered plan's output back into canonical FROM order by the
+  /// per-table ranks the leaf scans stamped (see exec/restore_order.h).
+  std::unique_ptr<exec::Operator> RestoreCanonicalOrder(
+      std::unique_ptr<exec::Operator> tree) {
+    std::vector<size_t> key_order(join_order_.size());
+    for (size_t k = 0; k < join_order_.size(); ++k) key_order[join_order_[k]] = k;
+    auto restore = std::make_unique<exec::RestoreOrderOperator>(
+        std::move(tree), std::move(key_order));
+    if (optimized_) {
+      restore->SetPlannerEstimate(EstimateToRows(choice_.est_result_rows));
+    }
+    return restore;
+  }
+
   /// Table `k`'s per-tuple stages — filters + Theorem-1 projection — on top
   /// of `tree` (a scan of the table, serial or morsel-parallel).
   Result<std::unique_ptr<exec::Operator>> ApplyTableStages(
@@ -286,6 +377,9 @@ class SelectPlanner {
       INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound,
                                     Bind(*filter, tree->OutputSchema()));
       tree = std::make_unique<exec::FilterOperator>(std::move(tree), std::move(bound));
+      if (optimized_) {
+        tree->SetPlannerEstimate(EstimateToRows(choice_.access[k].est_rows));
+      }
     }
     if (options_.project_before_merge &&
         slot.needed.size() < slot.schema.NumColumns()) {
@@ -297,15 +391,36 @@ class SelectPlanner {
       INSIGHTNOTES_ASSIGN_OR_RETURN(
           auto project, exec::ProjectOperator::FromColumns(std::move(tree), kept));
       tree = std::move(project);
+      if (optimized_) {
+        tree->SetPlannerEstimate(EstimateToRows(choice_.access[k].est_rows));
+      }
     }
     return tree;
   }
 
-  /// Scan [+ filter] [+ Theorem-1 projection] for one table.
+  /// Scan [+ filter] [+ Theorem-1 projection] for one table. With the
+  /// optimizer on, a slot whose access path chose an index probe scans
+  /// through the index instead of sequentially — the original predicates
+  /// all stay as residual filters above, so results are identical.
   Result<std::unique_ptr<exec::Operator>> BuildTableInput(size_t k) {
     TableSlot& slot = tables_[k];
-    INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> tree,
-                                  engine_->MakeScan(slot.table->name(), slot.alias));
+    std::unique_ptr<exec::Operator> tree;
+    if (optimized_ && choice_.access[k].use_index) {
+      auto scan = std::make_unique<exec::IndexScanOperator>(
+          slot.table, slot.alias, engine_->summaries(), engine_->annotations(),
+          choice_.access[k].probe);
+      if (stamp_ranks_) scan->EnableRankStamping();
+      scan->SetPlannerEstimate(EstimateToRows(choice_.access[k].scan_rows));
+      tree = std::move(scan);
+    } else {
+      auto scan = std::make_unique<exec::SeqScanOperator>(
+          slot.table, slot.alias, engine_->summaries(), engine_->annotations());
+      if (stamp_ranks_) scan->EnableRankStamping();
+      if (optimized_) {
+        scan->SetPlannerEstimate(EstimateToRows(choice_.access[k].scan_rows));
+      }
+      tree = std::move(scan);
+    }
     return ApplyTableStages(k, std::move(tree));
   }
 
@@ -318,10 +433,15 @@ class SelectPlanner {
   Result<std::unique_ptr<exec::Operator>> BuildParallelSection() {
     const size_t num_workers = options_.parallelism;
     ThreadPool* pool = engine_->ExecPool(num_workers);
-    TableSlot& driver = tables_[0];
+    const size_t driver_slot = join_order_[0];
+    TableSlot& driver = tables_[driver_slot];
     auto source = std::make_shared<exec::ScanMorselSource>(
         driver.table, driver.alias, engine_->summaries(), engine_->annotations(),
         /*with_summaries=*/true, options_.morsel_size);
+    if (optimized_ && choice_.access[driver_slot].use_index) {
+      source->SetIndexProbe(choice_.access[driver_slot].probe);
+    }
+    if (stamp_ranks_) source->EnableRankStamping();
     std::vector<std::shared_ptr<exec::SharedPlanState>> states;
     states.push_back(source);
 
@@ -330,7 +450,12 @@ class SelectPlanner {
     for (size_t w = 0; w < num_workers; ++w) {
       std::unique_ptr<exec::Operator> pipe =
           std::make_unique<exec::MorselScanOperator>(source);
-      INSIGHTNOTES_ASSIGN_OR_RETURN(pipe, ApplyTableStages(0, std::move(pipe)));
+      if (optimized_) {
+        pipe->SetPlannerEstimate(
+            EstimateToRows(choice_.access[driver_slot].scan_rows));
+      }
+      INSIGHTNOTES_ASSIGN_OR_RETURN(pipe,
+                                    ApplyTableStages(driver_slot, std::move(pipe)));
       pipes.push_back(std::move(pipe));
     }
 
@@ -339,7 +464,8 @@ class SelectPlanner {
     // but the build side is materialized once into a shared partitioned
     // state probed by every worker.
     std::vector<bool> used(join_conjuncts_.size(), false);
-    for (size_t k = 1; k < tables_.size(); ++k) {
+    for (size_t i = 1; i < join_order_.size(); ++i) {
+      const size_t k = join_order_[i];
       INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> right,
                                     BuildTableInput(k));
       ssize_t chosen = -1;
@@ -376,6 +502,10 @@ class SelectPlanner {
         pipes[w] = std::make_unique<exec::HashJoinProbeOperator>(
             std::move(pipes[w]), state, std::move(probe_key),
             /*expose_build=*/w == 0);
+        if (optimized_ && i < choice_.rows_after_step.size()) {
+          pipes[w]->SetPlannerEstimate(
+              EstimateToRows(choice_.rows_after_step[i]));
+        }
       }
     }
 
@@ -403,6 +533,20 @@ class SelectPlanner {
       if (options_.wrap_worker_pipeline) {
         pipes[w] = options_.wrap_worker_pipeline(std::move(pipes[w]), w);
       }
+    }
+
+    // A reordered plan emits in join-order, not canonical FROM order; the
+    // RestoreOrder sort above the gather re-serializes before any
+    // order-sensitive stage, so partial pushdowns and the LIMIT row quota
+    // (both of which assume morsel order == canonical order) are skipped.
+    if (stamp_ranks_) {
+      std::unique_ptr<exec::Operator> gather =
+          std::make_unique<exec::GatherOperator>(std::move(pipes),
+                                                 std::move(states), pool);
+      if (optimized_) {
+        gather->SetPlannerEstimate(EstimateToRows(choice_.est_result_rows));
+      }
+      return RestoreCanonicalOrder(std::move(gather));
     }
 
     // Blocking stages: instead of ending the parallel section at the gather
@@ -548,9 +692,10 @@ class SelectPlanner {
 
   Result<std::unique_ptr<exec::Operator>> BuildJoinTree() {
     INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> tree,
-                                  BuildTableInput(0));
+                                  BuildTableInput(join_order_[0]));
     std::vector<bool> used(join_conjuncts_.size(), false);
-    for (size_t k = 1; k < tables_.size(); ++k) {
+    for (size_t i = 1; i < join_order_.size(); ++i) {
+      const size_t k = join_order_[i];
       INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<exec::Operator> right,
                                     BuildTableInput(k));
       // Find an unused equi conjunct with one side in `tree` and one in
@@ -594,6 +739,9 @@ class SelectPlanner {
             std::move(tree), std::move(right),
             rel::MakeLiteral(rel::Value(static_cast<int64_t>(1))));
       }
+      if (optimized_ && i < choice_.rows_after_step.size()) {
+        tree->SetPlannerEstimate(EstimateToRows(choice_.rows_after_step[i]));
+      }
     }
     // Unused join conjuncts (e.g. a second equality between the same pair
     // of tables) become residual filters.
@@ -614,14 +762,30 @@ class SelectPlanner {
 
   Result<std::unique_ptr<exec::Operator>> ApplyResidualFilters(
       std::unique_ptr<exec::Operator> tree) {
+    // Estimates shrink as each residual stage applies: default selectivities
+    // for ordinary conjuncts, the ANALYZE annotation-count distribution of
+    // the driving table for SUMMARY_COUNT predicates.
+    double est = optimized_ ? choice_.est_result_rows : 0.0;
     for (const AstExpr* conjunct : residual_conjuncts_) {
       INSIGHTNOTES_ASSIGN_OR_RETURN(rel::ExprPtr bound,
                                     Bind(*conjunct, tree->OutputSchema()));
       tree = std::make_unique<exec::FilterOperator>(std::move(tree), std::move(bound));
+      if (optimized_) {
+        est *= EstimateSelectivity(*conjunct, full_schema_, nullptr);
+        tree->SetPlannerEstimate(EstimateToRows(est));
+      }
     }
     for (SummaryFilter& filter : summary_filters_) {
       tree = std::make_unique<exec::SummaryFilterOperator>(
           std::move(tree), filter.spec, filter.op, filter.threshold);
+      if (optimized_) {
+        std::shared_ptr<const rel::TableStats> driver_stats =
+            tables_[join_order_[0]].table->stats();
+        est *= driver_stats != nullptr
+                   ? driver_stats->AnnCountSelectivity(filter.op, filter.threshold)
+                   : 0.5;
+        tree->SetPlannerEstimate(EstimateToRows(est));
+      }
     }
     return tree;
   }
@@ -801,6 +965,13 @@ class SelectPlanner {
   std::vector<const AstExpr*> join_conjuncts_;
   std::vector<const AstExpr*> residual_conjuncts_;
   std::vector<SummaryFilter> summary_filters_;
+  // Cost-based plan choice (options_.optimize). join_order_ is identity
+  // until RunOptimizer picks otherwise; stamp_ranks_ marks a reordered
+  // plan whose leaves stamp per-table emission ranks for RestoreOrder.
+  std::vector<size_t> join_order_;
+  bool stamp_ranks_ = false;
+  bool optimized_ = false;
+  PlanChoice choice_;
   std::vector<std::string> agg_output_names_;
   bool aggregated_ = false;
   // Stages absorbed by the parallel section (partial + merge operators);

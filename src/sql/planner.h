@@ -23,6 +23,12 @@ namespace insightnotes::sql {
 struct PlannerOptions {
   /// Apply the Theorem 1&2 normalization (default on).
   bool project_before_merge = true;
+  /// Cost-based optimization (sql/optimizer.h): join reordering, index-
+  /// backed access paths and parallelism choice from ANALYZE statistics.
+  /// Off by default — the rule-driven plan is the canonical reference; the
+  /// optimizer's plans are byte-identical in results but differently
+  /// shaped. SqlSession turns this on unless `SET OPTIMIZER = OFF`.
+  bool optimize = false;
   /// Worker pipelines of the morsel-driven parallel section. 1 (default)
   /// plans the legacy serial tree. N > 1 replicates the per-tuple section
   /// of eligible plans (scan / filter / projection / equi-join probe /

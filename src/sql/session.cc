@@ -162,12 +162,20 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
   INSIGHTNOTES_ASSIGN_OR_RETURN(Statement statement, Parse(sql));
   if (auto* select = std::get_if<SelectStatement>(&statement)) {
     PlannerOptions options = planner_options_;
-    // Tracing observes per-operator tuple order; keep the legacy serial plan.
+    // Tracing observes per-operator tuple order; keep the legacy serial
+    // rule-driven plan (optimizer plans may reorder operator events).
     options.parallelism = trace != nullptr ? 1 : parallelism_;
+    options.optimize = optimizer_enabled_ && trace == nullptr;
     context_->BeginStatement(statement_timeout_ms_, memory_limit_bytes_);
     return RunSelect(*select, engine_, options, context_, trace);
   }
   if (auto* set = std::get_if<SetStatement>(&statement)) {
+    if (EqualsIgnoreCase(set->name, "optimizer")) {
+      optimizer_enabled_ = set->value != 0;
+      ExecutionOutput out;
+      out.message = std::string("optimizer = ") + (optimizer_enabled_ ? "on" : "off");
+      return out;
+    }
     if (EqualsIgnoreCase(set->name, "parallelism")) {
       parallelism_ = static_cast<size_t>(std::max<int64_t>(1, set->value));
       ExecutionOutput out;
@@ -197,6 +205,7 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
   if (auto* explain = std::get_if<ExplainStatement>(&statement)) {
     PlannerOptions options = planner_options_;
     options.parallelism = parallelism_;
+    options.optimize = optimizer_enabled_;
     INSIGHTNOTES_ASSIGN_OR_RETURN(auto plan,
                                   PlanSelect(explain->select, engine_, options));
     ExecutionOutput out;
@@ -238,6 +247,21 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
   }
   if (auto* link = std::get_if<LinkStatement>(&statement)) {
     return RunLink(*link, engine_);
+  }
+  if (auto* analyze = std::get_if<AnalyzeStatement>(&statement)) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(uint64_t rows, engine_->Analyze(analyze->table));
+    ExecutionOutput out;
+    out.message = "analyzed " + analyze->table + ": " + std::to_string(rows) +
+                  " row(s)";
+    return out;
+  }
+  if (auto* create_index = std::get_if<CreateIndexStatement>(&statement)) {
+    INSIGHTNOTES_RETURN_IF_ERROR(
+        engine_->CreateIndex(create_index->table, create_index->column));
+    ExecutionOutput out;
+    out.message = "created index on " + create_index->table + "(" +
+                  create_index->column + ")";
+    return out;
   }
   return Status::Internal("unhandled statement kind");
 }

@@ -60,6 +60,7 @@ class SqlSession {
   core::Engine* engine() { return engine_; }
 
   size_t parallelism() const { return parallelism_; }
+  bool optimizer_enabled() const { return optimizer_enabled_; }
   int64_t statement_timeout_ms() const { return statement_timeout_ms_; }
   size_t memory_limit_bytes() const { return memory_limit_bytes_; }
 
@@ -71,6 +72,9 @@ class SqlSession {
   core::Engine* engine_;
   PlannerOptions planner_options_;
   size_t parallelism_;
+  /// Cost-based optimization for SELECT / EXPLAIN; `SET OPTIMIZER = OFF`
+  /// restores the rule-driven plans (results are identical either way).
+  bool optimizer_enabled_ = true;
   int64_t statement_timeout_ms_ = 0;  // 0 = no deadline.
   size_t memory_limit_bytes_ = 0;     // 0 = unlimited.
   std::shared_ptr<exec::QueryContext> context_;

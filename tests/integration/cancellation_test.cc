@@ -25,7 +25,7 @@ using testutil::EngineFixture;
 using testutil::I;
 using testutil::S;
 
-constexpr int64_t kFactRows = 200;
+constexpr int64_t kFactRows = 400;
 constexpr int64_t kBigRows = 2000;
 
 class CancellationTest : public EngineFixture {

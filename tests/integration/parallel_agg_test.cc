@@ -143,7 +143,7 @@ class ParallelAggTest : public EngineFixture {
     }
   }
 
-  static constexpr int64_t kObsRows = 150;
+  static constexpr int64_t kObsRows = 300;
 };
 
 TEST_F(ParallelAggTest, GroupByAllAggregatesOracle) {

@@ -144,7 +144,9 @@ class ParallelExecTest : public EngineFixture {
     }
   }
 
-  static constexpr int64_t kObsRows = 120;
+  // Above one morsel (256): smaller driving tables now plan serial even
+  // with the parallelism knob raised.
+  static constexpr int64_t kObsRows = 300;
 };
 
 TEST_F(ParallelExecTest, SeqScanOracle) {

@@ -200,7 +200,8 @@ class QueryFuzzTest : public EngineFixture {
 
   Result<core::QueryResult> TryExecute(const std::string& sql_text, size_t parallelism,
                                        size_t morsel_size,
-                                       std::shared_ptr<exec::QueryContext> context) {
+                                       std::shared_ptr<exec::QueryContext> context,
+                                       bool optimize = false) {
     auto statement = sql::Parse(sql_text);
     EXPECT_TRUE(statement.ok()) << statement.status().ToString();
     auto* select = std::get_if<sql::SelectStatement>(&*statement);
@@ -208,6 +209,7 @@ class QueryFuzzTest : public EngineFixture {
     sql::PlannerOptions options;
     options.parallelism = parallelism;
     options.morsel_size = morsel_size;
+    options.optimize = optimize;
     INSIGHTNOTES_ASSIGN_OR_RETURN(auto plan,
                                   sql::PlanSelect(*select, engine_.get(), options));
     if (context != nullptr) plan->SetQueryContext(context);
@@ -215,8 +217,8 @@ class QueryFuzzTest : public EngineFixture {
   }
 
   core::QueryResult Execute(const std::string& sql_text, size_t parallelism,
-                            size_t morsel_size) {
-    auto result = TryExecute(sql_text, parallelism, morsel_size, nullptr);
+                            size_t morsel_size, bool optimize = false) {
+    auto result = TryExecute(sql_text, parallelism, morsel_size, nullptr, optimize);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return result.ok() ? std::move(*result) : core::QueryResult{};
   }
@@ -225,8 +227,8 @@ class QueryFuzzTest : public EngineFixture {
   /// order (Render() covers component order and representative election),
   /// attachment metadata in order.
   std::vector<std::string> Run(const std::string& sql_text, size_t parallelism,
-                               size_t morsel_size) {
-    core::QueryResult result = Execute(sql_text, parallelism, morsel_size);
+                               size_t morsel_size, bool optimize = false) {
+    core::QueryResult result = Execute(sql_text, parallelism, morsel_size, optimize);
     std::vector<std::string> rows;
     for (const core::AnnotatedTuple& row : result.rows) {
       std::ostringstream os;
@@ -322,6 +324,37 @@ TEST_F(QueryFuzzTest, RandomQueriesMatchSerialByteForByte) {
             << "parallelism=" << parallelism << " morsel=" << morsel
             << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << sql;
       }
+    }
+  }
+}
+
+// Optimizer differential: with ANALYZE statistics and secondary indexes in
+// place, every fuzzed query must return byte-identical results with the
+// cost-based optimizer ON (join reordering + RestoreOrder, index-backed
+// access paths, parallelism choice) as with it OFF — across serial and
+// parallel execution. This is the safety net behind `SET OPTIMIZER = ON`
+// being the session default.
+TEST_F(QueryFuzzTest, OptimizerPlansMatchRuleDrivenByteForByte) {
+  ASSERT_TRUE(engine_->Analyze("t").ok());
+  ASSERT_TRUE(engine_->Analyze("d").ok());
+  ASSERT_TRUE(engine_->CreateIndex("t", "val").ok());
+  ASSERT_TRUE(engine_->CreateIndex("t", "grp").ok());
+  ASSERT_TRUE(engine_->CreateIndex("t", "txt").ok());
+  ASSERT_TRUE(engine_->CreateIndex("d", "k").ok());
+
+  const uint64_t seed = FuzzSeed();
+  Random rng(seed + 2);  // Distinct stream from the other fuzz sweeps.
+  for (int q = 0; q < kNumQueries; ++q) {
+    const std::string sql = GenQuery(rng);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" + std::to_string(q) +
+                 " sql: " + sql);
+    std::vector<std::string> baseline = Run(sql, 1, 16, /*optimize=*/false);
+    ASSERT_FALSE(::testing::Test::HasFailure())
+        << "replay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << sql;
+    for (size_t parallelism : {1u, 2u, 8u}) {
+      ASSERT_EQ(baseline, Run(sql, parallelism, 16, /*optimize=*/true))
+          << "optimizer on, parallelism=" << parallelism
+          << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << sql;
     }
   }
 }

@@ -90,6 +90,28 @@ TEST(ValueLessTest, MixedTypesHaveTotalOrder) {
   EXPECT_FALSE(less(Value(5.0), I(5)));
 }
 
+TEST(HashIndexTest, LookupIntoAppendsToExistingRows) {
+  HashIndex idx;
+  idx.Insert(I(1), 10);
+  idx.Insert(I(2), 20);
+  std::vector<RowId> out = {99};
+  idx.LookupInto(I(1), &out);
+  EXPECT_EQ(out, (std::vector<RowId>{99, 10}));
+  idx.LookupInto(I(7), &out);  // Miss appends nothing.
+  EXPECT_EQ(out, (std::vector<RowId>{99, 10}));
+}
+
+TEST(OrderedIndexTest, RangeIntoAppendsToExistingRows) {
+  OrderedIndex idx;
+  for (int64_t i = 0; i < 5; ++i) idx.Insert(I(i), static_cast<RowId>(i));
+  std::vector<RowId> out = {99};
+  Value lo = I(1), hi = I(3);
+  idx.RangeInto(&lo, &hi, &out);
+  EXPECT_EQ(out, (std::vector<RowId>{99, 1, 2, 3}));
+  idx.LookupInto(I(4), &out);
+  EXPECT_EQ(out, (std::vector<RowId>{99, 1, 2, 3, 4}));
+}
+
 TEST(OrderedIndexTest, MixedTypeKeysDoNotCrash) {
   OrderedIndex idx;
   idx.Insert(Value::Null(), 0);

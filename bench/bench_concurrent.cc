@@ -1,0 +1,257 @@
+// Reader-scaling sweep over the epoch-based snapshot machinery: 1/2/4/8
+// concurrent sessions each draining pinned-epoch queries against a shared
+// engine, with and without a live AnnotateBatch writer in the background.
+// Three reader workloads: plain scan, summary-predicate filter
+// (SUMMARY_COUNT), and zoom-in against a retained query (shared-cache
+// pressure). Before every with-ingest sweep a pinned-epoch oracle pins a
+// snapshot and re-runs the query twice under live ingest — the rendered
+// results must be byte-identical, or the benchmark aborts: numbers from a
+// torn read would be worthless. Emits BENCH_concurrency.json alongside
+// the console report (see bench_util.h / check_bench_json.py).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine_snapshot.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace insightnotes::bench {
+namespace {
+
+constexpr size_t kSpecies = 256;  // One bird row per species.
+constexpr size_t kAnnotationsPerTuple = 12;
+// With-ingest sweeps build a private engine per benchmark (the writer
+// mutates it), so keep that workload smaller than the shared idle one.
+constexpr size_t kIngestSpecies = 128;
+constexpr size_t kIngestAnnotations = 6;
+// Queries each reader session issues per timed iteration. Large enough to
+// amortize the thread spawn, small enough to keep the 8-reader point fast.
+constexpr size_t kQueriesPerReader = 8;
+
+const char kScanQuery[] =
+    "SELECT b.id, b.name, b.weight FROM birds b WHERE b.weight > 1.0";
+const char kSummaryFilterQuery[] =
+    "SELECT b.id, b.name FROM birds b WHERE SUMMARY_COUNT(ClassBird1) > 0";
+
+/// Plans `text` serially and runs it through Engine::Execute, which pins
+/// the current epoch for the query's lifetime (or reuses
+/// `options.snapshot` when set).
+core::QueryResult RunPinnedQuery(core::Engine* engine, const std::string& text,
+                                 core::ExecuteOptions options) {
+  sql::Statement statement = Check(sql::Parse(text), "parse");
+  auto* select = std::get_if<sql::SelectStatement>(&statement);
+  if (select == nullptr) std::abort();
+  auto plan = Check(sql::PlanSelect(*select, engine, {}), "plan");
+  return Check(engine->Execute(std::move(plan), std::move(options)), "execute");
+}
+
+/// One reader session: kQueriesPerReader back-to-back unretained queries.
+void ReaderLoop(core::Engine* engine, const std::string& query) {
+  for (size_t q = 0; q < kQueriesPerReader; ++q) {
+    core::ExecuteOptions options;
+    options.retain = false;
+    benchmark::DoNotOptimize(
+        RunPinnedQuery(engine, query, std::move(options)).rows.size());
+  }
+}
+
+void ZoomInReaderLoop(core::Engine* engine, core::QueryId qid) {
+  for (size_t q = 0; q < kQueriesPerReader; ++q) {
+    core::ZoomInRequest request;
+    request.qid = qid;
+    request.instance_name = "ClassBird1";
+    request.component_index = 0;
+    benchmark::DoNotOptimize(Check(engine->ZoomIn(request), "zoomin").rows.size());
+  }
+}
+
+/// Background ingest: small AnnotateBatches in a tight loop (with a short
+/// breather so the sweep models steady ingest, not writer saturation).
+class IngestWriter {
+ public:
+  IngestWriter(core::Engine* engine, size_t num_rows)
+      : thread_([this, engine, num_rows] {
+          static const char* kBodies[] = {
+              "observed unusual migration pattern this season",
+              "weight sample disputed, see field notebook",
+              "plumage suggests a juvenile, reclassify",
+          };
+          size_t tick = 0;
+          while (!stop_.load(std::memory_order_relaxed)) {
+            std::vector<core::AnnotateSpec> batch(4);
+            for (auto& spec : batch) {
+              spec.table = "birds";
+              spec.row = static_cast<rel::RowId>(tick % num_rows);
+              spec.body = kBodies[tick % 3];
+              ++tick;
+            }
+            Check(engine->AnnotateBatch(batch).status(), "ingest batch");
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+          }
+        }) {}
+
+  ~IngestWriter() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Pins an epoch and replays `query` against it twice while the writer
+/// keeps publishing new epochs; the two rendered results must match byte
+/// for byte. A fixed caller-chosen qid keeps the rendering comparable.
+void VerifyPinnedOracle(core::Engine* engine, const std::string& query) {
+  auto pinned = Check(engine->PinSnapshot(), "pin snapshot");
+  auto run = [&]() {
+    core::ExecuteOptions options;
+    options.retain = false;
+    options.qid = core::QueryId{1} << 60;
+    options.snapshot = pinned;
+    return sql::FormatResult(RunPinnedQuery(engine, query, std::move(options)));
+  };
+  std::string first = run();
+  std::string second = run();
+  if (first != second) {
+    fprintf(stderr, "pinned-epoch oracle mismatch under live ingest\n");
+    std::abort();
+  }
+}
+
+/// The workload for with-ingest sweeps is rebuilt per benchmark so one
+/// sweep's writer traffic doesn't inflate the store the next one scans.
+std::unique_ptr<BuiltWorkload> BuildFreshWorkload() {
+  auto built = std::make_unique<BuiltWorkload>();
+  built->engine = std::make_unique<core::Engine>();
+  Check(built->engine->Init(), "engine init");
+  workload::WorkloadConfig config;
+  config.num_species = kIngestSpecies;
+  config.annotations_per_tuple = kIngestAnnotations;
+  built->config = config;
+  workload::WorkloadBuilder builder(config);
+  built->stats = Check(builder.Build(built->engine.get()), "workload build");
+  return built;
+}
+
+void RunReaderSweep(benchmark::State& state, core::Engine* engine,
+                    const std::string& query, bool with_ingest,
+                    const char* label) {
+  size_t readers = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::thread> sessions;
+    sessions.reserve(readers);
+    for (size_t r = 0; r < readers; ++r)
+      sessions.emplace_back([&] { ReaderLoop(engine, query); });
+    for (auto& session : sessions) session.join();
+  }
+  state.counters["readers"] = static_cast<double>(readers);
+  state.counters["with_ingest"] = with_ingest ? 1.0 : 0.0;
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * readers * kQueriesPerReader),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(label) + "/r" + std::to_string(readers) +
+                 (with_ingest ? "/ingest" : "/idle"));
+}
+
+void BM_ConcurrentScan(benchmark::State& state) {
+  BuiltWorkload* built = GetWorkload(kSpecies, kAnnotationsPerTuple);
+  RunReaderSweep(state, built->engine.get(), kScanQuery, /*with_ingest=*/false,
+                 "scan");
+}
+
+void BM_ConcurrentScanIngest(benchmark::State& state) {
+  auto built = BuildFreshWorkload();
+  IngestWriter writer(built->engine.get(), built->stats.num_rows);
+  VerifyPinnedOracle(built->engine.get(), kScanQuery);
+  RunReaderSweep(state, built->engine.get(), kScanQuery, /*with_ingest=*/true,
+                 "scan");
+}
+
+void BM_ConcurrentSummaryFilter(benchmark::State& state) {
+  BuiltWorkload* built = GetWorkload(kSpecies, kAnnotationsPerTuple);
+  RunReaderSweep(state, built->engine.get(), kSummaryFilterQuery,
+                 /*with_ingest=*/false, "summary-filter");
+}
+
+void BM_ConcurrentSummaryFilterIngest(benchmark::State& state) {
+  auto built = BuildFreshWorkload();
+  IngestWriter writer(built->engine.get(), built->stats.num_rows);
+  VerifyPinnedOracle(built->engine.get(), kSummaryFilterQuery);
+  RunReaderSweep(state, built->engine.get(), kSummaryFilterQuery,
+                 /*with_ingest=*/true, "summary-filter");
+}
+
+void RunZoomInSweep(benchmark::State& state, core::Engine* engine,
+                    bool with_ingest) {
+  size_t readers = static_cast<size_t>(state.range(0));
+  // Retain one query for the readers to zoom into; the cached result is
+  // keyed by the retained query's pinned epoch, so it stays a cache hit
+  // even while the writer publishes new epochs.
+  core::QueryResult retained =
+      RunPinnedQuery(engine, kScanQuery, core::ExecuteOptions{});
+  for (auto _ : state) {
+    std::vector<std::thread> sessions;
+    sessions.reserve(readers);
+    for (size_t r = 0; r < readers; ++r)
+      sessions.emplace_back([&] { ZoomInReaderLoop(engine, retained.qid); });
+    for (auto& session : sessions) session.join();
+  }
+  state.counters["readers"] = static_cast<double>(readers);
+  state.counters["with_ingest"] = with_ingest ? 1.0 : 0.0;
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * readers * kQueriesPerReader),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::string("zoom-in/r") + std::to_string(readers) +
+                 (with_ingest ? "/ingest" : "/idle"));
+}
+
+void BM_ConcurrentZoomIn(benchmark::State& state) {
+  BuiltWorkload* built = GetWorkload(kSpecies, kAnnotationsPerTuple);
+  RunZoomInSweep(state, built->engine.get(), /*with_ingest=*/false);
+}
+
+void BM_ConcurrentZoomInIngest(benchmark::State& state) {
+  auto built = BuildFreshWorkload();
+  IngestWriter writer(built->engine.get(), built->stats.num_rows);
+  VerifyPinnedOracle(built->engine.get(), kScanQuery);
+  RunZoomInSweep(state, built->engine.get(), /*with_ingest=*/true);
+}
+
+BENCHMARK(BM_ConcurrentScan)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ConcurrentScanIngest)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(4);
+BENCHMARK(BM_ConcurrentSummaryFilter)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ConcurrentSummaryFilterIngest)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(4);
+BENCHMARK(BM_ConcurrentZoomIn)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ConcurrentZoomInIngest)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(4);
+
+}  // namespace
+}  // namespace insightnotes::bench
+
+int main(int argc, char** argv) {
+  return insightnotes::bench::RunBenchmarksWithJsonReport(
+      argc, argv, "BENCH_concurrency.json");
+}

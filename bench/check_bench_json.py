@@ -71,6 +71,10 @@ def check_report(path):
     if status:
         return status
 
+    status = check_concurrency_sweep(path, benchmarks, context["num_cpus"])
+    if status:
+        return status
+
     print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
     return 0
 
@@ -267,6 +271,67 @@ def check_optimizer_sweep(path, benchmarks):
             return fail(path, f"{family}: optimized plan took {optimized:.3f} "
                               f"vs rule-driven {baseline:.3f} (> {OPTIMIZER_TOLERANCE}x); "
                               f"the cost-based plan regressed")
+    return 0
+
+
+# Successive reader counts on the idle side may not lose more than this
+# fraction of throughput while they still fit the host's cores. Scaling is
+# allowed to be flat (slot contention, 1-core CI hosts); what the check
+# rejects is throughput actively collapsing as readers are added, which is
+# the signature of a shared lock on the read path.
+CONCURRENCY_TOLERANCE = 0.85
+
+
+def check_concurrency_sweep(path, benchmarks, num_cpus):
+    """The concurrent-session families (BM_Concurrent*) sweep reader counts
+    against one shared engine, idle and under live AnnotateBatch ingest.
+    Every entry must carry readers / with_ingest / qps counters, each
+    (family, ingest-side) series needs its 1-reader baseline, at least one
+    with-ingest series must be present (reader scaling with an idle writer
+    does not exercise snapshot isolation at all), and on the idle side
+    throughput must be monotone non-decreasing — within tolerance — for
+    reader counts that still fit the host's cores. Beyond num_cpus readers
+    merely time-slice, so a flat or declining tail there is acceptable."""
+    series = {}
+    for i, entry in enumerate(benchmarks):
+        name = entry.get("name", "")
+        if not name.startswith("BM_Concurrent"):
+            continue
+        where = f"benchmarks[{i}] ({name})"
+        readers = entry.get("readers")
+        if not isinstance(readers, (int, float)) or readers < 1:
+            return fail(path, f"{where}.readers missing or < 1")
+        with_ingest = entry.get("with_ingest")
+        if with_ingest not in (0, 1, 0.0, 1.0):
+            return fail(path, f"{where}.with_ingest missing or not 0/1")
+        qps = entry.get("qps")
+        if not isinstance(qps, (int, float)) or qps <= 0:
+            return fail(path, f"{where}.qps missing or not positive")
+        family = name.split("/")[0]
+        series.setdefault((family, int(with_ingest)), {})[int(readers)] = float(qps)
+    if not series:
+        # Reports from other bench binaries have no concurrency families.
+        return 0
+
+    if not any(ingest for _, ingest in series):
+        return fail(path, "BM_Concurrent*: no with-ingest series present")
+    for (family, ingest), points in sorted(series.items()):
+        if 1 not in points:
+            return fail(path, f"{family} (ingest={ingest}): reader sweep has "
+                              f"no 1-reader baseline")
+        if ingest:
+            continue
+        counts = sorted(points)
+        best_so_far = points[counts[0]]
+        for readers in counts[1:]:
+            if readers > num_cpus:
+                break
+            if points[readers] < best_so_far * CONCURRENCY_TOLERANCE:
+                return fail(path, f"{family}: throughput fell from "
+                                  f"{best_so_far:.1f} to {points[readers]:.1f} qps "
+                                  f"at {readers} readers (<= {num_cpus} cores); "
+                                  f"reader scaling regressed")
+            best_so_far = max(best_so_far, points[readers])
     return 0
 
 

@@ -21,6 +21,7 @@ Result<AnnotationId> AnnotationStore::Add(Annotation note, const CellRegion& reg
     return Status::InvalidArgument("annotation region has no row");
   }
   INSIGHTNOTES_ASSIGN_OR_RETURN(storage::RecordId body_rid, bodies_.Append(note.body));
+  std::unique_lock<std::shared_mutex> lock(meta_latch_);
   AnnotationId id = metas_.size();
   Meta meta;
   meta.kind = note.kind;
@@ -29,14 +30,18 @@ Result<AnnotationId> AnnotationStore::Add(Annotation note, const CellRegion& reg
   meta.title = std::move(note.title);
   meta.body = body_rid;
   metas_.push_back(std::move(meta));
-  INSIGHTNOTES_RETURN_IF_ERROR(Attach(id, region));
+  num_annotations_.store(metas_.size(), std::memory_order_release);
+  INSIGHTNOTES_RETURN_IF_ERROR(AttachImpl(id, region, /*recovery=*/false));
   return id;
 }
 
 Status AnnotationStore::Attach(AnnotationId id, const CellRegion& region) {
+  std::unique_lock<std::shared_mutex> lock(meta_latch_);
   return AttachImpl(id, region, /*recovery=*/false);
 }
 
+// Called with meta_latch_ held exclusively, except on the recovery path
+// (disjoint pre-created slots, no concurrent readers).
 Status AnnotationStore::AttachImpl(AnnotationId id, const CellRegion& region,
                                    bool recovery) {
   if (id >= metas_.size()) {
@@ -104,6 +109,7 @@ Status AnnotationStore::BeginParallelRecovery(
   // writes the meta slots of its own ids and the attachment vectors of its
   // own rows.
   metas_.resize(num_annotations);
+  num_annotations_.store(num_annotations, std::memory_order_release);
   recovered_.assign(num_annotations, 0);
   by_row_.reserve(rows.size());
   for (const auto& [table, row] : rows) {
@@ -127,11 +133,8 @@ Status AnnotationStore::RecoverAdd(AnnotationId id, Annotation note,
   if (region.row == rel::kInvalidRowId) {
     return Status::Corruption("recovered annotation region has no row");
   }
-  storage::RecordId body_rid;
-  {
-    std::lock_guard<std::mutex> lock(bodies_mutex_);
-    INSIGHTNOTES_ASSIGN_OR_RETURN(body_rid, bodies_.Append(note.body));
-  }
+  // The heap file's own latch serializes concurrent chain appends.
+  INSIGHTNOTES_ASSIGN_OR_RETURN(storage::RecordId body_rid, bodies_.Append(note.body));
   Meta& meta = metas_[id];
   meta.kind = note.kind;
   meta.author = std::move(note.author);
@@ -175,36 +178,41 @@ Status AnnotationStore::EndParallelRecovery() {
 }
 
 Result<Annotation> AnnotationStore::Get(AnnotationId id) const {
-  if (id >= metas_.size()) {
-    return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
-  }
-  const Meta& meta = metas_[id];
-  std::string body;
-  {
-    std::lock_guard<std::mutex> lock(bodies_mutex_);
-    INSIGHTNOTES_ASSIGN_OR_RETURN(body, bodies_.Get(meta.body));
-  }
   Annotation note;
-  note.id = id;
-  note.kind = meta.kind;
-  note.author = meta.author;
-  note.timestamp = meta.timestamp;
-  note.title = meta.title;
-  note.body = std::move(body);
-  note.archived = meta.archived;
+  storage::RecordId body_rid;
+  {
+    std::shared_lock<std::shared_mutex> lock(meta_latch_);
+    if (id >= metas_.size()) {
+      return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
+    }
+    const Meta& meta = metas_[id];
+    note.id = id;
+    note.kind = meta.kind;
+    note.author = meta.author;
+    note.timestamp = meta.timestamp;
+    note.title = meta.title;
+    note.archived = meta.archived;
+    body_rid = meta.body;
+  }
+  // Body fetch outside the metadata latch; the heap file latches itself.
+  INSIGHTNOTES_ASSIGN_OR_RETURN(note.body, bodies_.Get(body_rid));
   return note;
 }
 
 const std::vector<Attachment>& AnnotationStore::OnRow(rel::TableId table,
                                                       rel::RowId row) const {
+  std::shared_lock<std::shared_mutex> lock(meta_latch_);
   auto it = by_row_.find(RowKey{table, row});
   return it == by_row_.end() ? kNoAttachments : it->second;
 }
 
 std::vector<AnnotationId> AnnotationStore::OnCell(rel::TableId table, rel::RowId row,
                                                   size_t column) const {
+  std::shared_lock<std::shared_mutex> lock(meta_latch_);
   std::vector<AnnotationId> out;
-  for (const Attachment& a : OnRow(table, row)) {
+  auto it = by_row_.find(RowKey{table, row});
+  if (it == by_row_.end()) return out;
+  for (const Attachment& a : it->second) {
     if (a.columns.empty() ||
         std::find(a.columns.begin(), a.columns.end(), column) != a.columns.end()) {
       out.push_back(a.annotation);
@@ -214,6 +222,7 @@ std::vector<AnnotationId> AnnotationStore::OnCell(rel::TableId table, rel::RowId
 }
 
 Result<std::vector<CellRegion>> AnnotationStore::RegionsOf(AnnotationId id) const {
+  std::shared_lock<std::shared_mutex> lock(meta_latch_);
   if (id >= metas_.size()) {
     return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
   }
@@ -221,6 +230,7 @@ Result<std::vector<CellRegion>> AnnotationStore::RegionsOf(AnnotationId id) cons
 }
 
 Status AnnotationStore::Archive(AnnotationId id) {
+  std::unique_lock<std::shared_mutex> lock(meta_latch_);
   if (id >= metas_.size()) {
     return Status::NotFound("annotation " + std::to_string(id) + " does not exist");
   }
@@ -229,12 +239,14 @@ Status AnnotationStore::Archive(AnnotationId id) {
 }
 
 bool AnnotationStore::IsArchived(AnnotationId id) const {
+  std::shared_lock<std::shared_mutex> lock(meta_latch_);
   return id < metas_.size() && metas_[id].archived;
 }
 
 void AnnotationStore::ScanTable(
     rel::TableId table,
     const std::function<bool(rel::RowId, const Attachment&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(meta_latch_);
   // Deterministic order: collect row keys for this table, sorted by row.
   std::vector<rel::RowId> rows;
   for (const auto& [key, attachments] : by_row_) {
@@ -251,6 +263,7 @@ void AnnotationStore::ScanTable(
 void AnnotationStore::ForEachRow(
     const std::function<void(rel::TableId, rel::RowId,
                              const std::vector<Attachment>&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(meta_latch_);
   for (const auto& [key, attachments] : by_row_) {
     if (!attachments.empty()) fn(key.first, key.second, attachments);
   }

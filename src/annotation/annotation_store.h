@@ -10,7 +10,7 @@
 #include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -28,12 +28,16 @@ struct Attachment {
   std::vector<size_t> columns;  // Empty = whole row.
 };
 
-/// Thread-safety: writers (Add/Attach/Archive) must be externally
-/// serialized. The read surface (Get/OnRow/OnCell/RegionsOf/IsArchived/
-/// ScanTable) is safe for concurrent readers while no writer is active —
-/// body fetches go through the shared (not thread-safe) buffer pool and are
-/// serialized internally; the metadata maps are read without locks. Ingest
-/// shards reading disjoint tuple buckets rely on this.
+/// Thread-safety: writers (Add/Attach/Archive) must still be externally
+/// serialized (the engine's writer mutex does this), but the read surface
+/// (Get/OnRow/OnCell/RegionsOf/IsArchived/ScanTable/ForEachRow) is now safe
+/// against one concurrent writer: a shared_mutex over the metadata
+/// (exclusive for mutation, shared for reads) keeps readers off reallocating
+/// vectors, and body bytes go through the heap file's own latch. OnRow's
+/// returned reference is only guaranteed stable for rows the active writer
+/// does not touch — epoch-pinned queries read attachments from their
+/// snapshot, not from here. The parallel-recovery surface stays lock-free
+/// (disjoint pre-sized slots; no readers exist during recovery).
 class AnnotationStore {
  public:
   /// `pool` backs the annotation-body heap file and must outlive the store.
@@ -72,7 +76,9 @@ class AnnotationStore {
   bool IsArchived(AnnotationId id) const;
 
   /// Number of distinct annotations.
-  uint64_t NumAnnotations() const { return metas_.size(); }
+  uint64_t NumAnnotations() const {
+    return num_annotations_.load(std::memory_order_acquire);
+  }
 
   /// Number of (annotation, row) attachments.
   uint64_t NumAttachments() const {
@@ -142,13 +148,14 @@ class AnnotationStore {
   /// have been pre-created by BeginParallelRecovery (no map mutation).
   Status AttachImpl(AnnotationId id, const CellRegion& region, bool recovery);
 
-  // Serializes body reads: HeapFile::Get mutates buffer-pool frame state
-  // (pins, eviction) even though it is logically const. During parallel
-  // recovery it also serializes body appends.
-  mutable std::mutex bodies_mutex_;
-  storage::HeapFile bodies_;
+  storage::HeapFile bodies_;  // Internally latched; serializes body I/O.
+  // Guards metas_ and by_row_ structure: exclusive for normal mutation,
+  // shared for reads. Not taken on the recovery paths (see above).
+  mutable std::shared_mutex meta_latch_;
   std::vector<Meta> metas_;  // Indexed by AnnotationId.
   std::unordered_map<RowKey, std::vector<Attachment>, RowKeyHash> by_row_;
+  // metas_.size(), readable without the latch.
+  std::atomic<uint64_t> num_annotations_{0};
   // Atomic so concurrent recovery chains can bump it; plain increments
   // elsewhere (writers are externally serialized).
   std::atomic<uint64_t> num_attachments_{0};

@@ -50,6 +50,7 @@ Status Engine::Init() {
 Status Engine::InitStorage() {
   StopWalCompactor();
   recovery_required_ = Status::OK();
+  poisoned_.store(false, std::memory_order_release);
   disk_ = options_.disk != nullptr ? options_.disk
                                    : std::make_shared<storage::DiskManager>();
   const bool file_backed = !options_.db_path.empty();
@@ -189,6 +190,12 @@ Status Engine::InitStorage() {
     }
     parked_page_file_.clear();
   }
+  {
+    // First epoch: recovered row states (attachments only — summary links
+    // are configuration, re-established after Init).
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    PublishFull();
+  }
   return Status::OK();
 }
 
@@ -260,9 +267,66 @@ Status Engine::CheckMutable() const {
 
 void Engine::MarkRecoveryRequired(const Status& cause) {
   if (recovery_required_.ok()) recovery_required_ = cause;
+  // New snapshot pins are refused from here on; already-pinned readers
+  // drain against their (pre-failure) epoch undisturbed.
+  poisoned_.store(true, std::memory_order_release);
   INSIGHTNOTES_LOG(Error)
       << "a WAL-committed record failed to apply; engine requires recovery: "
       << cause.ToString();
+}
+
+Result<ReadSnapshot> Engine::PinSnapshot() const {
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return Status::Internal(
+        "engine requires recovery: new snapshots are refused (pinned "
+        "readers may finish)");
+  }
+  std::shared_ptr<const EngineSnapshot> snap =
+      published_.load(std::memory_order_acquire);
+  if (snap == nullptr) {
+    return Status::Internal("no published snapshot (engine not initialized)");
+  }
+  return snap;
+}
+
+uint64_t Engine::CurrentEpoch() const {
+  std::shared_ptr<const EngineSnapshot> snap =
+      published_.load(std::memory_order_acquire);
+  return snap == nullptr ? 0 : snap->epoch();
+}
+
+std::unordered_map<rel::TableId, rel::RowId> Engine::CurrentBounds() const {
+  std::unordered_map<rel::TableId, rel::RowId> bounds;
+  if (catalog_ == nullptr) return bounds;
+  for (const std::string& name : catalog_->TableNames()) {
+    Result<rel::Table*> table = catalog_->GetTable(name);
+    if (table.ok()) bounds[(*table)->id()] = (*table)->RowBound();
+  }
+  return bounds;
+}
+
+// Writer mutex held: epoch_counter_ and the load/build/store sequence are
+// single-writer; readers only ever acquire-load published_.
+void Engine::PublishFull() {
+  EngineSnapshot::Sources src{store_.get(), manager_.get()};
+  published_.store(EngineSnapshot::BuildFull(src, CurrentBounds(), ++epoch_counter_,
+                                             epochs_retired_),
+                   std::memory_order_release);
+}
+
+void Engine::PublishDelta(const std::vector<EngineSnapshot::RowKey>& dirty,
+                          const std::vector<ann::AnnotationId>& newly_archived) {
+  std::shared_ptr<const EngineSnapshot> prev =
+      published_.load(std::memory_order_acquire);
+  if (prev == nullptr) {
+    PublishFull();
+    return;
+  }
+  EngineSnapshot::Sources src{store_.get(), manager_.get()};
+  published_.store(EngineSnapshot::BuildDelta(*prev, src, dirty, newly_archived,
+                                              CurrentBounds(), ++epoch_counter_,
+                                              epochs_retired_),
+                   std::memory_order_release);
 }
 
 Result<storage::SegmentedWal::Mark> Engine::WalMark() {
@@ -281,6 +345,10 @@ void Engine::RewindWal(const storage::SegmentedWal::Mark& mark) {
 }
 
 Status Engine::Checkpoint() {
+  // Serialized with the other mutators: the durability point must not
+  // interleave with a half-applied mutation. No epoch is published — a
+  // checkpoint changes nothing readers can see.
+  std::lock_guard<std::mutex> writer(writer_mutex_);
   Status first_error = Status::OK();
   auto keep_first = [&first_error](Status s) {
     if (first_error.ok() && !s.ok()) first_error = std::move(s);
@@ -368,19 +436,38 @@ WalCompactionStats Engine::wal_compaction() const {
   return wal_compaction_;
 }
 
-Result<size_t> Engine::RepairStaleSummaries() { return manager_->RepairStale(); }
+Result<size_t> Engine::RepairStaleSummaries() {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  Result<size_t> repaired = manager_->RepairStale();
+  // Repairs touch arbitrary rows; a full rebuild is the safe publication.
+  if (repaired.ok() && *repaired > 0) PublishFull();
+  return repaired;
+}
 
 Result<rel::Table*> Engine::CreateTable(const std::string& name, rel::Schema schema) {
-  return catalog_->CreateTable(name, std::move(schema));
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  Result<rel::Table*> table = catalog_->CreateTable(name, std::move(schema));
+  // Bounds-only delta: the new table starts empty but must be covered, or
+  // epoch readers would fall back to live reads on it.
+  if (table.ok()) PublishDelta({});
+  return table;
 }
 
 Result<rel::RowId> Engine::Insert(const std::string& table, rel::Tuple tuple) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
-  return t->Insert(tuple);
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  Result<rel::RowId> row = t->Insert(tuple);
+  // Bounds-only delta: a fresh row has no annotations yet, so only the
+  // visible-row bound moves.
+  if (row.ok()) PublishDelta({});
+  return row;
 }
 
 Result<uint64_t> Engine::Analyze(const std::string& table) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
+  // Serialized with mutators so the scan sees a stable store. Stats are
+  // advisory — no epoch is published.
+  std::lock_guard<std::mutex> writer(writer_mutex_);
   const rel::Schema& schema = t->schema();
   std::vector<std::vector<rel::Value>> column_values(schema.NumColumns());
   uint64_t rows = 0;
@@ -428,6 +515,9 @@ Result<uint64_t> Engine::Analyze(const std::string& table) {
 Status Engine::CreateIndex(const std::string& table, const std::string& column) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
   INSIGHTNOTES_ASSIGN_OR_RETURN(size_t position, t->schema().IndexOf(column));
+  // Serialized with mutators (the build scans the heap); indexes are not
+  // part of the snapshot, so no epoch is published.
+  std::lock_guard<std::mutex> writer(writer_mutex_);
   return t->CreateIndex(position);
 }
 
@@ -461,6 +551,7 @@ ann::Annotation NoteFromSpec(const AnnotateSpec& spec) {
 }  // namespace
 
 Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
   INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * table, ValidateAnnotateSpec(spec));
   ann::CellRegion region{table->id(), spec.row, spec.columns};
@@ -486,7 +577,12 @@ Result<ann::AnnotationId> Engine::Annotate(const AnnotateSpec& spec) {
     MarkRecoveryRequired(added.status());
     return added.status();
   }
-  INSIGHTNOTES_RETURN_IF_ERROR(manager_->OnAnnotationAttached(*added, region));
+  Status maintained = manager_->OnAnnotationAttached(*added, region);
+  // The annotation is committed either way; the next epoch must reflect it
+  // (a maintenance failure leaves the row's summaries repairable, and the
+  // snapshot re-reads whatever state the manager holds).
+  PublishDelta({{table->id(), spec.row}});
+  INSIGHTNOTES_RETURN_IF_ERROR(maintained);
   return *added;
 }
 
@@ -498,14 +594,18 @@ ThreadPool* Engine::EnsureIngestPool(size_t num_threads) {
 }
 
 ThreadPool* Engine::ExecPool(size_t num_threads) {
-  if (exec_pool_ == nullptr || exec_pool_->num_threads() != num_threads) {
-    exec_pool_ = std::make_unique<ThreadPool>(num_threads);
-  }
-  return exec_pool_.get();
+  // Cached per size and never destroyed: a retained plan (zoom-in
+  // re-execution) keeps a raw pool pointer, which must stay valid even as
+  // other sessions request different parallelism degrees.
+  std::lock_guard<std::mutex> lock(exec_pools_mutex_);
+  std::unique_ptr<ThreadPool>& pool = exec_pools_[num_threads];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
+  return pool.get();
 }
 
 Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
     std::span<const AnnotateSpec> specs, const AnnotateBatchOptions& options) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
   INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   // Validate the whole batch up front so a malformed spec cannot leave a
   // half-ingested batch behind.
@@ -578,12 +678,22 @@ Result<std::vector<ann::AnnotationId>> Engine::AnnotateBatch(
   }
   ThreadPool* pool =
       options.num_threads > 1 ? EnsureIngestPool(options.num_threads) : nullptr;
-  INSIGHTNOTES_RETURN_IF_ERROR(manager_->ApplyAnnotationBatch(batch, pool));
+  Status applied = manager_->ApplyAnnotationBatch(batch, pool);
+  // Publish one epoch for the whole batch — running readers keep their
+  // pinned epoch, the next query sees every new annotation at once.
+  std::vector<EngineSnapshot::RowKey> dirty;
+  dirty.reserve(batch.size());
+  for (const BatchAnnotation& item : batch) {
+    dirty.emplace_back(item.region.table, item.region.row);
+  }
+  PublishDelta(dirty);
+  INSIGHTNOTES_RETURN_IF_ERROR(applied);
   return ids;
 }
 
 Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,
                                 rel::RowId row, std::vector<size_t> columns) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
   INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
   if (!t->IsLive(row)) {
@@ -608,10 +718,13 @@ Status Engine::AttachAnnotation(ann::AnnotationId id, const std::string& table,
     MarkRecoveryRequired(applied);
     return applied;
   }
-  return manager_->OnAnnotationAttached(id, region);
+  Status maintained = manager_->OnAnnotationAttached(id, region);
+  PublishDelta({{region.table, region.row}});
+  return maintained;
 }
 
 Status Engine::ArchiveAnnotation(ann::AnnotationId id) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
   INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
   INSIGHTNOTES_ASSIGN_OR_RETURN(auto regions, store_->RegionsOf(id));
   INSIGHTNOTES_RETURN_IF_ERROR(MaybeRotateWal());
@@ -627,29 +740,57 @@ Status Engine::ArchiveAnnotation(ann::AnnotationId id) {
     return applied;
   }
   // Remove the archived annotation's effect from every affected row.
+  Status rebuilt = Status::OK();
   for (const ann::CellRegion& region : regions) {
-    INSIGHTNOTES_RETURN_IF_ERROR(manager_->RebuildRow(region.table, region.row));
+    rebuilt = manager_->RebuildRow(region.table, region.row);
+    if (!rebuilt.ok()) break;
   }
-  return Status::OK();
+  // The archive is committed regardless of rebuild success; the epoch must
+  // carry the flipped archived bit so pinned readers elsewhere stay put and
+  // new readers skip the annotation.
+  std::vector<EngineSnapshot::RowKey> dirty;
+  dirty.reserve(regions.size());
+  for (const ann::CellRegion& region : regions) {
+    dirty.emplace_back(region.table, region.row);
+  }
+  PublishDelta(dirty, {id});
+  return rebuilt;
 }
 
 Status Engine::RegisterInstance(std::unique_ptr<SummaryInstance> instance) {
+  // Registration alone changes no links or objects; no publish needed.
+  std::lock_guard<std::mutex> writer(writer_mutex_);
   return manager_->RegisterInstance(std::move(instance));
 }
 
 Status Engine::LinkInstance(const std::string& instance, const std::string& table) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
-  return manager_->Link(instance, t->id());
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  Status linked = manager_->Link(instance, t->id());
+  // Link re-summarizes every annotated row of the table: full rebuild.
+  if (linked.ok()) PublishFull();
+  return linked;
 }
 
 Status Engine::UnlinkInstance(const std::string& instance, const std::string& table) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Table * t, catalog_->GetTable(table));
-  return manager_->Unlink(instance, t->id());
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  Status unlinked = manager_->Unlink(instance, t->id());
+  if (unlinked.ok()) PublishFull();
+  return unlinked;
 }
 
 Result<QueryResult> Engine::Execute(std::unique_ptr<exec::Operator> plan,
                                     std::vector<TraceEvent>* trace) {
-  if (trace != nullptr) {
+  ExecuteOptions options;
+  options.trace = trace;
+  return Execute(std::move(plan), std::move(options));
+}
+
+Result<QueryResult> Engine::Execute(std::unique_ptr<exec::Operator> plan,
+                                    ExecuteOptions options) {
+  if (options.trace != nullptr) {
+    std::vector<TraceEvent>* trace = options.trace;
     plan->SetTraceSink([trace](const std::string& op, const AnnotatedTuple& t) {
       TraceEvent event;
       event.op = op;
@@ -661,6 +802,24 @@ Result<QueryResult> Engine::Execute(std::unique_ptr<exec::Operator> plan,
       trace->push_back(std::move(event));
     });
   }
+
+  // Resolve the epoch this query reads. An explicit snapshot wins; else the
+  // current epoch is pinned with one acquire-load. A refused pin (storage
+  // not initialized, or the recovery-required state) falls back to live
+  // reads, preserving "reads still serve the pre-failure state".
+  ReadSnapshot snap = options.snapshot;
+  if (snap == nullptr) {
+    Result<ReadSnapshot> pinned = PinSnapshot();
+    if (pinned.ok()) snap = *pinned;
+  }
+  // The snapshot rides on the plan's query context; bare operator trees
+  // (tests, benches) get a default one.
+  std::shared_ptr<exec::QueryContext> context = plan->shared_query_context();
+  if (context == nullptr) {
+    context = std::make_shared<exec::QueryContext>();
+    plan->SetQueryContext(context);
+  }
+  context->SetSnapshot(snap);
 
   Stopwatch watch;
   QueryResult result;
@@ -679,6 +838,7 @@ Result<QueryResult> Engine::Execute(std::unique_ptr<exec::Operator> plan,
     return Status::OK();
   };
   Status executed = drain();
+  context->SetSnapshot(nullptr);  // The plan is fully drained or failed.
   if (!executed.ok()) {
     // A cancelled / timed-out / failed plan must not leave workers running
     // or memory reserved: Close joins the parallel section and releases
@@ -690,17 +850,30 @@ Result<QueryResult> Engine::Execute(std::unique_ptr<exec::Operator> plan,
     return executed;
   }
   result.execute_seconds = watch.ElapsedSeconds();
-  result.qid = ++next_qid_;
+  result.epoch = snap != nullptr ? snap->epoch() : 0;
+  result.qid = options.qid != 0
+                   ? options.qid
+                   : next_qid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options.trace != nullptr) plan->SetTraceSink(nullptr);
+  if (!options.retain) return result;
 
-  // Materialize the snapshot into the zoom-in cache and retain the plan for
+  // Materialize the snapshot into the zoom-in cache and retain the plan
+  // (with its pinned epoch, so re-execution reproduces these bytes) for
   // cache-miss re-execution.
+  auto stored = std::make_shared<StoredQuery>();
+  stored->schema = result.schema;
+  stored->cost = result.execute_seconds;
+  stored->snapshot = snap;
   INSIGHTNOTES_ASSIGN_OR_RETURN(ResultSnapshot snapshot,
                                 ResultSnapshot::Capture(result.schema, result.rows));
-  INSIGHTNOTES_RETURN_IF_ERROR(
-      cache_->Put(result.qid, snapshot, result.execute_seconds));
-  if (trace != nullptr) plan->SetTraceSink(nullptr);
-  queries_[result.qid] =
-      StoredQuery{std::move(plan), result.schema, result.execute_seconds};
+  INSIGHTNOTES_RETURN_IF_ERROR(cache_->Put(result.qid, snapshot,
+                                           result.execute_seconds,
+                                           EpochKeyOf(*stored)));
+  stored->plan = std::move(plan);
+  {
+    std::lock_guard<std::mutex> lock(queries_mutex_);
+    queries_[result.qid] = std::move(stored);
+  }
   return result;
 }
 
@@ -712,27 +885,55 @@ Result<std::unique_ptr<exec::Operator>> Engine::MakeScan(const std::string& tabl
       t, alias.empty() ? table : alias, manager_.get(), store_.get(), with_summaries));
 }
 
+uint64_t Engine::EpochKeyOf(const StoredQuery& stored) {
+  return stored.snapshot != nullptr ? stored.snapshot->epoch()
+                                    : ZoomInCache::kAnyEpoch;
+}
+
 Result<ResultSnapshot> Engine::SnapshotFor(QueryId qid, bool* from_cache) {
-  auto cached = cache_->Get(qid);
+  std::shared_ptr<StoredQuery> stored;
+  {
+    std::lock_guard<std::mutex> lock(queries_mutex_);
+    auto it = queries_.find(qid);
+    if (it != queries_.end()) stored = it->second;
+  }
+  const uint64_t epoch_key =
+      stored != nullptr ? EpochKeyOf(*stored) : ZoomInCache::kAnyEpoch;
+  auto cached = cache_->Get(qid, epoch_key);
   if (cached.ok()) {
     *from_cache = true;
     return cached;
   }
   *from_cache = false;
-  auto it = queries_.find(qid);
-  if (it == queries_.end()) {
+  if (stored == nullptr) {
     return Status::NotFound("QID " + std::to_string(qid) + " is unknown");
   }
-  // Cache miss: transparently re-execute the retained plan.
+  // Cache miss: transparently re-execute the retained plan. Operators are
+  // stateful, so only one session may drive the plan at a time; the cache
+  // is re-checked under the lock so a raced miss does not execute twice.
+  std::lock_guard<std::mutex> exec_lock(stored->exec_mutex);
+  cached = cache_->Get(qid, epoch_key);
+  if (cached.ok()) {
+    *from_cache = true;
+    return cached;
+  }
   INSIGHTNOTES_LOG(Info) << "zoom-in cache miss for QID " << qid << "; re-executing";
-  StoredQuery& stored = it->second;
+  std::shared_ptr<exec::QueryContext> context =
+      stored->plan->shared_query_context();
+  if (context == nullptr) {
+    context = std::make_shared<exec::QueryContext>();
+    stored->plan->SetQueryContext(context);
+  }
+  // Re-pin the epoch the result was first computed at: a zoom-in after
+  // further ingest reproduces the original bytes.
+  context->SetSnapshot(stored->snapshot);
   std::vector<AnnotatedTuple> rows;
   auto reexecute = [&]() -> Status {
-    INSIGHTNOTES_RETURN_IF_ERROR(stored.plan->Open());
-    rows.reserve(stored.plan->EstimatedRows());
+    INSIGHTNOTES_RETURN_IF_ERROR(stored->plan->Open());
+    rows.reserve(stored->plan->EstimatedRows());
     AnnotatedBatch batch;
     while (true) {
-      INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, stored.plan->NextBatch(&batch));
+      INSIGHTNOTES_ASSIGN_OR_RETURN(bool more, stored->plan->NextBatch(&batch));
       if (!more) break;
       for (AnnotatedTuple& tuple : batch.tuples) {
         rows.push_back(std::move(tuple));
@@ -741,8 +942,9 @@ Result<ResultSnapshot> Engine::SnapshotFor(QueryId qid, bool* from_cache) {
     return Status::OK();
   };
   Status executed = reexecute();
+  context->SetSnapshot(nullptr);
   if (!executed.ok()) {
-    Status closed = stored.plan->Close();
+    Status closed = stored->plan->Close();
     if (!closed.ok()) {
       INSIGHTNOTES_LOG(Warning) << "closing failed re-execution: "
                                 << closed.ToString();
@@ -750,21 +952,30 @@ Result<ResultSnapshot> Engine::SnapshotFor(QueryId qid, bool* from_cache) {
     return executed;
   }
   INSIGHTNOTES_ASSIGN_OR_RETURN(ResultSnapshot snapshot,
-                                ResultSnapshot::Capture(stored.schema, rows));
-  INSIGHTNOTES_RETURN_IF_ERROR(cache_->Put(qid, snapshot, stored.cost));
+                                ResultSnapshot::Capture(stored->schema, rows));
+  INSIGHTNOTES_RETURN_IF_ERROR(cache_->Put(qid, snapshot, stored->cost, epoch_key));
   return snapshot;
 }
 
 Result<rel::Schema> Engine::SchemaOf(QueryId qid) const {
+  std::lock_guard<std::mutex> lock(queries_mutex_);
   auto it = queries_.find(qid);
   if (it == queries_.end()) {
     return Status::NotFound("QID " + std::to_string(qid) + " is unknown");
   }
-  return it->second.schema;
+  return it->second->schema;
 }
 
 Result<ZoomInResult> Engine::ZoomIn(const ZoomInRequest& request) {
   ZoomInResult result;
+  // The query's pinned epoch (if any) decides how archived-ness is
+  // reported below.
+  ReadSnapshot pinned;
+  {
+    std::lock_guard<std::mutex> lock(queries_mutex_);
+    auto it = queries_.find(request.qid);
+    if (it != queries_.end()) pinned = it->second->snapshot;
+  }
   INSIGHTNOTES_ASSIGN_OR_RETURN(ResultSnapshot snapshot,
                                 SnapshotFor(request.qid, &result.served_from_cache));
   INSIGHTNOTES_ASSIGN_OR_RETURN(auto matches, ResolveZoomIn(snapshot, request));
@@ -777,6 +988,10 @@ Result<ZoomInResult> Engine::ZoomIn(const ZoomInRequest& request) {
     row.annotations.reserve(component.ids.size());
     for (ann::AnnotationId id : component.ids) {
       INSIGHTNOTES_ASSIGN_OR_RETURN(ann::Annotation note, store_->Get(id));
+      // Bodies are immutable once stored, but archived-ness is curation
+      // state: report it as of the query's epoch, not live, so the zoom-in
+      // is consistent with the summaries it drills into.
+      if (pinned != nullptr) note.archived = pinned->IsArchived(id);
       row.annotations.push_back(std::move(note));
     }
     result.rows.push_back(std::move(row));

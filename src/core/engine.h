@@ -14,7 +14,9 @@
 #ifndef INSIGHTNOTES_CORE_ENGINE_H_
 #define INSIGHTNOTES_CORE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -26,6 +28,7 @@
 #include "annotation/annotation_store.h"
 #include "annotation/wal_records.h"
 #include "common/result.h"
+#include "core/engine_snapshot.h"
 #include "core/rco_cache.h"
 #include "core/summary_manager.h"
 #include "core/zoom_in.h"
@@ -107,6 +110,21 @@ struct QueryResult {
   rel::Schema schema;
   std::vector<AnnotatedTuple> rows;
   double execute_seconds = 0.0;
+  uint64_t epoch = 0;  // Epoch the query ran against (0 = live reads).
+};
+
+/// Per-call knobs of Engine::Execute (concurrent sessions use all three).
+struct ExecuteOptions {
+  /// 0 = assign from the engine's global counter; non-zero = the caller
+  /// (a session with its own QID namespace) picked the id.
+  QueryId qid = 0;
+  /// Epoch to execute against; null pins the current epoch at entry.
+  ReadSnapshot snapshot;
+  /// Register the result for zoom-in (cache insert + retained plan). Bulk
+  /// benchmark/fuzz readers pass false so the registry stays bounded.
+  bool retain = true;
+  /// Per-operator tuple flow recording (Figure 2 walk-through).
+  std::vector<TraceEvent>* trace = nullptr;
 };
 
 struct AnnotateSpec {
@@ -226,13 +244,43 @@ class Engine {
   Status LinkInstance(const std::string& instance, const std::string& table);
   Status UnlinkInstance(const std::string& instance, const std::string& table);
 
+  // --- Snapshot isolation ----------------------------------------------------
+  /// Pins the currently published epoch: one acquire-load, no locks. The
+  /// returned handle keeps that epoch's row states, summary versions and
+  /// archived bitmap alive until released; mutators never touch it. Refused
+  /// (without disturbing already-pinned readers) once the engine entered the
+  /// recovery-required state.
+  Result<ReadSnapshot> PinSnapshot() const;
+
+  /// Epoch of the currently published snapshot (0 before Init).
+  uint64_t CurrentEpoch() const;
+
+  /// Epochs fully retired so far: published, superseded, and dropped by
+  /// their last reader. The tests' leak check for epoch lifetime.
+  uint64_t RetiredEpochs() const {
+    return epochs_retired_->load(std::memory_order_acquire);
+  }
+
+  /// Allocates a QID namespace for one SqlSession. Namespace 0 (the first)
+  /// is the legacy single-session namespace backed by the engine's global
+  /// counter; later sessions derive QIDs as (namespace << 48) | local.
+  uint64_t NewSessionNamespace() {
+    return next_session_ns_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // --- Query execution ------------------------------------------------------
   /// Runs `plan` to completion, assigns a QID, registers the result in the
   /// zoom-in cache, and retains the plan for cache-miss re-execution. With
   /// `trace` non-null, per-operator tuple flow is recorded (Figure 2
-  /// walk-through / demo feature 3).
+  /// walk-through / demo feature 3). The query executes against one pinned
+  /// epoch (see ExecuteOptions::snapshot), so concurrent AnnotateBatch
+  /// ingest never bleeds into a running result.
   Result<QueryResult> Execute(std::unique_ptr<exec::Operator> plan,
                               std::vector<TraceEvent>* trace = nullptr);
+
+  /// Execute with explicit per-call options (sessions, benches, fuzz).
+  Result<QueryResult> Execute(std::unique_ptr<exec::Operator> plan,
+                              ExecuteOptions options);
 
   /// Builds a summary-aware scan over `table`.
   Result<std::unique_ptr<exec::Operator>> MakeScan(const std::string& table,
@@ -249,9 +297,12 @@ class Engine {
   /// predicates against the result).
   Result<rel::Schema> SchemaOf(QueryId qid) const;
 
-  /// Lazily (re)builds the query-execution pool with `num_threads` workers.
-  /// Used by the planner's parallel section (exec::GatherOperator); the
-  /// pool is shared by all queries of this engine.
+  /// Returns the query-execution pool with `num_threads` workers, building
+  /// it on first use. Used by the planner's parallel section
+  /// (exec::GatherOperator). Pools are cached per size and never destroyed
+  /// while the engine lives, so plans retained for zoom-in re-execution
+  /// keep valid pool pointers even as other sessions request different
+  /// parallelism degrees.
   ThreadPool* ExecPool(size_t num_threads);
 
   // --- Component access (benches, tests, shell) ------------------------------
@@ -268,9 +319,30 @@ class Engine {
     std::unique_ptr<exec::Operator> plan;
     rel::Schema schema;
     double cost = 0.0;
+    /// Epoch the stored result was computed at; re-execution re-pins it so
+    /// a zoom-in after further ingest reproduces the original bytes.
+    ReadSnapshot snapshot;
+    /// Serializes cache-miss re-execution of this plan across sessions
+    /// (operators are stateful; two threads must not Open() one plan).
+    std::mutex exec_mutex;
   };
 
   Result<ResultSnapshot> SnapshotFor(QueryId qid, bool* from_cache);
+
+  /// Cache key for a stored query's result (kAnyEpoch when it ran live).
+  static uint64_t EpochKeyOf(const StoredQuery& stored);
+
+  /// Visible-row bound of every catalog table right now (writer thread).
+  std::unordered_map<rel::TableId, rel::RowId> CurrentBounds() const;
+
+  /// Publishes a from-scratch snapshot of the current state (Init, Link/
+  /// Unlink, stale repair). Writer mutex must be held.
+  void PublishFull();
+
+  /// Publishes the next epoch re-reading only `dirty` rows. Writer mutex
+  /// must be held.
+  void PublishDelta(const std::vector<EngineSnapshot::RowKey>& dirty,
+                    const std::vector<ann::AnnotationId>& newly_archived = {});
 
   /// Validates an annotate spec against the catalog (table, row liveness,
   /// column range) and returns the target table.
@@ -346,9 +418,31 @@ class Engine {
   std::unique_ptr<SummaryManager> manager_;
   std::unique_ptr<ZoomInCache> cache_;
   std::unique_ptr<ThreadPool> ingest_pool_;  // Lazily sized by AnnotateBatch.
-  std::unique_ptr<ThreadPool> exec_pool_;    // Lazily sized by ExecPool().
-  std::unordered_map<QueryId, StoredQuery> queries_;
-  QueryId next_qid_ = 100;  // Figure 3 shows QIDs starting at 101.
+  // Exec pools cached per worker count (see ExecPool()).
+  std::mutex exec_pools_mutex_;
+  std::map<size_t, std::unique_ptr<ThreadPool>> exec_pools_;
+  // Query registry: guarded by queries_mutex_ so concurrent sessions can
+  // register/look up results; entries are shared_ptr so a lookup can leave
+  // the lock before re-executing.
+  mutable std::mutex queries_mutex_;
+  std::unordered_map<QueryId, std::shared_ptr<StoredQuery>> queries_;
+  // Atomic: sessions in namespace 0 assign QIDs concurrently.
+  std::atomic<QueryId> next_qid_{100};  // Figure 3 shows QIDs starting at 101.
+  std::atomic<uint64_t> next_session_ns_{0};
+
+  // --- Epoch publication (single writer, many readers) ----------------------
+  // Serializes every mutator (Annotate/AnnotateBatch/Attach/Archive/
+  // Checkpoint/DDL/Analyze/Link). Readers never take it.
+  std::mutex writer_mutex_;
+  // The published epoch; readers pin it with one acquire-load.
+  std::atomic<std::shared_ptr<const EngineSnapshot>> published_;
+  uint64_t epoch_counter_ = 0;  // Writer-mutex-guarded.
+  // Outlives any pinned snapshot (snapshots hold a shared_ptr to it), so a
+  // reader draining after engine teardown still retires cleanly.
+  std::shared_ptr<std::atomic<uint64_t>> epochs_retired_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  // Mirrors requires_recovery() for lock-free PinSnapshot refusal.
+  std::atomic<bool> poisoned_{false};
 
   // Background WAL compactor: Checkpoint schedules passes; the thread
   // drains them. Guarded by compact_mutex_ except the stats, which have

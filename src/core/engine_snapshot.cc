@@ -1,0 +1,171 @@
+#include "core/engine_snapshot.h"
+
+#include <algorithm>
+
+#include "core/summary_manager.h"
+
+namespace insightnotes::core {
+
+EngineSnapshot::~EngineSnapshot() {
+  if (retired_ != nullptr) retired_->fetch_add(1, std::memory_order_relaxed);
+}
+
+const EngineSnapshot::RowState* EngineSnapshot::FindRow(rel::TableId table,
+                                                        rel::RowId row) const {
+  const RowKey key{table, row};
+  const Shard* shard = shards_[ShardOf(key)].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->rows.find(key);
+  return it == shard->rows.end() ? nullptr : it->second.get();
+}
+
+Result<std::vector<std::unique_ptr<SummaryObject>>> EngineSnapshot::SummariesFor(
+    rel::TableId table, rel::RowId row) const {
+  std::vector<std::unique_ptr<SummaryObject>> out;
+  const RowState* state = FindRow(table, row);
+  if (state != nullptr && state->has_objects) {
+    out.reserve(state->summaries.size());
+    for (const auto& object : state->summaries) out.push_back(object->Clone());
+    return out;
+  }
+  // Same fallback as SummaryManager::SummariesFor: one empty object per
+  // instance linked (at this epoch) to the table.
+  if (links_ != nullptr) {
+    auto it = links_->find(table);
+    if (it != links_->end()) {
+      out.reserve(it->second.size());
+      for (SummaryInstance* instance : it->second) out.push_back(instance->NewObject());
+    }
+  }
+  return out;
+}
+
+void EngineSnapshot::AppendAttachments(rel::TableId table, rel::RowId row,
+                                       std::vector<AttachmentInfo>* out) const {
+  const RowState* state = FindRow(table, row);
+  if (state == nullptr) return;
+  for (const ann::Attachment& att : state->attachments) {
+    if (IsArchived(att.annotation)) continue;
+    out->push_back(AttachmentInfo{att.annotation, att.columns});
+  }
+}
+
+std::shared_ptr<const EngineSnapshot::RowState> EngineSnapshot::ReadRowState(
+    const Sources& src, const RowKey& key) {
+  const std::vector<ann::Attachment>& atts = src.store->OnRow(key.first, key.second);
+  const std::vector<std::unique_ptr<SummaryObject>>* objects =
+      src.manager->RowObjects(key.first, key.second);
+  if (atts.empty() && objects == nullptr) return nullptr;
+  auto state = std::make_shared<RowState>();
+  state->attachments = atts;
+  if (objects != nullptr) {
+    state->has_objects = true;
+    state->summaries.reserve(objects->size());
+    for (const auto& object : *objects) {
+      // Clone() is O(1): the copy shares the object's COW payload; the
+      // maintainer's next fold detaches via Own() without touching this one.
+      state->summaries.push_back(
+          std::shared_ptr<const SummaryObject>(object->Clone()));
+    }
+  }
+  return state;
+}
+
+void EngineSnapshot::CaptureGlobals(const Sources& src) {
+  num_annotations_ = src.store->NumAnnotations();
+  links_ = std::make_shared<const std::map<rel::TableId, std::vector<SummaryInstance*>>>(
+      src.manager->AllLinks());
+  bool any_archived = false;
+  std::vector<uint8_t> archived(num_annotations_, 0);
+  for (uint64_t id = 0; id < num_annotations_; ++id) {
+    if (src.store->IsArchived(id)) {
+      archived[id] = 1;
+      any_archived = true;
+    }
+  }
+  if (any_archived) {
+    archived_ = std::make_shared<const std::vector<uint8_t>>(std::move(archived));
+  } else {
+    archived_ = nullptr;
+  }
+}
+
+std::shared_ptr<const EngineSnapshot> EngineSnapshot::BuildFull(
+    const Sources& src, std::unordered_map<rel::TableId, rel::RowId> bounds,
+    uint64_t epoch, std::shared_ptr<std::atomic<uint64_t>> retire_counter) {
+  auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snap->epoch_ = epoch;
+  snap->bounds_ = std::move(bounds);
+  snap->retired_ = std::move(retire_counter);
+  snap->CaptureGlobals(src);
+
+  std::array<std::shared_ptr<Shard>, kNumShards> building;
+  // Every row with maintained objects also has attachments (folds only run
+  // on annotated rows), so the store's row index enumerates all row state.
+  // Keys are collected first so ReadRowState never re-enters the store's
+  // latch from inside the ForEachRow callback.
+  std::vector<RowKey> keys;
+  src.store->ForEachRow([&](rel::TableId table, rel::RowId row,
+                            const std::vector<ann::Attachment>&) {
+    keys.emplace_back(table, row);
+  });
+  for (const RowKey& key : keys) {
+    std::shared_ptr<const RowState> state = ReadRowState(src, key);
+    if (state == nullptr) continue;
+    std::shared_ptr<Shard>& shard = building[ShardOf(key)];
+    if (shard == nullptr) shard = std::make_shared<Shard>();
+    shard->rows.emplace(key, std::move(state));
+  }
+  for (size_t i = 0; i < kNumShards; ++i) snap->shards_[i] = std::move(building[i]);
+  return snap;
+}
+
+std::shared_ptr<const EngineSnapshot> EngineSnapshot::BuildDelta(
+    const EngineSnapshot& prev, const Sources& src,
+    const std::vector<RowKey>& dirty,
+    const std::vector<ann::AnnotationId>& newly_archived,
+    std::unordered_map<rel::TableId, rel::RowId> bounds, uint64_t epoch,
+    std::shared_ptr<std::atomic<uint64_t>> retire_counter) {
+  auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snap->epoch_ = epoch;
+  snap->bounds_ = std::move(bounds);
+  snap->retired_ = std::move(retire_counter);
+  snap->num_annotations_ = src.store->NumAnnotations();
+  snap->links_ = prev.links_;
+  snap->shards_ = prev.shards_;  // Structural sharing; dirty shards replaced below.
+
+  if (newly_archived.empty()) {
+    snap->archived_ = prev.archived_;
+  } else {
+    std::vector<uint8_t> archived(snap->num_annotations_, 0);
+    if (prev.archived_ != nullptr) {
+      std::copy(prev.archived_->begin(), prev.archived_->end(), archived.begin());
+    }
+    for (ann::AnnotationId id : newly_archived) {
+      if (id < archived.size()) archived[id] = 1;
+    }
+    snap->archived_ = std::make_shared<const std::vector<uint8_t>>(std::move(archived));
+  }
+
+  std::array<std::shared_ptr<Shard>, kNumShards> copied;
+  for (const RowKey& key : dirty) {
+    const size_t idx = ShardOf(key);
+    if (copied[idx] == nullptr) {
+      copied[idx] = prev.shards_[idx] != nullptr
+                        ? std::make_shared<Shard>(*prev.shards_[idx])
+                        : std::make_shared<Shard>();
+    }
+    std::shared_ptr<const RowState> state = ReadRowState(src, key);
+    if (state != nullptr) {
+      copied[idx]->rows[key] = std::move(state);
+    } else {
+      copied[idx]->rows.erase(key);
+    }
+  }
+  for (size_t i = 0; i < kNumShards; ++i) {
+    if (copied[i] != nullptr) snap->shards_[i] = std::move(copied[i]);
+  }
+  return snap;
+}
+
+}  // namespace insightnotes::core

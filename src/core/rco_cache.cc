@@ -39,95 +39,149 @@ Status ZoomInCache::Init() {
   return Status::OK();
 }
 
+std::array<std::unique_lock<std::mutex>, ZoomInCache::kNumShards>
+ZoomInCache::LockAll() const {
+  std::array<std::unique_lock<std::mutex>, kNumShards> locks;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mutex);
+  }
+  return locks;
+}
+
+size_t ZoomInCache::NumEntriesLocked() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.entries.size();
+  return n;
+}
+
 Status ZoomInCache::Put(QueryId qid, const ResultSnapshot& snapshot,
-                        double cost_seconds) {
+                        double cost_seconds, uint64_t epoch) {
   if (policy_ == CachePolicy::kNone) {
-    ++stats_.rejected;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   if (heap_ == nullptr) return Status::Internal("cache not initialized");
   std::string bytes;
   snapshot.Serialize(&bytes);
   if (bytes.size() > budget_) {
-    ++stats_.rejected;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();  // Larger than the whole cache: never admitted.
   }
+  // Insertion needs the global directory view (eviction scans every shard),
+  // so it takes all shard mutexes; concurrent Gets on other shards proceed.
+  auto locks = LockAll();
+  Shard& home = shards_[ShardOf(qid)];
   // An existing entry for the same qid is replaced, but it must stay
   // readable until the replacement has fully succeeded: it is pinned
   // against eviction (MakeRoom skips it) and its bytes are discounted from
   // the room calculation since they are reclaimed below.
-  auto existing = entries_.find(qid);
-  size_t reclaimable = existing != entries_.end() ? existing->second.size : 0;
-  const QueryId* pinned = existing != entries_.end() ? &qid : nullptr;
+  auto existing = home.entries.find(qid);
+  size_t reclaimable = existing != home.entries.end() ? existing->second.size : 0;
+  const QueryId* pinned = existing != home.entries.end() ? &qid : nullptr;
   if (!MakeRoom(bytes.size(), reclaimable, pinned)) {
-    ++stats_.rejected;  // Old snapshot (if any) remains readable.
-    return Status::OK();
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();  // Old snapshot (if any) remains readable.
   }
   INSIGHTNOTES_ASSIGN_OR_RETURN(storage::RecordId record, heap_->Append(bytes));
-  if (existing != entries_.end()) {
+  if (existing != home.entries.end()) {
     // The replacement is durable; now drop the old backing record.
     Status s = heap_->Delete(existing->second.record);
-    stats_.bytes_used -= existing->second.size;
-    entries_.erase(existing);
+    bytes_used_.fetch_sub(existing->second.size, std::memory_order_relaxed);
+    home.entries.erase(existing);
     if (!s.ok()) return s;
   }
   Entry entry;
   entry.record = record;
   entry.size = bytes.size();
   entry.cost = cost_seconds;
-  entry.last_ref = ++tick_;
+  entry.epoch = epoch;
+  entry.last_ref = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   entry.ref_count = 1;
-  entries_[qid] = entry;
-  stats_.bytes_used += entry.size;
-  ++stats_.insertions;
+  home.entries[qid] = entry;
+  bytes_used_.fetch_add(entry.size, std::memory_order_relaxed);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<ResultSnapshot> ZoomInCache::Get(QueryId qid) {
-  auto it = entries_.find(qid);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+Result<ResultSnapshot> ZoomInCache::Get(QueryId qid, uint64_t epoch) {
+  Shard& home = shards_[ShardOf(qid)];
+  // The shard mutex is held across the backing read: Put/eviction take all
+  // shard mutexes, so the record cannot be deleted from under us.
+  std::unique_lock<std::mutex> lock(home.mutex);
+  auto it = home.entries.find(qid);
+  if (it == home.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound("result " + std::to_string(qid) + " not cached");
+  }
+  if (epoch != kAnyEpoch && it->second.epoch != kAnyEpoch &&
+      it->second.epoch != epoch) {
+    // Cached at a different epoch than the caller pinned: serving it would
+    // mix summary versions, so it is a miss (the caller re-executes).
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("result " + std::to_string(qid) + " cached at epoch " +
+                            std::to_string(it->second.epoch) + ", not " +
+                            std::to_string(epoch));
   }
   // Read first: the hit is counted and recency/frequency bumped only for a
   // snapshot the caller actually receives. A failed backing read (or a
   // corrupt snapshot) is a miss and leaves the entry's metadata untouched.
   auto bytes = heap_->Get(it->second.record);
   if (!bytes.ok()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return bytes.status();
   }
   auto snapshot = ResultSnapshot::Deserialize(*bytes);
   if (!snapshot.ok()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return snapshot.status();
   }
-  ++stats_.hits;
-  it->second.last_ref = ++tick_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  it->second.last_ref = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   ++it->second.ref_count;
   return snapshot;
 }
 
 Status ZoomInCache::CorruptBackingRecordForTest(QueryId qid) {
-  auto it = entries_.find(qid);
-  if (it == entries_.end()) {
+  Shard& home = shards_[ShardOf(qid)];
+  std::unique_lock<std::mutex> lock(home.mutex);
+  auto it = home.entries.find(qid);
+  if (it == home.entries.end()) {
     return Status::NotFound("result " + std::to_string(qid) + " not cached");
   }
   return heap_->Delete(it->second.record);
 }
 
+bool ZoomInCache::Contains(QueryId qid) const {
+  const Shard& home = shards_[ShardOf(qid)];
+  std::unique_lock<std::mutex> lock(home.mutex);
+  return home.entries.contains(qid);
+}
+
+CacheStats ZoomInCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.bytes_used = bytes_used_.load(std::memory_order_relaxed);
+  return s;
+}
+
 bool ZoomInCache::MakeRoom(size_t needed, size_t reclaimable, const QueryId* exclude) {
-  while (stats_.bytes_used - reclaimable + needed > budget_) {
+  while (bytes_used_.load(std::memory_order_relaxed) - reclaimable + needed >
+         budget_) {
     // The pinned entry (the one being replaced) is not an eviction
     // candidate.
-    if (entries_.size() <= (exclude != nullptr ? 1u : 0u)) return false;
+    if (NumEntriesLocked() <= (exclude != nullptr ? 1u : 0u)) return false;
     QueryId victim = PickVictim(exclude);
-    auto it = entries_.find(victim);
+    Shard& shard = shards_[ShardOf(victim)];
+    auto it = shard.entries.find(victim);
     Status s = heap_->Delete(it->second.record);
     if (!s.ok()) return false;
-    stats_.bytes_used -= it->second.size;
-    entries_.erase(it);
-    ++stats_.evictions;
+    bytes_used_.fetch_sub(it->second.size, std::memory_order_relaxed);
+    shard.entries.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   return true;
 }
@@ -138,50 +192,61 @@ QueryId ZoomInCache::PickVictim(const QueryId* exclude) const {
   double max_cost = 1e-9;
   size_t max_size = 1;
   if (policy_ == CachePolicy::kRco) {
-    for (const auto& [qid, e] : entries_) {
-      max_cost = std::max(max_cost, e.cost);
-      max_size = std::max(max_size, e.size);
+    for (const Shard& shard : shards_) {
+      for (const auto& [qid, e] : shard.entries) {
+        max_cost = std::max(max_cost, e.cost);
+        max_size = std::max(max_size, e.size);
+      }
     }
   }
+  // Ties break toward the smaller qid: shards are iterated out of qid
+  // order, so the tie-break must be explicit to keep victim selection
+  // deterministic (and identical to the pre-sharding single-map scan).
   bool have_victim = false;
   QueryId victim = 0;
   uint64_t best_tick = 0;
   double best_score = 0.0;
-  for (const auto& [qid, e] : entries_) {
-    if (exclude != nullptr && qid == *exclude) continue;
-    switch (policy_) {
-      case CachePolicy::kLru:
-        if (!have_victim || e.last_ref < best_tick) {
-          best_tick = e.last_ref;
-          victim = qid;
+  for (const Shard& shard : shards_) {
+    for (const auto& [qid, e] : shard.entries) {
+      if (exclude != nullptr && qid == *exclude) continue;
+      switch (policy_) {
+        case CachePolicy::kLru:
+          if (!have_victim || e.last_ref < best_tick ||
+              (e.last_ref == best_tick && qid < victim)) {
+            best_tick = e.last_ref;
+            victim = qid;
+          }
+          break;
+        case CachePolicy::kLfu:
+          if (!have_victim || e.ref_count < best_tick ||
+              (e.ref_count == best_tick && qid < victim)) {
+            best_tick = e.ref_count;
+            victim = qid;
+          }
+          break;
+        case CachePolicy::kRco: {
+          double score = RcoScore(e, max_cost, max_size);
+          if (!have_victim || score < best_score ||
+              (score == best_score && qid < victim)) {
+            best_score = score;
+            victim = qid;
+          }
+          break;
         }
-        break;
-      case CachePolicy::kLfu:
-        if (!have_victim || e.ref_count < best_tick) {
-          best_tick = e.ref_count;
-          victim = qid;
-        }
-        break;
-      case CachePolicy::kRco: {
-        double score = RcoScore(e, max_cost, max_size);
-        if (!have_victim || score < best_score) {
-          best_score = score;
-          victim = qid;
-        }
-        break;
+        case CachePolicy::kNone:
+          if (!have_victim || qid < victim) victim = qid;
+          break;
       }
-      case CachePolicy::kNone:
-        if (!have_victim) victim = qid;
-        break;
+      have_victim = true;
     }
-    have_victim = true;
   }
   return victim;
 }
 
 double ZoomInCache::RcoScore(const Entry& e, double max_cost, size_t max_size) const {
   // Recency in (0, 1]: 1 for the most recent reference.
-  double age = static_cast<double>(tick_ - e.last_ref);
+  double age =
+      static_cast<double>(tick_.load(std::memory_order_relaxed) - e.last_ref);
   double recency = 1.0 / (1.0 + age);
   double complexity = e.cost / max_cost;
   double overhead = static_cast<double>(e.size) / static_cast<double>(max_size);

@@ -99,6 +99,11 @@ class SummaryManager {
   Status Unlink(const std::string& instance_name, rel::TableId table);
   std::vector<SummaryInstance*> LinkedTo(rel::TableId table) const;
   bool IsLinked(const std::string& instance_name, rel::TableId table) const;
+  /// Copy of the full link map (snapshot publication captures it so the
+  /// empty-object fallback is evaluated against epoch-time links).
+  std::map<rel::TableId, std::vector<SummaryInstance*>> AllLinks() const {
+    return links_;
+  }
 
   // --- Incremental maintenance --------------------------------------------
   /// Folds annotation `id` (just attached to `region`) into the summary

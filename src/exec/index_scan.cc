@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/engine_snapshot.h"
+
 namespace insightnotes::exec {
 
 std::string IndexProbeSpec::ToString() const {
@@ -15,6 +17,9 @@ std::string IndexProbeSpec::ToString() const {
 
 Status ProbeIndex(const rel::Table& table, const IndexProbeSpec& probe,
                   std::vector<rel::RowId>* out) {
+  // CreateIndex rebuilds the index structure under the table's exclusive
+  // latch; the shared latch keeps the probe consistent against it.
+  auto latch = table.ReadLock();
   const rel::OrderedIndex* index = table.IndexOn(probe.column);
   if (index == nullptr) {
     return Status::InvalidArgument("table '" + table.name() + "' has no index on column " +
@@ -50,7 +55,21 @@ IndexScanOperator::IndexScanOperator(const rel::Table* table, std::string alias,
 Status IndexScanOperator::OpenImpl() {
   rows_.clear();
   cursor_ = 0;
-  return ProbeIndex(*table_, probe_, &rows_);
+  snapshot_ = query_context() != nullptr ? query_context()->snapshot() : nullptr;
+  if (snapshot_ != nullptr && !snapshot_->CoversTable(table_->id())) {
+    snapshot_ = nullptr;  // Table the pinned epoch predates: live reads.
+  }
+  INSIGHTNOTES_RETURN_IF_ERROR(ProbeIndex(*table_, probe_, &rows_));
+  if (snapshot_ != nullptr) {
+    // The probe runs against the live index, which may already contain
+    // rows inserted after the pinned epoch; cut back to the epoch's row
+    // bound (rows_ is sorted ascending).
+    rel::RowId bound = snapshot_->VisibleRows(table_->id());
+    auto first_invisible =
+        std::lower_bound(rows_.begin(), rows_.end(), bound);
+    rows_.erase(first_invisible, rows_.end());
+  }
+  return Status::OK();
 }
 
 Result<bool> IndexScanOperator::NextImpl(core::AnnotatedTuple* out) {
@@ -62,11 +81,17 @@ Result<bool> IndexScanOperator::NextImpl(core::AnnotatedTuple* out) {
     *out = core::AnnotatedTuple(std::move(tuple));
     if (stamp_ranks_) out->order_ranks.assign(1, static_cast<uint32_t>(position));
     if (with_summaries_) {
-      INSIGHTNOTES_ASSIGN_OR_RETURN(out->summaries,
-                                    manager_->SummariesFor(table_->id(), row));
-      for (const ann::Attachment& att : store_->OnRow(table_->id(), row)) {
-        if (store_->IsArchived(att.annotation)) continue;
-        out->attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+      if (snapshot_ != nullptr) {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(
+            out->summaries, snapshot_->SummariesFor(table_->id(), row));
+        snapshot_->AppendAttachments(table_->id(), row, &out->attachments);
+      } else {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(out->summaries,
+                                      manager_->SummariesFor(table_->id(), row));
+        for (const ann::Attachment& att : store_->OnRow(table_->id(), row)) {
+          if (store_->IsArchived(att.annotation)) continue;
+          out->attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+        }
       }
     }
     Trace(*out);

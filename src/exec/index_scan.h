@@ -75,6 +75,10 @@ class IndexScanOperator final : public Operator {
   bool stamp_ranks_ = false;
   rel::Schema schema_;
 
+  // Pinned engine epoch captured at Open; null = live reads. See
+  // SeqScanOperator::snapshot_.
+  std::shared_ptr<const core::EngineSnapshot> snapshot_;
+
   std::vector<rel::RowId> rows_;  // Probe result, ascending RowId.
   size_t cursor_ = 0;
 };

@@ -116,6 +116,10 @@ class Operator {
 
   QueryContext* query_context() const { return context_.get(); }
 
+  /// The owning shared_ptr, so Engine::Execute can install a snapshot on a
+  /// plan's existing context (or detect the plan has none yet).
+  std::shared_ptr<QueryContext> shared_query_context() const { return context_; }
+
   /// Turns wall-clock accounting on/off for this subtree.
   void SetMetricsEnabled(bool enabled) {
     for (Operator* child : Children()) child->SetMetricsEnabled(enabled);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <future>
+#include <limits>
+
+#include "core/engine_snapshot.h"
 
 namespace insightnotes::exec {
 
@@ -50,6 +53,15 @@ Status ScanMorselSource::Reset() {
   tuples_.reserve(static_cast<size_t>(table_->NumRows()));
   next_morsel_.store(0, std::memory_order_relaxed);
   abort_.store(false, std::memory_order_release);
+  snapshot_ = context_ != nullptr ? context_->snapshot() : nullptr;
+  if (snapshot_ != nullptr && !snapshot_->CoversTable(table_->id())) {
+    snapshot_ = nullptr;  // Table the pinned epoch predates: live reads.
+  }
+  // Rows at or beyond the pinned epoch's bound were inserted after the
+  // epoch and are invisible (bound caps both prefetch paths below).
+  rel::RowId bound = snapshot_ != nullptr
+                         ? snapshot_->VisibleRows(table_->id())
+                         : std::numeric_limits<rel::RowId>::max();
   // The prefetch is the plan's first big materialization: charge it row by
   // row (batched into slabs by the reservation) so an over-budget scan
   // aborts before the whole table is resident.
@@ -57,6 +69,7 @@ Status ScanMorselSource::Reset() {
     std::vector<rel::RowId> matches;
     INSIGHTNOTES_RETURN_IF_ERROR(ProbeIndex(*table_, probe_, &matches));
     for (rel::RowId row : matches) {
+      if (row >= bound) break;  // Matches are sorted ascending.
       if (!table_->IsLive(row)) continue;
       INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Tuple tuple, table_->Get(row));
       INSIGHTNOTES_RETURN_IF_ERROR(
@@ -65,6 +78,18 @@ Status ScanMorselSource::Reset() {
       tuples_.push_back(std::move(tuple));
     }
     return Status::OK();
+  }
+  if (snapshot_ != nullptr) {
+    Status charge;
+    for (rel::RowId row = 0; row < bound; ++row) {
+      if (!table_->IsLive(row)) continue;
+      INSIGHTNOTES_ASSIGN_OR_RETURN(rel::Tuple tuple, table_->Get(row));
+      charge = reservation_.Charge(core::ApproxBytes(tuple) + sizeof(row));
+      if (!charge.ok()) break;
+      rows_.push_back(row);
+      tuples_.push_back(std::move(tuple));
+    }
+    return charge;
   }
   Status charge;
   INSIGHTNOTES_RETURN_IF_ERROR(
@@ -114,11 +139,19 @@ Status ScanMorselSource::Materialize(uint64_t morsel, core::AnnotatedBatch* out)
     core::AnnotatedTuple tuple(tuples_[i]);
     if (stamp_ranks_) tuple.order_ranks.assign(1, static_cast<uint32_t>(i));
     if (with_summaries_) {
-      INSIGHTNOTES_ASSIGN_OR_RETURN(tuple.summaries,
-                                    manager_->SummariesFor(table_->id(), rows_[i]));
-      for (const ann::Attachment& att : store_->OnRow(table_->id(), rows_[i])) {
-        if (store_->IsArchived(att.annotation)) continue;
-        tuple.attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+      if (snapshot_ != nullptr) {
+        // Summary/attachment state from the pinned epoch: workers on other
+        // morsels and concurrent writers never perturb what this scan sees.
+        INSIGHTNOTES_ASSIGN_OR_RETURN(
+            tuple.summaries, snapshot_->SummariesFor(table_->id(), rows_[i]));
+        snapshot_->AppendAttachments(table_->id(), rows_[i], &tuple.attachments);
+      } else {
+        INSIGHTNOTES_ASSIGN_OR_RETURN(
+            tuple.summaries, manager_->SummariesFor(table_->id(), rows_[i]));
+        for (const ann::Attachment& att : store_->OnRow(table_->id(), rows_[i])) {
+          if (store_->IsArchived(att.annotation)) continue;
+          tuple.attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+        }
       }
     }
     out->tuples.push_back(std::move(tuple));

@@ -162,6 +162,11 @@ class ScanMorselSource final : public SharedPlanState {
   bool has_probe_ = false;
   bool stamp_ranks_ = false;
 
+  // Pinned engine epoch captured from the context at Reset; null = live
+  // reads. See SeqScanOperator::snapshot_. Reset runs serially before the
+  // workers start, so the capture is ordered before all Materialize calls.
+  std::shared_ptr<const core::EngineSnapshot> snapshot_;
+
   std::vector<rel::RowId> rows_;    // Live row ids, insertion order.
   std::vector<rel::Tuple> tuples_;  // Prefetched data tuples, same order.
   std::atomic<uint64_t> next_morsel_{0};

@@ -23,9 +23,14 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
+
+namespace insightnotes::core {
+class EngineSnapshot;
+}  // namespace insightnotes::core
 
 namespace insightnotes::exec {
 
@@ -158,6 +163,18 @@ class QueryContext {
 
   MemoryBudget& budget() { return budget_; }
 
+  /// Pins `snapshot` as the epoch this statement reads against (null =
+  /// live engine reads). Set by Engine::Execute before Open and cleared
+  /// after the plan fully drains; parallel workers only read it between
+  /// those points, so the pool join orders the accesses.
+  void SetSnapshot(std::shared_ptr<const core::EngineSnapshot> snapshot) {
+    snapshot_ = std::move(snapshot);
+  }
+
+  const std::shared_ptr<const core::EngineSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
   /// Total interrupt checks since BeginStatement (all operators, all
   /// workers) — the denominator for "returns within N morsel boundaries".
   uint64_t cancel_checks() const {
@@ -180,6 +197,7 @@ class QueryContext {
   std::atomic<uint64_t> checks_{0};
   std::atomic<uint64_t> cancel_at_check_{0};
   MemoryBudget budget_;
+  std::shared_ptr<const core::EngineSnapshot> snapshot_;
 };
 
 }  // namespace insightnotes::exec

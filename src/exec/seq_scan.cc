@@ -1,5 +1,7 @@
 #include "exec/seq_scan.h"
 
+#include "core/engine_snapshot.h"
+
 namespace insightnotes::exec {
 
 SeqScanOperator::SeqScanOperator(const rel::Table* table, std::string alias,
@@ -18,6 +20,18 @@ SeqScanOperator::SeqScanOperator(const rel::Table* table, std::string alias,
 Status SeqScanOperator::OpenImpl() {
   rows_.clear();
   cursor_ = 0;
+  snapshot_ = query_context() != nullptr ? query_context()->snapshot() : nullptr;
+  if (snapshot_ != nullptr && snapshot_->CoversTable(table_->id())) {
+    // Snapshot read: rows inserted after the pinned epoch sit at or beyond
+    // the epoch's row bound and stay invisible to this scan.
+    rel::RowId bound = snapshot_->VisibleRows(table_->id());
+    for (rel::RowId row = 0; row < bound; ++row) {
+      if (table_->IsLive(row)) rows_.push_back(row);
+    }
+    return Status::OK();
+  }
+  // Live read (no pinned epoch, or a table the epoch predates).
+  snapshot_ = nullptr;
   return table_->Scan([&](rel::RowId row, const rel::Tuple&) {
     rows_.push_back(row);
     return true;
@@ -32,13 +46,21 @@ Result<bool> SeqScanOperator::NextImpl(core::AnnotatedTuple* out) {
   *out = core::AnnotatedTuple(std::move(tuple));
   if (stamp_ranks_) out->order_ranks.assign(1, static_cast<uint32_t>(position));
   if (with_summaries_) {
-    INSIGHTNOTES_ASSIGN_OR_RETURN(out->summaries,
-                                  manager_->SummariesFor(table_->id(), row));
-    // Attachment metadata: column positions in the scan output equal base
-    // table positions. Archived annotations stay out of the pipeline.
-    for (const ann::Attachment& att : store_->OnRow(table_->id(), row)) {
-      if (store_->IsArchived(att.annotation)) continue;
-      out->attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+    if (snapshot_ != nullptr) {
+      // Summaries and attachment metadata from the pinned epoch: concurrent
+      // writers maintain newer versions without this scan observing them.
+      INSIGHTNOTES_ASSIGN_OR_RETURN(
+          out->summaries, snapshot_->SummariesFor(table_->id(), row));
+      snapshot_->AppendAttachments(table_->id(), row, &out->attachments);
+    } else {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(out->summaries,
+                                    manager_->SummariesFor(table_->id(), row));
+      // Attachment metadata: column positions in the scan output equal base
+      // table positions. Archived annotations stay out of the pipeline.
+      for (const ann::Attachment& att : store_->OnRow(table_->id(), row)) {
+        if (store_->IsArchived(att.annotation)) continue;
+        out->attachments.push_back(core::AttachmentInfo{att.annotation, att.columns});
+      }
     }
   }
   Trace(*out);

@@ -49,6 +49,11 @@ class SeqScanOperator final : public Operator {
   bool stamp_ranks_ = false;
   rel::Schema schema_;
 
+  // Pinned engine epoch captured from the query context at Open. Non-null
+  // while the scan reads snapshot state (row visibility bound, summaries,
+  // attachments); null = live reads against manager_/store_.
+  std::shared_ptr<const core::EngineSnapshot> snapshot_;
+
   // Materialized row ids (tables are mutable between Open calls).
   std::vector<rel::RowId> rows_;
   size_t cursor_ = 0;

@@ -5,6 +5,7 @@
 namespace insightnotes::rel {
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   if (tables_.contains(name)) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -17,6 +18,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -25,6 +27,7 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 Result<Table*> Catalog::GetTableById(TableId id) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) {
     return Status::NotFound("table id " + std::to_string(id) + " does not exist");
@@ -33,6 +36,7 @@ Result<Table*> Catalog::GetTableById(TableId id) const {
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -43,6 +47,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);

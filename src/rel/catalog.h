@@ -5,6 +5,7 @@
 #define INSIGHTNOTES_REL_CATALOG_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,8 @@
 
 namespace insightnotes::rel {
 
+/// Thread-safe: a shared_mutex guards the registry (Create/Drop exclusive,
+/// lookups shared). Table pointers stay valid until DropTable.
 class Catalog {
  public:
   /// `pool` must outlive the catalog.
@@ -34,6 +37,7 @@ class Catalog {
 
  private:
   storage::BufferPool* pool_;
+  mutable std::shared_mutex latch_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<TableId, Table*> by_id_;
   TableId next_id_ = 0;

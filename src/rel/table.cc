@@ -25,17 +25,18 @@ Result<RowId> Table::Insert(const Tuple& tuple) {
   INSIGHTNOTES_RETURN_IF_ERROR(CheckTuple(tuple));
   std::string bytes;
   tuple.Serialize(&bytes);
+  std::unique_lock<std::shared_mutex> lock(latch_);
   INSIGHTNOTES_ASSIGN_OR_RETURN(storage::RecordId rid, heap_.Append(bytes));
   RowId row = rows_.size();
   rows_.push_back(rid);
-  ++num_live_;
+  num_live_.fetch_add(1, std::memory_order_relaxed);
   for (auto& [column, index] : indexes_) {
     index.Insert(tuple.ValueAt(column), row);
   }
   return row;
 }
 
-Result<Tuple> Table::Get(RowId row) const {
+Result<Tuple> Table::GetLocked(RowId row) const {
   if (row >= rows_.size() || !rows_[row].valid()) {
     return Status::NotFound("row " + std::to_string(row) + " not found in table '" +
                             name_ + "'");
@@ -44,37 +45,51 @@ Result<Tuple> Table::Get(RowId row) const {
   return Tuple::Deserialize(bytes);
 }
 
+Result<Tuple> Table::Get(RowId row) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  return GetLocked(row);
+}
+
 Status Table::Delete(RowId row) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   if (row >= rows_.size() || !rows_[row].valid()) {
     return Status::NotFound("row " + std::to_string(row) + " not found in table '" +
                             name_ + "'");
   }
   if (!indexes_.empty()) {
     // Fetch the keys before the heap record goes away.
-    INSIGHTNOTES_ASSIGN_OR_RETURN(Tuple tuple, Get(row));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(Tuple tuple, GetLocked(row));
     for (auto& [column, index] : indexes_) {
       INSIGHTNOTES_RETURN_IF_ERROR(index.Remove(tuple.ValueAt(column), row));
     }
   }
   INSIGHTNOTES_RETURN_IF_ERROR(heap_.Delete(rows_[row]));
   rows_[row] = storage::RecordId{};
-  --num_live_;
+  num_live_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-bool Table::IsLive(RowId row) const { return row < rows_.size() && rows_[row].valid(); }
+bool Table::IsLive(RowId row) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  return row < rows_.size() && rows_[row].valid();
+}
 
 Status Table::CreateIndex(size_t column) {
   if (column >= schema_.NumColumns()) {
     return Status::InvalidArgument("no column " + std::to_string(column) +
                                    " in table '" + name_ + "'");
   }
+  std::unique_lock<std::shared_mutex> lock(latch_);
   OrderedIndex& index = indexes_[column];
   index = OrderedIndex{};  // Rebuild from scratch if it already existed.
-  return Scan([&](RowId row, const Tuple& tuple) {
+  // Inline (unlatched) scan: the exclusive latch is already held.
+  for (RowId row = 0; row < rows_.size(); ++row) {
+    if (!rows_[row].valid()) continue;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(std::string bytes, heap_.Get(rows_[row]));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes));
     index.Insert(tuple.ValueAt(column), row);
-    return true;
-  });
+  }
+  return Status::OK();
 }
 
 Status Table::Scan(const std::function<bool(RowId, const Tuple&)>& fn) const {

@@ -5,11 +5,13 @@
 #ifndef INSIGHTNOTES_REL_TABLE_H_
 #define INSIGHTNOTES_REL_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,12 @@ namespace insightnotes::rel {
 
 using TableId = uint32_t;
 
+/// Thread-safety: a per-table shared_mutex guards the row directory and the
+/// indexes — Insert/Delete/CreateIndex exclusive, Get/IsLive/RowBound
+/// shared. Scan is NOT latched (it is a writer-side primitive: CreateIndex
+/// runs it while holding the exclusive latch, ANALYZE and single-session
+/// fallbacks run it with no concurrent writer); epoch-pinned readers
+/// iterate [0, snapshot bound) with per-row latched Get/IsLive instead.
 class Table {
  public:
   /// `pool` must outlive the table.
@@ -53,14 +61,29 @@ class Table {
   /// stops early when `fn` returns false.
   Status Scan(const std::function<bool(RowId, const Tuple&)>& fn) const;
 
-  uint64_t NumRows() const { return num_live_; }
+  uint64_t NumRows() const { return num_live_.load(std::memory_order_relaxed); }
+
+  /// One past the highest RowId ever allocated (deleted rows included).
+  /// The engine captures this per publish as the epoch's visible-row bound.
+  RowId RowBound() const {
+    std::shared_lock<std::shared_mutex> lock(latch_);
+    return rows_.size();
+  }
+
+  /// Shared latch for callers doing multi-step reads (e.g. an index probe
+  /// followed by row lookups) that must not interleave with Insert/Delete.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    return std::shared_lock<std::shared_mutex>(latch_);
+  }
 
   /// Builds (or rebuilds) an ordered secondary index over `column`,
   /// scanning the existing rows; Insert/Delete maintain it afterwards.
   Status CreateIndex(size_t column);
 
   /// The index on `column`, or null if none was created. The pointer stays
-  /// valid for the table's lifetime (indexes are never dropped).
+  /// valid for the table's lifetime (indexes are never dropped). Concurrent
+  /// readers must hold ReadLock() across the probe (CreateIndex rebuilds
+  /// index contents in place under the exclusive latch).
   const OrderedIndex* IndexOn(size_t column) const {
     auto it = indexes_.find(column);
     return it == indexes_.end() ? nullptr : &it->second;
@@ -81,13 +104,18 @@ class Table {
  private:
   Status CheckTuple(const Tuple& tuple) const;
 
+  /// Get without taking the latch (Delete holds it exclusively already).
+  Result<Tuple> GetLocked(RowId row) const;
+
   TableId id_;
   std::string name_;
   Schema schema_;
   storage::HeapFile heap_;
+  // Guards rows_ and indexes_. Lock order: table latch → heap latch.
+  mutable std::shared_mutex latch_;
   // row id -> heap record; invalid RecordId marks a deleted row.
   std::vector<storage::RecordId> rows_;
-  uint64_t num_live_ = 0;
+  std::atomic<uint64_t> num_live_{0};
   // Secondary indexes by column position. std::map keeps IndexOn pointers
   // stable across CreateIndex calls on other columns.
   std::map<size_t, OrderedIndex> indexes_;

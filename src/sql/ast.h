@@ -138,11 +138,15 @@ struct SetStatement {
   int64_t value = 0;
 };
 
-/// EXPLAIN [ANALYZE] <select>. Plain EXPLAIN prints the plan shape;
-/// ANALYZE executes the query and prints per-operator metrics.
+/// EXPLAIN [ANALYZE] <select | zoomin>. Plain EXPLAIN prints the plan
+/// shape (for zoom-in: the serve path and result-cache state without
+/// executing); ANALYZE executes and prints per-operator metrics (for
+/// zoom-in: the outcome plus the shared result cache's statistics).
 struct ExplainStatement {
   bool analyze = false;
-  SelectStatement select;
+  bool is_zoom_in = false;
+  SelectStatement select;  // Valid when !is_zoom_in.
+  ZoomInStatement zoom_in;  // Valid when is_zoom_in.
 };
 
 /// ANALYZE <table> — collect optimizer statistics (rel/stats.h).

@@ -398,6 +398,12 @@ class Parser {
     INSIGHTNOTES_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
     ExplainStatement stmt;
     stmt.analyze = ConsumeKeyword("ANALYZE");
+    if (AtKeyword("ZOOMIN")) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(Statement inner, ParseZoomIn());
+      stmt.is_zoom_in = true;
+      stmt.zoom_in = std::move(std::get<ZoomInStatement>(inner));
+      return Statement(std::move(stmt));
+    }
     INSIGHTNOTES_ASSIGN_OR_RETURN(Statement inner, ParseSelect());
     stmt.select = std::move(std::get<SelectStatement>(inner));
     return Statement(std::move(stmt));

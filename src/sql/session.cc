@@ -14,11 +14,16 @@ namespace {
 Result<ExecutionOutput> RunSelect(const SelectStatement& stmt, core::Engine* engine,
                                   const PlannerOptions& options,
                                   const std::shared_ptr<exec::QueryContext>& context,
+                                  core::QueryId qid,
                                   std::vector<core::TraceEvent>* trace) {
   INSIGHTNOTES_ASSIGN_OR_RETURN(auto plan, PlanSelect(stmt, engine, options));
   plan->SetQueryContext(context);
-  INSIGHTNOTES_ASSIGN_OR_RETURN(core::QueryResult result,
-                                engine->Execute(std::move(plan), trace));
+  core::ExecuteOptions exec_options;
+  exec_options.qid = qid;
+  exec_options.trace = trace;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(
+      core::QueryResult result,
+      engine->Execute(std::move(plan), std::move(exec_options)));
   ExecutionOutput out;
   out.kind = ExecutionOutput::Kind::kRows;
   out.result = std::move(result);
@@ -155,6 +160,16 @@ Result<ExecutionOutput> RunLink(const LinkStatement& stmt, core::Engine* engine)
   return out;
 }
 
+std::string RenderCacheStats(const core::ZoomInCache& cache) {
+  core::CacheStats stats = cache.stats();
+  std::ostringstream os;
+  os << "cache [" << CachePolicyToString(cache.policy()) << "]: hits=" << stats.hits
+     << " misses=" << stats.misses << " insertions=" << stats.insertions
+     << " evictions=" << stats.evictions << " rejected=" << stats.rejected
+     << " bytes=" << stats.bytes_used << "/" << cache.budget_bytes();
+  return os.str();
+}
+
 }  // namespace
 
 Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
@@ -167,7 +182,7 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
     options.parallelism = trace != nullptr ? 1 : parallelism_;
     options.optimize = optimizer_enabled_ && trace == nullptr;
     context_->BeginStatement(statement_timeout_ms_, memory_limit_bytes_);
-    return RunSelect(*select, engine_, options, context_, trace);
+    return RunSelect(*select, engine_, options, context_, NextQid(), trace);
   }
   if (auto* set = std::get_if<SetStatement>(&statement)) {
     if (EqualsIgnoreCase(set->name, "optimizer")) {
@@ -203,6 +218,41 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
     return Status::InvalidArgument("unknown session knob '" + set->name + "'");
   }
   if (auto* explain = std::get_if<ExplainStatement>(&statement)) {
+    if (explain->is_zoom_in) {
+      const ZoomInStatement& zoom_stmt = explain->zoom_in;
+      ExecutionOutput out;
+      if (!explain->analyze) {
+        // Plan shape without executing: the serve path the zoom-in would
+        // take plus the shared result cache's current state.
+        INSIGHTNOTES_RETURN_IF_ERROR(engine_->SchemaOf(zoom_stmt.qid).status());
+        std::ostringstream os;
+        os << "ZoomIn(QID " << zoom_stmt.qid;
+        if (!zoom_stmt.instance.empty()) os << ", instance=" << zoom_stmt.instance;
+        os << ", component=" << (zoom_stmt.index + 1) << ")\n";
+        os << "  serve: "
+           << (engine_->cache()->Contains(zoom_stmt.qid)
+                   ? "cached result snapshot"
+                   : "re-execute retained plan")
+           << "\n";
+        os << "  " << RenderCacheStats(*engine_->cache());
+        out.message = os.str();
+        return out;
+      }
+      INSIGHTNOTES_ASSIGN_OR_RETURN(ExecutionOutput zoom_out,
+                                    RunZoomIn(zoom_stmt, engine_));
+      size_t annotations = 0;
+      for (const core::ZoomInRowResult& row : zoom_out.zoom.rows) {
+        annotations += row.annotations.size();
+      }
+      std::ostringstream os;
+      os << "ZoomIn(QID " << zoom_stmt.qid << "): "
+         << (zoom_out.zoom.served_from_cache ? "[cache hit]" : "[re-executed]")
+         << " " << zoom_out.zoom.rows.size() << " row(s), " << annotations
+         << " annotation(s)\n";
+      os << "  " << RenderCacheStats(*engine_->cache());
+      out.message = os.str();
+      return out;
+    }
     PlannerOptions options = planner_options_;
     options.parallelism = parallelism_;
     options.optimize = optimizer_enabled_;
@@ -217,10 +267,13 @@ Result<ExecutionOutput> SqlSession::Execute(std::string_view sql,
     root->SetMetricsEnabled(true);
     plan->SetQueryContext(context_);
     context_->BeginStatement(statement_timeout_ms_, memory_limit_bytes_);
+    core::ExecuteOptions exec_options;
+    exec_options.qid = NextQid();
     // The engine retains the plan for zoom-in re-execution, so `root`
     // outlives Execute and the counters can be snapshotted afterwards.
-    INSIGHTNOTES_ASSIGN_OR_RETURN(core::QueryResult result,
-                                  engine_->Execute(std::move(plan)));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(
+        core::QueryResult result,
+        engine_->Execute(std::move(plan), std::move(exec_options)));
     std::ostringstream os;
     os << exec::RenderPlanMetrics(exec::CollectPlanMetrics(root));
     os << "QID " << result.qid << ": " << result.rows.size() << " row(s)";

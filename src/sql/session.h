@@ -39,6 +39,7 @@ class SqlSession {
         parallelism_(planner_options.parallelism > 1
                          ? planner_options.parallelism
                          : std::max<size_t>(1, std::thread::hardware_concurrency())),
+        ns_(engine->NewSessionNamespace()),
         context_(std::make_shared<exec::QueryContext>()) {}
 
   /// Parses, plans and executes one statement. With `trace` non-null,
@@ -68,10 +69,27 @@ class SqlSession {
   /// cancel_checks, budget peaks).
   const std::shared_ptr<exec::QueryContext>& query_context() { return context_; }
 
+  /// This session's QID namespace. The engine's first session (namespace 0)
+  /// keeps the legacy engine-assigned ids (101, 102, ...) so single-session
+  /// callers see unchanged QIDs; later sessions mint their own ids under a
+  /// disjoint high-bits prefix, so concurrent sessions never collide in the
+  /// query registry or the zoom-in cache.
+  uint64_t session_namespace() const { return ns_; }
+
  private:
+  /// Next statement id in this session's namespace; 0 defers to the
+  /// engine's global counter (namespace-0 sessions).
+  core::QueryId NextQid() {
+    return ns_ == 0 ? 0 : (ns_ << 48) | ++local_qid_;
+  }
+
   core::Engine* engine_;
   PlannerOptions planner_options_;
   size_t parallelism_;
+  uint64_t ns_;
+  /// Per-session statement counter; starts where the engine's global
+  /// counter does, so namespaced QIDs read NS<<48 | 101, 102, ...
+  core::QueryId local_qid_ = 100;
   /// Cost-based optimization for SELECT / EXPLAIN; `SET OPTIMIZER = OFF`
   /// restores the rule-driven plans (results are identical either way).
   bool optimizer_enabled_ = true;

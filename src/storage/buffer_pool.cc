@@ -46,15 +46,16 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, IoRetryPolicy retry)
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     Frame& frame = frames_[it->second];
     ++frame.pin_count;
     TouchLru(it->second);
     return PageGuard(this, id, frame.data.get());
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   INSIGHTNOTES_ASSIGN_OR_RETURN(size_t index, GetFrameFor(id, /*read_from_disk=*/true));
   Frame& frame = frames_[index];
   ++frame.pin_count;
@@ -63,6 +64,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
 }
 
 Result<PageGuard> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mutex_);
   PageId id = kInvalidPageId;
   INSIGHTNOTES_RETURN_IF_ERROR(RetryIo(retry_, [&]() -> Status {
     Result<PageId> allocated = disk_->AllocatePage();
@@ -80,6 +82,7 @@ Result<PageGuard> BufferPool::NewPage() {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   Status first_error = Status::OK();
   for (Frame& frame : frames_) {
     if (frame.page_id != kInvalidPageId && frame.dirty) {
@@ -96,6 +99,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return;
   Frame& frame = frames_[it->second];
@@ -103,6 +107,7 @@ void BufferPool::Unpin(PageId id, bool dirty) {
   frame.dirty = frame.dirty || dirty;
 }
 
+// Called with mutex_ held.
 Result<size_t> BufferPool::GetFrameFor(PageId id, bool read_from_disk) {
   size_t index;
   if (page_table_.size() < capacity_) {

@@ -5,9 +5,11 @@
 #ifndef INSIGHTNOTES_STORAGE_BUFFER_POOL_H_
 #define INSIGHTNOTES_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -54,7 +56,14 @@ class PageGuard {
   bool dirty_ = false;
 };
 
-/// LRU buffer pool over a DiskManager. Not thread-safe.
+/// LRU buffer pool over a DiskManager. Thread-safe: one internal mutex
+/// guards the page table, pin counts, LRU list and eviction (disk I/O for
+/// misses and dirty write-back happens under it too — the pool serializes
+/// I/O, concurrency comes from hits on already-resident pages being short
+/// critical sections). Page *bytes* are accessed outside the mutex through
+/// PageGuard, which is safe because pinned frames are never evicted;
+/// concurrent readers/writers of the same page must synchronize above the
+/// pool (heap files hold a per-file latch across page access).
 class BufferPool {
  public:
   /// `capacity` is the number of frames. The pool does not own `disk`.
@@ -76,8 +85,8 @@ class BufferPool {
   Status FlushAll();
 
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   friend class PageGuard;
@@ -99,13 +108,15 @@ class BufferPool {
   DiskManager* disk_;
   size_t capacity_;
   IoRetryPolicy retry_;
+  // Guards every member below (and the DiskManager calls made while held).
+  mutable std::mutex mutex_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   // Front = most recently used. Holds frame indices of resident pages.
   std::list<size_t> lru_;
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace insightnotes::storage

@@ -5,6 +5,7 @@
 namespace insightnotes::storage {
 
 Result<RecordId> HeapFile::Append(std::string_view record) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   if (record.size() > kMaxInlineRecord) {
     return AppendOverflow(record);
   }
@@ -15,6 +16,7 @@ Result<RecordId> HeapFile::Append(std::string_view record) {
   return AppendInline(tagged);
 }
 
+// Called with latch_ held exclusively.
 Result<RecordId> HeapFile::AppendInline(std::string_view record) {
   if (!pages_.empty()) {
     PageId last = pages_.back();
@@ -22,7 +24,7 @@ Result<RecordId> HeapFile::AppendInline(std::string_view record) {
     SlottedPage page(guard.MutableData());
     if (page.HasRoomFor(record.size())) {
       INSIGHTNOTES_ASSIGN_OR_RETURN(SlotId slot, page.Insert(record));
-      ++num_records_;
+      num_records_.fetch_add(1, std::memory_order_relaxed);
       return RecordId{last, slot};
     }
   }
@@ -31,7 +33,7 @@ Result<RecordId> HeapFile::AppendInline(std::string_view record) {
   page.Initialize();
   INSIGHTNOTES_ASSIGN_OR_RETURN(SlotId slot, page.Insert(record));
   pages_.push_back(guard.page_id());
-  ++num_records_;
+  num_records_.fetch_add(1, std::memory_order_relaxed);
   return RecordId{guard.page_id(), slot};
 }
 
@@ -61,6 +63,7 @@ Result<RecordId> HeapFile::AppendOverflow(std::string_view record) {
 }
 
 Result<std::string> HeapFile::Get(const RecordId& rid) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
   SlottedPage page(const_cast<char*>(guard.data()));
   INSIGHTNOTES_ASSIGN_OR_RETURN(std::string_view bytes, page.Get(rid.slot));
@@ -69,6 +72,7 @@ Result<std::string> HeapFile::Get(const RecordId& rid) const {
   return std::string(bytes.substr(1));
 }
 
+// Called with latch_ held (shared or exclusive).
 Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
   if (stub.size() < 1 + sizeof(uint32_t) + sizeof(PageId)) {
     return Status::Corruption("overflow stub truncated to " +
@@ -105,15 +109,17 @@ Result<std::string> HeapFile::ReadOverflow(std::string_view stub) const {
 }
 
 Status HeapFile::Delete(const RecordId& rid) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
   SlottedPage page(guard.MutableData());
   INSIGHTNOTES_RETURN_IF_ERROR(page.Delete(rid.slot));
-  --num_records_;
+  num_records_.fetch_sub(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status HeapFile::Scan(
     const std::function<bool(const RecordId&, std::string_view)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   for (PageId page_id : pages_) {
     INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
     SlottedPage page(const_cast<char*>(guard.data()));

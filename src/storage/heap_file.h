@@ -6,8 +6,10 @@
 #ifndef INSIGHTNOTES_STORAGE_HEAP_FILE_H_
 #define INSIGHTNOTES_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,7 +29,11 @@ struct RecordId {
 };
 
 /// Heap file over a shared buffer pool. Multiple heap files may share one
-/// pool/disk (each tracks its own page list). Not thread-safe.
+/// pool/disk (each tracks its own page list). Thread-safe: a per-file
+/// shared_mutex is held across page-byte access — exclusively by mutators
+/// (Append/Delete rewrite slot directories), shared by Get/Scan — so
+/// readers never observe a half-written slot. Lock order is file latch →
+/// pool mutex (the latch is acquired before any FetchPage/NewPage call).
 class HeapFile {
  public:
   explicit HeapFile(BufferPool* pool) : pool_(pool) {}
@@ -48,8 +54,13 @@ class HeapFile {
   /// Iteration stops early if `fn` returns false.
   Status Scan(const std::function<bool(const RecordId&, std::string_view)>& fn) const;
 
-  uint64_t num_records() const { return num_records_; }
-  size_t num_data_pages() const { return pages_.size(); }
+  uint64_t num_records() const {
+    return num_records_.load(std::memory_order_relaxed);
+  }
+  size_t num_data_pages() const {
+    std::shared_lock<std::shared_mutex> lock(latch_);
+    return pages_.size();
+  }
 
  private:
   // Every in-page payload starts with a tag byte distinguishing an inline
@@ -74,8 +85,10 @@ class HeapFile {
   Result<std::string> ReadOverflow(std::string_view stub) const;
 
   BufferPool* pool_;
+  // Guards pages_ and all slot-directory bytes this file touches.
+  mutable std::shared_mutex latch_;
   std::vector<PageId> pages_;  // Data pages in append order.
-  uint64_t num_records_ = 0;
+  std::atomic<uint64_t> num_records_{0};
 };
 
 }  // namespace insightnotes::storage

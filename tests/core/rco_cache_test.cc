@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace insightnotes::core {
 namespace {
@@ -395,6 +397,105 @@ TEST(SnapshotTest, DeserializeRejectsTruncation) {
     auto back = ResultSnapshot::Deserialize(std::string_view(bytes).substr(0, cut));
     EXPECT_FALSE(back.ok()) << "cut=" << cut;
   }
+}
+
+TEST(ZoomInCacheTest, EpochKeyedLookup) {
+  ZoomInCache cache(CachePolicy::kLru, 1 << 20);
+  ASSERT_TRUE(cache.Init().ok());
+  ASSERT_TRUE(cache.Put(7, SnapshotOfSize(100), 1.0, /*epoch=*/5).ok());
+
+  // Same epoch hits; a different epoch is a miss (stale summary versions);
+  // the wildcard matches either way.
+  EXPECT_TRUE(cache.Get(7, 5).ok());
+  EXPECT_TRUE(cache.Get(7, 6).status().IsNotFound());
+  EXPECT_TRUE(cache.Get(7, ZoomInCache::kAnyEpoch).ok());
+
+  // An entry stored under the wildcard serves every epoch.
+  ASSERT_TRUE(cache.Put(8, SnapshotOfSize(100), 1.0).ok());
+  EXPECT_TRUE(cache.Get(8, 3).ok());
+  EXPECT_TRUE(cache.Get(8, 9).ok());
+}
+
+// Counter conservation under the sharded-lock path: counters are atomics
+// bumped from many threads, and every operation lands in exactly one
+// bucket, so the totals must reconcile exactly after the threads join.
+TEST(ZoomInCacheTest, ConcurrentCountersConserve) {
+  ZoomInCache cache(CachePolicy::kLru, 1 << 20);  // Roomy: no evictions.
+  ASSERT_TRUE(cache.Init().ok());
+  constexpr int kThreads = 8;
+  constexpr int kQidsPerThread = 16;
+  constexpr int kGetsPerQid = 4;
+  const size_t entry_payload = 64;
+
+  std::string serialized;
+  SnapshotOfSize(entry_payload).Serialize(&serialized);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Disjoint qid ranges spread across every shard (qid % kThreads == t).
+      for (int i = 0; i < kQidsPerThread; ++i) {
+        QueryId qid = static_cast<QueryId>(t + i * kThreads);
+        // Miss first, then insert, then hit.
+        EXPECT_TRUE(cache.Get(qid).status().IsNotFound());
+        EXPECT_TRUE(cache.Put(qid, SnapshotOfSize(entry_payload), 1.0).ok());
+        for (int g = 0; g < kGetsPerQid; ++g) {
+          EXPECT_TRUE(cache.Get(qid).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  CacheStats stats = cache.stats();
+  constexpr uint64_t kEntries = kThreads * kQidsPerThread;
+  EXPECT_EQ(stats.insertions, kEntries);
+  EXPECT_EQ(stats.hits, kEntries * kGetsPerQid);
+  EXPECT_EQ(stats.misses, kEntries);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.bytes_used, kEntries * serialized.size());
+  for (QueryId qid = 0; qid < kEntries; ++qid) {
+    EXPECT_TRUE(cache.Contains(qid)) << qid;
+  }
+}
+
+// Conservation with evictions: insertions == evictions + live entries,
+// and bytes_used equals the live entries' total serialized size.
+TEST(ZoomInCacheTest, ConcurrentEvictionConservation) {
+  std::string serialized;
+  SnapshotOfSize(64).Serialize(&serialized);
+  // Budget fits ~20 entries, so concurrent inserts of 128 distinct qids
+  // must evict; the directory totals still have to reconcile.
+  ZoomInCache cache(CachePolicy::kLru, serialized.size() * 20);
+  ASSERT_TRUE(cache.Init().ok());
+  constexpr int kThreads = 8;
+  constexpr int kQidsPerThread = 16;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kQidsPerThread; ++i) {
+        QueryId qid = static_cast<QueryId>(t + i * kThreads);
+        EXPECT_TRUE(cache.Put(qid, SnapshotOfSize(64), 1.0).ok());
+        (void)cache.Get(qid);  // May hit or miss (already evicted).
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  CacheStats stats = cache.stats();
+  uint64_t live = 0;
+  for (QueryId qid = 0; qid < kThreads * kQidsPerThread; ++qid) {
+    if (cache.Contains(qid)) ++live;
+  }
+  EXPECT_EQ(stats.insertions, static_cast<uint64_t>(kThreads * kQidsPerThread));
+  EXPECT_EQ(stats.insertions, stats.evictions + live);
+  EXPECT_EQ(stats.bytes_used, live * serialized.size());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kQidsPerThread));
 }
 
 }  // namespace

@@ -14,10 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -226,9 +229,7 @@ class QueryFuzzTest : public EngineFixture {
   /// Full byte-for-byte rendering: data values, summaries in pipeline
   /// order (Render() covers component order and representative election),
   /// attachment metadata in order.
-  std::vector<std::string> Run(const std::string& sql_text, size_t parallelism,
-                               size_t morsel_size, bool optimize = false) {
-    core::QueryResult result = Execute(sql_text, parallelism, morsel_size, optimize);
+  static std::vector<std::string> RenderRows(const core::QueryResult& result) {
     std::vector<std::string> rows;
     for (const core::AnnotatedTuple& row : result.rows) {
       std::ostringstream os;
@@ -244,6 +245,126 @@ class QueryFuzzTest : public EngineFixture {
       rows.push_back(os.str());
     }
     return rows;
+  }
+
+  std::vector<std::string> Run(const std::string& sql_text, size_t parallelism,
+                               size_t morsel_size, bool optimize = false) {
+    return RenderRows(Execute(sql_text, parallelism, morsel_size, optimize));
+  }
+
+  /// Executes against an explicitly pinned epoch, unretained (bulk replay
+  /// must not grow the zoom-in registry). Thread-safe: no shared
+  /// QueryContext — Engine::Execute creates a private one per call.
+  Result<core::QueryResult> TryExecutePinned(const std::string& sql_text,
+                                             size_t parallelism,
+                                             core::ReadSnapshot snapshot) {
+    auto statement = sql::Parse(sql_text);
+    if (!statement.ok()) return statement.status();
+    auto* select = std::get_if<sql::SelectStatement>(&*statement);
+    if (select == nullptr) return Status::Internal("not a SELECT");
+    sql::PlannerOptions options;
+    options.parallelism = parallelism;
+    options.morsel_size = 16;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(auto plan,
+                                  sql::PlanSelect(*select, engine_.get(), options));
+    core::ExecuteOptions exec_options;
+    exec_options.snapshot = std::move(snapshot);
+    exec_options.retain = false;
+    return engine_->Execute(std::move(plan), std::move(exec_options));
+  }
+
+  /// Concurrent-session mode: `num_sessions` reader threads replay a
+  /// fuzzed corpus against one pinned epoch while a writer annotates live.
+  /// Every replay must be byte-identical to the pre-ingest baseline
+  /// computed against the same pin — a reader observing any concurrent
+  /// mutation (torn summary fold, attachment append, archive flip) breaks
+  /// the oracle.
+  void RunConcurrentSessions(size_t num_sessions) {
+    const uint64_t seed = FuzzSeed();
+    Random rng(seed + 3);  // Distinct stream from the other fuzz sweeps.
+    std::vector<std::string> corpus;
+    corpus.reserve(kNumQueries);
+    for (int q = 0; q < kNumQueries; ++q) corpus.push_back(GenQuery(rng));
+
+    auto pinned = engine_->PinSnapshot();
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+    std::vector<std::vector<std::string>> baselines(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      auto result = TryExecutePinned(corpus[i], 1, *pinned);
+      ASSERT_TRUE(result.ok()) << corpus[i] << "\n  " << result.status().ToString()
+                               << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed;
+      baselines[i] = RenderRows(*result);
+    }
+
+    // Live ingest: single writer annotating (plus periodic batches) for the
+    // whole replay. Capped so a slow TSAN run cannot grow the store
+    // unboundedly; the early queries still race against live publishes.
+    // gtest assertions are not thread-safe off the main thread, so both the
+    // writer and the readers collect failures for the post-join assert.
+    std::mutex failures_mutex;
+    std::vector<std::string> failures;
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      Random wrng(seed + 99);
+      const std::vector<std::string> bodies = {
+          "fresh influenza lesion observed",
+          "foraging behavior while migrating",
+          "beak wingspan anatomy note",
+      };
+      for (int i = 0; i < 3000 && !stop.load(std::memory_order_acquire); ++i) {
+        Status written;
+        if (i % 8 == 7) {
+          std::vector<core::AnnotateSpec> batch;
+          for (int b = 0; b < 4; ++b) {
+            batch.push_back(Spec("t", static_cast<rel::RowId>(wrng.Uniform(kFactRows)),
+                                 bodies[wrng.Uniform(bodies.size())]));
+          }
+          written = engine_->AnnotateBatch(batch).status();
+        } else {
+          written = engine_
+                        ->Annotate(Spec("t",
+                                        static_cast<rel::RowId>(wrng.Uniform(kFactRows)),
+                                        bodies[wrng.Uniform(bodies.size())]))
+                        .status();
+        }
+        if (!written.ok()) {
+          std::lock_guard<std::mutex> lock(failures_mutex);
+          failures.push_back("ingest failed: " + written.ToString());
+          return;
+        }
+      }
+    });
+    std::vector<std::thread> readers;
+    readers.reserve(num_sessions);
+    for (size_t t = 0; t < num_sessions; ++t) {
+      readers.emplace_back([&, t] {
+        for (size_t i = t; i < corpus.size(); i += num_sessions) {
+          // Alternate serial and morsel-parallel plans under the pin.
+          size_t parallelism = i % 2 == 0 ? 1 : 2;
+          auto result = TryExecutePinned(corpus[i], parallelism, *pinned);
+          if (!result.ok()) {
+            std::lock_guard<std::mutex> lock(failures_mutex);
+            failures.push_back(corpus[i] + "\n  " + result.status().ToString());
+            continue;
+          }
+          if (RenderRows(*result) != baselines[i]) {
+            std::lock_guard<std::mutex> lock(failures_mutex);
+            failures.push_back("diverged from pinned-epoch oracle: " + corpus[i]);
+          }
+        }
+      });
+    }
+    for (std::thread& reader : readers) reader.join();
+    stop.store(true, std::memory_order_release);
+    writer.join();
+
+    EXPECT_TRUE(failures.empty()) << failures.size() << " replay failure(s), first:\n"
+                                  << failures[0]
+                                  << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed;
+    // The pinned epoch must still be the readers' view even though the
+    // writer published far past it.
+    EXPECT_GT(engine_->CurrentEpoch(), (*pinned)->epoch());
   }
 };
 
@@ -357,6 +478,23 @@ TEST_F(QueryFuzzTest, OptimizerPlansMatchRuleDrivenByteForByte) {
           << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << sql;
     }
   }
+}
+
+// Concurrent multi-session reads under live ingest, at 1/2/8 sessions.
+// One pinned epoch is the oracle: every session's replay of the corpus
+// must be byte-identical to the baseline computed against that pin before
+// ingest started, serial and morsel-parallel alike. Run under TSAN this
+// sweeps the epoch publish/pin/retire protocol and the sharded caches.
+TEST_F(QueryFuzzTest, ConcurrentSessionsMatchPinnedEpochOracle1) {
+  RunConcurrentSessions(1);
+}
+
+TEST_F(QueryFuzzTest, ConcurrentSessionsMatchPinnedEpochOracle2) {
+  RunConcurrentSessions(2);
+}
+
+TEST_F(QueryFuzzTest, ConcurrentSessionsMatchPinnedEpochOracle8) {
+  RunConcurrentSessions(8);
 }
 
 }  // namespace

@@ -1,0 +1,228 @@
+// Experiment E11 — persistent index adoption vs. rebuild (restart cost).
+//
+// A file-backed database with a committed B+-tree index (CREATE INDEX +
+// checkpoint) is prebuilt once per table size; the sweep then measures
+// three things as the table grows 16x:
+//
+//   BM_IndexOpenPersistent  — Engine::Init() + CreateTable() on reopen:
+//                             the WAL index-checkpoint adoption path. Must
+//                             stay FLAT in table size — the tree is
+//                             attached from its committed root page, never
+//                             rebuilt from a table scan.
+//   BM_IndexRebuild         — CreateIndex() over the same rows on a fresh
+//                             engine: the O(N) scan-build the adoption
+//                             path avoids. The contrast series.
+//   BM_IndexProbeEq         — equality probes against the adopted tree
+//                             (O(log N) descent + leaf walk).
+//
+// Emits BENCH_index.json (see bench_util.h); bench/check_bench_json.py
+// (check_index_sweep) validates that the persistent-open series does not
+// scale with table size while the rebuild series does the real work.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/index_scan.h"
+
+namespace insightnotes::bench {
+namespace {
+
+constexpr int64_t kKeySpan = 97;  // id = i % kKeySpan: multimap probes.
+
+std::string DbPath(size_t rows) {
+  return (std::filesystem::temp_directory_path() /
+          ("insightnotes_bench_index_" + std::to_string(rows) + ".db"))
+      .string();
+}
+
+void RemoveDbFiles(size_t rows) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path prefix = DbPath(rows);
+  const std::string stem = prefix.filename().string();
+  for (fs::directory_iterator it(prefix.parent_path(), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().filename().string().rfind(stem, 0) == 0) {
+      std::error_code remove_ec;
+      fs::remove(it->path(), remove_ec);
+    }
+  }
+}
+
+core::EngineOptions IndexOptions(size_t rows, bool open_existing) {
+  core::EngineOptions options;
+  options.db_path = DbPath(rows);
+  options.open_existing = open_existing;
+  // Keep the log byte-stable across repeated reopens: every iteration must
+  // replay the same records, or the sweep compares different workloads.
+  options.compact_wal_on_checkpoint = false;
+  return options;
+}
+
+rel::Schema BenchSchema() {
+  return rel::Schema({{"id", rel::ValueType::kInt64, "t"}});
+}
+
+void InsertRows(core::Engine* engine, size_t rows) {
+  for (size_t i = 0; i < rows; ++i) {
+    Check(engine->Insert(
+              "t", rel::Tuple({rel::Value(static_cast<int64_t>(i) % kKeySpan)})),
+          "insert row");
+  }
+}
+
+/// Builds the on-disk database once per size: `rows` rows, a committed
+/// index on t.id, a durable index checkpoint. Returns after the closing
+/// checkpoint so reopen iterations find a clean database.
+void EnsureDatabase(size_t rows) {
+  static auto* built = new std::vector<size_t>();
+  for (size_t size : *built) {
+    if (size == rows) return;
+  }
+  RemoveDbFiles(rows);
+  core::Engine engine(IndexOptions(rows, /*open_existing=*/false));
+  Check(engine.Init(), "build init");
+  Check(engine.CreateTable("t", BenchSchema()), "create table");
+  InsertRows(&engine, rows);
+  Check(engine.CreateIndex("t", "id"), "create index");
+  Check(engine.Checkpoint(), "checkpoint");
+  built->push_back(rows);
+}
+
+/// Restart cost with a committed index: Init (WAL replay, idx-file
+/// adoption) plus the CreateTable that reattaches the tree. Flat in table
+/// size — the rows themselves are NOT reloaded, and the tree is adopted
+/// from its committed root, not rebuilt.
+void BM_IndexOpenPersistent(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  EnsureDatabase(rows);
+  uint64_t adopted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = std::make_unique<core::Engine>(IndexOptions(rows, true));
+    state.ResumeTiming();
+    Check(engine->Init(), "reopen");
+    auto table = Check(engine->CreateTable("t", BenchSchema()), "reattach table");
+    benchmark::DoNotOptimize(table->IndexOn(0));
+    state.PauseTiming();
+    adopted = engine->recovery().indexes_recovered;
+    if (adopted != 1) {
+      fprintf(stderr, "benchmark invalid: reopen adopted %llu indexes\n",
+              static_cast<unsigned long long>(adopted));
+      std::abort();
+    }
+    engine.reset();
+    state.ResumeTiming();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["persistent"] = 1;
+  state.SetLabel("rows=" + std::to_string(rows));
+}
+BENCHMARK(BM_IndexOpenPersistent)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+/// The scan-build the adoption path avoids: CreateIndex over `rows` live
+/// rows on an in-memory engine. O(N log N); the contrast series for
+/// check_index_sweep.
+void BM_IndexRebuild(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = std::make_unique<core::Engine>();
+    Check(engine->Init(), "init");
+    Check(engine->CreateTable("t", BenchSchema()), "create table");
+    InsertRows(engine.get(), rows);
+    state.ResumeTiming();
+    Check(engine->CreateIndex("t", "id"), "create index");
+    state.PauseTiming();
+    engine.reset();
+    state.ResumeTiming();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["persistent"] = 0;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+  state.SetLabel("rows=" + std::to_string(rows));
+}
+BENCHMARK(BM_IndexRebuild)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Equality probes against the adopted persistent tree: one probe per
+/// iteration, cycling through the key space.
+void BM_IndexProbeEq(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  EnsureDatabase(rows);
+  core::Engine engine(IndexOptions(rows, /*open_existing=*/true));
+  Check(engine.Init(), "reopen");
+  auto* table = Check(engine.CreateTable("t", BenchSchema()), "reattach table");
+  InsertRows(&engine, rows);  // Catch-up replay: rows are configuration.
+  int64_t key = 0;
+  std::vector<rel::RowId> out;
+  for (auto _ : state) {
+    exec::IndexProbeSpec spec;
+    spec.column = 0;
+    spec.has_eq = true;
+    spec.eq = rel::Value(key);
+    key = (key + 1) % kKeySpan;
+    out.clear();
+    Check(exec::ProbeIndex(*table, spec, &out), "probe");
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("rows=" + std::to_string(rows));
+}
+BENCHMARK(BM_IndexProbeEq)->Arg(1000)->Arg(16000)->Unit(benchmark::kMicrosecond);
+
+/// Range scans ([lo, hi] over ~20% of the key space) against the adopted
+/// tree: descent + ordered leaf walk + RowId sort.
+void BM_IndexRangeScan(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  EnsureDatabase(rows);
+  core::Engine engine(IndexOptions(rows, /*open_existing=*/true));
+  Check(engine.Init(), "reopen");
+  auto* table = Check(engine.CreateTable("t", BenchSchema()), "reattach table");
+  InsertRows(&engine, rows);
+  int64_t lo = 0;
+  std::vector<rel::RowId> out;
+  for (auto _ : state) {
+    exec::IndexProbeSpec spec;
+    spec.column = 0;
+    spec.has_lo = true;
+    spec.lo = rel::Value(lo);
+    spec.has_hi = true;
+    spec.hi = rel::Value(lo + kKeySpan / 5);
+    lo = (lo + 7) % kKeySpan;
+    out.clear();
+    Check(exec::ProbeIndex(*table, spec, &out), "range probe");
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("rows=" + std::to_string(rows));
+}
+BENCHMARK(BM_IndexRangeScan)->Arg(1000)->Arg(16000)->Unit(benchmark::kMicrosecond);
+
+void CleanupAll() {
+  for (size_t rows : {1000u, 4000u, 16000u}) RemoveDbFiles(rows);
+}
+
+}  // namespace
+}  // namespace insightnotes::bench
+
+int main(int argc, char** argv) {
+  int result = insightnotes::bench::RunBenchmarksWithJsonReport(argc, argv,
+                                                                "BENCH_index.json");
+  insightnotes::bench::CleanupAll();
+  return result;
+}

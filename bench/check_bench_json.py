@@ -75,6 +75,10 @@ def check_report(path):
     if status:
         return status
 
+    status = check_index_sweep(path, benchmarks)
+    if status:
+        return status
+
     print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
     return 0
 
@@ -332,6 +336,71 @@ def check_concurrency_sweep(path, benchmarks, num_cpus):
                                   f"at {readers} readers (<= {num_cpus} cores); "
                                   f"reader scaling regressed")
             best_so_far = max(best_so_far, points[readers])
+    return 0
+
+
+# The persistent-open series may not spread wider than this factor across
+# the table-size sweep. The sweep spans 16x in rows; adoption reads a
+# fixed number of WAL records and metadata pages regardless of table
+# size, so anything approaching linear growth (16x) means the reopen
+# rebuilt the tree from a scan. 5x absorbs filesystem and timer noise.
+INDEX_OPEN_TOLERANCE = 5.0
+
+
+def check_index_sweep(path, benchmarks):
+    """The persistent-index family: BM_IndexOpenPersistent (adoption on
+    reopen, persistent=1) must carry rows/persistent counters, sweep a
+    >= 4x row span, and stay FLAT in table size — open time scaling with
+    rows is the signature of a restart-time table-scan rebuild, the exact
+    thing the WAL index checkpoint exists to avoid. The BM_IndexRebuild
+    contrast series (persistent=0) must be present and must grow with
+    rows (it does the O(N) work)."""
+    opens = {}
+    rebuilds = {}
+    for i, entry in enumerate(benchmarks):
+        name = entry.get("name", "")
+        if not (name.startswith("BM_IndexOpenPersistent")
+                or name.startswith("BM_IndexRebuild")):
+            continue
+        where = f"benchmarks[{i}] ({name})"
+        rows = entry.get("rows")
+        if not isinstance(rows, (int, float)) or rows < 1:
+            return fail(path, f"{where}.rows missing or < 1")
+        persistent = entry.get("persistent")
+        if persistent not in (0, 1, 0.0, 1.0):
+            return fail(path, f"{where}.persistent missing or not 0/1")
+        series = opens if name.startswith("BM_IndexOpenPersistent") else rebuilds
+        expected = 1 if series is opens else 0
+        if int(persistent) != expected:
+            return fail(path, f"{where}.persistent={persistent}, "
+                              f"expected {expected}")
+        # Keep the best time per size: benchmark repetitions append
+        # mean/median/stddev entries whose real_time is not a sample.
+        prev = series.get(int(rows))
+        time = float(entry["real_time"])
+        series[int(rows)] = time if prev is None else min(prev, time)
+    if not opens and not rebuilds:
+        # Reports from other bench binaries have no index families.
+        return 0
+
+    if not opens:
+        return fail(path, "BM_IndexOpenPersistent: series missing")
+    if not rebuilds:
+        return fail(path, "BM_IndexRebuild: contrast series missing")
+    if len(opens) < 2 or max(opens) < 4 * min(opens):
+        return fail(path, f"BM_IndexOpenPersistent: row sweep {sorted(opens)} "
+                          f"spans less than 4x")
+    slowest = max(opens.values())
+    fastest = min(opens.values())
+    if fastest > 0 and slowest > fastest * INDEX_OPEN_TOLERANCE:
+        return fail(path, f"BM_IndexOpenPersistent: open time spread "
+                          f"{slowest:.3f}/{fastest:.3f} exceeds "
+                          f"{INDEX_OPEN_TOLERANCE}x across the row sweep; "
+                          f"reopen is scaling with table size (rebuild?)")
+    if len(rebuilds) >= 2 and rebuilds[max(rebuilds)] <= rebuilds[min(rebuilds)]:
+        return fail(path, f"BM_IndexRebuild: build time did not grow from "
+                          f"{min(rebuilds)} to {max(rebuilds)} rows; the "
+                          f"contrast series measured nothing")
     return 0
 
 

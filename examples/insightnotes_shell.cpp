@@ -12,10 +12,16 @@
 //   .quit
 //
 // Build & run:  ./build/examples/insightnotes_shell
+//               [--db path.db [--open-existing]]
+// With --db the engine is file-backed (WAL + page file + .idx index
+// file next to the path); --open-existing replays the WAL and adopts
+// committed persistent indexes on startup, so annotations — and CREATE
+// INDEX — survive a .quit/restart cycle.
 // Try:          .demo
 //               SELECT id, name, region FROM birds WHERE id < 3;
 //               ZOOMIN REFERENCE QID 101 WHERE id = 0 ON ClassBird1 INDEX 1;
 
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -52,11 +58,27 @@ void PrintHelp() {
 
 }  // namespace
 
-int main() {
-  core::Engine engine;
+int main(int argc, char** argv) {
+  core::EngineOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      options.db_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--open-existing") == 0) {
+      options.open_existing = true;
+    } else {
+      std::cerr << "usage: insightnotes_shell [--db path.db [--open-existing]]\n";
+      return 1;
+    }
+  }
+  core::Engine engine(options);
   if (Status s = engine.Init(); !s.ok()) {
     std::cerr << s << "\n";
     return 1;
+  }
+  if (options.open_existing) {
+    const auto& report = engine.recovery();
+    std::cout << "recovered " << report.wal_records_replayed << " WAL record(s), "
+              << report.indexes_recovered << " persistent index(es)\n";
   }
   sql::SqlSession session(&engine);
   bool tracing = false;

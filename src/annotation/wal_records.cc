@@ -7,7 +7,14 @@ namespace insightnotes::ann {
 
 namespace {
 
-enum : uint8_t { kAddTag = 1, kAttachTag = 2, kArchiveTag = 3, kCheckpointTag = 4 };
+enum : uint8_t {
+  kAddTag = 1,
+  kAttachTag = 2,
+  kArchiveTag = 3,
+  kCheckpointTag = 4,
+  kIndexCreateTag = 5,
+  kIndexCheckpointTag = 6,
+};
 
 void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
 
@@ -110,10 +117,29 @@ std::string EncodeWalEntry(const WalEntry& entry) {
   } else if (const auto* archive = std::get_if<WalArchiveRecord>(&entry)) {
     PutU8(&out, kArchiveTag);
     PutFixed<uint64_t>(&out, archive->id);
-  } else {
-    const auto& checkpoint = std::get<WalCheckpointRecord>(entry);
+  } else if (const auto* checkpoint = std::get_if<WalCheckpointRecord>(&entry)) {
     PutU8(&out, kCheckpointTag);
-    PutFixed<uint64_t>(&out, checkpoint.num_annotations);
+    PutFixed<uint64_t>(&out, checkpoint->num_annotations);
+  } else if (const auto* create = std::get_if<WalIndexCreateRecord>(&entry)) {
+    PutU8(&out, kIndexCreateTag);
+    PutString(&out, create->table);
+    PutFixed<uint64_t>(&out, create->column);
+  } else {
+    const auto& ickpt = std::get<WalIndexCheckpointRecord>(entry);
+    PutU8(&out, kIndexCheckpointTag);
+    PutFixed<uint64_t>(&out, ickpt.page_count);
+    PutFixed<uint64_t>(&out, ickpt.next_stamp);
+    PutFixed<uint32_t>(&out, static_cast<uint32_t>(ickpt.free_pages.size()));
+    for (uint32_t page : ickpt.free_pages) PutFixed<uint32_t>(&out, page);
+    PutFixed<uint32_t>(&out, static_cast<uint32_t>(ickpt.indexes.size()));
+    for (const WalIndexCheckpointEntry& index : ickpt.indexes) {
+      PutString(&out, index.table);
+      PutFixed<uint64_t>(&out, index.column);
+      PutFixed<uint32_t>(&out, index.root);
+      PutFixed<uint32_t>(&out, index.height);
+      PutFixed<uint64_t>(&out, index.entries);
+      PutFixed<uint64_t>(&out, index.covered_rows);
+    }
   }
   return out;
 }
@@ -153,6 +179,47 @@ Result<WalEntry> DecodeWalEntry(std::string_view payload) {
       if (!reader.ok || reader.pos != payload.size()) break;
       return WalEntry(checkpoint);
     }
+    case kIndexCreateTag: {
+      WalIndexCreateRecord create;
+      create.table = reader.String();
+      create.column = reader.Fixed<uint64_t>();
+      if (!reader.ok || reader.pos != payload.size()) break;
+      return WalEntry(std::move(create));
+    }
+    case kIndexCheckpointTag: {
+      WalIndexCheckpointRecord ickpt;
+      ickpt.page_count = reader.Fixed<uint64_t>();
+      ickpt.next_stamp = reader.Fixed<uint64_t>();
+      uint32_t free_count = reader.Fixed<uint32_t>();
+      if (!reader.ok ||
+          static_cast<size_t>(free_count) * sizeof(uint32_t) >
+              payload.size() - reader.pos) {
+        break;
+      }
+      ickpt.free_pages.reserve(free_count);
+      for (uint32_t i = 0; i < free_count; ++i) {
+        ickpt.free_pages.push_back(reader.Fixed<uint32_t>());
+      }
+      uint32_t index_count = reader.Fixed<uint32_t>();
+      // Each entry is at least 32 bytes; bound before reserving.
+      if (!reader.ok ||
+          static_cast<size_t>(index_count) * 32 > payload.size() - reader.pos) {
+        break;
+      }
+      ickpt.indexes.reserve(index_count);
+      for (uint32_t i = 0; i < index_count; ++i) {
+        WalIndexCheckpointEntry index;
+        index.table = reader.String();
+        index.column = reader.Fixed<uint64_t>();
+        index.root = reader.Fixed<uint32_t>();
+        index.height = reader.Fixed<uint32_t>();
+        index.entries = reader.Fixed<uint64_t>();
+        index.covered_rows = reader.Fixed<uint64_t>();
+        ickpt.indexes.push_back(std::move(index));
+      }
+      if (!reader.ok || reader.pos != payload.size()) break;
+      return WalEntry(std::move(ickpt));
+    }
     default:
       return Status::Corruption("unknown WAL record tag " + std::to_string(tag));
   }
@@ -174,6 +241,8 @@ WalChainKey ChainKeyOf(const WalEntry& entry) {
   } else if (const auto* archive = std::get_if<WalArchiveRecord>(&entry)) {
     key.annotation = archive->id;
   } else {
+    // Checkpoint and index records are cross-chain barriers: they assert
+    // or snapshot global state and join no replay chain.
     key.is_marker = true;
   }
   return key;
@@ -199,6 +268,24 @@ void WalLivenessTracker::Observe(const WalEntry& entry, uint64_t segment_id,
     if (has_marker_) ReportDead(marker_pos_.first, marker_pos_.second);
     has_marker_ = true;
     marker_pos_ = {segment_id, record_index};
+    return;
+  }
+  if (std::holds_alternative<WalIndexCreateRecord>(entry)) {
+    // Pure intent; dies once the next index checkpoint commits (replay
+    // reads only the latest checkpoint, never the creates).
+    pending_index_creates_.emplace_back(segment_id, record_index);
+    return;
+  }
+  if (std::holds_alternative<WalIndexCheckpointRecord>(entry)) {
+    if (has_index_marker_) {
+      ReportDead(index_marker_pos_.first, index_marker_pos_.second);
+    }
+    for (const auto& pos : pending_index_creates_) {
+      ReportDead(pos.first, pos.second);
+    }
+    pending_index_creates_.clear();
+    has_index_marker_ = true;
+    index_marker_pos_ = {segment_id, record_index};
     return;
   }
   if (const auto* archive = std::get_if<WalArchiveRecord>(&entry)) {

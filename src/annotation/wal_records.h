@@ -54,8 +54,44 @@ struct WalCheckpointRecord {
   uint64_t num_annotations = 0;
 };
 
+/// Intent marker appended when CREATE INDEX starts persisting a B+-tree.
+/// Replay ignores it (only a committed index checkpoint makes an index
+/// real); it documents the index set in the log and feeds liveness.
+struct WalIndexCreateRecord {
+  std::string table;
+  uint64_t column = 0;  // Schema column position.
+};
+
+/// One persistent index inside a WalIndexCheckpointRecord: the committed
+/// B+-tree root plus the covered-row bound (the committed tree reflects
+/// heap rows [0, covered_rows) — rows the caller re-creates after open are
+/// skipped by index maintenance up to that bound).
+struct WalIndexCheckpointEntry {
+  std::string table;
+  uint64_t column = 0;
+  uint32_t root = 0;
+  uint32_t height = 0;
+  uint64_t entries = 0;
+  uint64_t covered_rows = 0;
+};
+
+/// The index commit point, appended by Engine::Checkpoint / CreateIndex
+/// after the index file was flushed and fsynced: the roots of every
+/// persistent index plus the shared allocator state (page count, stamp
+/// counter, free list). Recovery adopts the latest one wholesale — opening
+/// an engine never rebuilds an index from a table scan. A record's free
+/// list includes the pages the commit shadowed, so the reopened allocator
+/// can recycle them immediately.
+struct WalIndexCheckpointRecord {
+  uint64_t page_count = 0;
+  uint64_t next_stamp = 1;
+  std::vector<uint32_t> free_pages;
+  std::vector<WalIndexCheckpointEntry> indexes;
+};
+
 using WalEntry = std::variant<WalAddRecord, WalAttachRecord, WalArchiveRecord,
-                              WalCheckpointRecord>;
+                              WalCheckpointRecord, WalIndexCreateRecord,
+                              WalIndexCheckpointRecord>;
 
 std::string EncodeWalEntry(const WalEntry& entry);
 
@@ -119,6 +155,12 @@ class WalLivenessTracker {
   std::unordered_set<AnnotationId> archived_;
   bool has_marker_ = false;
   std::pair<uint64_t, uint32_t> marker_pos_{0, 0};
+  // Index commit records supersede like checkpoint markers: a new index
+  // checkpoint kills the previous one and every create-intent before it
+  // (replay only ever reads the latest index checkpoint).
+  bool has_index_marker_ = false;
+  std::pair<uint64_t, uint32_t> index_marker_pos_{0, 0};
+  std::vector<std::pair<uint64_t, uint32_t>> pending_index_creates_;
   DeadFn on_dead_;
 };
 

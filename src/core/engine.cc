@@ -129,6 +129,8 @@ Status Engine::InitStorage() {
                                          options_.cache_path, options_.rco_weights);
   INSIGHTNOTES_RETURN_IF_ERROR(cache_->Init());
 
+  bool adopt_index_checkpoint = false;
+  ann::WalIndexCheckpointRecord index_checkpoint;
   if (file_backed) {
     const std::string wal_path = options_.db_path + ".wal";
     uint64_t keep_bytes = UINT64_MAX;
@@ -156,6 +158,9 @@ Status Engine::InitStorage() {
       recovery_.replay_threads = replayed.threads_used;
       keep_bytes = replayed.active_valid_bytes;
       active_records = replayed.active_records;
+      recovery_.index_checkpoints_replayed = replayed.index_checkpoints;
+      adopt_index_checkpoint = replayed.has_index_checkpoint;
+      index_checkpoint = std::move(replayed.latest_index_checkpoint);
       if (replayed.active_truncated_bytes > 0) {
         INSIGHTNOTES_LOG(Warning)
             << "recovery: dropped " << replayed.active_truncated_bytes
@@ -190,12 +195,100 @@ Status Engine::InitStorage() {
     }
     parked_page_file_.clear();
   }
+  INSIGHTNOTES_RETURN_IF_ERROR(
+      InitIndexStorage(adopt_index_checkpoint, index_checkpoint));
   {
     // First epoch: recovered row states (attachments only — summary links
     // are configuration, re-established after Init).
     std::lock_guard<std::mutex> writer(writer_mutex_);
     PublishFull();
   }
+  return Status::OK();
+}
+
+Status Engine::InitIndexStorage(bool adopt,
+                                const ann::WalIndexCheckpointRecord& checkpoint) {
+  index_store_.reset();
+  index_pool_.reset();
+  pending_indexes_.clear();
+  index_disk_ = options_.index_disk != nullptr
+                    ? options_.index_disk
+                    : std::make_shared<storage::DiskManager>();
+  const std::string idx_path =
+      options_.db_path.empty() ? "" : options_.db_path + ".idx";
+  // Sanity-check the checkpoint against itself before trusting it; a record
+  // that fails here (or an index file shorter than its page count) means
+  // the idx file and the log disagree — drop the indexes rather than the
+  // open. Queries fall back to scans and CREATE INDEX can be re-run.
+  auto checkpoint_valid = [&checkpoint]() {
+    for (storage::PageId id : checkpoint.free_pages) {
+      if (id >= checkpoint.page_count) return false;
+    }
+    for (const ann::WalIndexCheckpointEntry& e : checkpoint.indexes) {
+      if (e.root != storage::kInvalidPageId && e.root >= checkpoint.page_count) {
+        return false;
+      }
+    }
+    return true;
+  };
+  bool adopted = false;
+  if (adopt && !idx_path.empty()) {
+    std::error_code ec;
+    if (!checkpoint_valid()) {
+      INSIGHTNOTES_LOG(Warning)
+          << "index checkpoint is self-inconsistent; dropping persistent "
+             "indexes (re-run CREATE INDEX)";
+    } else if (!std::filesystem::exists(idx_path, ec)) {
+      INSIGHTNOTES_LOG(Warning)
+          << "index file '" << idx_path
+          << "' is missing; dropping persistent indexes (re-run CREATE INDEX)";
+    } else {
+      Status opened =
+          index_disk_->Open(idx_path, storage::DiskOpenMode::kOpenExisting);
+      if (!opened.ok()) return opened;
+      if (index_disk_->num_pages() < checkpoint.page_count) {
+        INSIGHTNOTES_LOG(Warning)
+            << "index file '" << idx_path << "' holds "
+            << index_disk_->num_pages() << " page(s), checkpoint expects "
+            << checkpoint.page_count
+            << "; dropping persistent indexes (re-run CREATE INDEX)";
+        INSIGHTNOTES_RETURN_IF_ERROR(index_disk_->Close());
+        INSIGHTNOTES_RETURN_IF_ERROR(
+            index_disk_->Open(idx_path, storage::DiskOpenMode::kTruncate));
+      } else {
+        adopted = true;
+      }
+    }
+  }
+  if (!adopted) {
+    if (!index_disk_->is_open()) {
+      INSIGHTNOTES_RETURN_IF_ERROR(
+          index_disk_->Open(idx_path, storage::DiskOpenMode::kTruncate));
+    }
+  }
+  const size_t frames = options_.index_pool_pages != 0
+                            ? options_.index_pool_pages
+                            : options_.buffer_pool_pages;
+  index_pool_ = std::make_unique<storage::BufferPool>(index_disk_.get(), frames,
+                                                      options_.io_retry);
+  rel::BTreeStoreMeta store_meta;
+  if (adopted) {
+    store_meta.page_count = checkpoint.page_count;
+    store_meta.next_stamp = checkpoint.next_stamp;
+    store_meta.free_pages.assign(checkpoint.free_pages.begin(),
+                                 checkpoint.free_pages.end());
+    for (const ann::WalIndexCheckpointEntry& e : checkpoint.indexes) {
+      rel::BTreeMeta meta;
+      meta.root = e.root;
+      meta.height = e.height;
+      meta.entries = e.entries;
+      meta.covered_rows = e.covered_rows;
+      pending_indexes_[e.table][static_cast<size_t>(e.column)] = meta;
+      ++recovery_.indexes_recovered;
+    }
+  }
+  index_store_ = std::make_unique<rel::BTreeStore>(
+      index_pool_.get(), std::move(store_meta), options_.index_max_node_entries);
   return Status::OK();
 }
 
@@ -211,7 +304,16 @@ void Engine::RestoreParkedPageFile() {
   cache_.reset();
   manager_.reset();
   store_.reset();
-  catalog_.reset();
+  catalog_.reset();  // Tables' B+-trees die before the index store/pool.
+  index_store_.reset();
+  index_pool_.reset();
+  if (index_disk_ != nullptr && index_disk_->is_open()) {
+    Status closed = index_disk_->Close();
+    if (!closed.ok()) {
+      INSIGHTNOTES_LOG(Error) << "closing index file after failed recovery: "
+                              << closed.ToString();
+    }
+  }
   pool_.reset();
   wal_.reset();
   if (disk_ != nullptr && disk_->is_open()) {
@@ -356,6 +458,12 @@ Status Engine::Checkpoint() {
   if (pool_ != nullptr) keep_first(pool_->FlushAll());
   if (disk_ != nullptr && disk_->is_open()) keep_first(disk_->Fsync());
   if (wal_ != nullptr && wal_->is_open()) keep_first(wal_->Sync());
+  // Commit the persistent indexes first: a failed index flush must
+  // suppress the annotation checkpoint marker below too, or replay could
+  // pair a new annotation count with a stale index epoch.
+  if (first_error.ok() && recovery_required_.ok()) {
+    keep_first(CommitIndexCheckpoint());
+  }
   // Mark the durability point in the log. Skipped when the flush failed or
   // the engine is in the recovery-required state (the store would disagree
   // with the log). The marker supersedes the previous one (the liveness
@@ -369,6 +477,67 @@ Status Engine::Checkpoint() {
     if (options_.compact_wal_on_checkpoint) ScheduleWalCompaction();
   }
   return first_error;
+}
+
+Status Engine::CommitIndexCheckpoint() {
+  if (index_store_ == nullptr) return Status::OK();
+  ann::WalIndexCheckpointRecord record;
+  for (const std::string& name : catalog_->TableNames()) {
+    Result<rel::Table*> table = catalog_->GetTable(name);
+    if (!table.ok()) continue;
+    for (const rel::PersistentIndexInfo& info : (*table)->PersistentIndexes()) {
+      if (!info.usable) {
+        // A broken tree may be half-mutated; committing its root would make
+        // the damage durable. Keep the previous committed checkpoint live
+        // instead — replay heals the index on reopen.
+        INSIGHTNOTES_LOG(Warning)
+            << "skipping index checkpoint: index on '" << name << "' column "
+            << info.column << " is broken";
+        return Status::OK();
+      }
+      ann::WalIndexCheckpointEntry entry;
+      entry.table = name;
+      entry.column = info.column;
+      entry.root = info.meta.root;
+      entry.height = info.meta.height;
+      entry.entries = info.meta.entries;
+      entry.covered_rows = info.meta.covered_rows;
+      record.indexes.push_back(std::move(entry));
+    }
+  }
+  // Indexes whose tables were never re-created this run are still live on
+  // disk; carry them forward or the new checkpoint would silently drop them.
+  for (const auto& [name, columns] : pending_indexes_) {
+    for (const auto& [column, meta] : columns) {
+      ann::WalIndexCheckpointEntry entry;
+      entry.table = name;
+      entry.column = column;
+      entry.root = meta.root;
+      entry.height = meta.height;
+      entry.entries = meta.entries;
+      entry.covered_rows = meta.covered_rows;
+      record.indexes.push_back(std::move(entry));
+    }
+  }
+  rel::BTreeStoreMeta meta = index_store_->CommitMeta();
+  if (record.indexes.empty() && meta.page_count == 0) {
+    return Status::OK();  // Nothing persistent yet; keep the WAL quiet.
+  }
+  record.page_count = meta.page_count;
+  record.next_stamp = meta.next_stamp;
+  record.free_pages.assign(meta.free_pages.begin(), meta.free_pages.end());
+  INSIGHTNOTES_RETURN_IF_ERROR(index_pool_->FlushAll());
+  if (index_disk_ != nullptr && index_disk_->is_open()) {
+    INSIGHTNOTES_RETURN_IF_ERROR(index_disk_->Fsync());
+  }
+  if (!options_.db_path.empty()) {
+    // The first commit also has to make the file's directory entry
+    // durable, or a crash could adopt a checkpoint whose file vanished.
+    INSIGHTNOTES_RETURN_IF_ERROR(FsyncParentDir(options_.db_path + ".idx"));
+  }
+  INSIGHTNOTES_RETURN_IF_ERROR(LogWalEntry(record));
+  index_store_->CommitEpoch();
+  return Status::OK();
 }
 
 void Engine::ScheduleWalCompaction() {
@@ -447,9 +616,35 @@ Result<size_t> Engine::RepairStaleSummaries() {
 Result<rel::Table*> Engine::CreateTable(const std::string& name, rel::Schema schema) {
   std::lock_guard<std::mutex> writer(writer_mutex_);
   Result<rel::Table*> table = catalog_->CreateTable(name, std::move(schema));
-  // Bounds-only delta: the new table starts empty but must be covered, or
-  // epoch readers would fall back to live reads on it.
-  if (table.ok()) PublishDelta({});
+  if (table.ok()) {
+    // Reattach committed indexes recovered for this table *before* the
+    // caller re-inserts its rows: the trees' covered_rows bounds make that
+    // replay a no-op against the committed contents.
+    auto pending = pending_indexes_.find(name);
+    if (pending != pending_indexes_.end()) {
+      for (const auto& [column, meta] : pending->second) {
+        if (column >= (*table)->schema().NumColumns()) {
+          INSIGHTNOTES_LOG(Warning)
+              << "recovered index on '" << name << "' column " << column
+              << " does not fit the re-created schema; dropping it";
+          std::unique_ptr<rel::BTree> orphan =
+              rel::BTree::Attach(index_store_.get(), meta);
+          Status freed = orphan->Discard();
+          if (!freed.ok()) {
+            INSIGHTNOTES_LOG(Warning) << "discarding the dropped index failed: "
+                                      << freed.ToString();
+          }
+          continue;
+        }
+        (*table)->SwapIndex(column,
+                            rel::BTree::Attach(index_store_.get(), meta));
+      }
+      pending_indexes_.erase(pending);
+    }
+    // Bounds-only delta: the new table starts empty but must be covered, or
+    // epoch readers would fall back to live reads on it.
+    PublishDelta({});
+  }
   return table;
 }
 
@@ -518,7 +713,44 @@ Status Engine::CreateIndex(const std::string& table, const std::string& column) 
   // Serialized with mutators (the build scans the heap); indexes are not
   // part of the snapshot, so no epoch is published.
   std::lock_guard<std::mutex> writer(writer_mutex_);
-  return t->CreateIndex(position);
+  INSIGHTNOTES_RETURN_IF_ERROR(CheckMutable());
+  // Build a persistent B+-tree from the current heap. The writer mutex
+  // keeps the unlatched scan safe: nothing can insert or delete while it
+  // runs. In-memory engines get the same tree over an in-memory index file,
+  // so every index exercise goes through one code path.
+  INSIGHTNOTES_ASSIGN_OR_RETURN(std::unique_ptr<rel::BTree> tree,
+                                rel::BTree::Create(index_store_.get()));
+  Status built = Status::OK();
+  Status scanned = t->Scan([&](rel::RowId row, const rel::Tuple& tuple) {
+    built = tree->InsertForRow(tuple.ValueAt(position), row);
+    return built.ok();
+  });
+  if (built.ok() && !scanned.ok()) built = scanned;
+  if (!built.ok()) {
+    Status freed = tree->Discard();  // Fresh pages: immediately reusable.
+    if (!freed.ok()) {
+      INSIGHTNOTES_LOG(Warning) << "discarding the failed index build: "
+                                << freed.ToString();
+    }
+    return built;
+  }
+  tree->set_covered_rows(t->RowBound());
+  // Log the intent (replay ignores it; it feeds WAL liveness), attach the
+  // tree, retire the previous backing, and commit. A failed commit leaves
+  // the new tree attached — its contents are correct, only un-durable; the
+  // next successful checkpoint commits it.
+  INSIGHTNOTES_RETURN_IF_ERROR(MaybeRotateWal());
+  INSIGHTNOTES_RETURN_IF_ERROR(
+      LogWalEntry(ann::WalIndexCreateRecord{table, position}));
+  std::unique_ptr<rel::BTree> old = t->SwapIndex(position, std::move(tree));
+  if (old != nullptr) {
+    Status freed = old->Discard();  // Committed pages: reusable next epoch.
+    if (!freed.ok()) {
+      INSIGHTNOTES_LOG(Warning) << "discarding the replaced index failed: "
+                                << freed.ToString();
+    }
+  }
+  return CommitIndexCheckpoint();
 }
 
 Result<rel::Table*> Engine::ValidateAnnotateSpec(const AnnotateSpec& spec) {

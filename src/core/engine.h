@@ -33,6 +33,7 @@
 #include "core/summary_manager.h"
 #include "core/zoom_in.h"
 #include "exec/operator.h"
+#include "rel/btree.h"
 #include "rel/catalog.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -58,6 +59,13 @@ struct EngineOptions {
   /// Test seam: a caller-supplied disk (e.g. a FaultInjectingDiskManager)
   /// to use instead of a plain DiskManager. Must not be open yet.
   std::shared_ptr<storage::DiskManager> disk;
+  /// Test seam like `disk`, but for the index file (`db_path + ".idx"`).
+  std::shared_ptr<storage::DiskManager> index_disk;
+  /// Clamp on persistent B+-tree node fanout (0 = use the page capacity);
+  /// tests shrink it to force deep trees on tiny data.
+  size_t index_max_node_entries = 0;
+  /// Buffer-pool frames for the index file (0 = same as buffer_pool_pages).
+  size_t index_pool_pages = 0;
   /// Compact the WAL in the background: each checkpoint schedules an
   /// incremental pass that retires the mostly-dead sealed segments (see
   /// storage::SegmentedWal::CompactOnce), bounding log growth across
@@ -96,6 +104,11 @@ struct RecoveryReport {
   uint64_t records_since_checkpoint = 0;
   uint64_t replay_chains = 0;   // Independent chains replay partitioned into.
   size_t replay_threads = 1;    // Parallelism replay actually used.
+  // Persistent indexes adopted from the latest WAL index checkpoint —
+  // recovery never rebuilds an index from a table scan, it reattaches the
+  // committed roots (trees surface on their tables at CreateTable).
+  uint64_t indexes_recovered = 0;
+  uint64_t index_checkpoints_replayed = 0;
 };
 
 /// One emitted tuple as seen by an operator — the demo's under-the-hood log.
@@ -307,6 +320,8 @@ class Engine {
 
   // --- Component access (benches, tests, shell) ------------------------------
   rel::Catalog* catalog() { return catalog_.get(); }
+  rel::BTreeStore* index_store() { return index_store_.get(); }
+  storage::BufferPool* index_pool() { return index_pool_.get(); }
   ann::AnnotationStore* annotations() { return store_.get(); }
   SummaryManager* summaries() { return manager_.get(); }
   ZoomInCache* cache() { return cache_.get(); }
@@ -354,6 +369,20 @@ class Engine {
   /// Init minus the failure cleanup: Init() restores the parked page file
   /// if this returns an error after parking it.
   Status InitStorage();
+
+  /// Opens the index file and builds the shared B+-tree allocator. With a
+  /// valid index checkpoint replayed from the WAL the existing file is
+  /// adopted (committed trees park in pending_indexes_ until their tables
+  /// are re-created); otherwise the file is truncated and every index
+  /// starts over. Runs inside InitStorage, after WAL replay.
+  Status InitIndexStorage(bool adopt, const ann::WalIndexCheckpointRecord& checkpoint);
+
+  /// The index-commit point: flushes + fsyncs the index file, appends a
+  /// WalIndexCheckpointRecord snapshotting every persistent index root and
+  /// the allocator state, then seals the shadow-paging epoch. Skipped (OK)
+  /// while a broken index could commit a half-mutated tree — the previous
+  /// committed checkpoint simply stays live. Writer mutex must be held.
+  Status CommitIndexCheckpoint();
 
   /// Best-effort undo of a failed recovery: tears the half-built storage
   /// stack down and moves the parked pre-recovery page file back to
@@ -413,6 +442,15 @@ class Engine {
   // `db_path + ".recovering"` (from after the audit until replay succeeds).
   std::string parked_page_file_;
   std::unique_ptr<storage::BufferPool> pool_;
+  // Index storage: its own page file (db_path + ".idx"), pool and shared
+  // B+-tree allocator. Declared before catalog_ so the tables' trees are
+  // destroyed before the store/pool they point into.
+  std::shared_ptr<storage::DiskManager> index_disk_;
+  std::unique_ptr<storage::BufferPool> index_pool_;
+  std::unique_ptr<rel::BTreeStore> index_store_;
+  // Committed indexes replayed from the WAL whose tables the caller has not
+  // re-created yet: table name -> column -> committed tree state.
+  std::map<std::string, std::map<size_t, rel::BTreeMeta>> pending_indexes_;
   std::unique_ptr<rel::Catalog> catalog_;
   std::unique_ptr<ann::AnnotationStore> store_;
   std::unique_ptr<SummaryManager> manager_;

@@ -161,6 +161,20 @@ Result<WalReplayStats> ReplaySegmentedWal(
       if (tracker != nullptr) tracker->Observe(entry, segment_id, record_index);
       ann::WalChainKey key = ann::ChainKeyOf(entry);
       if (key.is_marker) {
+        // Index records are markers too: they join no chain and carry no
+        // annotation-count assertion. Creates are intent only; the last
+        // index checkpoint is adopted wholesale by the engine.
+        if (std::holds_alternative<ann::WalIndexCreateRecord>(entry)) {
+          ++stats.index_creates;
+          continue;
+        }
+        if (const auto* ickpt =
+                std::get_if<ann::WalIndexCheckpointRecord>(&entry)) {
+          ++stats.index_checkpoints;
+          stats.has_index_checkpoint = true;
+          stats.latest_index_checkpoint = *ickpt;
+          continue;
+        }
         // A marker asserts the store state at the time it was written;
         // replay of the preceding records must reproduce exactly that
         // count. Compaction never drops add records, so the arithmetic

@@ -50,6 +50,14 @@ struct WalReplayStats {
   uint64_t active_records = 0;     // Record count of the active segment.
   uint64_t chains = 0;             // Independent replay chains (parallel mode).
   size_t threads_used = 1;
+  // Persistent-index records (markers, not mutations): create intents are
+  // counted but ignored — only a committed index checkpoint makes an index
+  // real — and the *last* index checkpoint wins wholesale (it snapshots
+  // every index root plus the shared allocator state).
+  uint64_t index_creates = 0;
+  uint64_t index_checkpoints = 0;
+  bool has_index_checkpoint = false;
+  ann::WalIndexCheckpointRecord latest_index_checkpoint;
 };
 
 /// Rebuilds `store` (which must be empty) from the segments listed by

@@ -20,17 +20,18 @@ Status ProbeIndex(const rel::Table& table, const IndexProbeSpec& probe,
   // CreateIndex rebuilds the index structure under the table's exclusive
   // latch; the shared latch keeps the probe consistent against it.
   auto latch = table.ReadLock();
-  const rel::OrderedIndex* index = table.IndexOn(probe.column);
+  const rel::TableIndex* index = table.IndexOn(probe.column);
   if (index == nullptr) {
     return Status::InvalidArgument("table '" + table.name() + "' has no index on column " +
                                    std::to_string(probe.column));
   }
   size_t first = out->size();
   if (probe.has_eq) {
-    index->LookupInto(probe.eq, out);
+    INSIGHTNOTES_RETURN_IF_ERROR(index->LookupInto(probe.eq, out));
   } else {
-    index->RangeInto(probe.has_lo ? &probe.lo : nullptr,
-                     probe.has_hi ? &probe.hi : nullptr, out);
+    INSIGHTNOTES_RETURN_IF_ERROR(
+        index->RangeInto(probe.has_lo ? &probe.lo : nullptr,
+                         probe.has_hi ? &probe.hi : nullptr, out));
   }
   // The index yields rows grouped by key; re-establish global RowId order
   // so the emission order is a subsequence of the SeqScan order.

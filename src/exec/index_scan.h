@@ -1,4 +1,5 @@
-// Index-backed table access: probes a rel::OrderedIndex for an equality
+// Index-backed table access: probes a table's secondary index (in-memory
+// OrderedIndex or persistent B+-tree, see rel::TableIndex) for an equality
 // key or an inclusive [lo, hi] range and emits the matching rows — with
 // the same summary objects and attachment metadata a SeqScan would attach
 // — in ascending RowId order. Because RowIds are assigned in insertion

@@ -1,0 +1,799 @@
+#include "rel/btree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace insightnotes::rel {
+
+namespace {
+
+using storage::kInvalidPageId;
+using storage::kPageDataOffset;
+using storage::kPageSize;
+using storage::PageGuard;
+using storage::PageId;
+
+constexpr uint32_t kMaxHeight = 32;  // Corruption guard for descents.
+
+size_t MinEntries(size_t max_entries) { return max_entries / 2; }
+
+/// Largest slot whose separator is <= key (0 when key sorts below every
+/// separator — the caller lowers separator 0 on the write path).
+size_t RouteSlot(const BTreeNodeView& v, const BTreeKey& key) {
+  size_t lo = 0, hi = v.count();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (v.key_at(mid).Compare(key) <= 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First slot whose key is >= key (== count when all are smaller).
+size_t LeafLowerBound(const BTreeNodeView& v, const BTreeKey& key) {
+  size_t lo = 0, hi = v.count();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (v.key_at(mid).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<BTreeKey> ReadLeafEntries(const BTreeNodeView& v) {
+  std::vector<BTreeKey> keys;
+  keys.reserve(v.count());
+  for (size_t i = 0; i < v.count(); ++i) keys.push_back(v.key_at(i));
+  return keys;
+}
+
+void WriteLeafEntries(BTreeNodeView* v, const std::vector<BTreeKey>& keys,
+                      size_t from, size_t to) {
+  for (size_t i = from; i < to; ++i) v->WriteLeafEntry(i - from, keys[i]);
+  v->set_count(static_cast<uint16_t>(to - from));
+}
+
+struct InternalEntry {
+  BTreeKey key;
+  PageId child;
+};
+
+std::vector<InternalEntry> ReadInternalEntries(const BTreeNodeView& v) {
+  std::vector<InternalEntry> entries;
+  entries.reserve(v.count());
+  for (size_t i = 0; i < v.count(); ++i) {
+    entries.push_back({v.key_at(i), v.child_at(i)});
+  }
+  return entries;
+}
+
+void WriteInternalEntries(BTreeNodeView* v,
+                          const std::vector<InternalEntry>& entries,
+                          size_t from, size_t to) {
+  for (size_t i = from; i < to; ++i) {
+    v->WriteInternalEntry(i - from, entries[i].key, entries[i].child);
+  }
+  v->set_count(static_cast<uint16_t>(to - from));
+}
+
+BTreeNodeView ViewOf(PageGuard* guard) {
+  return BTreeNodeView(guard->MutableData());
+}
+
+BTreeNodeView ConstViewOf(const PageGuard& guard) {
+  // Read-only use of the view; const_cast avoids marking the frame dirty.
+  return BTreeNodeView(const_cast<char*>(guard.data()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BTreeStore
+
+BTreeStore::BTreeStore(storage::BufferPool* pool, BTreeStoreMeta meta,
+                       size_t max_node_entries)
+    : pool_(pool),
+      page_count_(meta.page_count),
+      next_stamp_(meta.next_stamp < 1 ? 1 : meta.next_stamp) {
+  size_t leaf_cap = kBTreeLeafCapacity;
+  size_t internal_cap = kBTreeInternalCapacity;
+  if (max_node_entries >= 4) {
+    leaf_cap = std::min(leaf_cap, max_node_entries);
+    internal_cap = std::min(internal_cap, max_node_entries);
+  }
+  max_leaf_entries_ = leaf_cap;
+  max_internal_entries_ = internal_cap;
+  for (PageId id : meta.free_pages) {
+    if (id < page_count_ && free_lookup_.insert(id).second) {
+      free_.push_back(id);
+    }
+  }
+}
+
+Result<storage::PageGuard> BTreeStore::Allocate(uint64_t* stamp_out) {
+  PageId reuse = kInvalidPageId;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      reuse = free_.back();
+      free_.pop_back();
+      free_lookup_.erase(reuse);
+    }
+  }
+  Result<PageGuard> guard = reuse != kInvalidPageId ? pool_->InitPage(reuse)
+                                                    : pool_->NewPage();
+  if (!guard.ok()) {
+    if (reuse != kInvalidPageId) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      free_.push_back(reuse);
+      free_lookup_.insert(reuse);
+    }
+    return guard.status();
+  }
+  uint64_t stamp;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (reuse == kInvalidPageId) {
+      page_count_ = std::max<uint64_t>(page_count_, guard->page_id() + 1);
+    }
+    stamp = next_stamp_++;
+    fresh_.insert(guard->page_id());
+  }
+  BTreeNodeView(guard->MutableData()).set_stamp(stamp);
+  *stamp_out = stamp;
+  return guard;
+}
+
+void BTreeStore::Free(storage::PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_lookup_.insert(id).second) return;  // Already free.
+  if (fresh_.erase(id) > 0) {
+    free_.push_back(id);  // Never committed: reusable immediately.
+  } else {
+    freed_pending_.push_back(id);  // The last checkpoint may reference it.
+  }
+}
+
+bool BTreeStore::IsFresh(storage::PageId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fresh_.count(id) > 0;
+}
+
+bool BTreeStore::IsFreeOrPending(storage::PageId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_lookup_.count(id) > 0;
+}
+
+BTreeStoreMeta BTreeStore::CommitMeta() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BTreeStoreMeta meta;
+  meta.page_count = page_count_;
+  meta.next_stamp = next_stamp_;
+  meta.free_pages.reserve(free_.size() + freed_pending_.size());
+  meta.free_pages.insert(meta.free_pages.end(), free_.begin(), free_.end());
+  meta.free_pages.insert(meta.free_pages.end(), freed_pending_.begin(),
+                         freed_pending_.end());
+  return meta;
+}
+
+void BTreeStore::CommitEpoch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.insert(free_.end(), freed_pending_.begin(), freed_pending_.end());
+  freed_pending_.clear();
+  fresh_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// BTree
+
+BTree::BTree(BTreeStore* store, const BTreeMeta& meta)
+    : store_(store),
+      pool_(store->pool()),
+      root_(meta.root),
+      height_(meta.height),
+      entries_(meta.entries),
+      covered_rows_(meta.covered_rows) {}
+
+Result<std::unique_ptr<BTree>> BTree::Create(BTreeStore* store) {
+  uint64_t stamp;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard root, store->Allocate(&stamp));
+  BTreeNodeView v(root.MutableData());
+  v.set_kind(kBTreeLeafKind);
+  v.set_count(0);
+  v.set_next(kInvalidPageId, 0);
+  BTreeMeta meta;
+  meta.root = root.page_id();
+  return std::unique_ptr<BTree>(new BTree(store, meta));
+}
+
+std::unique_ptr<BTree> BTree::Attach(BTreeStore* store, const BTreeMeta& meta) {
+  return std::unique_ptr<BTree>(new BTree(store, meta));
+}
+
+Result<storage::PageId> BTree::Shadow(storage::PageId id,
+                                      storage::PageGuard* guard) {
+  if (store_->IsFresh(id)) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(*guard, pool_->FetchPage(id));
+    return id;
+  }
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard old, pool_->FetchPage(id));
+  uint64_t stamp;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard fresh, store_->Allocate(&stamp));
+  std::memcpy(fresh.MutableData() + kPageDataOffset,
+              old.data() + kPageDataOffset, kPageSize - kPageDataOffset);
+  BTreeNodeView(fresh.MutableData()).set_stamp(stamp);
+  store_->Free(id);
+  PageId fresh_id = fresh.page_id();
+  *guard = std::move(fresh);
+  return fresh_id;
+}
+
+Status BTree::DescendForWrite(const BTreeKey& key,
+                              std::vector<PathEntry>* path,
+                              storage::PageGuard* leaf) {
+  if (root_ == kInvalidPageId) {
+    return Status::Internal("btree: use after Discard()");
+  }
+  PageGuard g;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(root_, Shadow(root_, &g));
+  for (uint32_t level = 0; level < height_; ++level) {
+    BTreeNodeView v = ViewOf(&g);
+    if (v.kind() != kBTreeInternalKind || v.count() == 0) {
+      return Status::Corruption("btree: malformed internal node");
+    }
+    // Keep separator 0 a lower bound for keys below the current minimum.
+    if (key.Compare(v.key_at(0)) < 0) v.SetInternalKey(0, key);
+    size_t slot = RouteSlot(v, key);
+    PageId child = v.child_at(slot);
+    PageGuard cg;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageId shadowed, Shadow(child, &cg));
+    if (shadowed != child) v.SetChild(slot, shadowed);
+    path->push_back({g.page_id(), static_cast<uint16_t>(slot)});
+    g = std::move(cg);
+  }
+  if (ConstViewOf(g).kind() != kBTreeLeafKind) {
+    return Status::Corruption("btree: descent did not reach a leaf");
+  }
+  *leaf = std::move(g);
+  return Status::OK();
+}
+
+Status BTree::InsertKey(const BTreeKey& key) {
+  std::vector<PathEntry> path;
+  PageGuard leaf;
+  INSIGHTNOTES_RETURN_IF_ERROR(DescendForWrite(key, &path, &leaf));
+  BTreeNodeView lv = ViewOf(&leaf);
+  std::vector<BTreeKey> keys = ReadLeafEntries(lv);
+  auto pos = std::lower_bound(keys.begin(), keys.end(), key);
+  if (pos != keys.end() && *pos == key) return Status::OK();  // Idempotent.
+  keys.insert(pos, key);
+  ++entries_;
+  if (keys.size() <= store_->max_leaf_entries()) {
+    WriteLeafEntries(&lv, keys, 0, keys.size());
+    return Status::OK();
+  }
+
+  // Leaf overflow: split evenly, link the right half into the leaf chain.
+  size_t left_n = (keys.size() + 1) / 2;
+  uint64_t right_stamp;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard right, store_->Allocate(&right_stamp));
+  BTreeNodeView rv = ViewOf(&right);
+  rv.set_kind(kBTreeLeafKind);
+  rv.set_next(lv.next_page(), lv.next_stamp());
+  WriteLeafEntries(&rv, keys, left_n, keys.size());
+  WriteLeafEntries(&lv, keys, 0, left_n);
+  lv.set_next(right.page_id(), right_stamp);
+  BTreeKey sep = keys[left_n];
+  PageId new_child = right.page_id();
+  right.Release();
+  leaf.Release();
+
+  // Bubble the new separator up the recorded path, splitting as needed.
+  for (size_t i = path.size(); i-- > 0;) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard parent,
+                                  pool_->FetchPage(path[i].id));
+    BTreeNodeView pv = ViewOf(&parent);
+    std::vector<InternalEntry> entries = ReadInternalEntries(pv);
+    entries.insert(entries.begin() + path[i].slot + 1, {sep, new_child});
+    if (entries.size() <= store_->max_internal_entries()) {
+      WriteInternalEntries(&pv, entries, 0, entries.size());
+      return Status::OK();
+    }
+    size_t split = (entries.size() + 1) / 2;
+    uint64_t stamp;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard rnode, store_->Allocate(&stamp));
+    BTreeNodeView rnv = ViewOf(&rnode);
+    rnv.set_kind(kBTreeInternalKind);
+    rnv.set_next(kInvalidPageId, 0);
+    WriteInternalEntries(&rnv, entries, split, entries.size());
+    WriteInternalEntries(&pv, entries, 0, split);
+    sep = entries[split].key;
+    new_child = rnode.page_id();
+  }
+
+  // The root itself split: grow a new root above both halves. The left
+  // entry's separator is the all-zero composite — a valid lower bound for
+  // everything, so no child read is needed.
+  uint64_t stamp;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard new_root, store_->Allocate(&stamp));
+  BTreeNodeView nv = ViewOf(&new_root);
+  nv.set_kind(kBTreeInternalKind);
+  nv.set_next(kInvalidPageId, 0);
+  nv.WriteInternalEntry(0, BTreeKey{}, root_);
+  nv.WriteInternalEntry(1, sep, new_child);
+  nv.set_count(2);
+  root_ = new_root.page_id();
+  ++height_;
+  if (height_ > kMaxHeight) return Status::Corruption("btree: height runaway");
+  return Status::OK();
+}
+
+Status BTree::RemoveKey(const BTreeKey& key, bool* found) {
+  *found = false;
+  std::vector<PathEntry> path;
+  PageGuard leaf;
+  INSIGHTNOTES_RETURN_IF_ERROR(DescendForWrite(key, &path, &leaf));
+  BTreeNodeView lv = ViewOf(&leaf);
+  std::vector<BTreeKey> keys = ReadLeafEntries(lv);
+  auto pos = std::lower_bound(keys.begin(), keys.end(), key);
+  if (pos == keys.end() || !(*pos == key)) return Status::OK();
+  keys.erase(pos);
+  WriteLeafEntries(&lv, keys, 0, keys.size());
+  *found = true;
+  --entries_;
+  PageId node_id = leaf.page_id();
+  leaf.Release();
+
+  // Rebalance upward from the leaf: each merge removes one parent entry
+  // and may underflow the parent in turn.
+  size_t depth = path.size();
+  while (depth > 0) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard node, pool_->FetchPage(node_id));
+    BTreeNodeView nv = ViewOf(&node);
+    bool leaf_level = nv.is_leaf();
+    size_t max_entries = leaf_level ? store_->max_leaf_entries()
+                                    : store_->max_internal_entries();
+    if (nv.count() >= MinEntries(max_entries)) break;
+
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard parent,
+                                  pool_->FetchPage(path[depth - 1].id));
+    BTreeNodeView pv = ViewOf(&parent);
+    size_t slot = path[depth - 1].slot;
+    bool merged = false;
+    if (slot + 1 < pv.count()) {
+      // Work with the right sibling.
+      PageId rid = pv.child_at(slot + 1);
+      INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard rpeek, pool_->FetchPage(rid));
+      size_t rcount = ConstViewOf(rpeek).count();
+      if (nv.count() + rcount <= max_entries) {
+        // Merge right sibling into `node`; the right page dies unmodified.
+        BTreeNodeView rv = ConstViewOf(rpeek);
+        if (leaf_level) {
+          std::vector<BTreeKey> merged_keys = ReadLeafEntries(nv);
+          std::vector<BTreeKey> right_keys = ReadLeafEntries(rv);
+          merged_keys.insert(merged_keys.end(), right_keys.begin(),
+                             right_keys.end());
+          WriteLeafEntries(&nv, merged_keys, 0, merged_keys.size());
+          nv.set_next(rv.next_page(), rv.next_stamp());
+        } else {
+          std::vector<InternalEntry> merged_entries = ReadInternalEntries(nv);
+          std::vector<InternalEntry> right_entries = ReadInternalEntries(rv);
+          merged_entries.insert(merged_entries.end(), right_entries.begin(),
+                                right_entries.end());
+          WriteInternalEntries(&nv, merged_entries, 0, merged_entries.size());
+        }
+        rpeek.Release();
+        store_->Free(rid);
+        std::vector<InternalEntry> pentries = ReadInternalEntries(pv);
+        pentries.erase(pentries.begin() + slot + 1);
+        WriteInternalEntries(&pv, pentries, 0, pentries.size());
+        merged = true;
+      } else {
+        // Borrow from the right sibling (shadowed: it changes).
+        rpeek.Release();
+        PageGuard rg;
+        INSIGHTNOTES_ASSIGN_OR_RETURN(PageId rid2, Shadow(rid, &rg));
+        if (rid2 != rid) pv.SetChild(slot + 1, rid2);
+        BTreeNodeView rv = ViewOf(&rg);
+        if (leaf_level) {
+          std::vector<BTreeKey> all = ReadLeafEntries(nv);
+          std::vector<BTreeKey> right_keys = ReadLeafEntries(rv);
+          all.insert(all.end(), right_keys.begin(), right_keys.end());
+          size_t left_n = (all.size() + 1) / 2;
+          WriteLeafEntries(&nv, all, 0, left_n);
+          WriteLeafEntries(&rv, all, left_n, all.size());
+          nv.set_next(rid2, rv.stamp());
+          pv.SetInternalKey(slot + 1, all[left_n]);
+        } else {
+          std::vector<InternalEntry> all = ReadInternalEntries(nv);
+          std::vector<InternalEntry> right_entries = ReadInternalEntries(rv);
+          all.insert(all.end(), right_entries.begin(), right_entries.end());
+          size_t left_n = (all.size() + 1) / 2;
+          WriteInternalEntries(&nv, all, 0, left_n);
+          WriteInternalEntries(&rv, all, left_n, all.size());
+          pv.SetInternalKey(slot + 1, all[left_n].key);
+        }
+      }
+    } else if (slot > 0) {
+      // Work with the left sibling (always shadowed: it changes or absorbs).
+      PageId lid = pv.child_at(slot - 1);
+      PageGuard lg_peek;
+      INSIGHTNOTES_ASSIGN_OR_RETURN(lg_peek, pool_->FetchPage(lid));
+      size_t lcount = ConstViewOf(lg_peek).count();
+      lg_peek.Release();
+      PageGuard lg;
+      INSIGHTNOTES_ASSIGN_OR_RETURN(PageId lid2, Shadow(lid, &lg));
+      if (lid2 != lid) pv.SetChild(slot - 1, lid2);
+      BTreeNodeView lv2 = ViewOf(&lg);
+      if (lcount + nv.count() <= max_entries) {
+        // Merge `node` into the left sibling; `node` dies (it is fresh).
+        if (leaf_level) {
+          std::vector<BTreeKey> all = ReadLeafEntries(lv2);
+          std::vector<BTreeKey> cur_keys = ReadLeafEntries(nv);
+          all.insert(all.end(), cur_keys.begin(), cur_keys.end());
+          WriteLeafEntries(&lv2, all, 0, all.size());
+          lv2.set_next(nv.next_page(), nv.next_stamp());
+        } else {
+          std::vector<InternalEntry> all = ReadInternalEntries(lv2);
+          std::vector<InternalEntry> cur_entries = ReadInternalEntries(nv);
+          all.insert(all.end(), cur_entries.begin(), cur_entries.end());
+          WriteInternalEntries(&lv2, all, 0, all.size());
+        }
+        node.Release();
+        store_->Free(node_id);
+        std::vector<InternalEntry> pentries = ReadInternalEntries(pv);
+        pentries.erase(pentries.begin() + slot);
+        WriteInternalEntries(&pv, pentries, 0, pentries.size());
+        merged = true;
+      } else {
+        // Borrow from the left sibling.
+        if (leaf_level) {
+          std::vector<BTreeKey> all = ReadLeafEntries(lv2);
+          std::vector<BTreeKey> cur_keys = ReadLeafEntries(nv);
+          all.insert(all.end(), cur_keys.begin(), cur_keys.end());
+          size_t left_n = (all.size() + 1) / 2;
+          WriteLeafEntries(&lv2, all, 0, left_n);
+          WriteLeafEntries(&nv, all, left_n, all.size());
+          lv2.set_next(node_id, nv.stamp());
+          pv.SetInternalKey(slot, all[left_n]);
+        } else {
+          std::vector<InternalEntry> all = ReadInternalEntries(lv2);
+          std::vector<InternalEntry> cur_entries = ReadInternalEntries(nv);
+          all.insert(all.end(), cur_entries.begin(), cur_entries.end());
+          size_t left_n = (all.size() + 1) / 2;
+          WriteInternalEntries(&lv2, all, 0, left_n);
+          WriteInternalEntries(&nv, all, left_n, all.size());
+          pv.SetInternalKey(slot, all[left_n].key);
+        }
+      }
+    } else {
+      // Only child: the parent has a single entry; collapse happens below.
+      break;
+    }
+    if (!merged) break;
+    --depth;
+    node_id = path[depth].id;
+  }
+
+  // Collapse single-child internal roots.
+  while (height_ > 0) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard rootg, pool_->FetchPage(root_));
+    BTreeNodeView rv = ConstViewOf(rootg);
+    if (rv.kind() != kBTreeInternalKind || rv.count() != 1) break;
+    PageId child = rv.child_at(0);
+    rootg.Release();
+    store_->Free(root_);
+    root_ = child;
+    --height_;
+  }
+  return Status::OK();
+}
+
+Status BTree::InsertForRow(const Value& value, RowId row) {
+  if (row < covered_rows_) return Status::OK();
+  return InsertKey(EncodeBTreeKey(value, row));
+}
+
+Status BTree::RemoveForRow(const Value& value, RowId row) {
+  bool found = false;
+  INSIGHTNOTES_RETURN_IF_ERROR(RemoveKey(EncodeBTreeKey(value, row), &found));
+  if (!found && row >= covered_rows_) {
+    return Status::NotFound("btree: no index entry for row");
+  }
+  return Status::OK();
+}
+
+Result<storage::PageGuard> BTree::SeekLeaf(const BTreeKey& key) const {
+  if (root_ == kInvalidPageId) {
+    return Status::Internal("btree: use after Discard()");
+  }
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(root_));
+  for (uint32_t level = 0; level < height_; ++level) {
+    BTreeNodeView v = ConstViewOf(g);
+    if (v.kind() != kBTreeInternalKind || v.count() == 0) {
+      return Status::Corruption("btree: malformed internal node");
+    }
+    PageId child = v.child_at(RouteSlot(v, key));
+    INSIGHTNOTES_ASSIGN_OR_RETURN(g, pool_->FetchPage(child));
+  }
+  if (ConstViewOf(g).kind() != kBTreeLeafKind) {
+    return Status::Corruption("btree: descent did not reach a leaf");
+  }
+  return g;
+}
+
+Status BTree::ScanRange(const BTreeKey& first, const unsigned char* hi_value,
+                        std::vector<RowId>* out) const {
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard g, SeekLeaf(first));
+  BTreeKey cursor = first;
+  // Bounded by one transition per leaf plus reseeks, each of which lands
+  // strictly further right; the cap only guards against corrupted chains.
+  for (uint64_t iter = 0; iter <= entries_ + 2 * (entries_ + 2); ++iter) {
+    BTreeNodeView v = ConstViewOf(g);
+    size_t pos = LeafLowerBound(v, cursor);
+    size_t count = v.count();
+    bool consumed = false;
+    for (; pos < count; ++pos) {
+      BTreeKey k = v.key_at(pos);
+      if (hi_value != nullptr &&
+          std::memcmp(k.bytes.data(), hi_value, kBTreeValueKeyBytes) > 0) {
+        return Status::OK();
+      }
+      out->push_back(k.row());
+      cursor = k;
+      consumed = true;
+    }
+    if (consumed) cursor = cursor.Successor();
+
+    // Advance to the next leaf: validated sibling hint first, root descent
+    // as the fallback (copy-on-write may have moved the neighbour).
+    PageId next = v.next_page();
+    uint64_t next_stamp = v.next_stamp();
+    bool advanced = false;
+    if (next == kInvalidPageId) return Status::OK();  // Rightmost leaf.
+    if (!store_->IsFreeOrPending(next)) {
+      INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard candidate,
+                                    pool_->FetchPage(next));
+      BTreeNodeView cv = ConstViewOf(candidate);
+      if (cv.kind() == kBTreeLeafKind && cv.stamp() == next_stamp) {
+        g = std::move(candidate);
+        advanced = true;
+      }
+    }
+    if (!advanced) {
+      // Stale hint: reseek the leaf covering the cursor. If that leaf is
+      // the one just drained (every entry below the cursor), step right
+      // through the freshly-built parent stack.
+      bool done = false;
+      INSIGHTNOTES_RETURN_IF_ERROR(ReseekScan(cursor, &g, &done));
+      if (done) return Status::OK();
+    }
+  }
+  return Status::Corruption("btree: leaf chain does not terminate");
+}
+
+Status BTree::ReseekScan(const BTreeKey& cursor, storage::PageGuard* out,
+                         bool* done) const {
+  struct Level {
+    PageId id;
+    size_t slot;
+  };
+  std::vector<Level> stack;
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(root_));
+  for (uint32_t level = 0; level < height_; ++level) {
+    BTreeNodeView v = ConstViewOf(g);
+    if (v.kind() != kBTreeInternalKind || v.count() == 0) {
+      return Status::Corruption("btree: malformed internal node");
+    }
+    size_t slot = RouteSlot(v, cursor);
+    stack.push_back({g.page_id(), slot});
+    PageId child = v.child_at(slot);
+    INSIGHTNOTES_ASSIGN_OR_RETURN(g, pool_->FetchPage(child));
+  }
+  BTreeNodeView leaf = ConstViewOf(g);
+  if (leaf.kind() != kBTreeLeafKind) {
+    return Status::Corruption("btree: descent did not reach a leaf");
+  }
+  if (LeafLowerBound(leaf, cursor) < leaf.count()) {
+    *out = std::move(g);
+    return Status::OK();
+  }
+  // Drained leaf: step to the next one to the right via the parent stack.
+  while (!stack.empty()) {
+    Level top = stack.back();
+    stack.pop_back();
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard node, pool_->FetchPage(top.id));
+    BTreeNodeView v = ConstViewOf(node);
+    if (top.slot + 1 >= v.count()) continue;
+    PageId child = v.child_at(top.slot + 1);
+    node.Release();
+    size_t levels_down = height_ - stack.size() - 1;
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard walk, pool_->FetchPage(child));
+    for (size_t i = 0; i < levels_down; ++i) {
+      BTreeNodeView wv = ConstViewOf(walk);
+      if (wv.kind() != kBTreeInternalKind || wv.count() == 0) {
+        return Status::Corruption("btree: malformed internal node");
+      }
+      PageId next_child = wv.child_at(0);
+      INSIGHTNOTES_ASSIGN_OR_RETURN(walk, pool_->FetchPage(next_child));
+    }
+    if (ConstViewOf(walk).kind() != kBTreeLeafKind) {
+      return Status::Corruption("btree: descent did not reach a leaf");
+    }
+    *out = std::move(walk);
+    return Status::OK();
+  }
+  *done = true;
+  return Status::OK();
+}
+
+Status BTree::LookupInto(const Value& value, std::vector<RowId>* out) const {
+  BTreeKey first = EncodeBTreeKey(value, 0);
+  unsigned char hi[kBTreeValueKeyBytes];
+  std::memcpy(hi, first.bytes.data(), kBTreeValueKeyBytes);
+  return ScanRange(first, hi, out);
+}
+
+Status BTree::RangeInto(const Value* lo, const Value* hi,
+                        std::vector<RowId>* out) const {
+  BTreeKey first{};  // All-zero composite: before everything, nulls included.
+  if (lo != nullptr) first = EncodeBTreeKey(*lo, 0);
+  unsigned char hi_bytes[kBTreeValueKeyBytes];
+  const unsigned char* hi_ptr = nullptr;
+  if (hi != nullptr) {
+    EncodeBTreeValue(*hi, hi_bytes);
+    hi_ptr = hi_bytes;
+  }
+  if (lo != nullptr && hi != nullptr &&
+      std::memcmp(first.bytes.data(), hi_bytes, kBTreeValueKeyBytes) > 0) {
+    return Status::OK();  // Reversed bounds: empty range.
+  }
+  return ScanRange(first, hi_ptr, out);
+}
+
+Status BTree::Discard() {
+  if (root_ == kInvalidPageId) return Status::OK();
+  // Iterative walk freeing every page; errors abandon the remainder (the
+  // pages leak until the file is truncated, which beats corrupting state).
+  std::vector<std::pair<PageId, uint32_t>> work = {{root_, 0}};
+  Status first_error;
+  while (!work.empty()) {
+    auto [id, level] = work.back();
+    work.pop_back();
+    if (level < height_) {
+      Result<PageGuard> g = pool_->FetchPage(id);
+      if (!g.ok()) {
+        if (first_error.ok()) first_error = g.status();
+        continue;
+      }
+      BTreeNodeView v = ConstViewOf(*g);
+      if (v.kind() == kBTreeInternalKind) {
+        for (size_t i = 0; i < v.count(); ++i) {
+          work.push_back({v.child_at(i), level + 1});
+        }
+      }
+    }
+    store_->Free(id);
+  }
+  root_ = kInvalidPageId;
+  height_ = 0;
+  entries_ = 0;
+  return first_error;
+}
+
+Status BTree::CheckSubtree(storage::PageId id, uint32_t level,
+                           const BTreeKey* lo, const BTreeKey* hi,
+                           uint64_t* entries,
+                           std::vector<storage::PageId>* leaves,
+                           std::unordered_set<storage::PageId>* seen) const {
+  if (!seen->insert(id).second) {
+    return Status::Corruption("btree: page reachable twice");
+  }
+  if (store_->IsFreeOrPending(id)) {
+    return Status::Corruption("btree: live page on the free list");
+  }
+  INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(id));
+  BTreeNodeView v = ConstViewOf(g);
+  bool is_root = id == root_;
+  if (level < height_) {
+    if (v.kind() != kBTreeInternalKind) {
+      return Status::Corruption("btree: leaf above leaf level");
+    }
+    size_t max_entries = store_->max_internal_entries();
+    if (v.count() > max_entries) {
+      return Status::Corruption("btree: internal fanout exceeded");
+    }
+    size_t min_needed = is_root ? 2 : MinEntries(max_entries);
+    if (v.count() < min_needed) {
+      return Status::Corruption("btree: internal node underfull");
+    }
+    for (size_t i = 0; i < v.count(); ++i) {
+      BTreeKey sep = v.key_at(i);
+      if (lo != nullptr && sep.Compare(*lo) < 0) {
+        return Status::Corruption("btree: separator below lower bound");
+      }
+      if (hi != nullptr && sep.Compare(*hi) >= 0) {
+        return Status::Corruption("btree: separator above upper bound");
+      }
+      if (i > 0 && !(v.key_at(i - 1) < sep)) {
+        return Status::Corruption("btree: separators not ascending");
+      }
+      BTreeKey next_sep;
+      const BTreeKey* child_hi = hi;
+      if (i + 1 < v.count()) {
+        next_sep = v.key_at(i + 1);
+        child_hi = &next_sep;
+      }
+      INSIGHTNOTES_RETURN_IF_ERROR(CheckSubtree(v.child_at(i), level + 1, &sep,
+                                                child_hi, entries, leaves,
+                                                seen));
+    }
+    return Status::OK();
+  }
+  if (v.kind() != kBTreeLeafKind) {
+    return Status::Corruption("btree: non-leaf at leaf depth");
+  }
+  size_t max_entries = store_->max_leaf_entries();
+  if (v.count() > max_entries) {
+    return Status::Corruption("btree: leaf fanout exceeded");
+  }
+  if (!is_root && v.count() < MinEntries(max_entries)) {
+    return Status::Corruption("btree: leaf underfull");
+  }
+  for (size_t i = 0; i < v.count(); ++i) {
+    BTreeKey k = v.key_at(i);
+    if (lo != nullptr && k.Compare(*lo) < 0) {
+      return Status::Corruption("btree: leaf key below lower bound");
+    }
+    if (hi != nullptr && k.Compare(*hi) >= 0) {
+      return Status::Corruption("btree: leaf key above upper bound");
+    }
+    if (i > 0 && !(v.key_at(i - 1) < k)) {
+      return Status::Corruption("btree: leaf keys not ascending");
+    }
+  }
+  *entries += v.count();
+  leaves->push_back(id);
+  return Status::OK();
+}
+
+Status BTree::CheckInvariants() const {
+  if (root_ == kInvalidPageId) {
+    return Status::Internal("btree: use after Discard()");
+  }
+  if (height_ > kMaxHeight) return Status::Corruption("btree: height runaway");
+  uint64_t counted = 0;
+  std::vector<PageId> leaves;
+  std::unordered_set<PageId> seen;
+  INSIGHTNOTES_RETURN_IF_ERROR(
+      CheckSubtree(root_, 0, nullptr, nullptr, &counted, &leaves, &seen));
+  if (counted != entries_) {
+    return Status::Corruption("btree: entry count drifted");
+  }
+  // The leaf chain (validated hints + reseek fallback) must yield exactly
+  // the in-order walk: collect rows both ways and compare.
+  std::vector<RowId> in_order;
+  for (PageId id : leaves) {
+    INSIGHTNOTES_ASSIGN_OR_RETURN(PageGuard g, pool_->FetchPage(id));
+    BTreeNodeView v = ConstViewOf(g);
+    for (size_t i = 0; i < v.count(); ++i) {
+      in_order.push_back(v.key_at(i).row());
+    }
+  }
+  std::vector<RowId> chained;
+  INSIGHTNOTES_RETURN_IF_ERROR(RangeInto(nullptr, nullptr, &chained));
+  if (chained != in_order) {
+    return Status::Corruption("btree: leaf chain diverges from walk order");
+  }
+  return Status::OK();
+}
+
+}  // namespace insightnotes::rel

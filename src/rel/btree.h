@@ -1,0 +1,201 @@
+// Persistent copy-on-write B+-tree index stored through the buffer pool.
+//
+// All indexes of one engine share a BTreeStore: a page allocator over the
+// engine's dedicated index file (db_path + ".idx") with shadow-paging
+// epochs. Mutations never overwrite a page referenced by the last committed
+// index checkpoint — every node on the mutation path is copied to a fresh
+// page first ("shadowed"), and the pages the copies replace only become
+// reusable after the next checkpoint commits. The commit point is: flush +
+// fsync the index file, then append a WalIndexCheckpointRecord carrying the
+// roots, entry counts, covered-row bounds, free list and page count. A crash
+// anywhere between commits leaves the previous committed tree fully intact,
+// so recovery just adopts the recorded roots — no table scan, no tree walk.
+//
+// Recovery catch-up: the engine's row heap is rebuilt by the caller after
+// open (rows are configuration, the WAL is truth for annotations), so a
+// recovered tree may already cover a prefix of the rows the caller re-adds.
+// covered_rows persists that bound: InsertForRow skips rows below it and
+// RemoveForRow tolerates NotFound below it, making the caller's re-run of
+// its setup idempotent against the committed tree.
+
+#ifndef INSIGHTNOTES_REL_BTREE_H_
+#define INSIGHTNOTES_REL_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/btree_page.h"
+#include "rel/tuple.h"
+#include "rel/value.h"
+#include "storage/buffer_pool.h"
+
+namespace insightnotes::rel {
+
+/// Allocator + epoch state persisted by each index checkpoint record.
+struct BTreeStoreMeta {
+  uint64_t page_count = 0;  // Pages ever allocated in the index file.
+  uint64_t next_stamp = 1;  // Monotone allocation-stamp counter.
+  std::vector<storage::PageId> free_pages;  // Reusable after the checkpoint.
+};
+
+/// Per-tree state persisted by each index checkpoint record.
+struct BTreeMeta {
+  storage::PageId root = storage::kInvalidPageId;
+  uint32_t height = 0;   // Levels below the root; 0 = the root is a leaf.
+  uint64_t entries = 0;  // Live (key, row) composites in the tree.
+  RowId covered_rows = 0;  // Committed tree reflects rows [0, covered_rows).
+};
+
+/// Shared page allocator for every B+-tree of one engine. Thread-safe: the
+/// internal mutex guards the free lists, fresh set and counters (page bytes
+/// go through the BufferPool, which synchronizes itself). Tree structure
+/// above the store is synchronized by the owning Table's latch.
+class BTreeStore {
+ public:
+  /// `max_node_entries` clamps both leaf and internal fanout (0 = use the
+  /// page capacity); tests shrink it to force deep trees on tiny data.
+  BTreeStore(storage::BufferPool* pool, BTreeStoreMeta meta = {},
+             size_t max_node_entries = 0);
+
+  storage::BufferPool* pool() const { return pool_; }
+  size_t max_leaf_entries() const { return max_leaf_entries_; }
+  size_t max_internal_entries() const { return max_internal_entries_; }
+
+  /// Allocates a zeroed page (reusing the committed free list when
+  /// possible), assigns it a fresh stamp and marks it fresh-this-epoch.
+  Result<storage::PageGuard> Allocate(uint64_t* stamp_out);
+
+  /// Returns a page to the allocator. Fresh pages (allocated since the last
+  /// commit) are reusable immediately; committed pages only after the next
+  /// commit (the last checkpoint may still reference them).
+  void Free(storage::PageId id);
+
+  /// True if the page was allocated since the last committed epoch (and may
+  /// therefore be mutated in place).
+  bool IsFresh(storage::PageId id) const;
+
+  /// True if the page is on the free list or pending-free — i.e. not part
+  /// of the live tree. Used to invalidate stale sibling hints.
+  bool IsFreeOrPending(storage::PageId id) const;
+
+  /// The allocator state a checkpoint record written *now* should persist:
+  /// the free list includes pending frees, because once that record commits
+  /// the pages it shadows are no longer referenced.
+  BTreeStoreMeta CommitMeta() const;
+
+  /// Seals the epoch after a successful checkpoint commit: pending frees
+  /// become allocatable and every page loses its fresh status.
+  void CommitEpoch();
+
+ private:
+  storage::BufferPool* pool_;
+  size_t max_leaf_entries_;
+  size_t max_internal_entries_;
+  mutable std::mutex mutex_;
+  uint64_t page_count_;
+  uint64_t next_stamp_;
+  std::vector<storage::PageId> free_;          // Allocatable now.
+  std::vector<storage::PageId> freed_pending_; // Allocatable next epoch.
+  std::unordered_set<storage::PageId> free_lookup_;  // free_ + freed_pending_
+  std::unordered_set<storage::PageId> fresh_;
+};
+
+/// One persistent index: a B+-tree over the 32-byte composite keys of
+/// btree_page.h. Mutations require external exclusive synchronization
+/// (the Table latch under the engine writer mutex); const probes may run
+/// concurrently with each other under shared latches.
+class BTree {
+ public:
+  /// Creates an empty tree (allocates its root leaf).
+  static Result<std::unique_ptr<BTree>> Create(BTreeStore* store);
+
+  /// Adopts a committed tree from checkpoint metadata. No I/O.
+  static std::unique_ptr<BTree> Attach(BTreeStore* store,
+                                       const BTreeMeta& meta);
+
+  /// Index maintenance for a heap row. InsertForRow is a no-op for rows
+  /// below covered_rows (already in the committed tree); RemoveForRow
+  /// treats NotFound below covered_rows as success for the same reason.
+  Status InsertForRow(const Value& value, RowId row);
+  Status RemoveForRow(const Value& value, RowId row);
+
+  /// Appends every row whose value equals `value` (probe semantics may
+  /// over-approximate; callers re-filter).
+  Status LookupInto(const Value& value, std::vector<RowId>* out) const;
+
+  /// Appends rows with lo <= value <= hi (nullptr bound = unbounded).
+  /// Reversed bounds yield an empty result.
+  Status RangeInto(const Value* lo, const Value* hi,
+                   std::vector<RowId>* out) const;
+
+  BTreeMeta meta() const {
+    return BTreeMeta{root_, height_, entries_, covered_rows_};
+  }
+  uint64_t NumEntries() const { return entries_; }
+  RowId covered_rows() const { return covered_rows_; }
+  void set_covered_rows(RowId rows) { covered_rows_ = rows; }
+
+  /// Frees every page of the tree (used when an uncommitted build is
+  /// abandoned or an index is dropped/replaced). The tree is unusable
+  /// afterwards.
+  Status Discard();
+
+  /// Structural battery for tests: node kinds and fanout bounds per level,
+  /// separator ordering (lower-bound invariant), uniform leaf depth, leaf
+  /// chain equal to the in-order walk, entry count equal to NumEntries(),
+  /// and no live page on the free list.
+  Status CheckInvariants() const;
+
+ private:
+  BTree(BTreeStore* store, const BTreeMeta& meta);
+
+  struct PathEntry {
+    storage::PageId id;
+    uint16_t slot;
+  };
+
+  /// Copies `id` to a fresh page unless it already is fresh. Returns the
+  /// (possibly new) id; `*guard` pins it writable.
+  Result<storage::PageId> Shadow(storage::PageId id,
+                                 storage::PageGuard* guard);
+
+  /// Shadow-descends to the leaf for `key`, recording parent slots, and
+  /// rewiring shadowed child pointers. `*leaf` pins the fresh leaf.
+  Status DescendForWrite(const BTreeKey& key, std::vector<PathEntry>* path,
+                         storage::PageGuard* leaf);
+
+  Status InsertKey(const BTreeKey& key);
+  Status RemoveKey(const BTreeKey& key, bool* found);
+
+  /// Read-only descent to the leaf whose range covers `key`.
+  Result<storage::PageGuard> SeekLeaf(const BTreeKey& key) const;
+
+  Status ScanRange(const BTreeKey& first, const unsigned char* hi_value,
+                   std::vector<RowId>* out) const;
+
+  /// Stale-hint fallback: finds the leaf where a scan positioned at
+  /// `cursor` should continue (sets *done when the scan is exhausted).
+  Status ReseekScan(const BTreeKey& cursor, storage::PageGuard* out,
+                    bool* done) const;
+
+  Status CheckSubtree(storage::PageId id, uint32_t level, const BTreeKey* lo,
+                      const BTreeKey* hi, uint64_t* entries,
+                      std::vector<storage::PageId>* leaves,
+                      std::unordered_set<storage::PageId>* seen) const;
+
+  BTreeStore* store_;
+  storage::BufferPool* pool_;
+  storage::PageId root_;
+  uint32_t height_;
+  uint64_t entries_;
+  RowId covered_rows_;
+};
+
+}  // namespace insightnotes::rel
+
+#endif  // INSIGHTNOTES_REL_BTREE_H_

@@ -1,0 +1,238 @@
+// On-page layout of the persistent B+-tree (src/rel/btree.{h,cc}).
+//
+// Index nodes live in ordinary DiskManager pages behind a BufferPool, so the
+// first kPageDataOffset bytes of every page hold the CRC32 checksum word and
+// the node header starts at kPageDataOffset:
+//
+//   [u8  kind]        1 = leaf, 2 = internal
+//   [u8  reserved]
+//   [u16 count]       number of entries in the node
+//   [u32 next_page]   leaves: right-sibling hint (kInvalidPageId at the end)
+//   [u64 stamp]       this page's allocation stamp (see below)
+//   [u64 next_stamp]  leaves: allocation stamp of next_page at link time
+//
+// Keys are fixed-width 32-byte composites: 24 order-preserving value bytes
+// followed by the 8-byte big-endian RowId. The value encoding is monotone
+// but *non-strict* (distinct values may share an encoding after numeric
+// coercion or string truncation), so probes return supersets and rely on the
+// planner's residual filters — the same over-approximation contract the
+// in-memory indexes already follow. The RowId suffix makes every composite
+// unique and lets internal separators route equal-valued keys exactly.
+//
+// Leaf entries are bare composites (the row id is the last 8 key bytes).
+// Internal entries are [composite][u32 child]; entry i's key is a *lower
+// bound* for child i's subtree and an exclusive upper bound for child i-1's.
+//
+// Sibling links are hints, not invariants: copy-on-write moves pages without
+// rewriting the neighbours that point at them, so a reader validates a hint
+// (target not on the free list, header stamp equal to next_stamp) and falls
+// back to a root descent when it is stale. Stamps are monotone per store, so
+// a recycled page can never masquerade as the leaf the hint meant.
+
+#ifndef INSIGHTNOTES_REL_BTREE_PAGE_H_
+#define INSIGHTNOTES_REL_BTREE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "rel/tuple.h"
+#include "rel/value.h"
+#include "storage/disk_manager.h"
+
+namespace insightnotes::rel {
+
+inline constexpr size_t kBTreeValueKeyBytes = 24;
+inline constexpr size_t kBTreeKeyBytes = kBTreeValueKeyBytes + sizeof(uint64_t);
+
+inline constexpr uint8_t kBTreeLeafKind = 1;
+inline constexpr uint8_t kBTreeInternalKind = 2;
+
+/// A fully-encoded (value, row) composite key. Plain memcmp order.
+struct BTreeKey {
+  std::array<unsigned char, kBTreeKeyBytes> bytes{};
+
+  int Compare(const BTreeKey& other) const {
+    return std::memcmp(bytes.data(), other.bytes.data(), kBTreeKeyBytes);
+  }
+  bool operator<(const BTreeKey& other) const { return Compare(other) < 0; }
+  bool operator==(const BTreeKey& other) const { return Compare(other) == 0; }
+
+  RowId row() const {
+    uint64_t r = 0;
+    for (size_t i = 0; i < sizeof(uint64_t); ++i) {
+      r = (r << 8) | bytes[kBTreeValueKeyBytes + i];
+    }
+    return r;
+  }
+
+  /// Compares only the 24 value bytes (all rows for one value compare 0).
+  int CompareValue(const BTreeKey& other) const {
+    return std::memcmp(bytes.data(), other.bytes.data(), kBTreeValueKeyBytes);
+  }
+
+  /// Smallest composite strictly greater than this one. The row suffix is
+  /// below 2^64-1 for every real row, so the increment never carries past
+  /// the value bytes in practice (and saturates harmlessly if it would).
+  BTreeKey Successor() const {
+    BTreeKey next = *this;
+    for (size_t i = kBTreeKeyBytes; i-- > 0;) {
+      if (++next.bytes[i] != 0) break;
+    }
+    return next;
+  }
+};
+
+/// Encodes the 24 value bytes of `v` into `out[0..24)`: one type-class byte
+/// (0 null / 1 numeric / 2 string) then an order-preserving payload. Numeric
+/// values coerce to double first (matching Value::Compare's int<->double
+/// coercion) and use the sign-flipped IEEE-754 trick; strings store their
+/// first 23 raw bytes zero-padded. Monotone non-strict: v1 < v2 implies
+/// enc(v1) <= enc(v2).
+inline void EncodeBTreeValue(const Value& v, unsigned char* out) {
+  std::memset(out, 0, kBTreeValueKeyBytes);
+  switch (v.type()) {
+    case ValueType::kNull:
+      out[0] = 0;
+      break;
+    case ValueType::kInt64:
+    case ValueType::kFloat64: {
+      out[0] = 1;
+      double d = v.type() == ValueType::kInt64
+                     ? static_cast<double>(v.AsInt64())
+                     : v.AsFloat64();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      if (bits >> 63) {
+        bits = ~bits;  // Negative: flip everything so magnitude reverses.
+      } else {
+        bits |= uint64_t{1} << 63;  // Non-negative: above all negatives.
+      }
+      for (size_t i = 0; i < sizeof(bits); ++i) {
+        out[1 + i] = static_cast<unsigned char>(bits >> (56 - 8 * i));
+      }
+      break;
+    }
+    case ValueType::kString: {
+      out[0] = 2;
+      const std::string& s = v.AsString();
+      size_t n = s.size() < kBTreeValueKeyBytes - 1 ? s.size()
+                                                    : kBTreeValueKeyBytes - 1;
+      std::memcpy(out + 1, s.data(), n);
+      break;
+    }
+  }
+}
+
+inline BTreeKey EncodeBTreeKey(const Value& v, RowId row) {
+  BTreeKey key;
+  EncodeBTreeValue(v, key.bytes.data());
+  for (size_t i = 0; i < sizeof(uint64_t); ++i) {
+    key.bytes[kBTreeValueKeyBytes + i] =
+        static_cast<unsigned char>(row >> (56 - 8 * i));
+  }
+  return key;
+}
+
+// Header field offsets relative to the start of the page image.
+inline constexpr size_t kBTreeKindOffset = storage::kPageDataOffset;
+inline constexpr size_t kBTreeCountOffset = storage::kPageDataOffset + 2;
+inline constexpr size_t kBTreeNextPageOffset = storage::kPageDataOffset + 4;
+inline constexpr size_t kBTreeStampOffset = storage::kPageDataOffset + 8;
+inline constexpr size_t kBTreeNextStampOffset = storage::kPageDataOffset + 16;
+inline constexpr size_t kBTreePayloadOffset = storage::kPageDataOffset + 24;
+inline constexpr size_t kBTreePayloadBytes =
+    storage::kPageSize - kBTreePayloadOffset;
+
+inline constexpr size_t kBTreeLeafEntryBytes = kBTreeKeyBytes;
+inline constexpr size_t kBTreeInternalEntryBytes =
+    kBTreeKeyBytes + sizeof(uint32_t);
+
+/// Page-capacity fanouts (the store may clamp these down for tests).
+inline constexpr size_t kBTreeLeafCapacity =
+    kBTreePayloadBytes / kBTreeLeafEntryBytes;
+inline constexpr size_t kBTreeInternalCapacity =
+    kBTreePayloadBytes / kBTreeInternalEntryBytes;
+
+/// Read/write view over one node's page image. The view does not own the
+/// bytes and does no bounds checking beyond assert-free arithmetic; the
+/// BTree code is responsible for staying within the configured fanout.
+class BTreeNodeView {
+ public:
+  explicit BTreeNodeView(char* page) : page_(page) {}
+
+  uint8_t kind() const { return Load<uint8_t>(kBTreeKindOffset); }
+  uint16_t count() const { return Load<uint16_t>(kBTreeCountOffset); }
+  storage::PageId next_page() const {
+    return Load<uint32_t>(kBTreeNextPageOffset);
+  }
+  uint64_t stamp() const { return Load<uint64_t>(kBTreeStampOffset); }
+  uint64_t next_stamp() const { return Load<uint64_t>(kBTreeNextStampOffset); }
+
+  void set_kind(uint8_t k) { Store<uint8_t>(kBTreeKindOffset, k); }
+  void set_count(uint16_t c) { Store<uint16_t>(kBTreeCountOffset, c); }
+  void set_next(storage::PageId page, uint64_t stamp) {
+    Store<uint32_t>(kBTreeNextPageOffset, page);
+    Store<uint64_t>(kBTreeNextStampOffset, stamp);
+  }
+  void set_stamp(uint64_t s) { Store<uint64_t>(kBTreeStampOffset, s); }
+
+  bool is_leaf() const { return kind() == kBTreeLeafKind; }
+
+  BTreeKey key_at(size_t i) const {
+    BTreeKey key;
+    std::memcpy(key.bytes.data(), page_ + EntryOffset(i), kBTreeKeyBytes);
+    return key;
+  }
+  storage::PageId child_at(size_t i) const {
+    uint32_t child;
+    std::memcpy(&child, page_ + EntryOffset(i) + kBTreeKeyBytes,
+                sizeof(child));
+    return child;
+  }
+
+  void WriteLeafEntry(size_t i, const BTreeKey& key) {
+    std::memcpy(page_ + EntryOffset(i), key.bytes.data(), kBTreeKeyBytes);
+  }
+  void WriteInternalEntry(size_t i, const BTreeKey& key,
+                          storage::PageId child) {
+    char* at = page_ + EntryOffset(i);
+    std::memcpy(at, key.bytes.data(), kBTreeKeyBytes);
+    uint32_t c = child;
+    std::memcpy(at + kBTreeKeyBytes, &c, sizeof(c));
+  }
+
+  /// Overwrites just the key of internal entry `i` (child pointer kept).
+  void SetInternalKey(size_t i, const BTreeKey& key) {
+    std::memcpy(page_ + EntryOffset(i), key.bytes.data(), kBTreeKeyBytes);
+  }
+  void SetChild(size_t i, storage::PageId child) {
+    uint32_t c = child;
+    std::memcpy(page_ + EntryOffset(i) + kBTreeKeyBytes, &c, sizeof(c));
+  }
+
+ private:
+  size_t EntryBytes() const {
+    return is_leaf() ? kBTreeLeafEntryBytes : kBTreeInternalEntryBytes;
+  }
+  size_t EntryOffset(size_t i) const {
+    return kBTreePayloadOffset + i * EntryBytes();
+  }
+
+  template <typename T>
+  T Load(size_t offset) const {
+    T v;
+    std::memcpy(&v, page_ + offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void Store(size_t offset, T v) {
+    std::memcpy(page_ + offset, &v, sizeof(T));
+  }
+
+  char* page_;
+};
+
+}  // namespace insightnotes::rel
+
+#endif  // INSIGHTNOTES_REL_BTREE_PAGE_H_

@@ -74,6 +74,9 @@ void OrderedIndex::LookupInto(const Value& key, std::vector<RowId>* out) const {
 
 void OrderedIndex::RangeInto(const Value* lo, const Value* hi,
                              std::vector<RowId>* out) const {
+  // Reversed bounds would put `begin` past `end`, and the != walk below
+  // would run off the map. An empty range is the only sane answer.
+  if (lo != nullptr && hi != nullptr && ValueLess{}(*hi, *lo)) return;
   auto begin = lo != nullptr ? map_.lower_bound(*lo) : map_.begin();
   auto end = hi != nullptr ? map_.upper_bound(*hi) : map_.end();
   for (auto it = begin; it != end; ++it) {

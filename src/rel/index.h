@@ -57,7 +57,8 @@ class OrderedIndex {
  public:
   void Insert(const Value& key, RowId row);
   Status Remove(const Value& key, RowId row);
-  /// Append-into probe paths (no per-probe vector allocation).
+  /// Append-into probe paths (no per-probe vector allocation). Reversed
+  /// bounds (hi < lo) yield an empty result.
   void LookupInto(const Value& key, std::vector<RowId>* out) const;
   void RangeInto(const Value* lo, const Value* hi, std::vector<RowId>* out) const;
   std::vector<RowId> Lookup(const Value& key) const {

@@ -2,6 +2,46 @@
 
 namespace insightnotes::rel {
 
+void TableIndex::Insert(const Value& key, RowId row) {
+  if (tree_ == nullptr) {
+    mem_.Insert(key, row);
+    return;
+  }
+  if (!broken_.ok()) return;  // Already diverged; reopen heals it.
+  Status s = tree_->InsertForRow(key, row);
+  if (!s.ok()) broken_ = s;
+}
+
+Status TableIndex::Remove(const Value& key, RowId row) {
+  if (tree_ == nullptr) return mem_.Remove(key, row);
+  if (!broken_.ok()) return Status::OK();
+  Status s = tree_->RemoveForRow(key, row);
+  // Any persistent-backing failure — NotFound included: a missing covered
+  // entry means the tree diverged from the heap — breaks the index rather
+  // than the row mutation.
+  if (!s.ok()) broken_ = s;
+  return Status::OK();
+}
+
+Status TableIndex::LookupInto(const Value& key, std::vector<RowId>* out) const {
+  if (!broken_.ok()) return broken_;
+  if (tree_ == nullptr) {
+    mem_.LookupInto(key, out);
+    return Status::OK();
+  }
+  return tree_->LookupInto(key, out);
+}
+
+Status TableIndex::RangeInto(const Value* lo, const Value* hi,
+                             std::vector<RowId>* out) const {
+  if (!broken_.ok()) return broken_;
+  if (tree_ == nullptr) {
+    mem_.RangeInto(lo, hi, out);
+    return Status::OK();
+  }
+  return tree_->RangeInto(lo, hi, out);
+}
+
 Status Table::CheckTuple(const Tuple& tuple) const {
   if (tuple.NumValues() != schema_.NumColumns()) {
     return Status::InvalidArgument(
@@ -80,8 +120,8 @@ Status Table::CreateIndex(size_t column) {
                                    " in table '" + name_ + "'");
   }
   std::unique_lock<std::shared_mutex> lock(latch_);
-  OrderedIndex& index = indexes_[column];
-  index = OrderedIndex{};  // Rebuild from scratch if it already existed.
+  TableIndex& index = indexes_[column];
+  index = TableIndex{};  // Rebuild from scratch if it already existed.
   // Inline (unlatched) scan: the exclusive latch is already held.
   for (RowId row = 0; row < rows_.size(); ++row) {
     if (!rows_[row].valid()) continue;
@@ -90,6 +130,28 @@ Status Table::CreateIndex(size_t column) {
     index.Insert(tuple.ValueAt(column), row);
   }
   return Status::OK();
+}
+
+std::unique_ptr<BTree> Table::SwapIndex(size_t column,
+                                        std::unique_ptr<BTree> tree) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
+  TableIndex& slot = indexes_[column];
+  // Hand the previous tree (if any) back for page reclamation; an
+  // in-memory backing just dies with `replaced`.
+  TableIndex replaced = std::move(slot);
+  slot = TableIndex(std::move(tree));
+  return replaced.ReleaseTree();
+}
+
+std::vector<PersistentIndexInfo> Table::PersistentIndexes() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  std::vector<PersistentIndexInfo> out;
+  for (const auto& [column, index] : indexes_) {
+    if (!index.persistent()) continue;
+    out.push_back(PersistentIndexInfo{column, index.tree()->meta(),
+                                      index.usable()});
+  }
+  return out;
 }
 
 Status Table::Scan(const std::function<bool(RowId, const Tuple&)>& fn) const {

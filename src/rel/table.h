@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "rel/btree.h"
 #include "rel/index.h"
 #include "rel/schema.h"
 #include "rel/stats.h"
@@ -25,6 +26,66 @@
 namespace insightnotes::rel {
 
 using TableId = uint32_t;
+
+/// One secondary-index slot of a table: either the historical in-memory
+/// OrderedIndex (Table::CreateIndex, used by unit tests and engines without
+/// an index file) or a persistent B+-tree attached by the engine
+/// (Table::SwapIndex). Probes go through the wrapper so call sites don't
+/// care which backing they hit.
+///
+/// Failure model: a persistent-backing maintenance failure (an I/O error
+/// mid-split, say) marks the index *broken* — the row mutation itself still
+/// succeeds, IndexOn() hides the index from the optimizer, and the
+/// divergence heals on reopen (recovery adopts the last committed tree and
+/// the caller's setup replay catches it up). The in-memory backing keeps
+/// its historical strict behavior: Remove propagates NotFound.
+class TableIndex {
+ public:
+  TableIndex() = default;  // In-memory backing.
+  explicit TableIndex(std::unique_ptr<BTree> tree) : tree_(std::move(tree)) {}
+
+  TableIndex(TableIndex&&) = default;
+  TableIndex& operator=(TableIndex&&) = default;
+
+  bool persistent() const { return tree_ != nullptr; }
+  /// False after a maintenance failure; broken indexes refuse probes and
+  /// IndexOn() hides them.
+  bool usable() const { return broken_.ok(); }
+  const Status& broken_status() const { return broken_; }
+  BTree* tree() { return tree_.get(); }
+  const BTree* tree() const { return tree_.get(); }
+  std::unique_ptr<BTree> ReleaseTree() { return std::move(tree_); }
+
+  /// Row maintenance (exclusive table latch held by the caller). A
+  /// persistent-backing failure marks the index broken instead of failing
+  /// the row mutation.
+  void Insert(const Value& key, RowId row);
+  Status Remove(const Value& key, RowId row);
+
+  /// Probe paths (shared table latch held by the caller). Failed probes on
+  /// a persistent backing surface the I/O error; broken indexes are
+  /// unreachable through IndexOn().
+  Status LookupInto(const Value& key, std::vector<RowId>* out) const;
+  Status RangeInto(const Value* lo, const Value* hi,
+                   std::vector<RowId>* out) const;
+
+  size_t NumEntries() const {
+    return tree_ != nullptr ? static_cast<size_t>(tree_->NumEntries())
+                            : mem_.NumEntries();
+  }
+
+ private:
+  OrderedIndex mem_;
+  std::unique_ptr<BTree> tree_;
+  Status broken_;
+};
+
+/// Persistent-index state the engine snapshots per index checkpoint.
+struct PersistentIndexInfo {
+  size_t column = 0;
+  BTreeMeta meta;
+  bool usable = true;
+};
 
 /// Thread-safety: a per-table shared_mutex guards the row directory and the
 /// indexes — Insert/Delete/CreateIndex exclusive, Get/IsLive/RowBound
@@ -76,17 +137,31 @@ class Table {
     return std::shared_lock<std::shared_mutex>(latch_);
   }
 
-  /// Builds (or rebuilds) an ordered secondary index over `column`,
-  /// scanning the existing rows; Insert/Delete maintain it afterwards.
+  /// Builds (or rebuilds) an in-memory ordered secondary index over
+  /// `column`, scanning the existing rows; Insert/Delete maintain it
+  /// afterwards. The engine's CREATE INDEX path instead builds a persistent
+  /// B+-tree and attaches it with SwapIndex.
   Status CreateIndex(size_t column);
 
-  /// The index on `column`, or null if none was created. The pointer stays
-  /// valid for the table's lifetime (indexes are never dropped). Concurrent
-  /// readers must hold ReadLock() across the probe (CreateIndex rebuilds
-  /// index contents in place under the exclusive latch).
-  const OrderedIndex* IndexOn(size_t column) const {
+  /// Replaces the index slot on `column` with a persistent B+-tree built by
+  /// the engine, returning the previous backing tree (null if the slot was
+  /// empty or in-memory) so the caller can discard its pages. Takes the
+  /// exclusive latch.
+  std::unique_ptr<BTree> SwapIndex(size_t column, std::unique_ptr<BTree> tree);
+
+  /// Snapshot of every persistent index on this table, for the engine's
+  /// index checkpoint record.
+  std::vector<PersistentIndexInfo> PersistentIndexes() const;
+
+  /// The usable index on `column`, or null if none was created (or it is
+  /// broken). The pointer stays valid for the table's lifetime (indexes are
+  /// never dropped). Concurrent readers must hold ReadLock() across the
+  /// probe (CreateIndex/SwapIndex rebuild index contents under the
+  /// exclusive latch).
+  const TableIndex* IndexOn(size_t column) const {
     auto it = indexes_.find(column);
-    return it == indexes_.end() ? nullptr : &it->second;
+    if (it == indexes_.end() || !it->second.usable()) return nullptr;
+    return &it->second;
   }
 
   /// Immutable optimizer-statistics snapshot (null until ANALYZE ran).
@@ -118,7 +193,7 @@ class Table {
   std::atomic<uint64_t> num_live_{0};
   // Secondary indexes by column position. std::map keeps IndexOn pointers
   // stable across CreateIndex calls on other columns.
-  std::map<size_t, OrderedIndex> indexes_;
+  std::map<size_t, TableIndex> indexes_;
   mutable std::mutex stats_mutex_;
   std::shared_ptr<const TableStats> stats_;
 };

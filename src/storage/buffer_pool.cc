@@ -81,6 +81,26 @@ Result<PageGuard> BufferPool::NewPage() {
   return PageGuard(this, id, frame.data.get());
 }
 
+Result<PageGuard> BufferPool::InitPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = page_table_.find(id);
+  size_t index;
+  if (it != page_table_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    index = it->second;
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    INSIGHTNOTES_ASSIGN_OR_RETURN(index,
+                                  GetFrameFor(id, /*read_from_disk=*/false));
+  }
+  Frame& frame = frames_[index];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.dirty = true;
+  ++frame.pin_count;
+  TouchLru(index);
+  return PageGuard(this, id, frame.data.get());
+}
+
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   Status first_error = Status::OK();

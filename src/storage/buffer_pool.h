@@ -79,6 +79,12 @@ class BufferPool {
   /// Allocates a fresh page on disk and pins it (zero-filled).
   Result<PageGuard> NewPage();
 
+  /// Pins page `id` zero-filled WITHOUT reading it from disk, for callers
+  /// recycling an already-allocated page whose on-disk bytes are garbage
+  /// (e.g. a B+-tree free-list page torn by a crash): a read would trip the
+  /// checksum. The frame is dirty afterwards.
+  Result<PageGuard> InitPage(PageId id);
+
   /// Writes back all dirty frames. A failed write does not stop the sweep:
   /// remaining dirty frames are still flushed, the failed frames stay dirty
   /// for a later retry, and the first error is returned.

@@ -258,7 +258,11 @@ TEST_F(EngineSnapshotTest, ConcurrentPinAndPublishStress) {
     });
   }
 
-  for (int i = 0; i < kWrites; ++i) {
+  // At least kWrites epochs, then keep publishing until some reader
+  // finished a full pin+walk (the writer can otherwise outrun readers that
+  // were never scheduled, and the reads assertion below would race).
+  for (int i = 0; i < kWrites || (reads.load() == 0 && i < kWrites * 100);
+       ++i) {
     ASSERT_TRUE(
         engine_->Annotate(Spec("R", static_cast<rel::RowId>(i % 3),
                                i % 2 == 0 ? "foraging behavior migration"

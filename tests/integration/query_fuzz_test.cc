@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -27,6 +28,7 @@
 #include "exec/query_context.h"
 #include "sql/parser.h"
 #include "sql/planner.h"
+#include "sql/session.h"
 #include "testutil.h"
 
 namespace insightnotes {
@@ -63,6 +65,14 @@ class QueryFuzzTest : public EngineFixture {
   /// every oracle comparison; duplicate grp/val/txt values guarantee sort
   /// ties straddling LIMIT boundaries and non-trivial DISTINCT folds.
   void CreateDataset() {
+    CreateDatasetTables();
+    AnnotateDataset();
+  }
+
+  /// Tables, rows and instance links only — the configuration half, which
+  /// a file-backed reopen must replay by hand (the WAL replays the
+  /// annotations itself; see PersistedIndexFuzzTest).
+  void CreateDatasetTables() {
     ASSERT_TRUE(engine_
                     ->CreateTable("t",
                                   rel::Schema({{"id", rel::ValueType::kInt64, "t"},
@@ -89,6 +99,10 @@ class QueryFuzzTest : public EngineFixture {
     }
     ASSERT_TRUE(engine_->LinkInstance("ClassBird1", "t").ok());
     ASSERT_TRUE(engine_->LinkInstance("SimCluster", "t").ok());
+  }
+
+  void AnnotateDataset() {
+    Random rng(12);
     const std::vector<std::string> bodies = {
         "found eating stonewort near the shore",
         "signs of influenza infection detected",
@@ -476,6 +490,124 @@ TEST_F(QueryFuzzTest, OptimizerPlansMatchRuleDrivenByteForByte) {
       ASSERT_EQ(baseline, Run(sql, parallelism, 16, /*optimize=*/true))
           << "optimizer on, parallelism=" << parallelism
           << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << sql;
+    }
+  }
+}
+
+// Persisted-index differential: the same fuzzed corpus, answered by
+// indexes that crossed an engine restart. A file-backed engine builds the
+// four secondary indexes, records optimizer-on baselines, closes; the
+// reopen must ADOPT the committed B+-trees from the index checkpoint
+// (recovery().indexes_recovered — no table-scan rebuild), the replayed
+// configuration (tables, rows, links; annotations come back through the
+// WAL) must line the trees up with the live row set, and every query must
+// stay byte-identical at parallelism 1/2/8 with EXPLAIN still choosing
+// IndexScan.
+class PersistedIndexFuzzTest : public QueryFuzzTest {
+ protected:
+  void SetUp() override {
+    db_path_ = ::testing::TempDir() + "/insightnotes_pfuzz_" +
+               std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+    RemoveDbFiles();
+    options_.db_path = db_path_;
+    options_.index_max_node_entries = 8;  // Multi-level trees at 120 rows.
+    options_.io_retry.sleep = [](int64_t) {};
+    QueryFuzzTest::SetUp();
+  }
+
+  void TearDown() override {
+    engine_.reset();
+    RemoveDbFiles();
+  }
+
+  void RemoveDbFiles() {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path dir = fs::path(db_path_).parent_path();
+    const std::string stem = fs::path(db_path_).filename().string();
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->path().filename().string().rfind(stem, 0) == 0) {
+        std::error_code remove_ec;
+        fs::remove(it->path(), remove_ec);
+      }
+    }
+  }
+
+  /// EXPLAIN through a fresh SqlSession (optimizer is the session
+  /// default); returns the rendered plan tree.
+  std::string ExplainPlan(const std::string& sql) {
+    sql::SqlSession session(engine_.get());
+    auto out = session.Execute("EXPLAIN " + sql);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? out->message : "";
+  }
+
+  std::string db_path_;
+};
+
+TEST_F(PersistedIndexFuzzTest, ReopenedIndexesAnswerCorpusByteForByte) {
+  ASSERT_TRUE(engine_->Analyze("t").ok());
+  ASSERT_TRUE(engine_->Analyze("d").ok());
+  ASSERT_TRUE(engine_->CreateIndex("t", "val").ok());
+  ASSERT_TRUE(engine_->CreateIndex("t", "grp").ok());
+  ASSERT_TRUE(engine_->CreateIndex("t", "txt").ok());
+  ASSERT_TRUE(engine_->CreateIndex("d", "k").ok());
+
+  const uint64_t seed = FuzzSeed();
+  Random rng(seed + 4);  // Distinct stream from the other fuzz sweeps.
+  std::vector<std::string> corpus;
+  corpus.reserve(kNumQueries);
+  for (int q = 0; q < kNumQueries; ++q) corpus.push_back(GenQuery(rng));
+
+  std::vector<std::vector<std::string>> baselines(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    baselines[i] = Run(corpus[i], 1, 16, /*optimize=*/true);
+    ASSERT_FALSE(::testing::Test::HasFailure())
+        << "replay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << corpus[i];
+  }
+  const std::string probe_sql = "SELECT t.id FROM t t WHERE t.val = 7";
+  EXPECT_NE(ExplainPlan(probe_sql).find("IndexScan"), std::string::npos)
+      << "optimizer skipped the index before the restart";
+
+  engine_.reset();  // Shutdown checkpoint; the index epoch is already durable.
+
+  options_.open_existing = true;
+  engine_ = std::make_unique<core::Engine>(options_);
+  ASSERT_TRUE(engine_->Init().ok());
+  EXPECT_EQ(engine_->recovery().indexes_recovered, 4u)
+      << "reopen rebuilt instead of adopting the committed trees";
+  // Configuration replay — the annotations are already back via the WAL.
+  CreateFigure2Tables();
+  CreateFigure2Instances();
+  CreateDatasetTables();
+  ASSERT_TRUE(engine_->Analyze("t").ok());
+  ASSERT_TRUE(engine_->Analyze("d").ok());
+
+  auto t = engine_->catalog()->GetTable("t");
+  auto d = engine_->catalog()->GetTable("d");
+  ASSERT_TRUE(t.ok() && d.ok());
+  for (size_t column : {1u, 2u, 3u}) {  // grp, val, txt.
+    const rel::TableIndex* index = (*t)->IndexOn(column);
+    ASSERT_NE(index, nullptr) << "t column " << column;
+    ASSERT_TRUE(index->persistent()) << "t column " << column;
+    // Adopted trees cover exactly the rows committed before the restart —
+    // a rebuild would have covered none of them.
+    EXPECT_EQ(index->tree()->covered_rows(), static_cast<uint64_t>(kFactRows));
+    EXPECT_TRUE(index->tree()->CheckInvariants().ok());
+  }
+  ASSERT_NE((*d)->IndexOn(0), nullptr);
+
+  EXPECT_NE(ExplainPlan(probe_sql).find("IndexScan"), std::string::npos)
+      << "optimizer stopped choosing the adopted index after the restart";
+
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query#" + std::to_string(i) +
+                 " sql: " + corpus[i]);
+    for (size_t parallelism : {1u, 2u, 8u}) {
+      ASSERT_EQ(baselines[i], Run(corpus[i], parallelism, 16, /*optimize=*/true))
+          << "parallelism=" << parallelism
+          << "\nreplay: INSIGHTNOTES_FUZZ_SEED=" << seed << "\n  " << corpus[i];
     }
   }
 }

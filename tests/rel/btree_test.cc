@@ -1,0 +1,321 @@
+// Structural-invariant property tests for the persistent B+-tree: randomized
+// insert/delete/range workloads against an ordered-set oracle, asserting the
+// full structural battery (sorted keys, uniform leaf depth, fanout bounds,
+// leaf-chain == in-order walk) after every batch. Seeded like the query
+// fuzzer: failures print the seed, replay with INSIGHTNOTES_FUZZ_SEED=<n>.
+
+#include "rel/btree.h"
+
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rel/btree_page.h"
+#include "rel/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace insightnotes {
+namespace {
+
+constexpr uint64_t kDefaultSeed = 20260806;
+
+uint64_t FuzzSeed() {
+  const char* env = std::getenv("INSIGHTNOTES_FUZZ_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return kDefaultSeed;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  // Tiny fanout (6) forces multi-level trees on small data; the 16-frame
+  // pool forces eviction write-backs mid-workload.
+  void Open(size_t fanout = 6, size_t frames = 16) {
+    ASSERT_TRUE(disk_.Open("").ok());
+    pool_ = std::make_unique<storage::BufferPool>(&disk_, frames);
+    store_ = std::make_unique<rel::BTreeStore>(pool_.get(),
+                                               rel::BTreeStoreMeta{}, fanout);
+    auto tree = rel::BTree::Create(store_.get());
+    ASSERT_TRUE(tree.ok()) << tree.status();
+    tree_ = std::move(*tree);
+  }
+
+  storage::DiskManager disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<rel::BTreeStore> store_;
+  std::unique_ptr<rel::BTree> tree_;
+};
+
+using Oracle = std::set<std::pair<int64_t, rel::RowId>>;
+
+std::vector<rel::RowId> OracleRange(const Oracle& oracle, const int64_t* lo,
+                                    const int64_t* hi) {
+  std::vector<rel::RowId> rows;
+  for (const auto& [key, row] : oracle) {
+    if (lo != nullptr && key < *lo) continue;
+    if (hi != nullptr && key > *hi) continue;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST_F(BTreeTest, RandomizedIntWorkloadMatchesOracle) {
+  Open();
+  const uint64_t seed = FuzzSeed();
+  std::mt19937_64 rng(seed);
+  Oracle oracle;
+  rel::RowId next_row = 0;
+  for (int batch = 0; batch < 60; ++batch) {
+    SCOPED_TRACE("batch " + std::to_string(batch) +
+                 "; replay: INSIGHTNOTES_FUZZ_SEED=" + std::to_string(seed));
+    for (int op = 0; op < 25; ++op) {
+      if (!oracle.empty() && rng() % 3 == 0) {
+        auto it = oracle.begin();
+        std::advance(it, rng() % oracle.size());
+        ASSERT_TRUE(
+            tree_->RemoveForRow(rel::Value(it->first), it->second).ok());
+        oracle.erase(it);
+      } else {
+        int64_t key = static_cast<int64_t>(rng() % 40);
+        rel::RowId row = next_row++;
+        ASSERT_TRUE(tree_->InsertForRow(rel::Value(key), row).ok());
+        oracle.insert({key, row});
+      }
+    }
+    // Commit an epoch now and then so copy-on-write shadows committed
+    // pages (stale sibling hints + free-list reuse get exercised).
+    if (batch % 7 == 6) {
+      ASSERT_TRUE(pool_->FlushAll().ok());
+      store_->CommitEpoch();
+    }
+    Status invariants = tree_->CheckInvariants();
+    ASSERT_TRUE(invariants.ok()) << invariants;
+    ASSERT_EQ(tree_->NumEntries(), oracle.size());
+
+    std::vector<rel::RowId> all;
+    ASSERT_TRUE(tree_->RangeInto(nullptr, nullptr, &all).ok());
+    ASSERT_EQ(all, OracleRange(oracle, nullptr, nullptr));
+
+    for (int q = 0; q < 5; ++q) {
+      int64_t lo = static_cast<int64_t>(rng() % 40);
+      int64_t hi = static_cast<int64_t>(rng() % 40);  // Sometimes reversed.
+      rel::Value lo_v(lo), hi_v(hi);
+      std::vector<rel::RowId> got;
+      ASSERT_TRUE(tree_->RangeInto(&lo_v, &hi_v, &got).ok());
+      std::vector<rel::RowId> want =
+          lo <= hi ? OracleRange(oracle, &lo, &hi) : std::vector<rel::RowId>{};
+      ASSERT_EQ(got, want) << "range [" << lo << ", " << hi << "]";
+
+      int64_t eq = static_cast<int64_t>(rng() % 40);
+      got.clear();
+      ASSERT_TRUE(tree_->LookupInto(rel::Value(eq), &got).ok());
+      ASSERT_EQ(got, OracleRange(oracle, &eq, &eq)) << "lookup " << eq;
+    }
+  }
+}
+
+TEST_F(BTreeTest, RandomizedStringWorkloadMatchesOracle) {
+  Open();
+  const uint64_t sseed = FuzzSeed() + 1;
+  std::mt19937_64 rng(sseed);
+  std::set<std::pair<std::string, rel::RowId>> oracle;
+  rel::RowId next_row = 0;
+  auto rand_key = [&rng]() {
+    size_t len = rng() % 4;
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng() % 3));
+    }
+    return s;
+  };
+  for (int batch = 0; batch < 40; ++batch) {
+    SCOPED_TRACE("batch " + std::to_string(batch) +
+                 "; replay: INSIGHTNOTES_FUZZ_SEED=" + std::to_string(sseed - 1));
+    for (int op = 0; op < 20; ++op) {
+      if (!oracle.empty() && rng() % 3 == 0) {
+        auto it = oracle.begin();
+        std::advance(it, rng() % oracle.size());
+        ASSERT_TRUE(
+            tree_->RemoveForRow(rel::Value(it->first), it->second).ok());
+        oracle.erase(it);
+      } else {
+        std::string key = rand_key();
+        rel::RowId row = next_row++;
+        ASSERT_TRUE(tree_->InsertForRow(rel::Value(key), row).ok());
+        oracle.insert({std::move(key), row});
+      }
+    }
+    Status invariants = tree_->CheckInvariants();
+    ASSERT_TRUE(invariants.ok()) << invariants;
+    ASSERT_EQ(tree_->NumEntries(), oracle.size());
+    std::string probe = rand_key();
+    std::vector<rel::RowId> got;
+    ASSERT_TRUE(tree_->LookupInto(rel::Value(probe), &got).ok());
+    std::vector<rel::RowId> want;
+    for (const auto& [key, row] : oracle) {
+      if (key == probe) want.push_back(row);
+    }
+    ASSERT_EQ(got, want) << "lookup \"" << probe << "\"";
+  }
+}
+
+TEST_F(BTreeTest, FullPageFanoutWorkload) {
+  Open(/*fanout=*/0, /*frames=*/64);  // Page-capacity nodes: 127/113.
+  Oracle oracle;
+  std::mt19937_64 rng(FuzzSeed() + 2);
+  for (rel::RowId row = 0; row < 3000; ++row) {
+    int64_t key = static_cast<int64_t>(rng() % 500);
+    ASSERT_TRUE(tree_->InsertForRow(rel::Value(key), row).ok());
+    oracle.insert({key, row});
+  }
+  for (int i = 0; i < 800; ++i) {
+    auto it = oracle.begin();
+    std::advance(it, rng() % oracle.size());
+    ASSERT_TRUE(tree_->RemoveForRow(rel::Value(it->first), it->second).ok());
+    oracle.erase(it);
+  }
+  Status invariants = tree_->CheckInvariants();
+  ASSERT_TRUE(invariants.ok()) << invariants;
+  std::vector<rel::RowId> all;
+  ASSERT_TRUE(tree_->RangeInto(nullptr, nullptr, &all).ok());
+  ASSERT_EQ(all, OracleRange(oracle, nullptr, nullptr));
+}
+
+TEST_F(BTreeTest, MixedTypeOrderingNullsNumbersStrings) {
+  Open();
+  // Rows chosen so the expected full-scan order spells out the class order:
+  // null < numerics (int/double coerced) < strings.
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value("apple"), 4).ok());
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value(int64_t{7}), 2).ok());
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value(2.5), 1).ok());
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value(), 0).ok());
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value(7.5), 3).ok());
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value("banana"), 5).ok());
+  std::vector<rel::RowId> all;
+  ASSERT_TRUE(tree_->RangeInto(nullptr, nullptr, &all).ok());
+  EXPECT_EQ(all, (std::vector<rel::RowId>{0, 1, 2, 3, 4, 5}));
+  // Numeric range probes coerce int<->double like Value::Compare.
+  rel::Value lo(int64_t{3}), hi(7.4);
+  all.clear();
+  ASSERT_TRUE(tree_->RangeInto(&lo, &hi, &all).ok());
+  EXPECT_EQ(all, (std::vector<rel::RowId>{2}));
+}
+
+TEST_F(BTreeTest, LongStringProbesReturnSupersets) {
+  Open();
+  // Strings sharing a 23-byte prefix share an encoding: probes return the
+  // union and callers re-filter (the planner keeps residual predicates).
+  std::string prefix(23, 'x');
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value(prefix + "aaa"), 0).ok());
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value(prefix + "zzz"), 1).ok());
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value("unrelated"), 2).ok());
+  std::vector<rel::RowId> got;
+  ASSERT_TRUE(tree_->LookupInto(rel::Value(prefix + "aaa"), &got).ok());
+  EXPECT_EQ(got, (std::vector<rel::RowId>{0, 1}));  // Superset, never less.
+}
+
+TEST_F(BTreeTest, EmptyTreeAndReversedBounds) {
+  Open();
+  std::vector<rel::RowId> got;
+  ASSERT_TRUE(tree_->LookupInto(rel::Value(int64_t{1}), &got).ok());
+  EXPECT_TRUE(got.empty());
+  ASSERT_TRUE(tree_->RangeInto(nullptr, nullptr, &got).ok());
+  EXPECT_TRUE(got.empty());
+  ASSERT_TRUE(tree_->InsertForRow(rel::Value(int64_t{5}), 0).ok());
+  rel::Value lo(int64_t{9}), hi(int64_t{1});
+  ASSERT_TRUE(tree_->RangeInto(&lo, &hi, &got).ok());
+  EXPECT_TRUE(got.empty());
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, CoveredRowsMakeSetupReplayIdempotent) {
+  Open();
+  for (rel::RowId row = 0; row < 10; ++row) {
+    ASSERT_TRUE(tree_->InsertForRow(rel::Value(int64_t(row % 3)), row).ok());
+  }
+  tree_->set_covered_rows(10);
+  // A caller re-running its setup re-inserts covered rows: no-ops.
+  for (rel::RowId row = 0; row < 10; ++row) {
+    ASSERT_TRUE(tree_->InsertForRow(rel::Value(int64_t(row % 3)), row).ok());
+  }
+  EXPECT_EQ(tree_->NumEntries(), 10u);
+  // Deleting a covered row whose entry is already gone is tolerated...
+  ASSERT_TRUE(tree_->RemoveForRow(rel::Value(int64_t{0}), 0).ok());
+  ASSERT_TRUE(tree_->RemoveForRow(rel::Value(int64_t{0}), 0).ok());
+  EXPECT_EQ(tree_->NumEntries(), 9u);
+  // ...but a missing entry at or past the covered bound is an error.
+  EXPECT_FALSE(tree_->RemoveForRow(rel::Value(int64_t{0}), 99).ok());
+}
+
+TEST_F(BTreeTest, CommittedTreeSurvivesUncommittedMutations) {
+  Open();
+  Oracle committed;
+  std::mt19937_64 rng(FuzzSeed() + 3);
+  for (rel::RowId row = 0; row < 400; ++row) {
+    int64_t key = static_cast<int64_t>(rng() % 50);
+    ASSERT_TRUE(tree_->InsertForRow(rel::Value(key), row).ok());
+    committed.insert({key, row});
+  }
+  // Commit: flush + seal the epoch, snapshot the metadata a checkpoint
+  // record would persist.
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  ASSERT_TRUE(disk_.Fsync().ok());
+  rel::BTreeMeta tree_meta = tree_->meta();
+  rel::BTreeStoreMeta store_meta = store_->CommitMeta();
+  store_->CommitEpoch();
+  // Post-commit mutations shadow committed pages and recycle free ones;
+  // none of it is flushed, like a crash mid-epoch.
+  for (rel::RowId row = 400; row < 600; ++row) {
+    ASSERT_TRUE(
+        tree_->InsertForRow(rel::Value(int64_t(rng() % 50)), row).ok());
+  }
+  Oracle live = committed;  // `committed` keeps the as-of-commit view.
+  for (int i = 0; i < 150; ++i) {
+    auto it = live.begin();
+    std::advance(it, rng() % live.size());
+    ASSERT_TRUE(tree_->RemoveForRow(rel::Value(it->first), it->second).ok());
+    live.erase(it);
+  }
+  // "Crash": drop the pool (dirty frames lost) and re-attach from the
+  // committed metadata over the same disk image.
+  tree_.reset();
+  store_.reset();
+  pool_.reset();
+  pool_ = std::make_unique<storage::BufferPool>(&disk_, 16);
+  store_ = std::make_unique<rel::BTreeStore>(pool_.get(), store_meta, 6);
+  tree_ = rel::BTree::Attach(store_.get(), tree_meta);
+  Status invariants = tree_->CheckInvariants();
+  ASSERT_TRUE(invariants.ok()) << invariants;
+  std::vector<rel::RowId> all;
+  ASSERT_TRUE(tree_->RangeInto(nullptr, nullptr, &all).ok());
+  ASSERT_EQ(all, OracleRange(committed, nullptr, nullptr));
+}
+
+TEST_F(BTreeTest, DiscardReturnsPagesForReuse) {
+  Open();
+  for (rel::RowId row = 0; row < 200; ++row) {
+    ASSERT_TRUE(tree_->InsertForRow(rel::Value(int64_t(row)), row).ok());
+  }
+  ASSERT_TRUE(tree_->Discard().ok());
+  // A new tree grown to the same size must fit in the recycled pages.
+  uint64_t pages_before = store_->CommitMeta().page_count;
+  auto tree = rel::BTree::Create(store_.get());
+  ASSERT_TRUE(tree.ok());
+  tree_ = std::move(*tree);
+  for (rel::RowId row = 0; row < 200; ++row) {
+    ASSERT_TRUE(tree_->InsertForRow(rel::Value(int64_t(row)), row).ok());
+  }
+  EXPECT_EQ(store_->CommitMeta().page_count, pages_before);
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace insightnotes

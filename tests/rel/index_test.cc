@@ -112,6 +112,28 @@ TEST(OrderedIndexTest, RangeIntoAppendsToExistingRows) {
   EXPECT_EQ(out, (std::vector<RowId>{99, 1, 2, 3, 4}));
 }
 
+// Regression: reversed bounds (hi < lo) used to seed the walk with
+// begin past end — unterminated iteration over invalid iterators (UB).
+// They must yield an empty result instead, for same-type and cross-type
+// reversals alike (the planner widens strict bounds but never reorders
+// user-supplied constants).
+TEST(OrderedIndexTest, ReversedBoundsYieldEmpty) {
+  OrderedIndex idx;
+  for (int64_t i = 0; i < 10; ++i) idx.Insert(I(i), static_cast<RowId>(i));
+  idx.Insert(Value("z"), 100);
+  Value lo = I(7), hi = I(2);
+  EXPECT_TRUE(idx.Range(&lo, &hi).empty());
+  std::vector<RowId> out = {99};
+  idx.RangeInto(&lo, &hi, &out);
+  EXPECT_EQ(out, (std::vector<RowId>{99}));  // Untouched, not grown.
+  Value slo = Value("z"), shi = I(5);  // Cross-type: string > every int.
+  idx.RangeInto(&slo, &shi, &out);
+  EXPECT_EQ(out, (std::vector<RowId>{99}));
+  Value eq = I(4);  // Equal bounds are NOT reversed: inclusive singleton.
+  idx.RangeInto(&eq, &eq, &out);
+  EXPECT_EQ(out, (std::vector<RowId>{99, 4}));
+}
+
 TEST(OrderedIndexTest, MixedTypeKeysDoNotCrash) {
   OrderedIndex idx;
   idx.Insert(Value::Null(), 0);
